@@ -1,0 +1,45 @@
+//! Modulo hashing — the most common production sharding default.
+
+use crate::Partitioner;
+use shp_hypergraph::{BipartiteGraph, BucketId, Partition};
+
+/// Assigns data vertex `v` to bucket `hash(v) mod k`. Deterministic and stateless, like
+/// consistent-hashing-based sharding before any locality optimization is applied.
+#[derive(Debug, Clone, Default)]
+pub struct HashPartitioner;
+
+impl Partitioner for HashPartitioner {
+    fn name(&self) -> &'static str {
+        "Hash"
+    }
+
+    fn partition(&self, graph: &BipartiteGraph, k: u32, _epsilon: f64) -> Partition {
+        let assignment: Vec<BucketId> = (0..graph.num_data() as u32)
+            .map(|v| {
+                // SplitMix64-style mix so consecutive ids do not land in consecutive buckets.
+                let mut x = v as u64;
+                x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                ((x ^ (x >> 31)) % k as u64) as BucketId
+            })
+            .collect();
+        Partition::from_assignment(graph, k, assignment).expect("assignment is valid by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shp_hypergraph::GraphBuilder;
+
+    #[test]
+    fn hashing_is_deterministic_and_balanced() {
+        let mut b = GraphBuilder::new();
+        b.add_query((0..2_000u32).collect::<Vec<_>>());
+        let g = b.build().unwrap();
+        let p = HashPartitioner.partition(&g, 8, 0.05);
+        assert_eq!(p, HashPartitioner.partition(&g, 8, 0.05));
+        assert!(p.imbalance() < 0.15, "imbalance {}", p.imbalance());
+        assert_eq!(HashPartitioner.name(), "Hash");
+    }
+}

@@ -1,0 +1,106 @@
+//! Capacity-constrained label propagation over the bipartite graph.
+
+use crate::Partitioner;
+use rand::SeedableRng;
+use rand_pcg::Pcg64;
+use shp_hypergraph::{BipartiteGraph, BucketId, DataId, Partition};
+
+/// Iterative label propagation: starting from a random balanced assignment, every data vertex
+/// repeatedly adopts the label (bucket) most common among its co-query neighbors, provided the
+/// target bucket has spare capacity. A light-weight community-detection-style baseline that,
+/// unlike SHP, has no explicit objective and no swap coordination.
+#[derive(Debug, Clone)]
+pub struct LabelPropagationPartitioner {
+    iterations: usize,
+    seed: u64,
+}
+
+impl LabelPropagationPartitioner {
+    /// Creates a label-propagation partitioner running the given number of sweeps.
+    pub fn new(iterations: usize, seed: u64) -> Self {
+        LabelPropagationPartitioner { iterations, seed }
+    }
+}
+
+impl Partitioner for LabelPropagationPartitioner {
+    fn name(&self) -> &'static str {
+        "LabelPropagation"
+    }
+
+    fn partition(&self, graph: &BipartiteGraph, k: u32, epsilon: f64) -> Partition {
+        let n = graph.num_data();
+        let mut rng = Pcg64::seed_from_u64(self.seed);
+        let mut partition = Partition::new_random(graph, k, &mut rng).expect("k >= 1 required");
+        let capacity =
+            (((n as f64 / k as f64).ceil()) * (1.0 + epsilon)).floor().max(1.0) as u64;
+
+        let mut counts = vec![0u64; k as usize];
+        for _ in 0..self.iterations {
+            let mut moved = 0usize;
+            for v in 0..n as DataId {
+                for c in counts.iter_mut() {
+                    *c = 0;
+                }
+                for &q in graph.data_neighbors(v) {
+                    for &u in graph.query_neighbors(q) {
+                        if u != v {
+                            counts[partition.bucket_of(u) as usize] += 1;
+                        }
+                    }
+                }
+                let current = partition.bucket_of(v);
+                let mut best = current;
+                let mut best_count = counts[current as usize];
+                for b in 0..k {
+                    if b != current
+                        && counts[b as usize] > best_count
+                        && partition.bucket_weight(b) + partition.vertex_weight(v) <= capacity
+                    {
+                        best = b;
+                        best_count = counts[b as usize];
+                    }
+                }
+                if best != current {
+                    partition.assign(v, best as BucketId);
+                    moved += 1;
+                }
+            }
+            if moved == 0 {
+                break;
+            }
+        }
+        partition
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shp_datagen::{planted_partition, PlantedConfig};
+    use shp_hypergraph::average_fanout;
+
+    #[test]
+    fn label_propagation_improves_over_random_within_capacity() {
+        let (g, _) = planted_partition(&PlantedConfig {
+            num_blocks: 4,
+            block_size: 128,
+            num_queries: 2_000,
+            query_degree: 5,
+            noise: 0.05,
+            seed: 5,
+        });
+        let lp = LabelPropagationPartitioner::new(10, 2).partition(&g, 4, 0.05);
+        let random = crate::RandomPartitioner::new(2).partition(&g, 4, 0.05);
+        assert!(average_fanout(&g, &lp) < average_fanout(&g, &random));
+        assert!(lp.is_balanced(0.06), "imbalance {}", lp.imbalance());
+    }
+
+    #[test]
+    fn zero_iterations_returns_the_random_start() {
+        let (g, _) = planted_partition(&PlantedConfig::default());
+        let p = LabelPropagationPartitioner::new(0, 3).partition(&g, 4, 0.05);
+        let mut rng = Pcg64::seed_from_u64(3);
+        let expected = Partition::new_random(&g, 4, &mut rng).unwrap();
+        assert_eq!(p, expected);
+    }
+}

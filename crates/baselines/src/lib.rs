@@ -1,0 +1,83 @@
+//! # shp-baselines
+//!
+//! Baseline hypergraph partitioners used as comparison points for SHP.
+//!
+//! The paper compares SHP against hMetis, PaToH, Mondriaan, Parkway, and Zoltan — third-party
+//! C/C++ packages that are not available in this reproduction. This crate provides from-scratch
+//! baselines spanning the same design space:
+//!
+//! * [`RandomPartitioner`] — the "no optimization" lower bound (also what random sharding does
+//!   in production before SHP is applied).
+//! * [`HashPartitioner`] — deterministic modulo hashing, the most common sharding default.
+//! * [`GreedyStreamPartitioner`] — a single-pass streaming heuristic (linear deterministic
+//!   greedy): each vertex goes to the bucket where it has most co-query neighbors, subject to
+//!   capacity.
+//! * [`LabelPropagationPartitioner`] — iterative label propagation with capacity constraints,
+//!   a light-weight community-detection-style baseline.
+//! * [`MultilevelPartitioner`] — a single-machine multilevel partitioner (clique-net
+//!   coarsening, greedy initial bisection, Fiduccia–Mattheyses refinement, recursive bisection
+//!   to `k`), representative of the Mondriaan/Zoltan/hMetis family.
+//!
+//! All baselines implement the common [`Partitioner`] trait so the benchmark harness can treat
+//! SHP and the baselines uniformly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod greedy;
+pub mod hashing;
+pub mod label_propagation;
+pub mod multilevel;
+pub mod random;
+
+pub use greedy::GreedyStreamPartitioner;
+pub use hashing::HashPartitioner;
+pub use label_propagation::LabelPropagationPartitioner;
+pub use multilevel::{MultilevelConfig, MultilevelPartitioner};
+pub use random::RandomPartitioner;
+
+use shp_hypergraph::{BipartiteGraph, Partition};
+
+/// A k-way hypergraph partitioner.
+pub trait Partitioner {
+    /// Human-readable name used in benchmark tables.
+    fn name(&self) -> &'static str;
+
+    /// Partitions the data vertices of `graph` into `k` buckets with allowed imbalance `epsilon`.
+    fn partition(&self, graph: &BipartiteGraph, k: u32, epsilon: f64) -> Partition;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shp_hypergraph::average_fanout;
+
+    /// Every baseline must produce a valid, reasonably balanced partition on a small graph.
+    #[test]
+    fn all_baselines_produce_valid_partitions() {
+        let graph = shp_datagen::planted_partition(&shp_datagen::PlantedConfig {
+            num_blocks: 4,
+            block_size: 64,
+            num_queries: 512,
+            query_degree: 4,
+            noise: 0.1,
+            seed: 1,
+        })
+        .0;
+        let baselines: Vec<Box<dyn Partitioner>> = vec![
+            Box::new(RandomPartitioner::new(1)),
+            Box::new(HashPartitioner),
+            Box::new(GreedyStreamPartitioner::new(1)),
+            Box::new(LabelPropagationPartitioner::new(10, 1)),
+            Box::new(MultilevelPartitioner::new(MultilevelConfig::default())),
+        ];
+        for b in &baselines {
+            let p = b.partition(&graph, 4, 0.05);
+            assert_eq!(p.num_buckets(), 4, "{}", b.name());
+            assert_eq!(p.num_data(), graph.num_data(), "{}", b.name());
+            assert!(p.imbalance() < 0.35, "{} imbalance {}", b.name(), p.imbalance());
+            let fanout = average_fanout(&graph, &p);
+            assert!(fanout >= 1.0 && fanout <= 4.0, "{} fanout {fanout}", b.name());
+        }
+    }
+}

@@ -1,0 +1,367 @@
+//! A single-machine multilevel partitioner (the Mondriaan/Zoltan/hMetis stand-in).
+//!
+//! The multilevel paradigm the paper describes for the existing tools: (1) *coarsen* the
+//! hypergraph by repeatedly merging heavily connected vertex pairs of its clique-net graph
+//! (heavy-edge matching), (2) compute an *initial* bisection of the small coarse graph with a
+//! balanced greedy growth, (3) *uncoarsen* while running Fiduccia–Mattheyses boundary
+//! refinement at every level, and (4) apply the whole pipeline recursively to reach `k`
+//! buckets. Being single-machine and requiring random access to the whole (clique-net) graph in
+//! memory, it exhibits exactly the scalability limits discussed in Section 2 — which the
+//! scalability benchmarks demonstrate against SHP.
+
+use crate::Partitioner;
+use rand::SeedableRng;
+use rand_pcg::Pcg64;
+use serde::{Deserialize, Serialize};
+use shp_hypergraph::{BipartiteGraph, BucketId, CliqueNetGraph, DataId, Partition};
+
+/// Configuration of the multilevel partitioner.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultilevelConfig {
+    /// Stop coarsening once the graph has at most this many vertices.
+    pub coarsen_until: usize,
+    /// Maximum number of coarsening levels.
+    pub max_levels: usize,
+    /// FM refinement passes per uncoarsening level.
+    pub refinement_passes: usize,
+    /// Hyperedges larger than this are ignored when building the clique-net graph (the standard
+    /// guard against the quadratic blow-up).
+    pub max_hyperedge_size: usize,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Default for MultilevelConfig {
+    fn default() -> Self {
+        MultilevelConfig {
+            coarsen_until: 64,
+            max_levels: 20,
+            refinement_passes: 3,
+            max_hyperedge_size: 500,
+            seed: 1,
+        }
+    }
+}
+
+/// The multilevel recursive-bisection partitioner.
+#[derive(Debug, Clone)]
+pub struct MultilevelPartitioner {
+    config: MultilevelConfig,
+}
+
+impl MultilevelPartitioner {
+    /// Creates a multilevel partitioner.
+    pub fn new(config: MultilevelConfig) -> Self {
+        MultilevelPartitioner { config }
+    }
+}
+
+impl Partitioner for MultilevelPartitioner {
+    fn name(&self) -> &'static str {
+        "Multilevel-FM"
+    }
+
+    fn partition(&self, graph: &BipartiteGraph, k: u32, epsilon: f64) -> Partition {
+        // Work on the weighted clique-net graph of the hypergraph (Lemma 2's object).
+        let clique = CliqueNetGraph::build(graph, self.config.max_hyperedge_size);
+        let n = graph.num_data();
+        let weights = vec![1u64; n];
+        let assignment = recursive_bisect(
+            &clique,
+            &weights,
+            &(0..n as DataId).collect::<Vec<_>>(),
+            k,
+            epsilon,
+            &self.config,
+            0,
+        );
+        Partition::from_assignment(graph, k, assignment).expect("valid by construction")
+    }
+}
+
+/// Recursively bisects the vertex subset `vertices` into `k` parts, returning a full assignment
+/// vector (entries outside `vertices` are untouched zeros at the top call because `vertices`
+/// covers everything).
+fn recursive_bisect(
+    clique: &CliqueNetGraph,
+    weights: &[u64],
+    vertices: &[DataId],
+    k: u32,
+    epsilon: f64,
+    config: &MultilevelConfig,
+    bucket_offset: u32,
+) -> Vec<BucketId> {
+    let n_total = weights.len();
+    let mut assignment = vec![0 as BucketId; n_total];
+    if k <= 1 || vertices.len() <= 1 {
+        for &v in vertices {
+            assignment[v as usize] = bucket_offset;
+        }
+        return assignment;
+    }
+    // Split k into two halves; the left side receives proportionally more vertices when k is
+    // odd.
+    let k_left = k.div_ceil(2);
+    let k_right = k - k_left;
+    let left_fraction = k_left as f64 / k as f64;
+
+    let side = bisect_subset(clique, weights, vertices, left_fraction, epsilon, config);
+
+    let left: Vec<DataId> = vertices.iter().copied().filter(|&v| side[v as usize] == 0).collect();
+    let right: Vec<DataId> = vertices.iter().copied().filter(|&v| side[v as usize] == 1).collect();
+
+    let left_assignment =
+        recursive_bisect(clique, weights, &left, k_left, epsilon, config, bucket_offset);
+    let right_assignment =
+        recursive_bisect(clique, weights, &right, k_right, epsilon, config, bucket_offset + k_left);
+    for &v in &left {
+        assignment[v as usize] = left_assignment[v as usize];
+    }
+    for &v in &right {
+        assignment[v as usize] = right_assignment[v as usize];
+    }
+    assignment
+}
+
+/// Bisects a vertex subset into sides 0/1 with the multilevel pipeline. Returns a side vector
+/// indexed by global vertex id (entries outside the subset are 0 but unused).
+fn bisect_subset(
+    clique: &CliqueNetGraph,
+    weights: &[u64],
+    vertices: &[DataId],
+    left_fraction: f64,
+    epsilon: f64,
+    config: &MultilevelConfig,
+) -> Vec<u8> {
+    let n_total = weights.len();
+    let mut side = vec![0u8; n_total];
+    if vertices.len() <= 1 {
+        return side;
+    }
+
+    // --- Coarsening: heavy-edge matching restricted to the subset. ---
+    // `cluster[v]` maps each subset vertex to its coarse cluster representative.
+    let in_subset: Vec<bool> = {
+        let mut m = vec![false; n_total];
+        for &v in vertices {
+            m[v as usize] = true;
+        }
+        m
+    };
+    let mut cluster: Vec<u32> = (0..n_total as u32).collect();
+    let mut active: Vec<DataId> = vertices.to_vec();
+    let mut rng = Pcg64::seed_from_u64(config.seed ^ vertices.len() as u64);
+    let mut levels = 0usize;
+    while active.len() > config.coarsen_until && levels < config.max_levels {
+        use rand::seq::SliceRandom;
+        let mut order = active.clone();
+        order.shuffle(&mut rng);
+        let mut matched: Vec<bool> = vec![false; n_total];
+        let mut merged_any = false;
+        for &v in &order {
+            if matched[v as usize] {
+                continue;
+            }
+            // Find the heaviest unmatched neighbor inside the subset (in terms of current
+            // clusters this is approximate but effective).
+            let mut best: Option<(DataId, u32)> = None;
+            for (u, w) in clique.neighbors(v) {
+                if in_subset[u as usize] && !matched[u as usize] && u != v {
+                    best = match best {
+                        Some((_, bw)) if bw >= w => best,
+                        _ => Some((u, w)),
+                    };
+                }
+            }
+            if let Some((u, _)) = best {
+                matched[v as usize] = true;
+                matched[u as usize] = true;
+                // Merge u into v's cluster.
+                let root = find_root(&cluster, v);
+                let other = find_root(&cluster, u);
+                cluster[other as usize] = root;
+                merged_any = true;
+            }
+        }
+        if !merged_any {
+            break;
+        }
+        // Recompute the active cluster representatives.
+        let mut seen = vec![false; n_total];
+        active = vertices
+            .iter()
+            .copied()
+            .filter_map(|v| {
+                let r = find_root(&cluster, v);
+                if seen[r as usize] {
+                    None
+                } else {
+                    seen[r as usize] = true;
+                    Some(r)
+                }
+            })
+            .collect();
+        levels += 1;
+    }
+
+    // --- Initial bisection on the coarse clusters: greedy growth by cluster weight. ---
+    let mut cluster_weight: Vec<u64> = vec![0; n_total];
+    for &v in vertices {
+        cluster_weight[find_root(&cluster, v) as usize] += weights[v as usize];
+    }
+    let total_weight: u64 = vertices.iter().map(|&v| weights[v as usize]).sum();
+    let target_left = (total_weight as f64 * left_fraction).round() as u64;
+    let mut coarse: Vec<DataId> = active.clone();
+    coarse.sort_unstable_by_key(|&c| std::cmp::Reverse(cluster_weight[c as usize]));
+    let mut left_weight = 0u64;
+    let mut side_of_cluster: Vec<u8> = vec![1; n_total];
+    for &c in &coarse {
+        if left_weight < target_left {
+            side_of_cluster[c as usize] = 0;
+            left_weight += cluster_weight[c as usize];
+        }
+    }
+    for &v in vertices {
+        side[v as usize] = side_of_cluster[find_root(&cluster, v) as usize];
+    }
+
+    // --- FM refinement on the original (uncoarsened) subset. ---
+    let capacity_left = ((total_weight as f64 * left_fraction) * (1.0 + epsilon)).floor() as u64;
+    let capacity_right =
+        ((total_weight as f64 * (1.0 - left_fraction)) * (1.0 + epsilon)).floor() as u64;
+    let mut side_weight = [0u64; 2];
+    for &v in vertices {
+        side_weight[side[v as usize] as usize] += weights[v as usize];
+    }
+    for _ in 0..config.refinement_passes {
+        let mut improved = false;
+        // One FM pass: repeatedly move the best-gain vertex that keeps balance, never moving a
+        // vertex twice per pass.
+        let mut locked = vec![false; n_total];
+        loop {
+            let mut best: Option<(DataId, i64)> = None;
+            for &v in vertices {
+                if locked[v as usize] {
+                    continue;
+                }
+                let from = side[v as usize];
+                let to = 1 - from;
+                let to_capacity = if to == 0 { capacity_left } else { capacity_right };
+                if side_weight[to as usize] + weights[v as usize] > to_capacity {
+                    continue;
+                }
+                // Gain = external weight − internal weight over the clique-net edges.
+                let mut gain = 0i64;
+                for (u, w) in clique.neighbors(v) {
+                    if !in_subset[u as usize] {
+                        continue;
+                    }
+                    if side[u as usize] == from {
+                        gain -= w as i64;
+                    } else {
+                        gain += w as i64;
+                    }
+                }
+                best = match best {
+                    Some((_, bg)) if bg >= gain => best,
+                    _ => Some((v, gain)),
+                };
+            }
+            match best {
+                Some((v, gain)) if gain > 0 => {
+                    let from = side[v as usize];
+                    let to = 1 - from;
+                    side[v as usize] = to;
+                    side_weight[from as usize] -= weights[v as usize];
+                    side_weight[to as usize] += weights[v as usize];
+                    locked[v as usize] = true;
+                    improved = true;
+                }
+                _ => break,
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    side
+}
+
+/// Path-compression-free root lookup (clusters are shallow because each level re-roots).
+fn find_root(cluster: &[u32], v: DataId) -> DataId {
+    let mut r = v;
+    let mut hops = 0;
+    while cluster[r as usize] != r && hops < 64 {
+        r = cluster[r as usize];
+        hops += 1;
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shp_datagen::{planted_partition, PlantedConfig};
+    use shp_hypergraph::average_fanout;
+
+    #[test]
+    fn multilevel_recovers_planted_partition_better_than_random() {
+        let (g, _) = planted_partition(&PlantedConfig {
+            num_blocks: 4,
+            block_size: 128,
+            num_queries: 2_000,
+            query_degree: 5,
+            noise: 0.05,
+            seed: 7,
+        });
+        let ml = MultilevelPartitioner::new(MultilevelConfig::default()).partition(&g, 4, 0.05);
+        let random = crate::RandomPartitioner::new(7).partition(&g, 4, 0.05);
+        let ml_fanout = average_fanout(&g, &ml);
+        let random_fanout = average_fanout(&g, &random);
+        assert!(
+            ml_fanout < random_fanout * 0.6,
+            "multilevel {ml_fanout} should beat random {random_fanout} clearly"
+        );
+        assert!(ml.imbalance() < 0.3, "imbalance {}", ml.imbalance());
+    }
+
+    #[test]
+    fn multilevel_handles_odd_k() {
+        let (g, _) = planted_partition(&PlantedConfig {
+            num_blocks: 3,
+            block_size: 64,
+            num_queries: 600,
+            query_degree: 4,
+            noise: 0.05,
+            seed: 2,
+        });
+        let p = MultilevelPartitioner::new(MultilevelConfig::default()).partition(&g, 3, 0.05);
+        assert_eq!(p.num_buckets(), 3);
+        assert!(p.bucket_weights().iter().all(|&w| w > 0));
+    }
+
+    #[test]
+    fn multilevel_is_deterministic() {
+        let (g, _) = planted_partition(&PlantedConfig {
+            num_blocks: 2,
+            block_size: 64,
+            num_queries: 400,
+            query_degree: 4,
+            noise: 0.1,
+            seed: 4,
+        });
+        let a = MultilevelPartitioner::new(MultilevelConfig::default()).partition(&g, 2, 0.05);
+        let b = MultilevelPartitioner::new(MultilevelConfig::default()).partition(&g, 2, 0.05);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bisection_of_two_vertices() {
+        let mut b = shp_hypergraph::GraphBuilder::new();
+        b.add_query([0u32, 1]);
+        let g = b.build().unwrap();
+        let p = MultilevelPartitioner::new(MultilevelConfig::default()).partition(&g, 2, 0.0);
+        assert_eq!(p.num_buckets(), 2);
+        assert_ne!(p.bucket_of(0), p.bucket_of(1));
+    }
+}

@@ -1,0 +1,50 @@
+//! Uniform random partitioning — the unoptimized baseline ("random sharding").
+
+use crate::Partitioner;
+use rand::SeedableRng;
+use rand_pcg::Pcg64;
+use shp_hypergraph::{BipartiteGraph, Partition};
+
+/// Assigns every data vertex to an independently uniform random bucket.
+#[derive(Debug, Clone)]
+pub struct RandomPartitioner {
+    seed: u64,
+}
+
+impl RandomPartitioner {
+    /// Creates a random partitioner with the given seed.
+    pub fn new(seed: u64) -> Self {
+        RandomPartitioner { seed }
+    }
+}
+
+impl Partitioner for RandomPartitioner {
+    fn name(&self) -> &'static str {
+        "Random"
+    }
+
+    fn partition(&self, graph: &BipartiteGraph, k: u32, _epsilon: f64) -> Partition {
+        let mut rng = Pcg64::seed_from_u64(self.seed);
+        Partition::new_random(graph, k, &mut rng).expect("k >= 1 required")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shp_hypergraph::GraphBuilder;
+
+    #[test]
+    fn random_partition_is_roughly_balanced_and_deterministic() {
+        let mut b = GraphBuilder::new();
+        for i in 0..999u32 {
+            b.add_query([i, i + 1]);
+        }
+        let g = b.build().unwrap();
+        let p1 = RandomPartitioner::new(7).partition(&g, 4, 0.05);
+        let p2 = RandomPartitioner::new(7).partition(&g, 4, 0.05);
+        assert_eq!(p1, p2);
+        assert!(p1.imbalance() < 0.2);
+        assert_eq!(RandomPartitioner::new(7).name(), "Random");
+    }
+}

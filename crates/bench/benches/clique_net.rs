@@ -1,0 +1,26 @@
+//! Micro-benchmark: clique-net graph construction (the object the multilevel baseline needs in
+//! memory, and the reason the clique-net model does not scale — Section 3.1's discussion).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use shp_datagen::{power_law_bipartite, PowerLawConfig};
+use shp_hypergraph::CliqueNetGraph;
+
+fn bench_clique_net(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clique_net_construction");
+    group.sample_size(10);
+    for queries in [2_000usize, 8_000] {
+        let graph = power_law_bipartite(&PowerLawConfig {
+            num_queries: queries,
+            num_data: queries,
+            max_degree: 60,
+            ..Default::default()
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(queries), &queries, |b, _| {
+            b.iter(|| CliqueNetGraph::build(&graph, 500))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_clique_net);
+criterion_main!(benches);

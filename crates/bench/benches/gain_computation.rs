@@ -1,0 +1,31 @@
+//! Micro-benchmark: move-gain computation for all data vertices (the core of superstep 3).
+//! Backs the O(k·|E|) computational-complexity claim of Section 3.3.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_pcg::Pcg64;
+use shp_core::{gains, NeighborData, Objective, TargetConstraint};
+use shp_datagen::{social_graph, SocialGraphConfig};
+use shp_hypergraph::Partition;
+
+fn bench_gain_computation(c: &mut Criterion) {
+    let graph = social_graph(&SocialGraphConfig { num_users: 5_000, avg_degree: 15, ..Default::default() });
+    let mut group = c.benchmark_group("gain_computation");
+    group.sample_size(10);
+    for k in [2u32, 8, 32] {
+        let mut rng = Pcg64::seed_from_u64(1);
+        let partition = Partition::new_random(&graph, k, &mut rng).unwrap();
+        let nd = NeighborData::build(&graph, &partition);
+        let objective = Objective::PFanout { p: 0.5 };
+        let constraint = TargetConstraint::all(k);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| {
+                gains::compute_proposals(&objective, &graph, &partition, &nd, &constraint, true)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gain_computation);
+criterion_main!(benches);

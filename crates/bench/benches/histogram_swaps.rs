@@ -1,0 +1,39 @@
+//! Micro-benchmark: building gain histograms and matching bins (the master-side work of the
+//! advanced swap scheme of Section 3.4), as a function of the number of proposals.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use shp_core::histogram::GainHistogramSet;
+use shp_core::MoveProposal;
+
+fn proposals(n: usize, k: u32) -> Vec<MoveProposal> {
+    (0..n)
+        .map(|i| {
+            let from = (i as u32) % k;
+            let to = (from + 1 + (i as u32 / k) % (k - 1)) % k;
+            MoveProposal {
+                vertex: i as u32,
+                from,
+                to,
+                gain: ((i % 37) as f64 - 10.0) / 7.0,
+            }
+        })
+        .collect()
+}
+
+fn bench_histogram_swaps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("histogram_swaps");
+    group.sample_size(10);
+    for n in [10_000usize, 100_000] {
+        let props = proposals(n, 16);
+        group.bench_with_input(BenchmarkId::new("build_and_match", n), &props, |b, props| {
+            b.iter(|| {
+                let set = GainHistogramSet::from_proposals(props);
+                set.match_bins()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_histogram_swaps);
+criterion_main!(benches);

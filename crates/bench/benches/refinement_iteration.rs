@@ -1,0 +1,52 @@
+//! Micro-benchmark: one full refinement iteration of Algorithm 1 (gains + swap coordination +
+//! move application), comparing the basic matrix and the advanced histogram swap strategies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_pcg::Pcg64;
+use shp_core::{
+    BalanceMode, NeighborData, Objective, Refiner, SwapStrategy, TargetConstraint,
+};
+use shp_datagen::{social_graph, SocialGraphConfig};
+use shp_hypergraph::Partition;
+
+fn bench_refinement(c: &mut Criterion) {
+    let graph = social_graph(&SocialGraphConfig { num_users: 5_000, avg_degree: 15, ..Default::default() });
+    let k = 8;
+    let mut group = c.benchmark_group("refinement_iteration");
+    group.sample_size(10);
+    for strategy in [SwapStrategy::Matrix, SwapStrategy::Histogram] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{strategy:?}")),
+            &strategy,
+            |b, &strategy| {
+                b.iter_batched(
+                    || {
+                        let mut rng = Pcg64::seed_from_u64(1);
+                        let partition = Partition::new_random(&graph, k, &mut rng).unwrap();
+                        let nd = NeighborData::build(&graph, &partition);
+                        (partition, nd)
+                    },
+                    |(mut partition, mut nd)| {
+                        let refiner = Refiner::new(
+                            &graph,
+                            Objective::PFanout { p: 0.5 },
+                            TargetConstraint::all(k),
+                            strategy,
+                            BalanceMode::Expectation,
+                            false,
+                            0.05,
+                            1,
+                        );
+                        refiner.run_iteration(&mut partition, &mut nd, 0)
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_refinement);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Micro-benchmark: distributed SHP iterations (four supersteps each) on the vertex-centric
+//! engine, across worker counts. Backs the Figure 5b worker-scaling experiment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use shp_core::{partition_distributed, ShpConfig};
+use shp_datagen::{social_graph, SocialGraphConfig};
+
+fn bench_distributed_iterations(c: &mut Criterion) {
+    let graph = social_graph(&SocialGraphConfig { num_users: 3_000, avg_degree: 12, ..Default::default() });
+    let mut group = c.benchmark_group("distributed_supersteps");
+    group.sample_size(10);
+    for workers in [1usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &workers| {
+            b.iter(|| {
+                let config = ShpConfig::direct(8).with_seed(1).with_max_iterations(3);
+                partition_distributed(&graph, &config, workers).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_distributed_iterations);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Figure 4: distribution of multi-get latency as a function of query fanout.
+//!
+//! * `--synthetic` (Figure 4a): trivial parallel requests at every fanout 1..40.
+//! * `--replay` (Figure 4b): a Facebook-like friendship graph sharded over 40 servers with SHP,
+//!   the live query workload replayed against the simulated cluster, latency bucketed by the
+//!   realized fanout of every query.
+//!
+//! Without arguments both experiments run.
+
+use shp_bench::{env_usize, TextTable};
+use shp_core::{partition_recursive, ShpConfig};
+use shp_datagen::{social_graph, SocialGraphConfig};
+use shp_hypergraph::Partition;
+use shp_sharding_sim::{LatencyModel, ShardedCluster};
+
+fn print_report(title: &str, report: &shp_sharding_sim::ReplayReport) {
+    println!("{title}");
+    println!("average fanout: {:.2}\n", report.average_fanout);
+    let mut table = TextTable::new(["fanout", "queries", "p50", "p90", "p95", "p99", "mean"]);
+    for (fanout, summary) in &report.by_fanout {
+        table.add_row([
+            fanout.to_string(),
+            summary.count.to_string(),
+            format!("{:.2}t", summary.p50),
+            format!("{:.2}t", summary.p90),
+            format!("{:.2}t", summary.p95),
+            format!("{:.2}t", summary.p99),
+            format!("{:.2}t", summary.mean),
+        ]);
+    }
+    println!("{}", table.render());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let run_synthetic = args.is_empty() || args.iter().any(|a| a == "--synthetic");
+    let run_replay = args.is_empty() || args.iter().any(|a| a == "--replay");
+    let servers = env_usize("SHP_BENCH_SERVERS", 40) as u32;
+    let users = env_usize("SHP_BENCH_USERS", 20_000);
+    let model = LatencyModel::default();
+
+    if run_synthetic {
+        // Figure 4a: latency of f parallel trivial requests, f = 1..40.
+        let dummy_graph = social_graph(&SocialGraphConfig { num_users: servers as usize, ..Default::default() });
+        let uniform = Partition::from_assignment(
+            &dummy_graph,
+            servers,
+            (0..servers).collect::<Vec<_>>(),
+        )
+        .expect("one record per server");
+        let cluster = ShardedCluster::from_partition(&uniform, model.clone());
+        let report = cluster.synthetic_fanout_sweep(servers.min(40), 20_000, 0x5047);
+        print_report("Figure 4a — synthetic queries (latency in units of t, the single-request mean)", &report);
+    }
+
+    if run_replay {
+        // Figure 4b: a social graph sharded with SHP over 40 servers, live workload replayed.
+        let graph = social_graph(&SocialGraphConfig {
+            num_users: users,
+            avg_degree: 20,
+            avg_community_size: 120,
+            cross_community_fraction: 0.08,
+            seed: 0x5047,
+        });
+        let config = ShpConfig::recursive_bisection(servers).with_seed(0x5047);
+        let shp = partition_recursive(&graph, &config).expect("valid config");
+        let cluster = ShardedCluster::from_partition(&shp.partition, model.clone());
+        let report = cluster.replay(&graph, 1, 0x5047);
+        print_report(
+            &format!(
+                "Figure 4b — real-world-style workload on {servers} servers sharded with SHP (average fanout {:.1})",
+                report.average_fanout
+            ),
+            &report,
+        );
+
+        // For contrast, the same workload under random sharding (the \"fanout 40\" end of the plot).
+        let random = shp_baselines::RandomPartitioner::new(1);
+        use shp_baselines::Partitioner;
+        let random_partition = random.partition(&graph, servers, 0.05);
+        let random_cluster = ShardedCluster::from_partition(&random_partition, model);
+        let random_report = random_cluster.replay(&graph, 1, 0x5047);
+        println!(
+            "Random sharding for comparison: average fanout {:.1}, mean latency {:.2}t (SHP mean {:.2}t) — {:.1}x reduction\n",
+            random_report.average_fanout,
+            random_report.overall.mean,
+            report.overall.mean,
+            random_report.overall.mean / report.overall.mean.max(1e-9),
+        );
+    }
+}

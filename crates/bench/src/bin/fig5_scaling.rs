@@ -1,0 +1,78 @@
+//! Figure 5: scalability of SHP-2 in the distributed setting.
+//!
+//! * `--edges` (Figure 5a): total time as a function of the number of edges |E| for bucket
+//!   counts k ∈ {2, 32, 512, 8192, 131072}, verifying the O(log k · |E|) complexity.
+//! * `--machines` (Figure 5b): run-time and total machine-time on the largest graph for
+//!   4 / 8 / 16 simulated workers.
+//!
+//! Without arguments both experiments run.
+
+use shp_bench::{env_usize, fmt_secs, TextTable};
+use shp_core::{partition_distributed, ShpConfig};
+use shp_datagen::{social_graph, SocialGraphConfig};
+use std::time::Instant;
+
+fn fb_like(num_users: usize) -> shp_hypergraph::BipartiteGraph {
+    social_graph(&SocialGraphConfig {
+        num_users,
+        avg_degree: 25,
+        avg_community_size: 150,
+        cross_community_fraction: 0.08,
+        seed: 0x5047,
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let run_edges = args.is_empty() || args.iter().any(|a| a == "--edges");
+    let run_machines = args.is_empty() || args.iter().any(|a| a == "--machines");
+    let base_users = env_usize("SHP_BENCH_USERS", 10_000);
+    let max_k = env_usize("SHP_BENCH_MAX_K", 512) as u32;
+
+    if run_edges {
+        println!("Figure 5a — SHP-2 total time vs |E| on 4 simulated workers\n");
+        let mut table = TextTable::new(["users", "|E|", "k", "run-time", "total time (4 workers)"]);
+        for multiplier in [1usize, 2, 4, 8] {
+            let graph = fb_like(base_users * multiplier);
+            for &k in &[2u32, 32, 512, 8192, 131_072] {
+                if k > max_k || k as usize > graph.num_data() {
+                    continue;
+                }
+                let config = ShpConfig::recursive_bisection(k).with_seed(0x5047);
+                let start = Instant::now();
+                let result = partition_distributed(&graph, &config, 4).expect("valid config");
+                let elapsed = start.elapsed();
+                table.add_row([
+                    graph.num_data().to_string(),
+                    graph.num_edges().to_string(),
+                    k.to_string(),
+                    fmt_secs(elapsed),
+                    fmt_secs(elapsed * 4),
+                ]);
+                let _ = result;
+            }
+        }
+        println!("{}", table.render());
+    }
+
+    if run_machines {
+        println!("Figure 5b — SHP-2 run-time and total time vs number of workers (largest graph, k = 32)\n");
+        let graph = fb_like(base_users * 8);
+        let mut table =
+            TextTable::new(["workers", "run-time", "total time", "remote messages", "remote fraction"]);
+        for workers in [4usize, 8, 16] {
+            let config = ShpConfig::recursive_bisection(32).with_seed(0x5047);
+            let start = Instant::now();
+            let result = partition_distributed(&graph, &config, workers).expect("valid config");
+            let elapsed = start.elapsed();
+            table.add_row([
+                workers.to_string(),
+                fmt_secs(elapsed),
+                fmt_secs(elapsed * workers as u32),
+                result.metrics.total_remote_messages().to_string(),
+                format!("{:.2}", result.metrics.remote_fraction()),
+            ]);
+        }
+        println!("{}", table.render());
+    }
+}

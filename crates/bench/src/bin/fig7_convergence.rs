@@ -1,0 +1,42 @@
+//! Figure 7: progress of fanout optimization with SHP-k for p = 0.5 and p = 1.0 on soc-LJ with
+//! k = 8 — average fanout per iteration (7a) and the percentage of moved vertices per
+//! iteration (7b).
+
+use shp_bench::{bench_scale, load_dataset, TextTable};
+use shp_core::{partition_direct, ObjectiveKind, ShpConfig};
+use shp_datagen::Dataset;
+
+fn main() {
+    let scale = bench_scale();
+    let graph = load_dataset(Dataset::SocLiveJournal, scale);
+    let k = 8;
+
+    println!("Figure 7 — SHP-k convergence on soc-LJ (scale {scale}, k = {k})\n");
+    let mut table =
+        TextTable::new(["p", "iteration", "fanout", "moved vertices (%)", "candidates"]);
+    for (label, objective) in [
+        ("0.5", ObjectiveKind::ProbabilisticFanout { p: 0.5 }),
+        ("1.0", ObjectiveKind::Fanout),
+    ] {
+        let config = ShpConfig::direct(k)
+            .with_objective(objective)
+            .with_seed(0x5047)
+            .with_max_iterations(50);
+        let result = partition_direct(&graph, &config).expect("valid config");
+        for stats in &result.report.history {
+            table.add_row([
+                label.to_string(),
+                stats.iteration.to_string(),
+                format!("{:.3}", stats.fanout_after),
+                format!("{:.2}", stats.moved_fraction * 100.0),
+                stats.candidates.to_string(),
+            ]);
+        }
+        println!(
+            "p = {label}: final fanout {:.3} after {} iterations\n",
+            result.report.final_fanout,
+            result.report.total_iterations()
+        );
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,58 @@
+//! Figure 8: the impact of the optimization objective on the final (non-probabilistic) fanout
+//! for SHP-2 across hypergraphs and k ∈ {2, 8, 32}.
+//!
+//! * 8a — percentage increase in fanout when optimizing direct fanout (p = 1.0) instead of
+//!   p-fanout with p = 0.5.
+//! * 8b — percentage increase when optimizing the clique-net objective (the p → 0 limit)
+//!   instead of p = 0.5.
+
+use shp_bench::{bench_scale, env_usize, load_dataset, TextTable};
+use shp_core::{partition_recursive, ObjectiveKind, ShpConfig};
+use shp_datagen::Dataset;
+
+fn main() {
+    let scale = bench_scale();
+    let max_k = env_usize("SHP_BENCH_MAX_K", 32) as u32;
+    let ks: Vec<u32> = [2u32, 8, 32].into_iter().filter(|&k| k <= max_k).collect();
+    let datasets = [
+        Dataset::EmailEnron,
+        Dataset::SocEpinions,
+        Dataset::WebBerkStan,
+        Dataset::WebStanford,
+        Dataset::SocPokec,
+        Dataset::SocLiveJournal,
+    ];
+
+    println!("Figure 8 — fanout increase over p = 0.5 for direct (p = 1.0) and clique-net (p → 0) objectives (scale {scale})\n");
+    let mut table = TextTable::new([
+        "hypergraph",
+        "k",
+        "fanout p=0.5",
+        "fanout p=1.0",
+        "8a: direct vs 0.5 (%)",
+        "fanout clique-net",
+        "8b: clique-net vs 0.5 (%)",
+    ]);
+    for &dataset in &datasets {
+        let graph = load_dataset(dataset, scale);
+        for &k in &ks {
+            let run = |objective: ObjectiveKind| {
+                let config = ShpConfig::recursive_bisection(k).with_objective(objective).with_seed(0x5047);
+                partition_recursive(&graph, &config).expect("valid config").report.final_fanout
+            };
+            let half = run(ObjectiveKind::ProbabilisticFanout { p: 0.5 });
+            let direct = run(ObjectiveKind::Fanout);
+            let clique = run(ObjectiveKind::CliqueNet);
+            table.add_row([
+                dataset.spec().name.to_string(),
+                k.to_string(),
+                format!("{half:.3}"),
+                format!("{direct:.3}"),
+                format!("{:+.1}", (direct - half) / half * 100.0),
+                format!("{clique:.3}"),
+                format!("{:+.1}", (clique - half) / half * 100.0),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,40 @@
+//! Table 1: properties of the hypergraphs used in the experiments.
+//!
+//! Prints, for every registered dataset, the published |Q| / |D| / |E| and the sizes of the
+//! synthetic stand-in generated at the benchmark scale.
+
+use shp_bench::{bench_scale, load_dataset, TextTable};
+use shp_datagen::Dataset;
+use shp_hypergraph::GraphStats;
+
+fn main() {
+    let scale = bench_scale();
+    println!("Table 1 — dataset properties (synthetic stand-ins at scale {scale})\n");
+    let mut table = TextTable::new([
+        "hypergraph",
+        "paper |Q|",
+        "paper |D|",
+        "paper |E|",
+        "ours |Q|",
+        "ours |D|",
+        "ours |E|",
+    ]);
+    for &dataset in Dataset::all() {
+        let spec = dataset.spec();
+        // The billion-edge graphs are only generated for the scalability runs; keep Table 1
+        // fast by capping their generation scale.
+        let effective_scale = if spec.paper_edges > 100_000_000 { scale * 0.05 } else { scale };
+        let graph = load_dataset(dataset, effective_scale.max(1e-4));
+        let stats = GraphStats::compute(&graph);
+        table.add_row([
+            spec.name.to_string(),
+            spec.paper_queries.to_string(),
+            spec.paper_data.to_string(),
+            spec.paper_edges.to_string(),
+            stats.num_queries.to_string(),
+            stats.num_data.to_string(),
+            stats.num_edges.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+}

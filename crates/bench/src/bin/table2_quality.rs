@@ -1,0 +1,45 @@
+//! Table 2 (and the relative-quality plot of Figure 2-left of the evaluation): fanout achieved
+//! by SHP-2, SHP-k and the baseline partitioners across datasets and bucket counts.
+//!
+//! For every dataset and k it prints the raw fanout per algorithm plus the percentage above the
+//! minimum fanout achieved by any algorithm (the paper's "(Fanout − Min Fanout) / Min Fanout").
+
+use shp_bench::{bench_scale, env_usize, fmt_secs, load_dataset, quality_algorithms, run_algorithm, TextTable};
+use shp_datagen::Dataset;
+
+fn main() {
+    let scale = bench_scale();
+    let epsilon = 0.05;
+    // The paper sweeps k ∈ {2, 8, 32, 128, 512}; SHP_BENCH_MAX_K trims the sweep for quick runs.
+    let max_k = env_usize("SHP_BENCH_MAX_K", 32) as u32;
+    let ks: Vec<u32> = [2u32, 8, 32, 128, 512].into_iter().filter(|&k| k <= max_k).collect();
+
+    println!("Table 2 — fanout by algorithm, dataset, and bucket count (scale {scale}, eps {epsilon})\n");
+    let mut table = TextTable::new(["hypergraph", "k", "algorithm", "fanout", "vs min (%)", "imbalance", "time"]);
+
+    for &dataset in Dataset::quality_benchmark_set() {
+        let graph = load_dataset(dataset, scale);
+        for &k in &ks {
+            let runs: Vec<_> = quality_algorithms()
+                .iter()
+                .map(|name| run_algorithm(name, &graph, k, epsilon, 0x5047))
+                .collect();
+            let min_fanout = runs.iter().map(|r| r.fanout).fold(f64::INFINITY, f64::min);
+            for run in runs {
+                let rel = (run.fanout - min_fanout) / min_fanout * 100.0;
+                table.add_row([
+                    dataset.spec().name.to_string(),
+                    k.to_string(),
+                    run.algorithm.clone(),
+                    format!("{:.3}", run.fanout),
+                    format!("{:+.1}", rel),
+                    format!("{:.3}", run.imbalance),
+                    fmt_secs(run.elapsed),
+                ]);
+            }
+        }
+        // Print incrementally so long runs show progress.
+        println!("{}", table.render());
+        table = TextTable::new(["hypergraph", "k", "algorithm", "fanout", "vs min (%)", "imbalance", "time"]);
+    }
+}

@@ -1,0 +1,154 @@
+//! `shp` — command-line interface for the Social Hash Partitioner.
+//!
+//! Subcommands:
+//!
+//! * `generate <dataset> <scale> <output.hgr>` — synthesize a Table-1 dataset stand-in and
+//!   write it in hMetis format.
+//! * `partition <input.hgr> <k> <output.part> [--mode shp2|shpk] [--p <p>] [--epsilon <eps>] [--seed <seed>]`
+//!   — partition a hypergraph file and write the bucket of every vertex.
+//! * `evaluate <input.hgr> <partition.part> <k>` — report fanout, p-fanout, hyperedge cut, and
+//!   imbalance of an existing partition.
+//!
+//! The hMetis format is the one exchanged by hMetis/PaToH/Mondriaan/Parkway/Zoltan, so
+//! partitions can be compared against other tools directly.
+
+use shp_core::{partition_direct, partition_recursive, ObjectiveKind, ShpConfig};
+use shp_datagen::Dataset;
+use shp_hypergraph::{
+    average_fanout, average_p_fanout, hyperedge_cut, io, GraphStats,
+};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("partition") => cmd_partition(&args[1..]),
+        Some("evaluate") => cmd_evaluate(&args[1..]),
+        _ => {
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  shp generate <dataset> <scale> <output.hgr>
+  shp partition <input.hgr> <k> <output.part> [--mode shp2|shpk] [--p <p>] [--epsilon <eps>] [--seed <seed>]
+  shp evaluate <input.hgr> <partition.part> <k>
+
+datasets: email-Enron soc-Epinions web-Stanford web-BerkStan soc-Pokec soc-LJ FB-10M FB-50M FB-2B FB-5B FB-10B";
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let [name, scale, output] = args else {
+        return Err(format!("generate needs 3 arguments\n{USAGE}"));
+    };
+    let dataset = Dataset::from_name(name).ok_or_else(|| format!("unknown dataset {name:?}"))?;
+    let scale: f64 = scale.parse().map_err(|_| format!("invalid scale {scale:?}"))?;
+    if !(scale > 0.0 && scale <= 1.0) {
+        return Err("scale must lie in (0, 1]".into());
+    }
+    let graph = dataset.generate(scale, 0x5047);
+    io::write_hmetis_file(&graph, output).map_err(|e| e.to_string())?;
+    println!("{}", GraphStats::compute(&graph).table1_row(dataset.spec().name));
+    println!("wrote {output}");
+    Ok(())
+}
+
+fn cmd_partition(args: &[String]) -> Result<(), String> {
+    if args.len() < 3 {
+        return Err(format!("partition needs at least 3 arguments\n{USAGE}"));
+    }
+    let input = &args[0];
+    let k: u32 = args[1].parse().map_err(|_| format!("invalid k {:?}", args[1]))?;
+    let output = &args[2];
+    let mut mode = "shp2".to_string();
+    let mut p = 0.5f64;
+    let mut epsilon = 0.05f64;
+    let mut seed = 0x5047u64;
+    let mut i = 3;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--mode" => {
+                mode = args.get(i + 1).cloned().ok_or("--mode needs a value")?;
+                i += 2;
+            }
+            "--p" => {
+                p = args.get(i + 1).and_then(|s| s.parse().ok()).ok_or("--p needs a number")?;
+                i += 2;
+            }
+            "--epsilon" => {
+                epsilon =
+                    args.get(i + 1).and_then(|s| s.parse().ok()).ok_or("--epsilon needs a number")?;
+                i += 2;
+            }
+            "--seed" => {
+                seed = args.get(i + 1).and_then(|s| s.parse().ok()).ok_or("--seed needs a number")?;
+                i += 2;
+            }
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+
+    let graph = io::read_hmetis_file(input).map_err(|e| e.to_string())?;
+    let objective = if p >= 1.0 {
+        ObjectiveKind::Fanout
+    } else if p <= 0.0 {
+        ObjectiveKind::CliqueNet
+    } else {
+        ObjectiveKind::ProbabilisticFanout { p }
+    };
+    let result = match mode.as_str() {
+        "shp2" => {
+            let config = ShpConfig::recursive_bisection(k)
+                .with_objective(objective)
+                .with_epsilon(epsilon)
+                .with_seed(seed);
+            partition_recursive(&graph, &config)?
+        }
+        "shpk" => {
+            let config = ShpConfig::direct(k)
+                .with_objective(objective)
+                .with_epsilon(epsilon)
+                .with_seed(seed);
+            partition_direct(&graph, &config)?
+        }
+        other => return Err(format!("unknown mode {other:?} (expected shp2 or shpk)")),
+    };
+    io::write_partition_file(&result.partition, output).map_err(|e| e.to_string())?;
+    println!(
+        "fanout {:.4}  p-fanout(0.5) {:.4}  imbalance {:.4}  iterations {}  time {:.2}s",
+        result.report.final_fanout,
+        result.report.final_p_fanout,
+        result.report.imbalance,
+        result.report.total_iterations(),
+        result.report.elapsed.as_secs_f64()
+    );
+    println!("wrote {output}");
+    Ok(())
+}
+
+fn cmd_evaluate(args: &[String]) -> Result<(), String> {
+    let [input, partition_path, k] = args else {
+        return Err(format!("evaluate needs 3 arguments\n{USAGE}"));
+    };
+    let k: u32 = k.parse().map_err(|_| format!("invalid k {k:?}"))?;
+    let graph = io::read_hmetis_file(input).map_err(|e| e.to_string())?;
+    let partition = io::read_partition_file(&graph, k, partition_path).map_err(|e| e.to_string())?;
+    println!("{}", GraphStats::compute(&graph));
+    println!(
+        "fanout {:.4}  p-fanout(0.5) {:.4}  hyperedge-cut {}  imbalance {:.4}",
+        average_fanout(&graph, &partition),
+        average_p_fanout(&graph, &partition, 0.5),
+        hyperedge_cut(&graph, &partition),
+        partition.imbalance()
+    );
+    Ok(())
+}

@@ -1,0 +1,272 @@
+//! Configuration of the Social Hash Partitioner.
+
+use serde::{Deserialize, Serialize};
+
+/// Which surrogate objective the local search optimizes (Section 3.1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ObjectiveKind {
+    /// Probabilistic fanout with the given probability `p ∈ (0, 1)`; the paper's default is
+    /// `p = 0.5`.
+    ProbabilisticFanout {
+        /// Fanout probability.
+        p: f64,
+    },
+    /// Direct (non-probabilistic) fanout — the `p → 1` limit (Lemma 1).
+    Fanout,
+    /// The clique-net objective — the `p → 0` limit, equivalent to weighted edge-cut on the
+    /// clique-net graph (Lemma 2).
+    CliqueNet,
+}
+
+impl ObjectiveKind {
+    /// The paper's recommended default, `p = 0.5`.
+    pub fn default_p_fanout() -> Self {
+        ObjectiveKind::ProbabilisticFanout { p: 0.5 }
+    }
+}
+
+/// How vertex swaps are coordinated between buckets each iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SwapStrategy {
+    /// The basic scheme of Algorithm 1: count proposals in the swap matrix `S` and move each
+    /// candidate with probability `min(S_ij, S_ji) / S_ij`.
+    Matrix,
+    /// The advanced scheme of Section 3.4: bucket candidates into exponentially sized gain
+    /// histograms, match bins from the highest gain downwards, and allow pairing positive with
+    /// non-positive bins while the summed gain stays positive.
+    Histogram,
+}
+
+/// How strictly balance is enforced when applying the selected moves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BalanceMode {
+    /// Apply every selected move; the move probabilities make the exchange balanced in
+    /// expectation (the paper's distributed behaviour).
+    Expectation,
+    /// Additionally cap each direction of a bucket pair at the number selected in the opposite
+    /// direction, so bucket sizes are exactly preserved (the idealized serial behaviour).
+    Strict,
+}
+
+/// Partitioning mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PartitionMode {
+    /// SHP-k: optimize all `k` buckets directly.
+    Direct,
+    /// SHP-r: recursive splitting with the given arity per level (`arity = 2` is the
+    /// open-sourced SHP-2 recursive bisection).
+    Recursive {
+        /// Number of child buckets each group is split into per recursion level.
+        arity: u32,
+    },
+}
+
+impl PartitionMode {
+    /// Recursive bisection (SHP-2).
+    pub fn recursive_bisection() -> Self {
+        PartitionMode::Recursive { arity: 2 }
+    }
+}
+
+/// Full configuration of a partitioning run.
+///
+/// The defaults follow Section 4.2.4 of the paper: `p = 0.5`, `ε = 0.05`, 60 refinement
+/// iterations for direct SHP-k and 20 iterations per bisection for SHP-2, histogram-based
+/// swaps, and the final-p-fanout approximation during recursive splits.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShpConfig {
+    /// Number of buckets `k`.
+    pub num_buckets: u32,
+    /// Allowed imbalance ratio `ε ≥ 0`.
+    pub epsilon: f64,
+    /// Optimization objective.
+    pub objective: ObjectiveKind,
+    /// Direct (SHP-k) or recursive (SHP-2 / SHP-r) mode.
+    pub mode: PartitionMode,
+    /// Maximum refinement iterations (per bisection level in recursive mode).
+    pub max_iterations: usize,
+    /// Convergence threshold: stop when the fraction of moved data vertices in an iteration
+    /// drops below this value.
+    pub convergence_threshold: f64,
+    /// Swap coordination strategy.
+    pub swap_strategy: SwapStrategy,
+    /// Balance enforcement when applying moves.
+    pub balance_mode: BalanceMode,
+    /// Allow moves that are not paired with an opposite move as long as the target bucket stays
+    /// within the `ε` capacity (the "imbalanced swaps" refinement of Section 3.4).
+    pub allow_imbalanced_moves: bool,
+    /// In recursive mode, scale the allowed imbalance with the recursion depth
+    /// (`ε · completed_splits / total_splits`, Section 3.4) instead of applying the full `ε`
+    /// from the first split.
+    pub scale_epsilon_by_level: bool,
+    /// In recursive mode, optimize the approximation of the *final* p-fanout
+    /// (`t · (1 − (1 − p/t)^r)`, Section 3.4) instead of the current-level p-fanout.
+    pub optimize_final_p_fanout: bool,
+    /// Seed for every random decision (initial partition and probabilistic moves).
+    pub seed: u64,
+}
+
+impl Default for ShpConfig {
+    fn default() -> Self {
+        ShpConfig {
+            num_buckets: 2,
+            epsilon: 0.05,
+            objective: ObjectiveKind::default_p_fanout(),
+            mode: PartitionMode::recursive_bisection(),
+            max_iterations: 20,
+            convergence_threshold: 0.001,
+            swap_strategy: SwapStrategy::Histogram,
+            balance_mode: BalanceMode::Expectation,
+            allow_imbalanced_moves: false,
+            scale_epsilon_by_level: true,
+            optimize_final_p_fanout: true,
+            seed: 0x5049_2017,
+        }
+    }
+}
+
+impl ShpConfig {
+    /// Configuration for SHP-2 recursive bisection into `k` buckets (the open-sourced variant).
+    pub fn recursive_bisection(k: u32) -> Self {
+        ShpConfig { num_buckets: k, mode: PartitionMode::recursive_bisection(), max_iterations: 20, ..Default::default() }
+    }
+
+    /// Configuration for SHP-k direct partitioning into `k` buckets.
+    pub fn direct(k: u32) -> Self {
+        ShpConfig { num_buckets: k, mode: PartitionMode::Direct, max_iterations: 60, ..Default::default() }
+    }
+
+    /// Sets the fanout probability `p` (switching the objective to probabilistic fanout).
+    pub fn with_p(mut self, p: f64) -> Self {
+        self.objective = ObjectiveKind::ProbabilisticFanout { p };
+        self
+    }
+
+    /// Sets the objective.
+    pub fn with_objective(mut self, objective: ObjectiveKind) -> Self {
+        self.objective = objective;
+        self
+    }
+
+    /// Sets the random seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the allowed imbalance ratio.
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Sets the iteration limit.
+    pub fn with_max_iterations(mut self, iters: usize) -> Self {
+        self.max_iterations = iters;
+        self
+    }
+
+    /// Sets the swap strategy.
+    pub fn with_swap_strategy(mut self, strategy: SwapStrategy) -> Self {
+        self.swap_strategy = strategy;
+        self
+    }
+
+    /// Sets the balance mode.
+    pub fn with_balance_mode(mut self, mode: BalanceMode) -> Self {
+        self.balance_mode = mode;
+        self
+    }
+
+    /// Validates the configuration, returning a human-readable error description on failure.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_buckets == 0 {
+            return Err("num_buckets must be at least 1".into());
+        }
+        if !(self.epsilon.is_finite() && self.epsilon >= 0.0) {
+            return Err(format!("epsilon must be finite and non-negative, got {}", self.epsilon));
+        }
+        if let ObjectiveKind::ProbabilisticFanout { p } = self.objective {
+            if !(p > 0.0 && p < 1.0) {
+                return Err(format!("fanout probability must lie strictly between 0 and 1, got {p}"));
+            }
+        }
+        if let PartitionMode::Recursive { arity } = self.mode {
+            if arity < 2 {
+                return Err(format!("recursive arity must be at least 2, got {arity}"));
+            }
+        }
+        if self.max_iterations == 0 {
+            return Err("max_iterations must be at least 1".into());
+        }
+        if !(0.0..=1.0).contains(&self.convergence_threshold) {
+            return Err(format!(
+                "convergence_threshold must lie in [0, 1], got {}",
+                self.convergence_threshold
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_recommendations() {
+        let c = ShpConfig::default();
+        assert_eq!(c.objective, ObjectiveKind::ProbabilisticFanout { p: 0.5 });
+        assert!((c.epsilon - 0.05).abs() < 1e-12);
+        assert_eq!(c.mode, PartitionMode::Recursive { arity: 2 });
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn preset_constructors() {
+        let shp2 = ShpConfig::recursive_bisection(128);
+        assert_eq!(shp2.num_buckets, 128);
+        assert_eq!(shp2.mode, PartitionMode::Recursive { arity: 2 });
+        assert_eq!(shp2.max_iterations, 20);
+
+        let shpk = ShpConfig::direct(32);
+        assert_eq!(shpk.mode, PartitionMode::Direct);
+        assert_eq!(shpk.max_iterations, 60);
+    }
+
+    #[test]
+    fn builder_style_setters() {
+        let c = ShpConfig::direct(8)
+            .with_p(0.25)
+            .with_seed(7)
+            .with_epsilon(0.1)
+            .with_max_iterations(5)
+            .with_swap_strategy(SwapStrategy::Matrix)
+            .with_balance_mode(BalanceMode::Strict);
+        assert_eq!(c.objective, ObjectiveKind::ProbabilisticFanout { p: 0.25 });
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.max_iterations, 5);
+        assert_eq!(c.swap_strategy, SwapStrategy::Matrix);
+        assert_eq!(c.balance_mode, BalanceMode::Strict);
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        assert!(ShpConfig { num_buckets: 0, ..Default::default() }.validate().is_err());
+        assert!(ShpConfig::default().with_epsilon(-0.1).validate().is_err());
+        assert!(ShpConfig::default().with_epsilon(f64::NAN).validate().is_err());
+        assert!(ShpConfig::default().with_p(0.0).validate().is_err());
+        assert!(ShpConfig::default().with_p(1.0).validate().is_err());
+        assert!(ShpConfig { max_iterations: 0, ..Default::default() }.validate().is_err());
+        assert!(ShpConfig { mode: PartitionMode::Recursive { arity: 1 }, ..Default::default() }
+            .validate()
+            .is_err());
+        assert!(ShpConfig { convergence_threshold: 1.5, ..Default::default() }.validate().is_err());
+    }
+
+    #[test]
+    fn fanout_and_clique_net_objectives_validate() {
+        assert!(ShpConfig::default().with_objective(ObjectiveKind::Fanout).validate().is_ok());
+        assert!(ShpConfig::default().with_objective(ObjectiveKind::CliqueNet).validate().is_ok());
+    }
+}

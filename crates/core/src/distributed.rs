@@ -1,0 +1,662 @@
+//! The distributed execution path: SHP as a vertex-centric program (Figure 3 of the paper).
+//!
+//! Every iteration of Algorithm 1 is expressed as four supersteps on the BSP engine of
+//! `shp-vertex-centric`:
+//!
+//! 1. **Collect buckets** — every data vertex sends its current bucket to its adjacent query
+//!    vertices.
+//! 2. **Neighbor data** — every query vertex aggregates the received buckets into its neighbor
+//!    data `n_i(q)` and sends the non-zero entries back to its adjacent data vertices.
+//! 3. **Move gains** — every data vertex computes its move gains from the received neighbor
+//!    data, picks a target bucket, and contributes its proposal to the master's gain
+//!    histograms (the aggregate).
+//! 4. **Apply moves** — the master has turned the aggregated histograms into move
+//!    probabilities (the global value); every data vertex flips its deterministic coin and
+//!    moves accordingly.
+//!
+//! The result is numerically equivalent to the in-process path for the same seed and swap
+//! strategy; what the distributed path adds is per-superstep communication accounting and the
+//! ability to scale the number of simulated workers (Figures 5a/5b, Table 3).
+
+use crate::config::{PartitionMode, ShpConfig, SwapStrategy};
+use crate::gains::{MoveProposal, TargetConstraint};
+use crate::histogram::{GainHistogramSet, NUM_BINS};
+use crate::objective::Objective;
+use crate::refinement::unit_hash;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_pcg::Pcg64;
+use serde::{Deserialize, Serialize};
+use shp_hypergraph::{average_fanout, average_p_fanout, BipartiteGraph, BucketId, Partition};
+use shp_vertex_centric::{
+    Context, Engine, EngineConfig, ExecutionMetrics, MasterOutcome, TopologyBuilder, VertexProgram,
+};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Per-iteration statistics reported by the distributed master.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DistributedIterationStats {
+    /// Iteration index within the current engine run.
+    pub iteration: usize,
+    /// Number of data vertices moved.
+    pub moved: u64,
+    /// Average query fanout observed at the start of the iteration.
+    pub fanout: f64,
+}
+
+/// Result of a distributed partitioning run.
+#[derive(Debug, Clone)]
+pub struct DistributedRunResult {
+    /// The final bucket assignment.
+    pub partition: Partition,
+    /// Per-iteration statistics (concatenated over recursion levels in recursive mode).
+    pub history: Vec<DistributedIterationStats>,
+    /// Engine communication metrics (concatenated over recursion levels).
+    pub metrics: ExecutionMetrics,
+    /// Average fanout of the final partition.
+    pub final_fanout: f64,
+    /// Average p-fanout (p = 0.5) of the final partition.
+    pub final_p_fanout: f64,
+    /// Total wall-clock time.
+    pub elapsed: std::time::Duration,
+}
+
+/// Vertex value: data vertices carry their bucket and pending proposal, query vertices are
+/// stateless (their neighbor data is recomputed every iteration from fresh messages).
+#[derive(Debug, Clone)]
+enum ShpValue {
+    Data { bucket: BucketId, proposal: Option<(BucketId, f64)> },
+    Query,
+}
+
+/// Messages exchanged along bipartite edges.
+#[derive(Debug, Clone)]
+enum ShpMessage {
+    /// Data → query: the sender's current bucket.
+    Bucket(BucketId),
+    /// Query → data: the query's non-zero neighbor data.
+    NeighborData(Vec<(BucketId, u32)>),
+}
+
+/// Per-superstep aggregate collected by the master.
+#[derive(Debug, Clone, Default)]
+struct ShpAggregate {
+    histograms: GainHistogramSet,
+    moved: u64,
+    fanout_sum: u64,
+}
+
+/// Global value broadcast by the master.
+#[derive(Debug, Clone, Default)]
+struct ShpGlobal {
+    iteration: usize,
+    probabilities: Option<HashMap<(BucketId, BucketId), [f64; NUM_BINS]>>,
+    matrix_probabilities: Option<HashMap<(BucketId, BucketId), f64>>,
+    pending_fanout: f64,
+    history: Vec<DistributedIterationStats>,
+}
+
+/// The SHP vertex program.
+struct ShpProgram {
+    num_data: usize,
+    num_queries: usize,
+    objective: Objective,
+    constraint: TargetConstraint,
+    swap_strategy: SwapStrategy,
+    max_iterations: usize,
+    convergence_threshold: f64,
+    seed: u64,
+}
+
+impl ShpProgram {
+    fn allowed_targets(&self, from: BucketId) -> Option<&[BucketId]> {
+        match &self.constraint {
+            TargetConstraint::All { .. } => None,
+            TargetConstraint::Siblings { allowed } => allowed.get(from as usize).map(|v| v.as_slice()),
+        }
+    }
+}
+
+impl VertexProgram for ShpProgram {
+    type Value = ShpValue;
+    type Message = ShpMessage;
+    type Aggregate = ShpAggregate;
+    type Global = ShpGlobal;
+
+    fn compute(
+        &self,
+        ctx: &mut Context<'_, Self>,
+        vertex: u32,
+        value: &mut ShpValue,
+        messages: &[ShpMessage],
+    ) {
+        let phase = ctx.superstep() % 4;
+        match value {
+            ShpValue::Data { bucket, proposal } => match phase {
+                0 => {
+                    // Superstep 1: send the current bucket to all adjacent queries.
+                    ctx.send_to_neighbors(ShpMessage::Bucket(*bucket));
+                }
+                2 => {
+                    // Superstep 3: compute move gains from the received neighbor data.
+                    *proposal = compute_distributed_proposal(self, *bucket, messages);
+                    if let Some((to, gain)) = *proposal {
+                        ctx.aggregate(ShpAggregate {
+                            histograms: {
+                                let mut set = GainHistogramSet::default();
+                                set.record(&MoveProposal { vertex, from: *bucket, to, gain });
+                                set
+                            },
+                            moved: 0,
+                            fanout_sum: 0,
+                        });
+                    }
+                }
+                3 => {
+                    // Superstep 4: apply the move with the master-provided probability.
+                    if let Some((to, gain)) = proposal.take() {
+                        let prob = lookup_probability(ctx.global(), *bucket, to, gain);
+                        let iteration = ctx.global().iteration as u64;
+                        if prob > 0.0 && unit_hash(self.seed, iteration, vertex as u64) < prob {
+                            *bucket = to;
+                            ctx.aggregate(ShpAggregate { moved: 1, ..Default::default() });
+                        }
+                    }
+                }
+                _ => {}
+            },
+            ShpValue::Query => {
+                if phase == 1 {
+                    // Superstep 2: aggregate buckets into neighbor data, report fanout, and send
+                    // the non-zero entries back to the adjacent data vertices.
+                    let mut counts: Vec<(BucketId, u32)> = Vec::new();
+                    for m in messages {
+                        if let ShpMessage::Bucket(b) = m {
+                            match counts.binary_search_by_key(b, |&(bb, _)| bb) {
+                                Ok(idx) => counts[idx].1 += 1,
+                                Err(idx) => counts.insert(idx, (*b, 1)),
+                            }
+                        }
+                    }
+                    if !counts.is_empty() {
+                        ctx.aggregate(ShpAggregate {
+                            fanout_sum: counts.len() as u64,
+                            ..Default::default()
+                        });
+                        ctx.send_to_neighbors(ShpMessage::NeighborData(counts));
+                    }
+                }
+            }
+        }
+    }
+
+    fn merge_aggregates(&self, mut a: ShpAggregate, b: ShpAggregate) -> ShpAggregate {
+        a.histograms.merge(&b.histograms);
+        a.moved += b.moved;
+        a.fanout_sum += b.fanout_sum;
+        a
+    }
+
+    fn master_compute(
+        &self,
+        superstep: usize,
+        aggregate: ShpAggregate,
+        previous: &ShpGlobal,
+    ) -> MasterOutcome<ShpGlobal> {
+        let mut global = previous.clone();
+        match superstep % 4 {
+            1 => {
+                // End of the neighbor-data superstep: remember the fanout observed this
+                // iteration.
+                global.pending_fanout = if self.num_queries == 0 {
+                    0.0
+                } else {
+                    aggregate.fanout_sum as f64 / self.num_queries as f64
+                };
+                MasterOutcome::Continue(global)
+            }
+            2 => {
+                // End of the gain superstep: turn the aggregated histograms into move
+                // probabilities.
+                match self.swap_strategy {
+                    SwapStrategy::Histogram => {
+                        global.probabilities = Some(aggregate.histograms.match_bins());
+                        global.matrix_probabilities = None;
+                    }
+                    SwapStrategy::Matrix => {
+                        global.matrix_probabilities =
+                            Some(matrix_probabilities(&aggregate.histograms));
+                        global.probabilities = None;
+                    }
+                }
+                MasterOutcome::Continue(global)
+            }
+            3 => {
+                // End of the move superstep: record history and decide whether to continue.
+                let moved = aggregate.moved;
+                global.history.push(DistributedIterationStats {
+                    iteration: global.iteration,
+                    moved,
+                    fanout: global.pending_fanout,
+                });
+                global.iteration += 1;
+                global.probabilities = None;
+                global.matrix_probabilities = None;
+                let moved_fraction = moved as f64 / self.num_data.max(1) as f64;
+                if global.iteration >= self.max_iterations
+                    || moved_fraction < self.convergence_threshold
+                {
+                    // Halting here would discard the global carrying the final history entry
+                    // (MasterOutcome::Halt keeps the *previous* global), so broadcast it with
+                    // the iteration counter saturated and halt at the start of the next
+                    // superstep instead.
+                    global.iteration = self.max_iterations;
+                }
+                MasterOutcome::Continue(global)
+            }
+            _ => {
+                // End of the bucket-collection superstep: halt cleanly if the previous
+                // iteration decided to stop.
+                if global.iteration >= self.max_iterations {
+                    MasterOutcome::Halt
+                } else {
+                    MasterOutcome::Continue(global)
+                }
+            }
+        }
+    }
+
+    fn message_size(&self, message: &ShpMessage) -> usize {
+        match message {
+            ShpMessage::Bucket(_) => 4,
+            ShpMessage::NeighborData(counts) => 8 * counts.len(),
+        }
+    }
+}
+
+/// Computes the best proposal of a data vertex from the neighbor data it received.
+fn compute_distributed_proposal(
+    program: &ShpProgram,
+    from: BucketId,
+    messages: &[ShpMessage],
+) -> Option<(BucketId, f64)> {
+    // Gain of moving to a bucket none of the adjacent queries touch, plus per-candidate deltas.
+    let mut base_gain = 0.0;
+    let mut deltas: HashMap<BucketId, f64> = HashMap::new();
+    let allowed = program.allowed_targets(from);
+    for message in messages {
+        let counts = match message {
+            ShpMessage::NeighborData(counts) => counts,
+            ShpMessage::Bucket(_) => continue,
+        };
+        let n_src = counts
+            .iter()
+            .find(|&&(b, _)| b == from)
+            .map(|&(_, c)| c)
+            .unwrap_or(1);
+        base_gain += program.objective.per_query_gain(n_src, 0);
+        match allowed {
+            None => {
+                for &(b, c) in counts {
+                    if b == from {
+                        continue;
+                    }
+                    let adjustment = program.objective.per_query_gain(n_src, c)
+                        - program.objective.per_query_gain(n_src, 0);
+                    *deltas.entry(b).or_insert(0.0) += adjustment;
+                }
+            }
+            Some(targets) => {
+                for &b in targets {
+                    if b == from {
+                        continue;
+                    }
+                    let n_dst = counts.iter().find(|&&(bb, _)| bb == b).map(|&(_, c)| c).unwrap_or(0);
+                    let adjustment = program.objective.per_query_gain(n_src, n_dst)
+                        - program.objective.per_query_gain(n_src, 0);
+                    *deltas.entry(b).or_insert(0.0) += adjustment;
+                }
+            }
+        }
+    }
+    if let Some(targets) = allowed {
+        // Ensure every allowed sibling is a candidate even when untouched by any query.
+        for &b in targets {
+            if b != from {
+                deltas.entry(b).or_insert(0.0);
+            }
+        }
+    }
+    let mut candidates: Vec<(BucketId, f64)> = deltas.into_iter().collect();
+    candidates.sort_unstable_by_key(|&(b, _)| b);
+    let mut best: Option<(BucketId, f64)> = None;
+    for (b, delta) in candidates {
+        let gain = base_gain + delta;
+        best = match best {
+            Some((bb, bg)) if bg > gain || (bg == gain && bb <= b) => Some((bb, bg)),
+            _ => Some((b, gain)),
+        };
+    }
+    best
+}
+
+/// Looks up the move probability for a proposal in the broadcast global value.
+fn lookup_probability(global: &ShpGlobal, from: BucketId, to: BucketId, gain: f64) -> f64 {
+    if let Some(table) = &global.probabilities {
+        return table
+            .get(&(from, to))
+            .map(|bins| bins[crate::histogram::bin_index(gain)])
+            .unwrap_or(0.0);
+    }
+    if let Some(table) = &global.matrix_probabilities {
+        if gain > 0.0 {
+            return table.get(&(from, to)).copied().unwrap_or(0.0);
+        }
+    }
+    0.0
+}
+
+/// Derives the basic swap-matrix probabilities `min(S_ij, S_ji)/S_ij` from gain histograms by
+/// counting the positive-gain candidates of every ordered pair.
+fn matrix_probabilities(set: &GainHistogramSet) -> HashMap<(BucketId, BucketId), f64> {
+    let positive_count = |from: BucketId, to: BucketId| -> u64 {
+        set.get(from, to)
+            .map(|h| {
+                (0..NUM_BINS)
+                    .filter(|&b| crate::histogram::bin_representative(b) > 0.0)
+                    .map(|b| h.count(b))
+                    .sum()
+            })
+            .unwrap_or(0)
+    };
+    // The match_bins result contains exactly the ordered pairs recorded (both directions).
+    let mut seen: Vec<(BucketId, BucketId)> = set.match_bins().keys().copied().collect();
+    seen.sort_unstable();
+    seen.dedup();
+    let mut probs = HashMap::new();
+    for (i, j) in seen {
+        let s_ij = positive_count(i, j);
+        if s_ij == 0 {
+            continue;
+        }
+        let s_ji = positive_count(j, i);
+        probs.insert((i, j), s_ij.min(s_ji) as f64 / s_ij as f64);
+    }
+    probs
+}
+
+/// Runs the distributed SHP on `num_workers` simulated workers.
+///
+/// Direct mode runs one engine job; recursive mode runs one engine job per recursion level with
+/// the appropriate sibling constraints, exactly as the Giraph implementation schedules one job
+/// per split level.
+///
+/// # Errors
+/// Returns a descriptive error string when the configuration is invalid.
+pub fn partition_distributed(
+    graph: &BipartiteGraph,
+    config: &ShpConfig,
+    num_workers: usize,
+) -> Result<DistributedRunResult, String> {
+    config.validate()?;
+    let start = Instant::now();
+    let mut rng = Pcg64::seed_from_u64(config.seed);
+    let mut metrics = ExecutionMetrics::new(num_workers);
+    let mut history = Vec::new();
+
+    let partition = match config.mode {
+        PartitionMode::Direct => {
+            let initial: Vec<BucketId> =
+                (0..graph.num_data()).map(|_| rng.gen_range(0..config.num_buckets)).collect();
+            let objective = Objective::from_kind(config.objective);
+            let constraint = TargetConstraint::all(config.num_buckets);
+            let final_assignment = run_level(
+                graph,
+                config,
+                &initial,
+                objective,
+                constraint,
+                config.max_iterations,
+                num_workers,
+                config.seed,
+                &mut metrics,
+                &mut history,
+            );
+            Partition::from_assignment(graph, config.num_buckets, final_assignment)
+                .map_err(|e| e.to_string())?
+        }
+        PartitionMode::Recursive { arity } => {
+            let mut assignment: Vec<BucketId> = vec![0; graph.num_data()];
+            let mut targets: Vec<u32> = vec![config.num_buckets];
+            let mut level = 0usize;
+            while targets.iter().any(|&t| t > 1) {
+                // Split every group into up to `arity` children.
+                let mut children_of: Vec<Vec<BucketId>> = Vec::with_capacity(targets.len());
+                let mut child_targets: Vec<u32> = Vec::new();
+                for &t in &targets {
+                    let num_children = t.min(arity).max(1);
+                    let mut ids = Vec::new();
+                    for c in 0..num_children {
+                        ids.push(child_targets.len() as BucketId);
+                        let base = t / num_children;
+                        let extra = t % num_children;
+                        child_targets.push(if c < extra { base + 1 } else { base });
+                    }
+                    children_of.push(ids);
+                }
+                let seed = config.seed.wrapping_add((level as u64).wrapping_mul(0x9E37_79B9));
+                // Random initial assignment among the children, weighted by child targets.
+                for (v, slot) in assignment.iter_mut().enumerate() {
+                    let children = &children_of[*slot as usize];
+                    *slot = if children.len() == 1 {
+                        children[0]
+                    } else {
+                        let total: u32 = children.iter().map(|&c| child_targets[c as usize]).sum();
+                        let r = unit_hash(seed, 0x5EED, v as u64) * total as f64;
+                        let mut acc = 0.0;
+                        let mut chosen = children[children.len() - 1];
+                        for &c in children {
+                            acc += child_targets[c as usize] as f64;
+                            if r < acc {
+                                chosen = c;
+                                break;
+                            }
+                        }
+                        chosen
+                    };
+                }
+                let sibling_groups: Vec<Vec<BucketId>> =
+                    children_of.iter().filter(|c| c.len() > 1).cloned().collect();
+                let constraint = TargetConstraint::sibling_groups(&sibling_groups);
+                let mut objective = Objective::from_kind(config.objective);
+                if config.optimize_final_p_fanout {
+                    objective = objective.for_final_splits(child_targets.iter().copied().max().unwrap_or(1));
+                }
+                assignment = run_level(
+                    graph,
+                    config,
+                    &assignment,
+                    objective,
+                    constraint,
+                    config.max_iterations,
+                    num_workers,
+                    seed,
+                    &mut metrics,
+                    &mut history,
+                );
+                targets = child_targets;
+                level += 1;
+            }
+            Partition::from_assignment(graph, config.num_buckets, assignment)
+                .map_err(|e| e.to_string())?
+        }
+    };
+
+    Ok(DistributedRunResult {
+        final_fanout: average_fanout(graph, &partition),
+        final_p_fanout: average_p_fanout(graph, &partition, 0.5),
+        partition,
+        history,
+        metrics,
+        elapsed: start.elapsed(),
+    })
+}
+
+/// Runs one engine job (one recursion level or the whole direct optimization), returning the
+/// final bucket assignment.
+#[allow(clippy::too_many_arguments)]
+fn run_level(
+    graph: &BipartiteGraph,
+    config: &ShpConfig,
+    initial_assignment: &[BucketId],
+    objective: Objective,
+    constraint: TargetConstraint,
+    max_iterations: usize,
+    num_workers: usize,
+    seed: u64,
+    metrics: &mut ExecutionMetrics,
+    history: &mut Vec<DistributedIterationStats>,
+) -> Vec<BucketId> {
+    let num_data = graph.num_data();
+    let num_queries = graph.num_queries();
+    // Vertex universe: data vertices first, then query vertices.
+    let mut topo = TopologyBuilder::new(num_data + num_queries);
+    for (q, v) in graph.edges() {
+        topo.add_undirected_edge(num_data as u32 + q, v);
+    }
+    let mut values: Vec<ShpValue> = Vec::with_capacity(num_data + num_queries);
+    for &b in initial_assignment {
+        values.push(ShpValue::Data { bucket: b, proposal: None });
+    }
+    for _ in 0..num_queries {
+        values.push(ShpValue::Query);
+    }
+    let program = ShpProgram {
+        num_data,
+        num_queries,
+        objective,
+        constraint,
+        swap_strategy: config.swap_strategy,
+        max_iterations,
+        convergence_threshold: config.convergence_threshold,
+        seed,
+    };
+    let engine_config = EngineConfig::new(num_workers, max_iterations * 4 + 4);
+    let mut engine = Engine::new(program, topo.build(), values, engine_config);
+    engine.run();
+
+    let base = history.len();
+    for stat in &engine.global().history {
+        history.push(DistributedIterationStats {
+            iteration: base + stat.iteration,
+            moved: stat.moved,
+            fanout: stat.fanout,
+        });
+    }
+    metrics.absorb(engine.metrics());
+
+    engine
+        .values()
+        .into_iter()
+        .take(num_data)
+        .map(|v| match v {
+            ShpValue::Data { bucket, .. } => bucket,
+            ShpValue::Query => unreachable!("data vertices occupy the first num_data slots"),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shp_hypergraph::GraphBuilder;
+
+    fn community_graph(groups: u32, size: u32) -> BipartiteGraph {
+        let mut b = GraphBuilder::new();
+        for g in 0..groups {
+            let members: Vec<u32> = (0..size).map(|i| g * size + i).collect();
+            for _ in 0..size {
+                b.add_query(members.clone());
+            }
+        }
+        for g in 0..groups.saturating_sub(1) {
+            b.add_query([g * size, (g + 1) * size]);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn distributed_direct_reduces_fanout() {
+        let graph = community_graph(4, 8);
+        let config = ShpConfig::direct(4).with_seed(3).with_max_iterations(20);
+        let result = partition_distributed(&graph, &config, 4).unwrap();
+        assert_eq!(result.partition.num_buckets(), 4);
+        let first = result.history.first().unwrap().fanout;
+        assert!(
+            result.final_fanout < first,
+            "fanout should improve: initial {first}, final {}",
+            result.final_fanout
+        );
+        assert!(result.metrics.total_messages() > 0);
+        assert!(!result.history.is_empty());
+    }
+
+    #[test]
+    fn distributed_recursive_reaches_k_buckets() {
+        let graph = community_graph(8, 6);
+        let config = ShpConfig::recursive_bisection(8).with_seed(5).with_max_iterations(10);
+        let result = partition_distributed(&graph, &config, 4).unwrap();
+        assert_eq!(result.partition.num_buckets(), 8);
+        assert!(result.partition.bucket_weights().iter().all(|&w| w > 0));
+        assert!(result.final_fanout < 4.0);
+    }
+
+    #[test]
+    fn distributed_results_do_not_depend_on_worker_count() {
+        let graph = community_graph(4, 6);
+        let config = ShpConfig::direct(4).with_seed(9).with_max_iterations(8);
+        let one = partition_distributed(&graph, &config, 1).unwrap();
+        let four = partition_distributed(&graph, &config, 4).unwrap();
+        let eight = partition_distributed(&graph, &config, 8).unwrap();
+        assert_eq!(one.partition.assignment(), four.partition.assignment());
+        assert_eq!(four.partition.assignment(), eight.partition.assignment());
+    }
+
+    #[test]
+    fn communication_volume_is_bounded_by_fanout_times_edges() {
+        // Section 3.3: the heavy superstep sends at most fanout·|E| neighbor-data entries; in
+        // bytes this is 8·fanout·|E| with our 8-byte entries, plus |E| bucket messages of
+        // 4 bytes. Check the recorded totals stay within this bound per iteration.
+        let graph = community_graph(4, 8);
+        let config = ShpConfig::direct(4).with_seed(1).with_max_iterations(5);
+        let result = partition_distributed(&graph, &config, 4).unwrap();
+        let iterations = result.history.len() as u64;
+        let k = 4u64;
+        let bound_per_iter = 4 * graph.num_edges() as u64 + 8 * k * graph.num_edges() as u64;
+        assert!(
+            result.metrics.total_bytes() <= bound_per_iter * iterations,
+            "bytes {} exceed bound {}",
+            result.metrics.total_bytes(),
+            bound_per_iter * iterations
+        );
+    }
+
+    #[test]
+    fn matrix_swap_strategy_also_works_distributed() {
+        let graph = community_graph(4, 6);
+        let config = ShpConfig::direct(4)
+            .with_seed(2)
+            .with_max_iterations(15)
+            .with_swap_strategy(SwapStrategy::Matrix);
+        let result = partition_distributed(&graph, &config, 2).unwrap();
+        let first = result.history.first().unwrap().fanout;
+        assert!(result.final_fanout <= first);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let graph = community_graph(2, 4);
+        assert!(partition_distributed(&graph, &ShpConfig::direct(0), 2).is_err());
+    }
+}

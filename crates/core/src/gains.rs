@@ -1,0 +1,328 @@
+//! Move-gain computation: for every data vertex, the best target bucket and its gain.
+//!
+//! This is the "compute move gains / find best bucket" phase of Algorithm 1. Gains are computed
+//! from the per-query [`NeighborData`] in `O(Σ_{q ∈ N(v)} fanout(q))` per vertex — the zero
+//! entries of the neighbor data never need to be touched, mirroring the communication
+//! optimization of Section 3.3.
+
+use crate::neighbor_data::NeighborData;
+use crate::objective::Objective;
+use rayon::prelude::*;
+use shp_hypergraph::{BipartiteGraph, BucketId, DataId, Partition};
+use std::collections::HashMap;
+
+/// A proposed move of one data vertex to its best target bucket.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MoveProposal {
+    /// The moving data vertex.
+    pub vertex: DataId,
+    /// Its current bucket.
+    pub from: BucketId,
+    /// The proposed target bucket.
+    pub to: BucketId,
+    /// Gain (objective reduction) of the move; may be non-positive when non-positive proposals
+    /// are requested (histogram strategy).
+    pub gain: f64,
+}
+
+/// Restricts which buckets a vertex may move to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TargetConstraint {
+    /// Any of the `k` buckets (direct SHP-k optimization).
+    All {
+        /// Total number of buckets.
+        k: u32,
+    },
+    /// Recursive splitting: a vertex currently in bucket `b` may only move to `allowed[b]`
+    /// (its sibling buckets at the current recursion level).
+    Siblings {
+        /// Allowed target buckets per current bucket.
+        allowed: Vec<Vec<BucketId>>,
+    },
+}
+
+impl TargetConstraint {
+    /// Constraint allowing movement between every pair of the `k` buckets.
+    pub fn all(k: u32) -> Self {
+        TargetConstraint::All { k }
+    }
+
+    /// Constraint allowing movement only inside sibling groups. `groups[g]` lists the buckets
+    /// of group `g`; each bucket may move to any other bucket of its group.
+    pub fn sibling_groups(groups: &[Vec<BucketId>]) -> Self {
+        let max_bucket = groups
+            .iter()
+            .flat_map(|g| g.iter().copied())
+            .max()
+            .map_or(0, |b| b as usize + 1);
+        let mut allowed: Vec<Vec<BucketId>> = vec![Vec::new(); max_bucket];
+        for group in groups {
+            for &b in group {
+                allowed[b as usize] = group.iter().copied().filter(|&o| o != b).collect();
+            }
+        }
+        TargetConstraint::Siblings { allowed }
+    }
+}
+
+/// Computes the exact gain of moving vertex `v` from its current bucket to `to`.
+pub fn move_gain(
+    objective: &Objective,
+    graph: &BipartiteGraph,
+    partition: &Partition,
+    nd: &NeighborData,
+    v: DataId,
+    to: BucketId,
+) -> f64 {
+    let from = partition.bucket_of(v);
+    if from == to {
+        return 0.0;
+    }
+    graph
+        .data_neighbors(v)
+        .iter()
+        .map(|&q| objective.per_query_gain(nd.count(q, from), nd.count(q, to)))
+        .sum()
+}
+
+/// Computes the best move proposal for a single vertex under the given constraint, or `None`
+/// when the vertex has no admissible target (e.g. an isolated vertex under `All` with every
+/// candidate equal to its own bucket).
+///
+/// `least_loaded` supplies a representative empty-ish bucket so that moving to a bucket none of
+/// the vertex's queries touch is also considered under the `All` constraint.
+pub fn best_move_for_vertex(
+    objective: &Objective,
+    graph: &BipartiteGraph,
+    partition: &Partition,
+    nd: &NeighborData,
+    constraint: &TargetConstraint,
+    least_loaded: BucketId,
+    v: DataId,
+) -> Option<MoveProposal> {
+    let from = partition.bucket_of(v);
+    match constraint {
+        TargetConstraint::Siblings { allowed } => {
+            let targets = allowed.get(from as usize)?;
+            let mut best: Option<(BucketId, f64)> = None;
+            for &to in targets {
+                if to == from {
+                    continue;
+                }
+                let gain = move_gain(objective, graph, partition, nd, v, to);
+                best = match best {
+                    Some((bb, bg)) if bg > gain || (bg == gain && bb < to) => Some((bb, bg)),
+                    _ => Some((to, gain)),
+                };
+            }
+            best.map(|(to, gain)| MoveProposal { vertex: v, from, to, gain })
+        }
+        TargetConstraint::All { k } => {
+            if *k <= 1 {
+                return None;
+            }
+            // Gain of moving to a bucket none of v's queries touch.
+            let base_gain: f64 = graph
+                .data_neighbors(v)
+                .iter()
+                .map(|&q| objective.per_query_gain(nd.count(q, from), 0))
+                .sum();
+            // Adjustment for every bucket that at least one adjacent query already touches.
+            let mut deltas: HashMap<BucketId, f64> = HashMap::new();
+            for &q in graph.data_neighbors(v) {
+                let n_from = nd.count(q, from);
+                for &(b, c) in nd.nonzero(q) {
+                    if b == from {
+                        continue;
+                    }
+                    let adjustment =
+                        objective.per_query_gain(n_from, c) - objective.per_query_gain(n_from, 0);
+                    *deltas.entry(b).or_insert(0.0) += adjustment;
+                }
+            }
+            let mut best: Option<(BucketId, f64)> = None;
+            let mut consider = |to: BucketId, gain: f64| {
+                best = match best {
+                    Some((bb, bg)) if bg > gain || (bg == gain && bb <= to) => Some((bb, bg)),
+                    _ => Some((to, gain)),
+                };
+            };
+            // Iterate candidates in bucket order so results are deterministic across runs
+            // (HashMap iteration order is not).
+            let mut candidates: Vec<(BucketId, f64)> =
+                deltas.iter().map(|(&b, &d)| (b, d)).collect();
+            candidates.sort_unstable_by_key(|&(b, _)| b);
+            for (b, delta) in candidates {
+                consider(b, base_gain + delta);
+            }
+            // Also consider an untouched bucket (the globally least-loaded one) if admissible.
+            if least_loaded != from && !deltas.contains_key(&least_loaded) && least_loaded < *k {
+                consider(least_loaded, base_gain);
+            }
+            best.map(|(to, gain)| MoveProposal { vertex: v, from, to, gain })
+        }
+    }
+}
+
+/// Computes move proposals for every data vertex in parallel.
+///
+/// When `include_nonpositive` is false only strictly improving proposals are returned (the
+/// basic Algorithm 1 behaviour); when true every vertex's best proposal is returned so the
+/// histogram strategy can pair positive with non-positive gains (Section 3.4).
+pub fn compute_proposals(
+    objective: &Objective,
+    graph: &BipartiteGraph,
+    partition: &Partition,
+    nd: &NeighborData,
+    constraint: &TargetConstraint,
+    include_nonpositive: bool,
+) -> Vec<MoveProposal> {
+    let least_loaded = (0..partition.num_buckets())
+        .min_by_key(|&b| partition.bucket_weight(b))
+        .unwrap_or(0);
+    (0..graph.num_data() as DataId)
+        .into_par_iter()
+        .filter_map(|v| {
+            best_move_for_vertex(objective, graph, partition, nd, constraint, least_loaded, v)
+        })
+        .filter(|p| include_nonpositive || p.gain > 0.0)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shp_hypergraph::GraphBuilder;
+
+    fn figure1() -> (BipartiteGraph, Partition) {
+        let mut b = GraphBuilder::new();
+        b.add_query([0u32, 1, 5]);
+        b.add_query([0u32, 1, 2, 3]);
+        b.add_query([3u32, 4, 5]);
+        let g = b.build().unwrap();
+        let p = Partition::from_assignment(&g, 2, vec![0, 0, 0, 1, 1, 1]).unwrap();
+        (g, p)
+    }
+
+    #[test]
+    fn move_gain_matches_objective_difference() {
+        let (g, p) = figure1();
+        let nd = NeighborData::build(&g, &p);
+        let obj = Objective::PFanout { p: 0.5 };
+        for v in 0..6u32 {
+            for to in 0..2u32 {
+                let gain = move_gain(&obj, &g, &p, &nd, v, to);
+                let before = obj.evaluate(&g, &p) * g.num_queries() as f64;
+                let mut moved = p.clone();
+                moved.assign(v, to);
+                let after = obj.evaluate(&g, &moved) * g.num_queries() as f64;
+                assert!((gain - (before - after)).abs() < 1e-9, "v={v} to={to}");
+            }
+        }
+    }
+
+    #[test]
+    fn best_move_prefers_highest_gain_bucket() {
+        // Vertex 5 belongs to queries {0,1,5} (two pins in bucket 0) and {3,4,5} (all three in
+        // bucket 1). Moving it to bucket 0 helps query 0 but hurts query 2, and vice versa.
+        let (g, p) = figure1();
+        let nd = NeighborData::build(&g, &p);
+        let obj = Objective::PFanout { p: 0.5 };
+        let proposal = best_move_for_vertex(&obj, &g, &p, &nd, &TargetConstraint::all(2), 0, 5)
+            .expect("vertex 5 has an admissible target");
+        assert_eq!(proposal.from, 1);
+        assert_eq!(proposal.to, 0);
+        let expected = move_gain(&obj, &g, &p, &nd, 5, 0);
+        assert!((proposal.gain - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_constraint_explores_untouched_bucket() {
+        // With k = 3 and the third bucket empty, the least-loaded bucket (2) must be considered
+        // even though no query touches it.
+        let (g, _) = figure1();
+        let p = Partition::from_assignment(&g, 3, vec![0, 0, 0, 1, 1, 1]).unwrap();
+        let nd = NeighborData::build(&g, &p);
+        let obj = Objective::Fanout;
+        let proposal =
+            best_move_for_vertex(&obj, &g, &p, &nd, &TargetConstraint::all(3), 2, 4).unwrap();
+        // Vertex 4 only belongs to query {3,4,5}; moving anywhere splits it, so the best gain is
+        // non-positive, but a proposal must still exist and consider bucket 2 or 0.
+        assert!(proposal.gain <= 0.0);
+        assert!(proposal.to == 0 || proposal.to == 2);
+    }
+
+    #[test]
+    fn sibling_constraint_restricts_targets() {
+        let (g, _) = figure1();
+        let p = Partition::from_assignment(&g, 4, vec![0, 0, 1, 1, 2, 3]).unwrap();
+        let nd = NeighborData::build(&g, &p);
+        let obj = Objective::PFanout { p: 0.5 };
+        // Groups {0,1} and {2,3}: a vertex in bucket 0 may only move to 1, etc.
+        let constraint = TargetConstraint::sibling_groups(&[vec![0, 1], vec![2, 3]]);
+        for v in 0..6u32 {
+            let proposal = best_move_for_vertex(&obj, &g, &p, &nd, &constraint, 0, v).unwrap();
+            let expected_to = match p.bucket_of(v) {
+                0 => 1,
+                1 => 0,
+                2 => 3,
+                _ => 2,
+            };
+            assert_eq!(proposal.to, expected_to, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn compute_proposals_filters_nonpositive_by_default() {
+        let (g, p) = figure1();
+        let nd = NeighborData::build(&g, &p);
+        let obj = Objective::PFanout { p: 0.5 };
+        let strict = compute_proposals(&obj, &g, &p, &nd, &TargetConstraint::all(2), false);
+        assert!(strict.iter().all(|m| m.gain > 0.0));
+        let all = compute_proposals(&obj, &g, &p, &nd, &TargetConstraint::all(2), true);
+        assert_eq!(all.len(), 6, "every vertex proposes when non-positive gains are allowed");
+        assert!(all.len() >= strict.len());
+    }
+
+    #[test]
+    fn proposals_are_deterministic() {
+        let (g, p) = figure1();
+        let nd = NeighborData::build(&g, &p);
+        let obj = Objective::PFanout { p: 0.5 };
+        let a = compute_proposals(&obj, &g, &p, &nd, &TargetConstraint::all(2), true);
+        let b = compute_proposals(&obj, &g, &p, &nd, &TargetConstraint::all(2), true);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_bucket_has_no_proposals() {
+        let (g, _) = figure1();
+        let p = Partition::from_assignment(&g, 1, vec![0; 6]).unwrap();
+        let nd = NeighborData::build(&g, &p);
+        let obj = Objective::Fanout;
+        let proposals = compute_proposals(&obj, &g, &p, &nd, &TargetConstraint::all(1), true);
+        assert!(proposals.is_empty());
+    }
+
+    #[test]
+    fn all_and_sibling_agree_for_two_buckets() {
+        let (g, p) = figure1();
+        let nd = NeighborData::build(&g, &p);
+        let obj = Objective::PFanout { p: 0.5 };
+        let all = compute_proposals(&obj, &g, &p, &nd, &TargetConstraint::all(2), true);
+        let sib = compute_proposals(
+            &obj,
+            &g,
+            &p,
+            &nd,
+            &TargetConstraint::sibling_groups(&[vec![0, 1]]),
+            true,
+        );
+        assert_eq!(all.len(), sib.len());
+        for (a, s) in all.iter().zip(sib.iter()) {
+            assert_eq!(a.vertex, s.vertex);
+            assert_eq!(a.to, s.to);
+            assert!((a.gain - s.gain).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Incremental re-partitioning (Section 5, requirement (i)).
+//!
+//! Production storage sharding cannot afford to move most of the data when the graph changes
+//! slightly. The paper's recipe: initialize the local search with the previous partition and
+//! penalize movement away from it in the gain computation, so only moves whose benefit exceeds
+//! the migration cost survive.
+
+use crate::config::ShpConfig;
+use crate::gains::TargetConstraint;
+use crate::neighbor_data::NeighborData;
+use crate::objective::Objective;
+use crate::refinement::{IterationStats, Refiner};
+use crate::report::{PartitionResult, RunReport};
+use serde::{Deserialize, Serialize};
+use shp_hypergraph::{average_fanout, average_p_fanout, BipartiteGraph, Partition};
+use std::time::Instant;
+
+/// Options of an incremental update run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IncrementalConfig {
+    /// Gain penalty subtracted from every move that takes a vertex away from its bucket in the
+    /// previous partition (moves back to it are not penalized). Expressed in the same unit as
+    /// the objective gains.
+    pub movement_penalty: f64,
+    /// Hard cap on the fraction of data vertices allowed to change buckets relative to the
+    /// previous partition; refinement stops once the cap is hit. `1.0` disables the cap.
+    pub max_moved_fraction: f64,
+}
+
+impl Default for IncrementalConfig {
+    fn default() -> Self {
+        IncrementalConfig { movement_penalty: 0.1, max_moved_fraction: 1.0 }
+    }
+}
+
+/// Refines an existing partition of (a possibly updated) `graph` without moving more data than
+/// necessary.
+///
+/// The previous partition must cover exactly the data vertices of `graph`; callers adding new
+/// vertices should first extend the assignment (e.g. hashing new vertices to random buckets).
+///
+/// # Errors
+/// Returns a descriptive error string when the configuration is invalid or the previous
+/// partition does not match the graph.
+pub fn partition_incremental(
+    graph: &BipartiteGraph,
+    config: &ShpConfig,
+    incremental: &IncrementalConfig,
+    previous: &Partition,
+) -> Result<PartitionResult, String> {
+    config.validate()?;
+    if previous.num_data() != graph.num_data() {
+        return Err(format!(
+            "previous partition covers {} vertices but the graph has {}",
+            previous.num_data(),
+            graph.num_data()
+        ));
+    }
+    if previous.num_buckets() != config.num_buckets {
+        return Err(format!(
+            "previous partition has k={} but the configuration asks for k={}",
+            previous.num_buckets(),
+            config.num_buckets
+        ));
+    }
+    if !(0.0..=1.0).contains(&incremental.max_moved_fraction) {
+        return Err("max_moved_fraction must lie in [0, 1]".into());
+    }
+    if incremental.movement_penalty < 0.0 {
+        return Err("movement_penalty must be non-negative".into());
+    }
+
+    let start = Instant::now();
+    let mut partition = previous.clone();
+    let mut nd = NeighborData::build(graph, &partition);
+    // Penalize every move whose target differs from the vertex's bucket in the previous
+    // partition; moves back to the original bucket keep their full gain.
+    let original: Vec<u32> = previous.assignment().to_vec();
+    let penalty = incremental.movement_penalty;
+    let refiner = Refiner::new(
+        graph,
+        Objective::from_kind(config.objective),
+        TargetConstraint::all(config.num_buckets),
+        config.swap_strategy,
+        config.balance_mode,
+        config.allow_imbalanced_moves,
+        config.epsilon,
+        config.seed,
+    )
+    .with_gain_adjuster(Box::new(move |proposal| {
+        if proposal.to != original[proposal.vertex as usize] {
+            proposal.gain - penalty
+        } else {
+            proposal.gain
+        }
+    }));
+
+    // Additionally cap the total churn relative to the previous partition.
+    let cap = (incremental.max_moved_fraction * graph.num_data() as f64).floor() as usize;
+    let mut history: Vec<IterationStats> = Vec::new();
+    for iteration in 0..config.max_iterations {
+        let stats = refiner.run_iteration(&mut partition, &mut nd, iteration);
+        let converged = stats.moved_fraction < config.convergence_threshold;
+        history.push(stats);
+        let moved_total = partition.hamming_distance(previous);
+        if converged || moved_total >= cap {
+            break;
+        }
+    }
+
+    let elapsed = start.elapsed();
+    let report = RunReport {
+        final_fanout: average_fanout(graph, &partition),
+        final_p_fanout: average_p_fanout(graph, &partition, 0.5),
+        imbalance: partition.imbalance(),
+        history,
+        levels: Vec::new(),
+        elapsed,
+    };
+    Ok(PartitionResult { partition, report })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_pcg::Pcg64;
+    use shp_hypergraph::GraphBuilder;
+
+    fn community_graph(groups: u32, size: u32) -> BipartiteGraph {
+        let mut b = GraphBuilder::new();
+        for g in 0..groups {
+            let members: Vec<u32> = (0..size).map(|i| g * size + i).collect();
+            for _ in 0..size {
+                b.add_query(members.clone());
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn incremental_starts_from_previous_partition_and_improves() {
+        let graph = community_graph(4, 8);
+        let config = ShpConfig::direct(4).with_seed(3).with_max_iterations(20);
+        let good = crate::partition_direct(&graph, &config).unwrap();
+
+        // Perturb the good partition slightly and repair it incrementally.
+        let mut perturbed = good.partition.clone();
+        for v in 0..4u32 {
+            perturbed.assign(v, (perturbed.bucket_of(v) + 1) % 4);
+        }
+        let before_fanout = average_fanout(&graph, &perturbed);
+        let result = partition_incremental(&graph, &config, &IncrementalConfig::default(), &perturbed)
+            .unwrap();
+        assert!(result.report.final_fanout <= before_fanout + 1e-9);
+        // Repairing a small perturbation should not move most of the graph.
+        let moved = result.partition.hamming_distance(&perturbed);
+        assert!(moved <= graph.num_data() / 2, "moved {moved} of {}", graph.num_data());
+    }
+
+    #[test]
+    fn move_cap_limits_churn() {
+        let graph = community_graph(4, 8);
+        let config = ShpConfig::direct(4).with_seed(7).with_max_iterations(30);
+        let mut rng = Pcg64::seed_from_u64(1);
+        let random = Partition::new_random(&graph, 4, &mut rng).unwrap();
+        let tight = IncrementalConfig { movement_penalty: 0.0, max_moved_fraction: 0.1 };
+        let result = partition_incremental(&graph, &config, &tight, &random).unwrap();
+        let moved = result.partition.hamming_distance(&random);
+        // The cap is checked after each iteration, so it can be exceeded by at most one
+        // iteration's worth of moves; with a 10% cap the total churn stays well below half.
+        assert!(moved < graph.num_data() / 2, "moved {moved}");
+    }
+
+    #[test]
+    fn mismatched_previous_partition_is_rejected() {
+        let graph = community_graph(2, 4);
+        let other = community_graph(2, 5);
+        let config = ShpConfig::direct(2);
+        let mut rng = Pcg64::seed_from_u64(1);
+        let previous = Partition::new_random(&other, 2, &mut rng).unwrap();
+        assert!(partition_incremental(&graph, &config, &IncrementalConfig::default(), &previous).is_err());
+
+        let wrong_k = Partition::new_random(&graph, 4, &mut rng).unwrap();
+        assert!(partition_incremental(&graph, &config, &IncrementalConfig::default(), &wrong_k).is_err());
+    }
+
+    #[test]
+    fn invalid_incremental_options_are_rejected() {
+        let graph = community_graph(2, 4);
+        let config = ShpConfig::direct(2);
+        let mut rng = Pcg64::seed_from_u64(1);
+        let previous = Partition::new_random(&graph, 2, &mut rng).unwrap();
+        let bad_fraction = IncrementalConfig { movement_penalty: 0.1, max_moved_fraction: 2.0 };
+        assert!(partition_incremental(&graph, &config, &bad_fraction, &previous).is_err());
+        let bad_penalty = IncrementalConfig { movement_penalty: -1.0, max_moved_fraction: 0.5 };
+        assert!(partition_incremental(&graph, &config, &bad_penalty, &previous).is_err());
+    }
+}

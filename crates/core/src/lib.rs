@@ -1,0 +1,140 @@
+//! # shp-core
+//!
+//! The Social Hash Partitioner (SHP): a scalable hypergraph partitioner that minimizes query
+//! fanout by local search on the *probabilistic fanout* objective, as described in
+//! "Social Hash Partitioner: A Scalable Distributed Hypergraph Partitioner" (Kabiljo et al.,
+//! VLDB 2017).
+//!
+//! Two execution paths implement the same algorithm:
+//!
+//! * the in-process path ([`partition_direct`] for SHP-k, [`partition_recursive`] for
+//!   SHP-2 / SHP-r) parallelized with rayon, and
+//! * the distributed path ([`distributed::partition_distributed`]) which runs the identical
+//!   four-superstep iteration (Figure 3 of the paper) on the vertex-centric BSP engine of
+//!   `shp-vertex-centric`, with per-superstep communication accounting.
+//!
+//! The easiest entry point is [`SocialHashPartitioner`]:
+//!
+//! ```
+//! use shp_core::{ShpConfig, SocialHashPartitioner};
+//! use shp_hypergraph::GraphBuilder;
+//!
+//! // Three queries over six data records (Figure 1 of the paper).
+//! let mut builder = GraphBuilder::new();
+//! builder.add_query([0, 1, 5]);
+//! builder.add_query([0, 1, 2, 3]);
+//! builder.add_query([3, 4, 5]);
+//! let graph = builder.build().unwrap();
+//!
+//! let partitioner = SocialHashPartitioner::new(ShpConfig::recursive_bisection(2)).unwrap();
+//! let result = partitioner.partition(&graph);
+//! assert_eq!(result.partition.num_buckets(), 2);
+//! assert!(result.report.final_fanout <= 3.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod direct;
+pub mod distributed;
+pub mod gains;
+pub mod histogram;
+pub mod incremental;
+pub mod multidim;
+pub mod neighbor_data;
+pub mod objective;
+pub mod recursive;
+pub mod refinement;
+pub mod report;
+pub mod swap;
+
+pub use config::{BalanceMode, ObjectiveKind, PartitionMode, ShpConfig, SwapStrategy};
+pub use direct::partition_direct;
+pub use distributed::{partition_distributed, DistributedRunResult};
+pub use gains::{MoveProposal, TargetConstraint};
+pub use incremental::{partition_incremental, IncrementalConfig};
+pub use multidim::{partition_multidimensional, MultiDimConfig};
+pub use neighbor_data::NeighborData;
+pub use objective::Objective;
+pub use recursive::partition_recursive;
+pub use refinement::{IterationStats, Refiner};
+pub use report::{LevelReport, PartitionResult, RunReport};
+
+use shp_hypergraph::BipartiteGraph;
+
+/// High-level entry point dispatching to direct (SHP-k) or recursive (SHP-2 / SHP-r) mode based
+/// on the configuration.
+#[derive(Debug, Clone)]
+pub struct SocialHashPartitioner {
+    config: ShpConfig,
+}
+
+impl SocialHashPartitioner {
+    /// Creates a partitioner, validating the configuration.
+    ///
+    /// # Errors
+    /// Returns a descriptive error string for invalid configurations (zero buckets, `p` outside
+    /// `(0, 1)`, negative `ε`, …).
+    pub fn new(config: ShpConfig) -> Result<Self, String> {
+        config.validate()?;
+        Ok(SocialHashPartitioner { config })
+    }
+
+    /// The configuration the partitioner was built with.
+    pub fn config(&self) -> &ShpConfig {
+        &self.config
+    }
+
+    /// Partitions the graph according to the configured mode.
+    pub fn partition(&self, graph: &BipartiteGraph) -> PartitionResult {
+        let result = match self.config.mode {
+            PartitionMode::Direct => partition_direct(graph, &self.config),
+            PartitionMode::Recursive { .. } => partition_recursive(graph, &self.config),
+        };
+        result.expect("configuration was validated at construction time")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shp_hypergraph::GraphBuilder;
+
+    fn small_graph() -> BipartiteGraph {
+        let mut b = GraphBuilder::new();
+        for g in 0..4u32 {
+            let members: Vec<u32> = (0..6).map(|i| g * 6 + i).collect();
+            for _ in 0..4 {
+                b.add_query(members.clone());
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn facade_dispatches_to_both_modes() {
+        let graph = small_graph();
+        let recursive = SocialHashPartitioner::new(ShpConfig::recursive_bisection(4)).unwrap();
+        let direct = SocialHashPartitioner::new(ShpConfig::direct(4)).unwrap();
+        let r = recursive.partition(&graph);
+        let d = direct.partition(&graph);
+        assert_eq!(r.partition.num_buckets(), 4);
+        assert_eq!(d.partition.num_buckets(), 4);
+        assert!(!r.report.levels.is_empty());
+        assert!(d.report.levels.is_empty());
+    }
+
+    #[test]
+    fn facade_rejects_invalid_config() {
+        assert!(SocialHashPartitioner::new(ShpConfig::direct(0)).is_err());
+        assert!(SocialHashPartitioner::new(ShpConfig::direct(4).with_p(2.0)).is_err());
+    }
+
+    #[test]
+    fn config_accessor_returns_the_config() {
+        let config = ShpConfig::direct(16).with_seed(5);
+        let p = SocialHashPartitioner::new(config.clone()).unwrap();
+        assert_eq!(p.config(), &config);
+    }
+}

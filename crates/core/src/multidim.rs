@@ -1,0 +1,253 @@
+//! Multi-dimensional balance (Section 5, requirement (ii)).
+//!
+//! A data vertex may carry several resource dimensions (CPU cost, memory, disk, …). Requiring
+//! strict balance on every dimension during the local search harms quality, so the paper uses a
+//! merge heuristic instead: partition into `c · k` buckets with the regular algorithm (balancing
+//! only the primary dimension), then greedily merge the `c · k` small buckets into `k` final
+//! buckets so that the maximum load over *all* dimensions is as even as possible.
+
+use crate::config::{PartitionMode, ShpConfig};
+use crate::report::PartitionResult;
+use serde::{Deserialize, Serialize};
+use shp_hypergraph::{BipartiteGraph, BucketId, DataId, Partition};
+
+/// Configuration of the multi-dimensional merge heuristic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiDimConfig {
+    /// Over-partitioning factor `c > 1`: the regular partitioner produces `c · k` buckets which
+    /// are then merged into `k`.
+    pub over_partitioning_factor: u32,
+}
+
+impl Default for MultiDimConfig {
+    fn default() -> Self {
+        MultiDimConfig { over_partitioning_factor: 4 }
+    }
+}
+
+/// Result of a multi-dimensional run: the final partition plus the per-bucket loads in every
+/// dimension.
+#[derive(Debug, Clone)]
+pub struct MultiDimResult {
+    /// The merged `k`-bucket partition.
+    pub partition: Partition,
+    /// `loads[dim][bucket]` = total weight of dimension `dim` in the bucket.
+    pub loads: Vec<Vec<u64>>,
+    /// The intermediate `c · k`-bucket result (useful for diagnostics).
+    pub fine_result: PartitionResult,
+}
+
+/// Partitions `graph` into `config.num_buckets` buckets while balancing several weight
+/// dimensions.
+///
+/// `dimension_weights[dim][v]` is the weight of data vertex `v` in dimension `dim`; the vector
+/// must contain at least one dimension and every dimension must cover all data vertices.
+///
+/// # Errors
+/// Returns a descriptive error string on invalid configuration or mismatched weight vectors.
+pub fn partition_multidimensional(
+    graph: &BipartiteGraph,
+    config: &ShpConfig,
+    multi: &MultiDimConfig,
+    dimension_weights: &[Vec<u64>],
+) -> Result<MultiDimResult, String> {
+    config.validate()?;
+    if multi.over_partitioning_factor < 2 {
+        return Err("over_partitioning_factor must be at least 2".into());
+    }
+    if dimension_weights.is_empty() {
+        return Err("at least one weight dimension is required".into());
+    }
+    for (dim, weights) in dimension_weights.iter().enumerate() {
+        if weights.len() != graph.num_data() {
+            return Err(format!(
+                "dimension {dim} has {} weights but the graph has {} data vertices",
+                weights.len(),
+                graph.num_data()
+            ));
+        }
+    }
+
+    // Step 1: over-partition into c·k buckets with the regular algorithm.
+    let fine_k = config
+        .num_buckets
+        .saturating_mul(multi.over_partitioning_factor)
+        .min(graph.num_data().max(1) as u32);
+    let fine_config = ShpConfig { num_buckets: fine_k, ..config.clone() };
+    let fine_result = match fine_config.mode {
+        PartitionMode::Direct => crate::partition_direct(graph, &fine_config)?,
+        PartitionMode::Recursive { .. } => crate::partition_recursive(graph, &fine_config)?,
+    };
+
+    // Step 2: compute per-fine-bucket loads in every dimension.
+    let num_dims = dimension_weights.len();
+    let mut fine_loads = vec![vec![0u64; fine_k as usize]; num_dims];
+    for v in 0..graph.num_data() as DataId {
+        let b = fine_result.partition.bucket_of(v) as usize;
+        for dim in 0..num_dims {
+            fine_loads[dim][b] += dimension_weights[dim][v as usize];
+        }
+    }
+
+    // Step 3: greedily merge fine buckets into k final buckets. Fine buckets are processed from
+    // the heaviest (by normalized dominant dimension) to the lightest; each goes to the final
+    // bucket whose post-merge maximum normalized load is smallest (longest-processing-time
+    // style bin packing generalized to several dimensions).
+    let totals: Vec<u64> = (0..num_dims)
+        .map(|dim| fine_loads[dim].iter().sum::<u64>().max(1))
+        .collect();
+    let dominant = |bucket: usize| -> f64 {
+        (0..num_dims)
+            .map(|dim| fine_loads[dim][bucket] as f64 / totals[dim] as f64)
+            .fold(0.0, f64::max)
+    };
+    let mut order: Vec<usize> = (0..fine_k as usize).collect();
+    order.sort_by(|&a, &b| dominant(b).partial_cmp(&dominant(a)).unwrap_or(std::cmp::Ordering::Equal));
+
+    let k = config.num_buckets as usize;
+    let mut final_loads = vec![vec![0u64; k]; num_dims];
+    let mut fine_to_final: Vec<BucketId> = vec![0; fine_k as usize];
+    for &fine in &order {
+        let mut best_bucket = 0usize;
+        let mut best_score = f64::INFINITY;
+        for candidate in 0..k {
+            let score = (0..num_dims)
+                .map(|dim| {
+                    (final_loads[dim][candidate] + fine_loads[dim][fine]) as f64 / totals[dim] as f64
+                })
+                .fold(0.0, f64::max);
+            if score < best_score {
+                best_score = score;
+                best_bucket = candidate;
+            }
+        }
+        fine_to_final[fine] = best_bucket as BucketId;
+        for dim in 0..num_dims {
+            final_loads[dim][best_bucket] += fine_loads[dim][fine];
+        }
+    }
+
+    // Step 4: project the merge onto the vertices.
+    let partition = fine_result
+        .partition
+        .remap_buckets(config.num_buckets, |_, fine| fine_to_final[fine as usize]);
+
+    Ok(MultiDimResult { partition, loads: final_loads, fine_result })
+}
+
+/// Maximum-over-dimensions imbalance of a load matrix: `max_dim max_bucket load / (total/k) − 1`.
+pub fn multi_dim_imbalance(loads: &[Vec<u64>]) -> f64 {
+    let mut worst: f64 = 0.0;
+    for dim in loads {
+        let total: u64 = dim.iter().sum();
+        if total == 0 || dim.is_empty() {
+            continue;
+        }
+        let ideal = total as f64 / dim.len() as f64;
+        let max = *dim.iter().max().expect("non-empty") as f64;
+        worst = worst.max(max / ideal - 1.0);
+    }
+    worst.max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_pcg::Pcg64;
+    use shp_hypergraph::GraphBuilder;
+
+    fn community_graph(groups: u32, size: u32) -> BipartiteGraph {
+        let mut b = GraphBuilder::new();
+        for g in 0..groups {
+            let members: Vec<u32> = (0..size).map(|i| g * size + i).collect();
+            for _ in 0..size {
+                b.add_query(members.clone());
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn multidim_balances_both_dimensions_better_than_single_dim_merge() {
+        let graph = community_graph(8, 8);
+        let n = graph.num_data();
+        // Dimension 0: uniform; dimension 1: skewed (vertices of the first half are 4x heavier).
+        let dim0: Vec<u64> = vec![1; n];
+        let dim1: Vec<u64> = (0..n).map(|v| if v < n / 2 { 4 } else { 1 }).collect();
+        let config = ShpConfig::recursive_bisection(4).with_seed(13).with_max_iterations(10);
+        let result = partition_multidimensional(
+            &graph,
+            &config,
+            &MultiDimConfig { over_partitioning_factor: 4 },
+            &[dim0.clone(), dim1.clone()],
+        )
+        .unwrap();
+        assert_eq!(result.partition.num_buckets(), 4);
+        let imbalance = multi_dim_imbalance(&result.loads);
+        assert!(imbalance < 0.6, "multi-dimensional imbalance too high: {imbalance}");
+        // Every bucket received some vertices.
+        assert!(result.partition.bucket_weights().iter().all(|&w| w > 0));
+    }
+
+    #[test]
+    fn loads_sum_to_dimension_totals() {
+        let graph = community_graph(4, 6);
+        let n = graph.num_data();
+        let dim0: Vec<u64> = (0..n as u64).collect();
+        let config = ShpConfig::recursive_bisection(2).with_seed(3).with_max_iterations(5);
+        let result = partition_multidimensional(
+            &graph,
+            &config,
+            &MultiDimConfig { over_partitioning_factor: 2 },
+            &[dim0.clone()],
+        )
+        .unwrap();
+        let total: u64 = result.loads[0].iter().sum();
+        assert_eq!(total, dim0.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        let graph = community_graph(2, 4);
+        let config = ShpConfig::recursive_bisection(2);
+        let ok_weights = vec![vec![1u64; graph.num_data()]];
+        assert!(partition_multidimensional(
+            &graph,
+            &config,
+            &MultiDimConfig { over_partitioning_factor: 1 },
+            &ok_weights
+        )
+        .is_err());
+        assert!(partition_multidimensional(&graph, &config, &MultiDimConfig::default(), &[]).is_err());
+        assert!(partition_multidimensional(
+            &graph,
+            &config,
+            &MultiDimConfig::default(),
+            &[vec![1u64; 3]]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn multi_dim_imbalance_of_uniform_loads_is_zero() {
+        assert_eq!(multi_dim_imbalance(&[vec![5, 5, 5, 5]]), 0.0);
+        assert!(multi_dim_imbalance(&[vec![5, 5], vec![10, 0]]) > 0.9);
+        assert_eq!(multi_dim_imbalance(&[]), 0.0);
+    }
+
+    #[test]
+    fn merge_is_deterministic() {
+        let graph = community_graph(4, 6);
+        let n = graph.num_data();
+        let mut rng = Pcg64::seed_from_u64(4);
+        use rand::Rng;
+        let dims: Vec<Vec<u64>> = (0..2)
+            .map(|_| (0..n).map(|_| rng.gen_range(1..10)).collect())
+            .collect();
+        let config = ShpConfig::recursive_bisection(4).with_seed(8).with_max_iterations(6);
+        let a = partition_multidimensional(&graph, &config, &MultiDimConfig::default(), &dims).unwrap();
+        let b = partition_multidimensional(&graph, &config, &MultiDimConfig::default(), &dims).unwrap();
+        assert_eq!(a.partition, b.partition);
+    }
+}

@@ -1,0 +1,210 @@
+//! Per-query "neighbor data": the number of a query's pins in each bucket.
+//!
+//! The paper calls the vector `n_i(q)` the *neighbor data* of query `q`; it is the only state
+//! the gain computation needs (Equation 1). Following the paper's space analysis (Section 3.3),
+//! only the non-zero entries are stored — at most `fanout(q)` of them per query — so the total
+//! footprint is `O(|E|)` regardless of the bucket count.
+
+use rayon::prelude::*;
+use shp_hypergraph::{BipartiteGraph, BucketId, DataId, Partition, QueryId};
+
+/// Sparse per-query bucket counts, kept in sync with the partition by the refinement loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NeighborData {
+    /// For each query, the sorted list of `(bucket, count)` pairs with `count > 0`.
+    counts: Vec<Vec<(BucketId, u32)>>,
+}
+
+impl NeighborData {
+    /// Builds the neighbor data of every query for the given partition.
+    pub fn build(graph: &BipartiteGraph, partition: &Partition) -> Self {
+        let counts: Vec<Vec<(BucketId, u32)>> = (0..graph.num_queries() as QueryId)
+            .into_par_iter()
+            .map(|q| {
+                let mut local: Vec<(BucketId, u32)> = Vec::new();
+                for &v in graph.query_neighbors(q) {
+                    let b = partition.bucket_of(v);
+                    match local.binary_search_by_key(&b, |&(bb, _)| bb) {
+                        Ok(idx) => local[idx].1 += 1,
+                        Err(idx) => local.insert(idx, (b, 1)),
+                    }
+                }
+                local
+            })
+            .collect();
+        NeighborData { counts }
+    }
+
+    /// Number of queries tracked.
+    pub fn num_queries(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Number of pins of query `q` in bucket `b` (0 if none).
+    #[inline]
+    pub fn count(&self, q: QueryId, b: BucketId) -> u32 {
+        let entry = &self.counts[q as usize];
+        match entry.binary_search_by_key(&b, |&(bb, _)| bb) {
+            Ok(idx) => entry[idx].1,
+            Err(_) => 0,
+        }
+    }
+
+    /// The non-zero `(bucket, count)` entries of query `q`, sorted by bucket.
+    #[inline]
+    pub fn nonzero(&self, q: QueryId) -> &[(BucketId, u32)] {
+        &self.counts[q as usize]
+    }
+
+    /// Current fanout of query `q` (number of distinct buckets it touches).
+    #[inline]
+    pub fn fanout(&self, q: QueryId) -> usize {
+        self.counts[q as usize].len()
+    }
+
+    /// Total number of stored non-zero entries (equals `Σ_q fanout(q)`).
+    pub fn total_entries(&self) -> usize {
+        self.counts.iter().map(|c| c.len()).sum()
+    }
+
+    /// Updates the neighbor data after data vertex `v` moved from bucket `from` to bucket `to`.
+    ///
+    /// # Panics
+    /// Debug-asserts that `v` actually had a pin counted in `from` for each adjacent query.
+    pub fn apply_move(&mut self, graph: &BipartiteGraph, v: DataId, from: BucketId, to: BucketId) {
+        if from == to {
+            return;
+        }
+        for &q in graph.data_neighbors(v) {
+            let entry = &mut self.counts[q as usize];
+            // Decrement `from`.
+            match entry.binary_search_by_key(&from, |&(bb, _)| bb) {
+                Ok(idx) => {
+                    debug_assert!(entry[idx].1 >= 1);
+                    if entry[idx].1 == 1 {
+                        entry.remove(idx);
+                    } else {
+                        entry[idx].1 -= 1;
+                    }
+                }
+                Err(_) => debug_assert!(false, "query {q} had no pins in bucket {from}"),
+            }
+            // Increment `to`.
+            match entry.binary_search_by_key(&to, |&(bb, _)| bb) {
+                Ok(idx) => entry[idx].1 += 1,
+                Err(idx) => entry.insert(idx, (to, 1)),
+            }
+        }
+    }
+
+    /// Average fanout implied by the stored counts (must equal the metric computed from the
+    /// partition; used as a consistency check and for cheap convergence reporting).
+    pub fn average_fanout(&self) -> f64 {
+        if self.counts.is_empty() {
+            return 0.0;
+        }
+        self.total_entries() as f64 / self.counts.len() as f64
+    }
+
+    /// Average p-fanout implied by the stored counts.
+    pub fn average_p_fanout(&self, p: f64) -> f64 {
+        if self.counts.is_empty() {
+            return 0.0;
+        }
+        let q = 1.0 - p;
+        let total: f64 = self
+            .counts
+            .iter()
+            .map(|entry| entry.iter().map(|&(_, n)| 1.0 - q.powi(n as i32)).sum::<f64>())
+            .sum();
+        total / self.counts.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shp_hypergraph::{average_fanout, average_p_fanout, GraphBuilder};
+
+    fn figure1() -> (BipartiteGraph, Partition) {
+        let mut b = GraphBuilder::new();
+        b.add_query([0u32, 1, 5]);
+        b.add_query([0u32, 1, 2, 3]);
+        b.add_query([3u32, 4, 5]);
+        let g = b.build().unwrap();
+        let p = Partition::from_assignment(&g, 2, vec![0, 0, 0, 1, 1, 1]).unwrap();
+        (g, p)
+    }
+
+    #[test]
+    fn build_matches_metric_counts() {
+        let (g, p) = figure1();
+        let nd = NeighborData::build(&g, &p);
+        assert_eq!(nd.num_queries(), 3);
+        assert_eq!(nd.count(0, 0), 2);
+        assert_eq!(nd.count(0, 1), 1);
+        assert_eq!(nd.count(2, 0), 0);
+        assert_eq!(nd.count(2, 1), 3);
+        assert_eq!(nd.fanout(0), 2);
+        assert_eq!(nd.fanout(2), 1);
+        assert_eq!(nd.nonzero(1), &[(0, 3), (1, 1)]);
+        assert_eq!(nd.total_entries(), 5);
+    }
+
+    #[test]
+    fn averages_match_partition_metrics() {
+        let (g, p) = figure1();
+        let nd = NeighborData::build(&g, &p);
+        assert!((nd.average_fanout() - average_fanout(&g, &p)).abs() < 1e-12);
+        for prob in [0.1, 0.5, 0.9] {
+            assert!((nd.average_p_fanout(prob) - average_p_fanout(&g, &p, prob)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn apply_move_keeps_counts_in_sync_with_rebuild() {
+        let (g, mut p) = figure1();
+        let mut nd = NeighborData::build(&g, &p);
+        // Move vertex 3 from bucket 1 to bucket 0, then vertex 0 from 0 to 1.
+        nd.apply_move(&g, 3, 1, 0);
+        p.assign(3, 0);
+        nd.apply_move(&g, 0, 0, 1);
+        p.assign(0, 1);
+        let rebuilt = NeighborData::build(&g, &p);
+        assert_eq!(nd, rebuilt);
+    }
+
+    #[test]
+    fn apply_move_to_same_bucket_is_noop() {
+        let (g, p) = figure1();
+        let mut nd = NeighborData::build(&g, &p);
+        let before = nd.clone();
+        nd.apply_move(&g, 2, 0, 0);
+        assert_eq!(nd, before);
+    }
+
+    #[test]
+    fn counts_removed_when_they_reach_zero() {
+        let (g, p) = figure1();
+        let mut nd = NeighborData::build(&g, &p);
+        // Query 0 has one pin (vertex 5) in bucket 1; moving it away empties that bucket entry.
+        nd.apply_move(&g, 5, 1, 0);
+        assert_eq!(nd.count(0, 1), 0);
+        assert_eq!(nd.fanout(0), 1);
+        let _ = p;
+    }
+
+    #[test]
+    fn works_with_many_buckets_sparsely() {
+        // 1 query over 6 vertices spread across 6 of 1000 buckets: storage stays at 6 entries.
+        let mut b = GraphBuilder::new();
+        b.add_query([0u32, 1, 2, 3, 4, 5]);
+        let g = b.build().unwrap();
+        let p = Partition::from_assignment(&g, 1000, vec![0, 100, 200, 300, 400, 500]).unwrap();
+        let nd = NeighborData::build(&g, &p);
+        assert_eq!(nd.fanout(0), 6);
+        assert_eq!(nd.total_entries(), 6);
+        assert_eq!(nd.count(0, 300), 1);
+        assert_eq!(nd.count(0, 999), 0);
+    }
+}

@@ -1,0 +1,339 @@
+//! Optimization objectives and their per-query move-gain functions.
+//!
+//! The paper optimizes *probabilistic fanout* (p-fanout); Lemma 1 shows the `p → 1` limit is
+//! plain fanout, Lemma 2 shows the `p → 0` limit is the weighted edge-cut of the clique-net
+//! graph. Equation 1 gives the change in p-fanout caused by moving one data vertex; the other
+//! objectives have the corresponding limits of that formula.
+//!
+//! # Sign convention
+//!
+//! All gains in this crate are *reductions* of the objective: a positive gain means the move
+//! improves (lowers) the objective. This is the negation of Equation 1 as printed in the paper,
+//! which reports the post-move minus pre-move difference.
+
+use crate::config::ObjectiveKind;
+use shp_hypergraph::{average_fanout, average_p_fanout, weighted_edge_cut, BipartiteGraph, Partition};
+
+/// A move-gain oracle for one of the supported objectives.
+///
+/// `per_query_gain(n_src, n_dst)` returns the gain contributed by a single query when one of
+/// its pins moves from a bucket where the query currently has `n_src ≥ 1` pins (including the
+/// moving vertex) to a bucket where it currently has `n_dst ≥ 0` pins (excluding the moving
+/// vertex). Summing over the moving vertex's adjacent queries yields the total move gain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Objective {
+    /// Probabilistic fanout with probability `p`.
+    PFanout {
+        /// Fanout probability `p ∈ (0, 1)`.
+        p: f64,
+    },
+    /// Plain fanout (`p → 1`).
+    Fanout,
+    /// Clique-net / weighted edge-cut (`p → 0`, rescaled by `2/p²`).
+    CliqueNet,
+    /// The final-p-fanout approximation used during recursive splits (Section 3.4): each
+    /// current bucket will eventually be divided into `t` final buckets, and the contribution
+    /// of a query with `r` pins in it is approximated as `t·(1 − (1 − p/t)^r)`.
+    FinalPFanout {
+        /// Fanout probability `p ∈ (0, 1)`.
+        p: f64,
+        /// Number of final buckets each current bucket will be split into (`t ≥ 1`).
+        t: u32,
+    },
+}
+
+impl Objective {
+    /// Builds the runtime objective from its configuration description.
+    pub fn from_kind(kind: ObjectiveKind) -> Self {
+        match kind {
+            ObjectiveKind::ProbabilisticFanout { p } => Objective::PFanout { p },
+            ObjectiveKind::Fanout => Objective::Fanout,
+            ObjectiveKind::CliqueNet => Objective::CliqueNet,
+        }
+    }
+
+    /// The final-p-fanout variant of this objective for a recursion step whose buckets will
+    /// each be split into `t` final buckets. Non-probabilistic objectives are returned
+    /// unchanged (the approximation only applies to p-fanout).
+    pub fn for_final_splits(self, t: u32) -> Self {
+        match self {
+            Objective::PFanout { p } if t > 1 => Objective::FinalPFanout { p, t },
+            other => other,
+        }
+    }
+
+    /// Gain (objective reduction) contributed by one query when one of its pins moves from a
+    /// bucket holding `n_src` of its pins (including the mover) to a bucket holding `n_dst`
+    /// (excluding the mover).
+    ///
+    /// # Panics
+    /// Debug-asserts `n_src ≥ 1`.
+    #[inline]
+    pub fn per_query_gain(&self, n_src: u32, n_dst: u32) -> f64 {
+        debug_assert!(n_src >= 1, "the moving vertex must be counted in the source bucket");
+        match *self {
+            Objective::PFanout { p } => {
+                // Reduction = p·[(1−p)^{n_src−1} − (1−p)^{n_dst}]  (negated Equation 1).
+                let q = 1.0 - p;
+                p * (q.powi(n_src as i32 - 1) - q.powi(n_dst as i32))
+            }
+            Objective::Fanout => {
+                // Leaving the source bucket helps iff the mover was its only pin there;
+                // entering the destination hurts iff the query had no pin there yet.
+                let leave = if n_src == 1 { 1.0 } else { 0.0 };
+                let enter = if n_dst == 0 { 1.0 } else { 0.0 };
+                leave - enter
+            }
+            Objective::CliqueNet => {
+                // Weighted edge-cut reduction = (pins joined in destination) − (pins left in
+                // source) = n_dst − (n_src − 1).
+                n_dst as f64 - (n_src as f64 - 1.0)
+            }
+            Objective::FinalPFanout { p, t } => {
+                // Reduction = p·[(1 − p/t)^{n_src−1} − (1 − p/t)^{n_dst}].
+                let q = 1.0 - p / t as f64;
+                p * (q.powi(n_src as i32 - 1) - q.powi(n_dst as i32))
+            }
+        }
+    }
+
+    /// Evaluates the objective on a full partition (used for convergence reporting and tests).
+    ///
+    /// For [`Objective::CliqueNet`] this is the weighted edge-cut; for the p-fanout variants it
+    /// is the average (final-)p-fanout; for [`Objective::Fanout`] it is the average fanout.
+    pub fn evaluate(&self, graph: &BipartiteGraph, partition: &Partition) -> f64 {
+        match *self {
+            Objective::PFanout { p } => average_p_fanout(graph, partition, p),
+            Objective::Fanout => average_fanout(graph, partition),
+            Objective::CliqueNet => weighted_edge_cut(graph, partition) as f64,
+            Objective::FinalPFanout { p, t } => {
+                if graph.num_queries() == 0 {
+                    return 0.0;
+                }
+                let q = 1.0 - p / t as f64;
+                let mut total = 0.0;
+                for query in graph.queries() {
+                    let counts =
+                        shp_hypergraph::metrics::query_neighbor_counts(graph, partition, query);
+                    for &n in counts.iter().filter(|&&n| n > 0) {
+                        total += t as f64 * (1.0 - q.powi(n as i32));
+                    }
+                }
+                total / graph.num_queries() as f64
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shp_hypergraph::GraphBuilder;
+
+    fn figure1() -> (BipartiteGraph, Partition) {
+        let mut b = GraphBuilder::new();
+        b.add_query([0u32, 1, 5]);
+        b.add_query([0u32, 1, 2, 3]);
+        b.add_query([3u32, 4, 5]);
+        let g = b.build().unwrap();
+        let p = Partition::from_assignment(&g, 2, vec![0, 0, 0, 1, 1, 1]).unwrap();
+        (g, p)
+    }
+
+    /// Brute-force gain: evaluate the objective before and after the move, un-normalized
+    /// (the averaged objectives are rescaled by |Q| so they are comparable with the summed
+    /// per-query gains).
+    fn brute_force_gain(
+        objective: &Objective,
+        graph: &BipartiteGraph,
+        partition: &Partition,
+        v: u32,
+        to: u32,
+    ) -> f64 {
+        let scale = match objective {
+            Objective::CliqueNet => 1.0,
+            _ => graph.num_queries() as f64,
+        };
+        let before = objective.evaluate(graph, partition) * scale;
+        let mut moved = partition.clone();
+        moved.assign(v, to);
+        let after = objective.evaluate(graph, &moved) * scale;
+        before - after
+    }
+
+    /// Analytic gain via per_query_gain summed over the vertex's queries.
+    fn analytic_gain(
+        objective: &Objective,
+        graph: &BipartiteGraph,
+        partition: &Partition,
+        v: u32,
+        to: u32,
+    ) -> f64 {
+        let from = partition.bucket_of(v);
+        graph
+            .data_neighbors(v)
+            .iter()
+            .map(|&q| {
+                let counts = shp_hypergraph::metrics::query_neighbor_counts(graph, partition, q);
+                objective.per_query_gain(counts[from as usize], counts[to as usize])
+            })
+            .sum()
+    }
+
+    #[test]
+    fn per_query_gain_matches_brute_force_for_p_fanout() {
+        let (g, p) = figure1();
+        let obj = Objective::PFanout { p: 0.5 };
+        for v in 0..6u32 {
+            for to in 0..2u32 {
+                if to == p.bucket_of(v) {
+                    continue;
+                }
+                let analytic = analytic_gain(&obj, &g, &p, v, to);
+                let brute = brute_force_gain(&obj, &g, &p, v, to);
+                assert!((analytic - brute).abs() < 1e-9, "v={v} to={to}: {analytic} vs {brute}");
+            }
+        }
+    }
+
+    #[test]
+    fn per_query_gain_matches_brute_force_for_fanout() {
+        let (g, p) = figure1();
+        let obj = Objective::Fanout;
+        for v in 0..6u32 {
+            for to in 0..2u32 {
+                if to == p.bucket_of(v) {
+                    continue;
+                }
+                let analytic = analytic_gain(&obj, &g, &p, v, to);
+                let brute = brute_force_gain(&obj, &g, &p, v, to);
+                assert!((analytic - brute).abs() < 1e-9, "v={v} to={to}: {analytic} vs {brute}");
+            }
+        }
+    }
+
+    #[test]
+    fn per_query_gain_matches_brute_force_for_clique_net() {
+        let (g, p) = figure1();
+        let obj = Objective::CliqueNet;
+        for v in 0..6u32 {
+            for to in 0..2u32 {
+                if to == p.bucket_of(v) {
+                    continue;
+                }
+                let analytic = analytic_gain(&obj, &g, &p, v, to);
+                let brute = brute_force_gain(&obj, &g, &p, v, to);
+                assert!((analytic - brute).abs() < 1e-9, "v={v} to={to}: {analytic} vs {brute}");
+            }
+        }
+    }
+
+    #[test]
+    fn lemma1_p_fanout_gain_approaches_fanout_gain() {
+        // As p -> 1 the p-fanout per-query gain converges to the fanout gain.
+        let near_one = Objective::PFanout { p: 1.0 - 1e-9 };
+        let fanout = Objective::Fanout;
+        for n_src in 1..5u32 {
+            for n_dst in 0..5u32 {
+                let diff = (near_one.per_query_gain(n_src, n_dst) - fanout.per_query_gain(n_src, n_dst)).abs();
+                assert!(diff < 1e-6, "n_src={n_src} n_dst={n_dst} diff={diff}");
+            }
+        }
+    }
+
+    #[test]
+    fn lemma2_p_fanout_gain_approaches_scaled_clique_net_gain() {
+        // As p -> 0 the p-fanout gain divided by p² converges to the clique-net gain.
+        let p = 1e-5;
+        let small = Objective::PFanout { p };
+        let clique = Objective::CliqueNet;
+        for n_src in 1..5u32 {
+            for n_dst in 0..5u32 {
+                let scaled = small.per_query_gain(n_src, n_dst) / (p * p);
+                let expected = clique.per_query_gain(n_src, n_dst);
+                assert!(
+                    (scaled - expected).abs() < 1e-2,
+                    "n_src={n_src} n_dst={n_dst}: {scaled} vs {expected}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn figure2_example_has_no_positive_fanout_gain_but_positive_p_fanout_gain() {
+        // A Figure-2-style instance: buckets V1 = {0..3}, V2 = {4..7}, queries
+        // q1 = {0,1,4,5}, q2 = {2,3,4,5}, q3 = {2,3,6,7}. Every query has exactly two pins in
+        // each bucket, so no single move improves plain fanout, yet p-fanout has improving
+        // moves (and swapping across buckets eventually makes q1 and q3 internal).
+        let mut b = GraphBuilder::new();
+        b.add_query([0u32, 1, 4, 5]);
+        b.add_query([2u32, 3, 4, 5]);
+        b.add_query([2u32, 3, 6, 7]);
+        let g = b.build().unwrap();
+        let part = Partition::from_assignment(&g, 2, vec![0, 0, 0, 0, 1, 1, 1, 1]).unwrap();
+
+        let fanout = Objective::Fanout;
+        let pfan = Objective::PFanout { p: 0.5 };
+        let mut best_fanout_gain = f64::NEG_INFINITY;
+        let mut best_pfanout_gain = f64::NEG_INFINITY;
+        for v in 0..8u32 {
+            let to = 1 - part.bucket_of(v);
+            best_fanout_gain = best_fanout_gain.max(analytic_gain(&fanout, &g, &part, v, to));
+            best_pfanout_gain = best_pfanout_gain.max(analytic_gain(&pfan, &g, &part, v, to));
+        }
+        assert!(best_fanout_gain <= 0.0, "no single move should improve plain fanout");
+        assert!(best_pfanout_gain > 0.0, "p-fanout should see an improving move");
+    }
+
+    #[test]
+    fn final_p_fanout_reduces_to_p_fanout_when_t_is_one() {
+        let a = Objective::FinalPFanout { p: 0.5, t: 1 };
+        let b = Objective::PFanout { p: 0.5 };
+        for n_src in 1..6u32 {
+            for n_dst in 0..6u32 {
+                assert!((a.per_query_gain(n_src, n_dst) - b.per_query_gain(n_src, n_dst)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn for_final_splits_only_affects_p_fanout() {
+        assert_eq!(
+            Objective::PFanout { p: 0.5 }.for_final_splits(4),
+            Objective::FinalPFanout { p: 0.5, t: 4 }
+        );
+        assert_eq!(Objective::PFanout { p: 0.5 }.for_final_splits(1), Objective::PFanout { p: 0.5 });
+        assert_eq!(Objective::Fanout.for_final_splits(4), Objective::Fanout);
+        assert_eq!(Objective::CliqueNet.for_final_splits(4), Objective::CliqueNet);
+    }
+
+    #[test]
+    fn evaluate_matches_hypergraph_metrics() {
+        let (g, p) = figure1();
+        assert!((Objective::Fanout.evaluate(&g, &p) - average_fanout(&g, &p)).abs() < 1e-12);
+        assert!(
+            (Objective::PFanout { p: 0.5 }.evaluate(&g, &p) - average_p_fanout(&g, &p, 0.5)).abs()
+                < 1e-12
+        );
+        assert!(
+            (Objective::CliqueNet.evaluate(&g, &p) - weighted_edge_cut(&g, &p) as f64).abs() < 1e-12
+        );
+        // FinalPFanout with t=1 equals PFanout.
+        assert!(
+            (Objective::FinalPFanout { p: 0.5, t: 1 }.evaluate(&g, &p)
+                - average_p_fanout(&g, &p, 0.5))
+            .abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn from_kind_roundtrip() {
+        assert_eq!(
+            Objective::from_kind(ObjectiveKind::ProbabilisticFanout { p: 0.3 }),
+            Objective::PFanout { p: 0.3 }
+        );
+        assert_eq!(Objective::from_kind(ObjectiveKind::Fanout), Objective::Fanout);
+        assert_eq!(Objective::from_kind(ObjectiveKind::CliqueNet), Objective::CliqueNet);
+    }
+}

@@ -1,0 +1,72 @@
+//! Uniform random bipartite graphs (Erdős–Rényi style), used as an unstructured control.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_pcg::Pcg64;
+use shp_hypergraph::{BipartiteGraph, GraphBuilder};
+
+/// Generates a bipartite graph with `num_queries` queries over `num_data` data vertices where
+/// every query has `query_degree` pins chosen uniformly at random (without replacement within
+/// the query).
+///
+/// # Panics
+/// Panics if `num_data == 0` while `num_queries > 0 && query_degree > 0`.
+pub fn erdos_renyi_bipartite(
+    num_queries: usize,
+    num_data: usize,
+    query_degree: usize,
+    seed: u64,
+) -> BipartiteGraph {
+    assert!(
+        num_data > 0 || num_queries == 0 || query_degree == 0,
+        "cannot draw pins from an empty data set"
+    );
+    let mut rng = Pcg64::seed_from_u64(seed);
+    let mut builder = GraphBuilder::with_capacity(num_queries, num_data);
+    for _ in 0..num_queries {
+        let degree = query_degree.min(num_data);
+        let mut pins = Vec::with_capacity(degree);
+        while pins.len() < degree {
+            let v = rng.gen_range(0..num_data) as u32;
+            if !pins.contains(&v) {
+                pins.push(v);
+            }
+        }
+        builder.add_query(pins);
+    }
+    builder.ensure_data_count(num_data);
+    builder.build().expect("generated ids are in range by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_sizes() {
+        let g = erdos_renyi_bipartite(100, 50, 4, 1);
+        assert_eq!(g.num_queries(), 100);
+        assert_eq!(g.num_data(), 50);
+        assert_eq!(g.num_edges(), 400);
+        assert!(g.queries().all(|q| g.query_degree(q) == 4));
+    }
+
+    #[test]
+    fn is_deterministic_per_seed() {
+        assert_eq!(erdos_renyi_bipartite(50, 30, 3, 7), erdos_renyi_bipartite(50, 30, 3, 7));
+        assert_ne!(erdos_renyi_bipartite(50, 30, 3, 7), erdos_renyi_bipartite(50, 30, 3, 8));
+    }
+
+    #[test]
+    fn degree_is_capped_by_data_count() {
+        let g = erdos_renyi_bipartite(5, 3, 10, 2);
+        assert!(g.queries().all(|q| g.query_degree(q) == 3));
+    }
+
+    #[test]
+    fn empty_graph_is_allowed() {
+        let g = erdos_renyi_bipartite(0, 0, 0, 3);
+        assert_eq!(g.num_queries(), 0);
+        assert_eq!(g.num_data(), 0);
+    }
+}

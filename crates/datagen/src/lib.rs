@@ -1,0 +1,35 @@
+//! # shp-datagen
+//!
+//! Synthetic hypergraph generators reproducing the *shape* of the datasets used in the SHP
+//! paper's evaluation (Table 1) at a configurable scale.
+//!
+//! The original experiments use SNAP graphs (email-Enron, soc-Epinions, web-Stanford,
+//! web-BerkStan, soc-Pokec, soc-LJ) and Darwini-generated Facebook-like graphs
+//! (FB-10M … FB-10B). Neither the SNAP downloads nor billion-edge Darwini graphs are available
+//! offline, so this crate provides generators with the same qualitative structure:
+//!
+//! * [`social`] — a community-structured social graph whose hyperedges are friend lists (every
+//!   user is both a query and a data vertex), standing in for the Darwini FB-x graphs and the
+//!   soc-* graphs.
+//! * [`power_law`] — a bipartite configuration model with power-law query degrees, standing in
+//!   for the heavy-tailed web graphs.
+//! * [`erdos_renyi`] — uniform random bipartite graphs, used as an unstructured control.
+//! * [`planted`] — a planted-partition hypergraph with known ground-truth buckets, used for
+//!   correctness tests (a good partitioner must recover the planted structure).
+//! * [`registry`] — named datasets mirroring Table 1 with a scale factor, so benchmark binaries
+//!   can say "soc-Pokec at 1% scale" and get a deterministic graph.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod erdos_renyi;
+pub mod planted;
+pub mod power_law;
+pub mod registry;
+pub mod social;
+
+pub use erdos_renyi::erdos_renyi_bipartite;
+pub use planted::{planted_partition, PlantedConfig};
+pub use power_law::{power_law_bipartite, PowerLawConfig};
+pub use registry::{Dataset, DatasetSpec};
+pub use social::{social_graph, SocialGraphConfig};

@@ -1,0 +1,128 @@
+//! Planted-partition hypergraphs with known ground truth.
+//!
+//! Vertices are divided into `k` planted blocks; most queries draw all their pins from a single
+//! block, a configurable fraction spans two blocks. A correct partitioner given the true `k`
+//! must essentially recover the planted blocks (average fanout close to 1 + noise), which makes
+//! this generator the workhorse of the correctness tests and of the paper's suggestion to study
+//! algorithms "that provably find a correct solution for certain random hypergraphs
+//! (e.g., generated with a planted partition model)".
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_pcg::Pcg64;
+use serde::{Deserialize, Serialize};
+use shp_hypergraph::{BipartiteGraph, GraphBuilder};
+
+/// Parameters of the planted-partition generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlantedConfig {
+    /// Number of planted blocks (the "true" k).
+    pub num_blocks: u32,
+    /// Number of data vertices per block.
+    pub block_size: usize,
+    /// Number of queries.
+    pub num_queries: usize,
+    /// Query degree (pins per query).
+    pub query_degree: usize,
+    /// Fraction of queries whose pins are drawn from two different blocks.
+    pub noise: f64,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Default for PlantedConfig {
+    fn default() -> Self {
+        PlantedConfig {
+            num_blocks: 4,
+            block_size: 256,
+            num_queries: 4_096,
+            query_degree: 6,
+            noise: 0.05,
+            seed: 1,
+        }
+    }
+}
+
+/// Generates a planted-partition hypergraph. Returns the graph and the planted block of every
+/// data vertex.
+pub fn planted_partition(config: &PlantedConfig) -> (BipartiteGraph, Vec<u32>) {
+    let mut rng = Pcg64::seed_from_u64(config.seed);
+    let k = config.num_blocks.max(1);
+    let n = config.block_size * k as usize;
+    let truth: Vec<u32> = (0..n).map(|v| (v / config.block_size.max(1)) as u32).collect();
+    let mut builder = GraphBuilder::with_capacity(config.num_queries, n);
+    if n == 0 {
+        return (builder.build().expect("empty graph"), truth);
+    }
+    for _ in 0..config.num_queries {
+        let primary = rng.gen_range(0..k) as usize;
+        let noisy = rng.gen_bool(config.noise.clamp(0.0, 1.0)) && k > 1;
+        let secondary = if noisy {
+            let mut s = rng.gen_range(0..k) as usize;
+            while s == primary {
+                s = rng.gen_range(0..k) as usize;
+            }
+            Some(s)
+        } else {
+            None
+        };
+        let degree = config.query_degree.max(1).min(n);
+        let mut pins = Vec::with_capacity(degree);
+        while pins.len() < degree {
+            let block = match secondary {
+                Some(s) if pins.len() % 2 == 1 => s,
+                _ => primary,
+            };
+            let start = block * config.block_size;
+            let v = (start + rng.gen_range(0..config.block_size)) as u32;
+            if !pins.contains(&v) {
+                pins.push(v);
+            }
+        }
+        builder.add_query(pins);
+    }
+    builder.ensure_data_count(n);
+    (builder.build().expect("generated ids are in range"), truth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shp_hypergraph::{average_fanout, Partition};
+
+    #[test]
+    fn planted_blocks_have_fanout_close_to_one() {
+        let config = PlantedConfig { noise: 0.0, ..Default::default() };
+        let (g, truth) = planted_partition(&config);
+        let p = Partition::from_assignment(&g, config.num_blocks, truth).unwrap();
+        assert!((average_fanout(&g, &p) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noise_fraction_controls_cross_block_queries() {
+        let config = PlantedConfig { noise: 0.3, num_queries: 10_000, ..Default::default() };
+        let (g, truth) = planted_partition(&config);
+        let p = Partition::from_assignment(&g, config.num_blocks, truth).unwrap();
+        let fanout = average_fanout(&g, &p);
+        // Roughly 30% of queries have fanout 2 under the planted partition.
+        assert!(fanout > 1.2 && fanout < 1.4, "fanout {fanout}");
+    }
+
+    #[test]
+    fn sizes_match_configuration() {
+        let config = PlantedConfig { num_blocks: 3, block_size: 100, num_queries: 500, ..Default::default() };
+        let (g, truth) = planted_partition(&config);
+        assert_eq!(g.num_data(), 300);
+        assert_eq!(g.num_queries(), 500);
+        assert_eq!(truth.len(), 300);
+        assert!(truth.iter().all(|&b| b < 3));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let config = PlantedConfig::default();
+        assert_eq!(planted_partition(&config).0, planted_partition(&config).0);
+        let other = PlantedConfig { seed: 2, ..config };
+        assert_ne!(planted_partition(&config).0, planted_partition(&other).0);
+    }
+}

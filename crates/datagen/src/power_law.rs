@@ -1,0 +1,146 @@
+//! A bipartite configuration model with power-law query degrees.
+//!
+//! Web graphs and social graphs have heavy-tailed degree distributions; this generator draws
+//! each query's degree from a bounded Pareto distribution and its pins from a preferential
+//! (size-biased) distribution over the data vertices, giving both sides skewed degrees — the
+//! property that stresses hypergraph partitioners (large hyperedges, hub data vertices).
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_pcg::Pcg64;
+use serde::{Deserialize, Serialize};
+use shp_hypergraph::{BipartiteGraph, GraphBuilder};
+
+/// Parameters of the power-law bipartite generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerLawConfig {
+    /// Number of query vertices (hyperedges).
+    pub num_queries: usize,
+    /// Number of data vertices.
+    pub num_data: usize,
+    /// Minimum query degree (hyperedge size).
+    pub min_degree: usize,
+    /// Maximum query degree.
+    pub max_degree: usize,
+    /// Pareto exponent of the degree distribution (larger = lighter tail); typical 2.0–2.5.
+    pub exponent: f64,
+    /// Strength of preferential attachment on the data side: 0.0 = uniform pins, 1.0 = strongly
+    /// skewed data degrees.
+    pub preferential: f64,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Default for PowerLawConfig {
+    fn default() -> Self {
+        PowerLawConfig {
+            num_queries: 10_000,
+            num_data: 10_000,
+            min_degree: 2,
+            max_degree: 100,
+            exponent: 2.2,
+            preferential: 0.5,
+            seed: 1,
+        }
+    }
+}
+
+/// Draws a bounded Pareto-distributed integer in `[min, max]`.
+fn bounded_pareto<R: Rng>(rng: &mut R, min: f64, max: f64, alpha: f64) -> f64 {
+    // Inverse-CDF sampling of the bounded Pareto distribution.
+    let u: f64 = rng.gen_range(0.0..1.0);
+    let l = min.powf(-alpha);
+    let h = max.powf(-alpha);
+    (-(u * (l - h) - l)).powf(-1.0 / alpha)
+}
+
+/// Generates a power-law bipartite graph.
+pub fn power_law_bipartite(config: &PowerLawConfig) -> BipartiteGraph {
+    let mut rng = Pcg64::seed_from_u64(config.seed);
+    let mut builder = GraphBuilder::with_capacity(config.num_queries, config.num_data);
+    if config.num_data == 0 {
+        return builder.build().expect("empty graph");
+    }
+    let n = config.num_data;
+    for _ in 0..config.num_queries {
+        let raw = bounded_pareto(
+            &mut rng,
+            config.min_degree.max(1) as f64,
+            config.max_degree.max(config.min_degree.max(1)) as f64,
+            config.exponent,
+        );
+        let degree = (raw.round() as usize).clamp(config.min_degree.max(1), config.max_degree.max(1)).min(n);
+        let mut pins = Vec::with_capacity(degree);
+        let mut attempts = 0;
+        while pins.len() < degree && attempts < degree * 20 {
+            attempts += 1;
+            let v = if rng.gen_bool(config.preferential.clamp(0.0, 1.0)) {
+                // Size-biased choice: squaring a uniform skews towards low ids, which act as
+                // "hub" data vertices.
+                let u: f64 = rng.gen_range(0.0..1.0);
+                ((u * u) * n as f64) as usize
+            } else {
+                rng.gen_range(0..n)
+            }
+            .min(n - 1) as u32;
+            if !pins.contains(&v) {
+                pins.push(v);
+            }
+        }
+        builder.add_query(pins);
+    }
+    builder.ensure_data_count(n);
+    builder.build().expect("generated ids are in range by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_counts_and_degree_bounds() {
+        let config = PowerLawConfig {
+            num_queries: 2_000,
+            num_data: 1_000,
+            min_degree: 2,
+            max_degree: 50,
+            ..Default::default()
+        };
+        let g = power_law_bipartite(&config);
+        assert_eq!(g.num_queries(), 2_000);
+        assert_eq!(g.num_data(), 1_000);
+        for q in g.queries() {
+            let d = g.query_degree(q);
+            assert!(d >= 2 && d <= 50, "degree {d} out of bounds");
+        }
+    }
+
+    #[test]
+    fn degree_distribution_is_heavy_tailed() {
+        let config = PowerLawConfig { num_queries: 5_000, num_data: 5_000, ..Default::default() };
+        let g = power_law_bipartite(&config);
+        let avg = g.avg_query_degree();
+        let max = g.max_query_degree();
+        // A heavy tail means the max degree greatly exceeds the average.
+        assert!(max as f64 > avg * 5.0, "max {max} avg {avg}");
+        // Preferential attachment should create data-side hubs too.
+        assert!(g.max_data_degree() as f64 > g.avg_data_degree() * 5.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let config = PowerLawConfig { num_queries: 500, num_data: 500, ..Default::default() };
+        assert_eq!(power_law_bipartite(&config), power_law_bipartite(&config));
+        let other = PowerLawConfig { seed: 99, ..config };
+        assert_ne!(power_law_bipartite(&config), power_law_bipartite(&other));
+    }
+
+    #[test]
+    fn bounded_pareto_respects_bounds() {
+        let mut rng = Pcg64::seed_from_u64(3);
+        for _ in 0..1_000 {
+            let x = bounded_pareto(&mut rng, 2.0, 100.0, 2.0);
+            assert!((2.0..=100.0).contains(&x), "{x}");
+        }
+    }
+}

@@ -1,0 +1,294 @@
+//! A named registry of datasets mirroring Table 1 of the paper at a configurable scale.
+//!
+//! Each entry records the published `|Q|`, `|D|`, `|E|` of the original dataset and the
+//! generator used to synthesize a structurally similar graph at `scale ∈ (0, 1]` of the
+//! original size (the default benchmark scale keeps every graph comfortably inside one
+//! machine). Benchmark binaries iterate over the registry so that every table and figure can
+//! name its datasets exactly like the paper does.
+
+use crate::power_law::{power_law_bipartite, PowerLawConfig};
+use crate::social::{social_graph, SocialGraphConfig};
+use serde::{Deserialize, Serialize};
+use shp_hypergraph::BipartiteGraph;
+
+/// The datasets of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(non_camel_case_types)]
+pub enum Dataset {
+    /// email-Enron (SNAP).
+    EmailEnron,
+    /// soc-Epinions (SNAP).
+    SocEpinions,
+    /// web-Stanford (SNAP).
+    WebStanford,
+    /// web-BerkStan (SNAP).
+    WebBerkStan,
+    /// soc-Pokec (SNAP).
+    SocPokec,
+    /// soc-LiveJournal (SNAP).
+    SocLiveJournal,
+    /// FB-10M (Darwini).
+    Fb10M,
+    /// FB-50M (Darwini).
+    Fb50M,
+    /// FB-2B (Darwini).
+    Fb2B,
+    /// FB-5B (Darwini).
+    Fb5B,
+    /// FB-10B (Darwini).
+    Fb10B,
+}
+
+/// Specification of one registry entry: the published sizes plus the generator family.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    /// Dataset name as used in the paper.
+    pub name: &'static str,
+    /// Published number of query vertices (hyperedges).
+    pub paper_queries: u64,
+    /// Published number of data vertices.
+    pub paper_data: u64,
+    /// Published number of bipartite edges (pins).
+    pub paper_edges: u64,
+    /// Which generator family is used for the synthetic stand-in.
+    pub family: GeneratorFamily,
+}
+
+/// Generator family of a dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GeneratorFamily {
+    /// Community-structured social graph (soc-*, FB-*).
+    Social,
+    /// Heavy-tailed web-like bipartite graph (web-*, email-*).
+    PowerLaw,
+}
+
+impl Dataset {
+    /// All datasets, in the order of Table 1.
+    pub fn all() -> &'static [Dataset] {
+        &[
+            Dataset::EmailEnron,
+            Dataset::SocEpinions,
+            Dataset::WebStanford,
+            Dataset::WebBerkStan,
+            Dataset::SocPokec,
+            Dataset::SocLiveJournal,
+            Dataset::Fb10M,
+            Dataset::Fb50M,
+            Dataset::Fb2B,
+            Dataset::Fb5B,
+            Dataset::Fb10B,
+        ]
+    }
+
+    /// The "small" datasets used in the single-machine quality comparison (Table 2).
+    pub fn quality_benchmark_set() -> &'static [Dataset] {
+        &[
+            Dataset::EmailEnron,
+            Dataset::SocEpinions,
+            Dataset::WebStanford,
+            Dataset::WebBerkStan,
+            Dataset::SocPokec,
+            Dataset::SocLiveJournal,
+            Dataset::Fb10M,
+            Dataset::Fb50M,
+        ]
+    }
+
+    /// The large datasets used in the distributed scalability comparison (Table 3, Figure 5).
+    pub fn scalability_benchmark_set() -> &'static [Dataset] {
+        &[
+            Dataset::SocPokec,
+            Dataset::SocLiveJournal,
+            Dataset::Fb50M,
+            Dataset::Fb2B,
+            Dataset::Fb5B,
+            Dataset::Fb10B,
+        ]
+    }
+
+    /// The specification (published sizes and generator family) of the dataset.
+    pub fn spec(&self) -> DatasetSpec {
+        match self {
+            Dataset::EmailEnron => DatasetSpec {
+                name: "email-Enron",
+                paper_queries: 25_481,
+                paper_data: 36_692,
+                paper_edges: 356_451,
+                family: GeneratorFamily::PowerLaw,
+            },
+            Dataset::SocEpinions => DatasetSpec {
+                name: "soc-Epinions",
+                paper_queries: 31_149,
+                paper_data: 75_879,
+                paper_edges: 479_645,
+                family: GeneratorFamily::Social,
+            },
+            Dataset::WebStanford => DatasetSpec {
+                name: "web-Stanford",
+                paper_queries: 253_097,
+                paper_data: 281_903,
+                paper_edges: 2_283_863,
+                family: GeneratorFamily::PowerLaw,
+            },
+            Dataset::WebBerkStan => DatasetSpec {
+                name: "web-BerkStan",
+                paper_queries: 609_527,
+                paper_data: 685_230,
+                paper_edges: 7_529_636,
+                family: GeneratorFamily::PowerLaw,
+            },
+            Dataset::SocPokec => DatasetSpec {
+                name: "soc-Pokec",
+                paper_queries: 1_277_002,
+                paper_data: 1_632_803,
+                paper_edges: 30_466_873,
+                family: GeneratorFamily::Social,
+            },
+            Dataset::SocLiveJournal => DatasetSpec {
+                name: "soc-LJ",
+                paper_queries: 3_392_317,
+                paper_data: 4_847_571,
+                paper_edges: 68_077_638,
+                family: GeneratorFamily::Social,
+            },
+            Dataset::Fb10M => DatasetSpec {
+                name: "FB-10M",
+                paper_queries: 32_296,
+                paper_data: 32_770,
+                paper_edges: 10_099_740,
+                family: GeneratorFamily::Social,
+            },
+            Dataset::Fb50M => DatasetSpec {
+                name: "FB-50M",
+                paper_queries: 152_263,
+                paper_data: 154_551,
+                paper_edges: 49_998_426,
+                family: GeneratorFamily::Social,
+            },
+            Dataset::Fb2B => DatasetSpec {
+                name: "FB-2B",
+                paper_queries: 6_063_442,
+                paper_data: 6_153_846,
+                paper_edges: 2_000_000_000,
+                family: GeneratorFamily::Social,
+            },
+            Dataset::Fb5B => DatasetSpec {
+                name: "FB-5B",
+                paper_queries: 15_150_402,
+                paper_data: 15_376_099,
+                paper_edges: 5_000_000_000,
+                family: GeneratorFamily::Social,
+            },
+            Dataset::Fb10B => DatasetSpec {
+                name: "FB-10B",
+                paper_queries: 30_302_615,
+                paper_data: 40_361_708,
+                paper_edges: 10_000_000_000,
+                family: GeneratorFamily::Social,
+            },
+        }
+    }
+
+    /// Parses a dataset by its paper name (case-insensitive).
+    pub fn from_name(name: &str) -> Option<Dataset> {
+        let lower = name.to_ascii_lowercase();
+        Dataset::all()
+            .iter()
+            .copied()
+            .find(|d| d.spec().name.to_ascii_lowercase() == lower)
+    }
+
+    /// Generates a synthetic stand-in at the given `scale ∈ (0, 1]` of the published size.
+    /// The result is deterministic for a `(dataset, scale, seed)` triple.
+    ///
+    /// # Panics
+    /// Panics if `scale` is not in `(0, 1]`.
+    pub fn generate(&self, scale: f64, seed: u64) -> BipartiteGraph {
+        assert!(scale > 0.0 && scale <= 1.0, "scale must lie in (0, 1], got {scale}");
+        let spec = self.spec();
+        // Keep at least a small floor so extreme scales remain meaningful graphs.
+        let num_queries = ((spec.paper_queries as f64 * scale) as usize).max(200);
+        let num_data = ((spec.paper_data as f64 * scale) as usize).max(200);
+        let avg_degree = (spec.paper_edges as f64 / spec.paper_queries as f64).max(2.0);
+        match spec.family {
+            GeneratorFamily::PowerLaw => power_law_bipartite(&PowerLawConfig {
+                num_queries,
+                num_data,
+                min_degree: 2,
+                max_degree: ((avg_degree * 20.0) as usize).clamp(8, 2_000),
+                exponent: 2.1,
+                preferential: 0.6,
+                seed: seed ^ hash_name(spec.name),
+            }),
+            GeneratorFamily::Social => {
+                // For social graphs every user is both query and data; use the data count and
+                // halve the degree because friend-list symmetrization doubles it.
+                let users = num_data.max(num_queries);
+                social_graph(&SocialGraphConfig {
+                    num_users: users,
+                    avg_degree: ((avg_degree / 2.0) as usize).clamp(2, 400),
+                    avg_community_size: (users / 200).clamp(20, 2_000),
+                    cross_community_fraction: 0.08,
+                    seed: seed ^ hash_name(spec.name),
+                })
+            }
+        }
+    }
+}
+
+/// Stable hash of a dataset name, mixed into the seed so different datasets generated with the
+/// same seed are not correlated.
+fn hash_name(name: &str) -> u64 {
+    name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| (h ^ b as u64).wrapping_mul(0x1000_0000_01b3))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_lists_all_table1_datasets() {
+        assert_eq!(Dataset::all().len(), 11);
+        assert_eq!(Dataset::quality_benchmark_set().len(), 8);
+        assert_eq!(Dataset::scalability_benchmark_set().len(), 6);
+    }
+
+    #[test]
+    fn from_name_roundtrips() {
+        for &d in Dataset::all() {
+            assert_eq!(Dataset::from_name(d.spec().name), Some(d));
+        }
+        assert_eq!(Dataset::from_name("soc-pokec"), Some(Dataset::SocPokec));
+        assert_eq!(Dataset::from_name("nonexistent"), None);
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_scaled() {
+        let small = Dataset::EmailEnron.generate(0.05, 1);
+        let small2 = Dataset::EmailEnron.generate(0.05, 1);
+        assert_eq!(small, small2);
+        let bigger = Dataset::EmailEnron.generate(0.2, 1);
+        assert!(bigger.num_edges() > small.num_edges());
+    }
+
+    #[test]
+    fn social_family_has_equal_query_and_data_counts() {
+        let g = Dataset::Fb10M.generate(0.02, 1);
+        assert_eq!(g.num_queries(), g.num_data());
+        assert!(g.num_edges() > g.num_queries());
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must lie in (0, 1]")]
+    fn invalid_scale_panics() {
+        let _ = Dataset::SocPokec.generate(0.0, 1);
+    }
+
+    #[test]
+    fn spec_sizes_match_table1_values() {
+        assert_eq!(Dataset::SocLiveJournal.spec().paper_edges, 68_077_638);
+        assert_eq!(Dataset::WebStanford.spec().paper_queries, 253_097);
+        assert_eq!(Dataset::Fb10B.spec().paper_edges, 10_000_000_000);
+    }
+}

@@ -1,0 +1,282 @@
+//! Incremental construction of [`BipartiteGraph`]s.
+
+use crate::bipartite::{BipartiteGraph, DataId, QueryId};
+use crate::error::{GraphError, Result};
+
+/// Builds a [`BipartiteGraph`] from hyperedges (queries) added one at a time.
+///
+/// The builder stores hyperedges as supplied, deduplicates pins inside each hyperedge, and
+/// on [`GraphBuilder::build`] produces CSR adjacency in both directions. Data-vertex ids are
+/// taken literally: adding a query containing data id `v` implies the graph has at least
+/// `v + 1` data vertices.
+///
+/// # Example
+///
+/// ```
+/// use shp_hypergraph::GraphBuilder;
+///
+/// let mut builder = GraphBuilder::new();
+/// builder.add_query([0, 1, 2]);
+/// builder.add_query([2, 3]);
+/// let graph = builder.build().unwrap();
+/// assert_eq!(graph.num_queries(), 2);
+/// assert_eq!(graph.num_data(), 4);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct GraphBuilder {
+    /// Pins of each hyperedge added so far.
+    queries: Vec<Vec<DataId>>,
+    /// Largest data id seen plus one.
+    num_data: usize,
+    /// Optional explicit data weights.
+    data_weights: Option<Vec<u32>>,
+    /// Whether duplicate pins within a hyperedge should be removed (default true).
+    dedup_pins: bool,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        GraphBuilder { queries: Vec::new(), num_data: 0, data_weights: None, dedup_pins: true }
+    }
+
+    /// Creates an empty builder with capacity hints.
+    pub fn with_capacity(num_queries: usize, num_data: usize) -> Self {
+        GraphBuilder {
+            queries: Vec::with_capacity(num_queries),
+            num_data,
+            data_weights: None,
+            dedup_pins: true,
+        }
+    }
+
+    /// Disables in-hyperedge pin deduplication (useful when the caller guarantees uniqueness
+    /// and wants to avoid the sort).
+    pub fn without_dedup(mut self) -> Self {
+        self.dedup_pins = false;
+        self
+    }
+
+    /// Adds one query (hyperedge) with the given data-vertex pins. Returns the id assigned to
+    /// the new query.
+    pub fn add_query<I>(&mut self, pins: I) -> QueryId
+    where
+        I: IntoIterator<Item = DataId>,
+    {
+        let mut pins: Vec<DataId> = pins.into_iter().collect();
+        if self.dedup_pins {
+            pins.sort_unstable();
+            pins.dedup();
+        }
+        for &v in &pins {
+            if (v as usize) >= self.num_data {
+                self.num_data = v as usize + 1;
+            }
+        }
+        let id = self.queries.len() as QueryId;
+        self.queries.push(pins);
+        id
+    }
+
+    /// Ensures that the built graph has at least `n` data vertices even if some of them are
+    /// isolated (not referenced by any query).
+    pub fn ensure_data_count(&mut self, n: usize) {
+        if n > self.num_data {
+            self.num_data = n;
+        }
+    }
+
+    /// Attaches explicit data-vertex weights; the vector length must match the final data
+    /// count at `build()` time.
+    pub fn set_data_weights(&mut self, weights: Vec<u32>) {
+        self.ensure_data_count(weights.len());
+        self.data_weights = Some(weights);
+    }
+
+    /// Number of queries added so far.
+    pub fn num_queries(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Number of data vertices implied so far.
+    pub fn num_data(&self) -> usize {
+        self.num_data
+    }
+
+    /// Total number of pins added so far.
+    pub fn num_pins(&self) -> usize {
+        self.queries.iter().map(|q| q.len()).sum()
+    }
+
+    /// Finalizes the builder into an immutable [`BipartiteGraph`].
+    ///
+    /// # Errors
+    /// Returns [`GraphError::PartitionLengthMismatch`] if explicit weights were supplied whose
+    /// length differs from the final number of data vertices.
+    pub fn build(self) -> Result<BipartiteGraph> {
+        let num_queries = self.queries.len();
+        let num_data = self.num_data;
+        if let Some(w) = &self.data_weights {
+            if w.len() != num_data {
+                return Err(GraphError::PartitionLengthMismatch { got: w.len(), expected: num_data });
+            }
+        }
+
+        // Query-side CSR.
+        let mut query_offsets: Vec<u64> = Vec::with_capacity(num_queries + 1);
+        query_offsets.push(0);
+        let total_pins: usize = self.queries.iter().map(|q| q.len()).sum();
+        let mut query_adjacency: Vec<DataId> = Vec::with_capacity(total_pins);
+        for pins in &self.queries {
+            query_adjacency.extend_from_slice(pins);
+            query_offsets.push(query_adjacency.len() as u64);
+        }
+
+        // Data-side CSR via counting sort over the query adjacency.
+        let mut data_degree = vec![0u64; num_data];
+        for &v in &query_adjacency {
+            data_degree[v as usize] += 1;
+        }
+        let mut data_offsets = vec![0u64; num_data + 1];
+        for v in 0..num_data {
+            data_offsets[v + 1] = data_offsets[v] + data_degree[v];
+        }
+        let mut cursor = data_offsets.clone();
+        let mut data_adjacency = vec![0 as QueryId; total_pins];
+        for (q, pins) in self.queries.iter().enumerate() {
+            for &v in pins {
+                let pos = cursor[v as usize];
+                data_adjacency[pos as usize] = q as QueryId;
+                cursor[v as usize] = pos + 1;
+            }
+        }
+
+        Ok(BipartiteGraph::from_csr(
+            query_offsets,
+            query_adjacency,
+            data_offsets,
+            data_adjacency,
+            self.data_weights,
+        ))
+    }
+
+    /// Convenience constructor: builds a graph from a slice of hyperedges.
+    pub fn from_hyperedges<I, P>(hyperedges: I) -> Result<BipartiteGraph>
+    where
+        I: IntoIterator<Item = P>,
+        P: IntoIterator<Item = DataId>,
+    {
+        let mut builder = GraphBuilder::new();
+        for pins in hyperedges {
+            builder.add_query(pins);
+        }
+        builder.build()
+    }
+
+    /// Convenience constructor: builds a graph from `(query, data)` edge pairs. Query ids are
+    /// taken literally (queries with no edges become empty hyperedges).
+    pub fn from_edge_list(edges: &[(QueryId, DataId)]) -> Result<BipartiteGraph> {
+        let num_queries = edges.iter().map(|&(q, _)| q as usize + 1).max().unwrap_or(0);
+        let mut pins: Vec<Vec<DataId>> = vec![Vec::new(); num_queries];
+        for &(q, v) in edges {
+            pins[q as usize].push(v);
+        }
+        let mut builder = GraphBuilder::with_capacity(num_queries, 0);
+        for p in pins {
+            builder.add_query(p);
+        }
+        builder.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_builder_builds_empty_graph() {
+        let g = GraphBuilder::new().build().unwrap();
+        assert_eq!(g.num_queries(), 0);
+        assert_eq!(g.num_data(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn duplicate_pins_are_removed() {
+        let mut b = GraphBuilder::new();
+        b.add_query([1u32, 1, 2, 2, 2]);
+        let g = b.build().unwrap();
+        assert_eq!(g.query_neighbors(0), &[1, 2]);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn without_dedup_keeps_duplicates() {
+        let mut b = GraphBuilder::new().without_dedup();
+        b.add_query([1u32, 1, 2]);
+        let g = b.build().unwrap();
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn ensure_data_count_creates_isolated_vertices() {
+        let mut b = GraphBuilder::new();
+        b.add_query([0u32, 1]);
+        b.ensure_data_count(10);
+        let g = b.build().unwrap();
+        assert_eq!(g.num_data(), 10);
+        assert_eq!(g.data_degree(9), 0);
+    }
+
+    #[test]
+    fn weights_must_match_data_count() {
+        let mut b = GraphBuilder::new();
+        b.add_query([0u32, 1, 2]);
+        b.set_data_weights(vec![5, 5]); // ensure_data_count keeps 3 from the query
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn from_hyperedges_matches_incremental() {
+        let g1 = GraphBuilder::from_hyperedges(vec![vec![0u32, 1], vec![1, 2, 3]]).unwrap();
+        let mut b = GraphBuilder::new();
+        b.add_query([0u32, 1]);
+        b.add_query([1u32, 2, 3]);
+        let g2 = b.build().unwrap();
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn from_edge_list_groups_by_query() {
+        let g = GraphBuilder::from_edge_list(&[(0, 5), (1, 2), (0, 3), (2, 0)]).unwrap();
+        assert_eq!(g.num_queries(), 3);
+        assert_eq!(g.query_neighbors(0), &[3, 5]);
+        assert_eq!(g.query_neighbors(1), &[2]);
+        assert_eq!(g.query_neighbors(2), &[0]);
+        assert_eq!(g.num_data(), 6);
+    }
+
+    #[test]
+    fn builder_counts_are_tracked() {
+        let mut b = GraphBuilder::new();
+        assert_eq!(b.num_queries(), 0);
+        b.add_query([0u32, 4]);
+        b.add_query([1u32]);
+        assert_eq!(b.num_queries(), 2);
+        assert_eq!(b.num_data(), 5);
+        assert_eq!(b.num_pins(), 3);
+    }
+
+    #[test]
+    fn data_side_adjacency_is_sorted_by_query_id() {
+        let mut b = GraphBuilder::new();
+        b.add_query([0u32, 1]);
+        b.add_query([0u32, 2]);
+        b.add_query([0u32, 1, 2]);
+        let g = b.build().unwrap();
+        // Counting sort emits queries in insertion order, which is ascending query id.
+        assert_eq!(g.data_neighbors(0), &[0, 1, 2]);
+        assert_eq!(g.data_neighbors(1), &[0, 2]);
+        assert_eq!(g.data_neighbors(2), &[1, 2]);
+    }
+}

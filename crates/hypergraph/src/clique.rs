@@ -1,0 +1,204 @@
+//! The clique-net graph of Lemma 2.
+//!
+//! For a bipartite graph `G = (Q ∪ D, E)` the clique-net graph is the weighted unipartite
+//! graph on the data vertices where the weight of edge `(u, v)` is the number of queries that
+//! contain both `u` and `v`. Lemma 2 of the SHP paper shows that optimizing p-fanout with
+//! `p → 0` is equivalent to minimizing weighted edge-cut on this graph; the classical
+//! clique-net heuristic materializes it (with sampling to bound the quadratic blow-up) and
+//! runs a graph partitioner on it.
+//!
+//! The SHP algorithm never needs the materialized graph (it optimizes the p→0 objective
+//! directly), but the baseline multilevel partitioner and several tests and benchmarks do.
+
+use crate::bipartite::{BipartiteGraph, DataId};
+use std::collections::HashMap;
+
+/// A weighted unipartite graph over data vertices in CSR form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliqueNetGraph {
+    /// CSR offsets, length `num_vertices + 1`.
+    offsets: Vec<u64>,
+    /// Neighbor ids, concatenated.
+    neighbors: Vec<DataId>,
+    /// Edge weights, parallel to `neighbors`.
+    weights: Vec<u32>,
+}
+
+impl CliqueNetGraph {
+    /// Builds the clique-net graph of `graph`.
+    ///
+    /// Hyperedges larger than `max_hyperedge_size` are skipped (the standard sampling guard
+    /// against the `Ω(n²)` blow-up described in Section 3.1); pass `usize::MAX` to include all
+    /// hyperedges.
+    pub fn build(graph: &BipartiteGraph, max_hyperedge_size: usize) -> Self {
+        let n = graph.num_data();
+        // Accumulate weights per (min, max) vertex pair using per-vertex hash maps keyed by the
+        // larger endpoint; memory stays proportional to the number of distinct clique edges.
+        let mut adj: Vec<HashMap<DataId, u32>> = vec![HashMap::new(); n];
+        for q in graph.queries() {
+            let pins = graph.query_neighbors(q);
+            if pins.len() < 2 || pins.len() > max_hyperedge_size {
+                continue;
+            }
+            for i in 0..pins.len() {
+                for j in (i + 1)..pins.len() {
+                    let (a, b) = if pins[i] < pins[j] { (pins[i], pins[j]) } else { (pins[j], pins[i]) };
+                    *adj[a as usize].entry(b).or_insert(0) += 1;
+                }
+            }
+        }
+
+        // Symmetrize into CSR.
+        let mut degree = vec![0u64; n];
+        for (a, nbrs) in adj.iter().enumerate() {
+            for (&b, _) in nbrs {
+                degree[a] += 1;
+                degree[b as usize] += 1;
+            }
+        }
+        let mut offsets = vec![0u64; n + 1];
+        for v in 0..n {
+            offsets[v + 1] = offsets[v] + degree[v];
+        }
+        let total = offsets[n] as usize;
+        let mut neighbors = vec![0 as DataId; total];
+        let mut weights = vec![0u32; total];
+        let mut cursor: Vec<u64> = offsets.clone();
+        for (a, nbrs) in adj.iter().enumerate() {
+            for (&b, &w) in nbrs {
+                let pa = cursor[a] as usize;
+                neighbors[pa] = b;
+                weights[pa] = w;
+                cursor[a] += 1;
+                let pb = cursor[b as usize] as usize;
+                neighbors[pb] = a as DataId;
+                weights[pb] = w;
+                cursor[b as usize] += 1;
+            }
+        }
+        CliqueNetGraph { offsets, neighbors, weights }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of (directed) neighbor entries; every undirected edge appears twice.
+    pub fn num_directed_edges(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Number of undirected weighted edges.
+    pub fn num_edges(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// Neighbors of vertex `v` with their weights.
+    pub fn neighbors(&self, v: DataId) -> impl Iterator<Item = (DataId, u32)> + '_ {
+        let start = self.offsets[v as usize] as usize;
+        let end = self.offsets[v as usize + 1] as usize;
+        self.neighbors[start..end]
+            .iter()
+            .copied()
+            .zip(self.weights[start..end].iter().copied())
+    }
+
+    /// Weighted degree of vertex `v` (sum of incident edge weights).
+    pub fn weighted_degree(&self, v: DataId) -> u64 {
+        self.neighbors(v).map(|(_, w)| w as u64).sum()
+    }
+
+    /// Total weight over all undirected edges.
+    pub fn total_edge_weight(&self) -> u64 {
+        self.weights.iter().map(|&w| w as u64).sum::<u64>() / 2
+    }
+
+    /// Weighted edge-cut of a bucket assignment over this graph.
+    ///
+    /// # Panics
+    /// Panics if `assignment.len() != num_vertices()`.
+    pub fn edge_cut(&self, assignment: &[u32]) -> u64 {
+        assert_eq!(assignment.len(), self.num_vertices());
+        let mut cut = 0u64;
+        for v in 0..self.num_vertices() as DataId {
+            for (u, w) in self.neighbors(v) {
+                if u > v && assignment[u as usize] != assignment[v as usize] {
+                    cut += w as u64;
+                }
+            }
+        }
+        cut
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn figure1() -> BipartiteGraph {
+        let mut b = GraphBuilder::new();
+        b.add_query([0u32, 1, 5]);
+        b.add_query([0u32, 1, 2, 3]);
+        b.add_query([3u32, 4, 5]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn clique_weights_count_shared_queries() {
+        let g = figure1();
+        let c = CliqueNetGraph::build(&g, usize::MAX);
+        assert_eq!(c.num_vertices(), 6);
+        // Vertices 0 and 1 share two queries.
+        let w01 = c.neighbors(0).find(|&(u, _)| u == 1).map(|(_, w)| w);
+        assert_eq!(w01, Some(2));
+        // Vertices 0 and 4 share none.
+        assert!(c.neighbors(0).all(|(u, _)| u != 4));
+        // Each undirected edge appears once from each side with the same weight.
+        let w10 = c.neighbors(1).find(|&(u, _)| u == 0).map(|(_, w)| w);
+        assert_eq!(w10, Some(2));
+    }
+
+    #[test]
+    fn total_edge_weight_equals_sum_of_query_pairs() {
+        let g = figure1();
+        let c = CliqueNetGraph::build(&g, usize::MAX);
+        // Sum over queries of C(|N(q)|, 2): C(3,2)+C(4,2)+C(3,2) = 3+6+3 = 12.
+        assert_eq!(c.total_edge_weight(), 12);
+    }
+
+    #[test]
+    fn max_hyperedge_size_filters_large_edges() {
+        let g = figure1();
+        let c = CliqueNetGraph::build(&g, 3);
+        // The size-4 query is skipped: remaining weight = 3 + 3 = 6.
+        assert_eq!(c.total_edge_weight(), 6);
+    }
+
+    #[test]
+    fn edge_cut_matches_weighted_edge_cut_metric() {
+        let g = figure1();
+        let c = CliqueNetGraph::build(&g, usize::MAX);
+        let assignment = vec![0u32, 0, 0, 1, 1, 1];
+        let p = crate::Partition::from_assignment(&g, 2, assignment.clone()).unwrap();
+        assert_eq!(c.edge_cut(&assignment), crate::metrics::weighted_edge_cut(&g, &p));
+    }
+
+    #[test]
+    fn weighted_degree_sums_incident_weights() {
+        let g = figure1();
+        let c = CliqueNetGraph::build(&g, usize::MAX);
+        // Vertex 0: neighbors 1 (w2), 5 (w1), 2 (w1), 3 (w1) -> total 5.
+        assert_eq!(c.weighted_degree(0), 5);
+    }
+
+    #[test]
+    fn empty_graph_produces_empty_clique_net() {
+        let g = GraphBuilder::new().build().unwrap();
+        let c = CliqueNetGraph::build(&g, usize::MAX);
+        assert_eq!(c.num_vertices(), 0);
+        assert_eq!(c.num_edges(), 0);
+        assert_eq!(c.total_edge_weight(), 0);
+    }
+}

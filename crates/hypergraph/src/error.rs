@@ -1,0 +1,146 @@
+//! Error type shared by graph construction, IO, and partition validation.
+
+use std::fmt;
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, GraphError>;
+
+/// Errors produced while building, reading, writing, or validating graphs and partitions.
+#[derive(Debug)]
+pub enum GraphError {
+    /// An edge referenced a query vertex id outside the declared range.
+    QueryOutOfRange {
+        /// Offending query id.
+        query: u32,
+        /// Number of query vertices in the graph.
+        num_queries: u32,
+    },
+    /// An edge referenced a data vertex id outside the declared range.
+    DataOutOfRange {
+        /// Offending data id.
+        data: u32,
+        /// Number of data vertices in the graph.
+        num_data: u32,
+    },
+    /// A partition vector had the wrong length for the graph it is paired with.
+    PartitionLengthMismatch {
+        /// Length of the supplied assignment vector.
+        got: usize,
+        /// Number of data vertices expected.
+        expected: usize,
+    },
+    /// A bucket id was not smaller than the declared number of buckets.
+    BucketOutOfRange {
+        /// Offending bucket id.
+        bucket: u32,
+        /// Declared number of buckets.
+        num_buckets: u32,
+    },
+    /// The requested number of buckets is invalid (must be at least 1).
+    InvalidBucketCount(u32),
+    /// The requested imbalance ratio is invalid (must be finite and non-negative).
+    InvalidImbalance(f64),
+    /// A text file could not be parsed.
+    Parse {
+        /// 1-based line number where parsing failed.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// An underlying IO failure.
+    Io(std::io::Error),
+    /// The graph is empty where a non-empty graph is required.
+    EmptyGraph,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::QueryOutOfRange { query, num_queries } => write!(
+                f,
+                "query vertex id {query} out of range (graph has {num_queries} query vertices)"
+            ),
+            GraphError::DataOutOfRange { data, num_data } => write!(
+                f,
+                "data vertex id {data} out of range (graph has {num_data} data vertices)"
+            ),
+            GraphError::PartitionLengthMismatch { got, expected } => write!(
+                f,
+                "partition assignment has length {got} but the graph has {expected} data vertices"
+            ),
+            GraphError::BucketOutOfRange { bucket, num_buckets } => {
+                write!(f, "bucket id {bucket} out of range (k = {num_buckets})")
+            }
+            GraphError::InvalidBucketCount(k) => {
+                write!(f, "invalid bucket count {k}: must be at least 1")
+            }
+            GraphError::InvalidImbalance(eps) => {
+                write!(f, "invalid imbalance ratio {eps}: must be finite and >= 0")
+            }
+            GraphError::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
+            GraphError::Io(err) => write!(f, "io error: {err}"),
+            GraphError::EmptyGraph => write!(f, "operation requires a non-empty graph"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(err: std::io::Error) -> Self {
+        GraphError::Io(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(GraphError, &str)> = vec![
+            (
+                GraphError::QueryOutOfRange { query: 7, num_queries: 3 },
+                "query vertex id 7",
+            ),
+            (
+                GraphError::DataOutOfRange { data: 9, num_data: 2 },
+                "data vertex id 9",
+            ),
+            (
+                GraphError::PartitionLengthMismatch { got: 5, expected: 6 },
+                "length 5",
+            ),
+            (
+                GraphError::BucketOutOfRange { bucket: 8, num_buckets: 4 },
+                "bucket id 8",
+            ),
+            (GraphError::InvalidBucketCount(0), "invalid bucket count 0"),
+            (GraphError::InvalidImbalance(-0.5), "invalid imbalance ratio"),
+            (
+                GraphError::Parse { line: 3, message: "bad token".into() },
+                "line 3",
+            ),
+            (GraphError::EmptyGraph, "non-empty"),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} should contain {needle:?}");
+        }
+    }
+
+    #[test]
+    fn io_error_is_wrapped_and_sourced() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let err = GraphError::from(io);
+        assert!(err.to_string().contains("io error"));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+}

@@ -1,0 +1,140 @@
+//! A hyperedge-centric view of the bipartite representation.
+//!
+//! The SHP paper treats the two representations as entirely equivalent (Figure 1b/1c); this
+//! module provides the hypergraph vocabulary (vertices, hyperedges, pins) as a thin wrapper
+//! over [`BipartiteGraph`] so callers coming from the hypergraph-partitioning literature can
+//! use familiar terminology.
+
+use crate::bipartite::{BipartiteGraph, DataId, QueryId};
+use crate::builder::GraphBuilder;
+use crate::error::Result;
+
+/// A hypergraph: vertices are data vertices, hyperedges are queries.
+///
+/// # Example
+///
+/// ```
+/// use shp_hypergraph::Hypergraph;
+///
+/// let h = Hypergraph::from_hyperedges(vec![vec![0, 1, 2], vec![2, 3]]).unwrap();
+/// assert_eq!(h.num_vertices(), 4);
+/// assert_eq!(h.num_hyperedges(), 2);
+/// assert_eq!(h.pins(0), &[0, 1, 2]);
+/// assert_eq!(h.incident_hyperedges(2), &[0, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hypergraph {
+    graph: BipartiteGraph,
+}
+
+impl Hypergraph {
+    /// Wraps an existing bipartite graph as a hypergraph.
+    pub fn from_bipartite(graph: BipartiteGraph) -> Self {
+        Hypergraph { graph }
+    }
+
+    /// Builds a hypergraph from a list of hyperedges (each a list of vertex ids).
+    pub fn from_hyperedges<I, P>(hyperedges: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = P>,
+        P: IntoIterator<Item = DataId>,
+    {
+        Ok(Hypergraph { graph: GraphBuilder::from_hyperedges(hyperedges)? })
+    }
+
+    /// The underlying bipartite graph.
+    pub fn as_bipartite(&self) -> &BipartiteGraph {
+        &self.graph
+    }
+
+    /// Consumes the view, returning the underlying bipartite graph.
+    pub fn into_bipartite(self) -> BipartiteGraph {
+        self.graph
+    }
+
+    /// Number of hypergraph vertices, `|D|`.
+    pub fn num_vertices(&self) -> usize {
+        self.graph.num_data()
+    }
+
+    /// Number of hyperedges, `|Q|`.
+    pub fn num_hyperedges(&self) -> usize {
+        self.graph.num_queries()
+    }
+
+    /// Total number of pins (sum of hyperedge sizes), `|E|`.
+    pub fn num_pins(&self) -> usize {
+        self.graph.num_edges()
+    }
+
+    /// The pins (vertices) of hyperedge `e`.
+    pub fn pins(&self, e: QueryId) -> &[DataId] {
+        self.graph.query_neighbors(e)
+    }
+
+    /// The hyperedges incident to vertex `v`.
+    pub fn incident_hyperedges(&self, v: DataId) -> &[QueryId] {
+        self.graph.data_neighbors(v)
+    }
+
+    /// Size of hyperedge `e`.
+    pub fn hyperedge_size(&self, e: QueryId) -> usize {
+        self.graph.query_degree(e)
+    }
+
+    /// Degree of vertex `v` (number of incident hyperedges).
+    pub fn vertex_degree(&self, v: DataId) -> usize {
+        self.graph.data_degree(v)
+    }
+
+    /// Iterator over hyperedge ids.
+    pub fn hyperedges(&self) -> impl Iterator<Item = QueryId> + '_ {
+        self.graph.queries()
+    }
+
+    /// Iterator over vertex ids.
+    pub fn vertices(&self) -> impl Iterator<Item = DataId> + '_ {
+        self.graph.data_vertices()
+    }
+}
+
+impl From<BipartiteGraph> for Hypergraph {
+    fn from(graph: BipartiteGraph) -> Self {
+        Hypergraph::from_bipartite(graph)
+    }
+}
+
+impl From<Hypergraph> for BipartiteGraph {
+    fn from(h: Hypergraph) -> Self {
+        h.into_bipartite()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hypergraph_view_matches_bipartite() {
+        let h = Hypergraph::from_hyperedges(vec![vec![0u32, 1, 5], vec![0, 1, 2, 3], vec![3, 4, 5]])
+            .unwrap();
+        assert_eq!(h.num_vertices(), 6);
+        assert_eq!(h.num_hyperedges(), 3);
+        assert_eq!(h.num_pins(), 10);
+        assert_eq!(h.hyperedge_size(1), 4);
+        assert_eq!(h.vertex_degree(5), 2);
+        assert_eq!(h.pins(2), &[3, 4, 5]);
+        assert_eq!(h.incident_hyperedges(0), &[0, 1]);
+        assert_eq!(h.hyperedges().count(), 3);
+        assert_eq!(h.vertices().count(), 6);
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        let h = Hypergraph::from_hyperedges(vec![vec![0u32, 1], vec![1, 2]]).unwrap();
+        let g: BipartiteGraph = h.clone().into();
+        let h2: Hypergraph = g.into();
+        assert_eq!(h, h2);
+        assert_eq!(h.as_bipartite().num_edges(), 4);
+    }
+}

@@ -1,0 +1,304 @@
+//! Plain-text readers and writers for graphs and partitions.
+//!
+//! Three formats are supported:
+//!
+//! * **Bipartite edge list** — one `query_id<TAB>data_id` pair per line, `#` comments allowed.
+//!   This mirrors the SNAP edge-list format the paper's datasets are distributed in.
+//! * **hMetis hypergraph format** — the de-facto standard exchanged between hypergraph
+//!   partitioners (hMetis, PaToH, Mondriaan, Parkway, Zoltan): a header line
+//!   `num_hyperedges num_vertices`, then one line of 1-based vertex ids per hyperedge.
+//! * **Partition files** — one bucket id per line, line `i` holding the bucket of data
+//!   vertex `i`; the format the open-sourced SHP job and the other partitioners emit.
+
+use crate::bipartite::BipartiteGraph;
+use crate::builder::GraphBuilder;
+use crate::error::{GraphError, Result};
+use crate::partition::{BucketId, Partition};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Reads a bipartite edge list (`query<TAB or space>data` per line) from a reader.
+pub fn read_edge_list<R: Read>(reader: R) -> Result<BipartiteGraph> {
+    let reader = BufReader::new(reader);
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let q = parse_u32(parts.next(), idx + 1, "query id")?;
+        let d = parse_u32(parts.next(), idx + 1, "data id")?;
+        if parts.next().is_some() {
+            return Err(GraphError::Parse {
+                line: idx + 1,
+                message: "expected exactly two columns".into(),
+            });
+        }
+        edges.push((q, d));
+    }
+    GraphBuilder::from_edge_list(&edges)
+}
+
+/// Reads a bipartite edge list from a file path.
+pub fn read_edge_list_file<P: AsRef<Path>>(path: P) -> Result<BipartiteGraph> {
+    read_edge_list(std::fs::File::open(path)?)
+}
+
+/// Writes a bipartite edge list to a writer.
+pub fn write_edge_list<W: Write>(graph: &BipartiteGraph, writer: W) -> Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# bipartite edge list: query_id\tdata_id")?;
+    for (q, v) in graph.edges() {
+        writeln!(w, "{q}\t{v}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes a bipartite edge list to a file path.
+pub fn write_edge_list_file<P: AsRef<Path>>(graph: &BipartiteGraph, path: P) -> Result<()> {
+    write_edge_list(graph, std::fs::File::create(path)?)
+}
+
+/// Reads a hypergraph in (unweighted) hMetis format from a reader.
+///
+/// The format is: a header `|Q| |D|`, followed by `|Q|` lines each listing the 1-based data
+/// vertex ids of one hyperedge.
+pub fn read_hmetis<R: Read>(reader: R) -> Result<BipartiteGraph> {
+    let reader = BufReader::new(reader);
+    let mut lines = reader.lines().enumerate();
+
+    // Find the header line (skip comments starting with '%').
+    let (header_line_no, header) = loop {
+        match lines.next() {
+            Some((idx, line)) => {
+                let line = line?;
+                let t = line.trim().to_string();
+                if t.is_empty() || t.starts_with('%') {
+                    continue;
+                }
+                break (idx + 1, t);
+            }
+            None => return Err(GraphError::EmptyGraph),
+        }
+    };
+    let mut header_parts = header.split_whitespace();
+    let num_hyperedges = parse_u32(header_parts.next(), header_line_no, "hyperedge count")? as usize;
+    let num_vertices = parse_u32(header_parts.next(), header_line_no, "vertex count")? as usize;
+
+    let mut builder = GraphBuilder::with_capacity(num_hyperedges, num_vertices);
+    let mut read_edges = 0usize;
+    for (idx, line) in lines {
+        if read_edges == num_hyperedges {
+            break;
+        }
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut pins = Vec::new();
+        for token in t.split_whitespace() {
+            let one_based: u32 = token.parse().map_err(|_| GraphError::Parse {
+                line: idx + 1,
+                message: format!("invalid vertex id {token:?}"),
+            })?;
+            if one_based == 0 || one_based as usize > num_vertices {
+                return Err(GraphError::Parse {
+                    line: idx + 1,
+                    message: format!("vertex id {one_based} outside 1..={num_vertices}"),
+                });
+            }
+            pins.push(one_based - 1);
+        }
+        builder.add_query(pins);
+        read_edges += 1;
+    }
+    if read_edges != num_hyperedges {
+        return Err(GraphError::Parse {
+            line: 0,
+            message: format!("expected {num_hyperedges} hyperedges, found {read_edges}"),
+        });
+    }
+    builder.ensure_data_count(num_vertices);
+    builder.build()
+}
+
+/// Reads an hMetis hypergraph from a file path.
+pub fn read_hmetis_file<P: AsRef<Path>>(path: P) -> Result<BipartiteGraph> {
+    read_hmetis(std::fs::File::open(path)?)
+}
+
+/// Writes a hypergraph in hMetis format.
+pub fn write_hmetis<W: Write>(graph: &BipartiteGraph, writer: W) -> Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "{} {}", graph.num_queries(), graph.num_data())?;
+    for q in graph.queries() {
+        let line: Vec<String> = graph
+            .query_neighbors(q)
+            .iter()
+            .map(|&v| (v + 1).to_string())
+            .collect();
+        writeln!(w, "{}", line.join(" "))?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes a hypergraph in hMetis format to a file path.
+pub fn write_hmetis_file<P: AsRef<Path>>(graph: &BipartiteGraph, path: P) -> Result<()> {
+    write_hmetis(graph, std::fs::File::create(path)?)
+}
+
+/// Reads a partition file (one bucket id per line) and pairs it with a graph.
+pub fn read_partition<R: Read>(graph: &BipartiteGraph, k: u32, reader: R) -> Result<Partition> {
+    let reader = BufReader::new(reader);
+    let mut assignment: Vec<BucketId> = Vec::with_capacity(graph.num_data());
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let b: u32 = t.parse().map_err(|_| GraphError::Parse {
+            line: idx + 1,
+            message: format!("invalid bucket id {t:?}"),
+        })?;
+        assignment.push(b);
+    }
+    Partition::from_assignment(graph, k, assignment)
+}
+
+/// Reads a partition file from a path.
+pub fn read_partition_file<P: AsRef<Path>>(graph: &BipartiteGraph, k: u32, path: P) -> Result<Partition> {
+    read_partition(graph, k, std::fs::File::open(path)?)
+}
+
+/// Writes a partition as one bucket id per line.
+pub fn write_partition<W: Write>(partition: &Partition, writer: W) -> Result<()> {
+    let mut w = BufWriter::new(writer);
+    for &b in partition.assignment() {
+        writeln!(w, "{b}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes a partition file to a path.
+pub fn write_partition_file<P: AsRef<Path>>(partition: &Partition, path: P) -> Result<()> {
+    write_partition(partition, std::fs::File::create(path)?)
+}
+
+fn parse_u32(token: Option<&str>, line: usize, what: &str) -> Result<u32> {
+    let token = token.ok_or_else(|| GraphError::Parse { line, message: format!("missing {what}") })?;
+    token.parse().map_err(|_| GraphError::Parse {
+        line,
+        message: format!("invalid {what}: {token:?}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn figure1() -> BipartiteGraph {
+        let mut b = GraphBuilder::new();
+        b.add_query([0u32, 1, 5]);
+        b.add_query([0u32, 1, 2, 3]);
+        b.add_query([3u32, 4, 5]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn edge_list_roundtrip() {
+        let g = figure1();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(&buf[..]).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn edge_list_skips_comments_and_blank_lines() {
+        let text = "# comment\n\n0 1\n0\t2\n1 2\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_queries(), 2);
+        assert_eq!(g.num_data(), 3);
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn edge_list_rejects_malformed_lines() {
+        assert!(read_edge_list("0".as_bytes()).is_err());
+        assert!(read_edge_list("0 1 2".as_bytes()).is_err());
+        assert!(read_edge_list("a b".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn hmetis_roundtrip() {
+        let g = figure1();
+        let mut buf = Vec::new();
+        write_hmetis(&g, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.starts_with("3 6\n"));
+        let g2 = read_hmetis(&buf[..]).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn hmetis_rejects_out_of_range_and_short_files() {
+        // Vertex id 0 is invalid in the 1-based format.
+        assert!(read_hmetis("1 3\n0 1\n".as_bytes()).is_err());
+        // Vertex id above the declared count.
+        assert!(read_hmetis("1 3\n1 4\n".as_bytes()).is_err());
+        // Fewer hyperedge lines than declared.
+        assert!(read_hmetis("2 3\n1 2\n".as_bytes()).is_err());
+        // Completely empty file.
+        assert!(read_hmetis("".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn hmetis_skips_percent_comments() {
+        let g = read_hmetis("% header comment\n2 3\n1 2\n% between\n2 3\n".as_bytes()).unwrap();
+        assert_eq!(g.num_queries(), 2);
+        assert_eq!(g.query_neighbors(1), &[1, 2]);
+    }
+
+    #[test]
+    fn partition_roundtrip() {
+        let g = figure1();
+        let p = Partition::from_assignment(&g, 2, vec![0, 0, 0, 1, 1, 1]).unwrap();
+        let mut buf = Vec::new();
+        write_partition(&p, &mut buf).unwrap();
+        let p2 = read_partition(&g, 2, &buf[..]).unwrap();
+        assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn partition_read_validates_length_and_range() {
+        let g = figure1();
+        assert!(read_partition(&g, 2, "0\n1\n".as_bytes()).is_err());
+        assert!(read_partition(&g, 2, "0\n0\n0\n1\n1\n7\n".as_bytes()).is_err());
+        assert!(read_partition(&g, 2, "0\nx\n0\n1\n1\n1\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn file_based_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("shp-io-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let g = figure1();
+        let graph_path = dir.join("graph.hgr");
+        let part_path = dir.join("graph.part");
+        write_hmetis_file(&g, &graph_path).unwrap();
+        let g2 = read_hmetis_file(&graph_path).unwrap();
+        assert_eq!(g, g2);
+        let p = Partition::from_assignment(&g, 3, vec![0, 1, 2, 0, 1, 2]).unwrap();
+        write_partition_file(&p, &part_path).unwrap();
+        let p2 = read_partition_file(&g, 3, &part_path).unwrap();
+        assert_eq!(p, p2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,126 @@
+//! Dataset statistics in the shape of Table 1 of the SHP paper.
+
+use crate::bipartite::BipartiteGraph;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a bipartite graph / hypergraph, matching the columns of Table 1
+/// (`|Q|`, `|D|`, `|E|`) plus degree information useful for sanity-checking generators.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphStats {
+    /// Number of query vertices (hyperedges).
+    pub num_queries: usize,
+    /// Number of data vertices.
+    pub num_data: usize,
+    /// Number of bipartite edges (pins).
+    pub num_edges: usize,
+    /// Average hyperedge size.
+    pub avg_query_degree: f64,
+    /// Average data-vertex degree.
+    pub avg_data_degree: f64,
+    /// Largest hyperedge.
+    pub max_query_degree: usize,
+    /// Largest data-vertex degree.
+    pub max_data_degree: usize,
+    /// Number of data vertices incident to no query.
+    pub isolated_data: usize,
+    /// Number of queries of degree 0 or 1 (they do not contribute to fanout optimization and
+    /// are removed in the paper's experiments).
+    pub trivial_queries: usize,
+}
+
+impl GraphStats {
+    /// Computes statistics for a graph.
+    pub fn compute(graph: &BipartiteGraph) -> Self {
+        let isolated_data = graph
+            .data_vertices()
+            .filter(|&v| graph.data_degree(v) == 0)
+            .count();
+        let trivial_queries = graph
+            .queries()
+            .filter(|&q| graph.query_degree(q) <= 1)
+            .count();
+        GraphStats {
+            num_queries: graph.num_queries(),
+            num_data: graph.num_data(),
+            num_edges: graph.num_edges(),
+            avg_query_degree: graph.avg_query_degree(),
+            avg_data_degree: graph.avg_data_degree(),
+            max_query_degree: graph.max_query_degree(),
+            max_data_degree: graph.max_data_degree(),
+            isolated_data,
+            trivial_queries,
+        }
+    }
+
+    /// Renders a single row in the style of Table 1: `|Q| |D| |E|`.
+    pub fn table1_row(&self, name: &str) -> String {
+        format!(
+            "{:<18} {:>12} {:>12} {:>14}",
+            name, self.num_queries, self.num_data, self.num_edges
+        )
+    }
+}
+
+impl std::fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "|Q|={} |D|={} |E|={} avg_q_deg={:.2} avg_d_deg={:.2} max_q_deg={} max_d_deg={}",
+            self.num_queries,
+            self.num_data,
+            self.num_edges,
+            self.avg_query_degree,
+            self.avg_data_degree,
+            self.max_query_degree,
+            self.max_data_degree
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn stats_match_manual_counts() {
+        let mut b = GraphBuilder::new();
+        b.add_query([0u32, 1, 5]);
+        b.add_query([0u32, 1, 2, 3]);
+        b.add_query([3u32, 4, 5]);
+        b.add_query([2u32]); // trivial
+        b.ensure_data_count(8); // vertices 6 and 7 isolated
+        let g = b.build().unwrap();
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.num_queries, 4);
+        assert_eq!(s.num_data, 8);
+        assert_eq!(s.num_edges, 11);
+        assert_eq!(s.max_query_degree, 4);
+        assert_eq!(s.isolated_data, 2);
+        assert_eq!(s.trivial_queries, 1);
+        assert!((s.avg_query_degree - 11.0 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table1_row_and_display_render() {
+        let mut b = GraphBuilder::new();
+        b.add_query([0u32, 1]);
+        let g = b.build().unwrap();
+        let s = GraphStats::compute(&g);
+        let row = s.table1_row("toy");
+        assert!(row.contains("toy"));
+        assert!(row.contains('2'));
+        assert!(s.to_string().contains("|E|=2"));
+    }
+
+    #[test]
+    fn empty_graph_stats_are_zero() {
+        let g = GraphBuilder::new().build().unwrap();
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.num_queries, 0);
+        assert_eq!(s.num_data, 0);
+        assert_eq!(s.num_edges, 0);
+        assert_eq!(s.avg_query_degree, 0.0);
+        assert_eq!(s.max_data_degree, 0);
+    }
+}

@@ -1,0 +1,228 @@
+//! A sharded key-value cluster and query replay.
+
+use crate::latency::{LatencyModel, LatencySummary};
+use rand::SeedableRng;
+use rand_pcg::Pcg64;
+use serde::{Deserialize, Serialize};
+use shp_hypergraph::{BipartiteGraph, Partition, QueryId};
+use std::collections::HashMap;
+
+/// One observed query during replay.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryObservation {
+    /// The replayed query.
+    pub query: QueryId,
+    /// Its fanout under the cluster's placement (number of shards contacted).
+    pub fanout: u32,
+    /// Number of records fetched.
+    pub records: usize,
+    /// Simulated latency (max over the parallel shard requests).
+    pub latency: f64,
+}
+
+/// Aggregated replay results: latency percentiles bucketed by query fanout, which is exactly
+/// the data plotted in Figure 4.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplayReport {
+    /// Average fanout over all replayed queries.
+    pub average_fanout: f64,
+    /// Overall latency summary.
+    pub overall: LatencySummary,
+    /// Latency summary per observed fanout value (sorted by fanout).
+    pub by_fanout: Vec<(u32, LatencySummary)>,
+}
+
+/// A cluster of `k` storage shards holding the data vertices of a bipartite graph according to
+/// a partition ("data record `v` lives on shard `partition.bucket_of(v)`").
+#[derive(Debug, Clone)]
+pub struct ShardedCluster {
+    num_shards: u32,
+    /// Shard of every data record.
+    placement: Vec<u32>,
+    latency_model: LatencyModel,
+}
+
+impl ShardedCluster {
+    /// Builds a cluster from a partition of the graph's data vertices.
+    pub fn from_partition(partition: &Partition, latency_model: LatencyModel) -> Self {
+        ShardedCluster {
+            num_shards: partition.num_buckets(),
+            placement: partition.assignment().to_vec(),
+            latency_model,
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> u32 {
+        self.num_shards
+    }
+
+    /// Shard holding data record `v`.
+    pub fn shard_of(&self, v: u32) -> u32 {
+        self.placement[v as usize]
+    }
+
+    /// Number of records stored on each shard.
+    pub fn shard_sizes(&self) -> Vec<u64> {
+        let mut sizes = vec![0u64; self.num_shards as usize];
+        for &s in &self.placement {
+            sizes[s as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Executes one multi-get query: groups the requested records by shard, issues one request
+    /// per shard in parallel, and returns `(fanout, latency)`.
+    pub fn execute_query<R: rand::Rng>(&self, rng: &mut R, records: &[u32]) -> (u32, f64) {
+        let mut per_shard: HashMap<u32, usize> = HashMap::new();
+        for &v in records {
+            *per_shard.entry(self.placement[v as usize]).or_insert(0) += 1;
+        }
+        let fanout = per_shard.len() as u32;
+        let mut counts: Vec<usize> = per_shard.into_values().collect();
+        counts.sort_unstable(); // deterministic order for the RNG stream
+        let latency = self.latency_model.sample_query(rng, &counts);
+        (fanout, latency)
+    }
+
+    /// Replays every query of the bipartite graph (optionally repeating the workload several
+    /// times) and aggregates latency by fanout.
+    pub fn replay(&self, graph: &BipartiteGraph, repetitions: usize, seed: u64) -> ReplayReport {
+        let mut rng = Pcg64::seed_from_u64(seed);
+        let mut observations: Vec<QueryObservation> = Vec::new();
+        for _ in 0..repetitions.max(1) {
+            for q in graph.queries() {
+                let records = graph.query_neighbors(q);
+                if records.is_empty() {
+                    continue;
+                }
+                let (fanout, latency) = self.execute_query(&mut rng, records);
+                observations.push(QueryObservation { query: q, fanout, records: records.len(), latency });
+            }
+        }
+        summarize(&observations)
+    }
+
+    /// Runs the paper's "synthetic" experiment (Figure 4a): for each fanout `f` in
+    /// `1..=max_fanout`, issues `samples` trivial queries touching `f` distinct shards and
+    /// reports the latency percentiles per fanout.
+    pub fn synthetic_fanout_sweep(&self, max_fanout: u32, samples: usize, seed: u64) -> ReplayReport {
+        let mut rng = Pcg64::seed_from_u64(seed);
+        let mut observations = Vec::new();
+        for fanout in 1..=max_fanout.min(self.num_shards.max(1)) {
+            for i in 0..samples {
+                let counts = vec![1usize; fanout as usize];
+                let latency = self.latency_model.sample_query(&mut rng, &counts);
+                observations.push(QueryObservation {
+                    query: (fanout as usize * samples + i) as QueryId,
+                    fanout,
+                    records: fanout as usize,
+                    latency,
+                });
+            }
+        }
+        summarize(&observations)
+    }
+}
+
+/// Aggregates raw observations into a [`ReplayReport`].
+fn summarize(observations: &[QueryObservation]) -> ReplayReport {
+    let all: Vec<f64> = observations.iter().map(|o| o.latency).collect();
+    let average_fanout = if observations.is_empty() {
+        0.0
+    } else {
+        observations.iter().map(|o| o.fanout as f64).sum::<f64>() / observations.len() as f64
+    };
+    let mut grouped: HashMap<u32, Vec<f64>> = HashMap::new();
+    for o in observations {
+        grouped.entry(o.fanout).or_default().push(o.latency);
+    }
+    let mut by_fanout: Vec<(u32, LatencySummary)> = grouped
+        .into_iter()
+        .map(|(f, samples)| (f, LatencySummary::from_samples(&samples)))
+        .collect();
+    by_fanout.sort_by_key(|&(f, _)| f);
+    ReplayReport { average_fanout, overall: LatencySummary::from_samples(&all), by_fanout }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shp_hypergraph::GraphBuilder;
+
+    fn graph_and_partitions() -> (BipartiteGraph, Partition, Partition) {
+        // 4 communities of 10 data records, one query per community member over the community.
+        let mut b = GraphBuilder::new();
+        for g in 0..4u32 {
+            let members: Vec<u32> = (0..10).map(|i| g * 10 + i).collect();
+            for _ in 0..10 {
+                b.add_query(members.clone());
+            }
+        }
+        let graph = b.build().unwrap();
+        // Good placement: one community per shard. Bad placement: round-robin.
+        let good = Partition::from_assignment(&graph, 4, (0..40).map(|v| v / 10).collect()).unwrap();
+        let bad = Partition::from_assignment(&graph, 4, (0..40).map(|v| v % 4).collect()).unwrap();
+        (graph, good, bad)
+    }
+
+    #[test]
+    fn good_placement_has_lower_fanout_and_latency() {
+        let (graph, good, bad) = graph_and_partitions();
+        let model = LatencyModel::default();
+        let good_cluster = ShardedCluster::from_partition(&good, model.clone());
+        let bad_cluster = ShardedCluster::from_partition(&bad, model);
+        let good_report = good_cluster.replay(&graph, 20, 1);
+        let bad_report = bad_cluster.replay(&graph, 20, 1);
+        assert!((good_report.average_fanout - 1.0).abs() < 1e-9);
+        assert!((bad_report.average_fanout - 4.0).abs() < 1e-9);
+        assert!(
+            good_report.overall.mean < bad_report.overall.mean,
+            "good {} vs bad {}",
+            good_report.overall.mean,
+            bad_report.overall.mean
+        );
+        assert!(good_report.overall.p99 < bad_report.overall.p99);
+    }
+
+    #[test]
+    fn shard_sizes_match_partition_weights() {
+        let (_, good, _) = graph_and_partitions();
+        let cluster = ShardedCluster::from_partition(&good, LatencyModel::default());
+        assert_eq!(cluster.num_shards(), 4);
+        assert_eq!(cluster.shard_sizes(), vec![10, 10, 10, 10]);
+        assert_eq!(cluster.shard_of(25), 2);
+    }
+
+    #[test]
+    fn synthetic_sweep_latency_increases_with_fanout() {
+        let (_, good, _) = graph_and_partitions();
+        let cluster = ShardedCluster::from_partition(&good, LatencyModel::default());
+        let report = cluster.synthetic_fanout_sweep(4, 3_000, 5);
+        assert_eq!(report.by_fanout.len(), 4);
+        let means: Vec<f64> = report.by_fanout.iter().map(|(_, s)| s.mean).collect();
+        for w in means.windows(2) {
+            assert!(w[1] > w[0] * 0.99, "latency should be (weakly) increasing: {means:?}");
+        }
+        assert!(means[3] > means[0] * 1.2);
+    }
+
+    #[test]
+    fn replay_is_deterministic_per_seed() {
+        let (graph, good, _) = graph_and_partitions();
+        let cluster = ShardedCluster::from_partition(&good, LatencyModel::default());
+        let a = cluster.replay(&graph, 2, 9);
+        let b = cluster.replay(&graph, 2, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_graph_replay_is_empty() {
+        let graph = GraphBuilder::new().build().unwrap();
+        let p = Partition::new_uniform(&graph, 2).unwrap();
+        let cluster = ShardedCluster::from_partition(&p, LatencyModel::default());
+        let report = cluster.replay(&graph, 1, 1);
+        assert_eq!(report.overall.count, 0);
+        assert_eq!(report.average_fanout, 0.0);
+    }
+}

@@ -1,0 +1,43 @@
+//! # shp-vertex-centric
+//!
+//! A Giraph-style vertex-centric Bulk Synchronous Parallel (BSP) engine.
+//!
+//! The SHP paper implements its partitioner on Apache Giraph: the input graph is stored as a
+//! collection of vertices distributed over workers, computation proceeds in *supersteps*
+//! separated by synchronization barriers, vertices exchange messages that are delivered at the
+//! start of the next superstep, and a *master* aggregates global state (the swap matrix /
+//! move-probability histograms) between supersteps.
+//!
+//! This crate reproduces that execution model in-process:
+//!
+//! * [`VertexProgram`] — the user-defined per-vertex compute function, message combiner,
+//!   aggregate merge, and master compute, mirroring Giraph's `Computation`,
+//!   `MessageCombiner`, `Aggregator`, and `MasterCompute`.
+//! * [`Engine`] — distributes vertices over a configurable number of simulated workers
+//!   (vertex `v` lives on worker `v mod W`, as with Giraph's random vertex distribution),
+//!   runs supersteps with rayon-parallel workers, routes messages between workers, and applies
+//!   combiners.
+//! * [`ExecutionMetrics`] — per-superstep accounting of messages, bytes, and local-vs-remote
+//!   traffic, so the communication-complexity claims of Section 3.3 of the paper can be
+//!   checked quantitatively even though no real network is involved.
+//!
+//! The engine is deliberately independent of the partitioner: the unit tests run classical
+//! vertex-centric algorithms (connected components, degree counting) on it, and
+//! `shp-core::distributed` builds the four-superstep SHP iteration (Figure 3 of the paper)
+//! on top of it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod context;
+pub mod engine;
+pub mod metrics;
+pub mod program;
+pub mod routing;
+pub mod topology;
+
+pub use context::Context;
+pub use engine::{Engine, EngineConfig};
+pub use metrics::{ExecutionMetrics, SuperstepMetrics};
+pub use program::{MasterOutcome, VertexProgram};
+pub use topology::{Topology, TopologyBuilder};

@@ -1,0 +1,32 @@
+//! Running SHP on the vertex-centric (Giraph-style) engine and inspecting the communication
+//! metrics per superstep — the distributed execution path of Figure 3 in the paper.
+//!
+//! Run with: `cargo run --release --example distributed_engine`
+
+use shp::core::{partition_distributed, ShpConfig};
+use shp::datagen::{social_graph, SocialGraphConfig};
+
+fn main() {
+    let graph = social_graph(&SocialGraphConfig { num_users: 10_000, seed: 5, ..Default::default() });
+    println!(
+        "graph: {} users, {} edges; partitioning into 32 buckets on 4 simulated workers\n",
+        graph.num_data(),
+        graph.num_edges()
+    );
+
+    let config = ShpConfig::recursive_bisection(32).with_seed(5);
+    let result = partition_distributed(&graph, &config, 4).expect("valid configuration");
+
+    println!("final fanout   : {:.3}", result.final_fanout);
+    println!("iterations     : {}", result.history.len());
+    println!("supersteps     : {}", result.metrics.num_supersteps());
+    println!("messages sent  : {}", result.metrics.total_messages());
+    println!("remote messages: {} ({:.0}%)", result.metrics.total_remote_messages(), result.metrics.remote_fraction() * 100.0);
+    println!("bytes sent     : {}", result.metrics.total_bytes());
+    println!("wall time      : {:.2?}", result.elapsed);
+
+    println!("\nfanout per iteration (first 10):");
+    for stat in result.history.iter().take(10) {
+        println!("  iteration {:>2}: fanout {:.3}, moved {:>6}", stat.iteration, stat.fanout, stat.moved);
+    }
+}

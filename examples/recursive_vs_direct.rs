@@ -1,0 +1,41 @@
+//! SHP-2 (recursive bisection) versus SHP-k (direct k-way): the quality/run-time trade-off
+//! discussed in Section 4.2.2 of the paper — SHP-2 is typically 5–10% worse in fanout but far
+//! more scalable in the bucket count.
+//!
+//! Run with: `cargo run --release --example recursive_vs_direct`
+
+use shp::core::{partition_direct, partition_recursive, ShpConfig};
+use shp::datagen::Dataset;
+use std::time::Instant;
+
+fn main() {
+    let graph = Dataset::SocPokec.generate(0.01, 1).filter_small_queries(2);
+    println!(
+        "soc-Pokec stand-in at 1% scale: |Q| = {}, |D| = {}, |E| = {}\n",
+        graph.num_queries(),
+        graph.num_data(),
+        graph.num_edges()
+    );
+    println!("{:<8}{:<10}{:<14}{:<14}{:<12}", "k", "variant", "fanout", "imbalance", "time");
+
+    for k in [8u32, 32, 128] {
+        let start = Instant::now();
+        let shp2 = partition_recursive(&graph, &ShpConfig::recursive_bisection(k).with_seed(1))
+            .expect("valid configuration");
+        let shp2_time = start.elapsed();
+
+        let start = Instant::now();
+        let shpk =
+            partition_direct(&graph, &ShpConfig::direct(k).with_seed(1)).expect("valid configuration");
+        let shpk_time = start.elapsed();
+
+        println!(
+            "{:<8}{:<10}{:<14.3}{:<14.3}{:<12.2?}",
+            k, "SHP-2", shp2.report.final_fanout, shp2.report.imbalance, shp2_time
+        );
+        println!(
+            "{:<8}{:<10}{:<14.3}{:<14.3}{:<12.2?}",
+            k, "SHP-k", shpk.report.final_fanout, shpk.report.imbalance, shpk_time
+        );
+    }
+}

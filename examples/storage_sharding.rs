@@ -1,0 +1,52 @@
+//! Storage sharding end to end: generate a social workload, shard it with SHP over 40 servers,
+//! and measure how much the multi-get latency improves over random sharding (the motivating
+//! application of the paper, Section 4.2.1).
+//!
+//! Run with: `cargo run --release --example storage_sharding`
+
+use shp::baselines::{Partitioner, RandomPartitioner};
+use shp::core::{partition_recursive, ShpConfig};
+use shp::datagen::{social_graph, SocialGraphConfig};
+use shp::hypergraph::average_fanout;
+use shp::sharding_sim::{LatencyModel, ShardedCluster};
+
+fn main() {
+    let servers = 40;
+    // A Facebook-like workload: rendering a user's page fetches the user and all friends.
+    let graph = social_graph(&SocialGraphConfig {
+        num_users: 20_000,
+        avg_degree: 20,
+        avg_community_size: 120,
+        cross_community_fraction: 0.08,
+        seed: 7,
+    });
+    println!("workload: {} users, {} fetch edges", graph.num_data(), graph.num_edges());
+
+    // Random sharding (the production default before locality optimization).
+    let random = RandomPartitioner::new(7).partition(&graph, servers, 0.05);
+    // Social sharding with SHP-2.
+    let config = ShpConfig::recursive_bisection(servers).with_seed(7);
+    let shp = partition_recursive(&graph, &config).expect("valid configuration").partition;
+
+    println!("random sharding fanout: {:.2}", average_fanout(&graph, &random));
+    println!("SHP sharding fanout   : {:.2}", average_fanout(&graph, &shp));
+
+    // Replay the workload against simulated clusters and compare latency percentiles.
+    let model = LatencyModel::default();
+    let random_report = ShardedCluster::from_partition(&random, model.clone()).replay(&graph, 1, 7);
+    let shp_report = ShardedCluster::from_partition(&shp, model).replay(&graph, 1, 7);
+
+    println!("\nlatency (in units of t, the mean single-request latency):");
+    println!(
+        "  random: mean {:.2}t  p50 {:.2}t  p99 {:.2}t",
+        random_report.overall.mean, random_report.overall.p50, random_report.overall.p99
+    );
+    println!(
+        "  SHP   : mean {:.2}t  p50 {:.2}t  p99 {:.2}t",
+        shp_report.overall.mean, shp_report.overall.p50, shp_report.overall.p99
+    );
+    println!(
+        "  mean latency reduction: {:.0}%",
+        (1.0 - shp_report.overall.mean / random_report.overall.mean) * 100.0
+    );
+}

@@ -1,0 +1,44 @@
+//! # shp — Social Hash Partitioner
+//!
+//! A Rust reproduction of *"Social Hash Partitioner: A Scalable Distributed Hypergraph
+//! Partitioner"* (Kabiljo et al., VLDB 2017): a balanced k-way hypergraph partitioner that
+//! minimizes query fanout by local search on the probabilistic-fanout objective, together with
+//! the vertex-centric execution substrate, baseline partitioners, dataset generators, and a
+//! storage-sharding simulator used to reproduce the paper's evaluation.
+//!
+//! This facade crate re-exports the member crates of the workspace under stable module names;
+//! see the individual crates for full documentation:
+//!
+//! * [`hypergraph`] — graph data structures, partitions, metrics, IO.
+//! * [`core`] — the SHP algorithm (SHP-k, SHP-2, distributed path, incremental updates).
+//! * [`vertex_centric`] — the Giraph-style BSP engine.
+//! * [`datagen`] — synthetic dataset generators and the Table-1 registry.
+//! * [`baselines`] — comparison partitioners (random, hash, greedy, label propagation,
+//!   multilevel FM).
+//! * [`sharding_sim`] — the fanout-vs-latency storage sharding simulator.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use shp::core::{ShpConfig, SocialHashPartitioner};
+//! use shp::hypergraph::GraphBuilder;
+//!
+//! let mut builder = GraphBuilder::new();
+//! builder.add_query([0, 1, 5]);
+//! builder.add_query([0, 1, 2, 3]);
+//! builder.add_query([3, 4, 5]);
+//! let graph = builder.build().unwrap();
+//!
+//! let partitioner = SocialHashPartitioner::new(ShpConfig::recursive_bisection(2)).unwrap();
+//! let result = partitioner.partition(&graph);
+//! println!("average fanout: {:.2}", result.report.final_fanout);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use shp_baselines as baselines;
+pub use shp_core as core;
+pub use shp_datagen as datagen;
+pub use shp_hypergraph as hypergraph;
+pub use shp_sharding_sim as sharding_sim;
+pub use shp_vertex_centric as vertex_centric;

@@ -1,0 +1,154 @@
+//! Cross-crate integration tests: the full pipeline from generated workload through
+//! partitioning to sharded replay, exercising the public API exactly like a downstream user.
+
+use shp::baselines::{Partitioner, RandomPartitioner};
+use shp::core::{
+    partition_direct, partition_distributed, partition_recursive, ObjectiveKind, ShpConfig,
+    SocialHashPartitioner,
+};
+use shp::datagen::{planted_partition, social_graph, Dataset, PlantedConfig, SocialGraphConfig};
+use shp::hypergraph::{average_fanout, average_p_fanout, io, GraphStats};
+use shp::sharding_sim::{LatencyModel, ShardedCluster};
+
+fn workload(users: usize, seed: u64) -> shp::hypergraph::BipartiteGraph {
+    social_graph(&SocialGraphConfig {
+        num_users: users,
+        avg_degree: 12,
+        avg_community_size: 80,
+        cross_community_fraction: 0.08,
+        seed,
+    })
+}
+
+#[test]
+fn shp2_recovers_planted_partition_structure() {
+    let (graph, truth) = planted_partition(&PlantedConfig {
+        num_blocks: 8,
+        block_size: 128,
+        num_queries: 8_192,
+        query_degree: 5,
+        noise: 0.02,
+        seed: 1,
+    });
+    let planted = shp::hypergraph::Partition::from_assignment(&graph, 8, truth).unwrap();
+    let planted_fanout = average_fanout(&graph, &planted);
+
+    let result = partition_recursive(&graph, &ShpConfig::recursive_bisection(8).with_seed(1)).unwrap();
+    // SHP should come close to the planted optimum and crush a random partition.
+    let random = RandomPartitioner::new(1).partition(&graph, 8, 0.05);
+    let random_fanout = average_fanout(&graph, &random);
+    assert!(result.report.final_fanout < planted_fanout * 1.35,
+        "SHP fanout {} should approach the planted optimum {planted_fanout}", result.report.final_fanout);
+    assert!(result.report.final_fanout < random_fanout * 0.5,
+        "SHP fanout {} should be far below random {random_fanout}", result.report.final_fanout);
+}
+
+#[test]
+fn all_three_execution_paths_agree_in_quality() {
+    let graph = workload(4_000, 3);
+    let k = 16;
+    let shp2 = partition_recursive(&graph, &ShpConfig::recursive_bisection(k).with_seed(3)).unwrap();
+    let shpk = partition_direct(&graph, &ShpConfig::direct(k).with_seed(3)).unwrap();
+    let distributed =
+        partition_distributed(&graph, &ShpConfig::recursive_bisection(k).with_seed(3), 4).unwrap();
+
+    let random = RandomPartitioner::new(3).partition(&graph, k, 0.05);
+    let random_fanout = average_fanout(&graph, &random);
+    for (name, fanout) in [
+        ("SHP-2", shp2.report.final_fanout),
+        ("SHP-k", shpk.report.final_fanout),
+        ("distributed SHP-2", distributed.final_fanout),
+    ] {
+        assert!(
+            fanout < random_fanout * 0.8,
+            "{name} fanout {fanout} should clearly beat random {random_fanout}"
+        );
+    }
+    // The two SHP-2 paths (in-process and vertex-centric) should land in the same quality band.
+    let ratio = distributed.final_fanout / shp2.report.final_fanout;
+    assert!(ratio > 0.7 && ratio < 1.4, "quality ratio {ratio} out of band");
+}
+
+#[test]
+fn facade_partitioner_roundtrips_through_hmetis_files() {
+    let graph = Dataset::EmailEnron.generate(0.01, 7).filter_small_queries(2);
+    let dir = std::env::temp_dir().join(format!("shp-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let graph_path = dir.join("graph.hgr");
+    io::write_hmetis_file(&graph, &graph_path).unwrap();
+    let reread = io::read_hmetis_file(&graph_path).unwrap();
+    assert_eq!(GraphStats::compute(&graph), GraphStats::compute(&reread));
+
+    let partitioner = SocialHashPartitioner::new(ShpConfig::recursive_bisection(8).with_seed(7)).unwrap();
+    let result = partitioner.partition(&reread);
+    let part_path = dir.join("graph.part");
+    io::write_partition_file(&result.partition, &part_path).unwrap();
+    let reread_partition = io::read_partition_file(&reread, 8, &part_path).unwrap();
+    assert_eq!(result.partition, reread_partition);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn sharding_pipeline_reduces_latency_versus_random() {
+    let graph = workload(6_000, 11);
+    let servers = 24;
+    let shp = partition_recursive(&graph, &ShpConfig::recursive_bisection(servers).with_seed(11))
+        .unwrap()
+        .partition;
+    let random = RandomPartitioner::new(11).partition(&graph, servers, 0.05);
+
+    let model = LatencyModel::default();
+    let shp_report = ShardedCluster::from_partition(&shp, model.clone()).replay(&graph, 1, 11);
+    let random_report = ShardedCluster::from_partition(&random, model).replay(&graph, 1, 11);
+
+    assert!(shp_report.average_fanout < random_report.average_fanout * 0.7);
+    assert!(
+        shp_report.overall.mean < random_report.overall.mean,
+        "SHP mean latency {} should be below random {}",
+        shp_report.overall.mean,
+        random_report.overall.mean
+    );
+}
+
+#[test]
+fn objective_limits_behave_as_in_lemmas_1_and_2() {
+    // End-to-end check of the limit behaviour: optimizing p-fanout with p close to 1 behaves
+    // like direct fanout optimization, and p = 0.5 is at least as good as either extreme on a
+    // social workload (the paper's Figure 8 finding).
+    let graph = workload(3_000, 13);
+    let k = 8;
+    let run = |objective| {
+        partition_recursive(
+            &graph,
+            &ShpConfig::recursive_bisection(k).with_objective(objective).with_seed(13),
+        )
+        .unwrap()
+        .report
+        .final_fanout
+    };
+    let half = run(ObjectiveKind::ProbabilisticFanout { p: 0.5 });
+    let direct = run(ObjectiveKind::Fanout);
+    let clique = run(ObjectiveKind::CliqueNet);
+    assert!(half <= direct * 1.05, "p=0.5 ({half}) should not be much worse than direct ({direct})");
+    assert!(half <= clique * 1.10, "p=0.5 ({half}) should not be much worse than clique-net ({clique})");
+}
+
+#[test]
+fn balance_holds_across_bucket_counts() {
+    let graph = workload(5_000, 17);
+    for k in [2u32, 8, 32, 64] {
+        let result =
+            partition_recursive(&graph, &ShpConfig::recursive_bisection(k).with_seed(17)).unwrap();
+        assert_eq!(result.partition.num_buckets(), k);
+        assert!(
+            result.partition.bucket_weights().iter().all(|&w| w > 0),
+            "k={k}: every bucket should be non-empty"
+        );
+        assert!(result.report.imbalance < 0.25, "k={k}: imbalance {}", result.report.imbalance);
+        // p-fanout is always a lower bound on fanout.
+        assert!(
+            average_p_fanout(&graph, &result.partition, 0.5)
+                <= average_fanout(&graph, &result.partition) + 1e-9
+        );
+    }
+}

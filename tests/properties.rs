@@ -1,0 +1,154 @@
+//! Property-based tests over the public API: invariants that must hold for arbitrary
+//! hypergraphs and configurations, checked with proptest.
+
+use proptest::prelude::*;
+use shp::core::{partition_direct, partition_recursive, NeighborData, Objective, ShpConfig};
+use shp::hypergraph::{
+    average_fanout, average_p_fanout, metrics, weighted_edge_cut, GraphBuilder, Partition,
+};
+
+/// Strategy: an arbitrary small hypergraph as a list of hyperedges over up to `max_data`
+/// vertices.
+fn arb_hypergraph(max_queries: usize, max_data: u32) -> impl Strategy<Value = Vec<Vec<u32>>> {
+    prop::collection::vec(
+        prop::collection::vec(0..max_data, 2..8usize),
+        1..max_queries,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// p-fanout never exceeds fanout and both are at least 1 for non-empty queries (Section 3.1).
+    #[test]
+    fn p_fanout_is_a_lower_bound_on_fanout(
+        edges in arb_hypergraph(40, 30),
+        k in 2u32..6,
+        p in 0.05f64..0.95,
+        seed in 0u64..1000,
+    ) {
+        let graph = GraphBuilder::from_hyperedges(edges).unwrap();
+        let mut rng = rand::SeedableRng::seed_from_u64(seed);
+        let partition = Partition::new_random(&graph, k, &mut rng as &mut rand_pcg::Pcg64).unwrap();
+        let fanout = average_fanout(&graph, &partition);
+        let p_fanout = average_p_fanout(&graph, &partition, p);
+        prop_assert!(p_fanout <= fanout + 1e-9);
+        prop_assert!(fanout >= 1.0 - 1e-9);
+    }
+
+    /// The analytic move gain (Equation 1 and its limits) always equals the brute-force
+    /// objective difference.
+    #[test]
+    fn move_gains_match_objective_deltas(
+        edges in arb_hypergraph(25, 20),
+        k in 2u32..5,
+        vertex_choice in 0u32..20,
+        target in 0u32..5,
+        p in 0.1f64..0.9,
+        seed in 0u64..1000,
+    ) {
+        let graph = GraphBuilder::from_hyperedges(edges).unwrap();
+        prop_assume!(graph.num_data() > 0);
+        let v = vertex_choice % graph.num_data() as u32;
+        let to = target % k;
+        let mut rng = rand::SeedableRng::seed_from_u64(seed);
+        let partition = Partition::new_random(&graph, k, &mut rng as &mut rand_pcg::Pcg64).unwrap();
+        let nd = NeighborData::build(&graph, &partition);
+
+        for objective in [Objective::PFanout { p }, Objective::Fanout, Objective::CliqueNet] {
+            let gain = shp::core::gains::move_gain(&objective, &graph, &partition, &nd, v, to);
+            let scale = match objective {
+                Objective::CliqueNet => 1.0,
+                _ => graph.num_queries() as f64,
+            };
+            let before = objective.evaluate(&graph, &partition) * scale;
+            let mut moved = partition.clone();
+            moved.assign(v, to);
+            let after = objective.evaluate(&graph, &moved) * scale;
+            prop_assert!((gain - (before - after)).abs() < 1e-6,
+                "objective {objective:?}: gain {gain} vs delta {}", before - after);
+        }
+    }
+
+    /// Neighbor data updated incrementally always matches a fresh rebuild.
+    #[test]
+    fn neighbor_data_incremental_updates_are_consistent(
+        edges in arb_hypergraph(30, 25),
+        k in 2u32..5,
+        moves in prop::collection::vec((0u32..25, 0u32..5), 1..20),
+        seed in 0u64..1000,
+    ) {
+        let graph = GraphBuilder::from_hyperedges(edges).unwrap();
+        prop_assume!(graph.num_data() > 0);
+        let mut rng = rand::SeedableRng::seed_from_u64(seed);
+        let mut partition = Partition::new_random(&graph, k, &mut rng as &mut rand_pcg::Pcg64).unwrap();
+        let mut nd = NeighborData::build(&graph, &partition);
+        for (v_raw, b_raw) in moves {
+            let v = v_raw % graph.num_data() as u32;
+            let to = b_raw % k;
+            let from = partition.bucket_of(v);
+            nd.apply_move(&graph, v, from, to);
+            partition.assign(v, to);
+        }
+        prop_assert_eq!(nd, NeighborData::build(&graph, &partition));
+    }
+
+    /// Both SHP modes always return complete, correctly sized, non-degrading partitions.
+    #[test]
+    fn shp_partitions_are_valid_and_never_worse_than_start(
+        edges in arb_hypergraph(40, 30),
+        k in 2u32..9,
+        seed in 0u64..1000,
+    ) {
+        let graph = GraphBuilder::from_hyperedges(edges).unwrap();
+        let recursive = partition_recursive(
+            &graph,
+            &ShpConfig::recursive_bisection(k).with_seed(seed).with_max_iterations(5),
+        ).unwrap();
+        let direct = partition_direct(
+            &graph,
+            &ShpConfig::direct(k).with_seed(seed).with_max_iterations(5),
+        ).unwrap();
+        for result in [&recursive, &direct] {
+            prop_assert_eq!(result.partition.num_buckets(), k);
+            prop_assert_eq!(result.partition.num_data(), graph.num_data());
+            prop_assert!(result.report.final_fanout >= 1.0 - 1e-9 || graph.num_queries() == 0);
+            // Fanout can never exceed the smaller of k and the largest hyperedge.
+            let bound = (k as f64).min(graph.max_query_degree() as f64).max(1.0);
+            prop_assert!(result.report.final_fanout <= bound + 1e-9);
+        }
+    }
+
+    /// The weighted edge cut metric equals the clique-net graph's cut for the same partition.
+    #[test]
+    fn weighted_edge_cut_matches_clique_net_graph(
+        edges in arb_hypergraph(25, 20),
+        k in 2u32..5,
+        seed in 0u64..1000,
+    ) {
+        let graph = GraphBuilder::from_hyperedges(edges).unwrap();
+        let mut rng = rand::SeedableRng::seed_from_u64(seed);
+        let partition = Partition::new_random(&graph, k, &mut rng as &mut rand_pcg::Pcg64).unwrap();
+        let clique = shp::hypergraph::CliqueNetGraph::build(&graph, usize::MAX);
+        prop_assert_eq!(
+            clique.edge_cut(partition.assignment()),
+            weighted_edge_cut(&graph, &partition)
+        );
+    }
+
+    /// Fanout histograms are consistent with the scalar metrics.
+    #[test]
+    fn fanout_histogram_matches_average(
+        edges in arb_hypergraph(30, 25),
+        k in 2u32..6,
+        seed in 0u64..1000,
+    ) {
+        let graph = GraphBuilder::from_hyperedges(edges).unwrap();
+        let mut rng = rand::SeedableRng::seed_from_u64(seed);
+        let partition = Partition::new_random(&graph, k, &mut rng as &mut rand_pcg::Pcg64).unwrap();
+        let histogram = metrics::FanoutHistogram::compute(&graph, &partition);
+        prop_assert!((histogram.mean() - average_fanout(&graph, &partition)).abs() < 1e-9);
+        prop_assert_eq!(histogram.total(), graph.num_queries() as u64);
+        prop_assert_eq!(histogram.max() as u32, metrics::max_fanout(&graph, &partition));
+    }
+}
