@@ -32,8 +32,9 @@ impl Partitioner for GreedyStreamPartitioner {
         let mut order: Vec<DataId> = (0..n as DataId).collect();
         order.shuffle(&mut rng);
 
-        let capacity =
-            (((n as f64 / k as f64).ceil()) * (1.0 + epsilon)).floor().max(1.0) as u64;
+        let capacity = (((n as f64 / k as f64).ceil()) * (1.0 + epsilon))
+            .floor()
+            .max(1.0) as u64;
         let mut assignment: Vec<Option<BucketId>> = vec![None; n];
         let mut loads = vec![0u64; k as usize];
         let mut scores = vec![0f64; k as usize];
@@ -71,8 +72,10 @@ impl Partitioner for GreedyStreamPartitioner {
             loads[best] += 1;
         }
 
-        let final_assignment: Vec<BucketId> =
-            assignment.into_iter().map(|b| b.expect("every vertex placed")).collect();
+        let final_assignment: Vec<BucketId> = assignment
+            .into_iter()
+            .map(|b| b.expect("every vertex placed"))
+            .collect();
         Partition::from_assignment(graph, k, final_assignment).expect("valid by construction")
     }
 }

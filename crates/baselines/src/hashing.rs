@@ -23,7 +23,8 @@ impl Partitioner for HashPartitioner {
                 ((x ^ (x >> 31)) % k as u64) as BucketId
             })
             .collect();
-        Partition::from_assignment(graph, k, assignment).expect("assignment is valid by construction")
+        Partition::from_assignment(graph, k, assignment)
+            .expect("assignment is valid by construction")
     }
 }
 

@@ -31,8 +31,9 @@ impl Partitioner for LabelPropagationPartitioner {
         let n = graph.num_data();
         let mut rng = Pcg64::seed_from_u64(self.seed);
         let mut partition = Partition::new_random(graph, k, &mut rng).expect("k >= 1 required");
-        let capacity =
-            (((n as f64 / k as f64).ceil()) * (1.0 + epsilon)).floor().max(1.0) as u64;
+        let capacity = (((n as f64 / k as f64).ceil()) * (1.0 + epsilon))
+            .floor()
+            .max(1.0) as u64;
 
         let mut counts = vec![0u64; k as usize];
         for _ in 0..self.iterations {

@@ -75,9 +75,18 @@ mod tests {
             let p = b.partition(&graph, 4, 0.05);
             assert_eq!(p.num_buckets(), 4, "{}", b.name());
             assert_eq!(p.num_data(), graph.num_data(), "{}", b.name());
-            assert!(p.imbalance() < 0.35, "{} imbalance {}", b.name(), p.imbalance());
+            assert!(
+                p.imbalance() < 0.35,
+                "{} imbalance {}",
+                b.name(),
+                p.imbalance()
+            );
             let fanout = average_fanout(&graph, &p);
-            assert!(fanout >= 1.0 && fanout <= 4.0, "{} fanout {fanout}", b.name());
+            assert!(
+                (1.0..=4.0).contains(&fanout),
+                "{} fanout {fanout}",
+                b.name()
+            );
         }
     }
 }

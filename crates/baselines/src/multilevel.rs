@@ -107,13 +107,35 @@ fn recursive_bisect(
 
     let side = bisect_subset(clique, weights, vertices, left_fraction, epsilon, config);
 
-    let left: Vec<DataId> = vertices.iter().copied().filter(|&v| side[v as usize] == 0).collect();
-    let right: Vec<DataId> = vertices.iter().copied().filter(|&v| side[v as usize] == 1).collect();
+    let left: Vec<DataId> = vertices
+        .iter()
+        .copied()
+        .filter(|&v| side[v as usize] == 0)
+        .collect();
+    let right: Vec<DataId> = vertices
+        .iter()
+        .copied()
+        .filter(|&v| side[v as usize] == 1)
+        .collect();
 
-    let left_assignment =
-        recursive_bisect(clique, weights, &left, k_left, epsilon, config, bucket_offset);
-    let right_assignment =
-        recursive_bisect(clique, weights, &right, k_right, epsilon, config, bucket_offset + k_left);
+    let left_assignment = recursive_bisect(
+        clique,
+        weights,
+        &left,
+        k_left,
+        epsilon,
+        config,
+        bucket_offset,
+    );
+    let right_assignment = recursive_bisect(
+        clique,
+        weights,
+        &right,
+        k_right,
+        epsilon,
+        config,
+        bucket_offset + k_left,
+    );
     for &v in &left {
         assignment[v as usize] = left_assignment[v as usize];
     }
@@ -246,7 +268,11 @@ fn bisect_subset(
                 }
                 let from = side[v as usize];
                 let to = 1 - from;
-                let to_capacity = if to == 0 { capacity_left } else { capacity_right };
+                let to_capacity = if to == 0 {
+                    capacity_left
+                } else {
+                    capacity_right
+                };
                 if side_weight[to as usize] + weights[v as usize] > to_capacity {
                     continue;
                 }

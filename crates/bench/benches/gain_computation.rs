@@ -9,7 +9,11 @@ use shp_datagen::{social_graph, SocialGraphConfig};
 use shp_hypergraph::Partition;
 
 fn bench_gain_computation(c: &mut Criterion) {
-    let graph = social_graph(&SocialGraphConfig { num_users: 5_000, avg_degree: 15, ..Default::default() });
+    let graph = social_graph(&SocialGraphConfig {
+        num_users: 5_000,
+        avg_degree: 15,
+        ..Default::default()
+    });
     let mut group = c.benchmark_group("gain_computation");
     group.sample_size(10);
     for k in [2u32, 8, 32] {

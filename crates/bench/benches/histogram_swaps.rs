@@ -25,12 +25,16 @@ fn bench_histogram_swaps(c: &mut Criterion) {
     group.sample_size(10);
     for n in [10_000usize, 100_000] {
         let props = proposals(n, 16);
-        group.bench_with_input(BenchmarkId::new("build_and_match", n), &props, |b, props| {
-            b.iter(|| {
-                let set = GainHistogramSet::from_proposals(props);
-                set.match_bins()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("build_and_match", n),
+            &props,
+            |b, props| {
+                b.iter(|| {
+                    let set = GainHistogramSet::from_proposals(props);
+                    set.match_bins()
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -6,13 +6,25 @@ use shp_bench::run_algorithm;
 use shp_datagen::{social_graph, SocialGraphConfig};
 
 fn bench_partitioners(c: &mut Criterion) {
-    let graph = social_graph(&SocialGraphConfig { num_users: 4_000, avg_degree: 12, ..Default::default() });
+    let graph = social_graph(&SocialGraphConfig {
+        num_users: 4_000,
+        avg_degree: 12,
+        ..Default::default()
+    });
     let mut group = c.benchmark_group("partitioners_end_to_end");
     group.sample_size(10);
-    for algorithm in ["SHP-2", "SHP-k", "Multilevel-FM", "GreedyStream", "LabelPropagation"] {
-        group.bench_with_input(BenchmarkId::from_parameter(algorithm), &algorithm, |b, &name| {
-            b.iter(|| run_algorithm(name, &graph, 8, 0.05, 1))
-        });
+    for algorithm in [
+        "SHP-2",
+        "SHP-k",
+        "Multilevel-FM",
+        "GreedyStream",
+        "LabelPropagation",
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(algorithm),
+            &algorithm,
+            |b, &name| b.iter(|| run_algorithm(name, &graph, 8, 0.05, 1)),
+        );
     }
     group.finish();
 }

@@ -4,14 +4,16 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::SeedableRng;
 use rand_pcg::Pcg64;
-use shp_core::{
-    BalanceMode, NeighborData, Objective, Refiner, SwapStrategy, TargetConstraint,
-};
+use shp_core::{BalanceMode, NeighborData, Objective, Refiner, SwapStrategy, TargetConstraint};
 use shp_datagen::{social_graph, SocialGraphConfig};
 use shp_hypergraph::Partition;
 
 fn bench_refinement(c: &mut Criterion) {
-    let graph = social_graph(&SocialGraphConfig { num_users: 5_000, avg_degree: 15, ..Default::default() });
+    let graph = social_graph(&SocialGraphConfig {
+        num_users: 5_000,
+        avg_degree: 15,
+        ..Default::default()
+    });
     let k = 8;
     let mut group = c.benchmark_group("refinement_iteration");
     group.sample_size(10);

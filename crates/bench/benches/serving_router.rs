@@ -1,0 +1,42 @@
+//! Micro-benchmark: multiget routing throughput of the serving layer's `ShardRouter` under a
+//! random vs. an SHP partition of the same workload. SHP plans have fewer batches per query
+//! (lower fanout), so routing is faster *and* the plans it emits are cheaper to execute — the
+//! serving-side dividend of partition quality.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use shp_bench::run_algorithm;
+use shp_datagen::{social_graph, SocialGraphConfig};
+use shp_serving::{PartitionSnapshot, ShardRouter};
+
+fn bench_serving_router(c: &mut Criterion) {
+    let graph = social_graph(&SocialGraphConfig {
+        num_users: 4_000,
+        avg_degree: 12,
+        ..Default::default()
+    });
+    let mut group = c.benchmark_group("serving_router");
+    group.sample_size(10);
+    for algorithm in ["Random", "SHP-2"] {
+        let run = run_algorithm(algorithm, &graph, 16, 0.05, 1);
+        let snapshot = PartitionSnapshot::from_partition(&run.partition, 0).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(algorithm),
+            &snapshot,
+            |b, snapshot| {
+                let router = ShardRouter::new();
+                b.iter(|| {
+                    let mut total_batches = 0usize;
+                    for q in graph.queries() {
+                        let plan = router.route(snapshot, graph.query_neighbors(q)).unwrap();
+                        total_batches += plan.batches.len();
+                    }
+                    total_batches
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serving_router);
+criterion_main!(benches);

@@ -6,16 +6,24 @@ use shp_core::{partition_distributed, ShpConfig};
 use shp_datagen::{social_graph, SocialGraphConfig};
 
 fn bench_distributed_iterations(c: &mut Criterion) {
-    let graph = social_graph(&SocialGraphConfig { num_users: 3_000, avg_degree: 12, ..Default::default() });
+    let graph = social_graph(&SocialGraphConfig {
+        num_users: 3_000,
+        avg_degree: 12,
+        ..Default::default()
+    });
     let mut group = c.benchmark_group("distributed_supersteps");
     group.sample_size(10);
     for workers in [1usize, 4, 8] {
-        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &workers| {
-            b.iter(|| {
-                let config = ShpConfig::direct(8).with_seed(1).with_max_iterations(3);
-                partition_distributed(&graph, &config, workers).unwrap()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    let config = ShpConfig::direct(8).with_seed(1).with_max_iterations(3);
+                    partition_distributed(&graph, &config, workers).unwrap()
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -41,16 +41,19 @@ fn main() {
 
     if run_synthetic {
         // Figure 4a: latency of f parallel trivial requests, f = 1..40.
-        let dummy_graph = social_graph(&SocialGraphConfig { num_users: servers as usize, ..Default::default() });
-        let uniform = Partition::from_assignment(
-            &dummy_graph,
-            servers,
-            (0..servers).collect::<Vec<_>>(),
-        )
-        .expect("one record per server");
+        let dummy_graph = social_graph(&SocialGraphConfig {
+            num_users: servers as usize,
+            ..Default::default()
+        });
+        let uniform =
+            Partition::from_assignment(&dummy_graph, servers, (0..servers).collect::<Vec<_>>())
+                .expect("one record per server");
         let cluster = ShardedCluster::from_partition(&uniform, model.clone());
         let report = cluster.synthetic_fanout_sweep(servers.min(40), 20_000, 0x5047);
-        print_report("Figure 4a — synthetic queries (latency in units of t, the single-request mean)", &report);
+        print_report(
+            "Figure 4a — synthetic queries (latency in units of t, the single-request mean)",
+            &report,
+        );
     }
 
     if run_replay {

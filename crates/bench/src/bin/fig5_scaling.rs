@@ -58,8 +58,13 @@ fn main() {
     if run_machines {
         println!("Figure 5b — SHP-2 run-time and total time vs number of workers (largest graph, k = 32)\n");
         let graph = fb_like(base_users * 8);
-        let mut table =
-            TextTable::new(["workers", "run-time", "total time", "remote messages", "remote fraction"]);
+        let mut table = TextTable::new([
+            "workers",
+            "run-time",
+            "total time",
+            "remote messages",
+            "remote fraction",
+        ]);
         for workers in [4usize, 8, 16] {
             let config = ShpConfig::recursive_bisection(32).with_seed(0x5047);
             let start = Instant::now();

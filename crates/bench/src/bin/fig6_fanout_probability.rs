@@ -4,8 +4,8 @@
 //! The reported quantity is the percentage reduction in (non-probabilistic) fanout relative to
 //! the random initial partition; the paper finds 0.4 ≤ p ≤ 0.8 best, with p = 0.5 the default.
 
-use shp_bench::{bench_scale, env_usize, load_dataset, TextTable};
 use shp_baselines::{Partitioner, RandomPartitioner};
+use shp_bench::{bench_scale, env_usize, load_dataset, TextTable};
 use shp_core::{partition_recursive, ObjectiveKind, ShpConfig};
 use shp_datagen::Dataset;
 use shp_hypergraph::average_fanout;
@@ -14,10 +14,15 @@ fn main() {
     let scale = bench_scale();
     let max_k = env_usize("SHP_BENCH_MAX_K", 32) as u32;
     let graph = load_dataset(Dataset::SocPokec, scale);
-    let ks: Vec<u32> = [2u32, 8, 32, 128, 512].into_iter().filter(|&k| k <= max_k).collect();
+    let ks: Vec<u32> = [2u32, 8, 32, 128, 512]
+        .into_iter()
+        .filter(|&k| k <= max_k)
+        .collect();
     let ps = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
 
-    println!("Figure 6 — fanout reduction (%) vs fanout probability p on soc-Pokec (scale {scale})\n");
+    println!(
+        "Figure 6 — fanout reduction (%) vs fanout probability p on soc-Pokec (scale {scale})\n"
+    );
     let mut table = TextTable::new(["k", "p", "fanout", "reduction vs random (%)"]);
     for &k in &ks {
         let random = RandomPartitioner::new(0x5047).partition(&graph, k, 0.05);
@@ -28,7 +33,9 @@ fn main() {
             } else {
                 ObjectiveKind::ProbabilisticFanout { p }
             };
-            let config = ShpConfig::recursive_bisection(k).with_objective(objective).with_seed(0x5047);
+            let config = ShpConfig::recursive_bisection(k)
+                .with_objective(objective)
+                .with_seed(0x5047);
             let result = partition_recursive(&graph, &config).expect("valid config");
             let reduction = (result.report.final_fanout - random_fanout) / random_fanout * 100.0;
             table.add_row([

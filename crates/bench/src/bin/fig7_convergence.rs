@@ -12,8 +12,13 @@ fn main() {
     let k = 8;
 
     println!("Figure 7 — SHP-k convergence on soc-LJ (scale {scale}, k = {k})\n");
-    let mut table =
-        TextTable::new(["p", "iteration", "fanout", "moved vertices (%)", "candidates"]);
+    let mut table = TextTable::new([
+        "p",
+        "iteration",
+        "fanout",
+        "moved vertices (%)",
+        "candidates",
+    ]);
     for (label, objective) in [
         ("0.5", ObjectiveKind::ProbabilisticFanout { p: 0.5 }),
         ("1.0", ObjectiveKind::Fanout),

@@ -37,8 +37,13 @@ fn main() {
         let graph = load_dataset(dataset, scale);
         for &k in &ks {
             let run = |objective: ObjectiveKind| {
-                let config = ShpConfig::recursive_bisection(k).with_objective(objective).with_seed(0x5047);
-                partition_recursive(&graph, &config).expect("valid config").report.final_fanout
+                let config = ShpConfig::recursive_bisection(k)
+                    .with_objective(objective)
+                    .with_seed(0x5047);
+                partition_recursive(&graph, &config)
+                    .expect("valid config")
+                    .report
+                    .final_fanout
             };
             let half = run(ObjectiveKind::ProbabilisticFanout { p: 0.5 });
             let direct = run(ObjectiveKind::Fanout);

@@ -23,7 +23,11 @@ fn main() {
         let spec = dataset.spec();
         // The billion-edge graphs are only generated for the scalability runs; keep Table 1
         // fast by capping their generation scale.
-        let effective_scale = if spec.paper_edges > 100_000_000 { scale * 0.05 } else { scale };
+        let effective_scale = if spec.paper_edges > 100_000_000 {
+            scale * 0.05
+        } else {
+            scale
+        };
         let graph = load_dataset(dataset, effective_scale.max(1e-4));
         let stats = GraphStats::compute(&graph);
         table.add_row([

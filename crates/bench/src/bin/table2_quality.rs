@@ -4,7 +4,9 @@
 //! For every dataset and k it prints the raw fanout per algorithm plus the percentage above the
 //! minimum fanout achieved by any algorithm (the paper's "(Fanout − Min Fanout) / Min Fanout").
 
-use shp_bench::{bench_scale, env_usize, fmt_secs, load_dataset, quality_algorithms, run_algorithm, TextTable};
+use shp_bench::{
+    bench_scale, env_usize, fmt_secs, load_dataset, quality_algorithms, run_algorithm, TextTable,
+};
 use shp_datagen::Dataset;
 
 fn main() {
@@ -12,10 +14,23 @@ fn main() {
     let epsilon = 0.05;
     // The paper sweeps k ∈ {2, 8, 32, 128, 512}; SHP_BENCH_MAX_K trims the sweep for quick runs.
     let max_k = env_usize("SHP_BENCH_MAX_K", 32) as u32;
-    let ks: Vec<u32> = [2u32, 8, 32, 128, 512].into_iter().filter(|&k| k <= max_k).collect();
+    let ks: Vec<u32> = [2u32, 8, 32, 128, 512]
+        .into_iter()
+        .filter(|&k| k <= max_k)
+        .collect();
 
-    println!("Table 2 — fanout by algorithm, dataset, and bucket count (scale {scale}, eps {epsilon})\n");
-    let mut table = TextTable::new(["hypergraph", "k", "algorithm", "fanout", "vs min (%)", "imbalance", "time"]);
+    println!(
+        "Table 2 — fanout by algorithm, dataset, and bucket count (scale {scale}, eps {epsilon})\n"
+    );
+    let mut table = TextTable::new([
+        "hypergraph",
+        "k",
+        "algorithm",
+        "fanout",
+        "vs min (%)",
+        "imbalance",
+        "time",
+    ]);
 
     for &dataset in Dataset::quality_benchmark_set() {
         let graph = load_dataset(dataset, scale);
@@ -40,6 +55,14 @@ fn main() {
         }
         // Print incrementally so long runs show progress.
         println!("{}", table.render());
-        table = TextTable::new(["hypergraph", "k", "algorithm", "fanout", "vs min (%)", "imbalance", "time"]);
+        table = TextTable::new([
+            "hypergraph",
+            "k",
+            "algorithm",
+            "fanout",
+            "vs min (%)",
+            "imbalance",
+            "time",
+        ]);
     }
 }

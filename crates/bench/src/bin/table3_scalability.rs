@@ -5,8 +5,8 @@
 //! multilevel baseline (the Mondriaan/Zoltan stand-in) is included to show where it stops being
 //! feasible — mirroring the paper's finding that only SHP-2 completes on every instance.
 
-use shp_bench::{bench_scale, env_usize, fmt_secs, load_dataset, TextTable};
 use shp_baselines::{MultilevelConfig, MultilevelPartitioner, Partitioner};
+use shp_bench::{bench_scale, env_usize, fmt_secs, load_dataset, TextTable};
 use shp_core::{partition_distributed, ShpConfig};
 use shp_datagen::Dataset;
 use shp_hypergraph::average_fanout;
@@ -16,7 +16,10 @@ fn main() {
     let scale = bench_scale();
     let workers = env_usize("SHP_BENCH_WORKERS", 4);
     let max_k = env_usize("SHP_BENCH_MAX_K", 512) as u32;
-    let ks: Vec<u32> = [32u32, 512, 8192].into_iter().filter(|&k| k <= max_k).collect();
+    let ks: Vec<u32> = [32u32, 512, 8192]
+        .into_iter()
+        .filter(|&k| k <= max_k)
+        .collect();
     // Budget per run standing in for the paper's 10-hour limit (scaled to the benchmark sizes).
     let budget = Duration::from_secs(env_usize("SHP_BENCH_BUDGET_SECS", 300) as u64);
     let epsilon = 0.05;
@@ -30,11 +33,17 @@ fn main() {
     for &dataset in Dataset::scalability_benchmark_set() {
         // The billion-edge graphs are generated at a further-reduced scale so the sweep finishes.
         let spec = dataset.spec();
-        let effective_scale = if spec.paper_edges > 100_000_000 { scale * 0.05 } else { scale };
+        let effective_scale = if spec.paper_edges > 100_000_000 {
+            scale * 0.05
+        } else {
+            scale
+        };
         let graph = load_dataset(dataset, effective_scale.max(1e-4));
         for &k in &ks {
             // SHP-2 (recursive bisection on the BSP engine).
-            let config = ShpConfig::recursive_bisection(k).with_epsilon(epsilon).with_seed(0x5047);
+            let config = ShpConfig::recursive_bisection(k)
+                .with_epsilon(epsilon)
+                .with_seed(0x5047);
             let start = Instant::now();
             let shp2 = partition_distributed(&graph, &config, workers).expect("valid config");
             table.add_row([
@@ -74,9 +83,14 @@ fn main() {
             // like Zoltan/Parkway in the paper it fails (here: exceeds the budget) on the rest.
             if graph.num_edges() <= 2_000_000 && k <= 512 {
                 let start = Instant::now();
-                let ml = MultilevelPartitioner::new(MultilevelConfig::default()).partition(&graph, k, epsilon);
+                let ml = MultilevelPartitioner::new(MultilevelConfig::default())
+                    .partition(&graph, k, epsilon);
                 let elapsed = start.elapsed();
-                let status = if elapsed > budget { "exceeded budget" } else { "ok" };
+                let status = if elapsed > budget {
+                    "exceeded budget"
+                } else {
+                    "ok"
+                };
                 table.add_row([
                     spec.name.to_string(),
                     k.to_string(),

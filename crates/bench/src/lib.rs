@@ -34,7 +34,10 @@ pub fn bench_scale() -> f64 {
 
 /// Reads an environment variable as usize with a default.
 pub fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
 }
 
 /// Generates a dataset at the benchmark scale with the standard seed, removing trivial queries
@@ -75,20 +78,37 @@ pub fn quality_algorithms() -> Vec<String> {
 ///
 /// # Panics
 /// Panics on an unknown algorithm name.
-pub fn run_algorithm(name: &str, graph: &BipartiteGraph, k: u32, epsilon: f64, seed: u64) -> AlgorithmRun {
+pub fn run_algorithm(
+    name: &str,
+    graph: &BipartiteGraph,
+    k: u32,
+    epsilon: f64,
+    seed: u64,
+) -> AlgorithmRun {
     let start = Instant::now();
     let partition = match name {
         "SHP-k" => {
             let config = ShpConfig::direct(k).with_epsilon(epsilon).with_seed(seed);
-            partition_direct(graph, &config).expect("valid config").partition
+            partition_direct(graph, &config)
+                .expect("valid config")
+                .partition
         }
         "SHP-2" => {
-            let config = ShpConfig::recursive_bisection(k).with_epsilon(epsilon).with_seed(seed);
-            partition_recursive(graph, &config).expect("valid config").partition
+            let config = ShpConfig::recursive_bisection(k)
+                .with_epsilon(epsilon)
+                .with_seed(seed);
+            partition_recursive(graph, &config)
+                .expect("valid config")
+                .partition
         }
-        "Multilevel-FM" => MultilevelPartitioner::new(MultilevelConfig { seed, ..Default::default() })
-            .partition(graph, k, epsilon),
-        "LabelPropagation" => LabelPropagationPartitioner::new(15, seed).partition(graph, k, epsilon),
+        "Multilevel-FM" => MultilevelPartitioner::new(MultilevelConfig {
+            seed,
+            ..Default::default()
+        })
+        .partition(graph, k, epsilon),
+        "LabelPropagation" => {
+            LabelPropagationPartitioner::new(15, seed).partition(graph, k, epsilon)
+        }
         "GreedyStream" => GreedyStreamPartitioner::new(seed).partition(graph, k, epsilon),
         "Random" => RandomPartitioner::new(seed).partition(graph, k, epsilon),
         "Hash" => HashPartitioner.partition(graph, k, epsilon),
@@ -114,7 +134,10 @@ pub struct TextTable {
 impl TextTable {
     /// Creates a table with the given column headers.
     pub fn new<I: IntoIterator<Item = S>, S: Into<String>>(header: I) -> Self {
-        TextTable { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (must have the same arity as the header).
@@ -143,7 +166,15 @@ impl TextTable {
         let mut out = String::new();
         out.push_str(&fmt_row(&self.header));
         out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().map(|w| w + 2).sum::<usize>().saturating_sub(2)));
+        out.push_str(
+            &"-".repeat(
+                widths
+                    .iter()
+                    .map(|w| w + 2)
+                    .sum::<usize>()
+                    .saturating_sub(2),
+            ),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&fmt_row(row));
@@ -194,7 +225,7 @@ mod tests {
     fn bench_scale_defaults_and_parses() {
         // The default is used when the variable is unset or invalid (we cannot mutate the
         // environment safely in parallel tests, so just check the default constant).
-        assert!(DEFAULT_SCALE > 0.0 && DEFAULT_SCALE <= 1.0);
+        const { assert!(DEFAULT_SCALE > 0.0 && DEFAULT_SCALE <= 1.0) };
         assert!(bench_scale() > 0.0);
     }
 
@@ -203,6 +234,11 @@ mod tests {
         let graph = load_dataset(Dataset::Fb10M, 0.005);
         let shp = run_algorithm("SHP-2", &graph, 8, 0.05, 1);
         let random = run_algorithm("Random", &graph, 8, 0.05, 1);
-        assert!(shp.fanout < random.fanout, "SHP-2 {} vs random {}", shp.fanout, random.fanout);
+        assert!(
+            shp.fanout < random.fanout,
+            "SHP-2 {} vs random {}",
+            shp.fanout,
+            random.fanout
+        );
     }
 }

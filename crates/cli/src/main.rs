@@ -8,16 +8,24 @@
 //!   — partition a hypergraph file and write the bucket of every vertex.
 //! * `evaluate <input.hgr> <partition.part> <k>` — report fanout, p-fanout, hyperedge cut, and
 //!   imbalance of an existing partition.
+//! * `replay [options]` — drive a synthetic open-loop multiget workload through the
+//!   `shp-serving` engine under a random and an SHP partition and compare mean fanout,
+//!   latency percentiles, and shard load skew.
+//! * `serve [options]` — start serving on a random partition, compute an SHP repartition in
+//!   the background, and install it *live* mid-run, reporting per-epoch fanout.
 //!
 //! The hMetis format is the one exchanged by hMetis/PaToH/Mondriaan/Parkway/Zoltan, so
 //! partitions can be compared against other tools directly.
 
+use shp_baselines::{Partitioner, RandomPartitioner};
 use shp_core::{partition_direct, partition_recursive, ObjectiveKind, ShpConfig};
 use shp_datagen::Dataset;
 use shp_hypergraph::{
-    average_fanout, average_p_fanout, hyperedge_cut, io, GraphStats,
+    average_fanout, average_p_fanout, hyperedge_cut, io, BipartiteGraph, GraphStats, Partition,
 };
+use shp_serving::{open_loop_schedule, EngineConfig, ServingEngine, WorkloadConfig};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -25,6 +33,8 @@ fn main() -> ExitCode {
         Some("generate") => cmd_generate(&args[1..]),
         Some("partition") => cmd_partition(&args[1..]),
         Some("evaluate") => cmd_evaluate(&args[1..]),
+        Some("replay") => cmd_replay(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         _ => {
             eprintln!("{USAGE}");
             return ExitCode::from(2);
@@ -43,6 +53,10 @@ const USAGE: &str = "usage:
   shp generate <dataset> <scale> <output.hgr>
   shp partition <input.hgr> <k> <output.part> [--mode shp2|shpk] [--p <p>] [--epsilon <eps>] [--seed <seed>]
   shp evaluate <input.hgr> <partition.part> <k>
+  shp replay [--dataset <name>] [--scale <s>] [--shards <k>] [--rate <r>] [--duration <d>]
+             [--clients <n>] [--cache <capacity>] [--seed <seed>]
+  shp serve  [--dataset <name>] [--scale <s>] [--shards <k>] [--rate <r>] [--duration <d>]
+             [--clients <n>] [--cache <capacity>] [--seed <seed>]
 
 datasets: email-Enron soc-Epinions web-Stanford web-BerkStan soc-Pokec soc-LJ FB-10M FB-50M FB-2B FB-5B FB-10B";
 
@@ -51,13 +65,18 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
         return Err(format!("generate needs 3 arguments\n{USAGE}"));
     };
     let dataset = Dataset::from_name(name).ok_or_else(|| format!("unknown dataset {name:?}"))?;
-    let scale: f64 = scale.parse().map_err(|_| format!("invalid scale {scale:?}"))?;
+    let scale: f64 = scale
+        .parse()
+        .map_err(|_| format!("invalid scale {scale:?}"))?;
     if !(scale > 0.0 && scale <= 1.0) {
         return Err("scale must lie in (0, 1]".into());
     }
     let graph = dataset.generate(scale, 0x5047);
     io::write_hmetis_file(&graph, output).map_err(|e| e.to_string())?;
-    println!("{}", GraphStats::compute(&graph).table1_row(dataset.spec().name));
+    println!(
+        "{}",
+        GraphStats::compute(&graph).table1_row(dataset.spec().name)
+    );
     println!("wrote {output}");
     Ok(())
 }
@@ -67,7 +86,9 @@ fn cmd_partition(args: &[String]) -> Result<(), String> {
         return Err(format!("partition needs at least 3 arguments\n{USAGE}"));
     }
     let input = &args[0];
-    let k: u32 = args[1].parse().map_err(|_| format!("invalid k {:?}", args[1]))?;
+    let k: u32 = args[1]
+        .parse()
+        .map_err(|_| format!("invalid k {:?}", args[1]))?;
     let output = &args[2];
     let mut mode = "shp2".to_string();
     let mut p = 0.5f64;
@@ -81,16 +102,24 @@ fn cmd_partition(args: &[String]) -> Result<(), String> {
                 i += 2;
             }
             "--p" => {
-                p = args.get(i + 1).and_then(|s| s.parse().ok()).ok_or("--p needs a number")?;
+                p = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--p needs a number")?;
                 i += 2;
             }
             "--epsilon" => {
-                epsilon =
-                    args.get(i + 1).and_then(|s| s.parse().ok()).ok_or("--epsilon needs a number")?;
+                epsilon = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--epsilon needs a number")?;
                 i += 2;
             }
             "--seed" => {
-                seed = args.get(i + 1).and_then(|s| s.parse().ok()).ok_or("--seed needs a number")?;
+                seed = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--seed needs a number")?;
                 i += 2;
             }
             other => return Err(format!("unknown option {other:?}")),
@@ -135,13 +164,278 @@ fn cmd_partition(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Shared options of the serving subcommands.
+struct ServeOptions {
+    dataset: Dataset,
+    scale: f64,
+    shards: u32,
+    rate: f64,
+    duration: f64,
+    clients: usize,
+    cache: usize,
+    seed: u64,
+}
+
+impl ServeOptions {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut options = ServeOptions {
+            dataset: Dataset::EmailEnron,
+            scale: 0.05,
+            shards: 16,
+            rate: 200.0,
+            duration: 60.0,
+            clients: 4,
+            cache: 0,
+            seed: 0x5047,
+        };
+        let mut i = 0;
+        while i < args.len() {
+            // Recognize the flag before demanding a value, so an unknown trailing flag is
+            // reported as unknown rather than as missing its (nonexistent) value.
+            if !matches!(
+                args[i].as_str(),
+                "--dataset"
+                    | "--scale"
+                    | "--shards"
+                    | "--rate"
+                    | "--duration"
+                    | "--clients"
+                    | "--cache"
+                    | "--seed"
+            ) {
+                return Err(format!("unknown option {:?}", args[i]));
+            }
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| format!("{} needs a value", args[i]))?;
+            match args[i].as_str() {
+                "--dataset" => {
+                    options.dataset = Dataset::from_name(value)
+                        .ok_or_else(|| format!("unknown dataset {value:?}"))?;
+                }
+                "--scale" => {
+                    options.scale = value
+                        .parse()
+                        .map_err(|_| format!("invalid scale {value:?}"))?;
+                    if !(options.scale > 0.0 && options.scale <= 1.0) {
+                        return Err("scale must lie in (0, 1]".into());
+                    }
+                }
+                "--shards" => {
+                    options.shards = value
+                        .parse()
+                        .map_err(|_| format!("invalid shard count {value:?}"))?;
+                    if options.shards < 2 {
+                        return Err("at least 2 shards are required".into());
+                    }
+                }
+                "--rate" => {
+                    options.rate = value
+                        .parse()
+                        .map_err(|_| format!("invalid rate {value:?}"))?;
+                    if !(options.rate > 0.0 && options.rate.is_finite()) {
+                        return Err("rate must be a positive number".into());
+                    }
+                }
+                "--duration" => {
+                    options.duration = value
+                        .parse()
+                        .map_err(|_| format!("invalid duration {value:?}"))?;
+                    if !(options.duration > 0.0 && options.duration.is_finite()) {
+                        return Err("duration must be a positive number".into());
+                    }
+                }
+                "--clients" => {
+                    options.clients = value
+                        .parse()
+                        .map_err(|_| format!("invalid client count {value:?}"))?;
+                }
+                "--cache" => {
+                    options.cache = value
+                        .parse()
+                        .map_err(|_| format!("invalid cache capacity {value:?}"))?;
+                }
+                "--seed" => {
+                    options.seed = value
+                        .parse()
+                        .map_err(|_| format!("invalid seed {value:?}"))?;
+                }
+                _ => unreachable!("flag names are checked above"),
+            }
+            i += 2;
+        }
+        Ok(options)
+    }
+
+    fn workload(&self) -> WorkloadConfig {
+        WorkloadConfig {
+            arrival_rate: self.rate,
+            duration: self.duration,
+            seed: self.seed,
+            ..Default::default()
+        }
+    }
+
+    fn engine_config(&self) -> EngineConfig {
+        EngineConfig {
+            cache_capacity: self.cache,
+            seed: self.seed,
+            ..Default::default()
+        }
+    }
+
+    fn load_graph(&self) -> BipartiteGraph {
+        self.dataset
+            .generate(self.scale, self.seed)
+            .filter_small_queries(2)
+    }
+
+    fn shp_partition(&self, graph: &BipartiteGraph) -> Result<Partition, String> {
+        let config = ShpConfig::recursive_bisection(self.shards).with_seed(self.seed);
+        Ok(partition_recursive(graph, &config)?.partition)
+    }
+}
+
+fn cmd_replay(args: &[String]) -> Result<(), String> {
+    let options = ServeOptions::parse(args)?;
+    let graph = options.load_graph();
+    println!(
+        "workload: {} ({} queries, {} keys), {} shards, rate {}/t for {}t, {} clients",
+        options.dataset.spec().name,
+        graph.num_queries(),
+        graph.num_data(),
+        options.shards,
+        options.rate,
+        options.duration,
+        options.clients
+    );
+
+    let events = open_loop_schedule(graph.num_queries(), &options.workload());
+    println!("schedule: {} multigets\n", events.len());
+
+    let random = RandomPartitioner::new(options.seed).partition(&graph, options.shards, 0.05);
+    println!("computing SHP-2 partition...");
+    let shp = options.shp_partition(&graph)?;
+
+    let mut rows: Vec<(&str, shp_serving::ServingReport)> = Vec::new();
+    for (name, partition) in [("Random", &random), ("SHP-2", &shp)] {
+        let engine =
+            ServingEngine::new(partition, options.engine_config()).map_err(|e| e.to_string())?;
+        let report = engine
+            .run_workload(&graph, &events, options.clients)
+            .map_err(|e| e.to_string())?;
+        println!("=== {name} ===\n{report}\n");
+        rows.push((name, report));
+    }
+
+    let (random_report, shp_report) = (&rows[0].1, &rows[1].1);
+    println!(
+        "SHP-2 vs Random: mean fanout {:.3} -> {:.3} ({:.1}% lower), p99 latency {:.3}t -> {:.3}t ({:.1}% lower)",
+        random_report.mean_fanout,
+        shp_report.mean_fanout,
+        100.0 * (1.0 - shp_report.mean_fanout / random_report.mean_fanout),
+        random_report.p99,
+        shp_report.p99,
+        100.0 * (1.0 - shp_report.p99 / random_report.p99),
+    );
+    if shp_report.mean_fanout >= random_report.mean_fanout {
+        return Err("SHP partition failed to lower mean fanout".into());
+    }
+    if shp_report.p99 >= random_report.p99 {
+        return Err("SHP partition failed to lower p99 latency".into());
+    }
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let options = ServeOptions::parse(args)?;
+    let graph = options.load_graph();
+    let events = open_loop_schedule(graph.num_queries(), &options.workload());
+    println!(
+        "serving {} multigets over {} keys on {} shards; starting from a random partition",
+        events.len(),
+        graph.num_data(),
+        options.shards
+    );
+
+    let random = RandomPartitioner::new(options.seed).partition(&graph, options.shards, 0.05);
+    let engine = ServingEngine::new(&random, options.engine_config()).map_err(|e| e.to_string())?;
+
+    // Plan the repartition off the serving path, then install it live once at least half of
+    // the schedule has been served: the swapper thread races the concurrent clients, and every
+    // in-flight multiget finishes on whichever generation it loaded.
+    println!("planning SHP-2 repartition off the serving path...");
+    let shp = options.shp_partition(&graph)?;
+    let progress = AtomicUsize::new(0);
+    let swap_at = events.len() / 2;
+    let chunk = events.len().div_ceil(options.clients.max(1)).max(1);
+    let outcome: Result<(), String> = std::thread::scope(|scope| {
+        let engine_ref = &engine;
+        let graph_ref = &graph;
+        let progress_ref = &progress;
+        let shp_ref = &shp;
+        let swapper = scope.spawn(move || -> Result<u64, String> {
+            while progress_ref.load(Ordering::Relaxed) < swap_at {
+                std::thread::yield_now();
+            }
+            engine_ref
+                .install_partition(shp_ref)
+                .map_err(|e| e.to_string())
+        });
+        let clients: Vec<_> = events
+            .chunks(chunk)
+            .map(|slice| {
+                scope.spawn(move || -> Result<(), String> {
+                    for event in slice {
+                        engine_ref
+                            .multiget(graph_ref.query_neighbors(event.query))
+                            .map_err(|e| e.to_string())?;
+                        progress_ref.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Ok(())
+                })
+            })
+            .collect();
+        for client in clients {
+            client.join().expect("client thread panicked")?;
+        }
+        let epoch = swapper.join().expect("swapper thread panicked")?;
+        println!("installed SHP-2 partition live at epoch {epoch}");
+        Ok(())
+    });
+    outcome?;
+
+    let report = engine.report();
+    println!("\n{report}");
+    if report.queries != events.len() as u64 {
+        return Err(format!(
+            "serving gap: only {} of {} multigets were served",
+            report.queries,
+            events.len()
+        ));
+    }
+    if report.max_epoch == 0 {
+        return Err(
+            "the run finished before the repartition could be installed; \
+             increase --duration or --rate so the swap lands mid-run"
+                .into(),
+        );
+    }
+    println!(
+        "\nno serving gap: all {} multigets answered across epochs {}..={}",
+        report.queries, report.min_epoch, report.max_epoch
+    );
+    Ok(())
+}
+
 fn cmd_evaluate(args: &[String]) -> Result<(), String> {
     let [input, partition_path, k] = args else {
         return Err(format!("evaluate needs 3 arguments\n{USAGE}"));
     };
     let k: u32 = k.parse().map_err(|_| format!("invalid k {k:?}"))?;
     let graph = io::read_hmetis_file(input).map_err(|e| e.to_string())?;
-    let partition = io::read_partition_file(&graph, k, partition_path).map_err(|e| e.to_string())?;
+    let partition =
+        io::read_partition_file(&graph, k, partition_path).map_err(|e| e.to_string())?;
     println!("{}", GraphStats::compute(&graph));
     println!(
         "fanout {:.4}  p-fanout(0.5) {:.4}  hyperedge-cut {}  imbalance {:.4}",

@@ -128,12 +128,22 @@ impl Default for ShpConfig {
 impl ShpConfig {
     /// Configuration for SHP-2 recursive bisection into `k` buckets (the open-sourced variant).
     pub fn recursive_bisection(k: u32) -> Self {
-        ShpConfig { num_buckets: k, mode: PartitionMode::recursive_bisection(), max_iterations: 20, ..Default::default() }
+        ShpConfig {
+            num_buckets: k,
+            mode: PartitionMode::recursive_bisection(),
+            max_iterations: 20,
+            ..Default::default()
+        }
     }
 
     /// Configuration for SHP-k direct partitioning into `k` buckets.
     pub fn direct(k: u32) -> Self {
-        ShpConfig { num_buckets: k, mode: PartitionMode::Direct, max_iterations: 60, ..Default::default() }
+        ShpConfig {
+            num_buckets: k,
+            mode: PartitionMode::Direct,
+            max_iterations: 60,
+            ..Default::default()
+        }
     }
 
     /// Sets the fanout probability `p` (switching the objective to probabilistic fanout).
@@ -184,11 +194,16 @@ impl ShpConfig {
             return Err("num_buckets must be at least 1".into());
         }
         if !(self.epsilon.is_finite() && self.epsilon >= 0.0) {
-            return Err(format!("epsilon must be finite and non-negative, got {}", self.epsilon));
+            return Err(format!(
+                "epsilon must be finite and non-negative, got {}",
+                self.epsilon
+            ));
         }
         if let ObjectiveKind::ProbabilisticFanout { p } = self.objective {
             if !(p > 0.0 && p < 1.0) {
-                return Err(format!("fanout probability must lie strictly between 0 and 1, got {p}"));
+                return Err(format!(
+                    "fanout probability must lie strictly between 0 and 1, got {p}"
+                ));
             }
         }
         if let PartitionMode::Recursive { arity } = self.mode {
@@ -252,21 +267,48 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_configs() {
-        assert!(ShpConfig { num_buckets: 0, ..Default::default() }.validate().is_err());
+        assert!(ShpConfig {
+            num_buckets: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
         assert!(ShpConfig::default().with_epsilon(-0.1).validate().is_err());
-        assert!(ShpConfig::default().with_epsilon(f64::NAN).validate().is_err());
-        assert!(ShpConfig::default().with_p(0.0).validate().is_err());
-        assert!(ShpConfig::default().with_p(1.0).validate().is_err());
-        assert!(ShpConfig { max_iterations: 0, ..Default::default() }.validate().is_err());
-        assert!(ShpConfig { mode: PartitionMode::Recursive { arity: 1 }, ..Default::default() }
+        assert!(ShpConfig::default()
+            .with_epsilon(f64::NAN)
             .validate()
             .is_err());
-        assert!(ShpConfig { convergence_threshold: 1.5, ..Default::default() }.validate().is_err());
+        assert!(ShpConfig::default().with_p(0.0).validate().is_err());
+        assert!(ShpConfig::default().with_p(1.0).validate().is_err());
+        assert!(ShpConfig {
+            max_iterations: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(ShpConfig {
+            mode: PartitionMode::Recursive { arity: 1 },
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(ShpConfig {
+            convergence_threshold: 1.5,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]
     fn fanout_and_clique_net_objectives_validate() {
-        assert!(ShpConfig::default().with_objective(ObjectiveKind::Fanout).validate().is_ok());
-        assert!(ShpConfig::default().with_objective(ObjectiveKind::CliqueNet).validate().is_ok());
+        assert!(ShpConfig::default()
+            .with_objective(ObjectiveKind::Fanout)
+            .validate()
+            .is_ok());
+        assert!(ShpConfig::default()
+            .with_objective(ObjectiveKind::CliqueNet)
+            .validate()
+            .is_ok());
     }
 }

@@ -19,12 +19,15 @@ use std::time::Instant;
 ///
 /// # Errors
 /// Returns a descriptive error string when the configuration is invalid.
-pub fn partition_direct(graph: &BipartiteGraph, config: &ShpConfig) -> Result<PartitionResult, String> {
+pub fn partition_direct(
+    graph: &BipartiteGraph,
+    config: &ShpConfig,
+) -> Result<PartitionResult, String> {
     config.validate()?;
     let start = Instant::now();
     let mut rng = Pcg64::seed_from_u64(config.seed);
-    let mut partition = Partition::new_random(graph, config.num_buckets, &mut rng)
-        .map_err(|e| e.to_string())?;
+    let mut partition =
+        Partition::new_random(graph, config.num_buckets, &mut rng).map_err(|e| e.to_string())?;
     let history = refine_in_place(graph, config, &mut partition, None);
     let elapsed = start.elapsed();
 
@@ -62,7 +65,12 @@ pub fn refine_in_place(
     );
     let mut nd = NeighborData::build(graph, partition);
     let max_iterations = max_iterations_override.unwrap_or(config.max_iterations);
-    refiner.run(partition, &mut nd, max_iterations, config.convergence_threshold)
+    refiner.run(
+        partition,
+        &mut nd,
+        max_iterations,
+        config.convergence_threshold,
+    )
 }
 
 #[cfg(test)]

@@ -66,7 +66,10 @@ pub struct DistributedRunResult {
 /// stateless (their neighbor data is recomputed every iteration from fresh messages).
 #[derive(Debug, Clone)]
 enum ShpValue {
-    Data { bucket: BucketId, proposal: Option<(BucketId, f64)> },
+    Data {
+        bucket: BucketId,
+        proposal: Option<(BucketId, f64)>,
+    },
     Query,
 }
 
@@ -113,7 +116,9 @@ impl ShpProgram {
     fn allowed_targets(&self, from: BucketId) -> Option<&[BucketId]> {
         match &self.constraint {
             TargetConstraint::All { .. } => None,
-            TargetConstraint::Siblings { allowed } => allowed.get(from as usize).map(|v| v.as_slice()),
+            TargetConstraint::Siblings { allowed } => {
+                allowed.get(from as usize).map(|v| v.as_slice())
+            }
         }
     }
 }
@@ -145,7 +150,12 @@ impl VertexProgram for ShpProgram {
                         ctx.aggregate(ShpAggregate {
                             histograms: {
                                 let mut set = GainHistogramSet::default();
-                                set.record(&MoveProposal { vertex, from: *bucket, to, gain });
+                                set.record(&MoveProposal {
+                                    vertex,
+                                    from: *bucket,
+                                    to,
+                                    gain,
+                                });
                                 set
                             },
                             moved: 0,
@@ -160,7 +170,10 @@ impl VertexProgram for ShpProgram {
                         let iteration = ctx.global().iteration as u64;
                         if prob > 0.0 && unit_hash(self.seed, iteration, vertex as u64) < prob {
                             *bucket = to;
-                            ctx.aggregate(ShpAggregate { moved: 1, ..Default::default() });
+                            ctx.aggregate(ShpAggregate {
+                                moved: 1,
+                                ..Default::default()
+                            });
                         }
                     }
                 }
@@ -312,7 +325,11 @@ fn compute_distributed_proposal(
                     if b == from {
                         continue;
                     }
-                    let n_dst = counts.iter().find(|&&(bb, _)| bb == b).map(|&(_, c)| c).unwrap_or(0);
+                    let n_dst = counts
+                        .iter()
+                        .find(|&&(bb, _)| bb == b)
+                        .map(|&(_, c)| c)
+                        .unwrap_or(0);
                     let adjustment = program.objective.per_query_gain(n_src, n_dst)
                         - program.objective.per_query_gain(n_src, 0);
                     *deltas.entry(b).or_insert(0.0) += adjustment;
@@ -407,8 +424,9 @@ pub fn partition_distributed(
 
     let partition = match config.mode {
         PartitionMode::Direct => {
-            let initial: Vec<BucketId> =
-                (0..graph.num_data()).map(|_| rng.gen_range(0..config.num_buckets)).collect();
+            let initial: Vec<BucketId> = (0..graph.num_data())
+                .map(|_| rng.gen_range(0..config.num_buckets))
+                .collect();
             let objective = Objective::from_kind(config.objective);
             let constraint = TargetConstraint::all(config.num_buckets);
             let final_assignment = run_level(
@@ -445,7 +463,9 @@ pub fn partition_distributed(
                     }
                     children_of.push(ids);
                 }
-                let seed = config.seed.wrapping_add((level as u64).wrapping_mul(0x9E37_79B9));
+                let seed = config
+                    .seed
+                    .wrapping_add((level as u64).wrapping_mul(0x9E37_79B9));
                 // Random initial assignment among the children, weighted by child targets.
                 for (v, slot) in assignment.iter_mut().enumerate() {
                     let children = &children_of[*slot as usize];
@@ -466,12 +486,16 @@ pub fn partition_distributed(
                         chosen
                     };
                 }
-                let sibling_groups: Vec<Vec<BucketId>> =
-                    children_of.iter().filter(|c| c.len() > 1).cloned().collect();
+                let sibling_groups: Vec<Vec<BucketId>> = children_of
+                    .iter()
+                    .filter(|c| c.len() > 1)
+                    .cloned()
+                    .collect();
                 let constraint = TargetConstraint::sibling_groups(&sibling_groups);
                 let mut objective = Objective::from_kind(config.objective);
                 if config.optimize_final_p_fanout {
-                    objective = objective.for_final_splits(child_targets.iter().copied().max().unwrap_or(1));
+                    objective = objective
+                        .for_final_splits(child_targets.iter().copied().max().unwrap_or(1));
                 }
                 assignment = run_level(
                     graph,
@@ -527,7 +551,10 @@ fn run_level(
     }
     let mut values: Vec<ShpValue> = Vec::with_capacity(num_data + num_queries);
     for &b in initial_assignment {
-        values.push(ShpValue::Data { bucket: b, proposal: None });
+        values.push(ShpValue::Data {
+            bucket: b,
+            proposal: None,
+        });
     }
     for _ in 0..num_queries {
         values.push(ShpValue::Query);
@@ -605,7 +632,9 @@ mod tests {
     #[test]
     fn distributed_recursive_reaches_k_buckets() {
         let graph = community_graph(8, 6);
-        let config = ShpConfig::recursive_bisection(8).with_seed(5).with_max_iterations(10);
+        let config = ShpConfig::recursive_bisection(8)
+            .with_seed(5)
+            .with_max_iterations(10);
         let result = partition_distributed(&graph, &config, 4).unwrap();
         assert_eq!(result.partition.num_buckets(), 8);
         assert!(result.partition.bucket_weights().iter().all(|&w| w > 0));

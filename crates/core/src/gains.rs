@@ -115,7 +115,12 @@ pub fn best_move_for_vertex(
                     _ => Some((to, gain)),
                 };
             }
-            best.map(|(to, gain)| MoveProposal { vertex: v, from, to, gain })
+            best.map(|(to, gain)| MoveProposal {
+                vertex: v,
+                from,
+                to,
+                gain,
+            })
         }
         TargetConstraint::All { k } => {
             if *k <= 1 {
@@ -159,7 +164,12 @@ pub fn best_move_for_vertex(
             if least_loaded != from && !deltas.contains_key(&least_loaded) && least_loaded < *k {
                 consider(least_loaded, base_gain);
             }
-            best.map(|(to, gain)| MoveProposal { vertex: v, from, to, gain })
+            best.map(|(to, gain)| MoveProposal {
+                vertex: v,
+                from,
+                to,
+                gain,
+            })
         }
     }
 }
@@ -280,7 +290,11 @@ mod tests {
         let strict = compute_proposals(&obj, &g, &p, &nd, &TargetConstraint::all(2), false);
         assert!(strict.iter().all(|m| m.gain > 0.0));
         let all = compute_proposals(&obj, &g, &p, &nd, &TargetConstraint::all(2), true);
-        assert_eq!(all.len(), 6, "every vertex proposes when non-positive gains are allowed");
+        assert_eq!(
+            all.len(),
+            6,
+            "every vertex proposes when non-positive gains are allowed"
+        );
         assert!(all.len() >= strict.len());
     }
 

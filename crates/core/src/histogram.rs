@@ -46,7 +46,11 @@ pub fn bin_representative(bin: usize) -> f64 {
     if bin == HALF_BINS {
         return 0.0;
     }
-    let offset = if bin < HALF_BINS { bin } else { NUM_BINS - 1 - bin };
+    let offset = if bin < HALF_BINS {
+        bin
+    } else {
+        NUM_BINS - 1 - bin
+    };
     let exp = MAX_EXP - offset as i32;
     let magnitude = 1.5 * (exp as f64).exp2();
     if bin < HALF_BINS {
@@ -64,7 +68,9 @@ pub struct GainHistogram {
 
 impl Default for GainHistogram {
     fn default() -> Self {
-        GainHistogram { counts: [0; NUM_BINS] }
+        GainHistogram {
+            counts: [0; NUM_BINS],
+        }
     }
 }
 
@@ -201,7 +207,10 @@ fn match_pair(a: &GainHistogram, b: &GainHistogram) -> ([f64; NUM_BINS], [f64; N
         }
         probs
     };
-    (to_probs(&matched_a, &a.counts), to_probs(&matched_b, &b.counts))
+    (
+        to_probs(&matched_a, &a.counts),
+        to_probs(&matched_b, &b.counts),
+    )
 }
 
 #[cfg(test)]
@@ -209,7 +218,12 @@ mod tests {
     use super::*;
 
     fn proposal(vertex: u32, from: u32, to: u32, gain: f64) -> MoveProposal {
-        MoveProposal { vertex, from, to, gain }
+        MoveProposal {
+            vertex,
+            from,
+            to,
+            gain,
+        }
     }
 
     #[test]
@@ -217,7 +231,10 @@ mod tests {
         let gains = [100.0, 10.0, 1.0, 0.1, 0.0, -0.1, -1.0, -10.0, -100.0];
         let bins: Vec<usize> = gains.iter().map(|&g| bin_index(g)).collect();
         for w in bins.windows(2) {
-            assert!(w[0] <= w[1], "bins must be non-decreasing as gains get worse: {bins:?}");
+            assert!(
+                w[0] <= w[1],
+                "bins must be non-decreasing as gains get worse: {bins:?}"
+            );
         }
         assert_eq!(bin_index(0.0), HALF_BINS);
         assert!(bin_index(1000.0) < bin_index(1.0));
@@ -234,7 +251,11 @@ mod tests {
         for gain in [0.5, 2.0, 7.0, -0.25, -3.0] {
             let bin = bin_index(gain);
             let rep = bin_representative(bin);
-            assert_eq!(rep.signum(), gain.signum(), "gain {gain} bin {bin} rep {rep}");
+            assert_eq!(
+                rep.signum(),
+                gain.signum(),
+                "gain {gain} bin {bin} rep {rep}"
+            );
             assert!(rep.abs() >= gain.abs() / 2.0 && rep.abs() <= gain.abs() * 3.0);
         }
     }
@@ -355,7 +376,9 @@ mod tests {
 
     impl From<GainHistogramSet> for MoveProbabilitiesForTest {
         fn from(set: GainHistogramSet) -> Self {
-            MoveProbabilitiesForTest { table: set.match_bins() }
+            MoveProbabilitiesForTest {
+                table: set.match_bins(),
+            }
         }
     }
 

@@ -29,7 +29,10 @@ pub struct IncrementalConfig {
 
 impl Default for IncrementalConfig {
     fn default() -> Self {
-        IncrementalConfig { movement_penalty: 0.1, max_moved_fraction: 1.0 }
+        IncrementalConfig {
+            movement_penalty: 0.1,
+            max_moved_fraction: 1.0,
+        }
     }
 }
 
@@ -150,12 +153,17 @@ mod tests {
             perturbed.assign(v, (perturbed.bucket_of(v) + 1) % 4);
         }
         let before_fanout = average_fanout(&graph, &perturbed);
-        let result = partition_incremental(&graph, &config, &IncrementalConfig::default(), &perturbed)
-            .unwrap();
+        let result =
+            partition_incremental(&graph, &config, &IncrementalConfig::default(), &perturbed)
+                .unwrap();
         assert!(result.report.final_fanout <= before_fanout + 1e-9);
         // Repairing a small perturbation should not move most of the graph.
         let moved = result.partition.hamming_distance(&perturbed);
-        assert!(moved <= graph.num_data() / 2, "moved {moved} of {}", graph.num_data());
+        assert!(
+            moved <= graph.num_data() / 2,
+            "moved {moved} of {}",
+            graph.num_data()
+        );
     }
 
     #[test]
@@ -164,7 +172,10 @@ mod tests {
         let config = ShpConfig::direct(4).with_seed(7).with_max_iterations(30);
         let mut rng = Pcg64::seed_from_u64(1);
         let random = Partition::new_random(&graph, 4, &mut rng).unwrap();
-        let tight = IncrementalConfig { movement_penalty: 0.0, max_moved_fraction: 0.1 };
+        let tight = IncrementalConfig {
+            movement_penalty: 0.0,
+            max_moved_fraction: 0.1,
+        };
         let result = partition_incremental(&graph, &config, &tight, &random).unwrap();
         let moved = result.partition.hamming_distance(&random);
         // The cap is checked after each iteration, so it can be exceeded by at most one
@@ -179,10 +190,16 @@ mod tests {
         let config = ShpConfig::direct(2);
         let mut rng = Pcg64::seed_from_u64(1);
         let previous = Partition::new_random(&other, 2, &mut rng).unwrap();
-        assert!(partition_incremental(&graph, &config, &IncrementalConfig::default(), &previous).is_err());
+        assert!(
+            partition_incremental(&graph, &config, &IncrementalConfig::default(), &previous)
+                .is_err()
+        );
 
         let wrong_k = Partition::new_random(&graph, 4, &mut rng).unwrap();
-        assert!(partition_incremental(&graph, &config, &IncrementalConfig::default(), &wrong_k).is_err());
+        assert!(
+            partition_incremental(&graph, &config, &IncrementalConfig::default(), &wrong_k)
+                .is_err()
+        );
     }
 
     #[test]
@@ -191,9 +208,15 @@ mod tests {
         let config = ShpConfig::direct(2);
         let mut rng = Pcg64::seed_from_u64(1);
         let previous = Partition::new_random(&graph, 2, &mut rng).unwrap();
-        let bad_fraction = IncrementalConfig { movement_penalty: 0.1, max_moved_fraction: 2.0 };
+        let bad_fraction = IncrementalConfig {
+            movement_penalty: 0.1,
+            max_moved_fraction: 2.0,
+        };
         assert!(partition_incremental(&graph, &config, &bad_fraction, &previous).is_err());
-        let bad_penalty = IncrementalConfig { movement_penalty: -1.0, max_moved_fraction: 0.5 };
+        let bad_penalty = IncrementalConfig {
+            movement_penalty: -1.0,
+            max_moved_fraction: 0.5,
+        };
         assert!(partition_incremental(&graph, &config, &bad_penalty, &previous).is_err());
     }
 }

@@ -21,7 +21,9 @@ pub struct MultiDimConfig {
 
 impl Default for MultiDimConfig {
     fn default() -> Self {
-        MultiDimConfig { over_partitioning_factor: 4 }
+        MultiDimConfig {
+            over_partitioning_factor: 4,
+        }
     }
 }
 
@@ -73,7 +75,10 @@ pub fn partition_multidimensional(
         .num_buckets
         .saturating_mul(multi.over_partitioning_factor)
         .min(graph.num_data().max(1) as u32);
-    let fine_config = ShpConfig { num_buckets: fine_k, ..config.clone() };
+    let fine_config = ShpConfig {
+        num_buckets: fine_k,
+        ..config.clone()
+    };
     let fine_result = match fine_config.mode {
         PartitionMode::Direct => crate::partition_direct(graph, &fine_config)?,
         PartitionMode::Recursive { .. } => crate::partition_recursive(graph, &fine_config)?,
@@ -102,25 +107,30 @@ pub fn partition_multidimensional(
             .fold(0.0, f64::max)
     };
     let mut order: Vec<usize> = (0..fine_k as usize).collect();
-    order.sort_by(|&a, &b| dominant(b).partial_cmp(&dominant(a)).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&a, &b| {
+        dominant(b)
+            .partial_cmp(&dominant(a))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
 
     let k = config.num_buckets as usize;
     let mut final_loads = vec![vec![0u64; k]; num_dims];
     let mut fine_to_final: Vec<BucketId> = vec![0; fine_k as usize];
     for &fine in &order {
-        let mut best_bucket = 0usize;
-        let mut best_score = f64::INFINITY;
-        for candidate in 0..k {
-            let score = (0..num_dims)
-                .map(|dim| {
-                    (final_loads[dim][candidate] + fine_loads[dim][fine]) as f64 / totals[dim] as f64
-                })
-                .fold(0.0, f64::max);
-            if score < best_score {
-                best_score = score;
-                best_bucket = candidate;
-            }
-        }
+        // Ties keep the lowest bucket index: `min_by` returns the first minimum.
+        let best_bucket = (0..k)
+            .map(|candidate| {
+                let score = (0..num_dims)
+                    .map(|dim| {
+                        (final_loads[dim][candidate] + fine_loads[dim][fine]) as f64
+                            / totals[dim] as f64
+                    })
+                    .fold(0.0, f64::max);
+                (candidate, score)
+            })
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(candidate, _)| candidate)
+            .unwrap_or(0);
         fine_to_final[fine] = best_bucket as BucketId;
         for dim in 0..num_dims {
             final_loads[dim][best_bucket] += fine_loads[dim][fine];
@@ -132,7 +142,11 @@ pub fn partition_multidimensional(
         .partition
         .remap_buckets(config.num_buckets, |_, fine| fine_to_final[fine as usize]);
 
-    Ok(MultiDimResult { partition, loads: final_loads, fine_result })
+    Ok(MultiDimResult {
+        partition,
+        loads: final_loads,
+        fine_result,
+    })
 }
 
 /// Maximum-over-dimensions imbalance of a load matrix: `max_dim max_bucket load / (total/k) − 1`.
@@ -175,17 +189,24 @@ mod tests {
         // Dimension 0: uniform; dimension 1: skewed (vertices of the first half are 4x heavier).
         let dim0: Vec<u64> = vec![1; n];
         let dim1: Vec<u64> = (0..n).map(|v| if v < n / 2 { 4 } else { 1 }).collect();
-        let config = ShpConfig::recursive_bisection(4).with_seed(13).with_max_iterations(10);
+        let config = ShpConfig::recursive_bisection(4)
+            .with_seed(13)
+            .with_max_iterations(10);
         let result = partition_multidimensional(
             &graph,
             &config,
-            &MultiDimConfig { over_partitioning_factor: 4 },
+            &MultiDimConfig {
+                over_partitioning_factor: 4,
+            },
             &[dim0.clone(), dim1.clone()],
         )
         .unwrap();
         assert_eq!(result.partition.num_buckets(), 4);
         let imbalance = multi_dim_imbalance(&result.loads);
-        assert!(imbalance < 0.6, "multi-dimensional imbalance too high: {imbalance}");
+        assert!(
+            imbalance < 0.6,
+            "multi-dimensional imbalance too high: {imbalance}"
+        );
         // Every bucket received some vertices.
         assert!(result.partition.bucket_weights().iter().all(|&w| w > 0));
     }
@@ -195,12 +216,16 @@ mod tests {
         let graph = community_graph(4, 6);
         let n = graph.num_data();
         let dim0: Vec<u64> = (0..n as u64).collect();
-        let config = ShpConfig::recursive_bisection(2).with_seed(3).with_max_iterations(5);
+        let config = ShpConfig::recursive_bisection(2)
+            .with_seed(3)
+            .with_max_iterations(5);
         let result = partition_multidimensional(
             &graph,
             &config,
-            &MultiDimConfig { over_partitioning_factor: 2 },
-            &[dim0.clone()],
+            &MultiDimConfig {
+                over_partitioning_factor: 2,
+            },
+            std::slice::from_ref(&dim0),
         )
         .unwrap();
         let total: u64 = result.loads[0].iter().sum();
@@ -215,11 +240,15 @@ mod tests {
         assert!(partition_multidimensional(
             &graph,
             &config,
-            &MultiDimConfig { over_partitioning_factor: 1 },
+            &MultiDimConfig {
+                over_partitioning_factor: 1
+            },
             &ok_weights
         )
         .is_err());
-        assert!(partition_multidimensional(&graph, &config, &MultiDimConfig::default(), &[]).is_err());
+        assert!(
+            partition_multidimensional(&graph, &config, &MultiDimConfig::default(), &[]).is_err()
+        );
         assert!(partition_multidimensional(
             &graph,
             &config,
@@ -245,9 +274,13 @@ mod tests {
         let dims: Vec<Vec<u64>> = (0..2)
             .map(|_| (0..n).map(|_| rng.gen_range(1..10)).collect())
             .collect();
-        let config = ShpConfig::recursive_bisection(4).with_seed(8).with_max_iterations(6);
-        let a = partition_multidimensional(&graph, &config, &MultiDimConfig::default(), &dims).unwrap();
-        let b = partition_multidimensional(&graph, &config, &MultiDimConfig::default(), &dims).unwrap();
+        let config = ShpConfig::recursive_bisection(4)
+            .with_seed(8)
+            .with_max_iterations(6);
+        let a =
+            partition_multidimensional(&graph, &config, &MultiDimConfig::default(), &dims).unwrap();
+        let b =
+            partition_multidimensional(&graph, &config, &MultiDimConfig::default(), &dims).unwrap();
         assert_eq!(a.partition, b.partition);
     }
 }

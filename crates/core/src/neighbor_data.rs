@@ -115,7 +115,12 @@ impl NeighborData {
         let total: f64 = self
             .counts
             .iter()
-            .map(|entry| entry.iter().map(|&(_, n)| 1.0 - q.powi(n as i32)).sum::<f64>())
+            .map(|entry| {
+                entry
+                    .iter()
+                    .map(|&(_, n)| 1.0 - q.powi(n as i32))
+                    .sum::<f64>()
+            })
             .sum();
         total / self.counts.len() as f64
     }

@@ -12,7 +12,9 @@
 //! which reports the post-move minus pre-move difference.
 
 use crate::config::ObjectiveKind;
-use shp_hypergraph::{average_fanout, average_p_fanout, weighted_edge_cut, BipartiteGraph, Partition};
+use shp_hypergraph::{
+    average_fanout, average_p_fanout, weighted_edge_cut, BipartiteGraph, Partition,
+};
 
 /// A move-gain oracle for one of the supported objectives.
 ///
@@ -70,7 +72,10 @@ impl Objective {
     /// Debug-asserts `n_src ≥ 1`.
     #[inline]
     pub fn per_query_gain(&self, n_src: u32, n_dst: u32) -> f64 {
-        debug_assert!(n_src >= 1, "the moving vertex must be counted in the source bucket");
+        debug_assert!(
+            n_src >= 1,
+            "the moving vertex must be counted in the source bucket"
+        );
         match *self {
             Objective::PFanout { p } => {
                 // Reduction = p·[(1−p)^{n_src−1} − (1−p)^{n_dst}]  (negated Equation 1).
@@ -191,7 +196,10 @@ mod tests {
                 }
                 let analytic = analytic_gain(&obj, &g, &p, v, to);
                 let brute = brute_force_gain(&obj, &g, &p, v, to);
-                assert!((analytic - brute).abs() < 1e-9, "v={v} to={to}: {analytic} vs {brute}");
+                assert!(
+                    (analytic - brute).abs() < 1e-9,
+                    "v={v} to={to}: {analytic} vs {brute}"
+                );
             }
         }
     }
@@ -207,7 +215,10 @@ mod tests {
                 }
                 let analytic = analytic_gain(&obj, &g, &p, v, to);
                 let brute = brute_force_gain(&obj, &g, &p, v, to);
-                assert!((analytic - brute).abs() < 1e-9, "v={v} to={to}: {analytic} vs {brute}");
+                assert!(
+                    (analytic - brute).abs() < 1e-9,
+                    "v={v} to={to}: {analytic} vs {brute}"
+                );
             }
         }
     }
@@ -223,7 +234,10 @@ mod tests {
                 }
                 let analytic = analytic_gain(&obj, &g, &p, v, to);
                 let brute = brute_force_gain(&obj, &g, &p, v, to);
-                assert!((analytic - brute).abs() < 1e-9, "v={v} to={to}: {analytic} vs {brute}");
+                assert!(
+                    (analytic - brute).abs() < 1e-9,
+                    "v={v} to={to}: {analytic} vs {brute}"
+                );
             }
         }
     }
@@ -235,7 +249,9 @@ mod tests {
         let fanout = Objective::Fanout;
         for n_src in 1..5u32 {
             for n_dst in 0..5u32 {
-                let diff = (near_one.per_query_gain(n_src, n_dst) - fanout.per_query_gain(n_src, n_dst)).abs();
+                let diff = (near_one.per_query_gain(n_src, n_dst)
+                    - fanout.per_query_gain(n_src, n_dst))
+                .abs();
                 assert!(diff < 1e-6, "n_src={n_src} n_dst={n_dst} diff={diff}");
             }
         }
@@ -281,8 +297,14 @@ mod tests {
             best_fanout_gain = best_fanout_gain.max(analytic_gain(&fanout, &g, &part, v, to));
             best_pfanout_gain = best_pfanout_gain.max(analytic_gain(&pfan, &g, &part, v, to));
         }
-        assert!(best_fanout_gain <= 0.0, "no single move should improve plain fanout");
-        assert!(best_pfanout_gain > 0.0, "p-fanout should see an improving move");
+        assert!(
+            best_fanout_gain <= 0.0,
+            "no single move should improve plain fanout"
+        );
+        assert!(
+            best_pfanout_gain > 0.0,
+            "p-fanout should see an improving move"
+        );
     }
 
     #[test]
@@ -291,7 +313,9 @@ mod tests {
         let b = Objective::PFanout { p: 0.5 };
         for n_src in 1..6u32 {
             for n_dst in 0..6u32 {
-                assert!((a.per_query_gain(n_src, n_dst) - b.per_query_gain(n_src, n_dst)).abs() < 1e-12);
+                assert!(
+                    (a.per_query_gain(n_src, n_dst) - b.per_query_gain(n_src, n_dst)).abs() < 1e-12
+                );
             }
         }
     }
@@ -302,9 +326,15 @@ mod tests {
             Objective::PFanout { p: 0.5 }.for_final_splits(4),
             Objective::FinalPFanout { p: 0.5, t: 4 }
         );
-        assert_eq!(Objective::PFanout { p: 0.5 }.for_final_splits(1), Objective::PFanout { p: 0.5 });
+        assert_eq!(
+            Objective::PFanout { p: 0.5 }.for_final_splits(1),
+            Objective::PFanout { p: 0.5 }
+        );
         assert_eq!(Objective::Fanout.for_final_splits(4), Objective::Fanout);
-        assert_eq!(Objective::CliqueNet.for_final_splits(4), Objective::CliqueNet);
+        assert_eq!(
+            Objective::CliqueNet.for_final_splits(4),
+            Objective::CliqueNet
+        );
     }
 
     #[test]
@@ -316,7 +346,8 @@ mod tests {
                 < 1e-12
         );
         assert!(
-            (Objective::CliqueNet.evaluate(&g, &p) - weighted_edge_cut(&g, &p) as f64).abs() < 1e-12
+            (Objective::CliqueNet.evaluate(&g, &p) - weighted_edge_cut(&g, &p) as f64).abs()
+                < 1e-12
         );
         // FinalPFanout with t=1 equals PFanout.
         assert!(
@@ -333,7 +364,13 @@ mod tests {
             Objective::from_kind(ObjectiveKind::ProbabilisticFanout { p: 0.3 }),
             Objective::PFanout { p: 0.3 }
         );
-        assert_eq!(Objective::from_kind(ObjectiveKind::Fanout), Objective::Fanout);
-        assert_eq!(Objective::from_kind(ObjectiveKind::CliqueNet), Objective::CliqueNet);
+        assert_eq!(
+            Objective::from_kind(ObjectiveKind::Fanout),
+            Objective::Fanout
+        );
+        assert_eq!(
+            Objective::from_kind(ObjectiveKind::CliqueNet),
+            Objective::CliqueNet
+        );
     }
 }

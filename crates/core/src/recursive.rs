@@ -29,7 +29,10 @@ struct Group {
 /// # Errors
 /// Returns a descriptive error string when the configuration is invalid or not in recursive
 /// mode.
-pub fn partition_recursive(graph: &BipartiteGraph, config: &ShpConfig) -> Result<PartitionResult, String> {
+pub fn partition_recursive(
+    graph: &BipartiteGraph,
+    config: &ShpConfig,
+) -> Result<PartitionResult, String> {
     config.validate()?;
     let arity = match config.mode {
         PartitionMode::Recursive { arity } => arity,
@@ -68,7 +71,9 @@ pub fn partition_recursive(graph: &BipartiteGraph, config: &ShpConfig) -> Result
 
         // Re-assign every vertex to one of its bucket's children, weighted by the child's share
         // of final buckets, using the deterministic per-vertex hash.
-        let seed = config.seed.wrapping_add((level as u64).wrapping_mul(0x9E37_79B9));
+        let seed = config
+            .seed
+            .wrapping_add((level as u64).wrapping_mul(0x9E37_79B9));
         let assignment: Vec<BucketId> = (0..graph.num_data() as u32)
             .map(|v| {
                 let old = partition.bucket_of(v);
@@ -96,8 +101,11 @@ pub fn partition_recursive(graph: &BipartiteGraph, config: &ShpConfig) -> Result
 
         // Only groups that actually split participate in refinement; pass-through groups form
         // singleton sibling sets with no admissible moves.
-        let sibling_groups: Vec<Vec<BucketId>> =
-            children_of.iter().filter(|c| c.len() > 1).cloned().collect();
+        let sibling_groups: Vec<Vec<BucketId>> = children_of
+            .iter()
+            .filter(|c| c.len() > 1)
+            .cloned()
+            .collect();
         let constraint = TargetConstraint::sibling_groups(&sibling_groups);
 
         // ε scaling over recursion depth (Section 3.4).
@@ -126,8 +134,12 @@ pub fn partition_recursive(graph: &BipartiteGraph, config: &ShpConfig) -> Result
             seed,
         );
         let mut nd = NeighborData::build(graph, &partition);
-        let level_history =
-            refiner.run(&mut partition, &mut nd, config.max_iterations, config.convergence_threshold);
+        let level_history = refiner.run(
+            &mut partition,
+            &mut nd,
+            config.max_iterations,
+            config.convergence_threshold,
+        );
 
         levels.push(LevelReport {
             level,
@@ -138,7 +150,10 @@ pub fn partition_recursive(graph: &BipartiteGraph, config: &ShpConfig) -> Result
         });
         history.extend(level_history);
 
-        groups = child_targets.iter().map(|&t| Group { targets: t }).collect();
+        groups = child_targets
+            .iter()
+            .map(|&t| Group { targets: t })
+            .collect();
         level += 1;
     }
 
@@ -227,7 +242,9 @@ mod tests {
     #[test]
     fn recursive_bisection_reaches_k_buckets_and_reduces_fanout() {
         let graph = community_graph(8, 8);
-        let config = ShpConfig::recursive_bisection(8).with_seed(11).with_max_iterations(15);
+        let config = ShpConfig::recursive_bisection(8)
+            .with_seed(11)
+            .with_max_iterations(15);
         let result = partition_recursive(&graph, &config).unwrap();
         assert_eq!(result.partition.num_buckets(), 8);
         assert_eq!(result.report.levels.len(), 3);
@@ -242,13 +259,19 @@ mod tests {
         );
         // Every bucket is non-empty and reasonably balanced.
         assert!(result.partition.bucket_weights().iter().all(|&w| w > 0));
-        assert!(result.report.imbalance < 0.6, "imbalance {}", result.report.imbalance);
+        assert!(
+            result.report.imbalance < 0.6,
+            "imbalance {}",
+            result.report.imbalance
+        );
     }
 
     #[test]
     fn recursive_supports_non_power_of_two_k() {
         let graph = community_graph(6, 6);
-        let config = ShpConfig::recursive_bisection(6).with_seed(2).with_max_iterations(10);
+        let config = ShpConfig::recursive_bisection(6)
+            .with_seed(2)
+            .with_max_iterations(10);
         let result = partition_recursive(&graph, &config).unwrap();
         assert_eq!(result.partition.num_buckets(), 6);
         assert!(result.partition.bucket_weights().iter().all(|&w| w > 0));
@@ -272,7 +295,9 @@ mod tests {
     #[test]
     fn recursive_is_deterministic() {
         let graph = community_graph(4, 6);
-        let config = ShpConfig::recursive_bisection(4).with_seed(21).with_max_iterations(8);
+        let config = ShpConfig::recursive_bisection(4)
+            .with_seed(21)
+            .with_max_iterations(8);
         let a = partition_recursive(&graph, &config).unwrap();
         let b = partition_recursive(&graph, &config).unwrap();
         assert_eq!(a.partition, b.partition);

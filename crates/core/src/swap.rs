@@ -81,7 +81,10 @@ impl MoveProbabilities {
         match self {
             MoveProbabilities::Matrix(probs) => {
                 if proposal.gain > 0.0 {
-                    probs.get(&(proposal.from, proposal.to)).copied().unwrap_or(0.0)
+                    probs
+                        .get(&(proposal.from, proposal.to))
+                        .copied()
+                        .unwrap_or(0.0)
                 } else {
                     0.0
                 }
@@ -110,7 +113,12 @@ mod tests {
     use super::*;
 
     fn proposal(vertex: u32, from: u32, to: u32, gain: f64) -> MoveProposal {
-        MoveProposal { vertex, from, to, gain }
+        MoveProposal {
+            vertex,
+            from,
+            to,
+            gain,
+        }
     }
 
     #[test]

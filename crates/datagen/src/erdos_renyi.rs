@@ -35,7 +35,9 @@ pub fn erdos_renyi_bipartite(
         builder.add_query(pins);
     }
     builder.ensure_data_count(num_data);
-    builder.build().expect("generated ids are in range by construction")
+    builder
+        .build()
+        .expect("generated ids are in range by construction")
 }
 
 #[cfg(test)]
@@ -53,8 +55,14 @@ mod tests {
 
     #[test]
     fn is_deterministic_per_seed() {
-        assert_eq!(erdos_renyi_bipartite(50, 30, 3, 7), erdos_renyi_bipartite(50, 30, 3, 7));
-        assert_ne!(erdos_renyi_bipartite(50, 30, 3, 7), erdos_renyi_bipartite(50, 30, 3, 8));
+        assert_eq!(
+            erdos_renyi_bipartite(50, 30, 3, 7),
+            erdos_renyi_bipartite(50, 30, 3, 7)
+        );
+        assert_ne!(
+            erdos_renyi_bipartite(50, 30, 3, 7),
+            erdos_renyi_bipartite(50, 30, 3, 8)
+        );
     }
 
     #[test]

@@ -49,7 +49,9 @@ pub fn planted_partition(config: &PlantedConfig) -> (BipartiteGraph, Vec<u32>) {
     let mut rng = Pcg64::seed_from_u64(config.seed);
     let k = config.num_blocks.max(1);
     let n = config.block_size * k as usize;
-    let truth: Vec<u32> = (0..n).map(|v| (v / config.block_size.max(1)) as u32).collect();
+    let truth: Vec<u32> = (0..n)
+        .map(|v| (v / config.block_size.max(1)) as u32)
+        .collect();
     let mut builder = GraphBuilder::with_capacity(config.num_queries, n);
     if n == 0 {
         return (builder.build().expect("empty graph"), truth);
@@ -92,7 +94,10 @@ mod tests {
 
     #[test]
     fn planted_blocks_have_fanout_close_to_one() {
-        let config = PlantedConfig { noise: 0.0, ..Default::default() };
+        let config = PlantedConfig {
+            noise: 0.0,
+            ..Default::default()
+        };
         let (g, truth) = planted_partition(&config);
         let p = Partition::from_assignment(&g, config.num_blocks, truth).unwrap();
         assert!((average_fanout(&g, &p) - 1.0).abs() < 1e-12);
@@ -100,7 +105,11 @@ mod tests {
 
     #[test]
     fn noise_fraction_controls_cross_block_queries() {
-        let config = PlantedConfig { noise: 0.3, num_queries: 10_000, ..Default::default() };
+        let config = PlantedConfig {
+            noise: 0.3,
+            num_queries: 10_000,
+            ..Default::default()
+        };
         let (g, truth) = planted_partition(&config);
         let p = Partition::from_assignment(&g, config.num_blocks, truth).unwrap();
         let fanout = average_fanout(&g, &p);
@@ -110,7 +119,12 @@ mod tests {
 
     #[test]
     fn sizes_match_configuration() {
-        let config = PlantedConfig { num_blocks: 3, block_size: 100, num_queries: 500, ..Default::default() };
+        let config = PlantedConfig {
+            num_blocks: 3,
+            block_size: 100,
+            num_queries: 500,
+            ..Default::default()
+        };
         let (g, truth) = planted_partition(&config);
         assert_eq!(g.num_data(), 300);
         assert_eq!(g.num_queries(), 500);

@@ -69,7 +69,9 @@ pub fn power_law_bipartite(config: &PowerLawConfig) -> BipartiteGraph {
             config.max_degree.max(config.min_degree.max(1)) as f64,
             config.exponent,
         );
-        let degree = (raw.round() as usize).clamp(config.min_degree.max(1), config.max_degree.max(1)).min(n);
+        let degree = (raw.round() as usize)
+            .clamp(config.min_degree.max(1), config.max_degree.max(1))
+            .min(n);
         let mut pins = Vec::with_capacity(degree);
         let mut attempts = 0;
         while pins.len() < degree && attempts < degree * 20 {
@@ -90,7 +92,9 @@ pub fn power_law_bipartite(config: &PowerLawConfig) -> BipartiteGraph {
         builder.add_query(pins);
     }
     builder.ensure_data_count(n);
-    builder.build().expect("generated ids are in range by construction")
+    builder
+        .build()
+        .expect("generated ids are in range by construction")
 }
 
 #[cfg(test)]
@@ -111,13 +115,17 @@ mod tests {
         assert_eq!(g.num_data(), 1_000);
         for q in g.queries() {
             let d = g.query_degree(q);
-            assert!(d >= 2 && d <= 50, "degree {d} out of bounds");
+            assert!((2..=50).contains(&d), "degree {d} out of bounds");
         }
     }
 
     #[test]
     fn degree_distribution_is_heavy_tailed() {
-        let config = PowerLawConfig { num_queries: 5_000, num_data: 5_000, ..Default::default() };
+        let config = PowerLawConfig {
+            num_queries: 5_000,
+            num_data: 5_000,
+            ..Default::default()
+        };
         let g = power_law_bipartite(&config);
         let avg = g.avg_query_degree();
         let max = g.max_query_degree();
@@ -129,7 +137,11 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let config = PowerLawConfig { num_queries: 500, num_data: 500, ..Default::default() };
+        let config = PowerLawConfig {
+            num_queries: 500,
+            num_data: 500,
+            ..Default::default()
+        };
         assert_eq!(power_law_bipartite(&config), power_law_bipartite(&config));
         let other = PowerLawConfig { seed: 99, ..config };
         assert_ne!(power_law_bipartite(&config), power_law_bipartite(&other));

@@ -205,7 +205,10 @@ impl Dataset {
     /// # Panics
     /// Panics if `scale` is not in `(0, 1]`.
     pub fn generate(&self, scale: f64, seed: u64) -> BipartiteGraph {
-        assert!(scale > 0.0 && scale <= 1.0, "scale must lie in (0, 1], got {scale}");
+        assert!(
+            scale > 0.0 && scale <= 1.0,
+            "scale must lie in (0, 1], got {scale}"
+        );
         let spec = self.spec();
         // Keep at least a small floor so extreme scales remain meaningful graphs.
         let num_queries = ((spec.paper_queries as f64 * scale) as usize).max(200);
@@ -240,7 +243,9 @@ impl Dataset {
 /// Stable hash of a dataset name, mixed into the seed so different datasets generated with the
 /// same seed are not correlated.
 fn hash_name(name: &str) -> u64 {
-    name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| (h ^ b as u64).wrapping_mul(0x1000_0000_01b3))
+    name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+    })
 }
 
 #[cfg(test)]

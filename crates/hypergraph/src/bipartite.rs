@@ -64,8 +64,14 @@ impl BipartiteGraph {
         data_adjacency: Vec<QueryId>,
         data_weights: Option<Vec<u32>>,
     ) -> Self {
-        debug_assert_eq!(*query_offsets.last().unwrap_or(&0), query_adjacency.len() as u64);
-        debug_assert_eq!(*data_offsets.last().unwrap_or(&0), data_adjacency.len() as u64);
+        debug_assert_eq!(
+            *query_offsets.last().unwrap_or(&0),
+            query_adjacency.len() as u64
+        );
+        debug_assert_eq!(
+            *data_offsets.last().unwrap_or(&0),
+            data_adjacency.len() as u64
+        );
         debug_assert_eq!(query_adjacency.len(), data_adjacency.len());
         if let Some(w) = &data_weights {
             debug_assert_eq!(w.len() + 1, data_offsets.len());
@@ -165,19 +171,24 @@ impl BipartiteGraph {
 
     /// Iterator over every bipartite edge as `(query, data)` pairs, in query order.
     pub fn edges(&self) -> impl Iterator<Item = (QueryId, DataId)> + '_ {
-        self.queries().flat_map(move |q| {
-            self.query_neighbors(q).iter().map(move |&v| (q, v))
-        })
+        self.queries()
+            .flat_map(move |q| self.query_neighbors(q).iter().map(move |&v| (q, v)))
     }
 
     /// Maximum query degree (largest hyperedge), 0 for an empty graph.
     pub fn max_query_degree(&self) -> usize {
-        self.queries().map(|q| self.query_degree(q)).max().unwrap_or(0)
+        self.queries()
+            .map(|q| self.query_degree(q))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Maximum data degree, 0 for an empty graph.
     pub fn max_data_degree(&self) -> usize {
-        self.data_vertices().map(|v| self.data_degree(v)).max().unwrap_or(0)
+        self.data_vertices()
+            .map(|v| self.data_degree(v))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Average query degree (average hyperedge size).
@@ -233,7 +244,8 @@ impl BipartiteGraph {
             }
         }
 
-        let mut builder = crate::builder::GraphBuilder::with_capacity(self.num_queries() / 2, original.len());
+        let mut builder =
+            crate::builder::GraphBuilder::with_capacity(self.num_queries() / 2, original.len());
         for q in self.queries() {
             let pins: Vec<DataId> = self
                 .query_neighbors(q)
@@ -260,7 +272,8 @@ impl BipartiteGraph {
     /// Produces a copy of the graph with all queries of degree strictly less than `min_degree`
     /// removed (data vertices are kept, so ids remain stable).
     pub fn filter_small_queries(&self, min_degree: usize) -> BipartiteGraph {
-        let mut builder = crate::builder::GraphBuilder::with_capacity(self.num_queries(), self.num_data());
+        let mut builder =
+            crate::builder::GraphBuilder::with_capacity(self.num_queries(), self.num_data());
         for q in self.queries() {
             let pins = self.query_neighbors(q);
             if pins.len() >= min_degree {
@@ -313,7 +326,10 @@ mod tests {
         // Each (q, v) pair present in query adjacency must appear in data adjacency and
         // vice versa.
         for (q, v) in g.edges() {
-            assert!(g.data_neighbors(v).contains(&q), "edge ({q},{v}) missing from data side");
+            assert!(
+                g.data_neighbors(v).contains(&q),
+                "edge ({q},{v}) missing from data side"
+            );
         }
         let total_from_data: usize = g.data_vertices().map(|v| g.data_degree(v)).sum();
         assert_eq!(total_from_data, g.num_edges());

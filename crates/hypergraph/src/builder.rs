@@ -37,7 +37,12 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Creates an empty builder.
     pub fn new() -> Self {
-        GraphBuilder { queries: Vec::new(), num_data: 0, data_weights: None, dedup_pins: true }
+        GraphBuilder {
+            queries: Vec::new(),
+            num_data: 0,
+            data_weights: None,
+            dedup_pins: true,
+        }
     }
 
     /// Creates an empty builder with capacity hints.
@@ -118,7 +123,10 @@ impl GraphBuilder {
         let num_data = self.num_data;
         if let Some(w) = &self.data_weights {
             if w.len() != num_data {
-                return Err(GraphError::PartitionLengthMismatch { got: w.len(), expected: num_data });
+                return Err(GraphError::PartitionLengthMismatch {
+                    got: w.len(),
+                    expected: num_data,
+                });
             }
         }
 
@@ -176,7 +184,11 @@ impl GraphBuilder {
     /// Convenience constructor: builds a graph from `(query, data)` edge pairs. Query ids are
     /// taken literally (queries with no edges become empty hyperedges).
     pub fn from_edge_list(edges: &[(QueryId, DataId)]) -> Result<BipartiteGraph> {
-        let num_queries = edges.iter().map(|&(q, _)| q as usize + 1).max().unwrap_or(0);
+        let num_queries = edges
+            .iter()
+            .map(|&(q, _)| q as usize + 1)
+            .max()
+            .unwrap_or(0);
         let mut pins: Vec<Vec<DataId>> = vec![Vec::new(); num_queries];
         for &(q, v) in edges {
             pins[q as usize].push(v);

@@ -42,16 +42,32 @@ impl CliqueNetGraph {
             }
             for i in 0..pins.len() {
                 for j in (i + 1)..pins.len() {
-                    let (a, b) = if pins[i] < pins[j] { (pins[i], pins[j]) } else { (pins[j], pins[i]) };
+                    let (a, b) = if pins[i] < pins[j] {
+                        (pins[i], pins[j])
+                    } else {
+                        (pins[j], pins[i])
+                    };
                     *adj[a as usize].entry(b).or_insert(0) += 1;
                 }
             }
         }
 
+        // Sort each accumulator: HashMap iteration order is randomized per instance, and the
+        // CSR layout (hence neighbor iteration order, hence downstream tie-breaking) must be a
+        // pure function of the input graph.
+        let adj: Vec<Vec<(DataId, u32)>> = adj
+            .into_iter()
+            .map(|m| {
+                let mut entries: Vec<(DataId, u32)> = m.into_iter().collect();
+                entries.sort_unstable_by_key(|&(b, _)| b);
+                entries
+            })
+            .collect();
+
         // Symmetrize into CSR.
         let mut degree = vec![0u64; n];
         for (a, nbrs) in adj.iter().enumerate() {
-            for (&b, _) in nbrs {
+            for &(b, _) in nbrs {
                 degree[a] += 1;
                 degree[b as usize] += 1;
             }
@@ -65,7 +81,7 @@ impl CliqueNetGraph {
         let mut weights = vec![0u32; total];
         let mut cursor: Vec<u64> = offsets.clone();
         for (a, nbrs) in adj.iter().enumerate() {
-            for (&b, &w) in nbrs {
+            for &(b, w) in nbrs {
                 let pa = cursor[a] as usize;
                 neighbors[pa] = b;
                 weights[pa] = w;
@@ -76,7 +92,11 @@ impl CliqueNetGraph {
                 cursor[b as usize] += 1;
             }
         }
-        CliqueNetGraph { offsets, neighbors, weights }
+        CliqueNetGraph {
+            offsets,
+            neighbors,
+            weights,
+        }
     }
 
     /// Number of vertices.
@@ -182,7 +202,10 @@ mod tests {
         let c = CliqueNetGraph::build(&g, usize::MAX);
         let assignment = vec![0u32, 0, 0, 1, 1, 1];
         let p = crate::Partition::from_assignment(&g, 2, assignment.clone()).unwrap();
-        assert_eq!(c.edge_cut(&assignment), crate::metrics::weighted_edge_cut(&g, &p));
+        assert_eq!(
+            c.edge_cut(&assignment),
+            crate::metrics::weighted_edge_cut(&g, &p)
+        );
     }
 
     #[test]

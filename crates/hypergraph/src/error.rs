@@ -68,7 +68,10 @@ impl fmt::Display for GraphError {
                 f,
                 "partition assignment has length {got} but the graph has {expected} data vertices"
             ),
-            GraphError::BucketOutOfRange { bucket, num_buckets } => {
+            GraphError::BucketOutOfRange {
+                bucket,
+                num_buckets,
+            } => {
                 write!(f, "bucket id {bucket} out of range (k = {num_buckets})")
             }
             GraphError::InvalidBucketCount(k) => {
@@ -77,7 +80,9 @@ impl fmt::Display for GraphError {
             GraphError::InvalidImbalance(eps) => {
                 write!(f, "invalid imbalance ratio {eps}: must be finite and >= 0")
             }
-            GraphError::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
             GraphError::Io(err) => write!(f, "io error: {err}"),
             GraphError::EmptyGraph => write!(f, "operation requires a non-empty graph"),
         }
@@ -107,25 +112,43 @@ mod tests {
     fn display_messages_are_informative() {
         let cases: Vec<(GraphError, &str)> = vec![
             (
-                GraphError::QueryOutOfRange { query: 7, num_queries: 3 },
+                GraphError::QueryOutOfRange {
+                    query: 7,
+                    num_queries: 3,
+                },
                 "query vertex id 7",
             ),
             (
-                GraphError::DataOutOfRange { data: 9, num_data: 2 },
+                GraphError::DataOutOfRange {
+                    data: 9,
+                    num_data: 2,
+                },
                 "data vertex id 9",
             ),
             (
-                GraphError::PartitionLengthMismatch { got: 5, expected: 6 },
+                GraphError::PartitionLengthMismatch {
+                    got: 5,
+                    expected: 6,
+                },
                 "length 5",
             ),
             (
-                GraphError::BucketOutOfRange { bucket: 8, num_buckets: 4 },
+                GraphError::BucketOutOfRange {
+                    bucket: 8,
+                    num_buckets: 4,
+                },
                 "bucket id 8",
             ),
             (GraphError::InvalidBucketCount(0), "invalid bucket count 0"),
-            (GraphError::InvalidImbalance(-0.5), "invalid imbalance ratio"),
             (
-                GraphError::Parse { line: 3, message: "bad token".into() },
+                GraphError::InvalidImbalance(-0.5),
+                "invalid imbalance ratio",
+            ),
+            (
+                GraphError::Parse {
+                    line: 3,
+                    message: "bad token".into(),
+                },
                 "line 3",
             ),
             (GraphError::EmptyGraph, "non-empty"),

@@ -39,7 +39,9 @@ impl Hypergraph {
         I: IntoIterator<Item = P>,
         P: IntoIterator<Item = DataId>,
     {
-        Ok(Hypergraph { graph: GraphBuilder::from_hyperedges(hyperedges)? })
+        Ok(Hypergraph {
+            graph: GraphBuilder::from_hyperedges(hyperedges)?,
+        })
     }
 
     /// The underlying bipartite graph.
@@ -116,8 +118,9 @@ mod tests {
 
     #[test]
     fn hypergraph_view_matches_bipartite() {
-        let h = Hypergraph::from_hyperedges(vec![vec![0u32, 1, 5], vec![0, 1, 2, 3], vec![3, 4, 5]])
-            .unwrap();
+        let h =
+            Hypergraph::from_hyperedges(vec![vec![0u32, 1, 5], vec![0, 1, 2, 3], vec![3, 4, 5]])
+                .unwrap();
         assert_eq!(h.num_vertices(), 6);
         assert_eq!(h.num_hyperedges(), 3);
         assert_eq!(h.num_pins(), 10);

@@ -85,7 +85,8 @@ pub fn read_hmetis<R: Read>(reader: R) -> Result<BipartiteGraph> {
         }
     };
     let mut header_parts = header.split_whitespace();
-    let num_hyperedges = parse_u32(header_parts.next(), header_line_no, "hyperedge count")? as usize;
+    let num_hyperedges =
+        parse_u32(header_parts.next(), header_line_no, "hyperedge count")? as usize;
     let num_vertices = parse_u32(header_parts.next(), header_line_no, "vertex count")? as usize;
 
     let mut builder = GraphBuilder::with_capacity(num_hyperedges, num_vertices);
@@ -153,26 +154,64 @@ pub fn write_hmetis_file<P: AsRef<Path>>(graph: &BipartiteGraph, path: P) -> Res
 }
 
 /// Reads a partition file (one bucket id per line) and pairs it with a graph.
+///
+/// Every entry is validated as it is read: a bucket id `>= k`, an entry beyond the graph's
+/// data-vertex count, or a file ending before every data vertex has a bucket all produce a
+/// line-numbered [`GraphError::Parse`] instead of a partition that silently disagrees with
+/// the graph.
 pub fn read_partition<R: Read>(graph: &BipartiteGraph, k: u32, reader: R) -> Result<Partition> {
+    if k == 0 {
+        return Err(GraphError::InvalidBucketCount(k));
+    }
     let reader = BufReader::new(reader);
-    let mut assignment: Vec<BucketId> = Vec::with_capacity(graph.num_data());
+    let expected = graph.num_data();
+    let mut assignment: Vec<BucketId> = Vec::with_capacity(expected);
+    let mut last_line = 0usize;
     for (idx, line) in reader.lines().enumerate() {
         let line = line?;
         let t = line.trim();
+        last_line = idx + 1;
         if t.is_empty() || t.starts_with('#') {
             continue;
+        }
+        if assignment.len() == expected {
+            return Err(GraphError::Parse {
+                line: idx + 1,
+                message: format!(
+                    "unexpected extra entry {t:?}: the graph has only {expected} data vertices"
+                ),
+            });
         }
         let b: u32 = t.parse().map_err(|_| GraphError::Parse {
             line: idx + 1,
             message: format!("invalid bucket id {t:?}"),
         })?;
+        if b >= k {
+            return Err(GraphError::Parse {
+                line: idx + 1,
+                message: format!("bucket id {b} out of range (declared bucket count k = {k})"),
+            });
+        }
         assignment.push(b);
+    }
+    if assignment.len() != expected {
+        return Err(GraphError::Parse {
+            line: last_line + 1,
+            message: format!(
+                "truncated partition file: found {} entries but the graph has {expected} data vertices",
+                assignment.len()
+            ),
+        });
     }
     Partition::from_assignment(graph, k, assignment)
 }
 
 /// Reads a partition file from a path.
-pub fn read_partition_file<P: AsRef<Path>>(graph: &BipartiteGraph, k: u32, path: P) -> Result<Partition> {
+pub fn read_partition_file<P: AsRef<Path>>(
+    graph: &BipartiteGraph,
+    k: u32,
+    path: P,
+) -> Result<Partition> {
     read_partition(graph, k, std::fs::File::open(path)?)
 }
 
@@ -192,7 +231,10 @@ pub fn write_partition_file<P: AsRef<Path>>(partition: &Partition, path: P) -> R
 }
 
 fn parse_u32(token: Option<&str>, line: usize, what: &str) -> Result<u32> {
-    let token = token.ok_or_else(|| GraphError::Parse { line, message: format!("missing {what}") })?;
+    let token = token.ok_or_else(|| GraphError::Parse {
+        line,
+        message: format!("missing {what}"),
+    })?;
     token.parse().map_err(|_| GraphError::Parse {
         line,
         message: format!("invalid {what}: {token:?}"),
@@ -283,6 +325,50 @@ mod tests {
         assert!(read_partition(&g, 2, "0\n1\n".as_bytes()).is_err());
         assert!(read_partition(&g, 2, "0\n0\n0\n1\n1\n7\n".as_bytes()).is_err());
         assert!(read_partition(&g, 2, "0\nx\n0\n1\n1\n1\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn partition_read_errors_carry_line_numbers() {
+        let g = figure1(); // 6 data vertices
+
+        // Out-of-range bucket id on line 6 (k = 2 declares buckets 0 and 1).
+        match read_partition(&g, 2, "0\n0\n0\n1\n1\n7\n".as_bytes()) {
+            Err(GraphError::Parse { line, message }) => {
+                assert_eq!(line, 6);
+                assert!(message.contains("bucket id 7"), "{message}");
+                assert!(message.contains("k = 2"), "{message}");
+            }
+            other => panic!("expected a parse error, got {other:?}"),
+        }
+
+        // Truncated file: only 2 of 6 entries, reported just past the last line read.
+        match read_partition(&g, 2, "# header\n0\n1\n".as_bytes()) {
+            Err(GraphError::Parse { line, message }) => {
+                assert_eq!(line, 4);
+                assert!(message.contains("truncated"), "{message}");
+                assert!(message.contains("found 2"), "{message}");
+            }
+            other => panic!("expected a parse error, got {other:?}"),
+        }
+
+        // Overlong file: a 7th entry for a 6-vertex graph is rejected at its line.
+        match read_partition(&g, 2, "0\n0\n0\n1\n1\n1\n0\n".as_bytes()) {
+            Err(GraphError::Parse { line, message }) => {
+                assert_eq!(line, 7);
+                assert!(message.contains("extra entry"), "{message}");
+            }
+            other => panic!("expected a parse error, got {other:?}"),
+        }
+
+        // Zero buckets are rejected up front.
+        assert!(matches!(
+            read_partition(&g, 0, "0\n".as_bytes()),
+            Err(GraphError::InvalidBucketCount(0))
+        ));
+
+        // Comments and blank lines do not count as entries.
+        let p = read_partition(&g, 2, "# c\n0\n\n0\n0\n1\n1\n1\n".as_bytes()).unwrap();
+        assert_eq!(p.assignment(), &[0, 0, 0, 1, 1, 1]);
     }
 
     #[test]

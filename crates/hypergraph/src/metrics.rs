@@ -22,7 +22,11 @@ pub fn query_fanout(graph: &BipartiteGraph, partition: &Partition, q: QueryId) -
 }
 
 /// Number of neighbors of query `q` in each bucket — the "neighbor data" `n_i(q)` of the paper.
-pub fn query_neighbor_counts(graph: &BipartiteGraph, partition: &Partition, q: QueryId) -> Vec<u32> {
+pub fn query_neighbor_counts(
+    graph: &BipartiteGraph,
+    partition: &Partition,
+    q: QueryId,
+) -> Vec<u32> {
     let mut counts = vec![0u32; partition.num_buckets() as usize];
     for &v in graph.query_neighbors(q) {
         counts[partition.bucket_of(v) as usize] += 1;
@@ -142,7 +146,10 @@ impl FanoutHistogram {
             let f = query_fanout(graph, partition, q) as usize;
             counts[f] += 1;
         }
-        FanoutHistogram { counts, total: graph.num_queries() as u64 }
+        FanoutHistogram {
+            counts,
+            total: graph.num_queries() as u64,
+        }
     }
 
     /// Number of queries with fanout exactly `f` (0 when `f` exceeds the recorded range).
@@ -188,10 +195,7 @@ impl FanoutHistogram {
 
     /// Largest fanout value with a non-zero count.
     pub fn max(&self) -> usize {
-        self.counts
-            .iter()
-            .rposition(|&c| c > 0)
-            .unwrap_or(0)
+        self.counts.iter().rposition(|&c| c > 0).unwrap_or(0)
     }
 }
 

@@ -57,7 +57,12 @@ impl Partition {
         };
         let mut bucket_weights = vec![0u64; k as usize];
         bucket_weights[0] = graph.total_data_weight();
-        Ok(Partition { assignment: vec![0; n], num_buckets: k, bucket_weights, vertex_weights })
+        Ok(Partition {
+            assignment: vec![0; n],
+            num_buckets: k,
+            bucket_weights,
+            vertex_weights,
+        })
     }
 
     /// Creates a partition by assigning every data vertex to an independently uniform random
@@ -76,7 +81,11 @@ impl Partition {
     /// # Errors
     /// Fails if the vector length does not match the graph, a bucket id is out of range, or
     /// `k == 0`.
-    pub fn from_assignment(graph: &BipartiteGraph, k: u32, assignment: Vec<BucketId>) -> Result<Self> {
+    pub fn from_assignment(
+        graph: &BipartiteGraph,
+        k: u32,
+        assignment: Vec<BucketId>,
+    ) -> Result<Self> {
         if k == 0 {
             return Err(GraphError::InvalidBucketCount(k));
         }
@@ -87,19 +96,31 @@ impl Partition {
             });
         }
         let vertex_weights: Option<Vec<u32>> = if graph.has_weights() {
-            Some((0..graph.num_data()).map(|v| graph.data_weight(v as DataId)).collect())
+            Some(
+                (0..graph.num_data())
+                    .map(|v| graph.data_weight(v as DataId))
+                    .collect(),
+            )
         } else {
             None
         };
         let mut bucket_weights = vec![0u64; k as usize];
         for (v, &b) in assignment.iter().enumerate() {
             if b >= k {
-                return Err(GraphError::BucketOutOfRange { bucket: b, num_buckets: k });
+                return Err(GraphError::BucketOutOfRange {
+                    bucket: b,
+                    num_buckets: k,
+                });
             }
             let w = vertex_weights.as_ref().map_or(1, |ws| ws[v]) as u64;
             bucket_weights[b as usize] += w;
         }
-        Ok(Partition { assignment, num_buckets: k, bucket_weights, vertex_weights })
+        Ok(Partition {
+            assignment,
+            num_buckets: k,
+            bucket_weights,
+            vertex_weights,
+        })
     }
 
     /// Number of buckets `k`.
@@ -123,7 +144,9 @@ impl Partition {
     /// Weight of vertex `v` (1 unless the source graph carried weights).
     #[inline]
     pub fn vertex_weight(&self, v: DataId) -> u64 {
-        self.vertex_weights.as_ref().map_or(1, |w| w[v as usize] as u64)
+        self.vertex_weights
+            .as_ref()
+            .map_or(1, |w| w[v as usize] as u64)
     }
 
     /// Total vertex weight currently in bucket `b`.

@@ -1,0 +1,494 @@
+//! The serving engine: cache → route → scatter → gather under a swappable placement.
+//!
+//! [`ServingEngine`] owns one [`EpochSwap`] cell holding the current [`Generation`] — an
+//! immutable pair of placement snapshot and the shard set built from it. Every multiget loads
+//! the generation once and serves entirely against it, so a concurrent
+//! [`ServingEngine::install_partition`] (which builds the next generation's shards **off to
+//! the side** and then swaps one pointer) can never make a query observe half-moved data:
+//! there is no serving gap and no torn read, the exact property the live-repartition
+//! requirement of Section 5 demands from a production tier.
+
+use crate::cache::HotKeyCache;
+use crate::error::{Result, ServingError};
+use crate::metrics::{ServingMetrics, ServingReport};
+use crate::partition_map::{EpochSwap, PartitionSnapshot};
+use crate::router::ShardRouter;
+use crate::store::ShardSet;
+use crate::workload::WorkloadEvent;
+use shp_hypergraph::{BipartiteGraph, DataId, Partition};
+use shp_sharding_sim::LatencyModel;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Configuration of a [`ServingEngine`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineConfig {
+    /// Per-request service-time model shared by all shards.
+    pub latency_model: LatencyModel,
+    /// Capacity of the hot-key result cache (0 disables caching).
+    pub cache_capacity: usize,
+    /// Latency (in units of the model's `t`) of a multiget answered entirely from the cache.
+    pub cache_hit_latency: f64,
+    /// Seed for the per-shard latency RNG streams.
+    pub seed: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            latency_model: LatencyModel::default(),
+            cache_capacity: 0,
+            cache_hit_latency: 0.05,
+            seed: 0x5047,
+        }
+    }
+}
+
+/// One immutable serving generation: the placement and the shards built from it.
+#[derive(Debug)]
+pub struct Generation {
+    /// Placement of every key.
+    pub snapshot: PartitionSnapshot,
+    /// Shard contents matching the placement exactly.
+    pub shards: ShardSet,
+}
+
+/// The answer to one multiget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultigetResult {
+    /// `(key, value)` for every distinct requested key, in ascending key order.
+    pub values: Vec<(DataId, u64)>,
+    /// Number of shards contacted (0 when the cache answered everything).
+    pub fanout: u32,
+    /// Simulated latency in units of the latency model's `t`.
+    pub latency: f64,
+    /// Placement epoch the query was served under.
+    pub epoch: u64,
+    /// Number of keys answered from the hot-key cache.
+    pub cache_hits: usize,
+}
+
+/// A partition-aware multiget serving engine with live repartition swap.
+#[derive(Debug)]
+pub struct ServingEngine {
+    generation: EpochSwap<Generation>,
+    router: ShardRouter,
+    cache: HotKeyCache,
+    metrics: ServingMetrics,
+    config: EngineConfig,
+    num_keys: usize,
+    next_epoch: AtomicU64,
+    install_lock: std::sync::Mutex<()>,
+}
+
+impl ServingEngine {
+    /// Boots the engine on an initial partition (epoch 0), building and loading every shard.
+    ///
+    /// # Errors
+    /// Returns [`ServingError::EmptyPartition`] for a partition with no buckets.
+    pub fn new(partition: &Partition, config: EngineConfig) -> Result<Self> {
+        let snapshot = PartitionSnapshot::from_partition(partition, 0)?;
+        let shards = ShardSet::build(&snapshot, config.latency_model.clone(), config.seed);
+        let num_keys = snapshot.num_keys();
+        Ok(ServingEngine {
+            generation: EpochSwap::new(Generation { snapshot, shards }),
+            router: ShardRouter::new(),
+            cache: HotKeyCache::new(config.cache_capacity),
+            metrics: ServingMetrics::new(),
+            config,
+            num_keys,
+            next_epoch: AtomicU64::new(1),
+            install_lock: std::sync::Mutex::new(()),
+        })
+    }
+
+    /// Number of keys in the engine's key universe.
+    pub fn num_keys(&self) -> usize {
+        self.num_keys
+    }
+
+    /// The currently installed placement epoch.
+    pub fn current_epoch(&self) -> u64 {
+        self.generation.load().snapshot.epoch()
+    }
+
+    /// Number of shards of the current generation.
+    pub fn num_shards(&self) -> u32 {
+        self.generation.load().shards.num_shards()
+    }
+
+    /// Serves one multiget. Duplicate keys are answered once; values come back in ascending
+    /// key order with their verified records.
+    ///
+    /// # Errors
+    /// Returns [`ServingError::KeyOutOfRange`] when a key is outside the key universe.
+    pub fn multiget(&self, keys: &[DataId]) -> Result<MultigetResult> {
+        self.multiget_impl(keys, false)
+    }
+
+    /// Like [`ServingEngine::multiget`] but scattering the per-shard batches over real scoped
+    /// threads — the literal parallel fan-out a storage tier performs. Prefer `multiget` for
+    /// throughput runs (concurrency across queries amortizes better than per-query spawns).
+    ///
+    /// # Errors
+    /// Same contract as [`ServingEngine::multiget`].
+    pub fn multiget_scatter_gather(&self, keys: &[DataId]) -> Result<MultigetResult> {
+        self.multiget_impl(keys, true)
+    }
+
+    fn multiget_impl(&self, keys: &[DataId], scatter: bool) -> Result<MultigetResult> {
+        let generation = self.generation.load();
+        let epoch = generation.snapshot.epoch();
+
+        // Deduplicate up front: both the cache split and the router operate on distinct keys.
+        let mut distinct: Vec<DataId> = keys.to_vec();
+        distinct.sort_unstable();
+        distinct.dedup();
+
+        // Split into cache hits and misses.
+        let mut values: Vec<(DataId, u64)> = Vec::with_capacity(distinct.len());
+        let mut misses: Vec<DataId> = Vec::with_capacity(distinct.len());
+        if self.config.cache_capacity > 0 {
+            for &key in &distinct {
+                if key as usize >= self.num_keys {
+                    return Err(ServingError::KeyOutOfRange {
+                        key,
+                        num_keys: self.num_keys,
+                    });
+                }
+                match self.cache.get(key) {
+                    Some(value) => values.push((key, value)),
+                    None => misses.push(key),
+                }
+            }
+        } else {
+            misses = distinct.clone();
+        }
+        let cache_hits = values.len();
+
+        // Route the misses and execute one batch per contacted shard. The cache-hit floor
+        // only applies when the cache actually answered something; a cache-less multiget's
+        // latency is purely what the shards charge.
+        let plan = self.router.route(&generation.snapshot, &misses)?;
+        let fanout = plan.fanout();
+        let mut latency = if cache_hits > 0 {
+            self.config.cache_hit_latency * self.config.latency_model.mean_t
+        } else {
+            0.0
+        };
+        if !plan.batches.is_empty() {
+            let fetched = if scatter {
+                generation.shards.execute_scatter_gather(&plan)?
+            } else {
+                generation.shards.execute(&plan)?
+            };
+            latency = latency.max(fetched.latency);
+            if self.config.cache_capacity > 0 {
+                for &(key, value) in &fetched.values {
+                    self.cache.insert(key, value);
+                }
+            }
+            values.extend(fetched.values);
+        }
+        values.sort_unstable_by_key(|&(key, _)| key);
+
+        self.metrics.record(
+            fanout,
+            generation.snapshot.num_shards(),
+            plan.batches.iter().map(|b| b.shard),
+            latency,
+            epoch,
+        );
+        Ok(MultigetResult {
+            values,
+            fanout,
+            latency,
+            epoch,
+            cache_hits,
+        })
+    }
+
+    /// Installs a new partition under live traffic.
+    ///
+    /// The next generation — snapshot *and* fully populated shards — is built here, off the
+    /// serving path, and then published with one atomic pointer swap. Queries in flight finish
+    /// on the generation they loaded; queries arriving after the swap see the new placement.
+    /// Returns the epoch of the installed placement.
+    ///
+    /// # Errors
+    /// Rejects partitions that do not cover the engine's key universe exactly.
+    pub fn install_partition(&self, partition: &Partition) -> Result<u64> {
+        if partition.num_data() != self.num_keys {
+            return Err(ServingError::PartitionMismatch {
+                got: partition.num_data(),
+                expected: self.num_keys,
+            });
+        }
+        // Serialize concurrent installs: epoch allocation and publication must happen in the
+        // same order, otherwise a slower build with a smaller epoch could be published last
+        // and the engine would serve an older placement than the last returned epoch.
+        // Readers are unaffected — they never take this lock.
+        let _install = self.install_lock.lock().expect("install lock poisoned");
+        let epoch = self.next_epoch.fetch_add(1, Ordering::Relaxed);
+        let snapshot = PartitionSnapshot::from_partition(partition, epoch)?;
+        let shards = ShardSet::build(
+            &snapshot,
+            self.config.latency_model.clone(),
+            self.config.seed,
+        );
+        self.generation.swap(Generation { snapshot, shards });
+        Ok(epoch)
+    }
+
+    /// Number of partition swaps installed since boot.
+    pub fn swap_count(&self) -> u64 {
+        self.generation.swap_count()
+    }
+
+    /// Replays an open-loop arrival schedule against the engine with `clients` concurrent
+    /// client threads, then returns the aggregated report. Metrics are reset first, so the
+    /// report covers exactly this run.
+    ///
+    /// # Errors
+    /// Propagates the first serving error any client encounters.
+    pub fn run_workload(
+        &self,
+        graph: &BipartiteGraph,
+        events: &[WorkloadEvent],
+        clients: usize,
+    ) -> Result<ServingReport> {
+        self.reset_metrics();
+        let clients = clients.max(1);
+        let chunk = events.len().div_ceil(clients).max(1);
+        let outcome: Result<()> = std::thread::scope(|scope| {
+            let handles: Vec<_> = events
+                .chunks(chunk)
+                .map(|slice| {
+                    scope.spawn(move || -> Result<()> {
+                        for event in slice {
+                            self.multiget(graph.query_neighbors(event.query))?;
+                        }
+                        Ok(())
+                    })
+                })
+                .collect();
+            for handle in handles {
+                handle.join().expect("client thread panicked")?;
+            }
+            Ok(())
+        });
+        outcome?;
+        Ok(self.report())
+    }
+
+    /// Aggregated metrics since boot or the last reset.
+    pub fn report(&self) -> ServingReport {
+        self.metrics.report(self.cache.stats())
+    }
+
+    /// Clears the per-query metrics (cache contents and hit counters are preserved).
+    pub fn reset_metrics(&self) {
+        self.metrics.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::value_of;
+    use shp_hypergraph::GraphBuilder;
+
+    /// `groups` communities of `size` keys; one query per member spanning its community.
+    fn community_graph(groups: u32, size: u32) -> BipartiteGraph {
+        let mut b = GraphBuilder::new();
+        for g in 0..groups {
+            let members: Vec<u32> = (0..size).map(|i| g * size + i).collect();
+            for _ in 0..size {
+                b.add_query(members.clone());
+            }
+        }
+        b.build().unwrap()
+    }
+
+    fn aligned_partition(graph: &BipartiteGraph, groups: u32, size: u32) -> Partition {
+        Partition::from_assignment(
+            graph,
+            groups,
+            (0..groups * size).map(|v| v / size).collect(),
+        )
+        .unwrap()
+    }
+
+    fn scattered_partition(graph: &BipartiteGraph, groups: u32, size: u32) -> Partition {
+        Partition::from_assignment(
+            graph,
+            groups,
+            (0..groups * size).map(|v| v % groups).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn multiget_returns_each_distinct_key_once_with_verified_values() {
+        let graph = community_graph(4, 8);
+        let engine =
+            ServingEngine::new(&aligned_partition(&graph, 4, 8), EngineConfig::default()).unwrap();
+        let result = engine.multiget(&[5, 1, 5, 9, 1, 30]).unwrap();
+        assert_eq!(
+            result.values,
+            vec![
+                (1, value_of(1)),
+                (5, value_of(5)),
+                (9, value_of(9)),
+                (30, value_of(30))
+            ]
+        );
+        // Keys 1 and 5 share shard 0; 9 is on shard 1; 30 on shard 3.
+        assert_eq!(result.fanout, 3);
+        assert_eq!(result.epoch, 0);
+    }
+
+    #[test]
+    fn aligned_placement_has_lower_fanout_than_scattered() {
+        let graph = community_graph(4, 8);
+        let config = EngineConfig::default();
+        let aligned = ServingEngine::new(&aligned_partition(&graph, 4, 8), config.clone()).unwrap();
+        let scattered = ServingEngine::new(&scattered_partition(&graph, 4, 8), config).unwrap();
+        for q in graph.queries() {
+            aligned.multiget(graph.query_neighbors(q)).unwrap();
+            scattered.multiget(graph.query_neighbors(q)).unwrap();
+        }
+        let a = aligned.report();
+        let s = scattered.report();
+        assert!(
+            (a.mean_fanout - 1.0).abs() < 1e-9,
+            "aligned fanout {}",
+            a.mean_fanout
+        );
+        assert!(
+            (s.mean_fanout - 4.0).abs() < 1e-9,
+            "scattered fanout {}",
+            s.mean_fanout
+        );
+        assert!(a.mean_latency < s.mean_latency);
+    }
+
+    #[test]
+    fn cache_answers_repeated_hot_keys_and_cuts_fanout() {
+        let graph = community_graph(2, 4);
+        let config = EngineConfig {
+            cache_capacity: 1024,
+            ..Default::default()
+        };
+        let engine = ServingEngine::new(&scattered_partition(&graph, 2, 4), config).unwrap();
+        let first = engine.multiget(&[0, 1, 2, 3]).unwrap();
+        assert_eq!(first.cache_hits, 0);
+        assert_eq!(first.fanout, 2);
+        let second = engine.multiget(&[0, 1, 2, 3]).unwrap();
+        assert_eq!(second.cache_hits, 4);
+        assert_eq!(second.fanout, 0);
+        assert!(second.latency < first.latency);
+        assert_eq!(second.values, first.values);
+        let stats = engine.report().cache;
+        assert_eq!(stats.hits, 4);
+        assert_eq!(stats.misses, 4);
+    }
+
+    #[test]
+    fn install_partition_swaps_epoch_and_preserves_values() {
+        let graph = community_graph(3, 4);
+        let engine =
+            ServingEngine::new(&scattered_partition(&graph, 3, 4), EngineConfig::default())
+                .unwrap();
+        let before = engine.multiget(&[0, 1, 2, 3]).unwrap();
+        let epoch = engine
+            .install_partition(&aligned_partition(&graph, 3, 4))
+            .unwrap();
+        assert_eq!(epoch, 1);
+        assert_eq!(engine.current_epoch(), 1);
+        assert_eq!(engine.swap_count(), 1);
+        let after = engine.multiget(&[0, 1, 2, 3]).unwrap();
+        assert_eq!(after.values, before.values);
+        assert_eq!(after.epoch, 1);
+        assert!(after.fanout < before.fanout);
+    }
+
+    #[test]
+    fn install_rejects_mismatched_partitions() {
+        let graph = community_graph(2, 4);
+        let other = community_graph(2, 5);
+        let engine =
+            ServingEngine::new(&aligned_partition(&graph, 2, 4), EngineConfig::default()).unwrap();
+        let wrong = aligned_partition(&other, 2, 5);
+        assert_eq!(
+            engine.install_partition(&wrong),
+            Err(ServingError::PartitionMismatch {
+                got: 10,
+                expected: 8
+            })
+        );
+    }
+
+    #[test]
+    fn out_of_range_keys_are_rejected() {
+        let graph = community_graph(2, 4);
+        let engine =
+            ServingEngine::new(&aligned_partition(&graph, 2, 4), EngineConfig::default()).unwrap();
+        assert_eq!(
+            engine.multiget(&[0, 99]),
+            Err(ServingError::KeyOutOfRange {
+                key: 99,
+                num_keys: 8
+            })
+        );
+        let cached = ServingEngine::new(
+            &aligned_partition(&graph, 2, 4),
+            EngineConfig {
+                cache_capacity: 16,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(cached.multiget(&[99]).is_err());
+    }
+
+    #[test]
+    fn scatter_gather_agrees_with_inline_execution() {
+        let graph = community_graph(4, 8);
+        let engine =
+            ServingEngine::new(&scattered_partition(&graph, 4, 8), EngineConfig::default())
+                .unwrap();
+        let keys: Vec<u32> = (0..32).collect();
+        let inline = engine.multiget(&keys).unwrap();
+        let scattered = engine.multiget_scatter_gather(&keys).unwrap();
+        assert_eq!(inline.values, scattered.values);
+        assert_eq!(inline.fanout, scattered.fanout);
+    }
+
+    #[test]
+    fn empty_multiget_is_served_with_zero_fanout() {
+        let graph = community_graph(2, 4);
+        let engine =
+            ServingEngine::new(&aligned_partition(&graph, 2, 4), EngineConfig::default()).unwrap();
+        let result = engine.multiget(&[]).unwrap();
+        assert_eq!(result.fanout, 0);
+        assert_eq!(result.latency, 0.0);
+        assert!(result.values.is_empty());
+    }
+
+    #[test]
+    fn run_workload_reports_over_the_whole_schedule() {
+        let graph = community_graph(4, 8);
+        let engine =
+            ServingEngine::new(&aligned_partition(&graph, 4, 8), EngineConfig::default()).unwrap();
+        let config = crate::workload::WorkloadConfig {
+            arrival_rate: 50.0,
+            duration: 10.0,
+            ..Default::default()
+        };
+        let events = crate::workload::open_loop_schedule(graph.num_queries(), &config);
+        let report = engine.run_workload(&graph, &events, 4).unwrap();
+        assert_eq!(report.queries, events.len() as u64);
+        assert!((report.mean_fanout - 1.0).abs() < 1e-9);
+        assert!(report.p999 >= report.p50);
+    }
+}

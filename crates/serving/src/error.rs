@@ -1,0 +1,88 @@
+//! Error type of the serving engine.
+
+use std::fmt;
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, ServingError>;
+
+/// Errors surfaced by routing, shard execution, and partition installation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServingError {
+    /// A multiget referenced a key outside the engine's key universe.
+    KeyOutOfRange {
+        /// Offending key.
+        key: u32,
+        /// Number of keys the engine serves.
+        num_keys: usize,
+    },
+    /// An installed partition does not cover the engine's key universe.
+    PartitionMismatch {
+        /// Keys covered by the offered partition.
+        got: usize,
+        /// Keys the engine serves.
+        expected: usize,
+    },
+    /// A partition with zero buckets was offered.
+    EmptyPartition,
+    /// A shard was asked for a key it does not hold (placement corruption; should be
+    /// impossible while the snapshot and the shard contents swap atomically together).
+    MissingKey {
+        /// Key that was not found.
+        key: u32,
+        /// Shard that was expected to hold it.
+        shard: u32,
+    },
+}
+
+impl fmt::Display for ServingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServingError::KeyOutOfRange { key, num_keys } => {
+                write!(f, "key {key} out of range (engine serves {num_keys} keys)")
+            }
+            ServingError::PartitionMismatch { got, expected } => write!(
+                f,
+                "partition covers {got} keys but the engine serves {expected}"
+            ),
+            ServingError::EmptyPartition => write!(f, "partition has no buckets"),
+            ServingError::MissingKey { key, shard } => {
+                write!(f, "shard {shard} is missing key {key} (torn placement)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases = [
+            (
+                ServingError::KeyOutOfRange {
+                    key: 9,
+                    num_keys: 4,
+                },
+                "key 9",
+            ),
+            (
+                ServingError::PartitionMismatch {
+                    got: 3,
+                    expected: 5,
+                },
+                "covers 3",
+            ),
+            (ServingError::EmptyPartition, "no buckets"),
+            (
+                ServingError::MissingKey { key: 2, shard: 1 },
+                "missing key 2",
+            ),
+        ];
+        for (err, needle) in cases {
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! Per-query serving metrics and the aggregated [`ServingReport`].
+//!
+//! Tracks exactly the quantities the paper's serving argument is about: the fanout histogram
+//! (how many shards each multiget touched), latency percentiles up to p999 (the tail that
+//! fanout inflates, Figure 4), and per-shard load (whose skew bounds the capacity headroom a
+//! partition leaves on the table).
+
+use crate::cache::CacheStats;
+use std::fmt;
+use std::sync::Mutex;
+
+#[derive(Debug, Default)]
+struct MetricsInner {
+    fanout_counts: Vec<u64>,
+    latencies: Vec<f64>,
+    shard_requests: Vec<u64>,
+    min_epoch: Option<u64>,
+    max_epoch: Option<u64>,
+}
+
+/// Thread-safe accumulator of per-query observations.
+#[derive(Debug, Default)]
+pub struct ServingMetrics {
+    inner: Mutex<MetricsInner>,
+}
+
+impl ServingMetrics {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one served multiget: its fanout, the shards it contacted (out of the
+    /// generation's `num_shards` total — the full shard count matters so that load
+    /// concentrated on low-numbered shards still registers as skew), its simulated latency,
+    /// and the placement epoch it was served under.
+    pub fn record(
+        &self,
+        fanout: u32,
+        num_shards: u32,
+        shards: impl IntoIterator<Item = u32>,
+        latency: f64,
+        epoch: u64,
+    ) {
+        let mut inner = self.inner.lock().expect("metrics poisoned");
+        let f = fanout as usize;
+        if inner.fanout_counts.len() <= f {
+            inner.fanout_counts.resize(f + 1, 0);
+        }
+        inner.fanout_counts[f] += 1;
+        inner.latencies.push(latency);
+        if inner.shard_requests.len() < num_shards as usize {
+            inner.shard_requests.resize(num_shards as usize, 0);
+        }
+        for shard in shards {
+            let s = shard as usize;
+            if inner.shard_requests.len() <= s {
+                inner.shard_requests.resize(s + 1, 0);
+            }
+            inner.shard_requests[s] += 1;
+        }
+        inner.min_epoch = Some(inner.min_epoch.map_or(epoch, |e| e.min(epoch)));
+        inner.max_epoch = Some(inner.max_epoch.map_or(epoch, |e| e.max(epoch)));
+    }
+
+    /// Clears all recorded observations.
+    pub fn reset(&self) {
+        *self.inner.lock().expect("metrics poisoned") = MetricsInner::default();
+    }
+
+    /// Aggregates the recorded observations into a report, attaching the given cache stats.
+    pub fn report(&self, cache: CacheStats) -> ServingReport {
+        let inner = self.inner.lock().expect("metrics poisoned");
+        let queries: u64 = inner.fanout_counts.iter().sum();
+        let mean_fanout = if queries == 0 {
+            0.0
+        } else {
+            inner
+                .fanout_counts
+                .iter()
+                .enumerate()
+                .map(|(f, &c)| f as f64 * c as f64)
+                .sum::<f64>()
+                / queries as f64
+        };
+        let max_fanout = inner
+            .fanout_counts
+            .iter()
+            .rposition(|&c| c > 0)
+            .unwrap_or(0) as u32;
+
+        let mut sorted = inner.latencies.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let pct = |q: f64| -> f64 {
+            if sorted.is_empty() {
+                return 0.0;
+            }
+            let idx = ((q * (sorted.len() - 1) as f64).round() as usize).min(sorted.len() - 1);
+            sorted[idx]
+        };
+        let mean_latency = if sorted.is_empty() {
+            0.0
+        } else {
+            sorted.iter().sum::<f64>() / sorted.len() as f64
+        };
+
+        let shard_requests = inner.shard_requests.clone();
+        let busiest = shard_requests.iter().copied().max().unwrap_or(0);
+        let total_requests: u64 = shard_requests.iter().sum();
+        let shard_skew = if total_requests == 0 || shard_requests.is_empty() {
+            0.0
+        } else {
+            busiest as f64 / (total_requests as f64 / shard_requests.len() as f64)
+        };
+
+        ServingReport {
+            queries,
+            mean_fanout,
+            max_fanout,
+            fanout_histogram: inner.fanout_counts.clone(),
+            mean_latency,
+            p50: pct(0.50),
+            p90: pct(0.90),
+            p99: pct(0.99),
+            p999: pct(0.999),
+            shard_requests,
+            shard_skew,
+            cache,
+            min_epoch: inner.min_epoch.unwrap_or(0),
+            max_epoch: inner.max_epoch.unwrap_or(0),
+        }
+    }
+}
+
+/// Aggregated results of a serving run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingReport {
+    /// Number of multigets served.
+    pub queries: u64,
+    /// Mean number of shards contacted per multiget.
+    pub mean_fanout: f64,
+    /// Largest observed fanout.
+    pub max_fanout: u32,
+    /// `fanout_histogram[f]` = number of multigets that contacted exactly `f` shards.
+    pub fanout_histogram: Vec<u64>,
+    /// Mean simulated latency (units of the latency model's `t`).
+    pub mean_latency: f64,
+    /// Median latency.
+    pub p50: f64,
+    /// 90th percentile latency.
+    pub p90: f64,
+    /// 99th percentile latency.
+    pub p99: f64,
+    /// 99.9th percentile latency.
+    pub p999: f64,
+    /// Batch requests served per shard.
+    pub shard_requests: Vec<u64>,
+    /// Load skew: busiest shard's requests over the per-shard mean (1.0 = perfectly even).
+    pub shard_skew: f64,
+    /// Result-cache hit/miss counters.
+    pub cache: CacheStats,
+    /// Smallest placement epoch observed by a served query.
+    pub min_epoch: u64,
+    /// Largest placement epoch observed by a served query.
+    pub max_epoch: u64,
+}
+
+impl fmt::Display for ServingReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "queries        {}", self.queries)?;
+        writeln!(
+            f,
+            "mean fanout    {:.3} (max {})",
+            self.mean_fanout, self.max_fanout
+        )?;
+        writeln!(
+            f,
+            "latency        mean {:.3}t  p50 {:.3}t  p90 {:.3}t  p99 {:.3}t  p999 {:.3}t",
+            self.mean_latency, self.p50, self.p90, self.p99, self.p999
+        )?;
+        writeln!(
+            f,
+            "shard skew     {:.3} over {} shards",
+            self.shard_skew,
+            self.shard_requests.len()
+        )?;
+        if self.cache.hits + self.cache.misses > 0 {
+            writeln!(
+                f,
+                "cache          {:.1}% hit ({} hits / {} misses)",
+                100.0 * self.cache.hit_rate(),
+                self.cache.hits,
+                self.cache.misses
+            )?;
+        }
+        write!(f, "epochs         {}..={}", self.min_epoch, self.max_epoch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_aggregates_fanout_latency_and_load() {
+        let m = ServingMetrics::new();
+        m.record(1, 3, [0], 1.0, 0);
+        m.record(2, 3, [0, 1], 3.0, 0);
+        m.record(2, 3, [1, 2], 5.0, 1);
+        let r = m.report(CacheStats::default());
+        assert_eq!(r.queries, 3);
+        assert!((r.mean_fanout - 5.0 / 3.0).abs() < 1e-12);
+        assert_eq!(r.max_fanout, 2);
+        assert_eq!(r.fanout_histogram, vec![0, 1, 2]);
+        assert!((r.mean_latency - 3.0).abs() < 1e-12);
+        assert_eq!(r.p50, 3.0);
+        assert_eq!(r.shard_requests, vec![2, 2, 1]);
+        // Busiest shard served 2 of 5 requests over 3 shards: skew = 2 / (5/3).
+        assert!((r.shard_skew - 2.0 / (5.0 / 3.0)).abs() < 1e-12);
+        assert_eq!((r.min_epoch, r.max_epoch), (0, 1));
+    }
+
+    #[test]
+    fn load_concentrated_on_one_shard_registers_full_skew() {
+        // All traffic hits shard 0 of a 4-shard generation: the skew must report the idle
+        // shards, not shrink the denominator to the shards that happened to be touched.
+        let m = ServingMetrics::new();
+        for _ in 0..10 {
+            m.record(1, 4, [0], 1.0, 0);
+        }
+        let r = m.report(CacheStats::default());
+        assert_eq!(r.shard_requests, vec![10, 0, 0, 0]);
+        assert!((r.shard_skew - 4.0).abs() < 1e-12, "skew {}", r.shard_skew);
+    }
+
+    #[test]
+    fn empty_metrics_produce_zero_report() {
+        let r = ServingMetrics::new().report(CacheStats::default());
+        assert_eq!(r.queries, 0);
+        assert_eq!(r.mean_fanout, 0.0);
+        assert_eq!(r.p999, 0.0);
+        assert_eq!(r.shard_skew, 0.0);
+    }
+
+    #[test]
+    fn reset_clears_observations() {
+        let m = ServingMetrics::new();
+        m.record(3, 3, [0, 1, 2], 2.0, 0);
+        m.reset();
+        assert_eq!(m.report(CacheStats::default()).queries, 0);
+    }
+
+    #[test]
+    fn display_renders_the_key_lines() {
+        let m = ServingMetrics::new();
+        m.record(1, 1, [0], 1.0, 2);
+        let text = m.report(CacheStats { hits: 1, misses: 3 }).to_string();
+        assert!(text.contains("mean fanout"));
+        assert!(text.contains("p999"));
+        assert!(text.contains("cache"));
+        assert!(text.contains("epochs         2..=2"));
+    }
+
+    #[test]
+    fn percentiles_are_monotone() {
+        let m = ServingMetrics::new();
+        for i in 0..1000 {
+            m.record(1, 1, [0], i as f64, 0);
+        }
+        let r = m.report(CacheStats::default());
+        assert!(r.p50 <= r.p90 && r.p90 <= r.p99 && r.p99 <= r.p999);
+        assert!(r.p999 >= 990.0);
+    }
+}

@@ -1,0 +1,312 @@
+//! The shard set: concurrent in-memory KV shards executing routed batches.
+//!
+//! Shard contents are immutable once built (the synthetic record store is rebuilt wholesale
+//! for every installed partition and swapped together with its [`PartitionSnapshot`]), so key
+//! lookups are lock-free; only the per-shard latency RNG sits behind a mutex. Per-request
+//! service time comes from `shp-sharding-sim`'s [`LatencyModel`], and a query's latency is the
+//! **maximum** over its parallel per-shard requests — the tail-at-scale dependency of Figure 4.
+
+use crate::error::{Result, ServingError};
+use crate::partition_map::PartitionSnapshot;
+use crate::router::RoutePlan;
+use rand::SeedableRng;
+use rand_pcg::Pcg64;
+use shp_hypergraph::DataId;
+use shp_sharding_sim::LatencyModel;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// The synthetic record stored for `key`: a SplitMix64 hash, so that reads can be verified
+/// end-to-end (a wrong or missing value indicates a torn swap or routing bug).
+pub fn value_of(key: DataId) -> u64 {
+    let mut z = (key as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One in-memory KV shard.
+#[derive(Debug)]
+pub struct Shard {
+    /// Immutable records held by this shard.
+    data: HashMap<DataId, u64>,
+    /// Latency RNG, one stream per shard.
+    rng: Mutex<Pcg64>,
+    /// Number of batch requests served.
+    requests: AtomicU64,
+    /// Number of keys served.
+    keys_served: AtomicU64,
+}
+
+impl Shard {
+    fn new(keys: &[DataId], seed: u64) -> Self {
+        Shard {
+            data: keys.iter().map(|&k| (k, value_of(k))).collect(),
+            rng: Mutex::new(Pcg64::seed_from_u64(seed)),
+            requests: AtomicU64::new(0),
+            keys_served: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of records held.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the shard holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Number of batch requests this shard has served.
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Number of keys this shard has served (batch sizes summed).
+    pub fn keys_served(&self) -> u64 {
+        self.keys_served.load(Ordering::Relaxed)
+    }
+
+    /// Looks up one key.
+    pub fn get(&self, key: DataId) -> Option<u64> {
+        self.data.get(&key).copied()
+    }
+
+    /// Serves one batch: fetches every key and samples the request's service time.
+    fn serve(
+        &self,
+        shard_id: u32,
+        keys: &[DataId],
+        model: &LatencyModel,
+        out: &mut Vec<(DataId, u64)>,
+    ) -> Result<f64> {
+        for &key in keys {
+            let value = self
+                .data
+                .get(&key)
+                .copied()
+                .ok_or(ServingError::MissingKey {
+                    key,
+                    shard: shard_id,
+                })?;
+            out.push((key, value));
+        }
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.keys_served
+            .fetch_add(keys.len() as u64, Ordering::Relaxed);
+        let mut rng = self.rng.lock().expect("shard rng poisoned");
+        Ok(model.sample_request(&mut *rng, keys.len()))
+    }
+}
+
+/// The result of executing one routed multiget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchResults {
+    /// `(key, value)` pairs, concatenated in batch order.
+    pub values: Vec<(DataId, u64)>,
+    /// Simulated query latency: the maximum over the parallel per-shard requests.
+    pub latency: f64,
+}
+
+/// A set of shards holding one generation's records.
+#[derive(Debug)]
+pub struct ShardSet {
+    shards: Vec<Shard>,
+    model: LatencyModel,
+}
+
+impl ShardSet {
+    /// Builds the shard set for a placement snapshot. Every key of the snapshot is stored on
+    /// exactly the shard the snapshot assigns it to.
+    pub fn build(snapshot: &PartitionSnapshot, model: LatencyModel, seed: u64) -> Self {
+        let shards = snapshot
+            .keys_by_shard()
+            .iter()
+            .enumerate()
+            .map(|(shard_id, keys)| {
+                Shard::new(keys, seed ^ (snapshot.epoch() << 20) ^ shard_id as u64)
+            })
+            .collect();
+        ShardSet { shards, model }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> u32 {
+        self.shards.len() as u32
+    }
+
+    /// Number of records stored on each shard.
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.shards.iter().map(Shard::len).collect()
+    }
+
+    /// Number of batch requests each shard has served so far.
+    pub fn shard_requests(&self) -> Vec<u64> {
+        self.shards.iter().map(Shard::requests).collect()
+    }
+
+    /// Number of keys each shard has served so far (finer-grained load than request counts:
+    /// two shards can see the same request rate while one ships far more records).
+    pub fn shard_keys_served(&self) -> Vec<u64> {
+        self.shards.iter().map(Shard::keys_served).collect()
+    }
+
+    /// The latency model shards sample service times from.
+    pub fn latency_model(&self) -> &LatencyModel {
+        &self.model
+    }
+
+    /// Executes a routed multiget, one batch per contacted shard, sequentially in the calling
+    /// thread. The recorded latency is still the *parallel* semantics (max over batches);
+    /// engine-level concurrency comes from many client threads calling this simultaneously.
+    ///
+    /// # Errors
+    /// Returns [`ServingError::MissingKey`] if a batch references a key its shard does not
+    /// hold, which can only happen when a plan is replayed against a different generation.
+    pub fn execute(&self, plan: &RoutePlan) -> Result<BatchResults> {
+        let mut values = Vec::with_capacity(plan.num_keys());
+        let mut latency = 0.0f64;
+        for batch in &plan.batches {
+            let shard = self
+                .shards
+                .get(batch.shard as usize)
+                .ok_or(ServingError::MissingKey {
+                    key: batch.keys[0],
+                    shard: batch.shard,
+                })?;
+            let t = shard.serve(batch.shard, &batch.keys, &self.model, &mut values)?;
+            latency = latency.max(t);
+        }
+        Ok(BatchResults { values, latency })
+    }
+
+    /// Executes a routed multiget with one scoped thread per contacted shard — the literal
+    /// scatter-gather a real storage tier performs. Useful for demonstrations and tests; for
+    /// high-throughput replay prefer [`ShardSet::execute`] under concurrent clients, which
+    /// avoids per-query thread spawns.
+    ///
+    /// # Errors
+    /// Same contract as [`ShardSet::execute`].
+    pub fn execute_scatter_gather(&self, plan: &RoutePlan) -> Result<BatchResults> {
+        type BatchOutcome = Result<(Vec<(DataId, u64)>, f64)>;
+        let results: Vec<BatchOutcome> = std::thread::scope(|scope| {
+            let handles: Vec<_> = plan
+                .batches
+                .iter()
+                .map(|batch| {
+                    scope.spawn(move || {
+                        let shard = self.shards.get(batch.shard as usize).ok_or(
+                            ServingError::MissingKey {
+                                key: batch.keys[0],
+                                shard: batch.shard,
+                            },
+                        )?;
+                        let mut out = Vec::with_capacity(batch.keys.len());
+                        let t = shard.serve(batch.shard, &batch.keys, &self.model, &mut out)?;
+                        Ok((out, t))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        });
+        let mut values = Vec::with_capacity(plan.num_keys());
+        let mut latency = 0.0f64;
+        for result in results {
+            let (mut out, t) = result?;
+            values.append(&mut out);
+            latency = latency.max(t);
+        }
+        Ok(BatchResults { values, latency })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::ShardRouter;
+    use shp_hypergraph::{GraphBuilder, Partition};
+
+    fn snapshot(k: u32, assignment: Vec<u32>) -> PartitionSnapshot {
+        let mut b = GraphBuilder::new();
+        b.add_query(0..assignment.len() as u32);
+        let g = b.build().unwrap();
+        let p = Partition::from_assignment(&g, k, assignment).unwrap();
+        PartitionSnapshot::from_partition(&p, 0).unwrap()
+    }
+
+    #[test]
+    fn build_places_every_key_on_its_assigned_shard() {
+        let snap = snapshot(3, vec![0, 1, 2, 1, 0]);
+        let set = ShardSet::build(&snap, LatencyModel::default(), 1);
+        assert_eq!(set.num_shards(), 3);
+        assert_eq!(set.shard_sizes(), vec![2, 2, 1]);
+        for key in 0..5u32 {
+            let shard = snap.shard_of(key).unwrap();
+            assert_eq!(set.shards[shard as usize].get(key), Some(value_of(key)));
+        }
+    }
+
+    #[test]
+    fn execute_returns_every_key_exactly_once_with_correct_values() {
+        let snap = snapshot(4, vec![3, 1, 0, 2, 1, 3, 0, 2]);
+        let set = ShardSet::build(&snap, LatencyModel::default(), 2);
+        let plan = ShardRouter::new()
+            .route(&snap, &[6, 1, 3, 0, 7, 2])
+            .unwrap();
+        let results = set.execute(&plan).unwrap();
+        let mut keys: Vec<u32> = results.values.iter().map(|&(k, _)| k).collect();
+        keys.sort_unstable();
+        assert_eq!(keys, vec![0, 1, 2, 3, 6, 7]);
+        for (k, v) in results.values {
+            assert_eq!(v, value_of(k));
+        }
+        assert!(results.latency > 0.0);
+    }
+
+    #[test]
+    fn scatter_gather_matches_sequential_coverage() {
+        let snap = snapshot(4, (0..64).map(|v| v % 4).collect());
+        let set = ShardSet::build(&snap, LatencyModel::default(), 3);
+        let keys: Vec<u32> = (0..64).collect();
+        let plan = ShardRouter::new().route(&snap, &keys).unwrap();
+        let results = set.execute_scatter_gather(&plan).unwrap();
+        assert_eq!(results.values.len(), 64);
+        let mut seen: Vec<u32> = results.values.iter().map(|&(k, _)| k).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, keys);
+    }
+
+    #[test]
+    fn stale_plan_against_wrong_generation_is_detected() {
+        let old = snapshot(2, vec![0, 0, 1, 1]);
+        let new = snapshot(2, vec![1, 1, 0, 0]);
+        let set_new = ShardSet::build(&new, LatencyModel::default(), 4);
+        // A plan routed on the old snapshot fetches key 0 from shard 0; the new generation
+        // stores it on shard 1, so execution must fail loudly instead of dropping the key.
+        let stale_plan = ShardRouter::new().route(&old, &[0]).unwrap();
+        let err = set_new.execute(&stale_plan).unwrap_err();
+        assert_eq!(err, ServingError::MissingKey { key: 0, shard: 0 });
+    }
+
+    #[test]
+    fn request_counters_track_batches() {
+        let snap = snapshot(2, vec![0, 1, 0, 1]);
+        let set = ShardSet::build(&snap, LatencyModel::default(), 5);
+        let plan = ShardRouter::new().route(&snap, &[0, 1, 2, 3]).unwrap();
+        set.execute(&plan).unwrap();
+        set.execute(&plan).unwrap();
+        assert_eq!(set.shard_requests(), vec![2, 2]);
+        assert_eq!(set.shard_keys_served(), vec![4, 4]);
+    }
+
+    #[test]
+    fn values_are_deterministic_hashes() {
+        assert_eq!(value_of(7), value_of(7));
+        assert_ne!(value_of(7), value_of(8));
+    }
+}

@@ -1,0 +1,174 @@
+//! Synthetic open-loop multiget workloads.
+//!
+//! An *open-loop* load generator draws query arrival times from a Poisson process and never
+//! waits for completions — exactly the regime in which tail latency matters, because slow
+//! queries pile up instead of throttling the offered load. Queries are drawn from the
+//! workload graph's hyperedges (each hyperedge is one user's multiget, Section 2 of the
+//! paper), optionally skewed so a small hot set of queries receives a disproportionate share
+//! of the traffic, which is what makes a hot-key result cache effective.
+
+use rand::{Rng, SeedableRng};
+use rand_pcg::Pcg64;
+use shp_hypergraph::QueryId;
+
+/// Configuration of an open-loop workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadConfig {
+    /// Mean arrivals per unit of simulated time (the Poisson rate λ).
+    pub arrival_rate: f64,
+    /// Length of the simulated interval; the expected number of queries is
+    /// `arrival_rate * duration`.
+    pub duration: f64,
+    /// Fraction of queries forming the hot set (0 disables skew).
+    pub hot_fraction: f64,
+    /// Probability that an arrival draws from the hot set instead of the uniform body.
+    pub hot_probability: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            arrival_rate: 100.0,
+            duration: 100.0,
+            hot_fraction: 0.05,
+            hot_probability: 0.3,
+            seed: 0x5047,
+        }
+    }
+}
+
+/// One arrival of the open-loop schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadEvent {
+    /// Simulated arrival time.
+    pub at: f64,
+    /// The multiget to issue (an index into the workload graph's queries).
+    pub query: QueryId,
+}
+
+/// Generates the arrival schedule for a workload over `num_queries` distinct multigets.
+///
+/// Returns an empty schedule when the graph has no queries or the configured interval admits
+/// no arrivals. Deterministic for a fixed configuration.
+pub fn open_loop_schedule(num_queries: usize, config: &WorkloadConfig) -> Vec<WorkloadEvent> {
+    if num_queries == 0 || config.arrival_rate <= 0.0 || config.duration <= 0.0 {
+        return Vec::new();
+    }
+    let mut rng = Pcg64::seed_from_u64(config.seed);
+    let hot_set_size =
+        ((num_queries as f64 * config.hot_fraction.clamp(0.0, 1.0)) as usize).min(num_queries);
+    // A fixed pseudo-random permutation decides which queries are "hot", so the hot set is not
+    // biased toward low query ids (which generators often assign to the same community).
+    let mut permutation: Vec<QueryId> = (0..num_queries as QueryId).collect();
+    for i in (1..permutation.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        permutation.swap(i, j);
+    }
+
+    let mut events = Vec::with_capacity((config.arrival_rate * config.duration) as usize + 16);
+    let mut clock = 0.0f64;
+    loop {
+        // Exponential inter-arrival times: -ln(U) / λ.
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        clock += -u.ln() / config.arrival_rate;
+        if clock >= config.duration {
+            break;
+        }
+        let query = if hot_set_size > 0 && rng.gen_bool(config.hot_probability.clamp(0.0, 1.0)) {
+            permutation[rng.gen_range(0..hot_set_size)]
+        } else {
+            permutation[rng.gen_range(0..num_queries)]
+        };
+        events.push(WorkloadEvent { at: clock, query });
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_deterministic_and_ordered() {
+        let config = WorkloadConfig::default();
+        let a = open_loop_schedule(500, &config);
+        let b = open_loop_schedule(500, &config);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0].at <= w[1].at));
+        assert!(a
+            .iter()
+            .all(|e| e.at < config.duration && (e.query as usize) < 500));
+    }
+
+    #[test]
+    fn arrival_count_matches_the_rate() {
+        let config = WorkloadConfig {
+            arrival_rate: 50.0,
+            duration: 200.0,
+            ..Default::default()
+        };
+        let events = open_loop_schedule(100, &config);
+        let expected = 50.0 * 200.0;
+        assert!(
+            (events.len() as f64) > expected * 0.9 && (events.len() as f64) < expected * 1.1,
+            "got {} arrivals, expected about {expected}",
+            events.len()
+        );
+    }
+
+    #[test]
+    fn hot_set_receives_extra_traffic() {
+        let config = WorkloadConfig {
+            arrival_rate: 200.0,
+            duration: 100.0,
+            hot_fraction: 0.02,
+            hot_probability: 0.5,
+            seed: 9,
+        };
+        let num_queries = 1000;
+        let events = open_loop_schedule(num_queries, &config);
+        let mut counts = vec![0u64; num_queries];
+        for e in &events {
+            counts[e.query as usize] += 1;
+        }
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let hot_share: u64 = counts.iter().take(20).sum();
+        // 2% of queries should absorb roughly half the traffic (far above the 2% a uniform
+        // workload would give them).
+        assert!(
+            hot_share as f64 > events.len() as f64 * 0.35,
+            "hot 2% got only {hot_share} of {} events",
+            events.len()
+        );
+    }
+
+    #[test]
+    fn degenerate_configurations_yield_empty_schedules() {
+        assert!(open_loop_schedule(0, &WorkloadConfig::default()).is_empty());
+        let zero_rate = WorkloadConfig {
+            arrival_rate: 0.0,
+            ..Default::default()
+        };
+        assert!(open_loop_schedule(10, &zero_rate).is_empty());
+        let zero_duration = WorkloadConfig {
+            duration: 0.0,
+            ..Default::default()
+        };
+        assert!(open_loop_schedule(10, &zero_duration).is_empty());
+    }
+
+    #[test]
+    fn no_skew_when_hot_fraction_is_zero() {
+        let config = WorkloadConfig {
+            hot_fraction: 0.0,
+            hot_probability: 0.9,
+            arrival_rate: 100.0,
+            duration: 50.0,
+            ..Default::default()
+        };
+        let events = open_loop_schedule(50, &config);
+        assert!(!events.is_empty());
+    }
+}

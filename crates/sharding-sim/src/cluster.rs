@@ -97,7 +97,12 @@ impl ShardedCluster {
                     continue;
                 }
                 let (fanout, latency) = self.execute_query(&mut rng, records);
-                observations.push(QueryObservation { query: q, fanout, records: records.len(), latency });
+                observations.push(QueryObservation {
+                    query: q,
+                    fanout,
+                    records: records.len(),
+                    latency,
+                });
             }
         }
         summarize(&observations)
@@ -106,7 +111,12 @@ impl ShardedCluster {
     /// Runs the paper's "synthetic" experiment (Figure 4a): for each fanout `f` in
     /// `1..=max_fanout`, issues `samples` trivial queries touching `f` distinct shards and
     /// reports the latency percentiles per fanout.
-    pub fn synthetic_fanout_sweep(&self, max_fanout: u32, samples: usize, seed: u64) -> ReplayReport {
+    pub fn synthetic_fanout_sweep(
+        &self,
+        max_fanout: u32,
+        samples: usize,
+        seed: u64,
+    ) -> ReplayReport {
         let mut rng = Pcg64::seed_from_u64(seed);
         let mut observations = Vec::new();
         for fanout in 1..=max_fanout.min(self.num_shards.max(1)) {
@@ -142,7 +152,11 @@ fn summarize(observations: &[QueryObservation]) -> ReplayReport {
         .map(|(f, samples)| (f, LatencySummary::from_samples(&samples)))
         .collect();
     by_fanout.sort_by_key(|&(f, _)| f);
-    ReplayReport { average_fanout, overall: LatencySummary::from_samples(&all), by_fanout }
+    ReplayReport {
+        average_fanout,
+        overall: LatencySummary::from_samples(&all),
+        by_fanout,
+    }
 }
 
 #[cfg(test)]
@@ -161,7 +175,8 @@ mod tests {
         }
         let graph = b.build().unwrap();
         // Good placement: one community per shard. Bad placement: round-robin.
-        let good = Partition::from_assignment(&graph, 4, (0..40).map(|v| v / 10).collect()).unwrap();
+        let good =
+            Partition::from_assignment(&graph, 4, (0..40).map(|v| v / 10).collect()).unwrap();
         let bad = Partition::from_assignment(&graph, 4, (0..40).map(|v| v % 4).collect()).unwrap();
         (graph, good, bad)
     }
@@ -202,7 +217,10 @@ mod tests {
         assert_eq!(report.by_fanout.len(), 4);
         let means: Vec<f64> = report.by_fanout.iter().map(|(_, s)| s.mean).collect();
         for w in means.windows(2) {
-            assert!(w[1] > w[0] * 0.99, "latency should be (weakly) increasing: {means:?}");
+            assert!(
+                w[1] > w[0] * 0.99,
+                "latency should be (weakly) increasing: {means:?}"
+            );
         }
         assert!(means[3] > means[0] * 1.2);
     }

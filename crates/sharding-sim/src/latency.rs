@@ -92,7 +92,14 @@ impl LatencySummary {
     /// sample.
     pub fn from_samples(samples: &[f64]) -> Self {
         if samples.is_empty() {
-            return LatencySummary { count: 0, mean: 0.0, p50: 0.0, p90: 0.0, p95: 0.0, p99: 0.0 };
+            return LatencySummary {
+                count: 0,
+                mean: 0.0,
+                p50: 0.0,
+                p90: 0.0,
+                p95: 0.0,
+                p99: 0.0,
+            };
         }
         let mut sorted = samples.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
@@ -119,10 +126,16 @@ mod tests {
 
     #[test]
     fn single_request_mean_is_close_to_t() {
-        let model = LatencyModel { outlier_probability: 0.0, ..Default::default() };
+        let model = LatencyModel {
+            outlier_probability: 0.0,
+            ..Default::default()
+        };
         let mut rng = Pcg64::seed_from_u64(1);
         let n = 50_000;
-        let mean: f64 = (0..n).map(|_| model.sample_request(&mut rng, 1)).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| model.sample_request(&mut rng, 1))
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
     }
 
@@ -132,23 +145,40 @@ mod tests {
         let mut rng = Pcg64::seed_from_u64(2);
         let mean_for = |fanout: usize, rng: &mut Pcg64| {
             let records = vec![1usize; fanout];
-            (0..5_000).map(|_| model.sample_query(rng, &records)).sum::<f64>() / 5_000.0
+            (0..5_000)
+                .map(|_| model.sample_query(rng, &records))
+                .sum::<f64>()
+                / 5_000.0
         };
         let f1 = mean_for(1, &mut rng);
         let f10 = mean_for(10, &mut rng);
         let f40 = mean_for(40, &mut rng);
-        assert!(f10 > f1 * 1.3, "fanout 10 ({f10}) should be well above fanout 1 ({f1})");
-        assert!(f40 > f10 * 1.2, "fanout 40 ({f40}) should be above fanout 10 ({f10})");
+        assert!(
+            f10 > f1 * 1.3,
+            "fanout 10 ({f10}) should be well above fanout 1 ({f1})"
+        );
+        assert!(
+            f40 > f10 * 1.2,
+            "fanout 40 ({f40}) should be above fanout 10 ({f10})"
+        );
     }
 
     #[test]
     fn per_record_cost_penalizes_skewed_requests() {
-        let model = LatencyModel { per_record_cost: 0.01, outlier_probability: 0.0, ..Default::default() };
+        let model = LatencyModel {
+            per_record_cost: 0.01,
+            outlier_probability: 0.0,
+            ..Default::default()
+        };
         let mut rng = Pcg64::seed_from_u64(3);
-        let even: f64 =
-            (0..5_000).map(|_| model.sample_query(&mut rng, &[50, 50])).sum::<f64>() / 5_000.0;
-        let skewed: f64 =
-            (0..5_000).map(|_| model.sample_query(&mut rng, &[99, 1])).sum::<f64>() / 5_000.0;
+        let even: f64 = (0..5_000)
+            .map(|_| model.sample_query(&mut rng, &[50, 50]))
+            .sum::<f64>()
+            / 5_000.0;
+        let skewed: f64 = (0..5_000)
+            .map(|_| model.sample_query(&mut rng, &[99, 1]))
+            .sum::<f64>()
+            / 5_000.0;
         assert!(skewed > even, "skewed {skewed} should exceed even {even}");
     }
 

@@ -21,7 +21,10 @@ pub struct EngineConfig {
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        EngineConfig { num_workers: 4, max_supersteps: 1_000 }
+        EngineConfig {
+            num_workers: 4,
+            max_supersteps: 1_000,
+        }
     }
 }
 
@@ -29,7 +32,10 @@ impl EngineConfig {
     /// Creates a configuration with the given worker count and superstep limit.
     pub fn new(num_workers: usize, max_supersteps: usize) -> Self {
         assert!(num_workers > 0, "need at least one worker");
-        EngineConfig { num_workers, max_supersteps }
+        EngineConfig {
+            num_workers,
+            max_supersteps,
+        }
     }
 }
 
@@ -105,7 +111,12 @@ impl<P: VertexProgram> Engine<P> {
     ///
     /// # Panics
     /// Panics if `initial_values.len() != topology.num_vertices()`.
-    pub fn new(program: P, topology: Topology, initial_values: Vec<P::Value>, config: EngineConfig) -> Self {
+    pub fn new(
+        program: P,
+        topology: Topology,
+        initial_values: Vec<P::Value>,
+        config: EngineConfig,
+    ) -> Self {
         assert_eq!(
             initial_values.len(),
             topology.num_vertices(),
@@ -113,7 +124,10 @@ impl<P: VertexProgram> Engine<P> {
         );
         let w = config.num_workers;
         let mut workers: Vec<WorkerState<P::Value>> = (0..w)
-            .map(|_| WorkerState { values: Vec::new(), halted: Vec::new() })
+            .map(|_| WorkerState {
+                values: Vec::new(),
+                halted: Vec::new(),
+            })
             .collect();
         for (v, value) in initial_values.into_iter().enumerate() {
             let worker = v % w;
@@ -158,7 +172,9 @@ impl<P: VertexProgram> Engine<P> {
 
     /// All vertex values, in vertex-id order.
     pub fn values(&self) -> Vec<P::Value> {
-        (0..self.num_vertices() as u32).map(|v| self.value(v).clone()).collect()
+        (0..self.num_vertices() as u32)
+            .map(|v| self.value(v).clone())
+            .collect()
     }
 
     /// Runs supersteps until the master halts, every vertex is halted with no pending messages,
@@ -199,12 +215,13 @@ impl<P: VertexProgram> Engine<P> {
             .map(|(worker_idx, (state, inbox))| {
                 let local_count = state.values.len();
                 let (messages, combined) =
-                    group_by_vertex(inbox, num_workers, local_count, |a, b| program.combine(a, b));
+                    group_by_vertex(inbox, num_workers, local_count, |a, b| {
+                        program.combine(a, b)
+                    });
                 let mut outbox = WorkerOutbox::new(worker_idx, num_workers);
                 let mut aggregate = P::Aggregate::default();
                 let mut active = 0usize;
-                for local in 0..local_count {
-                    let incoming = &messages[local];
+                for (local, incoming) in messages.iter().enumerate() {
                     if state.halted[local] && incoming.is_empty() {
                         continue;
                     }
@@ -227,12 +244,20 @@ impl<P: VertexProgram> Engine<P> {
                     }
                     state.halted[local] = halt;
                 }
-                WorkerStepResult { outbox, aggregate, active, combined }
+                WorkerStepResult {
+                    outbox,
+                    aggregate,
+                    active,
+                    combined,
+                }
             })
             .collect();
 
         // Collect metrics and the merged aggregate deterministically (worker-index order).
-        let mut step_metrics = SuperstepMetrics { superstep, ..Default::default() };
+        let mut step_metrics = SuperstepMetrics {
+            superstep,
+            ..Default::default()
+        };
         let mut merged = P::Aggregate::default();
         let mut outboxes = Vec::with_capacity(num_workers);
         for result in results {
@@ -388,8 +413,16 @@ mod tests {
         let initial: Vec<u32> = (0..9).collect();
         let mut engine = Engine::new(MinLabel, topology, initial, EngineConfig::new(2, 50));
         engine.run();
-        let combined: u64 = engine.metrics().supersteps.iter().map(|s| s.combined_messages).sum();
-        assert!(combined > 0, "the min combiner should merge messages to the hub");
+        let combined: u64 = engine
+            .metrics()
+            .supersteps
+            .iter()
+            .map(|s| s.combined_messages)
+            .sum();
+        assert!(
+            combined > 0,
+            "the min combiner should merge messages to the hub"
+        );
         assert!(engine.values().iter().all(|&v| v == 0));
     }
 
@@ -428,8 +461,12 @@ mod tests {
     #[test]
     fn master_halt_and_global_broadcast() {
         let topology = TopologyBuilder::new(4).build();
-        let mut engine =
-            Engine::new(CountDown { limit: 3 }, topology, vec![0usize; 4], EngineConfig::new(2, 100));
+        let mut engine = Engine::new(
+            CountDown { limit: 3 },
+            topology,
+            vec![0usize; 4],
+            EngineConfig::new(2, 100),
+        );
         let steps = engine.run();
         assert_eq!(steps, 3);
         // In the last superstep (index 2) vertices observed the global set after superstep 1,
@@ -442,7 +479,12 @@ mod tests {
     fn value_accessor_matches_values_order() {
         let topology = TopologyBuilder::new(7).build();
         let initial: Vec<u32> = (0..7).map(|v| v * 10).collect();
-        let engine = Engine::new(MinLabel, topology, initial.clone(), EngineConfig::new(3, 10));
+        let engine = Engine::new(
+            MinLabel,
+            topology,
+            initial.clone(),
+            EngineConfig::new(3, 10),
+        );
         for v in 0..7u32 {
             assert_eq!(*engine.value(v), initial[v as usize]);
         }
@@ -452,8 +494,12 @@ mod tests {
     #[test]
     fn into_parts_returns_everything() {
         let topology = two_components_topology();
-        let mut engine =
-            Engine::new(MinLabel, topology, (0..5).collect(), EngineConfig::new(2, 50));
+        let mut engine = Engine::new(
+            MinLabel,
+            topology,
+            (0..5).collect(),
+            EngineConfig::new(2, 50),
+        );
         engine.run();
         let (values, _global, metrics) = engine.into_parts();
         assert_eq!(values, vec![0, 1, 0, 1, 0]);

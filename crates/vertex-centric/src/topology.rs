@@ -51,7 +51,9 @@ pub struct TopologyBuilder {
 impl TopologyBuilder {
     /// Creates a builder for a graph with `num_vertices` vertices and no edges.
     pub fn new(num_vertices: usize) -> Self {
-        TopologyBuilder { adjacency: vec![Vec::new(); num_vertices] }
+        TopologyBuilder {
+            adjacency: vec![Vec::new(); num_vertices],
+        }
     }
 
     /// Adds a directed edge `from → to`.
@@ -59,7 +61,10 @@ impl TopologyBuilder {
     /// # Panics
     /// Panics if either endpoint is out of range.
     pub fn add_edge(&mut self, from: u32, to: u32) {
-        assert!((to as usize) < self.adjacency.len(), "edge target {to} out of range");
+        assert!(
+            (to as usize) < self.adjacency.len(),
+            "edge target {to} out of range"
+        );
         self.adjacency[from as usize].push(to);
     }
 
@@ -72,7 +77,10 @@ impl TopologyBuilder {
     /// Sets the full out-neighbor list of a vertex at once (replacing any previous edges).
     pub fn set_neighbors(&mut self, v: u32, neighbors: Vec<u32>) {
         for &n in &neighbors {
-            assert!((n as usize) < self.adjacency.len(), "edge target {n} out of range");
+            assert!(
+                (n as usize) < self.adjacency.len(),
+                "edge target {n} out of range"
+            );
         }
         self.adjacency[v as usize] = neighbors;
     }

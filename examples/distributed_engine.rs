@@ -7,7 +7,11 @@ use shp::core::{partition_distributed, ShpConfig};
 use shp::datagen::{social_graph, SocialGraphConfig};
 
 fn main() {
-    let graph = social_graph(&SocialGraphConfig { num_users: 10_000, seed: 5, ..Default::default() });
+    let graph = social_graph(&SocialGraphConfig {
+        num_users: 10_000,
+        seed: 5,
+        ..Default::default()
+    });
     println!(
         "graph: {} users, {} edges; partitioning into 32 buckets on 4 simulated workers\n",
         graph.num_data(),
@@ -21,12 +25,19 @@ fn main() {
     println!("iterations     : {}", result.history.len());
     println!("supersteps     : {}", result.metrics.num_supersteps());
     println!("messages sent  : {}", result.metrics.total_messages());
-    println!("remote messages: {} ({:.0}%)", result.metrics.total_remote_messages(), result.metrics.remote_fraction() * 100.0);
+    println!(
+        "remote messages: {} ({:.0}%)",
+        result.metrics.total_remote_messages(),
+        result.metrics.remote_fraction() * 100.0
+    );
     println!("bytes sent     : {}", result.metrics.total_bytes());
     println!("wall time      : {:.2?}", result.elapsed);
 
     println!("\nfanout per iteration (first 10):");
     for stat in result.history.iter().take(10) {
-        println!("  iteration {:>2}: fanout {:.3}, moved {:>6}", stat.iteration, stat.fanout, stat.moved);
+        println!(
+            "  iteration {:>2}: fanout {:.3}, moved {:>6}",
+            stat.iteration, stat.fanout, stat.moved
+        );
     }
 }

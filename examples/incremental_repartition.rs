@@ -11,10 +11,17 @@ use shp::hypergraph::average_fanout;
 fn main() {
     let servers = 16;
     // The original workload and its SHP partition.
-    let original = social_graph(&SocialGraphConfig { num_users: 8_000, seed: 11, ..Default::default() });
+    let original = social_graph(&SocialGraphConfig {
+        num_users: 8_000,
+        seed: 11,
+        ..Default::default()
+    });
     let config = ShpConfig::recursive_bisection(servers).with_seed(11);
     let baseline = partition_recursive(&original, &config).expect("valid configuration");
-    println!("original workload fanout: {:.3}", baseline.report.final_fanout);
+    println!(
+        "original workload fanout: {:.3}",
+        baseline.report.final_fanout
+    );
 
     // The workload evolves: a new crop of users and friendships (same user universe here; in
     // production the assignment of new ids would be extended by hashing).
@@ -35,14 +42,22 @@ fn main() {
     let incremental = partition_incremental(
         &evolved,
         &config_k,
-        &IncrementalConfig { movement_penalty: 0.2, max_moved_fraction: 0.2 },
+        &IncrementalConfig {
+            movement_penalty: 0.2,
+            max_moved_fraction: 0.2,
+        },
         &baseline.partition,
     )
     .expect("matching partition");
 
     let full_moved = full.partition.hamming_distance(&baseline.partition);
     let incremental_moved = incremental.partition.hamming_distance(&baseline.partition);
-    println!("\nfull recomputation : fanout {:.3}, {} of {} records moved", full.report.final_fanout, full_moved, evolved.num_data());
+    println!(
+        "\nfull recomputation : fanout {:.3}, {} of {} records moved",
+        full.report.final_fanout,
+        full_moved,
+        evolved.num_data()
+    );
     println!(
         "incremental update : fanout {:.3}, {} of {} records moved",
         incremental.report.final_fanout,

@@ -8,7 +8,9 @@ use shp::core::{partition_recursive, ObjectiveKind, ShpConfig};
 use shp::datagen::Dataset;
 
 fn main() {
-    let graph = Dataset::SocEpinions.generate(0.05, 3).filter_small_queries(2);
+    let graph = Dataset::SocEpinions
+        .generate(0.05, 3)
+        .filter_small_queries(2);
     println!(
         "soc-Epinions stand-in: |Q| = {}, |D| = {}, |E| = {}\n",
         graph.num_queries(),
@@ -17,14 +19,19 @@ fn main() {
     );
 
     let objectives = [
-        ("p-fanout (p = 0.5)", ObjectiveKind::ProbabilisticFanout { p: 0.5 }),
+        (
+            "p-fanout (p = 0.5)",
+            ObjectiveKind::ProbabilisticFanout { p: 0.5 },
+        ),
         ("direct fanout (p = 1)", ObjectiveKind::Fanout),
         ("clique-net (p -> 0)", ObjectiveKind::CliqueNet),
     ];
     println!("{:<26}{:<8}{:<12}", "objective", "k", "final fanout");
     for k in [8u32, 32] {
         for (name, objective) in objectives {
-            let config = ShpConfig::recursive_bisection(k).with_objective(objective).with_seed(3);
+            let config = ShpConfig::recursive_bisection(k)
+                .with_objective(objective)
+                .with_seed(3);
             let result = partition_recursive(&graph, &config).expect("valid configuration");
             println!("{:<26}{:<8}{:<12.3}", name, k, result.report.final_fanout);
         }

@@ -21,8 +21,14 @@ fn main() {
     let result = partitioner.partition(&graph);
 
     println!("bucket assignment: {:?}", result.partition.assignment());
-    println!("average fanout   : {:.3}", average_fanout(&graph, &result.partition));
-    println!("average p-fanout : {:.3}", average_p_fanout(&graph, &result.partition, 0.5));
+    println!(
+        "average fanout   : {:.3}",
+        average_fanout(&graph, &result.partition)
+    );
+    println!(
+        "average p-fanout : {:.3}",
+        average_p_fanout(&graph, &result.partition, 0.5)
+    );
     println!("imbalance        : {:.3}", result.partition.imbalance());
     println!("iterations       : {}", result.report.total_iterations());
 

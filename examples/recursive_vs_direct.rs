@@ -16,7 +16,10 @@ fn main() {
         graph.num_data(),
         graph.num_edges()
     );
-    println!("{:<8}{:<10}{:<14}{:<14}{:<12}", "k", "variant", "fanout", "imbalance", "time");
+    println!(
+        "{:<8}{:<10}{:<14}{:<14}{:<12}",
+        "k", "variant", "fanout", "imbalance", "time"
+    );
 
     for k in [8u32, 32, 128] {
         let start = Instant::now();
@@ -25,8 +28,8 @@ fn main() {
         let shp2_time = start.elapsed();
 
         let start = Instant::now();
-        let shpk =
-            partition_direct(&graph, &ShpConfig::direct(k).with_seed(1)).expect("valid configuration");
+        let shpk = partition_direct(&graph, &ShpConfig::direct(k).with_seed(1))
+            .expect("valid configuration");
         let shpk_time = start.elapsed();
 
         println!(

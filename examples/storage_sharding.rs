@@ -20,16 +20,28 @@ fn main() {
         cross_community_fraction: 0.08,
         seed: 7,
     });
-    println!("workload: {} users, {} fetch edges", graph.num_data(), graph.num_edges());
+    println!(
+        "workload: {} users, {} fetch edges",
+        graph.num_data(),
+        graph.num_edges()
+    );
 
     // Random sharding (the production default before locality optimization).
     let random = RandomPartitioner::new(7).partition(&graph, servers, 0.05);
     // Social sharding with SHP-2.
     let config = ShpConfig::recursive_bisection(servers).with_seed(7);
-    let shp = partition_recursive(&graph, &config).expect("valid configuration").partition;
+    let shp = partition_recursive(&graph, &config)
+        .expect("valid configuration")
+        .partition;
 
-    println!("random sharding fanout: {:.2}", average_fanout(&graph, &random));
-    println!("SHP sharding fanout   : {:.2}", average_fanout(&graph, &shp));
+    println!(
+        "random sharding fanout: {:.2}",
+        average_fanout(&graph, &random)
+    );
+    println!(
+        "SHP sharding fanout   : {:.2}",
+        average_fanout(&graph, &shp)
+    );
 
     // Replay the workload against simulated clusters and compare latency percentiles.
     let model = LatencyModel::default();

@@ -16,6 +16,8 @@
 //! * [`baselines`] — comparison partitioners (random, hash, greedy, label propagation,
 //!   multilevel FM).
 //! * [`sharding_sim`] — the fanout-vs-latency storage sharding simulator.
+//! * [`serving`] — the online partition-aware multiget serving engine with live repartition
+//!   swap.
 //!
 //! # Quickstart
 //!
@@ -40,5 +42,6 @@ pub use shp_baselines as baselines;
 pub use shp_core as core;
 pub use shp_datagen as datagen;
 pub use shp_hypergraph as hypergraph;
+pub use shp_serving as serving;
 pub use shp_sharding_sim as sharding_sim;
 pub use shp_vertex_centric as vertex_centric;

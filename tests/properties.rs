@@ -136,6 +136,55 @@ proptest! {
         );
     }
 
+    /// The serving router's batches exactly cover each query's distinct ids: every requested
+    /// id appears in exactly one batch, on exactly the shard its partition assigns it to, and
+    /// the plan's fanout equals the metric-layer fanout of the query.
+    #[test]
+    fn router_batches_exactly_cover_each_query(
+        edges in arb_hypergraph(40, 30),
+        k in 2u32..9,
+        seed in 0u64..1000,
+    ) {
+        let graph = GraphBuilder::from_hyperedges(edges).unwrap();
+        prop_assume!(graph.num_data() > 0);
+        let mut rng = rand::SeedableRng::seed_from_u64(seed);
+        let partition = Partition::new_random(&graph, k, &mut rng as &mut rand_pcg::Pcg64).unwrap();
+        let snapshot = shp::serving::PartitionSnapshot::from_partition(&partition, 0).unwrap();
+        let router = shp::serving::ShardRouter::new();
+        for q in graph.queries() {
+            let keys = graph.query_neighbors(q);
+            let plan = router.route(&snapshot, keys).unwrap();
+
+            // Batches target pairwise distinct shards, and each key sits on its own shard.
+            let shards: Vec<u32> = plan.batches.iter().map(|b| b.shard).collect();
+            let mut unique_shards = shards.clone();
+            unique_shards.sort_unstable();
+            unique_shards.dedup();
+            prop_assert_eq!(unique_shards.len(), shards.len());
+            for batch in &plan.batches {
+                for &key in &batch.keys {
+                    prop_assert_eq!(partition.bucket_of(key), batch.shard);
+                }
+            }
+
+            // The union of the batches is exactly the query's distinct id set — no id dropped,
+            // none served twice across shards.
+            let mut covered: Vec<u32> =
+                plan.batches.iter().flat_map(|b| b.keys.iter().copied()).collect();
+            covered.sort_unstable();
+            let before_dedup = covered.len();
+            covered.dedup();
+            prop_assert_eq!(covered.len(), before_dedup);
+            let mut expected: Vec<u32> = keys.to_vec();
+            expected.sort_unstable();
+            expected.dedup();
+            prop_assert_eq!(covered, expected);
+
+            // Fanout agrees with the metrics layer.
+            prop_assert_eq!(plan.fanout(), metrics::query_fanout(&graph, &partition, q));
+        }
+    }
+
     /// Fanout histograms are consistent with the scalar metrics.
     #[test]
     fn fanout_histogram_matches_average(

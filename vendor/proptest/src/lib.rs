@@ -1,0 +1,186 @@
+//! Vendored stand-in for the [`proptest`](https://crates.io/crates/proptest) crate.
+//!
+//! Implements the generate-and-check core of property testing for the API subset used by this
+//! workspace: the [`Strategy`] trait over ranges / tuples / `collection::vec`, the
+//! [`proptest!`] macro with an optional `#![proptest_config(...)]` header, and the
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!` macros. Failing cases report the inputs
+//! that triggered the failure but are **not shrunk** (the real crate's minimization machinery
+//! is out of scope for an offline shim); each test draws from a deterministic RNG seeded from
+//! the test's name, so failures reproduce across runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-importable surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{ProptestConfig, Strategy, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Declares property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///
+///     #[test]
+///     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::strategy::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; do not invoke directly.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:pat in $strategy:expr),* $(,)? ) $body:block
+    )* ) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::strategy::ProptestConfig = $config;
+            let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            let mut accepted: u32 = 0;
+            let mut rejected: u32 = 0;
+            while accepted < config.cases {
+                let case = ($($crate::strategy::Strategy::generate(&$strategy, &mut rng),)*);
+                // Render the inputs up front: the body may consume them by value.
+                let inputs = ::std::format!("{case:#?}");
+                let ($($arg,)*) = case;
+                let outcome: ::std::result::Result<(), $crate::strategy::TestCaseError> =
+                    (|| {
+                        { $body }
+                        ::std::result::Result::Ok(())
+                    })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => accepted += 1,
+                    ::std::result::Result::Err($crate::strategy::TestCaseError::Reject) => {
+                        rejected += 1;
+                        ::std::assert!(
+                            rejected < 256 + 16 * config.cases,
+                            "{}: too many prop_assume! rejections ({} accepted cases)",
+                            stringify!($name),
+                            accepted
+                        );
+                    }
+                    ::std::result::Result::Err($crate::strategy::TestCaseError::Fail(message)) => {
+                        ::std::panic!(
+                            "property {} failed after {} passing case(s): {}\ninputs ({}):\n{}",
+                            stringify!($name),
+                            accepted,
+                            message,
+                            stringify!($($arg),*),
+                            inputs
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Fails the enclosing property when the condition is false (with an optional format message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::strategy::TestCaseError::Fail(
+                ::std::format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fails the enclosing property when the two expressions are unequal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        $crate::prop_assert!($left == $right, $($fmt)*)
+    };
+}
+
+/// Discards the current case (without failing) when the precondition is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::strategy::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 5u32..10, y in 0.25f64..0.75, z in 1usize..4) {
+            prop_assert!((5..10).contains(&x));
+            prop_assert!((0.25..0.75).contains(&y));
+            prop_assert!((1..4).contains(&z));
+        }
+
+        #[test]
+        fn vec_strategy_respects_length(v in prop::collection::vec(0u32..100, 2..8usize)) {
+            prop_assert!(v.len() >= 2 && v.len() < 8);
+            prop_assert!(v.iter().all(|&x| x < 100));
+        }
+
+        #[test]
+        fn tuples_and_assume_work((a, b) in (0u32..50, 0u32..50)) {
+            prop_assume!(a != b);
+            prop_assert!(a != b);
+        }
+
+        #[test]
+        fn nested_vecs_compose(vv in prop::collection::vec(prop::collection::vec(0u32..10, 1..4usize), 1..5usize)) {
+            prop_assert!(!vv.is_empty());
+            prop_assert!(vv.iter().all(|v| (1..4).contains(&v.len())));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property always_fails failed")]
+    fn failing_property_reports_inputs() {
+        proptest! {
+            fn always_fails(x in 0u32..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}

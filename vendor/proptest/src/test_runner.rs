@@ -1,0 +1,30 @@
+//! The deterministic RNG driving every property.
+
+use rand::SeedableRng;
+use rand_pcg::Pcg64;
+
+/// RNG handed to strategies. Seeded from the property's name (FNV-1a), so every run of the
+/// same test binary replays the same cases; there is no environment-variable override.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    rng: Pcg64,
+}
+
+impl TestRng {
+    /// Creates the RNG for the named test.
+    pub fn for_test(name: &str) -> Self {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng {
+            rng: Pcg64::seed_from_u64(hash),
+        }
+    }
+
+    /// The underlying generator.
+    pub fn rng(&mut self) -> &mut Pcg64 {
+        &mut self.rng
+    }
+}

@@ -1,0 +1,245 @@
+//! Vendored stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment of this repository has no network access, so the workspace ships a
+//! minimal, dependency-free implementation of exactly the `rand 0.8` API subset its crates
+//! use: [`RngCore`], [`Rng`] (`gen_range`, `gen_bool`), [`SeedableRng`]
+//! (`from_seed`, `seed_from_u64`), and [`seq::SliceRandom`] (`shuffle`, `choose`).
+//!
+//! The integer `gen_range` uses the widening-multiply bounded-sample technique and the float
+//! version the standard 53-bit mantissa construction, so the statistical quality matches what
+//! the workspace's tests assume. Streams are **not** bit-compatible with the real `rand`
+//! crate; all determinism guarantees in this repository are relative to these shims.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core of every random number generator: a source of uniform `u64`s.
+pub trait RngCore {
+    /// Returns the next pseudo-random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next pseudo-random `u32` (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+}
+
+/// User-facing sampling methods, implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a uniform value from `range` (a half-open or inclusive range of a primitive
+    /// integer or float type).
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        if p >= 1.0 {
+            return true;
+        }
+        if p <= 0.0 {
+            return false;
+        }
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A range that can produce a single uniform sample. Mirrors `rand::distributions::uniform::
+/// SampleRange` for the primitive types the workspace draws from.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    ///
+    /// # Panics
+    /// Panics when the range is empty.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Maps a raw `u64` to the unit interval `[0, 1)` with 53 bits of precision.
+#[inline]
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Multiply-shift bounded sampling: uniform in `[0, span)` without modulo bias worth noticing
+/// for the span sizes used here.
+#[inline]
+fn bounded_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+}
+
+macro_rules! impl_int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start + bounded_u64(rng, span) as $t
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample from empty range");
+                let span = (end as u64).wrapping_sub(start as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full-width inclusive range of a 64-bit type.
+                    return rng.next_u64() as $t;
+                }
+                start + bounded_u64(rng, span) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_sample_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_float_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                self.start + (self.end - self.start) * unit_f64(rng.next_u64()) as $t
+            }
+        }
+    )*};
+}
+
+impl_float_sample_range!(f32, f64);
+
+/// A generator that can be constructed from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// Raw seed type (a byte array).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Builds the generator from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64` by expanding it with SplitMix64, exactly like the
+    /// real `rand` crate's provided method (so distinct small seeds give unrelated streams).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            for (dst, src) in chunk.iter_mut().zip(z.to_le_bytes()) {
+                *dst = src;
+            }
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Random sequence operations (`rand::seq`).
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Shuffling and random element selection on slices.
+    pub trait SliceRandom {
+        /// Element type of the slice.
+        type Item;
+
+        /// Fisher–Yates shuffle of the whole slice.
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+
+        /// A uniformly random element, or `None` for an empty slice.
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::seq::SliceRandom;
+    use super::*;
+
+    struct Counter(u64);
+
+    impl RngCore for Counter {
+        fn next_u64(&mut self) -> u64 {
+            // A deliberately weak generator: good enough to exercise the range plumbing.
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Counter(7);
+        for _ in 0..1000 {
+            let a = rng.gen_range(3u32..17);
+            assert!((3..17).contains(&a));
+            let b = rng.gen_range(0usize..=4);
+            assert!(b <= 4);
+            let c = rng.gen_range(-0.0f64..1.0);
+            assert!((0.0..1.0).contains(&c));
+        }
+    }
+
+    #[test]
+    fn gen_bool_handles_extremes() {
+        let mut rng = Counter(1);
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+        let hits = (0..4000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((700..1300).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Counter(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert!(v.choose(&mut rng).is_some());
+        let empty: [u32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}

@@ -1,0 +1,112 @@
+//! Vendored stand-in for the [`rand_pcg`](https://crates.io/crates/rand_pcg) crate.
+//!
+//! Implements the PCG-64 generator (XSL-RR output over a 128-bit LCG state), which is the
+//! algorithm behind `rand_pcg::Pcg64`. Streams are deterministic per seed but not guaranteed
+//! bit-compatible with the crates.io implementation; everything in this repository that relies
+//! on reproducibility seeds through this shim.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::{RngCore, SeedableRng};
+
+/// Default multiplier of the 128-bit PCG LCG step.
+const MULTIPLIER: u128 = 0x2360_ED05_1FC6_5DA4_4385_DF64_9FCC_F645;
+
+/// A PCG-64 generator: 128 bits of LCG state, 64-bit XSL-RR output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pcg64 {
+    state: u128,
+    increment: u128,
+}
+
+impl Pcg64 {
+    /// Creates a generator from an explicit state and stream selector.
+    pub fn new(state: u128, stream: u128) -> Self {
+        // The increment of a PCG stream must be odd.
+        let increment = (stream << 1) | 1;
+        let mut rng = Pcg64 {
+            state: state.wrapping_add(increment),
+            increment,
+        };
+        rng.step();
+        rng
+    }
+
+    #[inline]
+    fn step(&mut self) {
+        self.state = self
+            .state
+            .wrapping_mul(MULTIPLIER)
+            .wrapping_add(self.increment);
+    }
+
+    /// XSL-RR: xor the state halves, rotate by the top 6 state bits.
+    #[inline]
+    fn output(state: u128) -> u64 {
+        let rotate = (state >> 122) as u32;
+        let xored = ((state >> 64) as u64) ^ (state as u64);
+        xored.rotate_right(rotate)
+    }
+}
+
+impl RngCore for Pcg64 {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.step();
+        Self::output(self.state)
+    }
+}
+
+impl SeedableRng for Pcg64 {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut state = [0u8; 16];
+        let mut stream = [0u8; 16];
+        state.copy_from_slice(&seed[..16]);
+        stream.copy_from_slice(&seed[16..]);
+        Pcg64::new(u128::from_le_bytes(state), u128::from_le_bytes(stream))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Pcg64::seed_from_u64(42);
+        let mut b = Pcg64::seed_from_u64(42);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Pcg64::seed_from_u64(1);
+        let mut b = Pcg64::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn output_is_roughly_uniform() {
+        let mut rng = Pcg64::seed_from_u64(7);
+        let n = 100_000;
+        let mean = (0..n).map(|_| (rng.next_u64() >> 11) as f64).sum::<f64>() / n as f64;
+        let expected = (1u64 << 52) as f64; // midpoint of the 53-bit range
+        assert!((mean / expected - 1.0).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn bits_are_balanced() {
+        let mut rng = Pcg64::seed_from_u64(9);
+        let ones: u32 = (0..10_000).map(|_| rng.next_u64().count_ones()).sum();
+        let frac = ones as f64 / (10_000.0 * 64.0);
+        assert!((frac - 0.5).abs() < 0.01, "one-bit fraction {frac}");
+    }
+}

@@ -1,0 +1,106 @@
+//! Vendored stand-in for the [`rayon`](https://crates.io/crates/rayon) crate.
+//!
+//! The shim maps rayon's parallel-iterator entry points (`into_par_iter`, `par_iter`,
+//! `par_iter_mut`) onto the corresponding **sequential** standard-library iterators, so all
+//! downstream adapter chains (`map`, `filter_map`, `zip`, `enumerate`, `collect`, ...) are the
+//! plain [`Iterator`] methods and behave identically — minus the parallelism. Results are
+//! therefore deterministic and ordered, which the workspace's refinement pipeline relies on;
+//! code that needs real threads (e.g. `shp-serving`) uses `std::thread::scope` directly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Entry-point traits, mirroring `rayon::prelude`.
+pub mod prelude {
+    /// Conversion into a "parallel" (here: sequential) iterator by value.
+    pub trait IntoParallelIterator {
+        /// Item type of the iterator.
+        type Item;
+        /// Concrete iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+
+        /// Consumes `self`, yielding an iterator over its items.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Item = I::Item;
+        type Iter = I::IntoIter;
+
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// Borrowing counterpart of [`IntoParallelIterator`] (`par_iter`).
+    pub trait IntoParallelRefIterator<'data> {
+        /// Item type of the iterator.
+        type Item: 'data;
+        /// Concrete iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+
+        /// Iterates over shared references to the items.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, C: 'data + ?Sized> IntoParallelRefIterator<'data> for C
+    where
+        &'data C: IntoIterator,
+    {
+        type Item = <&'data C as IntoIterator>::Item;
+        type Iter = <&'data C as IntoIterator>::IntoIter;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// Mutably borrowing counterpart of [`IntoParallelIterator`] (`par_iter_mut`).
+    pub trait IntoParallelRefMutIterator<'data> {
+        /// Item type of the iterator.
+        type Item: 'data;
+        /// Concrete iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+
+        /// Iterates over mutable references to the items.
+        fn par_iter_mut(&'data mut self) -> Self::Iter;
+    }
+
+    impl<'data, C: 'data + ?Sized> IntoParallelRefMutIterator<'data> for C
+    where
+        &'data mut C: IntoIterator,
+    {
+        type Item = <&'data mut C as IntoIterator>::Item;
+        type Iter = <&'data mut C as IntoIterator>::IntoIter;
+
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}
+
+/// Returns the number of threads rayon would use; the sequential shim always reports 1.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn entry_points_behave_like_std_iterators() {
+        let doubled: Vec<u32> = (0u32..5).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![0, 2, 4, 6, 8]);
+
+        let v = vec![1, 2, 3];
+        let sum: i32 = v.par_iter().sum();
+        assert_eq!(sum, 6);
+
+        let mut w = vec![1, 2, 3];
+        w.par_iter_mut()
+            .zip(vec![10, 20, 30].into_par_iter())
+            .for_each(|(a, b)| *a += b);
+        assert_eq!(w, vec![11, 22, 33]);
+    }
+}

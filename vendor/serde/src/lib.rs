@@ -1,0 +1,175 @@
+//! Vendored stand-in for the [`serde`](https://crates.io/crates/serde) framework.
+//!
+//! The workspace annotates its data types with `#[derive(Serialize, Deserialize)]` so that a
+//! real serialization backend can be enabled once the build environment has registry access.
+//! Offline, this shim provides:
+//!
+//! * the [`Serialize`] / [`Deserialize`] traits with primitive impls (enough for the
+//!   `#[serde(with = "...")]` helper modules in the workspace, which serialize through `u64`),
+//! * skeletal [`Serializer`] / [`Deserializer`] traits, and
+//! * no-op derive macros re-exported from `serde_derive`.
+//!
+//! No data format ships with the shim; nothing in the repository serializes at runtime.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A value that can be serialized into any [`Serializer`].
+pub trait Serialize {
+    /// Serializes `self` into the given serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A sink for primitive values (a tiny subset of serde's data model).
+pub trait Serializer: Sized {
+    /// Output produced on success.
+    type Ok;
+    /// Error type of the sink.
+    type Error;
+
+    /// Writes a `bool`.
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+    /// Writes a `u64`.
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+    /// Writes an `i64`.
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error>;
+    /// Writes an `f64`.
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+    /// Writes a string.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A value that can be deserialized from any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Reads `Self` from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A source of primitive values (a tiny subset of serde's data model).
+pub trait Deserializer<'de>: Sized {
+    /// Error type of the source.
+    type Error;
+
+    /// Reads a `bool`.
+    fn deserialize_bool(self) -> Result<bool, Self::Error>;
+    /// Reads a `u64`.
+    fn deserialize_u64(self) -> Result<u64, Self::Error>;
+    /// Reads an `i64`.
+    fn deserialize_i64(self) -> Result<i64, Self::Error>;
+    /// Reads an `f64`.
+    fn deserialize_f64(self) -> Result<f64, Self::Error>;
+    /// Reads a string.
+    fn deserialize_string(self) -> Result<String, Self::Error>;
+}
+
+macro_rules! impl_primitive {
+    ($($t:ty => $ser:ident / $de:ident as $conv:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.$ser(*self as $conv)
+            }
+        }
+
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                Ok(deserializer.$de()? as $t)
+            }
+        }
+    )*};
+}
+
+impl_primitive!(
+    u8 => serialize_u64 / deserialize_u64 as u64,
+    u16 => serialize_u64 / deserialize_u64 as u64,
+    u32 => serialize_u64 / deserialize_u64 as u64,
+    u64 => serialize_u64 / deserialize_u64 as u64,
+    usize => serialize_u64 / deserialize_u64 as u64,
+    i32 => serialize_i64 / deserialize_i64 as i64,
+    i64 => serialize_i64 / deserialize_i64 as i64,
+    f32 => serialize_f64 / deserialize_f64 as f64,
+    f64 => serialize_f64 / deserialize_f64 as f64,
+);
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_bool()
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A serializer that renders primitives to their display strings.
+    struct ToDisplay;
+
+    impl Serializer for ToDisplay {
+        type Ok = String;
+        type Error = ();
+
+        fn serialize_bool(self, v: bool) -> Result<String, ()> {
+            Ok(v.to_string())
+        }
+
+        fn serialize_u64(self, v: u64) -> Result<String, ()> {
+            Ok(v.to_string())
+        }
+
+        fn serialize_i64(self, v: i64) -> Result<String, ()> {
+            Ok(v.to_string())
+        }
+
+        fn serialize_f64(self, v: f64) -> Result<String, ()> {
+            Ok(v.to_string())
+        }
+
+        fn serialize_str(self, v: &str) -> Result<String, ()> {
+            Ok(v.to_string())
+        }
+    }
+
+    #[test]
+    fn primitives_route_through_the_data_model() {
+        assert_eq!(7u32.serialize(ToDisplay), Ok("7".to_string()));
+        assert_eq!(true.serialize(ToDisplay), Ok("true".to_string()));
+        assert_eq!("hi".serialize(ToDisplay), Ok("hi".to_string()));
+        assert_eq!(1.5f64.serialize(ToDisplay), Ok("1.5".to_string()));
+    }
+
+    #[derive(Serialize, Deserialize)]
+    struct Derived {
+        #[serde(with = "unused")]
+        _field: u64,
+    }
+
+    #[test]
+    fn no_op_derive_compiles_with_inert_attributes() {
+        let _ = Derived { _field: 3 };
+    }
+}

@@ -1,0 +1,20 @@
+//! Vendored stand-in for the `serde_derive` proc-macro crate.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its report/config structs so a future
+//! serialization backend can be dropped in, but nothing in the repository serializes those
+//! types at runtime. These derives therefore expand to nothing: they only exist so the
+//! `#[derive(Serialize, Deserialize)]` and inert `#[serde(...)]` attributes compile offline.
+
+use proc_macro::TokenStream;
+
+/// No-op derive for `serde::Serialize`; accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op derive for `serde::Deserialize`; accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
