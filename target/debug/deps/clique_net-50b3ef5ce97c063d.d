@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/clique_net-50b3ef5ce97c063d.d: crates/bench/benches/clique_net.rs Cargo.toml
+
+/root/repo/target/debug/deps/libclique_net-50b3ef5ce97c063d.rmeta: crates/bench/benches/clique_net.rs Cargo.toml
+
+crates/bench/benches/clique_net.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

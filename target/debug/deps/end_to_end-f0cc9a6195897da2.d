@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-f0cc9a6195897da2.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-f0cc9a6195897da2: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_latency-3f069252ade5d672.d: crates/bench/src/bin/fig4_latency.rs
+
+/root/repo/target/debug/deps/fig4_latency-3f069252ade5d672: crates/bench/src/bin/fig4_latency.rs
+
+crates/bench/src/bin/fig4_latency.rs:

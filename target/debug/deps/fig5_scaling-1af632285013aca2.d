@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_scaling-1af632285013aca2.d: crates/bench/src/bin/fig5_scaling.rs
+
+/root/repo/target/debug/deps/fig5_scaling-1af632285013aca2: crates/bench/src/bin/fig5_scaling.rs
+
+crates/bench/src/bin/fig5_scaling.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_scaling-334f15ee951bd5e1.d: crates/bench/src/bin/fig5_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_scaling-334f15ee951bd5e1.rmeta: crates/bench/src/bin/fig5_scaling.rs Cargo.toml
+
+crates/bench/src/bin/fig5_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

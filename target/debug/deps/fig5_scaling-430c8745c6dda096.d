@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_scaling-430c8745c6dda096.d: crates/bench/src/bin/fig5_scaling.rs
+
+/root/repo/target/debug/deps/fig5_scaling-430c8745c6dda096: crates/bench/src/bin/fig5_scaling.rs
+
+crates/bench/src/bin/fig5_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_fanout_probability-6a2bfd506a227b4d.d: crates/bench/src/bin/fig6_fanout_probability.rs
+
+/root/repo/target/debug/deps/fig6_fanout_probability-6a2bfd506a227b4d: crates/bench/src/bin/fig6_fanout_probability.rs
+
+crates/bench/src/bin/fig6_fanout_probability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_fanout_probability-7c989663185d0d83.d: crates/bench/src/bin/fig6_fanout_probability.rs
+
+/root/repo/target/debug/deps/fig6_fanout_probability-7c989663185d0d83: crates/bench/src/bin/fig6_fanout_probability.rs
+
+crates/bench/src/bin/fig6_fanout_probability.rs:

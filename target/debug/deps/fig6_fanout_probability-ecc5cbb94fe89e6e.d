@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_fanout_probability-ecc5cbb94fe89e6e.d: crates/bench/src/bin/fig6_fanout_probability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_fanout_probability-ecc5cbb94fe89e6e.rmeta: crates/bench/src/bin/fig6_fanout_probability.rs Cargo.toml
+
+crates/bench/src/bin/fig6_fanout_probability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

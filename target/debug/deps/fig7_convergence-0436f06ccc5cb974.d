@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_convergence-0436f06ccc5cb974.d: crates/bench/src/bin/fig7_convergence.rs
+
+/root/repo/target/debug/deps/fig7_convergence-0436f06ccc5cb974: crates/bench/src/bin/fig7_convergence.rs
+
+crates/bench/src/bin/fig7_convergence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_convergence-37dc787a7229168f.d: crates/bench/src/bin/fig7_convergence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_convergence-37dc787a7229168f.rmeta: crates/bench/src/bin/fig7_convergence.rs Cargo.toml
+
+crates/bench/src/bin/fig7_convergence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_objectives-3074bfc9eebb94c3.d: crates/bench/src/bin/fig8_objectives.rs
+
+/root/repo/target/debug/deps/fig8_objectives-3074bfc9eebb94c3: crates/bench/src/bin/fig8_objectives.rs
+
+crates/bench/src/bin/fig8_objectives.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_objectives-9ae95cdcff9090b0.d: crates/bench/src/bin/fig8_objectives.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_objectives-9ae95cdcff9090b0.rmeta: crates/bench/src/bin/fig8_objectives.rs Cargo.toml
+
+crates/bench/src/bin/fig8_objectives.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_objectives-a33b9e80a3182ffb.d: crates/bench/src/bin/fig8_objectives.rs
+
+/root/repo/target/debug/deps/fig8_objectives-a33b9e80a3182ffb: crates/bench/src/bin/fig8_objectives.rs
+
+crates/bench/src/bin/fig8_objectives.rs:

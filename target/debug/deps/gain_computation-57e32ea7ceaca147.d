@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gain_computation-57e32ea7ceaca147.d: crates/bench/benches/gain_computation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgain_computation-57e32ea7ceaca147.rmeta: crates/bench/benches/gain_computation.rs Cargo.toml
+
+crates/bench/benches/gain_computation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/histogram_swaps-9721e79f3312def7.d: crates/bench/benches/histogram_swaps.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhistogram_swaps-9721e79f3312def7.rmeta: crates/bench/benches/histogram_swaps.rs Cargo.toml
+
+crates/bench/benches/histogram_swaps.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

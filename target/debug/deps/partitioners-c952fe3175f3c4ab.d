@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/partitioners-c952fe3175f3c4ab.d: crates/bench/benches/partitioners.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpartitioners-c952fe3175f3c4ab.rmeta: crates/bench/benches/partitioners.rs Cargo.toml
+
+crates/bench/benches/partitioners.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-023b34c10d4ed7f0.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-023b34c10d4ed7f0: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/proptest-2d8fad6de8c6acfb.d: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs vendor/proptest/src/strategy.rs vendor/proptest/src/test_runner.rs
+
+/root/repo/target/debug/deps/libproptest-2d8fad6de8c6acfb.rlib: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs vendor/proptest/src/strategy.rs vendor/proptest/src/test_runner.rs
+
+/root/repo/target/debug/deps/libproptest-2d8fad6de8c6acfb.rmeta: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs vendor/proptest/src/strategy.rs vendor/proptest/src/test_runner.rs
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/collection.rs:
+vendor/proptest/src/strategy.rs:
+vendor/proptest/src/test_runner.rs:

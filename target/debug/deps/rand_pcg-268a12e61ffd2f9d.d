@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand_pcg-268a12e61ffd2f9d.d: vendor/rand_pcg/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand_pcg-268a12e61ffd2f9d.rmeta: vendor/rand_pcg/src/lib.rs Cargo.toml
+
+vendor/rand_pcg/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

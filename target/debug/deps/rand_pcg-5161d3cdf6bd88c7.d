@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand_pcg-5161d3cdf6bd88c7.d: vendor/rand_pcg/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand_pcg-5161d3cdf6bd88c7.rmeta: vendor/rand_pcg/src/lib.rs Cargo.toml
+
+vendor/rand_pcg/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

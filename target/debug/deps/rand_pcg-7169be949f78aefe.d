@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand_pcg-7169be949f78aefe.d: vendor/rand_pcg/src/lib.rs
+
+/root/repo/target/debug/deps/librand_pcg-7169be949f78aefe.rlib: vendor/rand_pcg/src/lib.rs
+
+/root/repo/target/debug/deps/librand_pcg-7169be949f78aefe.rmeta: vendor/rand_pcg/src/lib.rs
+
+vendor/rand_pcg/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand_pcg-b613ae7444325445.d: vendor/rand_pcg/src/lib.rs
+
+/root/repo/target/debug/deps/rand_pcg-b613ae7444325445: vendor/rand_pcg/src/lib.rs
+
+vendor/rand_pcg/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rayon-7921ca75f45f961d.d: vendor/rayon/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librayon-7921ca75f45f961d.rmeta: vendor/rayon/src/lib.rs Cargo.toml
+
+vendor/rayon/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rayon-f2af4d35bdde06aa.d: vendor/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/rayon-f2af4d35bdde06aa: vendor/rayon/src/lib.rs
+
+vendor/rayon/src/lib.rs:

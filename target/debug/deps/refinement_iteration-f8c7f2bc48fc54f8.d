@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/refinement_iteration-f8c7f2bc48fc54f8.d: crates/bench/benches/refinement_iteration.rs Cargo.toml
+
+/root/repo/target/debug/deps/librefinement_iteration-f8c7f2bc48fc54f8.rmeta: crates/bench/benches/refinement_iteration.rs Cargo.toml
+
+crates/bench/benches/refinement_iteration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

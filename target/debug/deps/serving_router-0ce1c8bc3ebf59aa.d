@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serving_router-0ce1c8bc3ebf59aa.d: crates/bench/benches/serving_router.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserving_router-0ce1c8bc3ebf59aa.rmeta: crates/bench/benches/serving_router.rs Cargo.toml
+
+crates/bench/benches/serving_router.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shp-21e7d76c736a7193.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/shp-21e7d76c736a7193: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shp-304fd609718f482f.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/shp-304fd609718f482f: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shp-57c4136c1a264e0d.d: crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshp-57c4136c1a264e0d.rmeta: crates/cli/src/main.rs Cargo.toml
+
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shp-7e06b9753770e02c.d: src/lib.rs
+
+/root/repo/target/debug/deps/shp-7e06b9753770e02c: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shp-e20eacee0db610de.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/shp-e20eacee0db610de: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

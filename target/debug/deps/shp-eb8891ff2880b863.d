@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/shp-eb8891ff2880b863.d: src/lib.rs
+
+/root/repo/target/debug/deps/libshp-eb8891ff2880b863.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libshp-eb8891ff2880b863.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/shp-ed2aea5b3529bb76.d: src/lib.rs
+
+/root/repo/target/debug/deps/libshp-ed2aea5b3529bb76.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libshp-ed2aea5b3529bb76.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/shp_baselines-148083a8e21e130b.d: crates/baselines/src/lib.rs crates/baselines/src/greedy.rs crates/baselines/src/hashing.rs crates/baselines/src/label_propagation.rs crates/baselines/src/multilevel.rs crates/baselines/src/random.rs
+
+/root/repo/target/debug/deps/libshp_baselines-148083a8e21e130b.rlib: crates/baselines/src/lib.rs crates/baselines/src/greedy.rs crates/baselines/src/hashing.rs crates/baselines/src/label_propagation.rs crates/baselines/src/multilevel.rs crates/baselines/src/random.rs
+
+/root/repo/target/debug/deps/libshp_baselines-148083a8e21e130b.rmeta: crates/baselines/src/lib.rs crates/baselines/src/greedy.rs crates/baselines/src/hashing.rs crates/baselines/src/label_propagation.rs crates/baselines/src/multilevel.rs crates/baselines/src/random.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/greedy.rs:
+crates/baselines/src/hashing.rs:
+crates/baselines/src/label_propagation.rs:
+crates/baselines/src/multilevel.rs:
+crates/baselines/src/random.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/shp_baselines-9bd4f276d7607bca.d: crates/baselines/src/lib.rs crates/baselines/src/greedy.rs crates/baselines/src/hashing.rs crates/baselines/src/label_propagation.rs crates/baselines/src/multilevel.rs crates/baselines/src/random.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshp_baselines-9bd4f276d7607bca.rmeta: crates/baselines/src/lib.rs crates/baselines/src/greedy.rs crates/baselines/src/hashing.rs crates/baselines/src/label_propagation.rs crates/baselines/src/multilevel.rs crates/baselines/src/random.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/greedy.rs:
+crates/baselines/src/hashing.rs:
+crates/baselines/src/label_propagation.rs:
+crates/baselines/src/multilevel.rs:
+crates/baselines/src/random.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

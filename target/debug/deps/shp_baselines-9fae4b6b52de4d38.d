@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/shp_baselines-9fae4b6b52de4d38.d: crates/baselines/src/lib.rs crates/baselines/src/greedy.rs crates/baselines/src/hashing.rs crates/baselines/src/label_propagation.rs crates/baselines/src/multilevel.rs crates/baselines/src/random.rs
+
+/root/repo/target/debug/deps/shp_baselines-9fae4b6b52de4d38: crates/baselines/src/lib.rs crates/baselines/src/greedy.rs crates/baselines/src/hashing.rs crates/baselines/src/label_propagation.rs crates/baselines/src/multilevel.rs crates/baselines/src/random.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/greedy.rs:
+crates/baselines/src/hashing.rs:
+crates/baselines/src/label_propagation.rs:
+crates/baselines/src/multilevel.rs:
+crates/baselines/src/random.rs:

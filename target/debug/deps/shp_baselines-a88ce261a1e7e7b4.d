@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/shp_baselines-a88ce261a1e7e7b4.d: crates/baselines/src/lib.rs crates/baselines/src/greedy.rs crates/baselines/src/hashing.rs crates/baselines/src/label_propagation.rs crates/baselines/src/multilevel.rs crates/baselines/src/random.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshp_baselines-a88ce261a1e7e7b4.rmeta: crates/baselines/src/lib.rs crates/baselines/src/greedy.rs crates/baselines/src/hashing.rs crates/baselines/src/label_propagation.rs crates/baselines/src/multilevel.rs crates/baselines/src/random.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/greedy.rs:
+crates/baselines/src/hashing.rs:
+crates/baselines/src/label_propagation.rs:
+crates/baselines/src/multilevel.rs:
+crates/baselines/src/random.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

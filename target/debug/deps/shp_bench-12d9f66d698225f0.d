@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/shp_bench-12d9f66d698225f0.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libshp_bench-12d9f66d698225f0.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libshp_bench-12d9f66d698225f0.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

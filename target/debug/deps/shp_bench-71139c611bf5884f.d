@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shp_bench-71139c611bf5884f.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshp_bench-71139c611bf5884f.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

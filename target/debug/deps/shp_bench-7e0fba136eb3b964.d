@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/shp_bench-7e0fba136eb3b964.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libshp_bench-7e0fba136eb3b964.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libshp_bench-7e0fba136eb3b964.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

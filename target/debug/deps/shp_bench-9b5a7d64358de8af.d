@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shp_bench-9b5a7d64358de8af.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/shp_bench-9b5a7d64358de8af: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

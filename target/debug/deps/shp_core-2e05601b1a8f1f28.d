@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/shp_core-2e05601b1a8f1f28.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/direct.rs crates/core/src/distributed.rs crates/core/src/gains.rs crates/core/src/histogram.rs crates/core/src/incremental.rs crates/core/src/multidim.rs crates/core/src/neighbor_data.rs crates/core/src/objective.rs crates/core/src/recursive.rs crates/core/src/refinement.rs crates/core/src/report.rs crates/core/src/swap.rs
+
+/root/repo/target/debug/deps/libshp_core-2e05601b1a8f1f28.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/direct.rs crates/core/src/distributed.rs crates/core/src/gains.rs crates/core/src/histogram.rs crates/core/src/incremental.rs crates/core/src/multidim.rs crates/core/src/neighbor_data.rs crates/core/src/objective.rs crates/core/src/recursive.rs crates/core/src/refinement.rs crates/core/src/report.rs crates/core/src/swap.rs
+
+/root/repo/target/debug/deps/libshp_core-2e05601b1a8f1f28.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/direct.rs crates/core/src/distributed.rs crates/core/src/gains.rs crates/core/src/histogram.rs crates/core/src/incremental.rs crates/core/src/multidim.rs crates/core/src/neighbor_data.rs crates/core/src/objective.rs crates/core/src/recursive.rs crates/core/src/refinement.rs crates/core/src/report.rs crates/core/src/swap.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/direct.rs:
+crates/core/src/distributed.rs:
+crates/core/src/gains.rs:
+crates/core/src/histogram.rs:
+crates/core/src/incremental.rs:
+crates/core/src/multidim.rs:
+crates/core/src/neighbor_data.rs:
+crates/core/src/objective.rs:
+crates/core/src/recursive.rs:
+crates/core/src/refinement.rs:
+crates/core/src/report.rs:
+crates/core/src/swap.rs:

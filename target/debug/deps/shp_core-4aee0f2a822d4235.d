@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/shp_core-4aee0f2a822d4235.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/direct.rs crates/core/src/distributed.rs crates/core/src/gains.rs crates/core/src/histogram.rs crates/core/src/incremental.rs crates/core/src/multidim.rs crates/core/src/neighbor_data.rs crates/core/src/objective.rs crates/core/src/recursive.rs crates/core/src/refinement.rs crates/core/src/report.rs crates/core/src/swap.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshp_core-4aee0f2a822d4235.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/direct.rs crates/core/src/distributed.rs crates/core/src/gains.rs crates/core/src/histogram.rs crates/core/src/incremental.rs crates/core/src/multidim.rs crates/core/src/neighbor_data.rs crates/core/src/objective.rs crates/core/src/recursive.rs crates/core/src/refinement.rs crates/core/src/report.rs crates/core/src/swap.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/direct.rs:
+crates/core/src/distributed.rs:
+crates/core/src/gains.rs:
+crates/core/src/histogram.rs:
+crates/core/src/incremental.rs:
+crates/core/src/multidim.rs:
+crates/core/src/neighbor_data.rs:
+crates/core/src/objective.rs:
+crates/core/src/recursive.rs:
+crates/core/src/refinement.rs:
+crates/core/src/report.rs:
+crates/core/src/swap.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

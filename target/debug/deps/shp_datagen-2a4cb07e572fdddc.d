@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/shp_datagen-2a4cb07e572fdddc.d: crates/datagen/src/lib.rs crates/datagen/src/erdos_renyi.rs crates/datagen/src/planted.rs crates/datagen/src/power_law.rs crates/datagen/src/registry.rs crates/datagen/src/social.rs
+
+/root/repo/target/debug/deps/shp_datagen-2a4cb07e572fdddc: crates/datagen/src/lib.rs crates/datagen/src/erdos_renyi.rs crates/datagen/src/planted.rs crates/datagen/src/power_law.rs crates/datagen/src/registry.rs crates/datagen/src/social.rs
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/erdos_renyi.rs:
+crates/datagen/src/planted.rs:
+crates/datagen/src/power_law.rs:
+crates/datagen/src/registry.rs:
+crates/datagen/src/social.rs:

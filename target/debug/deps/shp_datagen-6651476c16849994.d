@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/shp_datagen-6651476c16849994.d: crates/datagen/src/lib.rs crates/datagen/src/erdos_renyi.rs crates/datagen/src/planted.rs crates/datagen/src/power_law.rs crates/datagen/src/registry.rs crates/datagen/src/social.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshp_datagen-6651476c16849994.rmeta: crates/datagen/src/lib.rs crates/datagen/src/erdos_renyi.rs crates/datagen/src/planted.rs crates/datagen/src/power_law.rs crates/datagen/src/registry.rs crates/datagen/src/social.rs Cargo.toml
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/erdos_renyi.rs:
+crates/datagen/src/planted.rs:
+crates/datagen/src/power_law.rs:
+crates/datagen/src/registry.rs:
+crates/datagen/src/social.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/shp_datagen-cd7c5d42e0b1c640.d: crates/datagen/src/lib.rs crates/datagen/src/erdos_renyi.rs crates/datagen/src/planted.rs crates/datagen/src/power_law.rs crates/datagen/src/registry.rs crates/datagen/src/social.rs
+
+/root/repo/target/debug/deps/libshp_datagen-cd7c5d42e0b1c640.rlib: crates/datagen/src/lib.rs crates/datagen/src/erdos_renyi.rs crates/datagen/src/planted.rs crates/datagen/src/power_law.rs crates/datagen/src/registry.rs crates/datagen/src/social.rs
+
+/root/repo/target/debug/deps/libshp_datagen-cd7c5d42e0b1c640.rmeta: crates/datagen/src/lib.rs crates/datagen/src/erdos_renyi.rs crates/datagen/src/planted.rs crates/datagen/src/power_law.rs crates/datagen/src/registry.rs crates/datagen/src/social.rs
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/erdos_renyi.rs:
+crates/datagen/src/planted.rs:
+crates/datagen/src/power_law.rs:
+crates/datagen/src/registry.rs:
+crates/datagen/src/social.rs:

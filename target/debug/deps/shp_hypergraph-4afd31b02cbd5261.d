@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/shp_hypergraph-4afd31b02cbd5261.d: crates/hypergraph/src/lib.rs crates/hypergraph/src/bipartite.rs crates/hypergraph/src/builder.rs crates/hypergraph/src/clique.rs crates/hypergraph/src/error.rs crates/hypergraph/src/hypergraph.rs crates/hypergraph/src/io.rs crates/hypergraph/src/metrics.rs crates/hypergraph/src/partition.rs crates/hypergraph/src/stats.rs
+
+/root/repo/target/debug/deps/libshp_hypergraph-4afd31b02cbd5261.rlib: crates/hypergraph/src/lib.rs crates/hypergraph/src/bipartite.rs crates/hypergraph/src/builder.rs crates/hypergraph/src/clique.rs crates/hypergraph/src/error.rs crates/hypergraph/src/hypergraph.rs crates/hypergraph/src/io.rs crates/hypergraph/src/metrics.rs crates/hypergraph/src/partition.rs crates/hypergraph/src/stats.rs
+
+/root/repo/target/debug/deps/libshp_hypergraph-4afd31b02cbd5261.rmeta: crates/hypergraph/src/lib.rs crates/hypergraph/src/bipartite.rs crates/hypergraph/src/builder.rs crates/hypergraph/src/clique.rs crates/hypergraph/src/error.rs crates/hypergraph/src/hypergraph.rs crates/hypergraph/src/io.rs crates/hypergraph/src/metrics.rs crates/hypergraph/src/partition.rs crates/hypergraph/src/stats.rs
+
+crates/hypergraph/src/lib.rs:
+crates/hypergraph/src/bipartite.rs:
+crates/hypergraph/src/builder.rs:
+crates/hypergraph/src/clique.rs:
+crates/hypergraph/src/error.rs:
+crates/hypergraph/src/hypergraph.rs:
+crates/hypergraph/src/io.rs:
+crates/hypergraph/src/metrics.rs:
+crates/hypergraph/src/partition.rs:
+crates/hypergraph/src/stats.rs:

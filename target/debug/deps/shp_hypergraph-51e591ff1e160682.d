@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/shp_hypergraph-51e591ff1e160682.d: crates/hypergraph/src/lib.rs crates/hypergraph/src/bipartite.rs crates/hypergraph/src/builder.rs crates/hypergraph/src/clique.rs crates/hypergraph/src/error.rs crates/hypergraph/src/hypergraph.rs crates/hypergraph/src/io.rs crates/hypergraph/src/metrics.rs crates/hypergraph/src/partition.rs crates/hypergraph/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshp_hypergraph-51e591ff1e160682.rmeta: crates/hypergraph/src/lib.rs crates/hypergraph/src/bipartite.rs crates/hypergraph/src/builder.rs crates/hypergraph/src/clique.rs crates/hypergraph/src/error.rs crates/hypergraph/src/hypergraph.rs crates/hypergraph/src/io.rs crates/hypergraph/src/metrics.rs crates/hypergraph/src/partition.rs crates/hypergraph/src/stats.rs Cargo.toml
+
+crates/hypergraph/src/lib.rs:
+crates/hypergraph/src/bipartite.rs:
+crates/hypergraph/src/builder.rs:
+crates/hypergraph/src/clique.rs:
+crates/hypergraph/src/error.rs:
+crates/hypergraph/src/hypergraph.rs:
+crates/hypergraph/src/io.rs:
+crates/hypergraph/src/metrics.rs:
+crates/hypergraph/src/partition.rs:
+crates/hypergraph/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

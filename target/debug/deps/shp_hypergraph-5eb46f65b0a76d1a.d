@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/shp_hypergraph-5eb46f65b0a76d1a.d: crates/hypergraph/src/lib.rs crates/hypergraph/src/bipartite.rs crates/hypergraph/src/builder.rs crates/hypergraph/src/clique.rs crates/hypergraph/src/error.rs crates/hypergraph/src/hypergraph.rs crates/hypergraph/src/io.rs crates/hypergraph/src/metrics.rs crates/hypergraph/src/partition.rs crates/hypergraph/src/stats.rs
+
+/root/repo/target/debug/deps/shp_hypergraph-5eb46f65b0a76d1a: crates/hypergraph/src/lib.rs crates/hypergraph/src/bipartite.rs crates/hypergraph/src/builder.rs crates/hypergraph/src/clique.rs crates/hypergraph/src/error.rs crates/hypergraph/src/hypergraph.rs crates/hypergraph/src/io.rs crates/hypergraph/src/metrics.rs crates/hypergraph/src/partition.rs crates/hypergraph/src/stats.rs
+
+crates/hypergraph/src/lib.rs:
+crates/hypergraph/src/bipartite.rs:
+crates/hypergraph/src/builder.rs:
+crates/hypergraph/src/clique.rs:
+crates/hypergraph/src/error.rs:
+crates/hypergraph/src/hypergraph.rs:
+crates/hypergraph/src/io.rs:
+crates/hypergraph/src/metrics.rs:
+crates/hypergraph/src/partition.rs:
+crates/hypergraph/src/stats.rs:

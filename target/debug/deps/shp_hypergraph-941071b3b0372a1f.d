@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/shp_hypergraph-941071b3b0372a1f.d: crates/hypergraph/src/lib.rs crates/hypergraph/src/bipartite.rs crates/hypergraph/src/builder.rs crates/hypergraph/src/clique.rs crates/hypergraph/src/error.rs crates/hypergraph/src/hypergraph.rs crates/hypergraph/src/io.rs crates/hypergraph/src/metrics.rs crates/hypergraph/src/partition.rs crates/hypergraph/src/stats.rs
+
+/root/repo/target/debug/deps/libshp_hypergraph-941071b3b0372a1f.rlib: crates/hypergraph/src/lib.rs crates/hypergraph/src/bipartite.rs crates/hypergraph/src/builder.rs crates/hypergraph/src/clique.rs crates/hypergraph/src/error.rs crates/hypergraph/src/hypergraph.rs crates/hypergraph/src/io.rs crates/hypergraph/src/metrics.rs crates/hypergraph/src/partition.rs crates/hypergraph/src/stats.rs
+
+/root/repo/target/debug/deps/libshp_hypergraph-941071b3b0372a1f.rmeta: crates/hypergraph/src/lib.rs crates/hypergraph/src/bipartite.rs crates/hypergraph/src/builder.rs crates/hypergraph/src/clique.rs crates/hypergraph/src/error.rs crates/hypergraph/src/hypergraph.rs crates/hypergraph/src/io.rs crates/hypergraph/src/metrics.rs crates/hypergraph/src/partition.rs crates/hypergraph/src/stats.rs
+
+crates/hypergraph/src/lib.rs:
+crates/hypergraph/src/bipartite.rs:
+crates/hypergraph/src/builder.rs:
+crates/hypergraph/src/clique.rs:
+crates/hypergraph/src/error.rs:
+crates/hypergraph/src/hypergraph.rs:
+crates/hypergraph/src/io.rs:
+crates/hypergraph/src/metrics.rs:
+crates/hypergraph/src/partition.rs:
+crates/hypergraph/src/stats.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/shp_hypergraph-a002ad475ffefcbb.d: crates/hypergraph/src/lib.rs crates/hypergraph/src/bipartite.rs crates/hypergraph/src/builder.rs crates/hypergraph/src/clique.rs crates/hypergraph/src/error.rs crates/hypergraph/src/hypergraph.rs crates/hypergraph/src/io.rs crates/hypergraph/src/metrics.rs crates/hypergraph/src/partition.rs crates/hypergraph/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshp_hypergraph-a002ad475ffefcbb.rmeta: crates/hypergraph/src/lib.rs crates/hypergraph/src/bipartite.rs crates/hypergraph/src/builder.rs crates/hypergraph/src/clique.rs crates/hypergraph/src/error.rs crates/hypergraph/src/hypergraph.rs crates/hypergraph/src/io.rs crates/hypergraph/src/metrics.rs crates/hypergraph/src/partition.rs crates/hypergraph/src/stats.rs Cargo.toml
+
+crates/hypergraph/src/lib.rs:
+crates/hypergraph/src/bipartite.rs:
+crates/hypergraph/src/builder.rs:
+crates/hypergraph/src/clique.rs:
+crates/hypergraph/src/error.rs:
+crates/hypergraph/src/hypergraph.rs:
+crates/hypergraph/src/io.rs:
+crates/hypergraph/src/metrics.rs:
+crates/hypergraph/src/partition.rs:
+crates/hypergraph/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/shp_serving-8edc3f82d244c959.d: crates/serving/src/lib.rs crates/serving/src/cache.rs crates/serving/src/engine.rs crates/serving/src/error.rs crates/serving/src/metrics.rs crates/serving/src/partition_map.rs crates/serving/src/router.rs crates/serving/src/store.rs crates/serving/src/workload.rs
+
+/root/repo/target/debug/deps/libshp_serving-8edc3f82d244c959.rlib: crates/serving/src/lib.rs crates/serving/src/cache.rs crates/serving/src/engine.rs crates/serving/src/error.rs crates/serving/src/metrics.rs crates/serving/src/partition_map.rs crates/serving/src/router.rs crates/serving/src/store.rs crates/serving/src/workload.rs
+
+/root/repo/target/debug/deps/libshp_serving-8edc3f82d244c959.rmeta: crates/serving/src/lib.rs crates/serving/src/cache.rs crates/serving/src/engine.rs crates/serving/src/error.rs crates/serving/src/metrics.rs crates/serving/src/partition_map.rs crates/serving/src/router.rs crates/serving/src/store.rs crates/serving/src/workload.rs
+
+crates/serving/src/lib.rs:
+crates/serving/src/cache.rs:
+crates/serving/src/engine.rs:
+crates/serving/src/error.rs:
+crates/serving/src/metrics.rs:
+crates/serving/src/partition_map.rs:
+crates/serving/src/router.rs:
+crates/serving/src/store.rs:
+crates/serving/src/workload.rs:

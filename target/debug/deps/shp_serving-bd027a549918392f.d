@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/shp_serving-bd027a549918392f.d: crates/serving/src/lib.rs crates/serving/src/cache.rs crates/serving/src/engine.rs crates/serving/src/error.rs crates/serving/src/metrics.rs crates/serving/src/partition_map.rs crates/serving/src/router.rs crates/serving/src/store.rs crates/serving/src/workload.rs
+
+/root/repo/target/debug/deps/shp_serving-bd027a549918392f: crates/serving/src/lib.rs crates/serving/src/cache.rs crates/serving/src/engine.rs crates/serving/src/error.rs crates/serving/src/metrics.rs crates/serving/src/partition_map.rs crates/serving/src/router.rs crates/serving/src/store.rs crates/serving/src/workload.rs
+
+crates/serving/src/lib.rs:
+crates/serving/src/cache.rs:
+crates/serving/src/engine.rs:
+crates/serving/src/error.rs:
+crates/serving/src/metrics.rs:
+crates/serving/src/partition_map.rs:
+crates/serving/src/router.rs:
+crates/serving/src/store.rs:
+crates/serving/src/workload.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/shp_serving-e828f22445b3a9f2.d: crates/serving/src/lib.rs crates/serving/src/cache.rs crates/serving/src/engine.rs crates/serving/src/error.rs crates/serving/src/metrics.rs crates/serving/src/partition_map.rs crates/serving/src/router.rs crates/serving/src/store.rs crates/serving/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshp_serving-e828f22445b3a9f2.rmeta: crates/serving/src/lib.rs crates/serving/src/cache.rs crates/serving/src/engine.rs crates/serving/src/error.rs crates/serving/src/metrics.rs crates/serving/src/partition_map.rs crates/serving/src/router.rs crates/serving/src/store.rs crates/serving/src/workload.rs Cargo.toml
+
+crates/serving/src/lib.rs:
+crates/serving/src/cache.rs:
+crates/serving/src/engine.rs:
+crates/serving/src/error.rs:
+crates/serving/src/metrics.rs:
+crates/serving/src/partition_map.rs:
+crates/serving/src/router.rs:
+crates/serving/src/store.rs:
+crates/serving/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

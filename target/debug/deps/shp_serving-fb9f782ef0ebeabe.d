@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/shp_serving-fb9f782ef0ebeabe.d: crates/serving/src/lib.rs crates/serving/src/cache.rs crates/serving/src/engine.rs crates/serving/src/error.rs crates/serving/src/metrics.rs crates/serving/src/partition_map.rs crates/serving/src/router.rs crates/serving/src/store.rs crates/serving/src/workload.rs
+
+/root/repo/target/debug/deps/libshp_serving-fb9f782ef0ebeabe.rlib: crates/serving/src/lib.rs crates/serving/src/cache.rs crates/serving/src/engine.rs crates/serving/src/error.rs crates/serving/src/metrics.rs crates/serving/src/partition_map.rs crates/serving/src/router.rs crates/serving/src/store.rs crates/serving/src/workload.rs
+
+/root/repo/target/debug/deps/libshp_serving-fb9f782ef0ebeabe.rmeta: crates/serving/src/lib.rs crates/serving/src/cache.rs crates/serving/src/engine.rs crates/serving/src/error.rs crates/serving/src/metrics.rs crates/serving/src/partition_map.rs crates/serving/src/router.rs crates/serving/src/store.rs crates/serving/src/workload.rs
+
+crates/serving/src/lib.rs:
+crates/serving/src/cache.rs:
+crates/serving/src/engine.rs:
+crates/serving/src/error.rs:
+crates/serving/src/metrics.rs:
+crates/serving/src/partition_map.rs:
+crates/serving/src/router.rs:
+crates/serving/src/store.rs:
+crates/serving/src/workload.rs:

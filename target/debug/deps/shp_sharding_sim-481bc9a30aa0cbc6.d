@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/shp_sharding_sim-481bc9a30aa0cbc6.d: crates/sharding-sim/src/lib.rs crates/sharding-sim/src/cluster.rs crates/sharding-sim/src/latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshp_sharding_sim-481bc9a30aa0cbc6.rmeta: crates/sharding-sim/src/lib.rs crates/sharding-sim/src/cluster.rs crates/sharding-sim/src/latency.rs Cargo.toml
+
+crates/sharding-sim/src/lib.rs:
+crates/sharding-sim/src/cluster.rs:
+crates/sharding-sim/src/latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shp_sharding_sim-4c8520fb7ee4f9a0.d: crates/sharding-sim/src/lib.rs crates/sharding-sim/src/cluster.rs crates/sharding-sim/src/latency.rs
+
+/root/repo/target/debug/deps/libshp_sharding_sim-4c8520fb7ee4f9a0.rlib: crates/sharding-sim/src/lib.rs crates/sharding-sim/src/cluster.rs crates/sharding-sim/src/latency.rs
+
+/root/repo/target/debug/deps/libshp_sharding_sim-4c8520fb7ee4f9a0.rmeta: crates/sharding-sim/src/lib.rs crates/sharding-sim/src/cluster.rs crates/sharding-sim/src/latency.rs
+
+crates/sharding-sim/src/lib.rs:
+crates/sharding-sim/src/cluster.rs:
+crates/sharding-sim/src/latency.rs:

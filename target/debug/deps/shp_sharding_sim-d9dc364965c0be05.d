@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/shp_sharding_sim-d9dc364965c0be05.d: crates/sharding-sim/src/lib.rs crates/sharding-sim/src/cluster.rs crates/sharding-sim/src/latency.rs
+
+/root/repo/target/debug/deps/shp_sharding_sim-d9dc364965c0be05: crates/sharding-sim/src/lib.rs crates/sharding-sim/src/cluster.rs crates/sharding-sim/src/latency.rs
+
+crates/sharding-sim/src/lib.rs:
+crates/sharding-sim/src/cluster.rs:
+crates/sharding-sim/src/latency.rs:

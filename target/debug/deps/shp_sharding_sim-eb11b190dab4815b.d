@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shp_sharding_sim-eb11b190dab4815b.d: crates/sharding-sim/src/lib.rs crates/sharding-sim/src/cluster.rs crates/sharding-sim/src/latency.rs
+
+/root/repo/target/debug/deps/libshp_sharding_sim-eb11b190dab4815b.rlib: crates/sharding-sim/src/lib.rs crates/sharding-sim/src/cluster.rs crates/sharding-sim/src/latency.rs
+
+/root/repo/target/debug/deps/libshp_sharding_sim-eb11b190dab4815b.rmeta: crates/sharding-sim/src/lib.rs crates/sharding-sim/src/cluster.rs crates/sharding-sim/src/latency.rs
+
+crates/sharding-sim/src/lib.rs:
+crates/sharding-sim/src/cluster.rs:
+crates/sharding-sim/src/latency.rs:

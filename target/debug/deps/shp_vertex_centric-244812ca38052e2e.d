@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/shp_vertex_centric-244812ca38052e2e.d: crates/vertex-centric/src/lib.rs crates/vertex-centric/src/context.rs crates/vertex-centric/src/engine.rs crates/vertex-centric/src/metrics.rs crates/vertex-centric/src/program.rs crates/vertex-centric/src/routing.rs crates/vertex-centric/src/topology.rs
+
+/root/repo/target/debug/deps/libshp_vertex_centric-244812ca38052e2e.rlib: crates/vertex-centric/src/lib.rs crates/vertex-centric/src/context.rs crates/vertex-centric/src/engine.rs crates/vertex-centric/src/metrics.rs crates/vertex-centric/src/program.rs crates/vertex-centric/src/routing.rs crates/vertex-centric/src/topology.rs
+
+/root/repo/target/debug/deps/libshp_vertex_centric-244812ca38052e2e.rmeta: crates/vertex-centric/src/lib.rs crates/vertex-centric/src/context.rs crates/vertex-centric/src/engine.rs crates/vertex-centric/src/metrics.rs crates/vertex-centric/src/program.rs crates/vertex-centric/src/routing.rs crates/vertex-centric/src/topology.rs
+
+crates/vertex-centric/src/lib.rs:
+crates/vertex-centric/src/context.rs:
+crates/vertex-centric/src/engine.rs:
+crates/vertex-centric/src/metrics.rs:
+crates/vertex-centric/src/program.rs:
+crates/vertex-centric/src/routing.rs:
+crates/vertex-centric/src/topology.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/shp_vertex_centric-966b15250a3e065c.d: crates/vertex-centric/src/lib.rs crates/vertex-centric/src/context.rs crates/vertex-centric/src/engine.rs crates/vertex-centric/src/metrics.rs crates/vertex-centric/src/program.rs crates/vertex-centric/src/routing.rs crates/vertex-centric/src/topology.rs
+
+/root/repo/target/debug/deps/shp_vertex_centric-966b15250a3e065c: crates/vertex-centric/src/lib.rs crates/vertex-centric/src/context.rs crates/vertex-centric/src/engine.rs crates/vertex-centric/src/metrics.rs crates/vertex-centric/src/program.rs crates/vertex-centric/src/routing.rs crates/vertex-centric/src/topology.rs
+
+crates/vertex-centric/src/lib.rs:
+crates/vertex-centric/src/context.rs:
+crates/vertex-centric/src/engine.rs:
+crates/vertex-centric/src/metrics.rs:
+crates/vertex-centric/src/program.rs:
+crates/vertex-centric/src/routing.rs:
+crates/vertex-centric/src/topology.rs:

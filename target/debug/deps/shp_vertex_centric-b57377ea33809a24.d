@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/shp_vertex_centric-b57377ea33809a24.d: crates/vertex-centric/src/lib.rs crates/vertex-centric/src/context.rs crates/vertex-centric/src/engine.rs crates/vertex-centric/src/metrics.rs crates/vertex-centric/src/program.rs crates/vertex-centric/src/routing.rs crates/vertex-centric/src/topology.rs
+
+/root/repo/target/debug/deps/libshp_vertex_centric-b57377ea33809a24.rlib: crates/vertex-centric/src/lib.rs crates/vertex-centric/src/context.rs crates/vertex-centric/src/engine.rs crates/vertex-centric/src/metrics.rs crates/vertex-centric/src/program.rs crates/vertex-centric/src/routing.rs crates/vertex-centric/src/topology.rs
+
+/root/repo/target/debug/deps/libshp_vertex_centric-b57377ea33809a24.rmeta: crates/vertex-centric/src/lib.rs crates/vertex-centric/src/context.rs crates/vertex-centric/src/engine.rs crates/vertex-centric/src/metrics.rs crates/vertex-centric/src/program.rs crates/vertex-centric/src/routing.rs crates/vertex-centric/src/topology.rs
+
+crates/vertex-centric/src/lib.rs:
+crates/vertex-centric/src/context.rs:
+crates/vertex-centric/src/engine.rs:
+crates/vertex-centric/src/metrics.rs:
+crates/vertex-centric/src/program.rs:
+crates/vertex-centric/src/routing.rs:
+crates/vertex-centric/src/topology.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/shp_vertex_centric-d0464a4f627528b4.d: crates/vertex-centric/src/lib.rs crates/vertex-centric/src/context.rs crates/vertex-centric/src/engine.rs crates/vertex-centric/src/metrics.rs crates/vertex-centric/src/program.rs crates/vertex-centric/src/routing.rs crates/vertex-centric/src/topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshp_vertex_centric-d0464a4f627528b4.rmeta: crates/vertex-centric/src/lib.rs crates/vertex-centric/src/context.rs crates/vertex-centric/src/engine.rs crates/vertex-centric/src/metrics.rs crates/vertex-centric/src/program.rs crates/vertex-centric/src/routing.rs crates/vertex-centric/src/topology.rs Cargo.toml
+
+crates/vertex-centric/src/lib.rs:
+crates/vertex-centric/src/context.rs:
+crates/vertex-centric/src/engine.rs:
+crates/vertex-centric/src/metrics.rs:
+crates/vertex-centric/src/program.rs:
+crates/vertex-centric/src/routing.rs:
+crates/vertex-centric/src/topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/superstep_engine-789e7f49408c00e4.d: crates/bench/benches/superstep_engine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsuperstep_engine-789e7f49408c00e4.rmeta: crates/bench/benches/superstep_engine.rs Cargo.toml
+
+crates/bench/benches/superstep_engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_datasets-06d0996b4832614f.d: crates/bench/src/bin/table1_datasets.rs
+
+/root/repo/target/debug/deps/table1_datasets-06d0996b4832614f: crates/bench/src/bin/table1_datasets.rs
+
+crates/bench/src/bin/table1_datasets.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_datasets-aa530cef0c5dc4c7.d: crates/bench/src/bin/table1_datasets.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_datasets-aa530cef0c5dc4c7.rmeta: crates/bench/src/bin/table1_datasets.rs Cargo.toml
+
+crates/bench/src/bin/table1_datasets.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

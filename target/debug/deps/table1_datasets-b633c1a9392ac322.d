@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_datasets-b633c1a9392ac322.d: crates/bench/src/bin/table1_datasets.rs
+
+/root/repo/target/debug/deps/table1_datasets-b633c1a9392ac322: crates/bench/src/bin/table1_datasets.rs
+
+crates/bench/src/bin/table1_datasets.rs:

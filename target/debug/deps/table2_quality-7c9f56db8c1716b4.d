@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_quality-7c9f56db8c1716b4.d: crates/bench/src/bin/table2_quality.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_quality-7c9f56db8c1716b4.rmeta: crates/bench/src/bin/table2_quality.rs Cargo.toml
+
+crates/bench/src/bin/table2_quality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

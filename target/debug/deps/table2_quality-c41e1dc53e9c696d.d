@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_quality-c41e1dc53e9c696d.d: crates/bench/src/bin/table2_quality.rs
+
+/root/repo/target/debug/deps/table2_quality-c41e1dc53e9c696d: crates/bench/src/bin/table2_quality.rs
+
+crates/bench/src/bin/table2_quality.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_quality-e88949e61411fe25.d: crates/bench/src/bin/table2_quality.rs
+
+/root/repo/target/debug/deps/table2_quality-e88949e61411fe25: crates/bench/src/bin/table2_quality.rs
+
+crates/bench/src/bin/table2_quality.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_scalability-3aec9a7f28c3aa12.d: crates/bench/src/bin/table3_scalability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_scalability-3aec9a7f28c3aa12.rmeta: crates/bench/src/bin/table3_scalability.rs Cargo.toml
+
+crates/bench/src/bin/table3_scalability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_scalability-702bab2888087ffa.d: crates/bench/src/bin/table3_scalability.rs
+
+/root/repo/target/debug/deps/table3_scalability-702bab2888087ffa: crates/bench/src/bin/table3_scalability.rs
+
+crates/bench/src/bin/table3_scalability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_scalability-e072875a4ca11f3d.d: crates/bench/src/bin/table3_scalability.rs
+
+/root/repo/target/debug/deps/table3_scalability-e072875a4ca11f3d: crates/bench/src/bin/table3_scalability.rs
+
+crates/bench/src/bin/table3_scalability.rs:

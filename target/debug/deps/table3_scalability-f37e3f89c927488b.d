@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_scalability-f37e3f89c927488b.d: crates/bench/src/bin/table3_scalability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_scalability-f37e3f89c927488b.rmeta: crates/bench/src/bin/table3_scalability.rs Cargo.toml
+
+crates/bench/src/bin/table3_scalability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

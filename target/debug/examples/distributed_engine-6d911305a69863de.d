@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/distributed_engine-6d911305a69863de.d: examples/distributed_engine.rs
+
+/root/repo/target/debug/examples/distributed_engine-6d911305a69863de: examples/distributed_engine.rs
+
+examples/distributed_engine.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/distributed_engine-7ca554ec91c87fa9.d: examples/distributed_engine.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdistributed_engine-7ca554ec91c87fa9.rmeta: examples/distributed_engine.rs Cargo.toml
+
+examples/distributed_engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/incremental_repartition-86f1026f5d344de9.d: examples/incremental_repartition.rs
+
+/root/repo/target/debug/examples/incremental_repartition-86f1026f5d344de9: examples/incremental_repartition.rs
+
+examples/incremental_repartition.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/incremental_repartition-d51c3637b370d8f1.d: examples/incremental_repartition.rs Cargo.toml
+
+/root/repo/target/debug/examples/libincremental_repartition-d51c3637b370d8f1.rmeta: examples/incremental_repartition.rs Cargo.toml
+
+examples/incremental_repartition.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/live_repartition-ad77b9f776fe5169.d: examples/live_repartition.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblive_repartition-ad77b9f776fe5169.rmeta: examples/live_repartition.rs Cargo.toml
+
+examples/live_repartition.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

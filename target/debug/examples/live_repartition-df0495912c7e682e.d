@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/live_repartition-df0495912c7e682e.d: examples/live_repartition.rs
+
+/root/repo/target/debug/examples/live_repartition-df0495912c7e682e: examples/live_repartition.rs
+
+examples/live_repartition.rs:

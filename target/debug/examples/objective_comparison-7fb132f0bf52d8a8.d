@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/objective_comparison-7fb132f0bf52d8a8.d: examples/objective_comparison.rs
+
+/root/repo/target/debug/examples/objective_comparison-7fb132f0bf52d8a8: examples/objective_comparison.rs
+
+examples/objective_comparison.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/objective_comparison-fdbb4fd5075f1e4a.d: examples/objective_comparison.rs Cargo.toml
+
+/root/repo/target/debug/examples/libobjective_comparison-fdbb4fd5075f1e4a.rmeta: examples/objective_comparison.rs Cargo.toml
+
+examples/objective_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

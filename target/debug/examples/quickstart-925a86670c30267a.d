@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-925a86670c30267a.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-925a86670c30267a: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/recursive_vs_direct-ba745940b833f45c.d: examples/recursive_vs_direct.rs Cargo.toml
+
+/root/repo/target/debug/examples/librecursive_vs_direct-ba745940b833f45c.rmeta: examples/recursive_vs_direct.rs Cargo.toml
+
+examples/recursive_vs_direct.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/recursive_vs_direct-dc52bf8872f6978f.d: examples/recursive_vs_direct.rs
+
+/root/repo/target/debug/examples/recursive_vs_direct-dc52bf8872f6978f: examples/recursive_vs_direct.rs
+
+examples/recursive_vs_direct.rs:

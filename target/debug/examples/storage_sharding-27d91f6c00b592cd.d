@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/storage_sharding-27d91f6c00b592cd.d: examples/storage_sharding.rs
+
+/root/repo/target/debug/examples/storage_sharding-27d91f6c00b592cd: examples/storage_sharding.rs
+
+examples/storage_sharding.rs:

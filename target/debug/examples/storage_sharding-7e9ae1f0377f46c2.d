@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/storage_sharding-7e9ae1f0377f46c2.d: examples/storage_sharding.rs Cargo.toml
+
+/root/repo/target/debug/examples/libstorage_sharding-7e9ae1f0377f46c2.rmeta: examples/storage_sharding.rs Cargo.toml
+
+examples/storage_sharding.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,1 @@
+/root/repo/target/debug/librand_pcg.rlib: /root/repo/vendor/rand/src/lib.rs /root/repo/vendor/rand_pcg/src/lib.rs

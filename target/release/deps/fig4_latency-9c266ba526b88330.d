@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_latency-9c266ba526b88330.d: crates/bench/src/bin/fig4_latency.rs
+
+/root/repo/target/release/deps/fig4_latency-9c266ba526b88330: crates/bench/src/bin/fig4_latency.rs
+
+crates/bench/src/bin/fig4_latency.rs:

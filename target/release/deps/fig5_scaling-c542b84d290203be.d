@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_scaling-c542b84d290203be.d: crates/bench/src/bin/fig5_scaling.rs
+
+/root/repo/target/release/deps/fig5_scaling-c542b84d290203be: crates/bench/src/bin/fig5_scaling.rs
+
+crates/bench/src/bin/fig5_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_fanout_probability-cb871dd959058a15.d: crates/bench/src/bin/fig6_fanout_probability.rs
+
+/root/repo/target/release/deps/fig6_fanout_probability-cb871dd959058a15: crates/bench/src/bin/fig6_fanout_probability.rs
+
+crates/bench/src/bin/fig6_fanout_probability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_convergence-719af4d05daf074c.d: crates/bench/src/bin/fig7_convergence.rs
+
+/root/repo/target/release/deps/fig7_convergence-719af4d05daf074c: crates/bench/src/bin/fig7_convergence.rs
+
+crates/bench/src/bin/fig7_convergence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_objectives-9cf805f578cc0ada.d: crates/bench/src/bin/fig8_objectives.rs
+
+/root/repo/target/release/deps/fig8_objectives-9cf805f578cc0ada: crates/bench/src/bin/fig8_objectives.rs
+
+crates/bench/src/bin/fig8_objectives.rs:

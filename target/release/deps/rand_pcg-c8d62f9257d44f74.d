@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand_pcg-c8d62f9257d44f74.d: vendor/rand_pcg/src/lib.rs
+
+/root/repo/target/release/deps/librand_pcg-c8d62f9257d44f74.rlib: vendor/rand_pcg/src/lib.rs
+
+/root/repo/target/release/deps/librand_pcg-c8d62f9257d44f74.rmeta: vendor/rand_pcg/src/lib.rs
+
+vendor/rand_pcg/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-091961402f8a70fa.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-091961402f8a70fa.so: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serving_router-1ec65eb371b7d361.d: crates/bench/benches/serving_router.rs
+
+/root/repo/target/release/deps/serving_router-1ec65eb371b7d361: crates/bench/benches/serving_router.rs
+
+crates/bench/benches/serving_router.rs:

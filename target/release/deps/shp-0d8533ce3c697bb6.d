@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/shp-0d8533ce3c697bb6.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/shp-0d8533ce3c697bb6: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/shp-d71d7a99a8c05b9f.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/shp-d71d7a99a8c05b9f: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/shp-f28f069b3bf974f3.d: src/lib.rs
+
+/root/repo/target/release/deps/libshp-f28f069b3bf974f3.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libshp-f28f069b3bf974f3.rmeta: src/lib.rs
+
+src/lib.rs:

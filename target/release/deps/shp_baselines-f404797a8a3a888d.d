@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/shp_baselines-f404797a8a3a888d.d: crates/baselines/src/lib.rs crates/baselines/src/greedy.rs crates/baselines/src/hashing.rs crates/baselines/src/label_propagation.rs crates/baselines/src/multilevel.rs crates/baselines/src/random.rs
+
+/root/repo/target/release/deps/libshp_baselines-f404797a8a3a888d.rlib: crates/baselines/src/lib.rs crates/baselines/src/greedy.rs crates/baselines/src/hashing.rs crates/baselines/src/label_propagation.rs crates/baselines/src/multilevel.rs crates/baselines/src/random.rs
+
+/root/repo/target/release/deps/libshp_baselines-f404797a8a3a888d.rmeta: crates/baselines/src/lib.rs crates/baselines/src/greedy.rs crates/baselines/src/hashing.rs crates/baselines/src/label_propagation.rs crates/baselines/src/multilevel.rs crates/baselines/src/random.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/greedy.rs:
+crates/baselines/src/hashing.rs:
+crates/baselines/src/label_propagation.rs:
+crates/baselines/src/multilevel.rs:
+crates/baselines/src/random.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/shp_bench-ca58fa41ffbdb9a7.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libshp_bench-ca58fa41ffbdb9a7.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libshp_bench-ca58fa41ffbdb9a7.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

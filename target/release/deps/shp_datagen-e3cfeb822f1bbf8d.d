@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/shp_datagen-e3cfeb822f1bbf8d.d: crates/datagen/src/lib.rs crates/datagen/src/erdos_renyi.rs crates/datagen/src/planted.rs crates/datagen/src/power_law.rs crates/datagen/src/registry.rs crates/datagen/src/social.rs
+
+/root/repo/target/release/deps/libshp_datagen-e3cfeb822f1bbf8d.rlib: crates/datagen/src/lib.rs crates/datagen/src/erdos_renyi.rs crates/datagen/src/planted.rs crates/datagen/src/power_law.rs crates/datagen/src/registry.rs crates/datagen/src/social.rs
+
+/root/repo/target/release/deps/libshp_datagen-e3cfeb822f1bbf8d.rmeta: crates/datagen/src/lib.rs crates/datagen/src/erdos_renyi.rs crates/datagen/src/planted.rs crates/datagen/src/power_law.rs crates/datagen/src/registry.rs crates/datagen/src/social.rs
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/erdos_renyi.rs:
+crates/datagen/src/planted.rs:
+crates/datagen/src/power_law.rs:
+crates/datagen/src/registry.rs:
+crates/datagen/src/social.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/shp_serving-09eb7b834ee1b98f.d: crates/serving/src/lib.rs crates/serving/src/cache.rs crates/serving/src/engine.rs crates/serving/src/error.rs crates/serving/src/metrics.rs crates/serving/src/partition_map.rs crates/serving/src/router.rs crates/serving/src/store.rs crates/serving/src/workload.rs
+
+/root/repo/target/release/deps/libshp_serving-09eb7b834ee1b98f.rlib: crates/serving/src/lib.rs crates/serving/src/cache.rs crates/serving/src/engine.rs crates/serving/src/error.rs crates/serving/src/metrics.rs crates/serving/src/partition_map.rs crates/serving/src/router.rs crates/serving/src/store.rs crates/serving/src/workload.rs
+
+/root/repo/target/release/deps/libshp_serving-09eb7b834ee1b98f.rmeta: crates/serving/src/lib.rs crates/serving/src/cache.rs crates/serving/src/engine.rs crates/serving/src/error.rs crates/serving/src/metrics.rs crates/serving/src/partition_map.rs crates/serving/src/router.rs crates/serving/src/store.rs crates/serving/src/workload.rs
+
+crates/serving/src/lib.rs:
+crates/serving/src/cache.rs:
+crates/serving/src/engine.rs:
+crates/serving/src/error.rs:
+crates/serving/src/metrics.rs:
+crates/serving/src/partition_map.rs:
+crates/serving/src/router.rs:
+crates/serving/src/store.rs:
+crates/serving/src/workload.rs:

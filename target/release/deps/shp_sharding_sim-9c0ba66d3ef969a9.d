@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/shp_sharding_sim-9c0ba66d3ef969a9.d: crates/sharding-sim/src/lib.rs crates/sharding-sim/src/cluster.rs crates/sharding-sim/src/latency.rs
+
+/root/repo/target/release/deps/libshp_sharding_sim-9c0ba66d3ef969a9.rlib: crates/sharding-sim/src/lib.rs crates/sharding-sim/src/cluster.rs crates/sharding-sim/src/latency.rs
+
+/root/repo/target/release/deps/libshp_sharding_sim-9c0ba66d3ef969a9.rmeta: crates/sharding-sim/src/lib.rs crates/sharding-sim/src/cluster.rs crates/sharding-sim/src/latency.rs
+
+crates/sharding-sim/src/lib.rs:
+crates/sharding-sim/src/cluster.rs:
+crates/sharding-sim/src/latency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_datasets-a16bffffd269405d.d: crates/bench/src/bin/table1_datasets.rs
+
+/root/repo/target/release/deps/table1_datasets-a16bffffd269405d: crates/bench/src/bin/table1_datasets.rs
+
+crates/bench/src/bin/table1_datasets.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_quality-d0f9f4dc10a8b626.d: crates/bench/src/bin/table2_quality.rs
+
+/root/repo/target/release/deps/table2_quality-d0f9f4dc10a8b626: crates/bench/src/bin/table2_quality.rs
+
+crates/bench/src/bin/table2_quality.rs:

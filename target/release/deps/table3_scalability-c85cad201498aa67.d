@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_scalability-c85cad201498aa67.d: crates/bench/src/bin/table3_scalability.rs
+
+/root/repo/target/release/deps/table3_scalability-c85cad201498aa67: crates/bench/src/bin/table3_scalability.rs
+
+crates/bench/src/bin/table3_scalability.rs:

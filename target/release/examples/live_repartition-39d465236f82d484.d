@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/live_repartition-39d465236f82d484.d: examples/live_repartition.rs
+
+/root/repo/target/release/examples/live_repartition-39d465236f82d484: examples/live_repartition.rs
+
+examples/live_repartition.rs:
