@@ -1,10 +1,14 @@
 //! Single-pass streaming greedy partitioning (linear deterministic greedy, LDG-style).
 
-use crate::Partitioner;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_pcg::Pcg64;
+use shp_core::api::{
+    assemble_outcome, PartitionOutcome, PartitionSpec, Partitioner, ProgressObserver,
+};
+use shp_core::ShpResult;
 use shp_hypergraph::{BipartiteGraph, BucketId, DataId, Partition};
+use std::time::Instant;
 
 /// Streams the data vertices in random order; each vertex is placed in the bucket where it has
 /// the most already-placed co-query neighbors, discounted by how full the bucket is and subject
@@ -19,14 +23,9 @@ impl GreedyStreamPartitioner {
     pub fn new(seed: u64) -> Self {
         GreedyStreamPartitioner { seed }
     }
-}
 
-impl Partitioner for GreedyStreamPartitioner {
-    fn name(&self) -> &'static str {
-        "GreedyStream"
-    }
-
-    fn partition(&self, graph: &BipartiteGraph, k: u32, epsilon: f64) -> Partition {
+    /// Direct entry point: one streaming pass into `k` buckets using the constructor seed.
+    pub fn partition_into(&self, graph: &BipartiteGraph, k: u32, epsilon: f64) -> Partition {
         let n = graph.num_data();
         let mut rng = Pcg64::seed_from_u64(self.seed);
         let mut order: Vec<DataId> = (0..n as DataId).collect();
@@ -80,6 +79,37 @@ impl Partitioner for GreedyStreamPartitioner {
     }
 }
 
+impl Partitioner for GreedyStreamPartitioner {
+    fn name(&self) -> &str {
+        "greedy"
+    }
+
+    /// The unified run takes the stream-order seed from the spec, not the constructor.
+    fn partition(
+        &self,
+        graph: &BipartiteGraph,
+        spec: &PartitionSpec,
+        _obs: &mut dyn ProgressObserver,
+    ) -> ShpResult<PartitionOutcome> {
+        spec.validate()?;
+        let start = Instant::now();
+        let partition = GreedyStreamPartitioner::new(spec.seed).partition_into(
+            graph,
+            spec.num_buckets,
+            spec.epsilon,
+        );
+        Ok(assemble_outcome(
+            self.name(),
+            graph,
+            partition,
+            spec,
+            0,
+            0,
+            start.elapsed(),
+        ))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -96,8 +126,8 @@ mod tests {
             noise: 0.05,
             seed: 3,
         });
-        let greedy = GreedyStreamPartitioner::new(1).partition(&g, 4, 0.05);
-        let random = crate::RandomPartitioner::new(1).partition(&g, 4, 0.05);
+        let greedy = GreedyStreamPartitioner::new(1).partition_into(&g, 4, 0.05);
+        let random = crate::RandomPartitioner::new(1).partition_into(&g, 4, 0.05);
         assert!(average_fanout(&g, &greedy) < average_fanout(&g, &random));
         assert!(greedy.is_balanced(0.06), "imbalance {}", greedy.imbalance());
     }
@@ -107,7 +137,7 @@ mod tests {
         let mut b = shp_hypergraph::GraphBuilder::new();
         b.add_query((0..512u32).collect::<Vec<_>>());
         let g = b.build().unwrap();
-        let p = GreedyStreamPartitioner::new(2).partition(&g, 4, 0.05);
+        let p = GreedyStreamPartitioner::new(2).partition_into(&g, 4, 0.05);
         assert!(p.is_balanced(0.06), "imbalance {}", p.imbalance());
     }
 }

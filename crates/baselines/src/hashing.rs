@@ -1,19 +1,20 @@
 //! Modulo hashing — the most common production sharding default.
 
-use crate::Partitioner;
+use shp_core::api::{
+    assemble_outcome, PartitionOutcome, PartitionSpec, Partitioner, ProgressObserver,
+};
+use shp_core::ShpResult;
 use shp_hypergraph::{BipartiteGraph, BucketId, Partition};
+use std::time::Instant;
 
 /// Assigns data vertex `v` to bucket `hash(v) mod k`. Deterministic and stateless, like
 /// consistent-hashing-based sharding before any locality optimization is applied.
 #[derive(Debug, Clone, Default)]
 pub struct HashPartitioner;
 
-impl Partitioner for HashPartitioner {
-    fn name(&self) -> &'static str {
-        "Hash"
-    }
-
-    fn partition(&self, graph: &BipartiteGraph, k: u32, _epsilon: f64) -> Partition {
+impl HashPartitioner {
+    /// Direct entry point: partitions into `k` buckets by hashing vertex ids.
+    pub fn partition_into(&self, graph: &BipartiteGraph, k: u32, _epsilon: f64) -> Partition {
         let assignment: Vec<BucketId> = (0..graph.num_data() as u32)
             .map(|v| {
                 // SplitMix64-style mix so consecutive ids do not land in consecutive buckets.
@@ -28,6 +29,32 @@ impl Partitioner for HashPartitioner {
     }
 }
 
+impl Partitioner for HashPartitioner {
+    fn name(&self) -> &str {
+        "hash"
+    }
+
+    fn partition(
+        &self,
+        graph: &BipartiteGraph,
+        spec: &PartitionSpec,
+        _obs: &mut dyn ProgressObserver,
+    ) -> ShpResult<PartitionOutcome> {
+        spec.validate()?;
+        let start = Instant::now();
+        let partition = self.partition_into(graph, spec.num_buckets, spec.epsilon);
+        Ok(assemble_outcome(
+            self.name(),
+            graph,
+            partition,
+            spec,
+            0,
+            0,
+            start.elapsed(),
+        ))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -38,9 +65,9 @@ mod tests {
         let mut b = GraphBuilder::new();
         b.add_query((0..2_000u32).collect::<Vec<_>>());
         let g = b.build().unwrap();
-        let p = HashPartitioner.partition(&g, 8, 0.05);
-        assert_eq!(p, HashPartitioner.partition(&g, 8, 0.05));
+        let p = HashPartitioner.partition_into(&g, 8, 0.05);
+        assert_eq!(p, HashPartitioner.partition_into(&g, 8, 0.05));
         assert!(p.imbalance() < 0.15, "imbalance {}", p.imbalance());
-        assert_eq!(HashPartitioner.name(), "Hash");
+        assert_eq!(Partitioner::name(&HashPartitioner), "hash");
     }
 }

@@ -1,9 +1,14 @@
 //! Capacity-constrained label propagation over the bipartite graph.
 
-use crate::Partitioner;
 use rand::SeedableRng;
 use rand_pcg::Pcg64;
-use shp_hypergraph::{BipartiteGraph, BucketId, DataId, Partition};
+use shp_core::api::{
+    assemble_outcome, IterationEvent, PartitionOutcome, PartitionSpec, Partitioner,
+    ProgressObserver,
+};
+use shp_core::ShpResult;
+use shp_hypergraph::{average_fanout, BipartiteGraph, BucketId, DataId, Partition};
+use std::time::Instant;
 
 /// Iterative label propagation: starting from a random balanced assignment, every data vertex
 /// repeatedly adopts the label (bucket) most common among its co-query neighbors, provided the
@@ -20,14 +25,34 @@ impl LabelPropagationPartitioner {
     pub fn new(iterations: usize, seed: u64) -> Self {
         LabelPropagationPartitioner { iterations, seed }
     }
-}
 
-impl Partitioner for LabelPropagationPartitioner {
-    fn name(&self) -> &'static str {
-        "LabelPropagation"
+    /// Direct entry point: runs the sweeps into `k` buckets using the constructor seed.
+    pub fn partition_into(&self, graph: &BipartiteGraph, k: u32, epsilon: f64) -> Partition {
+        self.sweep_loop(graph, k, epsilon, false).0
     }
 
-    fn partition(&self, graph: &BipartiteGraph, k: u32, epsilon: f64) -> Partition {
+    /// Like [`LabelPropagationPartitioner::partition_into`], additionally returning one
+    /// [`IterationEvent`] per executed sweep (moves and resulting fanout; the fanout costs one
+    /// full graph scan per sweep, so use [`LabelPropagationPartitioner::partition_into`] when
+    /// the trace is not consumed).
+    pub fn partition_traced(
+        &self,
+        graph: &BipartiteGraph,
+        k: u32,
+        epsilon: f64,
+    ) -> (Partition, Vec<IterationEvent>) {
+        self.sweep_loop(graph, k, epsilon, true)
+    }
+
+    /// The propagation loop. `with_fanout` controls whether each sweep's event carries the
+    /// (O(|E|)-to-compute) average fanout or `NaN`.
+    fn sweep_loop(
+        &self,
+        graph: &BipartiteGraph,
+        k: u32,
+        epsilon: f64,
+        with_fanout: bool,
+    ) -> (Partition, Vec<IterationEvent>) {
         let n = graph.num_data();
         let mut rng = Pcg64::seed_from_u64(self.seed);
         let mut partition = Partition::new_random(graph, k, &mut rng).expect("k >= 1 required");
@@ -36,7 +61,8 @@ impl Partitioner for LabelPropagationPartitioner {
             .max(1.0) as u64;
 
         let mut counts = vec![0u64; k as usize];
-        for _ in 0..self.iterations {
+        let mut events = Vec::new();
+        for sweep in 0..self.iterations {
             let mut moved = 0usize;
             for v in 0..n as DataId {
                 for c in counts.iter_mut() {
@@ -66,11 +92,65 @@ impl Partitioner for LabelPropagationPartitioner {
                     moved += 1;
                 }
             }
+            events.push(IterationEvent {
+                iteration: sweep,
+                moved,
+                fanout: if with_fanout {
+                    average_fanout(graph, &partition)
+                } else {
+                    f64::NAN
+                },
+            });
             if moved == 0 {
                 break;
             }
         }
-        partition
+        (partition, events)
+    }
+}
+
+impl Partitioner for LabelPropagationPartitioner {
+    fn name(&self) -> &str {
+        "label-propagation"
+    }
+
+    /// The unified run takes the seed and sweep cap from the spec (falling back to the
+    /// constructor's sweep count when the spec sets no cap).
+    fn partition(
+        &self,
+        graph: &BipartiteGraph,
+        spec: &PartitionSpec,
+        obs: &mut dyn ProgressObserver,
+    ) -> ShpResult<PartitionOutcome> {
+        spec.validate()?;
+        let start = Instant::now();
+        let sweeps = spec.max_iterations.unwrap_or(self.iterations);
+        // The per-sweep fanout costs a full graph scan, so it is only computed when the
+        // observer actually consumes iteration events.
+        let trace = obs.wants_iterations();
+        let (partition, events) = LabelPropagationPartitioner::new(sweeps, spec.seed).sweep_loop(
+            graph,
+            spec.num_buckets,
+            spec.epsilon,
+            trace,
+        );
+        let mut moves = 0u64;
+        for event in &events {
+            if trace {
+                obs.on_iteration(event);
+            }
+            moves += event.moved as u64;
+        }
+        let iterations = events.len();
+        Ok(assemble_outcome(
+            self.name(),
+            graph,
+            partition,
+            spec,
+            iterations,
+            moves,
+            start.elapsed(),
+        ))
     }
 }
 
@@ -90,8 +170,8 @@ mod tests {
             noise: 0.05,
             seed: 5,
         });
-        let lp = LabelPropagationPartitioner::new(10, 2).partition(&g, 4, 0.05);
-        let random = crate::RandomPartitioner::new(2).partition(&g, 4, 0.05);
+        let lp = LabelPropagationPartitioner::new(10, 2).partition_into(&g, 4, 0.05);
+        let random = crate::RandomPartitioner::new(2).partition_into(&g, 4, 0.05);
         assert!(average_fanout(&g, &lp) < average_fanout(&g, &random));
         assert!(lp.is_balanced(0.06), "imbalance {}", lp.imbalance());
     }
@@ -99,7 +179,7 @@ mod tests {
     #[test]
     fn zero_iterations_returns_the_random_start() {
         let (g, _) = planted_partition(&PlantedConfig::default());
-        let p = LabelPropagationPartitioner::new(0, 3).partition(&g, 4, 0.05);
+        let p = LabelPropagationPartitioner::new(0, 3).partition_into(&g, 4, 0.05);
         let mut rng = Pcg64::seed_from_u64(3);
         let expected = Partition::new_random(&g, 4, &mut rng).unwrap();
         assert_eq!(p, expected);

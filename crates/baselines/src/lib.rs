@@ -18,8 +18,31 @@
 //!   coarsening, greedy initial bisection, Fiduccia–Mattheyses refinement, recursive bisection
 //!   to `k`), representative of the Mondriaan/Zoltan/hMetis family.
 //!
-//! All baselines implement the common [`Partitioner`] trait so the benchmark harness can treat
-//! SHP and the baselines uniformly.
+//! Every baseline implements the **unified** [`shp_core::api::Partitioner`] trait, so tables,
+//! sweeps, and the CLI treat SHP and the baselines identically. [`full_registry`] returns an
+//! [`AlgorithmRegistry`] holding all nine algorithms of the workspace (the four SHP execution
+//! paths plus the five baselines):
+//!
+//! ```
+//! use shp_baselines::full_registry;
+//! use shp_core::api::{NoopObserver, PartitionSpec};
+//! use shp_hypergraph::GraphBuilder;
+//!
+//! let mut b = GraphBuilder::new();
+//! b.add_query([0u32, 1, 2]);
+//! b.add_query([3u32, 4, 5]);
+//! let graph = b.build().unwrap();
+//!
+//! let registry = full_registry();
+//! let spec = PartitionSpec::new(2).with_seed(7);
+//! for name in ["shp2", "multilevel"] {
+//!     let outcome = registry.run(name, &graph, &spec, &mut NoopObserver).unwrap();
+//!     assert_eq!(outcome.partition.num_buckets(), 2);
+//! }
+//! ```
+//!
+//! The structs additionally keep their direct entry points (`partition_into`) for callers that
+//! want a bare [`Partition`](shp_hypergraph::Partition) without spec plumbing.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,23 +59,46 @@ pub use label_propagation::LabelPropagationPartitioner;
 pub use multilevel::{MultilevelConfig, MultilevelPartitioner};
 pub use random::RandomPartitioner;
 
-use shp_hypergraph::{BipartiteGraph, Partition};
+use shp_core::api::AlgorithmRegistry;
 
-/// A k-way hypergraph partitioner.
-pub trait Partitioner {
-    /// Human-readable name used in benchmark tables.
-    fn name(&self) -> &'static str;
+/// Registers the five baselines in `registry` under their canonical names:
+/// `random`, `hash`, `greedy`, `label-propagation`, `multilevel`.
+pub fn register_baselines(registry: &mut AlgorithmRegistry) {
+    registry.register("random", |spec| Box::new(RandomPartitioner::new(spec.seed)));
+    registry.register("hash", |_| Box::new(HashPartitioner));
+    registry.register("greedy", |spec| {
+        Box::new(GreedyStreamPartitioner::new(spec.seed))
+    });
+    registry.register("label-propagation", |spec| {
+        Box::new(LabelPropagationPartitioner::new(
+            spec.max_iterations.unwrap_or(15),
+            spec.seed,
+        ))
+    });
+    registry.register("multilevel", |spec| {
+        Box::new(MultilevelPartitioner::new(MultilevelConfig {
+            seed: spec.seed,
+            ..MultilevelConfig::default()
+        }))
+    });
+}
 
-    /// Partitions the data vertices of `graph` into `k` buckets with allowed imbalance `epsilon`.
-    fn partition(&self, graph: &BipartiteGraph, k: u32, epsilon: f64) -> Partition;
+/// The full workspace registry: the four SHP execution paths of `shp-core` (`shp2`, `shpk`,
+/// `distributed`, `incremental`) plus the five baselines of this crate.
+pub fn full_registry() -> AlgorithmRegistry {
+    let mut registry = AlgorithmRegistry::core();
+    register_baselines(&mut registry);
+    registry
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use shp_core::api::{NoopObserver, PartitionSpec, Partitioner};
     use shp_hypergraph::average_fanout;
 
-    /// Every baseline must produce a valid, reasonably balanced partition on a small graph.
+    /// Every baseline must produce a valid, reasonably balanced partition on a small graph
+    /// through the unified trait.
     #[test]
     fn all_baselines_produce_valid_partitions() {
         let graph = shp_datagen::planted_partition(&shp_datagen::PlantedConfig {
@@ -71,22 +117,48 @@ mod tests {
             Box::new(LabelPropagationPartitioner::new(10, 1)),
             Box::new(MultilevelPartitioner::new(MultilevelConfig::default())),
         ];
+        let spec = PartitionSpec::new(4).with_seed(1).with_epsilon(0.05);
         for b in &baselines {
-            let p = b.partition(&graph, 4, 0.05);
+            let outcome = b.partition(&graph, &spec, &mut NoopObserver).unwrap();
+            let p = &outcome.partition;
             assert_eq!(p.num_buckets(), 4, "{}", b.name());
             assert_eq!(p.num_data(), graph.num_data(), "{}", b.name());
             assert!(
-                p.imbalance() < 0.35,
-                "{} imbalance {}",
+                p.is_balanced(spec.epsilon),
+                "{} weights {:?}",
                 b.name(),
-                p.imbalance()
+                p.bucket_weights()
             );
-            let fanout = average_fanout(&graph, &p);
+            let fanout = average_fanout(&graph, p);
             assert!(
                 (1.0..=4.0).contains(&fanout),
                 "{} fanout {fanout}",
                 b.name()
             );
+            assert!((outcome.fanout - fanout).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn full_registry_holds_all_nine_algorithms() {
+        let registry = full_registry();
+        assert_eq!(
+            registry.names(),
+            vec![
+                "distributed",
+                "greedy",
+                "hash",
+                "incremental",
+                "label-propagation",
+                "multilevel",
+                "random",
+                "shp2",
+                "shpk",
+            ]
+        );
+        for name in registry.names() {
+            assert!(registry.contains(&name));
+            assert_eq!(registry.get(&name).unwrap().name(), name);
         }
     }
 }

@@ -9,11 +9,15 @@
 //! memory, it exhibits exactly the scalability limits discussed in Section 2 — which the
 //! scalability benchmarks demonstrate against SHP.
 
-use crate::Partitioner;
 use rand::SeedableRng;
 use rand_pcg::Pcg64;
 use serde::{Deserialize, Serialize};
+use shp_core::api::{
+    assemble_outcome, PartitionOutcome, PartitionSpec, Partitioner, ProgressObserver,
+};
+use shp_core::ShpResult;
 use shp_hypergraph::{BipartiteGraph, BucketId, CliqueNetGraph, DataId, Partition};
+use std::time::Instant;
 
 /// Configuration of the multilevel partitioner.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -54,14 +58,10 @@ impl MultilevelPartitioner {
     pub fn new(config: MultilevelConfig) -> Self {
         MultilevelPartitioner { config }
     }
-}
 
-impl Partitioner for MultilevelPartitioner {
-    fn name(&self) -> &'static str {
-        "Multilevel-FM"
-    }
-
-    fn partition(&self, graph: &BipartiteGraph, k: u32, epsilon: f64) -> Partition {
+    /// Direct entry point: the full multilevel pipeline into `k` buckets with the constructor
+    /// configuration.
+    pub fn partition_into(&self, graph: &BipartiteGraph, k: u32, epsilon: f64) -> Partition {
         // Work on the weighted clique-net graph of the hypergraph (Lemma 2's object).
         let clique = CliqueNetGraph::build(graph, self.config.max_hyperedge_size);
         let n = graph.num_data();
@@ -76,6 +76,38 @@ impl Partitioner for MultilevelPartitioner {
             0,
         );
         Partition::from_assignment(graph, k, assignment).expect("valid by construction")
+    }
+}
+
+impl Partitioner for MultilevelPartitioner {
+    fn name(&self) -> &str {
+        "multilevel"
+    }
+
+    /// The unified run keeps the constructor's pipeline options but takes the seed from the
+    /// spec.
+    fn partition(
+        &self,
+        graph: &BipartiteGraph,
+        spec: &PartitionSpec,
+        _obs: &mut dyn ProgressObserver,
+    ) -> ShpResult<PartitionOutcome> {
+        spec.validate()?;
+        let start = Instant::now();
+        let seeded = MultilevelPartitioner::new(MultilevelConfig {
+            seed: spec.seed,
+            ..self.config.clone()
+        });
+        let partition = seeded.partition_into(graph, spec.num_buckets, spec.epsilon);
+        Ok(assemble_outcome(
+            self.name(),
+            graph,
+            partition,
+            spec,
+            0,
+            0,
+            start.elapsed(),
+        ))
     }
 }
 
@@ -340,8 +372,9 @@ mod tests {
             noise: 0.05,
             seed: 7,
         });
-        let ml = MultilevelPartitioner::new(MultilevelConfig::default()).partition(&g, 4, 0.05);
-        let random = crate::RandomPartitioner::new(7).partition(&g, 4, 0.05);
+        let ml =
+            MultilevelPartitioner::new(MultilevelConfig::default()).partition_into(&g, 4, 0.05);
+        let random = crate::RandomPartitioner::new(7).partition_into(&g, 4, 0.05);
         let ml_fanout = average_fanout(&g, &ml);
         let random_fanout = average_fanout(&g, &random);
         assert!(
@@ -361,7 +394,7 @@ mod tests {
             noise: 0.05,
             seed: 2,
         });
-        let p = MultilevelPartitioner::new(MultilevelConfig::default()).partition(&g, 3, 0.05);
+        let p = MultilevelPartitioner::new(MultilevelConfig::default()).partition_into(&g, 3, 0.05);
         assert_eq!(p.num_buckets(), 3);
         assert!(p.bucket_weights().iter().all(|&w| w > 0));
     }
@@ -376,8 +409,8 @@ mod tests {
             noise: 0.1,
             seed: 4,
         });
-        let a = MultilevelPartitioner::new(MultilevelConfig::default()).partition(&g, 2, 0.05);
-        let b = MultilevelPartitioner::new(MultilevelConfig::default()).partition(&g, 2, 0.05);
+        let a = MultilevelPartitioner::new(MultilevelConfig::default()).partition_into(&g, 2, 0.05);
+        let b = MultilevelPartitioner::new(MultilevelConfig::default()).partition_into(&g, 2, 0.05);
         assert_eq!(a, b);
     }
 
@@ -386,7 +419,7 @@ mod tests {
         let mut b = shp_hypergraph::GraphBuilder::new();
         b.add_query([0u32, 1]);
         let g = b.build().unwrap();
-        let p = MultilevelPartitioner::new(MultilevelConfig::default()).partition(&g, 2, 0.0);
+        let p = MultilevelPartitioner::new(MultilevelConfig::default()).partition_into(&g, 2, 0.0);
         assert_eq!(p.num_buckets(), 2);
         assert_ne!(p.bucket_of(0), p.bucket_of(1));
     }

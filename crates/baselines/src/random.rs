@@ -1,9 +1,13 @@
 //! Uniform random partitioning — the unoptimized baseline ("random sharding").
 
-use crate::Partitioner;
 use rand::SeedableRng;
 use rand_pcg::Pcg64;
+use shp_core::api::{
+    assemble_outcome, PartitionOutcome, PartitionSpec, Partitioner, ProgressObserver,
+};
+use shp_core::ShpResult;
 use shp_hypergraph::{BipartiteGraph, Partition};
+use std::time::Instant;
 
 /// Assigns every data vertex to an independently uniform random bucket.
 #[derive(Debug, Clone)]
@@ -16,16 +20,40 @@ impl RandomPartitioner {
     pub fn new(seed: u64) -> Self {
         RandomPartitioner { seed }
     }
+
+    /// Direct entry point: partitions into `k` buckets using the constructor seed.
+    pub fn partition_into(&self, graph: &BipartiteGraph, k: u32, _epsilon: f64) -> Partition {
+        let mut rng = Pcg64::seed_from_u64(self.seed);
+        Partition::new_random(graph, k, &mut rng).expect("k >= 1 required")
+    }
 }
 
 impl Partitioner for RandomPartitioner {
-    fn name(&self) -> &'static str {
-        "Random"
+    fn name(&self) -> &str {
+        "random"
     }
 
-    fn partition(&self, graph: &BipartiteGraph, k: u32, _epsilon: f64) -> Partition {
-        let mut rng = Pcg64::seed_from_u64(self.seed);
-        Partition::new_random(graph, k, &mut rng).expect("k >= 1 required")
+    /// The unified run takes the seed from the spec (not the constructor), so equal specs give
+    /// equal partitions regardless of how the instance was built.
+    fn partition(
+        &self,
+        graph: &BipartiteGraph,
+        spec: &PartitionSpec,
+        _obs: &mut dyn ProgressObserver,
+    ) -> ShpResult<PartitionOutcome> {
+        spec.validate()?;
+        let start = Instant::now();
+        let partition =
+            RandomPartitioner::new(spec.seed).partition_into(graph, spec.num_buckets, spec.epsilon);
+        Ok(assemble_outcome(
+            self.name(),
+            graph,
+            partition,
+            spec,
+            0,
+            0,
+            start.elapsed(),
+        ))
     }
 }
 
@@ -41,10 +69,29 @@ mod tests {
             b.add_query([i, i + 1]);
         }
         let g = b.build().unwrap();
-        let p1 = RandomPartitioner::new(7).partition(&g, 4, 0.05);
-        let p2 = RandomPartitioner::new(7).partition(&g, 4, 0.05);
+        let p1 = RandomPartitioner::new(7).partition_into(&g, 4, 0.05);
+        let p2 = RandomPartitioner::new(7).partition_into(&g, 4, 0.05);
         assert_eq!(p1, p2);
         assert!(p1.imbalance() < 0.2);
-        assert_eq!(RandomPartitioner::new(7).name(), "Random");
+        assert_eq!(Partitioner::name(&RandomPartitioner::new(7)), "random");
+    }
+
+    #[test]
+    fn unified_run_respects_the_spec_seed_and_epsilon() {
+        let mut b = GraphBuilder::new();
+        for i in 0..999u32 {
+            b.add_query([i, i + 1]);
+        }
+        let g = b.build().unwrap();
+        let spec = PartitionSpec::new(4).with_seed(9).with_epsilon(0.0);
+        let a = RandomPartitioner::new(1)
+            .partition(&g, &spec, &mut shp_core::api::NoopObserver)
+            .unwrap();
+        let b2 = RandomPartitioner::new(2)
+            .partition(&g, &spec, &mut shp_core::api::NoopObserver)
+            .unwrap();
+        // Constructor seeds differ, spec seeds agree: identical partitions.
+        assert_eq!(a.partition, b2.partition);
+        assert!(a.partition.is_balanced(0.0));
     }
 }

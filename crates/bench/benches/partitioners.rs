@@ -13,13 +13,7 @@ fn bench_partitioners(c: &mut Criterion) {
     });
     let mut group = c.benchmark_group("partitioners_end_to_end");
     group.sample_size(10);
-    for algorithm in [
-        "SHP-2",
-        "SHP-k",
-        "Multilevel-FM",
-        "GreedyStream",
-        "LabelPropagation",
-    ] {
+    for algorithm in ["shp2", "shpk", "multilevel", "greedy", "label-propagation"] {
         group.bench_with_input(
             BenchmarkId::from_parameter(algorithm),
             &algorithm,

@@ -16,7 +16,7 @@ fn bench_serving_router(c: &mut Criterion) {
     });
     let mut group = c.benchmark_group("serving_router");
     group.sample_size(10);
-    for algorithm in ["Random", "SHP-2"] {
+    for algorithm in ["random", "shp2"] {
         let run = run_algorithm(algorithm, &graph, 16, 0.05, 1);
         let snapshot = PartitionSnapshot::from_partition(&run.partition, 0).unwrap();
         group.bench_with_input(

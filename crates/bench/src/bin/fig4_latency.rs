@@ -79,8 +79,7 @@ fn main() {
 
         // For contrast, the same workload under random sharding (the \"fanout 40\" end of the plot).
         let random = shp_baselines::RandomPartitioner::new(1);
-        use shp_baselines::Partitioner;
-        let random_partition = random.partition(&graph, servers, 0.05);
+        let random_partition = random.partition_into(&graph, servers, 0.05);
         let random_cluster = ShardedCluster::from_partition(&random_partition, model);
         let random_report = random_cluster.replay(&graph, 1, 0x5047);
         println!(

@@ -4,7 +4,7 @@
 //! The reported quantity is the percentage reduction in (non-probabilistic) fanout relative to
 //! the random initial partition; the paper finds 0.4 ≤ p ≤ 0.8 best, with p = 0.5 the default.
 
-use shp_baselines::{Partitioner, RandomPartitioner};
+use shp_baselines::RandomPartitioner;
 use shp_bench::{bench_scale, env_usize, load_dataset, TextTable};
 use shp_core::{partition_recursive, ObjectiveKind, ShpConfig};
 use shp_datagen::Dataset;
@@ -25,7 +25,7 @@ fn main() {
     );
     let mut table = TextTable::new(["k", "p", "fanout", "reduction vs random (%)"]);
     for &k in &ks {
-        let random = RandomPartitioner::new(0x5047).partition(&graph, k, 0.05);
+        let random = RandomPartitioner::new(0x5047).partition_into(&graph, k, 0.05);
         let random_fanout = average_fanout(&graph, &random);
         for &p in &ps {
             let objective = if p >= 1.0 {

@@ -5,12 +5,12 @@
 //! multilevel baseline (the Mondriaan/Zoltan stand-in) is included to show where it stops being
 //! feasible — mirroring the paper's finding that only SHP-2 completes on every instance.
 
-use shp_baselines::{MultilevelConfig, MultilevelPartitioner, Partitioner};
+use shp_baselines::{MultilevelConfig, MultilevelPartitioner};
 use shp_bench::{bench_scale, env_usize, fmt_secs, load_dataset, TextTable};
-use shp_core::{partition_distributed, ShpConfig};
+use shp_core::api::{DistributedShp, NoopObserver, PartitionSpec, Partitioner};
 use shp_datagen::Dataset;
 use shp_hypergraph::average_fanout;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 fn main() {
     let scale = bench_scale();
@@ -40,32 +40,34 @@ fn main() {
         };
         let graph = load_dataset(dataset, effective_scale.max(1e-4));
         for &k in &ks {
-            // SHP-2 (recursive bisection on the BSP engine).
-            let config = ShpConfig::recursive_bisection(k)
+            let run_spec = PartitionSpec::new(k)
                 .with_epsilon(epsilon)
-                .with_seed(0x5047);
-            let start = Instant::now();
-            let shp2 = partition_distributed(&graph, &config, workers).expect("valid config");
+                .with_seed(0x5047)
+                .with_num_workers(workers);
+            // SHP-2 (recursive bisection on the BSP engine), via the unified trait.
+            let shp2 = DistributedShp::default()
+                .partition(&graph, &run_spec, &mut NoopObserver)
+                .expect("valid spec");
             table.add_row([
                 spec.name.to_string(),
                 k.to_string(),
                 "SHP-2".to_string(),
-                fmt_secs(start.elapsed()),
-                format!("{:.2}", shp2.final_fanout),
+                fmt_secs(shp2.elapsed),
+                format!("{:.2}", shp2.fanout),
                 "ok".to_string(),
             ]);
 
             // SHP-k (direct) — the paper shows it scales linearly in k, so skip huge k.
             if k <= 512 {
-                let config = ShpConfig::direct(k).with_epsilon(epsilon).with_seed(0x5047);
-                let start = Instant::now();
-                let shpk = partition_distributed(&graph, &config, workers).expect("valid config");
+                let shpk = DistributedShp::direct()
+                    .partition(&graph, &run_spec, &mut NoopObserver)
+                    .expect("valid spec");
                 table.add_row([
                     spec.name.to_string(),
                     k.to_string(),
                     "SHP-k".to_string(),
-                    fmt_secs(start.elapsed()),
-                    format!("{:.2}", shpk.final_fanout),
+                    fmt_secs(shpk.elapsed),
+                    format!("{:.2}", shpk.fanout),
                     "ok".to_string(),
                 ]);
             } else {
@@ -82,11 +84,10 @@ fn main() {
             // Multilevel-FM baseline (single machine): only attempted on the smaller graphs,
             // like Zoltan/Parkway in the paper it fails (here: exceeds the budget) on the rest.
             if graph.num_edges() <= 2_000_000 && k <= 512 {
-                let start = Instant::now();
                 let ml = MultilevelPartitioner::new(MultilevelConfig::default())
-                    .partition(&graph, k, epsilon);
-                let elapsed = start.elapsed();
-                let status = if elapsed > budget {
+                    .partition(&graph, &run_spec, &mut NoopObserver)
+                    .expect("valid spec");
+                let status = if ml.elapsed > budget {
                     "exceeded budget"
                 } else {
                     "ok"
@@ -95,8 +96,8 @@ fn main() {
                     spec.name.to_string(),
                     k.to_string(),
                     "Multilevel-FM".to_string(),
-                    fmt_secs(elapsed),
-                    format!("{:.2}", average_fanout(&graph, &ml)),
+                    fmt_secs(ml.elapsed),
+                    format!("{:.2}", average_fanout(&graph, &ml.partition)),
                     status.to_string(),
                 ]);
             } else {

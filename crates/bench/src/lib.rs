@@ -11,14 +11,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use shp_baselines::{
-    GreedyStreamPartitioner, HashPartitioner, LabelPropagationPartitioner, MultilevelConfig,
-    MultilevelPartitioner, Partitioner, RandomPartitioner,
-};
-use shp_core::{partition_direct, partition_recursive, ShpConfig};
+use shp_baselines::full_registry;
+use shp_core::api::{NoopObserver, PartitionSpec};
 use shp_datagen::Dataset;
-use shp_hypergraph::{average_fanout, BipartiteGraph, Partition};
-use std::time::{Duration, Instant};
+use shp_hypergraph::{BipartiteGraph, Partition};
+use std::time::Duration;
 
 /// Default dataset scale used by the benchmark binaries.
 pub const DEFAULT_SCALE: f64 = 0.01;
@@ -61,23 +58,23 @@ pub struct AlgorithmRun {
     pub partition: Partition,
 }
 
-/// The algorithms compared in the quality tables. `SHP-2` and `SHP-k` are ours; the remaining
-/// entries are the stand-ins for the third-party packages of the paper.
+/// The registry names compared in the quality tables. `shpk` and `shp2` are ours; the
+/// remaining entries are the stand-ins for the third-party packages of the paper.
 pub fn quality_algorithms() -> Vec<String> {
     vec![
-        "SHP-k".to_string(),
-        "SHP-2".to_string(),
-        "Multilevel-FM".to_string(),
-        "LabelPropagation".to_string(),
-        "GreedyStream".to_string(),
-        "Random".to_string(),
+        "shpk".to_string(),
+        "shp2".to_string(),
+        "multilevel".to_string(),
+        "label-propagation".to_string(),
+        "greedy".to_string(),
+        "random".to_string(),
     ]
 }
 
-/// Runs one named algorithm on a graph.
+/// Runs one registry algorithm on a graph through the unified `Partitioner` trait.
 ///
 /// # Panics
-/// Panics on an unknown algorithm name.
+/// Panics on an unknown registry name or an invalid spec (the harness passes literal specs).
 pub fn run_algorithm(
     name: &str,
     graph: &BipartiteGraph,
@@ -85,42 +82,17 @@ pub fn run_algorithm(
     epsilon: f64,
     seed: u64,
 ) -> AlgorithmRun {
-    let start = Instant::now();
-    let partition = match name {
-        "SHP-k" => {
-            let config = ShpConfig::direct(k).with_epsilon(epsilon).with_seed(seed);
-            partition_direct(graph, &config)
-                .expect("valid config")
-                .partition
-        }
-        "SHP-2" => {
-            let config = ShpConfig::recursive_bisection(k)
-                .with_epsilon(epsilon)
-                .with_seed(seed);
-            partition_recursive(graph, &config)
-                .expect("valid config")
-                .partition
-        }
-        "Multilevel-FM" => MultilevelPartitioner::new(MultilevelConfig {
-            seed,
-            ..Default::default()
-        })
-        .partition(graph, k, epsilon),
-        "LabelPropagation" => {
-            LabelPropagationPartitioner::new(15, seed).partition(graph, k, epsilon)
-        }
-        "GreedyStream" => GreedyStreamPartitioner::new(seed).partition(graph, k, epsilon),
-        "Random" => RandomPartitioner::new(seed).partition(graph, k, epsilon),
-        "Hash" => HashPartitioner.partition(graph, k, epsilon),
-        other => panic!("unknown algorithm {other}"),
-    };
-    let elapsed = start.elapsed();
+    let registry = full_registry();
+    let spec = PartitionSpec::new(k).with_epsilon(epsilon).with_seed(seed);
+    let outcome = registry
+        .run(name, graph, &spec, &mut NoopObserver)
+        .expect("registered algorithm and valid spec");
     AlgorithmRun {
-        algorithm: name.to_string(),
-        fanout: average_fanout(graph, &partition),
-        imbalance: partition.imbalance(),
-        elapsed,
-        partition,
+        algorithm: outcome.algorithm,
+        fanout: outcome.fanout,
+        imbalance: outcome.imbalance,
+        elapsed: outcome.elapsed,
+        partition: outcome.partition,
     }
 }
 
@@ -232,11 +204,11 @@ mod tests {
     #[test]
     fn shp_beats_random_on_a_registry_dataset() {
         let graph = load_dataset(Dataset::Fb10M, 0.005);
-        let shp = run_algorithm("SHP-2", &graph, 8, 0.05, 1);
-        let random = run_algorithm("Random", &graph, 8, 0.05, 1);
+        let shp = run_algorithm("shp2", &graph, 8, 0.05, 1);
+        let random = run_algorithm("random", &graph, 8, 0.05, 1);
         assert!(
             shp.fanout < random.fanout,
-            "SHP-2 {} vs random {}",
+            "shp2 {} vs random {}",
             shp.fanout,
             random.fanout
         );

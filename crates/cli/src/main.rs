@@ -4,24 +4,31 @@
 //!
 //! * `generate <dataset> <scale> <output.hgr>` — synthesize a Table-1 dataset stand-in and
 //!   write it in hMetis format.
-//! * `partition <input.hgr> <k> <output.part> [--mode shp2|shpk] [--p <p>] [--epsilon <eps>] [--seed <seed>]`
-//!   — partition a hypergraph file and write the bucket of every vertex.
-//! * `evaluate <input.hgr> <partition.part> <k>` — report fanout, p-fanout, hyperedge cut, and
-//!   imbalance of an existing partition.
+//! * `algorithms` — list every partitioning algorithm registered in the workspace registry.
+//! * `partition <input.hgr> <k> <output.part> [--mode <algorithm>] [--p <p>] [--epsilon <eps>]
+//!   [--seed <seed>] [--iterations <n>] [--workers <n>] [--json]` — partition a hypergraph
+//!   file with **any registered algorithm** (SHP or baseline) and write the bucket of every
+//!   vertex; `--json` emits the full `PartitionOutcome`.
+//! * `evaluate <input.hgr> <partition.part> <k> [--json]` — report fanout, p-fanout,
+//!   hyperedge cut, and imbalance of an existing partition.
 //! * `replay [options]` — drive a synthetic open-loop multiget workload through the
 //!   `shp-serving` engine under a random and an SHP partition and compare mean fanout,
 //!   latency percentiles, and shard load skew.
 //! * `serve [options]` — start serving on a random partition, compute an SHP repartition in
-//!   the background, and install it *live* mid-run, reporting per-epoch fanout.
+//!   the background through the unified registry, and warm-start it *live* mid-run.
+//!
+//! Every failure path is a typed [`ShpError`]; `?` composes from file parsing through
+//! partitioning to the serving engine without a single stringly-typed error.
 //!
 //! The hMetis format is the one exchanged by hMetis/PaToH/Mondriaan/Parkway/Zoltan, so
 //! partitions can be compared against other tools directly.
 
-use shp_baselines::{Partitioner, RandomPartitioner};
-use shp_core::{partition_direct, partition_recursive, ObjectiveKind, ShpConfig};
+use shp_baselines::{full_registry, RandomPartitioner};
+use shp_core::api::{AlgorithmRegistry, NoopObserver, PartitionOutcome, PartitionSpec};
+use shp_core::{ObjectiveKind, ShpError, ShpResult};
 use shp_datagen::Dataset;
 use shp_hypergraph::{
-    average_fanout, average_p_fanout, hyperedge_cut, io, BipartiteGraph, GraphStats, Partition,
+    average_fanout, average_p_fanout, hyperedge_cut, io, BipartiteGraph, GraphStats,
 };
 use shp_serving::{open_loop_schedule, EngineConfig, ServingEngine, WorkloadConfig};
 use std::process::ExitCode;
@@ -31,6 +38,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("generate") => cmd_generate(&args[1..]),
+        Some("algorithms") => cmd_algorithms(&args[1..]),
         Some("partition") => cmd_partition(&args[1..]),
         Some("evaluate") => cmd_evaluate(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
@@ -42,8 +50,8 @@ fn main() -> ExitCode {
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
-            eprintln!("error: {message}");
+        Err(error) => {
+            eprintln!("error: {error}");
             ExitCode::FAILURE
         }
     }
@@ -51,28 +59,36 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   shp generate <dataset> <scale> <output.hgr>
-  shp partition <input.hgr> <k> <output.part> [--mode shp2|shpk] [--p <p>] [--epsilon <eps>] [--seed <seed>]
-  shp evaluate <input.hgr> <partition.part> <k>
+  shp algorithms
+  shp partition <input.hgr> <k> <output.part> [--mode <algorithm>] [--p <p>] [--epsilon <eps>]
+                [--seed <seed>] [--iterations <n>] [--workers <n>] [--json]
+  shp evaluate <input.hgr> <partition.part> <k> [--json]
   shp replay [--dataset <name>] [--scale <s>] [--shards <k>] [--rate <r>] [--duration <d>]
              [--clients <n>] [--cache <capacity>] [--seed <seed>]
   shp serve  [--dataset <name>] [--scale <s>] [--shards <k>] [--rate <r>] [--duration <d>]
              [--clients <n>] [--cache <capacity>] [--seed <seed>]
 
+`shp algorithms` lists the names accepted by --mode.
 datasets: email-Enron soc-Epinions web-Stanford web-BerkStan soc-Pokec soc-LJ FB-10M FB-50M FB-2B FB-5B FB-10B";
 
-fn cmd_generate(args: &[String]) -> Result<(), String> {
+fn usage_error(message: impl Into<String>) -> ShpError {
+    ShpError::InvalidArgument(format!("{}\n{USAGE}", message.into()))
+}
+
+fn cmd_generate(args: &[String]) -> ShpResult<()> {
     let [name, scale, output] = args else {
-        return Err(format!("generate needs 3 arguments\n{USAGE}"));
+        return Err(usage_error("generate needs 3 arguments"));
     };
-    let dataset = Dataset::from_name(name).ok_or_else(|| format!("unknown dataset {name:?}"))?;
+    let dataset = Dataset::from_name(name)
+        .ok_or_else(|| ShpError::InvalidArgument(format!("unknown dataset {name:?}")))?;
     let scale: f64 = scale
         .parse()
-        .map_err(|_| format!("invalid scale {scale:?}"))?;
+        .map_err(|_| ShpError::InvalidArgument(format!("invalid scale {scale:?}")))?;
     if !(scale > 0.0 && scale <= 1.0) {
-        return Err("scale must lie in (0, 1]".into());
+        return Err(ShpError::InvalidArgument("scale must lie in (0, 1]".into()));
     }
     let graph = dataset.generate(scale, 0x5047);
-    io::write_hmetis_file(&graph, output).map_err(|e| e.to_string())?;
+    io::write_hmetis_file(&graph, output)?;
     println!(
         "{}",
         GraphStats::compute(&graph).table1_row(dataset.spec().name)
@@ -81,52 +97,83 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_partition(args: &[String]) -> Result<(), String> {
+fn cmd_algorithms(args: &[String]) -> ShpResult<()> {
+    if !args.is_empty() {
+        return Err(usage_error("algorithms takes no arguments"));
+    }
+    let registry = full_registry();
+    println!("registered partitioning algorithms (accepted by `shp partition --mode <name>`):");
+    for name in registry.names() {
+        println!("  {name}");
+    }
+    Ok(())
+}
+
+fn cmd_partition(args: &[String]) -> ShpResult<()> {
     if args.len() < 3 {
-        return Err(format!("partition needs at least 3 arguments\n{USAGE}"));
+        return Err(usage_error("partition needs at least 3 arguments"));
     }
     let input = &args[0];
     let k: u32 = args[1]
         .parse()
-        .map_err(|_| format!("invalid k {:?}", args[1]))?;
+        .map_err(|_| ShpError::InvalidArgument(format!("invalid k {:?}", args[1])))?;
     let output = &args[2];
     let mut mode = "shp2".to_string();
     let mut p = 0.5f64;
     let mut epsilon = 0.05f64;
     let mut seed = 0x5047u64;
+    let mut iterations: Option<usize> = None;
+    let mut workers = 4usize;
+    let mut json = false;
     let mut i = 3;
     while i < args.len() {
-        match args[i].as_str() {
-            "--mode" => {
-                mode = args.get(i + 1).cloned().ok_or("--mode needs a value")?;
-                i += 2;
-            }
+        let flag = args[i].as_str();
+        if flag == "--json" {
+            json = true;
+            i += 1;
+            continue;
+        }
+        let value = || {
+            args.get(i + 1)
+                .ok_or_else(|| ShpError::InvalidArgument(format!("{flag} needs a value")))
+        };
+        match flag {
+            "--mode" => mode = value()?.clone(),
             "--p" => {
-                p = args
-                    .get(i + 1)
-                    .and_then(|s| s.parse().ok())
-                    .ok_or("--p needs a number")?;
-                i += 2;
+                p = value()?
+                    .parse()
+                    .map_err(|_| ShpError::InvalidArgument("--p needs a number".into()))?
             }
             "--epsilon" => {
-                epsilon = args
-                    .get(i + 1)
-                    .and_then(|s| s.parse().ok())
-                    .ok_or("--epsilon needs a number")?;
-                i += 2;
+                epsilon = value()?
+                    .parse()
+                    .map_err(|_| ShpError::InvalidArgument("--epsilon needs a number".into()))?
             }
             "--seed" => {
-                seed = args
-                    .get(i + 1)
-                    .and_then(|s| s.parse().ok())
-                    .ok_or("--seed needs a number")?;
-                i += 2;
+                seed = value()?
+                    .parse()
+                    .map_err(|_| ShpError::InvalidArgument("--seed needs a number".into()))?
             }
-            other => return Err(format!("unknown option {other:?}")),
+            "--iterations" => {
+                iterations =
+                    Some(value()?.parse().map_err(|_| {
+                        ShpError::InvalidArgument("--iterations needs a number".into())
+                    })?)
+            }
+            "--workers" => {
+                workers = value()?
+                    .parse()
+                    .map_err(|_| ShpError::InvalidArgument("--workers needs a number".into()))?
+            }
+            other => {
+                return Err(ShpError::InvalidArgument(format!(
+                    "unknown option {other:?}"
+                )))
+            }
         }
+        i += 2;
     }
 
-    let graph = io::read_hmetis_file(input).map_err(|e| e.to_string())?;
     let objective = if p >= 1.0 {
         ObjectiveKind::Fanout
     } else if p <= 0.0 {
@@ -134,33 +181,70 @@ fn cmd_partition(args: &[String]) -> Result<(), String> {
     } else {
         ObjectiveKind::ProbabilisticFanout { p }
     };
-    let result = match mode.as_str() {
-        "shp2" => {
-            let config = ShpConfig::recursive_bisection(k)
-                .with_objective(objective)
-                .with_epsilon(epsilon)
-                .with_seed(seed);
-            partition_recursive(&graph, &config)?
-        }
-        "shpk" => {
-            let config = ShpConfig::direct(k)
-                .with_objective(objective)
-                .with_epsilon(epsilon)
-                .with_seed(seed);
-            partition_direct(&graph, &config)?
-        }
-        other => return Err(format!("unknown mode {other:?} (expected shp2 or shpk)")),
-    };
-    io::write_partition_file(&result.partition, output).map_err(|e| e.to_string())?;
+    let mut spec = PartitionSpec::new(k)
+        .with_objective(objective)
+        .with_epsilon(epsilon)
+        .with_seed(seed)
+        .with_num_workers(workers);
+    if let Some(iters) = iterations {
+        spec = spec.with_max_iterations(iters);
+    }
+
+    let graph = io::read_hmetis_file(input)?;
+    let registry = full_registry();
+    let outcome = registry.run(&mode, &graph, &spec, &mut NoopObserver)?;
+    io::write_partition_file(&outcome.partition, output)?;
+    if json {
+        // Keep stdout machine-readable: exactly one JSON object, nothing else.
+        println!("{}", outcome.to_json());
+        eprintln!("wrote {output}");
+    } else {
+        print_outcome(&outcome);
+        println!("wrote {output}");
+    }
+    Ok(())
+}
+
+fn print_outcome(outcome: &PartitionOutcome) {
     println!(
-        "fanout {:.4}  p-fanout(0.5) {:.4}  imbalance {:.4}  iterations {}  time {:.2}s",
-        result.report.final_fanout,
-        result.report.final_p_fanout,
-        result.report.imbalance,
-        result.report.total_iterations(),
-        result.report.elapsed.as_secs_f64()
+        "{}: fanout {:.4}  p-fanout(0.5) {:.4}  imbalance {:.4}  iterations {}  moves {}  time {:.2}s",
+        outcome.algorithm,
+        outcome.fanout,
+        outcome.p_fanout,
+        outcome.imbalance,
+        outcome.iterations,
+        outcome.moves,
+        outcome.elapsed.as_secs_f64()
     );
-    println!("wrote {output}");
+}
+
+fn cmd_evaluate(args: &[String]) -> ShpResult<()> {
+    let (positional, json) = match args {
+        [a, b, c] => ([a, b, c], false),
+        [a, b, c, flag] if flag == "--json" => ([a, b, c], true),
+        _ => return Err(usage_error("evaluate needs 3 arguments")),
+    };
+    let [input, partition_path, k] = positional;
+    let k: u32 = k
+        .parse()
+        .map_err(|_| ShpError::InvalidArgument(format!("invalid k {k:?}")))?;
+    let graph = io::read_hmetis_file(input)?;
+    let partition = io::read_partition_file(&graph, k, partition_path)?;
+    let fanout = average_fanout(&graph, &partition);
+    let p_fanout = average_p_fanout(&graph, &partition, 0.5);
+    let cut = hyperedge_cut(&graph, &partition);
+    let imbalance = partition.imbalance();
+    if json {
+        println!(
+            "{{\"fanout\":{fanout:.6},\"p_fanout\":{p_fanout:.6},\"hyperedge_cut\":{cut},\
+             \"imbalance\":{imbalance:.6},\"num_buckets\":{k}}}"
+        );
+    } else {
+        println!("{}", GraphStats::compute(&graph));
+        println!(
+            "fanout {fanout:.4}  p-fanout(0.5) {p_fanout:.4}  hyperedge-cut {cut}  imbalance {imbalance:.4}"
+        );
+    }
     Ok(())
 }
 
@@ -177,7 +261,7 @@ struct ServeOptions {
 }
 
 impl ServeOptions {
-    fn parse(args: &[String]) -> Result<Self, String> {
+    fn parse(args: &[String]) -> ShpResult<Self> {
         let mut options = ServeOptions {
             dataset: Dataset::EmailEnron,
             scale: 0.05,
@@ -188,6 +272,7 @@ impl ServeOptions {
             cache: 0,
             seed: 0x5047,
         };
+        let invalid = |message: String| ShpError::InvalidArgument(message);
         let mut i = 0;
         while i < args.len() {
             // Recognize the flag before demanding a value, so an unknown trailing flag is
@@ -203,62 +288,62 @@ impl ServeOptions {
                     | "--cache"
                     | "--seed"
             ) {
-                return Err(format!("unknown option {:?}", args[i]));
+                return Err(invalid(format!("unknown option {:?}", args[i])));
             }
             let value = args
                 .get(i + 1)
-                .ok_or_else(|| format!("{} needs a value", args[i]))?;
+                .ok_or_else(|| invalid(format!("{} needs a value", args[i])))?;
             match args[i].as_str() {
                 "--dataset" => {
                     options.dataset = Dataset::from_name(value)
-                        .ok_or_else(|| format!("unknown dataset {value:?}"))?;
+                        .ok_or_else(|| invalid(format!("unknown dataset {value:?}")))?;
                 }
                 "--scale" => {
                     options.scale = value
                         .parse()
-                        .map_err(|_| format!("invalid scale {value:?}"))?;
+                        .map_err(|_| invalid(format!("invalid scale {value:?}")))?;
                     if !(options.scale > 0.0 && options.scale <= 1.0) {
-                        return Err("scale must lie in (0, 1]".into());
+                        return Err(invalid("scale must lie in (0, 1]".into()));
                     }
                 }
                 "--shards" => {
                     options.shards = value
                         .parse()
-                        .map_err(|_| format!("invalid shard count {value:?}"))?;
+                        .map_err(|_| invalid(format!("invalid shard count {value:?}")))?;
                     if options.shards < 2 {
-                        return Err("at least 2 shards are required".into());
+                        return Err(invalid("at least 2 shards are required".into()));
                     }
                 }
                 "--rate" => {
                     options.rate = value
                         .parse()
-                        .map_err(|_| format!("invalid rate {value:?}"))?;
+                        .map_err(|_| invalid(format!("invalid rate {value:?}")))?;
                     if !(options.rate > 0.0 && options.rate.is_finite()) {
-                        return Err("rate must be a positive number".into());
+                        return Err(invalid("rate must be a positive number".into()));
                     }
                 }
                 "--duration" => {
                     options.duration = value
                         .parse()
-                        .map_err(|_| format!("invalid duration {value:?}"))?;
+                        .map_err(|_| invalid(format!("invalid duration {value:?}")))?;
                     if !(options.duration > 0.0 && options.duration.is_finite()) {
-                        return Err("duration must be a positive number".into());
+                        return Err(invalid("duration must be a positive number".into()));
                     }
                 }
                 "--clients" => {
                     options.clients = value
                         .parse()
-                        .map_err(|_| format!("invalid client count {value:?}"))?;
+                        .map_err(|_| invalid(format!("invalid client count {value:?}")))?;
                 }
                 "--cache" => {
                     options.cache = value
                         .parse()
-                        .map_err(|_| format!("invalid cache capacity {value:?}"))?;
+                        .map_err(|_| invalid(format!("invalid cache capacity {value:?}")))?;
                 }
                 "--seed" => {
                     options.seed = value
                         .parse()
-                        .map_err(|_| format!("invalid seed {value:?}"))?;
+                        .map_err(|_| invalid(format!("invalid seed {value:?}")))?;
                 }
                 _ => unreachable!("flag names are checked above"),
             }
@@ -290,13 +375,20 @@ impl ServeOptions {
             .filter_small_queries(2)
     }
 
-    fn shp_partition(&self, graph: &BipartiteGraph) -> Result<Partition, String> {
-        let config = ShpConfig::recursive_bisection(self.shards).with_seed(self.seed);
-        Ok(partition_recursive(graph, &config)?.partition)
+    fn spec(&self) -> PartitionSpec {
+        PartitionSpec::new(self.shards).with_seed(self.seed)
+    }
+
+    fn shp_outcome(
+        &self,
+        registry: &AlgorithmRegistry,
+        graph: &BipartiteGraph,
+    ) -> ShpResult<PartitionOutcome> {
+        registry.run("shp2", graph, &self.spec(), &mut NoopObserver)
     }
 }
 
-fn cmd_replay(args: &[String]) -> Result<(), String> {
+fn cmd_replay(args: &[String]) -> ShpResult<()> {
     let options = ServeOptions::parse(args)?;
     let graph = options.load_graph();
     println!(
@@ -313,17 +405,15 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
     let events = open_loop_schedule(graph.num_queries(), &options.workload());
     println!("schedule: {} multigets\n", events.len());
 
-    let random = RandomPartitioner::new(options.seed).partition(&graph, options.shards, 0.05);
+    let registry = full_registry();
+    let random = registry.run("random", &graph, &options.spec(), &mut NoopObserver)?;
     println!("computing SHP-2 partition...");
-    let shp = options.shp_partition(&graph)?;
+    let shp = options.shp_outcome(&registry, &graph)?;
 
     let mut rows: Vec<(&str, shp_serving::ServingReport)> = Vec::new();
-    for (name, partition) in [("Random", &random), ("SHP-2", &shp)] {
-        let engine =
-            ServingEngine::new(partition, options.engine_config()).map_err(|e| e.to_string())?;
-        let report = engine
-            .run_workload(&graph, &events, options.clients)
-            .map_err(|e| e.to_string())?;
+    for (name, outcome) in [("Random", &random), ("SHP-2", &shp)] {
+        let engine = ServingEngine::new(&outcome.partition, options.engine_config())?;
+        let report = engine.run_workload(&graph, &events, options.clients)?;
         println!("=== {name} ===\n{report}\n");
         rows.push((name, report));
     }
@@ -339,15 +429,19 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
         100.0 * (1.0 - shp_report.p99 / random_report.p99),
     );
     if shp_report.mean_fanout >= random_report.mean_fanout {
-        return Err("SHP partition failed to lower mean fanout".into());
+        return Err(ShpError::Runtime(
+            "SHP partition failed to lower mean fanout".into(),
+        ));
     }
     if shp_report.p99 >= random_report.p99 {
-        return Err("SHP partition failed to lower p99 latency".into());
+        return Err(ShpError::Runtime(
+            "SHP partition failed to lower p99 latency".into(),
+        ));
     }
     Ok(())
 }
 
-fn cmd_serve(args: &[String]) -> Result<(), String> {
+fn cmd_serve(args: &[String]) -> ShpResult<()> {
     let options = ServeOptions::parse(args)?;
     let graph = options.load_graph();
     let events = open_loop_schedule(graph.num_queries(), &options.workload());
@@ -358,38 +452,35 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         options.shards
     );
 
-    let random = RandomPartitioner::new(options.seed).partition(&graph, options.shards, 0.05);
-    let engine = ServingEngine::new(&random, options.engine_config()).map_err(|e| e.to_string())?;
+    let random = RandomPartitioner::new(options.seed).partition_into(&graph, options.shards, 0.05);
+    let engine = ServingEngine::new(&random, options.engine_config())?;
 
-    // Plan the repartition off the serving path, then install it live once at least half of
+    // Plan the repartition off the serving path, then warm-start it live once at least half of
     // the schedule has been served: the swapper thread races the concurrent clients, and every
     // in-flight multiget finishes on whichever generation it loaded.
     println!("planning SHP-2 repartition off the serving path...");
-    let shp = options.shp_partition(&graph)?;
+    let registry = full_registry();
+    let shp = options.shp_outcome(&registry, &graph)?;
     let progress = AtomicUsize::new(0);
     let swap_at = events.len() / 2;
     let chunk = events.len().div_ceil(options.clients.max(1)).max(1);
-    let outcome: Result<(), String> = std::thread::scope(|scope| {
+    let outcome: ShpResult<()> = std::thread::scope(|scope| {
         let engine_ref = &engine;
         let graph_ref = &graph;
         let progress_ref = &progress;
         let shp_ref = &shp;
-        let swapper = scope.spawn(move || -> Result<u64, String> {
+        let swapper = scope.spawn(move || -> ShpResult<u64> {
             while progress_ref.load(Ordering::Relaxed) < swap_at {
                 std::thread::yield_now();
             }
-            engine_ref
-                .install_partition(shp_ref)
-                .map_err(|e| e.to_string())
+            Ok(engine_ref.warm_start(shp_ref)?)
         });
         let clients: Vec<_> = events
             .chunks(chunk)
             .map(|slice| {
-                scope.spawn(move || -> Result<(), String> {
+                scope.spawn(move || -> ShpResult<()> {
                     for event in slice {
-                        engine_ref
-                            .multiget(graph_ref.query_neighbors(event.query))
-                            .map_err(|e| e.to_string())?;
+                        engine_ref.multiget(graph_ref.query_neighbors(event.query))?;
                         progress_ref.fetch_add(1, Ordering::Relaxed);
                     }
                     Ok(())
@@ -408,41 +499,22 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let report = engine.report();
     println!("\n{report}");
     if report.queries != events.len() as u64 {
-        return Err(format!(
+        return Err(ShpError::Runtime(format!(
             "serving gap: only {} of {} multigets were served",
             report.queries,
             events.len()
-        ));
+        )));
     }
     if report.max_epoch == 0 {
-        return Err(
+        return Err(ShpError::Runtime(
             "the run finished before the repartition could be installed; \
              increase --duration or --rate so the swap lands mid-run"
                 .into(),
-        );
+        ));
     }
     println!(
         "\nno serving gap: all {} multigets answered across epochs {}..={}",
         report.queries, report.min_epoch, report.max_epoch
-    );
-    Ok(())
-}
-
-fn cmd_evaluate(args: &[String]) -> Result<(), String> {
-    let [input, partition_path, k] = args else {
-        return Err(format!("evaluate needs 3 arguments\n{USAGE}"));
-    };
-    let k: u32 = k.parse().map_err(|_| format!("invalid k {k:?}"))?;
-    let graph = io::read_hmetis_file(input).map_err(|e| e.to_string())?;
-    let partition =
-        io::read_partition_file(&graph, k, partition_path).map_err(|e| e.to_string())?;
-    println!("{}", GraphStats::compute(&graph));
-    println!(
-        "fanout {:.4}  p-fanout(0.5) {:.4}  hyperedge-cut {}  imbalance {:.4}",
-        average_fanout(&graph, &partition),
-        average_p_fanout(&graph, &partition, 0.5),
-        hyperedge_cut(&graph, &partition),
-        partition.imbalance()
     );
     Ok(())
 }

@@ -1,5 +1,6 @@
 //! Configuration of the Social Hash Partitioner.
 
+use crate::error::{ShpError, ShpResult};
 use serde::{Deserialize, Serialize};
 
 /// Which surrogate objective the local search optimizes (Section 3.1 of the paper).
@@ -188,37 +189,46 @@ impl ShpConfig {
         self
     }
 
-    /// Validates the configuration, returning a human-readable error description on failure.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    /// Returns [`ShpError::InvalidConfig`] with a human-readable description on failure.
+    pub fn validate(&self) -> ShpResult<()> {
         if self.num_buckets == 0 {
-            return Err("num_buckets must be at least 1".into());
+            return Err(ShpError::InvalidConfig(
+                "num_buckets must be at least 1".into(),
+            ));
         }
         if !(self.epsilon.is_finite() && self.epsilon >= 0.0) {
-            return Err(format!(
+            return Err(ShpError::InvalidConfig(format!(
                 "epsilon must be finite and non-negative, got {}",
                 self.epsilon
-            ));
+            )));
         }
         if let ObjectiveKind::ProbabilisticFanout { p } = self.objective {
             if !(p > 0.0 && p < 1.0) {
-                return Err(format!(
+                return Err(ShpError::InvalidConfig(format!(
                     "fanout probability must lie strictly between 0 and 1, got {p}"
-                ));
+                )));
             }
         }
         if let PartitionMode::Recursive { arity } = self.mode {
             if arity < 2 {
-                return Err(format!("recursive arity must be at least 2, got {arity}"));
+                return Err(ShpError::InvalidConfig(format!(
+                    "recursive arity must be at least 2, got {arity}"
+                )));
             }
         }
         if self.max_iterations == 0 {
-            return Err("max_iterations must be at least 1".into());
+            return Err(ShpError::InvalidConfig(
+                "max_iterations must be at least 1".into(),
+            ));
         }
         if !(0.0..=1.0).contains(&self.convergence_threshold) {
-            return Err(format!(
+            return Err(ShpError::InvalidConfig(format!(
                 "convergence_threshold must lie in [0, 1], got {}",
                 self.convergence_threshold
-            ));
+            )));
         }
         Ok(())
     }

@@ -1,6 +1,7 @@
 //! SHP-k: direct k-way optimization (Algorithm 1 applied to all `k` buckets at once).
 
 use crate::config::ShpConfig;
+use crate::error::ShpResult;
 use crate::gains::TargetConstraint;
 use crate::neighbor_data::NeighborData;
 use crate::objective::Objective;
@@ -18,16 +19,13 @@ use std::time::Instant;
 /// vertices between buckets until convergence or the iteration limit.
 ///
 /// # Errors
-/// Returns a descriptive error string when the configuration is invalid.
-pub fn partition_direct(
-    graph: &BipartiteGraph,
-    config: &ShpConfig,
-) -> Result<PartitionResult, String> {
+/// Returns [`ShpError::InvalidConfig`](crate::ShpError::InvalidConfig) when the configuration
+/// is invalid.
+pub fn partition_direct(graph: &BipartiteGraph, config: &ShpConfig) -> ShpResult<PartitionResult> {
     config.validate()?;
     let start = Instant::now();
     let mut rng = Pcg64::seed_from_u64(config.seed);
-    let mut partition =
-        Partition::new_random(graph, config.num_buckets, &mut rng).map_err(|e| e.to_string())?;
+    let mut partition = Partition::new_random(graph, config.num_buckets, &mut rng)?;
     let history = refine_in_place(graph, config, &mut partition, None);
     let elapsed = start.elapsed();
 

@@ -19,6 +19,7 @@
 //! ability to scale the number of simulated workers (Figures 5a/5b, Table 3).
 
 use crate::config::{PartitionMode, ShpConfig, SwapStrategy};
+use crate::error::ShpResult;
 use crate::gains::{MoveProposal, TargetConstraint};
 use crate::histogram::{GainHistogramSet, NUM_BINS};
 use crate::objective::Objective;
@@ -410,12 +411,13 @@ fn matrix_probabilities(set: &GainHistogramSet) -> HashMap<(BucketId, BucketId),
 /// per split level.
 ///
 /// # Errors
-/// Returns a descriptive error string when the configuration is invalid.
+/// Returns [`ShpError::InvalidConfig`](crate::ShpError::InvalidConfig) when the configuration
+/// is invalid.
 pub fn partition_distributed(
     graph: &BipartiteGraph,
     config: &ShpConfig,
     num_workers: usize,
-) -> Result<DistributedRunResult, String> {
+) -> ShpResult<DistributedRunResult> {
     config.validate()?;
     let start = Instant::now();
     let mut rng = Pcg64::seed_from_u64(config.seed);
@@ -441,8 +443,7 @@ pub fn partition_distributed(
                 &mut metrics,
                 &mut history,
             );
-            Partition::from_assignment(graph, config.num_buckets, final_assignment)
-                .map_err(|e| e.to_string())?
+            Partition::from_assignment(graph, config.num_buckets, final_assignment)?
         }
         PartitionMode::Recursive { arity } => {
             let mut assignment: Vec<BucketId> = vec![0; graph.num_data()];
@@ -512,8 +513,7 @@ pub fn partition_distributed(
                 targets = child_targets;
                 level += 1;
             }
-            Partition::from_assignment(graph, config.num_buckets, assignment)
-                .map_err(|e| e.to_string())?
+            Partition::from_assignment(graph, config.num_buckets, assignment)?
         }
     };
 

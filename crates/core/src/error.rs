@@ -1,0 +1,140 @@
+//! The typed error of every partitioning entry point.
+//!
+//! Before the unified API, `shp-core` reported failures as `Result<_, String>`; callers could
+//! neither match on the failure kind nor compose errors across crates with `?`. [`ShpError`]
+//! replaces that: graph-layer failures ([`shp_hypergraph::GraphError`]) convert via `From`, so
+//! one `?` chain runs from file parsing through partitioning to the CLI exit code.
+
+use shp_hypergraph::GraphError;
+use std::fmt;
+
+/// Convenience result alias used by the unified partitioning API.
+pub type ShpResult<T> = std::result::Result<T, ShpError>;
+
+/// Errors produced by partitioner construction, configuration validation, registry lookup, and
+/// partitioning runs.
+#[derive(Debug)]
+pub enum ShpError {
+    /// A configuration or [`PartitionSpec`](crate::api::PartitionSpec) parameter is invalid
+    /// (zero buckets, `p` outside `(0, 1)`, negative `ε`, …).
+    InvalidConfig(String),
+    /// A graph-layer failure: construction, IO, or partition validation.
+    Graph(GraphError),
+    /// A registry lookup named an algorithm that is not registered.
+    UnknownAlgorithm {
+        /// The name that failed to resolve.
+        name: String,
+        /// Every name the registry does know, sorted.
+        available: Vec<String>,
+    },
+    /// A warm-start / previous partition does not match the graph or spec it is paired with.
+    PartitionMismatch {
+        /// Human-readable description of the mismatch.
+        message: String,
+    },
+    /// A command-line or driver argument could not be parsed.
+    InvalidArgument(String),
+    /// A failure in a subsystem driven through the unified API (serving, workload replay, …).
+    Runtime(String),
+}
+
+impl ShpError {
+    /// Wraps any displayable subsystem failure as a [`ShpError::Runtime`].
+    pub fn runtime<E: fmt::Display>(err: E) -> Self {
+        ShpError::Runtime(err.to_string())
+    }
+}
+
+impl fmt::Display for ShpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShpError::InvalidConfig(message) => write!(f, "invalid configuration: {message}"),
+            ShpError::Graph(err) => write!(f, "{err}"),
+            ShpError::UnknownAlgorithm { name, available } => write!(
+                f,
+                "unknown algorithm {name:?} (available: {})",
+                available.join(", ")
+            ),
+            ShpError::PartitionMismatch { message } => {
+                write!(f, "partition mismatch: {message}")
+            }
+            ShpError::InvalidArgument(message) => write!(f, "{message}"),
+            ShpError::Runtime(message) => write!(f, "{message}"),
+        }
+    }
+}
+
+impl std::error::Error for ShpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ShpError::Graph(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for ShpError {
+    fn from(err: GraphError) -> Self {
+        ShpError::Graph(err)
+    }
+}
+
+impl From<std::io::Error> for ShpError {
+    fn from(err: std::io::Error) -> Self {
+        ShpError::Graph(GraphError::Io(err))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(ShpError, &str)> = vec![
+            (
+                ShpError::InvalidConfig("num_buckets must be at least 1".into()),
+                "invalid configuration",
+            ),
+            (
+                ShpError::UnknownAlgorithm {
+                    name: "shp3".into(),
+                    available: vec!["shp2".into(), "shpk".into()],
+                },
+                "shp2, shpk",
+            ),
+            (
+                ShpError::PartitionMismatch {
+                    message: "previous covers 5 vertices".into(),
+                },
+                "partition mismatch",
+            ),
+            (
+                ShpError::InvalidArgument("--p needs a number".into()),
+                "--p",
+            ),
+            (ShpError::Runtime("shard 3 unreachable".into()), "shard 3"),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} should contain {needle:?}");
+        }
+    }
+
+    #[test]
+    fn graph_errors_convert_and_source() {
+        let err: ShpError = GraphError::EmptyGraph.into();
+        assert!(err.to_string().contains("non-empty"));
+        assert!(std::error::Error::source(&err).is_some());
+
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let err: ShpError = io.into();
+        assert!(matches!(err, ShpError::Graph(GraphError::Io(_))));
+    }
+
+    #[test]
+    fn runtime_wraps_any_display() {
+        let err = ShpError::runtime(std::fmt::Error);
+        assert!(matches!(err, ShpError::Runtime(_)));
+    }
+}

@@ -6,6 +6,7 @@
 //! the migration cost survive.
 
 use crate::config::ShpConfig;
+use crate::error::{ShpError, ShpResult};
 use crate::gains::TargetConstraint;
 use crate::neighbor_data::NeighborData;
 use crate::objective::Objective;
@@ -43,34 +44,42 @@ impl Default for IncrementalConfig {
 /// vertices should first extend the assignment (e.g. hashing new vertices to random buckets).
 ///
 /// # Errors
-/// Returns a descriptive error string when the configuration is invalid or the previous
-/// partition does not match the graph.
+/// Returns [`ShpError::InvalidConfig`] when the configuration is invalid and
+/// [`ShpError::PartitionMismatch`] when the previous partition does not match the graph.
 pub fn partition_incremental(
     graph: &BipartiteGraph,
     config: &ShpConfig,
     incremental: &IncrementalConfig,
     previous: &Partition,
-) -> Result<PartitionResult, String> {
+) -> ShpResult<PartitionResult> {
     config.validate()?;
     if previous.num_data() != graph.num_data() {
-        return Err(format!(
-            "previous partition covers {} vertices but the graph has {}",
-            previous.num_data(),
-            graph.num_data()
-        ));
+        return Err(ShpError::PartitionMismatch {
+            message: format!(
+                "previous partition covers {} vertices but the graph has {}",
+                previous.num_data(),
+                graph.num_data()
+            ),
+        });
     }
     if previous.num_buckets() != config.num_buckets {
-        return Err(format!(
-            "previous partition has k={} but the configuration asks for k={}",
-            previous.num_buckets(),
-            config.num_buckets
-        ));
+        return Err(ShpError::PartitionMismatch {
+            message: format!(
+                "previous partition has k={} but the configuration asks for k={}",
+                previous.num_buckets(),
+                config.num_buckets
+            ),
+        });
     }
     if !(0.0..=1.0).contains(&incremental.max_moved_fraction) {
-        return Err("max_moved_fraction must lie in [0, 1]".into());
+        return Err(ShpError::InvalidConfig(
+            "max_moved_fraction must lie in [0, 1]".into(),
+        ));
     }
     if incremental.movement_penalty < 0.0 {
-        return Err("movement_penalty must be non-negative".into());
+        return Err(ShpError::InvalidConfig(
+            "movement_penalty must be non-negative".into(),
+        ));
     }
 
     let start = Instant::now();

@@ -13,7 +13,11 @@
 //!   four-superstep iteration (Figure 3 of the paper) on the vertex-centric BSP engine of
 //!   `shp-vertex-centric`, with per-superstep communication accounting.
 //!
-//! The easiest entry point is [`SocialHashPartitioner`]:
+//! Every execution path (plus the baselines of `shp-baselines`) is also reachable through the
+//! unified [`api`] module — one [`api::Partitioner`] trait, one [`api::PartitionSpec`], one
+//! [`api::PartitionOutcome`], and a runtime [`api::AlgorithmRegistry`] for dispatch by name.
+//!
+//! The easiest in-process entry point is [`SocialHashPartitioner`]:
 //!
 //! ```
 //! use shp_core::{ShpConfig, SocialHashPartitioner};
@@ -35,9 +39,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod config;
 pub mod direct;
 pub mod distributed;
+pub mod error;
 pub mod gains;
 pub mod histogram;
 pub mod incremental;
@@ -49,9 +55,15 @@ pub mod refinement;
 pub mod report;
 pub mod swap;
 
+pub use api::{
+    AlgorithmRegistry, BoxedPartitioner, DistributedShp, IncrementalShp, IterationEvent,
+    NoopObserver, PartitionOutcome, PartitionSpec, Partitioner, ProgressObserver, Shp2, ShpK,
+    TraceObserver,
+};
 pub use config::{BalanceMode, ObjectiveKind, PartitionMode, ShpConfig, SwapStrategy};
 pub use direct::partition_direct;
 pub use distributed::{partition_distributed, DistributedRunResult};
+pub use error::{ShpError, ShpResult};
 pub use gains::{MoveProposal, TargetConstraint};
 pub use incremental::{partition_incremental, IncrementalConfig};
 pub use multidim::{partition_multidimensional, MultiDimConfig};
@@ -74,9 +86,9 @@ impl SocialHashPartitioner {
     /// Creates a partitioner, validating the configuration.
     ///
     /// # Errors
-    /// Returns a descriptive error string for invalid configurations (zero buckets, `p` outside
-    /// `(0, 1)`, negative `ε`, …).
-    pub fn new(config: ShpConfig) -> Result<Self, String> {
+    /// Returns [`ShpError::InvalidConfig`] for invalid configurations (zero buckets, `p`
+    /// outside `(0, 1)`, negative `ε`, …).
+    pub fn new(config: ShpConfig) -> ShpResult<Self> {
         config.validate()?;
         Ok(SocialHashPartitioner { config })
     }

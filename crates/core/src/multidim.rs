@@ -7,6 +7,7 @@
 //! buckets so that the maximum load over *all* dimensions is as even as possible.
 
 use crate::config::{PartitionMode, ShpConfig};
+use crate::error::{ShpError, ShpResult};
 use crate::report::PartitionResult;
 use serde::{Deserialize, Serialize};
 use shp_hypergraph::{BipartiteGraph, BucketId, DataId, Partition};
@@ -46,27 +47,31 @@ pub struct MultiDimResult {
 /// must contain at least one dimension and every dimension must cover all data vertices.
 ///
 /// # Errors
-/// Returns a descriptive error string on invalid configuration or mismatched weight vectors.
+/// Returns [`ShpError::InvalidConfig`] on invalid configuration or mismatched weight vectors.
 pub fn partition_multidimensional(
     graph: &BipartiteGraph,
     config: &ShpConfig,
     multi: &MultiDimConfig,
     dimension_weights: &[Vec<u64>],
-) -> Result<MultiDimResult, String> {
+) -> ShpResult<MultiDimResult> {
     config.validate()?;
     if multi.over_partitioning_factor < 2 {
-        return Err("over_partitioning_factor must be at least 2".into());
+        return Err(ShpError::InvalidConfig(
+            "over_partitioning_factor must be at least 2".into(),
+        ));
     }
     if dimension_weights.is_empty() {
-        return Err("at least one weight dimension is required".into());
+        return Err(ShpError::InvalidConfig(
+            "at least one weight dimension is required".into(),
+        ));
     }
     for (dim, weights) in dimension_weights.iter().enumerate() {
         if weights.len() != graph.num_data() {
-            return Err(format!(
+            return Err(ShpError::InvalidConfig(format!(
                 "dimension {dim} has {} weights but the graph has {} data vertices",
                 weights.len(),
                 graph.num_data()
-            ));
+            )));
         }
     }
 

@@ -7,6 +7,7 @@
 //! 5–10% higher fanout than direct SHP-k (Section 4.2.2).
 
 use crate::config::{PartitionMode, ShpConfig};
+use crate::error::{ShpError, ShpResult};
 use crate::gains::TargetConstraint;
 use crate::neighbor_data::NeighborData;
 use crate::objective::Objective;
@@ -27,22 +28,26 @@ struct Group {
 /// of `config.mode` (SHP-2 when the arity is 2).
 ///
 /// # Errors
-/// Returns a descriptive error string when the configuration is invalid or not in recursive
+/// Returns [`ShpError::InvalidConfig`] when the configuration is invalid or not in recursive
 /// mode.
 pub fn partition_recursive(
     graph: &BipartiteGraph,
     config: &ShpConfig,
-) -> Result<PartitionResult, String> {
+) -> ShpResult<PartitionResult> {
     config.validate()?;
     let arity = match config.mode {
         PartitionMode::Recursive { arity } => arity,
-        PartitionMode::Direct => return Err("partition_recursive called with direct mode".into()),
+        PartitionMode::Direct => {
+            return Err(ShpError::InvalidConfig(
+                "partition_recursive called with direct mode".into(),
+            ))
+        }
     };
     let k = config.num_buckets;
     let start = Instant::now();
 
     // All vertices start in a single bucket responsible for k final buckets.
-    let mut partition = Partition::new_uniform(graph, 1).map_err(|e| e.to_string())?;
+    let mut partition = Partition::new_uniform(graph, 1)?;
     let mut groups = vec![Group { targets: k }];
 
     let total_levels = total_levels(k, arity);
@@ -96,8 +101,7 @@ pub fn partition_recursive(
                 }
             })
             .collect();
-        partition =
-            Partition::from_assignment(graph, new_k, assignment).map_err(|e| e.to_string())?;
+        partition = Partition::from_assignment(graph, new_k, assignment)?;
 
         // Only groups that actually split participate in refinement; pass-through groups form
         // singleton sibling sets with no admissible moves.

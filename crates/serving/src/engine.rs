@@ -239,6 +239,17 @@ impl ServingEngine {
         Ok(epoch)
     }
 
+    /// Installs the partition of a finished unified-API run ([`shp_core::api::PartitionOutcome`])
+    /// as the next serving generation — the warm-start path from `AlgorithmRegistry::run`
+    /// straight into the live [`EpochSwap`]: compute off the serving path with any registered
+    /// algorithm, then publish with one atomic pointer swap. Returns the installed epoch.
+    ///
+    /// # Errors
+    /// Same contract as [`ServingEngine::install_partition`].
+    pub fn warm_start(&self, outcome: &shp_core::api::PartitionOutcome) -> Result<u64> {
+        self.install_partition(&outcome.partition)
+    }
+
     /// Number of partition swaps installed since boot.
     pub fn swap_count(&self) -> u64 {
         self.generation.swap_count()
@@ -410,6 +421,26 @@ mod tests {
         assert_eq!(after.values, before.values);
         assert_eq!(after.epoch, 1);
         assert!(after.fanout < before.fanout);
+    }
+
+    #[test]
+    fn warm_start_installs_a_registry_outcome() {
+        use shp_core::api::{AlgorithmRegistry, NoopObserver, PartitionSpec};
+        let graph = community_graph(3, 4);
+        let engine =
+            ServingEngine::new(&scattered_partition(&graph, 3, 4), EngineConfig::default())
+                .unwrap();
+        let before = engine.multiget(&[0, 1, 2, 3]).unwrap();
+        let spec = PartitionSpec::new(3).with_seed(5).with_max_iterations(10);
+        let outcome = AlgorithmRegistry::core()
+            .run("shp2", &graph, &spec, &mut NoopObserver)
+            .unwrap();
+        let epoch = engine.warm_start(&outcome).unwrap();
+        assert_eq!(epoch, 1);
+        assert_eq!(engine.current_epoch(), 1);
+        let after = engine.multiget(&[0, 1, 2, 3]).unwrap();
+        assert_eq!(after.values, before.values);
+        assert_eq!(after.epoch, 1);
     }
 
     #[test]

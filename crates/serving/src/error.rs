@@ -54,6 +54,24 @@ impl fmt::Display for ServingError {
 
 impl std::error::Error for ServingError {}
 
+/// Serving failures compose with the unified partitioning API via `?`: a partition computed
+/// through the [`shp_core::api`] registry can be installed into the engine inside one
+/// `ShpResult` chain.
+impl From<ServingError> for shp_core::ShpError {
+    fn from(err: ServingError) -> Self {
+        match err {
+            ServingError::PartitionMismatch { got, expected } => {
+                shp_core::ShpError::PartitionMismatch {
+                    message: format!(
+                        "partition covers {got} keys but the engine serves {expected}"
+                    ),
+                }
+            }
+            other => shp_core::ShpError::Runtime(other.to_string()),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -9,8 +9,8 @@
 //!
 //! Run with: `cargo run --release --example live_repartition`
 
-use shp::baselines::{Partitioner, RandomPartitioner};
-use shp::core::ShpConfig;
+use shp::baselines::full_registry;
+use shp::core::api::{NoopObserver, PartitionSpec};
 use shp::datagen::{social_graph, SocialGraphConfig};
 use shp::hypergraph::average_fanout;
 use shp::serving::{open_loop_schedule, value_of, EngineConfig, ServingEngine, WorkloadConfig};
@@ -25,7 +25,12 @@ fn main() {
         ..Default::default()
     });
 
-    let random = RandomPartitioner::new(7).partition(&graph, shards, 0.05);
+    let registry = full_registry();
+    let spec = PartitionSpec::new(shards).with_seed(7);
+    let random = registry
+        .run("random", &graph, &spec, &mut NoopObserver)
+        .expect("valid spec")
+        .partition;
     println!(
         "serving {} keys on {shards} shards; random placement has average fanout {:.2}",
         graph.num_data(),
@@ -33,15 +38,13 @@ fn main() {
     );
 
     // Plan the repartition off the serving path (in production this is the nightly SHP job).
-    let shp = shp::core::partition_recursive(
-        &graph,
-        &ShpConfig::recursive_bisection(shards).with_seed(7),
-    )
-    .expect("valid config")
-    .partition;
+    // Any registry algorithm works here — the serving engine warm-starts from the outcome.
+    let shp = registry
+        .run("shp2", &graph, &spec, &mut NoopObserver)
+        .expect("valid spec");
     println!(
         "planned SHP-2 placement with average fanout {:.2}",
-        average_fanout(&graph, &shp)
+        shp.fanout
     );
 
     let engine = ServingEngine::new(&random, EngineConfig::default()).expect("valid partition");
@@ -74,7 +77,7 @@ fn main() {
             while progress.load(Ordering::Relaxed) < swap_at {
                 std::thread::yield_now();
             }
-            let epoch = engine.install_partition(shp).expect("swap must succeed");
+            let epoch = engine.warm_start(shp).expect("swap must succeed");
             println!("*** installed SHP-2 placement at epoch {epoch}, traffic uninterrupted ***");
         });
         for slice in events.chunks(chunk) {

@@ -1,9 +1,11 @@
-//! Quickstart: partition a small hypergraph with SHP-2 and inspect the result.
+//! Quickstart: partition a small hypergraph through the unified registry and compare two
+//! algorithms on the same graph.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use shp::core::{ShpConfig, SocialHashPartitioner};
-use shp::hypergraph::{average_fanout, average_p_fanout, GraphBuilder};
+use shp::baselines::full_registry;
+use shp::core::api::{NoopObserver, PartitionSpec};
+use shp::hypergraph::GraphBuilder;
 
 fn main() {
     // The storage-sharding example of Figure 1 in the paper: three queries over six data
@@ -15,24 +17,31 @@ fn main() {
     builder.add_query([3, 4, 5]);
     let graph = builder.build().expect("valid hyperedges");
 
-    // Split the data records over two servers, minimizing average query fanout.
-    let config = ShpConfig::recursive_bisection(2).with_seed(42);
-    let partitioner = SocialHashPartitioner::new(config).expect("valid configuration");
-    let result = partitioner.partition(&graph);
-
-    println!("bucket assignment: {:?}", result.partition.assignment());
-    println!(
-        "average fanout   : {:.3}",
-        average_fanout(&graph, &result.partition)
-    );
-    println!(
-        "average p-fanout : {:.3}",
-        average_p_fanout(&graph, &result.partition, 0.5)
-    );
-    println!("imbalance        : {:.3}", result.partition.imbalance());
-    println!("iterations       : {}", result.report.total_iterations());
-
-    // The paper's example solution V1 = {1,2,3}, V2 = {4,5,6} (0-based {0,1,2} / {3,4,5})
-    // achieves average fanout 5/3 ≈ 1.67; SHP should match that quality.
-    assert!(average_fanout(&graph, &result.partition) <= 5.0 / 3.0 + 1e-9);
+    // Split the data records over two servers, minimizing average query fanout. Every
+    // algorithm in the workspace sits behind the same trait, so comparing SHP against the
+    // multilevel baseline is two registry lookups with one shared spec.
+    let registry = full_registry();
+    let spec = PartitionSpec::new(2).with_seed(42);
+    for name in ["shp2", "multilevel"] {
+        let partitioner = registry.get(name).expect("registered algorithm");
+        let outcome = partitioner
+            .partition(&graph, &spec, &mut NoopObserver)
+            .expect("valid spec");
+        println!(
+            "{:<12} assignment {:?}  fanout {:.3}  p-fanout {:.3}  imbalance {:.3}  iterations {}",
+            outcome.algorithm,
+            outcome.partition.assignment(),
+            outcome.fanout,
+            outcome.p_fanout,
+            outcome.imbalance,
+            outcome.iterations
+        );
+        // The paper's example solution V1 = {1,2,3}, V2 = {4,5,6} (0-based {0,1,2} / {3,4,5})
+        // achieves average fanout 5/3 ≈ 1.67; both partitioners should match that quality.
+        assert!(
+            outcome.fanout <= 5.0 / 3.0 + 1e-9,
+            "{name} fanout {}",
+            outcome.fanout
+        );
+    }
 }

@@ -4,10 +4,9 @@
 //!
 //! Run with: `cargo run --release --example storage_sharding`
 
-use shp::baselines::{Partitioner, RandomPartitioner};
-use shp::core::{partition_recursive, ShpConfig};
+use shp::baselines::full_registry;
+use shp::core::api::{NoopObserver, PartitionSpec};
 use shp::datagen::{social_graph, SocialGraphConfig};
-use shp::hypergraph::average_fanout;
 use shp::sharding_sim::{LatencyModel, ShardedCluster};
 
 fn main() {
@@ -26,22 +25,20 @@ fn main() {
         graph.num_edges()
     );
 
-    // Random sharding (the production default before locality optimization).
-    let random = RandomPartitioner::new(7).partition(&graph, servers, 0.05);
-    // Social sharding with SHP-2.
-    let config = ShpConfig::recursive_bisection(servers).with_seed(7);
-    let shp = partition_recursive(&graph, &config)
-        .expect("valid configuration")
-        .partition;
+    // Both placements come from the same unified registry — random sharding (the production
+    // default before locality optimization) and social sharding with SHP-2.
+    let registry = full_registry();
+    let spec = PartitionSpec::new(servers).with_seed(7);
+    let random = registry
+        .run("random", &graph, &spec, &mut NoopObserver)
+        .expect("valid spec");
+    let shp = registry
+        .run("shp2", &graph, &spec, &mut NoopObserver)
+        .expect("valid spec");
 
-    println!(
-        "random sharding fanout: {:.2}",
-        average_fanout(&graph, &random)
-    );
-    println!(
-        "SHP sharding fanout   : {:.2}",
-        average_fanout(&graph, &shp)
-    );
+    println!("random sharding fanout: {:.2}", random.fanout);
+    println!("SHP sharding fanout   : {:.2}", shp.fanout);
+    let (random, shp) = (random.partition, shp.partition);
 
     // Replay the workload against simulated clusters and compare latency percentiles.
     let model = LatencyModel::default();

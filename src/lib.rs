@@ -6,23 +6,31 @@
 //! the vertex-centric execution substrate, baseline partitioners, dataset generators, and a
 //! storage-sharding simulator used to reproduce the paper's evaluation.
 //!
+//! Every partitioning algorithm in the workspace — the four SHP execution paths and the five
+//! baselines — implements the unified [`core::api::Partitioner`] trait and is constructible by
+//! name from the runtime [`core::api::AlgorithmRegistry`] (see
+//! [`baselines::full_registry`]), returning one serializable
+//! [`core::api::PartitionOutcome`] with typed [`core::ShpError`] failures throughout.
+//!
 //! This facade crate re-exports the member crates of the workspace under stable module names;
 //! see the individual crates for full documentation:
 //!
 //! * [`hypergraph`] — graph data structures, partitions, metrics, IO.
-//! * [`core`] — the SHP algorithm (SHP-k, SHP-2, distributed path, incremental updates).
+//! * [`core`] — the SHP algorithm (SHP-k, SHP-2, distributed path, incremental updates) and
+//!   the unified `api` module (trait, spec, outcome, registry, typed errors).
 //! * [`vertex_centric`] — the Giraph-style BSP engine.
 //! * [`datagen`] — synthetic dataset generators and the Table-1 registry.
 //! * [`baselines`] — comparison partitioners (random, hash, greedy, label propagation,
-//!   multilevel FM).
+//!   multilevel FM), all behind the unified trait, plus the full workspace registry.
 //! * [`sharding_sim`] — the fanout-vs-latency storage sharding simulator.
 //! * [`serving`] — the online partition-aware multiget serving engine with live repartition
-//!   swap.
+//!   swap, warm-startable from any registry outcome.
 //!
 //! # Quickstart
 //!
 //! ```
-//! use shp::core::{ShpConfig, SocialHashPartitioner};
+//! use shp::baselines::full_registry;
+//! use shp::core::api::{NoopObserver, PartitionSpec};
 //! use shp::hypergraph::GraphBuilder;
 //!
 //! let mut builder = GraphBuilder::new();
@@ -31,9 +39,13 @@
 //! builder.add_query([3, 4, 5]);
 //! let graph = builder.build().unwrap();
 //!
-//! let partitioner = SocialHashPartitioner::new(ShpConfig::recursive_bisection(2)).unwrap();
-//! let result = partitioner.partition(&graph);
-//! println!("average fanout: {:.2}", result.report.final_fanout);
+//! // Any registered algorithm, same trait, same spec, same outcome type.
+//! let registry = full_registry();
+//! let spec = PartitionSpec::new(2).with_seed(42);
+//! let shp2 = registry.run("shp2", &graph, &spec, &mut NoopObserver).unwrap();
+//! let multilevel = registry.run("multilevel", &graph, &spec, &mut NoopObserver).unwrap();
+//! println!("shp2 fanout {:.2} vs multilevel {:.2}", shp2.fanout, multilevel.fanout);
+//! assert!(shp2.fanout <= 5.0 / 3.0 + 1e-9);
 //! ```
 
 #![forbid(unsafe_code)]

@@ -1,7 +1,7 @@
 //! Cross-crate integration tests: the full pipeline from generated workload through
 //! partitioning to sharded replay, exercising the public API exactly like a downstream user.
 
-use shp::baselines::{Partitioner, RandomPartitioner};
+use shp::baselines::RandomPartitioner;
 use shp::core::{
     partition_direct, partition_distributed, partition_recursive, ObjectiveKind, ShpConfig,
     SocialHashPartitioner,
@@ -36,7 +36,7 @@ fn shp2_recovers_planted_partition_structure() {
     let result =
         partition_recursive(&graph, &ShpConfig::recursive_bisection(8).with_seed(1)).unwrap();
     // SHP should come close to the planted optimum and crush a random partition.
-    let random = RandomPartitioner::new(1).partition(&graph, 8, 0.05);
+    let random = RandomPartitioner::new(1).partition_into(&graph, 8, 0.05);
     let random_fanout = average_fanout(&graph, &random);
     assert!(
         result.report.final_fanout < planted_fanout * 1.35,
@@ -60,7 +60,7 @@ fn all_three_execution_paths_agree_in_quality() {
     let distributed =
         partition_distributed(&graph, &ShpConfig::recursive_bisection(k).with_seed(3), 4).unwrap();
 
-    let random = RandomPartitioner::new(3).partition(&graph, k, 0.05);
+    let random = RandomPartitioner::new(3).partition_into(&graph, k, 0.05);
     let random_fanout = average_fanout(&graph, &random);
     for (name, fanout) in [
         ("SHP-2", shp2.report.final_fanout),
@@ -112,7 +112,7 @@ fn sharding_pipeline_reduces_latency_versus_random() {
     )
     .unwrap()
     .partition;
-    let random = RandomPartitioner::new(11).partition(&graph, servers, 0.05);
+    let random = RandomPartitioner::new(11).partition_into(&graph, servers, 0.05);
 
     let model = LatencyModel::default();
     let shp_report = ShardedCluster::from_partition(&shp, model.clone()).replay(&graph, 1, 11);
@@ -137,7 +137,7 @@ fn serving_engine_reports_lower_fanout_and_latency_for_shp() {
     )
     .unwrap()
     .partition;
-    let random = RandomPartitioner::new(19).partition(&graph, shards, 0.05);
+    let random = RandomPartitioner::new(19).partition_into(&graph, shards, 0.05);
 
     let config = shp::serving::WorkloadConfig {
         arrival_rate: 100.0,
@@ -175,7 +175,7 @@ fn live_partition_swap_never_drops_or_double_serves_a_key() {
 
     let graph = workload(1_500, 23);
     let shards = 8;
-    let random = RandomPartitioner::new(23).partition(&graph, shards, 0.05);
+    let random = RandomPartitioner::new(23).partition_into(&graph, shards, 0.05);
     let shp = partition_recursive(
         &graph,
         &ShpConfig::recursive_bisection(shards).with_seed(23),
