@@ -62,8 +62,22 @@ impl MultilevelPartitioner {
     /// Direct entry point: the full multilevel pipeline into `k` buckets with the constructor
     /// configuration.
     pub fn partition_into(&self, graph: &BipartiteGraph, k: u32, epsilon: f64) -> Partition {
+        self.partition_into_with_workers(graph, k, epsilon, 1)
+    }
+
+    /// Like [`MultilevelPartitioner::partition_into`], but building the clique-net graph (the
+    /// dominant cost of the pipeline) over `workers` threads. The coarsening/refinement phases
+    /// stay sequential, matching the single-machine tools this baseline stands in for.
+    pub fn partition_into_with_workers(
+        &self,
+        graph: &BipartiteGraph,
+        k: u32,
+        epsilon: f64,
+        workers: usize,
+    ) -> Partition {
         // Work on the weighted clique-net graph of the hypergraph (Lemma 2's object).
-        let clique = CliqueNetGraph::build(graph, self.config.max_hyperedge_size);
+        let clique =
+            CliqueNetGraph::build_with_workers(graph, self.config.max_hyperedge_size, workers);
         let n = graph.num_data();
         let weights = vec![1u64; n];
         let assignment = recursive_bisect(
@@ -98,7 +112,8 @@ impl Partitioner for MultilevelPartitioner {
             seed: spec.seed,
             ..self.config.clone()
         });
-        let partition = seeded.partition_into(graph, spec.num_buckets, spec.epsilon);
+        let partition =
+            seeded.partition_into_with_workers(graph, spec.num_buckets, spec.epsilon, spec.workers);
         Ok(assemble_outcome(
             self.name(),
             graph,

@@ -22,11 +22,25 @@ fn bench_gain_computation(c: &mut Criterion) {
         let nd = NeighborData::build(&graph, &partition);
         let objective = Objective::PFanout { p: 0.5 };
         let constraint = TargetConstraint::all(k);
-        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
-            b.iter(|| {
-                gains::compute_proposals(&objective, &graph, &partition, &nd, &constraint, true)
-            })
-        });
+        for workers in [1usize, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("k{k}"), format!("w{workers}")),
+                &k,
+                |b, _| {
+                    b.iter(|| {
+                        gains::compute_proposals(
+                            &objective,
+                            &graph,
+                            &partition,
+                            &nd,
+                            &constraint,
+                            true,
+                            workers,
+                        )
+                    })
+                },
+            );
+        }
     }
     group.finish();
 }

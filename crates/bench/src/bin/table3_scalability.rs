@@ -5,14 +5,84 @@
 //! multilevel baseline (the Mondriaan/Zoltan stand-in) is included to show where it stops being
 //! feasible — mirroring the paper's finding that only SHP-2 completes on every instance.
 
-use shp_baselines::{MultilevelConfig, MultilevelPartitioner};
+use shp_baselines::{full_registry, MultilevelConfig, MultilevelPartitioner};
 use shp_bench::{bench_scale, env_usize, fmt_secs, load_dataset, TextTable};
 use shp_core::api::{DistributedShp, NoopObserver, PartitionSpec, Partitioner};
-use shp_datagen::Dataset;
+use shp_datagen::{power_law_bipartite, Dataset, PowerLawConfig};
 use shp_hypergraph::average_fanout;
 use std::time::Duration;
 
+/// The worker-scaling section: run the in-process SHP paths on one fixed power-law graph with
+/// `workers ∈ {1, 2, 4, 8}` and report wall-clock speedup over the single-worker run. The
+/// outcomes are asserted bit-identical across worker counts (the determinism contract), so the
+/// speedup column is the only thing that may vary.
+fn parallel_speedup_section() {
+    let queries = env_usize("SHP_BENCH_SPEEDUP_QUERIES", 40_000);
+    let config = PowerLawConfig {
+        num_queries: queries,
+        num_data: queries,
+        min_degree: 4,
+        max_degree: 120,
+        seed: 0x5047,
+        ..Default::default()
+    };
+    let graph = power_law_bipartite(&config);
+    let hardware = rayon::current_num_threads();
+    println!(
+        "Parallel speedup — SHP on a power-law graph ({} queries, {} keys, {} edges/pins), \
+         {hardware} hardware thread(s)",
+        graph.num_queries(),
+        graph.num_data(),
+        graph.num_edges()
+    );
+    if hardware == 1 {
+        println!(
+            "note: this machine exposes a single hardware thread; worker threads are real but \
+             time-share one core, so expect speedup ~1.00x here and near-linear scaling on \
+             multi-core hardware"
+        );
+    }
+    println!();
+    let registry = full_registry();
+    let mut table = TextTable::new(["algorithm", "workers", "time", "speedup", "fanout"]);
+    for algorithm in ["shpk", "shp2"] {
+        let mut baseline: Option<(Duration, Vec<u32>)> = None;
+        for workers in [1usize, 2, 4, 8] {
+            let spec = PartitionSpec::new(16)
+                .with_seed(0x5047)
+                .with_max_iterations(10)
+                .with_workers(workers);
+            let outcome = registry
+                .run(algorithm, &graph, &spec, &mut NoopObserver)
+                .expect("registered algorithm and valid spec");
+            let speedup = match &baseline {
+                None => {
+                    baseline = Some((outcome.elapsed, outcome.partition.assignment().to_vec()));
+                    "1.00x".to_string()
+                }
+                Some((t1, assignment)) => {
+                    assert_eq!(
+                        assignment,
+                        outcome.partition.assignment(),
+                        "{algorithm}: outcome must be bit-identical at workers={workers}"
+                    );
+                    format!("{:.2}x", t1.as_secs_f64() / outcome.elapsed.as_secs_f64())
+                }
+            };
+            table.add_row([
+                algorithm.to_string(),
+                workers.to_string(),
+                fmt_secs(outcome.elapsed),
+                speedup,
+                format!("{:.3}", outcome.fanout),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+}
+
 fn main() {
+    parallel_speedup_section();
     let scale = bench_scale();
     let workers = env_usize("SHP_BENCH_WORKERS", 4);
     let max_k = env_usize("SHP_BENCH_MAX_K", 512) as u32;
@@ -43,7 +113,7 @@ fn main() {
             let run_spec = PartitionSpec::new(k)
                 .with_epsilon(epsilon)
                 .with_seed(0x5047)
-                .with_num_workers(workers);
+                .with_workers(workers);
             // SHP-2 (recursive bisection on the BSP engine), via the unified trait.
             let shp2 = DistributedShp::default()
                 .partition(&graph, &run_spec, &mut NoopObserver)

@@ -8,7 +8,9 @@
 //! * `partition <input.hgr> <k> <output.part> [--mode <algorithm>] [--p <p>] [--epsilon <eps>]
 //!   [--seed <seed>] [--iterations <n>] [--workers <n>] [--json]` — partition a hypergraph
 //!   file with **any registered algorithm** (SHP or baseline) and write the bucket of every
-//!   vertex; `--json` emits the full `PartitionOutcome`.
+//!   vertex; `--json` emits the full `PartitionOutcome`. `--workers` sets the number of real
+//!   threads driving the refinement hot paths — the output is bit-identical for every worker
+//!   count (see the determinism contract in `shp-core`), only the wall-clock time changes.
 //! * `evaluate <input.hgr> <partition.part> <k> [--json]` — report fanout, p-fanout,
 //!   hyperedge cut, and imbalance of an existing partition.
 //! * `replay [options]` — drive a synthetic open-loop multiget workload through the
@@ -64,9 +66,9 @@ const USAGE: &str = "usage:
                 [--seed <seed>] [--iterations <n>] [--workers <n>] [--json]
   shp evaluate <input.hgr> <partition.part> <k> [--json]
   shp replay [--dataset <name>] [--scale <s>] [--shards <k>] [--rate <r>] [--duration <d>]
-             [--clients <n>] [--cache <capacity>] [--seed <seed>]
+             [--clients <n>] [--cache <capacity>] [--seed <seed>] [--workers <n>]
   shp serve  [--dataset <name>] [--scale <s>] [--shards <k>] [--rate <r>] [--duration <d>]
-             [--clients <n>] [--cache <capacity>] [--seed <seed>]
+             [--clients <n>] [--cache <capacity>] [--seed <seed>] [--workers <n>]
 
 `shp algorithms` lists the names accepted by --mode.
 datasets: email-Enron soc-Epinions web-Stanford web-BerkStan soc-Pokec soc-LJ FB-10M FB-50M FB-2B FB-5B FB-10B";
@@ -185,7 +187,7 @@ fn cmd_partition(args: &[String]) -> ShpResult<()> {
         .with_objective(objective)
         .with_epsilon(epsilon)
         .with_seed(seed)
-        .with_num_workers(workers);
+        .with_workers(workers);
     if let Some(iters) = iterations {
         spec = spec.with_max_iterations(iters);
     }
@@ -258,6 +260,7 @@ struct ServeOptions {
     clients: usize,
     cache: usize,
     seed: u64,
+    workers: usize,
 }
 
 impl ServeOptions {
@@ -271,6 +274,7 @@ impl ServeOptions {
             clients: 4,
             cache: 0,
             seed: 0x5047,
+            workers: 4,
         };
         let invalid = |message: String| ShpError::InvalidArgument(message);
         let mut i = 0;
@@ -287,6 +291,7 @@ impl ServeOptions {
                     | "--clients"
                     | "--cache"
                     | "--seed"
+                    | "--workers"
             ) {
                 return Err(invalid(format!("unknown option {:?}", args[i])));
             }
@@ -345,6 +350,14 @@ impl ServeOptions {
                         .parse()
                         .map_err(|_| invalid(format!("invalid seed {value:?}")))?;
                 }
+                "--workers" => {
+                    options.workers = value
+                        .parse()
+                        .map_err(|_| invalid(format!("invalid worker count {value:?}")))?;
+                    if options.workers == 0 {
+                        return Err(invalid("at least 1 worker is required".into()));
+                    }
+                }
                 _ => unreachable!("flag names are checked above"),
             }
             i += 2;
@@ -376,7 +389,9 @@ impl ServeOptions {
     }
 
     fn spec(&self) -> PartitionSpec {
-        PartitionSpec::new(self.shards).with_seed(self.seed)
+        PartitionSpec::new(self.shards)
+            .with_seed(self.seed)
+            .with_workers(self.workers)
     }
 
     fn shp_outcome(

@@ -26,7 +26,8 @@
 //!
 //! * [`PartitionSpec`] carries only the knobs every algorithm shares (buckets, `ε`, seed,
 //!   iteration cap, objective, simulated workers). Algorithm-specific options live on the
-//!   adapter structs ([`IncrementalShp::with_previous`], [`DistributedShp::num_workers`], …)
+//!   adapter structs ([`IncrementalShp::with_previous`], [`DistributedShp::num_workers`] for
+//!   overriding the simulated machine count, …)
 //!   and are reachable through the registry's spec-aware [`AlgorithmRegistry::create`].
 //! * Every [`PartitionOutcome`] respects the spec's balance bound: adapters run
 //!   [`enforce_balance`] before computing metrics, so no bucket ever exceeds
@@ -127,8 +128,12 @@ pub struct PartitionSpec {
     pub max_iterations: Option<usize>,
     /// Optimization objective for algorithms that have one (the SHP family).
     pub objective: ObjectiveKind,
-    /// Simulated worker count for distributed algorithms.
-    pub num_workers: usize,
+    /// Worker count: the number of real threads driving every parallel hot path (gain
+    /// computation, neighbor-data/histogram construction, clique-net build), and doubling as
+    /// the simulated machine count for the distributed BSP algorithms. Outcomes are
+    /// **bit-identical for every worker count** — the rayon shim reduces per-chunk results in
+    /// chunk order — so `workers` trades wall-clock time only.
+    pub workers: usize,
 }
 
 impl Default for PartitionSpec {
@@ -139,7 +144,7 @@ impl Default for PartitionSpec {
             seed: 0x5047,
             max_iterations: None,
             objective: ObjectiveKind::default_p_fanout(),
-            num_workers: 4,
+            workers: 4,
         }
     }
 }
@@ -177,9 +182,10 @@ impl PartitionSpec {
         self
     }
 
-    /// Sets the simulated worker count used by distributed algorithms.
-    pub fn with_num_workers(mut self, workers: usize) -> Self {
-        self.num_workers = workers;
+    /// Sets the worker count (real threads for the hot paths; also the simulated machine
+    /// count of the distributed algorithms). The outcome does not depend on it.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
         self
     }
 
@@ -189,10 +195,8 @@ impl PartitionSpec {
     /// Returns [`ShpError::InvalidConfig`] for zero buckets, a non-finite or negative `ε`,
     /// `p` outside `(0, 1)`, a zero iteration cap, or zero workers.
     pub fn validate(&self) -> ShpResult<()> {
-        if self.num_workers == 0 {
-            return Err(ShpError::InvalidConfig(
-                "num_workers must be at least 1".into(),
-            ));
+        if self.workers == 0 {
+            return Err(ShpError::InvalidConfig("workers must be at least 1".into()));
         }
         if self.max_iterations == Some(0) {
             return Err(ShpError::InvalidConfig(
@@ -217,6 +221,7 @@ impl PartitionSpec {
             mode,
             max_iterations: self.max_iterations.unwrap_or(default_iterations),
             seed: self.seed,
+            workers: self.workers.max(1),
             ..ShpConfig::default()
         }
     }
@@ -465,12 +470,12 @@ impl Partitioner for ShpK {
 }
 
 /// SHP on the vertex-centric BSP engine (Figure 3's four supersteps), with
-/// `spec.num_workers` simulated workers. Registry name `"distributed"` (recursive-bisection
+/// `spec.workers` simulated workers. Registry name `"distributed"` (recursive-bisection
 /// mode, the production default); construct with [`DistributedShp::direct`] for the direct
 /// k-way distributed variant.
 #[derive(Debug, Clone, Copy)]
 pub struct DistributedShp {
-    /// Overrides `spec.num_workers` when set.
+    /// Overrides `spec.workers` when set.
     pub num_workers: Option<usize>,
     /// Execution mode of the engine jobs (one job per split level in recursive mode).
     pub mode: PartitionMode,
@@ -507,7 +512,7 @@ impl Partitioner for DistributedShp {
         obs: &mut dyn ProgressObserver,
     ) -> ShpResult<PartitionOutcome> {
         spec.validate()?;
-        let workers = self.num_workers.unwrap_or(spec.num_workers).max(1);
+        let workers = self.num_workers.unwrap_or(spec.workers).max(1);
         let config = spec.shp_config(self.mode);
         let result = partition_distributed(graph, &config, workers)?;
         let mut moves = 0u64;
@@ -802,7 +807,7 @@ mod tests {
             .is_err());
         assert!(matches!(
             PartitionSpec {
-                num_workers: 0,
+                workers: 0,
                 ..PartitionSpec::new(4)
             }
             .validate(),

@@ -105,6 +105,10 @@ pub struct ShpConfig {
     pub optimize_final_p_fanout: bool,
     /// Seed for every random decision (initial partition and probabilistic moves).
     pub seed: u64,
+    /// Worker threads for the parallel hot paths (gain computation, neighbor-data and
+    /// histogram construction). Results are **bit-identical for every worker count** thanks to
+    /// the rayon shim's ordered chunk reduction; `1` runs fully sequentially.
+    pub workers: usize,
 }
 
 impl Default for ShpConfig {
@@ -122,6 +126,7 @@ impl Default for ShpConfig {
             scale_epsilon_by_level: true,
             optimize_final_p_fanout: true,
             seed: 0x5049_2017,
+            workers: 1,
         }
     }
 }
@@ -189,6 +194,13 @@ impl ShpConfig {
         self
     }
 
+    /// Sets the worker-thread count for the parallel hot paths (the produced partition does
+    /// not depend on it).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors
@@ -223,6 +235,9 @@ impl ShpConfig {
             return Err(ShpError::InvalidConfig(
                 "max_iterations must be at least 1".into(),
             ));
+        }
+        if self.workers == 0 {
+            return Err(ShpError::InvalidConfig("workers must be at least 1".into()));
         }
         if !(0.0..=1.0).contains(&self.convergence_threshold) {
             return Err(ShpError::InvalidConfig(format!(
@@ -308,6 +323,13 @@ mod tests {
         }
         .validate()
         .is_err());
+        assert!(ShpConfig {
+            workers: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(ShpConfig::default().with_workers(8).validate().is_ok());
     }
 
     #[test]

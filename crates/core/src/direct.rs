@@ -60,8 +60,9 @@ pub fn refine_in_place(
         config.allow_imbalanced_moves,
         config.epsilon,
         config.seed,
-    );
-    let mut nd = NeighborData::build(graph, partition);
+    )
+    .with_workers(config.workers);
+    let mut nd = NeighborData::build_with_workers(graph, partition, config.workers);
     let max_iterations = max_iterations_override.unwrap_or(config.max_iterations);
     refiner.run(
         partition,

@@ -7,7 +7,6 @@
 
 use crate::neighbor_data::NeighborData;
 use crate::objective::Objective;
-use rayon::prelude::*;
 use shp_hypergraph::{BipartiteGraph, BucketId, DataId, Partition};
 use std::collections::HashMap;
 
@@ -174,11 +173,16 @@ pub fn best_move_for_vertex(
     }
 }
 
-/// Computes move proposals for every data vertex in parallel.
+/// Computes move proposals for every data vertex in parallel over `workers` threads.
 ///
 /// When `include_nonpositive` is false only strictly improving proposals are returned (the
 /// basic Algorithm 1 behaviour); when true every vertex's best proposal is returned so the
 /// histogram strategy can pair positive with non-positive gains (Section 3.4).
+///
+/// Vertices are partitioned into contiguous index chunks and the per-chunk candidate lists are
+/// concatenated in chunk order (the rayon shim's ordered reduction), so the returned list is
+/// **bit-identical for every worker count** — sorted by vertex id, exactly as the sequential
+/// scan would produce it.
 pub fn compute_proposals(
     objective: &Objective,
     graph: &BipartiteGraph,
@@ -186,17 +190,23 @@ pub fn compute_proposals(
     nd: &NeighborData,
     constraint: &TargetConstraint,
     include_nonpositive: bool,
+    workers: usize,
 ) -> Vec<MoveProposal> {
     let least_loaded = (0..partition.num_buckets())
         .min_by_key(|&b| partition.bucket_weight(b))
         .unwrap_or(0);
-    (0..graph.num_data() as DataId)
-        .into_par_iter()
-        .filter_map(|v| {
-            best_move_for_vertex(objective, graph, partition, nd, constraint, least_loaded, v)
-        })
+    rayon::pool::filter_map_index(graph.num_data(), workers, |v| {
+        best_move_for_vertex(
+            objective,
+            graph,
+            partition,
+            nd,
+            constraint,
+            least_loaded,
+            v as DataId,
+        )
         .filter(|p| include_nonpositive || p.gain > 0.0)
-        .collect()
+    })
 }
 
 #[cfg(test)]
@@ -287,9 +297,9 @@ mod tests {
         let (g, p) = figure1();
         let nd = NeighborData::build(&g, &p);
         let obj = Objective::PFanout { p: 0.5 };
-        let strict = compute_proposals(&obj, &g, &p, &nd, &TargetConstraint::all(2), false);
+        let strict = compute_proposals(&obj, &g, &p, &nd, &TargetConstraint::all(2), false, 1);
         assert!(strict.iter().all(|m| m.gain > 0.0));
-        let all = compute_proposals(&obj, &g, &p, &nd, &TargetConstraint::all(2), true);
+        let all = compute_proposals(&obj, &g, &p, &nd, &TargetConstraint::all(2), true, 1);
         assert_eq!(
             all.len(),
             6,
@@ -303,8 +313,8 @@ mod tests {
         let (g, p) = figure1();
         let nd = NeighborData::build(&g, &p);
         let obj = Objective::PFanout { p: 0.5 };
-        let a = compute_proposals(&obj, &g, &p, &nd, &TargetConstraint::all(2), true);
-        let b = compute_proposals(&obj, &g, &p, &nd, &TargetConstraint::all(2), true);
+        let a = compute_proposals(&obj, &g, &p, &nd, &TargetConstraint::all(2), true, 1);
+        let b = compute_proposals(&obj, &g, &p, &nd, &TargetConstraint::all(2), true, 4);
         assert_eq!(a, b);
     }
 
@@ -314,7 +324,7 @@ mod tests {
         let p = Partition::from_assignment(&g, 1, vec![0; 6]).unwrap();
         let nd = NeighborData::build(&g, &p);
         let obj = Objective::Fanout;
-        let proposals = compute_proposals(&obj, &g, &p, &nd, &TargetConstraint::all(1), true);
+        let proposals = compute_proposals(&obj, &g, &p, &nd, &TargetConstraint::all(1), true, 2);
         assert!(proposals.is_empty());
     }
 
@@ -323,7 +333,7 @@ mod tests {
         let (g, p) = figure1();
         let nd = NeighborData::build(&g, &p);
         let obj = Objective::PFanout { p: 0.5 };
-        let all = compute_proposals(&obj, &g, &p, &nd, &TargetConstraint::all(2), true);
+        let all = compute_proposals(&obj, &g, &p, &nd, &TargetConstraint::all(2), true, 1);
         let sib = compute_proposals(
             &obj,
             &g,
@@ -331,6 +341,7 @@ mod tests {
             &nd,
             &TargetConstraint::sibling_groups(&[vec![0, 1]]),
             true,
+            1,
         );
         assert_eq!(all.len(), sib.len());
         for (a, s) in all.iter().zip(sib.iter()) {

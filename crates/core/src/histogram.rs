@@ -115,6 +115,22 @@ impl GainHistogramSet {
         set
     }
 
+    /// Builds the histogram set over `workers` threads: each worker accumulates a partial set
+    /// over a contiguous chunk of the proposal list and the partials are merged in chunk order.
+    /// Bin counts are sums, so the result equals [`GainHistogramSet::from_proposals`] exactly
+    /// for every worker count — this is the "worker-local histograms combined by the master"
+    /// step of Section 3.4 executed on real threads.
+    pub fn from_proposals_with_workers(proposals: &[MoveProposal], workers: usize) -> Self {
+        let partials = rayon::pool::run_chunks(proposals.len(), workers, |range| {
+            GainHistogramSet::from_proposals(&proposals[range])
+        });
+        let mut merged = GainHistogramSet::default();
+        for partial in partials {
+            merged.merge(&partial);
+        }
+        merged
+    }
+
     /// Records one proposal.
     pub fn record(&mut self, proposal: &MoveProposal) {
         self.histograms
@@ -355,6 +371,26 @@ mod tests {
         let probs = MoveProbabilitiesForTest::from(set);
         assert_eq!(probs.probability(&proposals[0]), 0.0);
         assert_eq!(probs.probability(&proposals[1]), 0.0);
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential_for_every_worker_count() {
+        // A large synthetic proposal list spanning many bucket pairs and gain magnitudes.
+        let proposals: Vec<MoveProposal> = (0..10_000u32)
+            .map(|v| {
+                proposal(
+                    v,
+                    v % 7,
+                    (v + 1 + v % 5) % 7,
+                    ((v % 97) as f64 - 48.0) / 3.0,
+                )
+            })
+            .collect();
+        let sequential = GainHistogramSet::from_proposals(&proposals);
+        for workers in [1usize, 2, 4, 8] {
+            let parallel = GainHistogramSet::from_proposals_with_workers(&proposals, workers);
+            assert_eq!(parallel, sequential, "workers={workers}");
+        }
     }
 
     #[test]

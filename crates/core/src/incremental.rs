@@ -84,7 +84,7 @@ pub fn partition_incremental(
 
     let start = Instant::now();
     let mut partition = previous.clone();
-    let mut nd = NeighborData::build(graph, &partition);
+    let mut nd = NeighborData::build_with_workers(graph, &partition, config.workers);
     // Penalize every move whose target differs from the vertex's bucket in the previous
     // partition; moves back to the original bucket keep their full gain.
     let original: Vec<u32> = previous.assignment().to_vec();
@@ -99,6 +99,7 @@ pub fn partition_incremental(
         config.epsilon,
         config.seed,
     )
+    .with_workers(config.workers)
     .with_gain_adjuster(Box::new(move |proposal| {
         if proposal.to != original[proposal.vertex as usize] {
             proposal.gain - penalty

@@ -8,10 +8,23 @@
 //! Two execution paths implement the same algorithm:
 //!
 //! * the in-process path ([`partition_direct`] for SHP-k, [`partition_recursive`] for
-//!   SHP-2 / SHP-r) parallelized with rayon, and
+//!   SHP-2 / SHP-r), whose refinement sweeps — gain computation, neighbor-data and
+//!   gain-histogram construction — run on the rayon shim's scoped thread pool with
+//!   `ShpConfig::workers` (`PartitionSpec::workers`) threads, and
 //! * the distributed path ([`distributed::partition_distributed`]) which runs the identical
 //!   four-superstep iteration (Figure 3 of the paper) on the vertex-centric BSP engine of
-//!   `shp-vertex-centric`, with per-superstep communication accounting.
+//!   `shp-vertex-centric`, with per-superstep communication accounting and one real thread
+//!   per simulated worker.
+//!
+//! # Determinism contract
+//!
+//! Parallelism never changes results: every parallel phase splits its index space into
+//! contiguous chunks and merges the per-chunk results **in chunk order** (ordered chunk
+//! reduction — see the vendored `rayon` crate docs), and probabilistic move decisions hash
+//! `(seed, iteration, vertex)` instead of sampling from a shared RNG stream. A fixed
+//! [`api::PartitionSpec`] therefore produces a bit-identical [`api::PartitionOutcome`] for
+//! every worker count, which `tests/parallel_conformance.rs` enforces for all registered
+//! algorithms.
 //!
 //! Every execution path (plus the baselines of `shp-baselines`) is also reachable through the
 //! unified [`api`] module — one [`api::Partitioner`] trait, one [`api::PartitionSpec`], one

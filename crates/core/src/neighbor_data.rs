@@ -5,7 +5,6 @@
 //! only the non-zero entries are stored — at most `fanout(q)` of them per query — so the total
 //! footprint is `O(|E|)` regardless of the bucket count.
 
-use rayon::prelude::*;
 use shp_hypergraph::{BipartiteGraph, BucketId, DataId, Partition, QueryId};
 
 /// Sparse per-query bucket counts, kept in sync with the partition by the refinement loop.
@@ -16,13 +15,23 @@ pub struct NeighborData {
 }
 
 impl NeighborData {
-    /// Builds the neighbor data of every query for the given partition.
+    /// Builds the neighbor data of every query for the given partition, sequentially.
     pub fn build(graph: &BipartiteGraph, partition: &Partition) -> Self {
-        let counts: Vec<Vec<(BucketId, u32)>> = (0..graph.num_queries() as QueryId)
-            .into_par_iter()
-            .map(|q| {
+        Self::build_with_workers(graph, partition, 1)
+    }
+
+    /// Builds the neighbor data over `workers` threads: queries are split into contiguous
+    /// index chunks and each worker fills the per-query histograms of its own chunk, so the
+    /// result is bit-identical to the sequential build for every worker count.
+    pub fn build_with_workers(
+        graph: &BipartiteGraph,
+        partition: &Partition,
+        workers: usize,
+    ) -> Self {
+        let counts: Vec<Vec<(BucketId, u32)>> =
+            rayon::pool::map_index(graph.num_queries(), workers, |q| {
                 let mut local: Vec<(BucketId, u32)> = Vec::new();
-                for &v in graph.query_neighbors(q) {
+                for &v in graph.query_neighbors(q as QueryId) {
                     let b = partition.bucket_of(v);
                     match local.binary_search_by_key(&b, |&(bb, _)| bb) {
                         Ok(idx) => local[idx].1 += 1,
@@ -30,8 +39,7 @@ impl NeighborData {
                     }
                 }
                 local
-            })
-            .collect();
+            });
         NeighborData { counts }
     }
 

@@ -136,8 +136,9 @@ pub fn partition_recursive(
             config.allow_imbalanced_moves,
             epsilon,
             seed,
-        );
-        let mut nd = NeighborData::build(graph, &partition);
+        )
+        .with_workers(config.workers);
+        let mut nd = NeighborData::build_with_workers(graph, &partition, config.workers);
         let level_history = refiner.run(
             &mut partition,
             &mut nd,

@@ -43,6 +43,7 @@ pub struct Refiner<'a> {
     allow_imbalanced_moves: bool,
     epsilon: f64,
     seed: u64,
+    workers: usize,
     gain_adjuster: Option<GainAdjuster>,
 }
 
@@ -68,6 +69,7 @@ impl<'a> Refiner<'a> {
             allow_imbalanced_moves,
             epsilon,
             seed,
+            workers: 1,
             gain_adjuster: None,
         }
     }
@@ -80,6 +82,14 @@ impl<'a> Refiner<'a> {
     /// Installs a gain adjuster applied to every proposal before swap coordination.
     pub fn with_gain_adjuster(mut self, adjuster: GainAdjuster) -> Self {
         self.gain_adjuster = Some(adjuster);
+        self
+    }
+
+    /// Sets the worker-thread count used by the parallel phases of each iteration (gain
+    /// computation and histogram construction). The produced moves are bit-identical for every
+    /// worker count; the default is 1 (fully sequential).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
         self
     }
 
@@ -98,6 +108,7 @@ impl<'a> Refiner<'a> {
             nd,
             &self.constraint,
             include_nonpositive || self.gain_adjuster.is_some(),
+            self.workers,
         );
         if let Some(adjuster) = &self.gain_adjuster {
             for p in proposals.iter_mut() {
@@ -110,9 +121,9 @@ impl<'a> Refiner<'a> {
 
         let probabilities = match self.swap_strategy {
             SwapStrategy::Matrix => SwapMatrix::from_proposals(&proposals).move_probabilities(),
-            SwapStrategy::Histogram => {
-                MoveProbabilities::from_histograms(&GainHistogramSet::from_proposals(&proposals))
-            }
+            SwapStrategy::Histogram => MoveProbabilities::from_histograms(
+                &GainHistogramSet::from_proposals_with_workers(&proposals, self.workers),
+            ),
         };
 
         // Probabilistic selection with a per-(seed, iteration, vertex) hash so the outcome does

@@ -25,44 +25,50 @@ pub struct CliqueNetGraph {
 }
 
 impl CliqueNetGraph {
-    /// Builds the clique-net graph of `graph`.
+    /// Builds the clique-net graph of `graph`, sequentially.
     ///
     /// Hyperedges larger than `max_hyperedge_size` are skipped (the standard sampling guard
     /// against the `Ω(n²)` blow-up described in Section 3.1); pass `usize::MAX` to include all
     /// hyperedges.
     pub fn build(graph: &BipartiteGraph, max_hyperedge_size: usize) -> Self {
+        Self::build_with_workers(graph, max_hyperedge_size, 1)
+    }
+
+    /// Builds the clique-net graph over `workers` threads.
+    ///
+    /// The pair accumulation is parallelized over the *smaller endpoint*: worker `w` owns a
+    /// contiguous range of data vertices and, for each owned vertex `a`, counts the co-pins
+    /// `b > a` across `a`'s queries. Every unordered pair is therefore counted by exactly one
+    /// worker with no shared state, the per-vertex accumulators are sorted, and the CSR is
+    /// laid out from the chunk-ordered accumulator list — so the result is bit-identical to
+    /// the sequential build for every worker count.
+    pub fn build_with_workers(
+        graph: &BipartiteGraph,
+        max_hyperedge_size: usize,
+        workers: usize,
+    ) -> Self {
         let n = graph.num_data();
-        // Accumulate weights per (min, max) vertex pair using per-vertex hash maps keyed by the
-        // larger endpoint; memory stays proportional to the number of distinct clique edges.
-        let mut adj: Vec<HashMap<DataId, u32>> = vec![HashMap::new(); n];
-        for q in graph.queries() {
-            let pins = graph.query_neighbors(q);
-            if pins.len() < 2 || pins.len() > max_hyperedge_size {
-                continue;
-            }
-            for i in 0..pins.len() {
-                for j in (i + 1)..pins.len() {
-                    let (a, b) = if pins[i] < pins[j] {
-                        (pins[i], pins[j])
-                    } else {
-                        (pins[j], pins[i])
-                    };
-                    *adj[a as usize].entry(b).or_insert(0) += 1;
+        let adj: Vec<Vec<(DataId, u32)>> = rayon::pool::map_index(n, workers, |a| {
+            let a = a as DataId;
+            let mut m: HashMap<DataId, u32> = HashMap::new();
+            for &q in graph.data_neighbors(a) {
+                let pins = graph.query_neighbors(q);
+                if pins.len() < 2 || pins.len() > max_hyperedge_size {
+                    continue;
+                }
+                for &b in pins {
+                    if b > a {
+                        *m.entry(b).or_insert(0) += 1;
+                    }
                 }
             }
-        }
-
-        // Sort each accumulator: HashMap iteration order is randomized per instance, and the
-        // CSR layout (hence neighbor iteration order, hence downstream tie-breaking) must be a
-        // pure function of the input graph.
-        let adj: Vec<Vec<(DataId, u32)>> = adj
-            .into_iter()
-            .map(|m| {
-                let mut entries: Vec<(DataId, u32)> = m.into_iter().collect();
-                entries.sort_unstable_by_key(|&(b, _)| b);
-                entries
-            })
-            .collect();
+            // Sort the accumulator: HashMap iteration order is randomized per instance, and
+            // the CSR layout (hence neighbor iteration order, hence downstream tie-breaking)
+            // must be a pure function of the input graph.
+            let mut entries: Vec<(DataId, u32)> = m.into_iter().collect();
+            entries.sort_unstable_by_key(|&(b, _)| b);
+            entries
+        });
 
         // Symmetrize into CSR.
         let mut degree = vec![0u64; n];
@@ -214,6 +220,25 @@ mod tests {
         let c = CliqueNetGraph::build(&g, usize::MAX);
         // Vertex 0: neighbors 1 (w2), 5 (w1), 2 (w1), 3 (w1) -> total 5.
         assert_eq!(c.weighted_degree(0), 5);
+    }
+
+    #[test]
+    fn parallel_build_is_identical_for_every_worker_count() {
+        // A few hundred vertices with overlapping queries so many pairs repeat.
+        let mut b = GraphBuilder::new();
+        for q in 0..400u32 {
+            let base = (q * 7) % 300;
+            b.add_query([base, (base + 1) % 300, (base + 13) % 300, (base + 29) % 300]);
+        }
+        let g = b.build().unwrap();
+        let sequential = CliqueNetGraph::build(&g, usize::MAX);
+        for workers in [1usize, 2, 4, 8] {
+            let parallel = CliqueNetGraph::build_with_workers(&g, usize::MAX, workers);
+            assert_eq!(parallel, sequential, "workers={workers}");
+        }
+        // The hyperedge-size guard must also be applied identically.
+        let filtered = CliqueNetGraph::build(&g, 3);
+        assert_eq!(CliqueNetGraph::build_with_workers(&g, 3, 4), filtered);
     }
 
     #[test]

@@ -183,7 +183,9 @@ impl ShardSet {
     }
 
     /// Executes a routed multiget with one scoped thread per contacted shard — the literal
-    /// scatter-gather a real storage tier performs. Useful for demonstrations and tests; for
+    /// scatter-gather a real storage tier performs, dispatched through the rayon shim's pool
+    /// (one coarse work unit per batch, results gathered in batch order so the value list is
+    /// identical to [`ShardSet::execute`]'s). Useful for demonstrations and tests; for
     /// high-throughput replay prefer [`ShardSet::execute`] under concurrent clients, which
     /// avoids per-query thread spawns.
     ///
@@ -191,28 +193,19 @@ impl ShardSet {
     /// Same contract as [`ShardSet::execute`].
     pub fn execute_scatter_gather(&self, plan: &RoutePlan) -> Result<BatchResults> {
         type BatchOutcome = Result<(Vec<(DataId, u64)>, f64)>;
-        let results: Vec<BatchOutcome> = std::thread::scope(|scope| {
-            let handles: Vec<_> = plan
-                .batches
-                .iter()
-                .map(|batch| {
-                    scope.spawn(move || {
-                        let shard = self.shards.get(batch.shard as usize).ok_or(
-                            ServingError::MissingKey {
-                                key: batch.keys[0],
-                                shard: batch.shard,
-                            },
-                        )?;
-                        let mut out = Vec::with_capacity(batch.keys.len());
-                        let t = shard.serve(batch.shard, &batch.keys, &self.model, &mut out)?;
-                        Ok((out, t))
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("shard worker panicked"))
-                .collect()
+        let batches: Vec<&crate::router::ShardBatch> = plan.batches.iter().collect();
+        let fanout = batches.len();
+        let results: Vec<BatchOutcome> = rayon::pool::map_vec(batches, fanout, |_, batch| {
+            let shard = self
+                .shards
+                .get(batch.shard as usize)
+                .ok_or(ServingError::MissingKey {
+                    key: batch.keys[0],
+                    shard: batch.shard,
+                })?;
+            let mut out = Vec::with_capacity(batch.keys.len());
+            let t = shard.serve(batch.shard, &batch.keys, &self.model, &mut out)?;
+            Ok((out, t))
         });
         let mut values = Vec::with_capacity(plan.num_keys());
         let mut latency = 0.0f64;

@@ -5,7 +5,6 @@ use crate::metrics::{ExecutionMetrics, SuperstepMetrics};
 use crate::program::{MasterOutcome, VertexProgram};
 use crate::routing::{group_by_vertex, route, WorkerOutbox};
 use crate::topology::Topology;
-use rayon::prelude::*;
 use std::time::Instant;
 
 /// Configuration of an engine run.
@@ -46,6 +45,9 @@ struct WorkerState<V> {
     /// Halt flags of owned vertices.
     halted: Vec<bool>,
 }
+
+/// One simulated worker's unit of superstep work: its mutable state and pending inbox.
+type WorkerTask<'a, V, M> = (&'a mut WorkerState<V>, Vec<(u32, M)>);
 
 /// Result produced by one worker for one superstep.
 struct WorkerStepResult<M, A> {
@@ -206,13 +208,13 @@ impl<P: VertexProgram> Engine<P> {
             (0..num_workers).map(|_| Vec::new()).collect(),
         );
 
-        // Each worker processes its vertices in parallel with the others.
-        let results: Vec<WorkerStepResult<P::Message, P::Aggregate>> = self
-            .workers
-            .par_iter_mut()
-            .zip(inboxes.into_par_iter())
-            .enumerate()
-            .map(|(worker_idx, (state, inbox))| {
+        // Each simulated worker processes its vertices on its own real thread (one scoped
+        // thread per worker, results collected in worker-index order so the merge below is
+        // deterministic regardless of which worker finishes first).
+        let work: Vec<WorkerTask<'_, P::Value, P::Message>> =
+            self.workers.iter_mut().zip(inboxes).collect();
+        let results: Vec<WorkerStepResult<P::Message, P::Aggregate>> =
+            rayon::pool::map_vec(work, num_workers, |worker_idx, (state, inbox)| {
                 let local_count = state.values.len();
                 let (messages, combined) =
                     group_by_vertex(inbox, num_workers, local_count, |a, b| {
@@ -250,8 +252,7 @@ impl<P: VertexProgram> Engine<P> {
                     active,
                     combined,
                 }
-            })
-            .collect();
+            });
 
         // Collect metrics and the merged aggregate deterministically (worker-index order).
         let mut step_metrics = SuperstepMetrics {

@@ -15,8 +15,9 @@
 //!   `MessageCombiner`, `Aggregator`, and `MasterCompute`.
 //! * [`Engine`] — distributes vertices over a configurable number of simulated workers
 //!   (vertex `v` lives on worker `v mod W`, as with Giraph's random vertex distribution),
-//!   runs supersteps with rayon-parallel workers, routes messages between workers, and applies
-//!   combiners.
+//!   runs each superstep's per-worker compute on one real scoped thread per worker (merging
+//!   worker results in worker-index order, so outcomes never depend on thread interleaving),
+//!   routes messages between workers, and applies combiners.
 //! * [`ExecutionMetrics`] — per-superstep accounting of messages, bytes, and local-vs-remote
 //!   traffic, so the communication-complexity claims of Section 3.3 of the paper can be
 //!   checked quantitatively even though no real network is involved.

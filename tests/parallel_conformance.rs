@@ -1,0 +1,219 @@
+//! Worker-count conformance suite: parallel execution must never change results.
+//!
+//! The rayon shim distributes the SHP hot paths (gain computation, neighbor-data and
+//! gain-histogram construction, clique-net build, BSP superstep compute) over real scoped
+//! threads with ordered chunk reduction. This suite locks in the resulting contract:
+//!
+//! * every registry algorithm produces a **bit-identical** `PartitionOutcome` (assignment,
+//!   fanout/p-fanout/imbalance bits, iteration and move counts) for `workers ∈ {1, 2, 4, 8}`
+//!   on fixed-seed planted-partition and power-law graphs;
+//! * the chunking primitive exactly covers the index space, in order, with no overlap, and
+//!   the ordered reduction equals the sequential scan for arbitrary `(len, workers)`;
+//! * the thread pool survives panicking tasks without deadlocking.
+//!
+//! `SHP_TEST_WORKERS` (see CI's multi-threaded job) adds an extra worker count to every
+//! comparison, so a single-threaded default run cannot mask races: the same tests re-run with
+//! the pool actually engaged.
+
+use proptest::prelude::*;
+use shp::baselines::full_registry;
+use shp::core::api::{NoopObserver, PartitionOutcome, PartitionSpec, TraceObserver};
+use shp::datagen::{planted_partition, power_law_bipartite, PlantedConfig, PowerLawConfig};
+use shp::hypergraph::BipartiteGraph;
+
+/// Worker counts every comparison runs at: the fixed `{1, 2, 4, 8}` ladder plus the value of
+/// `SHP_TEST_WORKERS` when set (deduplicated), so the CI matrix can force extra counts.
+fn worker_counts() -> Vec<usize> {
+    let mut counts = vec![1usize, 2, 4, 8];
+    if let Some(extra) = std::env::var("SHP_TEST_WORKERS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&w| w >= 1)
+    {
+        if !counts.contains(&extra) {
+            counts.push(extra);
+        }
+    }
+    counts
+}
+
+fn planted_graph() -> BipartiteGraph {
+    planted_partition(&PlantedConfig {
+        num_blocks: 4,
+        block_size: 128,
+        num_queries: 1_536,
+        query_degree: 5,
+        noise: 0.08,
+        seed: 0x5047,
+    })
+    .0
+}
+
+fn power_law_graph() -> BipartiteGraph {
+    power_law_bipartite(&PowerLawConfig {
+        num_queries: 1_200,
+        num_data: 900,
+        min_degree: 2,
+        max_degree: 40,
+        seed: 0x5047,
+        ..Default::default()
+    })
+}
+
+/// The exact-equality fingerprint of an outcome. Floats are compared by bit pattern — "close
+/// enough" would hide reduction-order differences, which are precisely the bug class this
+/// suite exists to catch.
+fn fingerprint(outcome: &PartitionOutcome) -> (Vec<u32>, u64, u64, u64, usize, u64) {
+    (
+        outcome.partition.assignment().to_vec(),
+        outcome.fanout.to_bits(),
+        outcome.p_fanout.to_bits(),
+        outcome.imbalance.to_bits(),
+        outcome.iterations,
+        outcome.moves,
+    )
+}
+
+/// Every registry algorithm, on both fixed-seed graphs, must produce bit-identical outcomes
+/// for every worker count.
+#[test]
+fn all_registry_algorithms_are_bit_identical_across_worker_counts() {
+    let registry = full_registry();
+    let counts = worker_counts();
+    for (graph_name, graph, k) in [
+        ("planted", planted_graph(), 4u32),
+        ("power-law", power_law_graph(), 8u32),
+    ] {
+        for name in registry.names() {
+            let mut baseline: Option<(Vec<u32>, u64, u64, u64, usize, u64)> = None;
+            for &workers in &counts {
+                let spec = PartitionSpec::new(k)
+                    .with_seed(0x5047)
+                    .with_max_iterations(4)
+                    .with_workers(workers);
+                let outcome = registry
+                    .run(&name, &graph, &spec, &mut NoopObserver)
+                    .expect("registered algorithm on a valid spec");
+                let fp = fingerprint(&outcome);
+                match &baseline {
+                    None => baseline = Some(fp),
+                    Some(expected) => assert_eq!(
+                        &fp, expected,
+                        "{name} on {graph_name}: outcome diverged at workers={workers}"
+                    ),
+                }
+            }
+        }
+    }
+}
+
+/// The per-iteration trace (the observable refinement history) must also be independent of
+/// the worker count, not just the final partition.
+#[test]
+fn iteration_traces_are_identical_across_worker_counts() {
+    let graph = planted_graph();
+    for name in ["shpk", "shp2", "distributed"] {
+        let registry = full_registry();
+        let mut baseline: Option<Vec<(usize, usize, u64)>> = None;
+        for workers in worker_counts() {
+            let spec = PartitionSpec::new(4)
+                .with_seed(7)
+                .with_max_iterations(5)
+                .with_workers(workers);
+            let mut trace = TraceObserver::default();
+            registry
+                .run(name, &graph, &spec, &mut trace)
+                .expect("valid spec");
+            let events: Vec<(usize, usize, u64)> = trace
+                .iterations
+                .iter()
+                .map(|e| (e.iteration, e.moved, e.fanout.to_bits()))
+                .collect();
+            match &baseline {
+                None => baseline = Some(events),
+                Some(expected) => assert_eq!(
+                    &events, expected,
+                    "{name}: iteration trace diverged at workers={workers}"
+                ),
+            }
+        }
+    }
+}
+
+/// A panicking task must propagate to the caller without deadlocking, and the pool must stay
+/// usable afterwards — including under repeated failure/recovery cycles and with several
+/// panicking chunks at once.
+#[test]
+fn thread_pool_survives_panicking_tasks_without_deadlocking() {
+    for round in 0..5 {
+        let caught = std::panic::catch_unwind(|| {
+            rayon::pool::map_index(4_096, 8, |i| {
+                // Multiple chunks panic: one task near the front and one near the back.
+                if i == 100 || i == 4_000 {
+                    panic!("injected failure {i} in round {round}");
+                }
+                i as u64
+            })
+        });
+        assert!(caught.is_err(), "round {round}: the panic must propagate");
+
+        // The pool holds no poisoned global state: the next calls work and stay correct.
+        let ok = rayon::pool::map_index(4_096, 8, |i| i as u64);
+        assert_eq!(ok.len(), 4_096);
+        assert!(ok.iter().enumerate().all(|(i, &x)| x == i as u64));
+    }
+}
+
+/// Same guarantee for the coarse-unit scheduler used by the BSP engine and the serving
+/// scatter-gather path.
+#[test]
+fn map_vec_propagates_panics_and_recovers() {
+    let caught = std::panic::catch_unwind(|| {
+        rayon::pool::map_vec((0..8u32).collect::<Vec<_>>(), 8, |_, x| {
+            if x == 5 {
+                panic!("injected worker failure");
+            }
+            x * 2
+        })
+    });
+    assert!(caught.is_err());
+    let ok = rayon::pool::map_vec((0..8u32).collect::<Vec<_>>(), 8, |_, x| x * 2);
+    assert_eq!(ok, vec![0, 2, 4, 6, 8, 10, 12, 14]);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The chunking primitive: for arbitrary `(len, workers)` the ranges are contiguous,
+    /// ascending, non-overlapping, balanced to within one item, and exactly cover `0..len`.
+    #[test]
+    fn chunk_ranges_exactly_cover_the_index_space(len in 0usize..10_000, workers in 1usize..64) {
+        let ranges = rayon::pool::chunk_ranges(len, workers);
+        prop_assert!(ranges.len() <= workers.max(1));
+        let mut cursor = 0usize;
+        let mut sizes = Vec::with_capacity(ranges.len());
+        for r in &ranges {
+            prop_assert_eq!(r.start, cursor, "ranges must be contiguous and ascending");
+            prop_assert!(r.end > r.start, "ranges must be non-empty");
+            sizes.push(r.end - r.start);
+            cursor = r.end;
+        }
+        prop_assert_eq!(cursor, len, "ranges must cover 0..len exactly");
+        if let (Some(&min), Some(&max)) = (sizes.iter().min(), sizes.iter().max()) {
+            prop_assert!(max - min <= 1, "chunk sizes must be balanced: {:?}", sizes);
+        }
+    }
+
+    /// Ordered reduction: the parallel map/filter-map equals the sequential scan for arbitrary
+    /// `(len, workers)` — order preserved, nothing lost, nothing duplicated.
+    #[test]
+    fn ordered_reduction_equals_the_sequential_scan(len in 0usize..4_096, workers in 1usize..16) {
+        let mapped = rayon::pool::map_index(len, workers, |i| i as u64 * 3 + 1);
+        let expected: Vec<u64> = (0..len as u64).map(|i| i * 3 + 1).collect();
+        prop_assert_eq!(mapped, expected);
+
+        let filtered = rayon::pool::filter_map_index(len, workers, |i| (i % 3 == 0).then_some(i));
+        let expected: Vec<usize> = (0..len).filter(|i| i % 3 == 0).collect();
+        prop_assert_eq!(filtered, expected);
+    }
+}

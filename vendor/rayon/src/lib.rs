@@ -1,16 +1,49 @@
-//! Vendored stand-in for the [`rayon`](https://crates.io/crates/rayon) crate.
+//! Vendored stand-in for the [`rayon`](https://crates.io/crates/rayon) crate, upgraded from a
+//! sequential shim to a real work-distribution layer.
 //!
-//! The shim maps rayon's parallel-iterator entry points (`into_par_iter`, `par_iter`,
-//! `par_iter_mut`) onto the corresponding **sequential** standard-library iterators, so all
-//! downstream adapter chains (`map`, `filter_map`, `zip`, `enumerate`, `collect`, ...) are the
-//! plain [`Iterator`] methods and behave identically — minus the parallelism. Results are
-//! therefore deterministic and ordered, which the workspace's refinement pipeline relies on;
-//! code that needs real threads (e.g. `shp-serving`) uses `std::thread::scope` directly.
+//! Two layers coexist:
+//!
+//! * The [`prelude`] traits (`into_par_iter`, `par_iter`, `par_iter_mut`) remain **sequential**
+//!   adapters onto the standard-library iterators. They exist so rayon-style call sites keep
+//!   compiling; arbitrary adapter chains cannot be parallelized without the full rayon
+//!   machinery, and code on a hot path should use the [`pool`] module instead.
+//! * The [`pool`] module is an actual scoped thread pool with **chunked index-range
+//!   scheduling**: a job over `0..len` is split into at most `workers` contiguous ranges, each
+//!   range runs on its own scoped thread, and the per-chunk results are merged **in chunk
+//!   order** once every thread has joined.
+//!
+//! # Determinism contract (ordered chunk reduction)
+//!
+//! Every `pool` entry point guarantees that its result is a *pure function of the inputs and
+//! the closure* — never of the worker count, thread scheduling, or interleaving:
+//!
+//! 1. The index space `0..len` is split by [`pool::chunk_ranges`] into contiguous, disjoint,
+//!    ascending ranges that exactly cover `0..len`.
+//! 2. Each worker produces a result for its own chunk only, from the closure's output alone
+//!    (closures must not mutate shared state; the API hands out `Fn`, not `FnMut`).
+//! 3. Chunk results are concatenated / merged strictly in chunk order after all workers
+//!    joined, so `map_index(len, w, f)` equals `(0..len).map(f).collect()` for **every** `w`.
+//!
+//! Consequently the SHP refinement pipeline produces bit-identical partitions for any worker
+//! count — the property `tests/parallel_conformance.rs` locks in for the whole workspace.
+//!
+//! `workers <= 1`, empty inputs, and jobs too small to be worth a thread spawn take a purely
+//! sequential fast path in the calling thread (no spawns at all).
+//!
+//! # Panic safety
+//!
+//! A panicking task never deadlocks the pool: scoped threads are always joined, and the first
+//! chunk's panic (in chunk order) is resumed on the caller after every worker finished. The
+//! pool holds no global state, so subsequent calls after a caught panic work normally.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 /// Entry-point traits, mirroring `rayon::prelude`.
+///
+/// These remain *sequential*: they exist for API compatibility at call sites whose adapter
+/// chains do not matter for performance. Hot paths use the [`crate::pool`] primitives, which
+/// distribute work over real threads with deterministic ordered reduction.
 pub mod prelude {
     /// Conversion into a "parallel" (here: sequential) iterator by value.
     pub trait IntoParallelIterator {
@@ -79,13 +112,189 @@ pub mod prelude {
     }
 }
 
-/// Returns the number of threads rayon would use; the sequential shim always reports 1.
+/// Number of hardware threads available to the process (what real rayon would size its global
+/// pool to). Falls back to 1 when the platform cannot report it.
 pub fn current_num_threads() -> usize {
-    1
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// The scoped thread pool with chunked index-range scheduling and deterministic ordered
+/// reduction. See the crate docs for the determinism contract.
+pub mod pool {
+    use std::ops::Range;
+
+    /// Below this many items per prospective chunk a job is not worth a thread spawn; the
+    /// worker count is reduced so every spawned thread has at least this much work (tiny jobs
+    /// collapse to the sequential fast path). Results are unaffected — only scheduling is.
+    const MIN_ITEMS_PER_WORKER: usize = 64;
+
+    /// Splits `0..len` into at most `chunks` contiguous, disjoint, ascending ranges that
+    /// exactly cover `0..len`. The first `len % chunks` ranges hold one extra item, so sizes
+    /// differ by at most one. With `chunks == 0` (treated as 1), `len == 0` yields no ranges.
+    pub fn chunk_ranges(len: usize, chunks: usize) -> Vec<Range<usize>> {
+        if len == 0 {
+            return Vec::new();
+        }
+        let chunks = chunks.clamp(1, len);
+        let base = len / chunks;
+        let extra = len % chunks;
+        let mut ranges = Vec::with_capacity(chunks);
+        let mut start = 0;
+        for i in 0..chunks {
+            let size = base + usize::from(i < extra);
+            ranges.push(start..start + size);
+            start += size;
+        }
+        debug_assert_eq!(start, len);
+        ranges
+    }
+
+    /// Effective number of chunks for a job of `len` items at the requested worker count,
+    /// after the [`MIN_ITEMS_PER_WORKER`] granularity guard.
+    fn effective_chunks(len: usize, workers: usize) -> usize {
+        workers.min(len.div_ceil(MIN_ITEMS_PER_WORKER)).max(1)
+    }
+
+    /// Runs `f` over each range of [`chunk_ranges`]`(len, workers)` and returns the per-chunk
+    /// results **in chunk order**. Sequential fast path when a single chunk results
+    /// (`workers <= 1`, tiny `len`, or `len == 0`); otherwise one scoped thread per chunk.
+    ///
+    /// # Panics
+    /// If a task panics, all threads are still joined and the panic of the earliest chunk (in
+    /// chunk order) is resumed on the caller — the pool never deadlocks.
+    pub fn run_chunks<R, F>(len: usize, workers: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Range<usize>) -> R + Sync,
+    {
+        let ranges = chunk_ranges(len, effective_chunks(len, workers));
+        if ranges.len() <= 1 {
+            return ranges.into_iter().map(f).collect();
+        }
+        let f = &f;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = ranges
+                .into_iter()
+                .map(|range| scope.spawn(move || f(range)))
+                .collect();
+            join_in_chunk_order(handles)
+        })
+    }
+
+    /// Joins every handle before propagating any panic, collecting results in spawn (= chunk)
+    /// order; the panic of the earliest failing chunk is resumed after all threads finished.
+    /// This is the single panic-propagation protocol shared by every scheduler in this module.
+    fn join_in_chunk_order<R>(handles: Vec<std::thread::ScopedJoinHandle<'_, R>>) -> Vec<R> {
+        let mut results = Vec::with_capacity(handles.len());
+        let mut first_panic = None;
+        for handle in handles {
+            match handle.join() {
+                Ok(result) => results.push(result),
+                Err(payload) => {
+                    first_panic.get_or_insert(payload);
+                }
+            };
+        }
+        if let Some(payload) = first_panic {
+            std::panic::resume_unwind(payload);
+        }
+        results
+    }
+
+    /// Ordered parallel map over the index space: equals `(0..len).map(f).collect()` for every
+    /// worker count.
+    pub fn map_index<T, F>(len: usize, workers: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        concat(run_chunks(len, workers, |range| {
+            range.map(&f).collect::<Vec<T>>()
+        }))
+    }
+
+    /// Ordered parallel filter-map over the index space: equals
+    /// `(0..len).filter_map(f).collect()` for every worker count.
+    pub fn filter_map_index<T, F>(len: usize, workers: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> Option<T> + Sync,
+    {
+        concat(run_chunks(len, workers, |range| {
+            range.filter_map(&f).collect::<Vec<T>>()
+        }))
+    }
+
+    /// Ordered parallel map over a slice; `f` receives the global index and the item.
+    pub fn map_slice<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        map_index(items.len(), workers, |i| f(i, &items[i]))
+    }
+
+    /// Ordered parallel map consuming a `Vec`; `f` receives the global index and the owned
+    /// item. Unlike [`map_index`] this schedules **one chunk per worker regardless of size**
+    /// (no granularity guard): it is meant for coarse work units such as per-simulated-worker
+    /// superstep compute, where even a length-2 job deserves two threads.
+    pub fn map_vec<T, R, F>(items: Vec<T>, workers: usize, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        let len = items.len();
+        let ranges = chunk_ranges(len, workers.max(1));
+        if ranges.len() <= 1 {
+            return items
+                .into_iter()
+                .enumerate()
+                .map(|(i, x)| f(i, x))
+                .collect();
+        }
+        // Split the Vec into per-chunk owned slices, preserving global indices.
+        let mut rest = items;
+        let mut parts = Vec::with_capacity(ranges.len());
+        for range in ranges.iter().rev() {
+            let tail = rest.split_off(range.start);
+            parts.push((range.start, tail));
+        }
+        parts.reverse();
+        let f = &f;
+        concat(std::thread::scope(|scope| {
+            let handles: Vec<_> = parts
+                .into_iter()
+                .map(|(offset, chunk)| {
+                    scope.spawn(move || {
+                        chunk
+                            .into_iter()
+                            .enumerate()
+                            .map(|(i, x)| f(offset + i, x))
+                            .collect::<Vec<R>>()
+                    })
+                })
+                .collect();
+            join_in_chunk_order(handles)
+        }))
+    }
+
+    fn concat<T>(chunks: Vec<Vec<T>>) -> Vec<T> {
+        let total = chunks.iter().map(Vec::len).sum();
+        let mut out = Vec::with_capacity(total);
+        for chunk in chunks {
+            out.extend(chunk);
+        }
+        out
+    }
 }
 
 #[cfg(test)]
 mod tests {
+    use super::pool;
     use super::prelude::*;
 
     #[test]
@@ -102,5 +311,117 @@ mod tests {
             .zip(vec![10, 20, 30].into_par_iter())
             .for_each(|(a, b)| *a += b);
         assert_eq!(w, vec![11, 22, 33]);
+    }
+
+    #[test]
+    fn chunk_ranges_cover_exactly_without_overlap() {
+        for len in [0usize, 1, 2, 7, 64, 1000, 1001] {
+            for chunks in [1usize, 2, 3, 8, 1000, 5000] {
+                let ranges = pool::chunk_ranges(len, chunks);
+                let mut expected_start = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, expected_start, "len={len} chunks={chunks}");
+                    assert!(!r.is_empty(), "len={len} chunks={chunks}");
+                    expected_start = r.end;
+                }
+                assert_eq!(expected_start, len, "len={len} chunks={chunks}");
+                assert!(ranges.len() <= chunks.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_sizes_differ_by_at_most_one() {
+        let ranges = pool::chunk_ranges(1003, 8);
+        let sizes: Vec<usize> = ranges.iter().map(std::ops::Range::len).collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        assert!(max - min <= 1, "{sizes:?}");
+    }
+
+    #[test]
+    fn map_index_is_identical_for_every_worker_count() {
+        let baseline: Vec<u64> = (0..10_000u64).map(|i| i.wrapping_mul(2654435761)).collect();
+        for workers in [1usize, 2, 3, 4, 8, 16] {
+            let parallel =
+                pool::map_index(10_000, workers, |i| (i as u64).wrapping_mul(2654435761));
+            assert_eq!(parallel, baseline, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn filter_map_index_preserves_order_across_workers() {
+        let baseline: Vec<usize> = (0..5_000).filter(|i| i % 7 == 0).collect();
+        for workers in [1usize, 2, 4, 8] {
+            let parallel = pool::filter_map_index(5_000, workers, |i| (i % 7 == 0).then_some(i));
+            assert_eq!(parallel, baseline, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn map_slice_and_map_vec_agree_with_sequential() {
+        let items: Vec<u32> = (0..500).map(|i| i * 3).collect();
+        let expected: Vec<u64> = items
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| i as u64 + u64::from(x))
+            .collect();
+        for workers in [1usize, 2, 5, 8] {
+            assert_eq!(
+                pool::map_slice(&items, workers, |i, &x| i as u64 + u64::from(x)),
+                expected
+            );
+            assert_eq!(
+                pool::map_vec(items.clone(), workers, |i, x| i as u64 + u64::from(x)),
+                expected
+            );
+        }
+    }
+
+    #[test]
+    fn map_vec_uses_no_granularity_guard() {
+        // Two coarse items must land on two chunks even though 2 < MIN_ITEMS_PER_WORKER.
+        let ids = pool::map_vec(vec![0u8, 1], 2, |i, _| (i, std::thread::current().id()));
+        assert_eq!(ids.len(), 2);
+        assert_eq!((ids[0].0, ids[1].0), (0, 1));
+    }
+
+    #[test]
+    fn small_jobs_take_the_sequential_fast_path() {
+        let caller = std::thread::current().id();
+        let ids = pool::map_index(8, 8, |_| std::thread::current().id());
+        assert!(ids.iter().all(|&id| id == caller));
+    }
+
+    #[test]
+    fn panicking_task_propagates_without_deadlock_and_pool_survives() {
+        for round in 0..3 {
+            let caught = std::panic::catch_unwind(|| {
+                pool::map_index(10_000, 4, |i| {
+                    if i == 7_777 {
+                        panic!("task failure in round {round}");
+                    }
+                    i
+                })
+            });
+            assert!(caught.is_err(), "round {round} should panic");
+            // The pool is stateless: the very next call must work.
+            let ok = pool::map_index(10_000, 4, |i| i);
+            assert_eq!(ok.len(), 10_000);
+        }
+    }
+
+    #[test]
+    fn run_chunks_returns_results_in_chunk_order() {
+        let results = pool::run_chunks(4_096, 8, |range| range.start);
+        let mut sorted = results.clone();
+        sorted.sort_unstable();
+        assert_eq!(results, sorted);
+        assert_eq!(results[0], 0);
+    }
+
+    #[test]
+    fn current_num_threads_reports_at_least_one() {
+        assert!(super::current_num_threads() >= 1);
     }
 }
