@@ -1,0 +1,153 @@
+//! Shared support for the hot-path bench binaries: a counting global allocator (the
+//! "allocations proxy" recorded in `BENCH_refinement.json`) and a measurement helper.
+//!
+//! This lives under `benches/support/` (not auto-discovered as a bench target) and is pulled
+//! into each bench binary with `mod support;`. The allocator wraps the system allocator with
+//! relaxed atomic counters; a bench binary installs it via
+//! `#[global_allocator] static A: support::CountingAllocator = support::CountingAllocator;`.
+
+#![allow(dead_code)] // each bench binary compiles this module and uses a subset of it
+
+use shp_datagen::{power_law_bipartite, PowerLawConfig};
+use shp_hypergraph::BipartiteGraph;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// The power-law graph both hot-path benches measure at k = 64: large enough for stable
+/// timings, small enough that the legacy pipeline still finishes quickly in smoke mode.
+pub fn bench_power_law() -> BipartiteGraph {
+    power_law_bipartite(&PowerLawConfig {
+        num_queries: 12_000,
+        num_data: 9_000,
+        min_degree: 2,
+        max_degree: 60,
+        seed: 0x5047,
+        ..Default::default()
+    })
+}
+
+/// Measurement rounds honoring `--quick` smoke mode.
+pub fn rounds() -> usize {
+    if criterion::quick_mode() {
+        2
+    } else {
+        10
+    }
+}
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static ALLOCATED_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// System-allocator wrapper counting every allocation call and byte (deallocations are not
+/// tracked: the proxy measures allocator pressure on the hot path, not live footprint).
+pub struct CountingAllocator;
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATED_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATED_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+/// Snapshot of the allocation counters.
+#[derive(Debug, Clone, Copy)]
+pub struct AllocSnapshot {
+    allocations: u64,
+    bytes: u64,
+}
+
+/// Takes a counter snapshot; subtract two snapshots via [`AllocSnapshot::delta`].
+pub fn alloc_snapshot() -> AllocSnapshot {
+    AllocSnapshot {
+        allocations: ALLOCATIONS.load(Ordering::Relaxed),
+        bytes: ALLOCATED_BYTES.load(Ordering::Relaxed),
+    }
+}
+
+impl AllocSnapshot {
+    /// `(allocation calls, bytes)` since `earlier`.
+    pub fn delta(&self, earlier: &AllocSnapshot) -> (u64, u64) {
+        (
+            self.allocations - earlier.allocations,
+            self.bytes - earlier.bytes,
+        )
+    }
+}
+
+/// One measured hot-path variant: mean wall time plus the allocation proxy, over `rounds`
+/// executions of `op` (after one warmup).
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// Mean wall-clock seconds per operation.
+    pub secs_per_op: f64,
+    /// Mean allocator calls per operation.
+    pub allocs_per_op: f64,
+    /// Mean allocated bytes per operation.
+    pub bytes_per_op: f64,
+}
+
+impl Measurement {
+    /// Operations per second.
+    pub fn ops_per_s(&self) -> f64 {
+        if self.secs_per_op > 0.0 {
+            1.0 / self.secs_per_op
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Nanoseconds per item for an operation covering `items` items.
+    pub fn ns_per_item(&self, items: usize) -> f64 {
+        self.secs_per_op * 1e9 / items.max(1) as f64
+    }
+
+    /// The metric row recorded in `BENCH_refinement.json` for this variant.
+    pub fn metrics(&self, items: usize) -> Vec<(&'static str, f64)> {
+        vec![
+            ("ops_per_s", self.ops_per_s()),
+            ("ns_per_vertex", self.ns_per_item(items)),
+            ("allocs_per_op", self.allocs_per_op),
+            ("alloc_bytes_per_op", self.bytes_per_op),
+        ]
+    }
+}
+
+/// Measures `op` (with per-round `setup` outside the timed window) over `rounds` rounds.
+pub fn measure<I, S: FnMut() -> I, F: FnMut(I)>(
+    rounds: usize,
+    mut setup: S,
+    mut op: F,
+) -> Measurement {
+    op(setup()); // warmup
+    let mut total = 0.0f64;
+    let mut allocs = 0u64;
+    let mut bytes = 0u64;
+    for _ in 0..rounds {
+        let input = setup();
+        let before = alloc_snapshot();
+        let start = Instant::now();
+        op(input);
+        total += start.elapsed().as_secs_f64();
+        let (a, b) = alloc_snapshot().delta(&before);
+        allocs += a;
+        bytes += b;
+    }
+    let r = rounds.max(1) as f64;
+    Measurement {
+        secs_per_op: total / r,
+        allocs_per_op: allocs as f64 / r,
+        bytes_per_op: bytes as f64 / r,
+    }
+}

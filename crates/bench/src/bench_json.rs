@@ -1,0 +1,240 @@
+//! Machine-readable benchmark trajectory output.
+//!
+//! The hot-path benches (`refinement_iteration`, `gain_computation`) record their headline
+//! numbers — ops/s, ns per vertex, and an allocation-count proxy — into a single
+//! `BENCH_refinement.json` at the repository root, one top-level section per bench binary.
+//! Future PRs diff that file to track the performance trajectory of the refinement hot path
+//! without re-parsing human-oriented bench logs.
+//!
+//! The vendored `serde` has no data-format backend, so this module hand-rolls the tiny JSON
+//! subset it needs: a top-level object whose values are replaced as opaque raw spans. A bench
+//! binary only rewrites its own section; sections written by other binaries survive untouched.
+
+use std::path::{Path, PathBuf};
+
+/// The trajectory file name, created at the repository root.
+pub const BENCH_JSON_NAME: &str = "BENCH_refinement.json";
+
+/// The repository root, resolved relative to this crate's manifest (`crates/bench/../..`).
+pub fn repo_root() -> PathBuf {
+    let raw = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    raw.canonicalize().unwrap_or(raw)
+}
+
+/// A string→number map rendered as one JSON object (a bench metric row).
+pub fn render_metrics(metrics: &[(&str, f64)]) -> String {
+    let body: Vec<String> = metrics
+        .iter()
+        .map(|(k, v)| format!("\"{k}\": {}", render_number(*v)))
+        .collect();
+    format!("{{{}}}", body.join(", "))
+}
+
+/// Renders an f64 as a JSON number (finite values only; non-finite become `null`).
+pub fn render_number(v: f64) -> String {
+    if !v.is_finite() {
+        return "null".to_string();
+    }
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Renders a section body from named metric rows plus named scalar values.
+pub fn render_section(rows: &[(String, String)]) -> String {
+    let body: Vec<String> = rows
+        .iter()
+        .map(|(k, v)| format!("    \"{k}\": {v}"))
+        .collect();
+    format!("{{\n{}\n  }}", body.join(",\n"))
+}
+
+/// Reads `path` (if it exists), replaces or appends the top-level `section` with the raw JSON
+/// value `body`, and writes the file back. Other sections are preserved byte-for-byte. A
+/// malformed existing file is replaced wholesale (the trajectory file is generated output, not
+/// a source of truth).
+pub fn update_section(path: &Path, section: &str, body: &str) -> std::io::Result<()> {
+    let existing = std::fs::read_to_string(path).unwrap_or_default();
+    let mut sections = parse_top_level(&existing).unwrap_or_default();
+    match sections.iter_mut().find(|(k, _)| k == section) {
+        Some((_, v)) => *v = body.to_string(),
+        None => sections.push((section.to_string(), body.to_string())),
+    }
+    let rendered: Vec<String> = sections
+        .iter()
+        .map(|(k, v)| format!("  \"{k}\": {v}"))
+        .collect();
+    std::fs::write(path, format!("{{\n{}\n}}\n", rendered.join(",\n")))
+}
+
+/// Parses the top level of a JSON object into `(key, raw value span)` pairs, preserving order.
+/// Returns `None` on anything that does not scan as `{ "key": <value>, ... }`.
+pub fn parse_top_level(input: &str) -> Option<Vec<(String, String)>> {
+    let mut chars = input.char_indices().peekable();
+    skip_ws(&mut chars);
+    if chars.next().map(|(_, c)| c) != Some('{') {
+        return None;
+    }
+    let mut result = Vec::new();
+    loop {
+        skip_ws(&mut chars);
+        match chars.peek().copied() {
+            Some((_, '}')) => {
+                chars.next();
+                return Some(result);
+            }
+            Some((_, '"')) => {}
+            _ => return None,
+        }
+        let key = parse_string(&mut chars)?;
+        skip_ws(&mut chars);
+        if chars.next().map(|(_, c)| c) != Some(':') {
+            return None;
+        }
+        skip_ws(&mut chars);
+        let start = chars.peek()?.0;
+        let end = scan_value(input, &mut chars)?;
+        result.push((key, input[start..end].trim_end().to_string()));
+        skip_ws(&mut chars);
+        match chars.peek().copied() {
+            Some((_, ',')) => {
+                chars.next();
+            }
+            Some((_, '}')) => {}
+            _ => return None,
+        }
+    }
+}
+
+type CharStream<'a> = std::iter::Peekable<std::str::CharIndices<'a>>;
+
+fn skip_ws(chars: &mut CharStream<'_>) {
+    while matches!(chars.peek(), Some(&(_, c)) if c.is_whitespace()) {
+        chars.next();
+    }
+}
+
+fn parse_string(chars: &mut CharStream<'_>) -> Option<String> {
+    if chars.next().map(|(_, c)| c) != Some('"') {
+        return None;
+    }
+    let mut out = String::new();
+    loop {
+        let (_, c) = chars.next()?;
+        match c {
+            '"' => return Some(out),
+            '\\' => {
+                let (_, escaped) = chars.next()?;
+                out.push(escaped);
+            }
+            _ => out.push(c),
+        }
+    }
+}
+
+/// Consumes one JSON value (scalar, string, array, or object), returning the byte offset just
+/// past its end.
+fn scan_value(input: &str, chars: &mut CharStream<'_>) -> Option<usize> {
+    let mut depth = 0usize;
+    let mut end = chars.peek()?.0;
+    loop {
+        let Some(&(i, c)) = chars.peek() else {
+            return (depth == 0).then_some(end);
+        };
+        match c {
+            '"' => {
+                parse_string(chars)?;
+                end = chars.peek().map_or(input.len(), |&(j, _)| j);
+            }
+            '{' | '[' => {
+                depth += 1;
+                chars.next();
+                end = i + 1;
+            }
+            '}' | ']' => {
+                if depth == 0 {
+                    return Some(end);
+                }
+                depth -= 1;
+                chars.next();
+                end = i + 1;
+            }
+            ',' if depth == 0 => return Some(end),
+            _ => {
+                chars.next();
+                end = i + c.len_utf8();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_nested_sections() {
+        let input = r#"{
+  "a": {"x": 1, "y": [1, 2, {"z": "s,tr}ing"}]},
+  "b": 3.5,
+  "c": {"nested": {"deep": true}}
+}"#;
+        let sections = parse_top_level(input).expect("valid");
+        assert_eq!(sections.len(), 3);
+        assert_eq!(sections[0].0, "a");
+        assert_eq!(sections[1], ("b".to_string(), "3.5".to_string()));
+        assert!(sections[2].1.contains("\"deep\": true"));
+    }
+
+    #[test]
+    fn update_section_preserves_other_sections() {
+        let dir = std::env::temp_dir().join(format!("shp_bench_json_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.json");
+        let _ = std::fs::remove_file(&path);
+        update_section(&path, "one", "{\"v\": 1}").unwrap();
+        update_section(&path, "two", "{\"v\": 2}").unwrap();
+        update_section(&path, "one", "{\"v\": 9}").unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        let sections = parse_top_level(&content).expect("written file parses");
+        assert_eq!(
+            sections,
+            vec![
+                ("one".to_string(), "{\"v\": 9}".to_string()),
+                ("two".to_string(), "{\"v\": 2}".to_string()),
+            ]
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn malformed_existing_content_is_replaced() {
+        let dir = std::env::temp_dir().join(format!("shp_bench_json_bad_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.json");
+        std::fs::write(&path, "not json at all").unwrap();
+        update_section(&path, "s", "{}").unwrap();
+        let sections = parse_top_level(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(sections, vec![("s".to_string(), "{}".to_string())]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn number_rendering_is_json_safe() {
+        assert_eq!(render_number(3.0), "3");
+        assert_eq!(render_number(3.25), "3.250");
+        assert_eq!(render_number(f64::INFINITY), "null");
+        assert_eq!(render_number(f64::NAN), "null");
+        assert_eq!(
+            render_metrics(&[("a", 1.0), ("b", 0.5)]),
+            "{\"a\": 1, \"b\": 0.500}"
+        );
+    }
+
+    #[test]
+    fn repo_root_contains_workspace_manifest() {
+        assert!(repo_root().join("Cargo.toml").exists());
+    }
+}

@@ -17,6 +17,8 @@ use shp_datagen::Dataset;
 use shp_hypergraph::{BipartiteGraph, Partition};
 use std::time::Duration;
 
+pub mod bench_json;
+
 /// Default dataset scale used by the benchmark binaries.
 pub const DEFAULT_SCALE: f64 = 0.01;
 

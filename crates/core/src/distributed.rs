@@ -23,6 +23,7 @@ use crate::error::ShpResult;
 use crate::gains::{MoveProposal, TargetConstraint};
 use crate::histogram::{GainHistogramSet, NUM_BINS};
 use crate::objective::Objective;
+use crate::pair_table::PairTable;
 use crate::refinement::unit_hash;
 use rand::Rng;
 use rand::SeedableRng;
@@ -32,7 +33,6 @@ use shp_hypergraph::{average_fanout, average_p_fanout, BipartiteGraph, BucketId,
 use shp_vertex_centric::{
     Context, Engine, EngineConfig, ExecutionMetrics, MasterOutcome, TopologyBuilder, VertexProgram,
 };
-use std::collections::HashMap;
 use std::time::Instant;
 
 /// Per-iteration statistics reported by the distributed master.
@@ -84,9 +84,15 @@ enum ShpMessage {
 }
 
 /// Per-superstep aggregate collected by the master.
+///
+/// A vertex contributes at most one `proposal`; proposals are folded into the dense
+/// `histograms` table by [`VertexProgram::merge_aggregates`] as the per-worker accumulator
+/// absorbs them, so the per-vertex contribution stays O(1) (no per-vertex table allocation)
+/// while each worker builds exactly one histogram set per superstep.
 #[derive(Debug, Clone, Default)]
 struct ShpAggregate {
     histograms: GainHistogramSet,
+    proposal: Option<MoveProposal>,
     moved: u64,
     fanout_sum: u64,
 }
@@ -95,8 +101,8 @@ struct ShpAggregate {
 #[derive(Debug, Clone, Default)]
 struct ShpGlobal {
     iteration: usize,
-    probabilities: Option<HashMap<(BucketId, BucketId), [f64; NUM_BINS]>>,
-    matrix_probabilities: Option<HashMap<(BucketId, BucketId), f64>>,
+    probabilities: Option<PairTable<[f64; NUM_BINS]>>,
+    matrix_probabilities: Option<PairTable<f64>>,
     pending_fanout: f64,
     history: Vec<DistributedIterationStats>,
 }
@@ -145,22 +151,19 @@ impl VertexProgram for ShpProgram {
                     ctx.send_to_neighbors(ShpMessage::Bucket(*bucket));
                 }
                 2 => {
-                    // Superstep 3: compute move gains from the received neighbor data.
+                    // Superstep 3: compute move gains from the received neighbor data. The
+                    // contribution carries the bare proposal; the per-worker accumulator folds
+                    // it into its dense histogram table (see `merge_aggregates`).
                     *proposal = compute_distributed_proposal(self, *bucket, messages);
                     if let Some((to, gain)) = *proposal {
                         ctx.aggregate(ShpAggregate {
-                            histograms: {
-                                let mut set = GainHistogramSet::default();
-                                set.record(&MoveProposal {
-                                    vertex,
-                                    from: *bucket,
-                                    to,
-                                    gain,
-                                });
-                                set
-                            },
-                            moved: 0,
-                            fanout_sum: 0,
+                            proposal: Some(MoveProposal {
+                                vertex,
+                                from: *bucket,
+                                to,
+                                gain,
+                            }),
+                            ..Default::default()
                         });
                     }
                 }
@@ -207,6 +210,14 @@ impl VertexProgram for ShpProgram {
 
     fn merge_aggregates(&self, mut a: ShpAggregate, b: ShpAggregate) -> ShpAggregate {
         a.histograms.merge(&b.histograms);
+        // Fold pending single-proposal contributions into the accumulator's table; histogram
+        // bins are commutative counters, so any merge association yields the same set.
+        if let Some(p) = b.proposal {
+            a.histograms.record(&p);
+        }
+        if let Some(p) = a.proposal.take() {
+            a.histograms.record(&p);
+        }
         a.moved += b.moved;
         a.fanout_sum += b.fanout_sum;
         a
@@ -290,6 +301,11 @@ impl VertexProgram for ShpProgram {
 }
 
 /// Computes the best proposal of a data vertex from the neighbor data it received.
+///
+/// Candidate deltas live in a bucket-sorted `Vec` (binary-search insertion) instead of a hash
+/// map: the candidate set is bounded by the received fanout, accumulation per bucket happens in
+/// the same message-visit order, and the final scan needs no sort — the result is bit-identical
+/// to the previous hash-map implementation without any hashing.
 fn compute_distributed_proposal(
     program: &ShpProgram,
     from: BucketId,
@@ -297,7 +313,13 @@ fn compute_distributed_proposal(
 ) -> Option<(BucketId, f64)> {
     // Gain of moving to a bucket none of the adjacent queries touch, plus per-candidate deltas.
     let mut base_gain = 0.0;
-    let mut deltas: HashMap<BucketId, f64> = HashMap::new();
+    let mut deltas: Vec<(BucketId, f64)> = Vec::new();
+    let add_delta = |deltas: &mut Vec<(BucketId, f64)>, b: BucketId, adjustment: f64| match deltas
+        .binary_search_by_key(&b, |&(bb, _)| bb)
+    {
+        Ok(idx) => deltas[idx].1 += adjustment,
+        Err(idx) => deltas.insert(idx, (b, adjustment)),
+    };
     let allowed = program.allowed_targets(from);
     for message in messages {
         let counts = match message {
@@ -318,7 +340,7 @@ fn compute_distributed_proposal(
                     }
                     let adjustment = program.objective.per_query_gain(n_src, c)
                         - program.objective.per_query_gain(n_src, 0);
-                    *deltas.entry(b).or_insert(0.0) += adjustment;
+                    add_delta(&mut deltas, b, adjustment);
                 }
             }
             Some(targets) => {
@@ -333,7 +355,7 @@ fn compute_distributed_proposal(
                         .unwrap_or(0);
                     let adjustment = program.objective.per_query_gain(n_src, n_dst)
                         - program.objective.per_query_gain(n_src, 0);
-                    *deltas.entry(b).or_insert(0.0) += adjustment;
+                    add_delta(&mut deltas, b, adjustment);
                 }
             }
         }
@@ -342,14 +364,14 @@ fn compute_distributed_proposal(
         // Ensure every allowed sibling is a candidate even when untouched by any query.
         for &b in targets {
             if b != from {
-                deltas.entry(b).or_insert(0.0);
+                if let Err(idx) = deltas.binary_search_by_key(&b, |&(bb, _)| bb) {
+                    deltas.insert(idx, (b, 0.0));
+                }
             }
         }
     }
-    let mut candidates: Vec<(BucketId, f64)> = deltas.into_iter().collect();
-    candidates.sort_unstable_by_key(|&(b, _)| b);
     let mut best: Option<(BucketId, f64)> = None;
-    for (b, delta) in candidates {
+    for (b, delta) in deltas {
         let gain = base_gain + delta;
         best = match best {
             Some((bb, bg)) if bg > gain || (bg == gain && bb <= b) => Some((bb, bg)),
@@ -363,13 +385,13 @@ fn compute_distributed_proposal(
 fn lookup_probability(global: &ShpGlobal, from: BucketId, to: BucketId, gain: f64) -> f64 {
     if let Some(table) = &global.probabilities {
         return table
-            .get(&(from, to))
+            .get(from, to)
             .map(|bins| bins[crate::histogram::bin_index(gain)])
             .unwrap_or(0.0);
     }
     if let Some(table) = &global.matrix_probabilities {
         if gain > 0.0 {
-            return table.get(&(from, to)).copied().unwrap_or(0.0);
+            return table.get(from, to).copied().unwrap_or(0.0);
         }
     }
     0.0
@@ -377,7 +399,7 @@ fn lookup_probability(global: &ShpGlobal, from: BucketId, to: BucketId, gain: f6
 
 /// Derives the basic swap-matrix probabilities `min(S_ij, S_ji)/S_ij` from gain histograms by
 /// counting the positive-gain candidates of every ordered pair.
-fn matrix_probabilities(set: &GainHistogramSet) -> HashMap<(BucketId, BucketId), f64> {
+fn matrix_probabilities(set: &GainHistogramSet) -> PairTable<f64> {
     let positive_count = |from: BucketId, to: BucketId| -> u64 {
         set.get(from, to)
             .map(|h| {
@@ -389,17 +411,18 @@ fn matrix_probabilities(set: &GainHistogramSet) -> HashMap<(BucketId, BucketId),
             .unwrap_or(0)
     };
     // The match_bins result contains exactly the ordered pairs recorded (both directions).
-    let mut seen: Vec<(BucketId, BucketId)> = set.match_bins().keys().copied().collect();
+    let matched = set.match_bins();
+    let mut seen: Vec<(BucketId, BucketId)> = matched.keys().collect();
     seen.sort_unstable();
     seen.dedup();
-    let mut probs = HashMap::new();
+    let mut probs = PairTable::new(matched.num_buckets(), 0.0f64);
     for (i, j) in seen {
         let s_ij = positive_count(i, j);
         if s_ij == 0 {
             continue;
         }
         let s_ji = positive_count(j, i);
-        probs.insert((i, j), s_ij.min(s_ji) as f64 / s_ij as f64);
+        probs.insert(i, j, s_ij.min(s_ji) as f64 / s_ij as f64);
     }
     probs
 }

@@ -9,8 +9,8 @@
 //! frees up additional movement compared to the basic swap matrix.
 
 use crate::gains::MoveProposal;
+use crate::pair_table::PairTable;
 use shp_hypergraph::BucketId;
-use std::collections::HashMap;
 
 /// Number of exponential gain bins per direction.
 ///
@@ -99,16 +99,34 @@ impl GainHistogram {
     }
 }
 
-/// Histograms for every ordered bucket pair with at least one candidate.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// Histograms for every ordered bucket pair with at least one candidate, stored in a dense
+/// [`PairTable`] (no hashing or per-entry allocation on the record path).
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GainHistogramSet {
-    histograms: HashMap<(BucketId, BucketId), GainHistogram>,
+    histograms: PairTable<GainHistogram>,
+}
+
+impl Default for GainHistogramSet {
+    fn default() -> Self {
+        GainHistogramSet {
+            histograms: PairTable::new(0, GainHistogram::default()),
+        }
+    }
 }
 
 impl GainHistogramSet {
     /// Builds the histogram set from the full list of proposals (positive and non-positive).
+    /// The bucket range is pre-sized in one pass over the proposals so recording never grows
+    /// the table.
     pub fn from_proposals(proposals: &[MoveProposal]) -> Self {
-        let mut set = GainHistogramSet::default();
+        let k = proposals
+            .iter()
+            .map(|p| p.from.max(p.to) + 1)
+            .max()
+            .unwrap_or(0);
+        let mut set = GainHistogramSet {
+            histograms: PairTable::new(k, GainHistogram::default()),
+        };
         for p in proposals {
             set.record(p);
         }
@@ -131,24 +149,23 @@ impl GainHistogramSet {
         merged
     }
 
-    /// Records one proposal.
+    /// Records one proposal, growing the bucket range if needed.
     pub fn record(&mut self, proposal: &MoveProposal) {
         self.histograms
-            .entry((proposal.from, proposal.to))
-            .or_default()
+            .entry(proposal.from, proposal.to)
             .record(proposal.gain);
     }
 
     /// Merges another set into this one.
     pub fn merge(&mut self, other: &GainHistogramSet) {
-        for (&pair, hist) in &other.histograms {
-            self.histograms.entry(pair).or_default().merge(hist);
+        for ((from, to), hist) in other.histograms.iter() {
+            self.histograms.entry(from, to).merge(hist);
         }
     }
 
     /// The histogram of an ordered pair, if any candidate was recorded.
     pub fn get(&self, from: BucketId, to: BucketId) -> Option<&GainHistogram> {
-        self.histograms.get(&(from, to))
+        self.histograms.get(from, to)
     }
 
     /// Number of ordered pairs with candidates.
@@ -158,24 +175,25 @@ impl GainHistogramSet {
 
     /// Matches bins of opposite directions for every unordered bucket pair, producing the
     /// per-bin move probabilities broadcast by the master.
-    pub fn match_bins(&self) -> HashMap<(BucketId, BucketId), [f64; NUM_BINS]> {
-        let mut result: HashMap<(BucketId, BucketId), [f64; NUM_BINS]> = HashMap::new();
+    pub fn match_bins(&self) -> PairTable<[f64; NUM_BINS]> {
+        let mut result: PairTable<[f64; NUM_BINS]> =
+            PairTable::new(self.histograms.num_buckets(), [0.0; NUM_BINS]);
         // Visit unordered pairs once, in deterministic order.
         let mut pairs: Vec<(BucketId, BucketId)> = self
             .histograms
             .keys()
-            .map(|&(i, j)| if i < j { (i, j) } else { (j, i) })
+            .map(|(i, j)| if i < j { (i, j) } else { (j, i) })
             .collect();
         pairs.sort_unstable();
         pairs.dedup();
 
         let empty = GainHistogram::default();
         for (i, j) in pairs {
-            let forward = self.histograms.get(&(i, j)).unwrap_or(&empty);
-            let backward = self.histograms.get(&(j, i)).unwrap_or(&empty);
+            let forward = self.histograms.get(i, j).unwrap_or(&empty);
+            let backward = self.histograms.get(j, i).unwrap_or(&empty);
             let (probs_forward, probs_backward) = match_pair(forward, backward);
-            result.insert((i, j), probs_forward);
-            result.insert((j, i), probs_backward);
+            result.insert(i, j, probs_forward);
+            result.insert(j, i, probs_backward);
         }
         result
     }
@@ -407,7 +425,7 @@ mod tests {
     /// Small adapter so tests exercise the same lookup path as the refinement loop without
     /// depending on `crate::swap` (avoiding a circular dev-dependency in the test module).
     struct MoveProbabilitiesForTest {
-        table: HashMap<(BucketId, BucketId), [f64; NUM_BINS]>,
+        table: PairTable<[f64; NUM_BINS]>,
     }
 
     impl From<GainHistogramSet> for MoveProbabilitiesForTest {
@@ -421,7 +439,7 @@ mod tests {
     impl MoveProbabilitiesForTest {
         fn probability(&self, p: &MoveProposal) -> f64 {
             self.table
-                .get(&(p.from, p.to))
+                .get(p.from, p.to)
                 .map(|bins| bins[bin_index(p.gain)])
                 .unwrap_or(0.0)
         }

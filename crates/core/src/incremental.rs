@@ -111,8 +111,9 @@ pub fn partition_incremental(
     // Additionally cap the total churn relative to the previous partition.
     let cap = (incremental.max_moved_fraction * graph.num_data() as f64).floor() as usize;
     let mut history: Vec<IterationStats> = Vec::new();
+    let mut active = refiner.new_active_set();
     for iteration in 0..config.max_iterations {
-        let stats = refiner.run_iteration(&mut partition, &mut nd, iteration);
+        let stats = refiner.run_iteration_with(&mut active, &mut partition, &mut nd, iteration);
         let converged = stats.moved_fraction < config.convergence_threshold;
         history.push(stats);
         let moved_total = partition.hamming_distance(previous);

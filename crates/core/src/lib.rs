@@ -63,6 +63,7 @@ pub mod incremental;
 pub mod multidim;
 pub mod neighbor_data;
 pub mod objective;
+pub mod pair_table;
 pub mod recursive;
 pub mod refinement;
 pub mod report;
@@ -77,13 +78,14 @@ pub use config::{BalanceMode, ObjectiveKind, PartitionMode, ShpConfig, SwapStrat
 pub use direct::partition_direct;
 pub use distributed::{partition_distributed, DistributedRunResult};
 pub use error::{ShpError, ShpResult};
-pub use gains::{MoveProposal, TargetConstraint};
+pub use gains::{GainKernel, GainScratch, MoveProposal, TargetConstraint};
 pub use incremental::{partition_incremental, IncrementalConfig};
 pub use multidim::{partition_multidimensional, MultiDimConfig};
 pub use neighbor_data::NeighborData;
 pub use objective::Objective;
+pub use pair_table::PairTable;
 pub use recursive::partition_recursive;
-pub use refinement::{IterationStats, Refiner};
+pub use refinement::{ActiveSet, IterationStats, Refiner};
 pub use report::{LevelReport, PartitionResult, RunReport};
 
 use shp_hypergraph::BipartiteGraph;

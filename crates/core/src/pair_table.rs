@@ -1,0 +1,249 @@
+//! A flat, dense-indexed table keyed by ordered bucket pairs — the allocation- and hash-free
+//! replacement for `HashMap<(BucketId, BucketId), T>` on the refinement hot path.
+//!
+//! The swap matrix, the gain-histogram set, and the distributed master's probability
+//! broadcasts are all keyed by ordered bucket pairs `(from, to)` with `from, to < k`. For the
+//! bucket counts the paper targets (k up to a few thousand), a flat index array addressed by
+//! `from * k + to` beats a hash map on every axis that matters per iteration: O(1) lookups
+//! with no hashing, no per-entry allocation on lookup, and cache-friendly row-major
+//! traversal. Iteration visits present entries in ascending `(from, to)` order — exactly the
+//! sorted-pairs order the previous `HashMap` call sites established by collecting and sorting
+//! keys — so every consumer remains bit-identical to the hash-map implementation.
+//!
+//! # Memory layout
+//!
+//! The table is **index-indirect**: a dense `Vec<u32>` of `k²` slot ids (4 bytes per pair,
+//! `u32::MAX` = absent) points into a compact `Vec<T>` holding only the entries actually
+//! inserted. Values are therefore never replicated across the k² space — important for large
+//! payloads like per-pair gain histograms (hundreds of bytes each): a table over k = 2048
+//! buckets costs 16 MiB of index plus the observed entries, not k² payload clones. Tables
+//! grow geometrically from `k = 0`, so sparsely populated sets (e.g. per-worker partial
+//! histogram sets over one chunk of proposals) only pay for the bucket range they have seen.
+
+use shp_hypergraph::BucketId;
+
+/// Slot marker for an absent pair.
+const ABSENT: u32 = u32::MAX;
+
+/// Flat table over ordered bucket pairs: a dense `from * k + to` index into compact entries.
+///
+/// Presence is tracked by the index array, keeping the `HashMap` semantics of "no entry"
+/// versus "entry holding the default value". Equality compares **logical content** (the set
+/// of present `(pair, value)` entries in pair order), not capacity or insertion order, so
+/// tables that grew along different paths compare equal.
+#[derive(Debug, Clone)]
+pub struct PairTable<T> {
+    /// Current bucket-range capacity: valid pairs are `(from, to)` with both `< k`.
+    k: u32,
+    /// `k * k` slot ids into `entries`; [`ABSENT`] marks an absent pair.
+    slots: Vec<u32>,
+    /// The present entries, in insertion order.
+    entries: Vec<T>,
+    /// Template value cloned into fresh entries.
+    fill: T,
+}
+
+impl<T: Clone> PairTable<T> {
+    /// Creates a table covering buckets `0..k`, with every pair absent. `fill` is the value a
+    /// fresh pair starts from when first touched through [`PairTable::entry`].
+    pub fn new(k: u32, fill: T) -> Self {
+        let n = (k as usize) * (k as usize);
+        PairTable {
+            k,
+            slots: vec![ABSENT; n],
+            entries: Vec::new(),
+            fill,
+        }
+    }
+
+    /// The bucket-range capacity (pairs with either coordinate `>= k` are out of range).
+    pub fn num_buckets(&self) -> u32 {
+        self.k
+    }
+
+    /// Number of present entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no entry is present.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    #[inline]
+    fn idx(&self, from: BucketId, to: BucketId) -> usize {
+        from as usize * self.k as usize + to as usize
+    }
+
+    /// The entry of `(from, to)` if present. Out-of-range pairs are simply absent.
+    #[inline]
+    pub fn get(&self, from: BucketId, to: BucketId) -> Option<&T> {
+        if from >= self.k || to >= self.k {
+            return None;
+        }
+        let slot = self.slots[self.idx(from, to)];
+        (slot != ABSENT).then(|| &self.entries[slot as usize])
+    }
+
+    /// Mutable access to the entry of `(from, to)`, inserting a clone of the fill value (and
+    /// growing the bucket range geometrically) if absent.
+    pub fn entry(&mut self, from: BucketId, to: BucketId) -> &mut T {
+        self.ensure_buckets(from.max(to) + 1);
+        let i = self.idx(from, to);
+        if self.slots[i] == ABSENT {
+            self.slots[i] = self.entries.len() as u32;
+            self.entries.push(self.fill.clone());
+        }
+        let slot = self.slots[i] as usize;
+        &mut self.entries[slot]
+    }
+
+    /// Inserts (or replaces) the entry of `(from, to)`.
+    pub fn insert(&mut self, from: BucketId, to: BucketId, value: T) {
+        *self.entry(from, to) = value;
+    }
+
+    /// Grows the bucket range to at least `k` buckets (geometric growth to amortize index
+    /// rebuilds; existing entries keep their pairs). A no-op when the table already covers
+    /// `k`.
+    pub fn ensure_buckets(&mut self, k: u32) {
+        if k <= self.k {
+            return;
+        }
+        let new_k = k.max(self.k.saturating_mul(2));
+        let n = (new_k as usize) * (new_k as usize);
+        let mut slots = vec![ABSENT; n];
+        for from in 0..self.k as usize {
+            let old_row = from * self.k as usize;
+            let new_row = from * new_k as usize;
+            slots[new_row..new_row + self.k as usize]
+                .copy_from_slice(&self.slots[old_row..old_row + self.k as usize]);
+        }
+        self.slots = slots;
+        self.k = new_k;
+    }
+
+    /// Iterates the present entries in ascending `(from, to)` order — the same order the
+    /// previous hash-map call sites produced by sorting collected keys.
+    pub fn iter(&self) -> impl Iterator<Item = ((BucketId, BucketId), &T)> + '_ {
+        let k = self.k;
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|&(_, &slot)| slot != ABSENT)
+            .map(move |(i, &slot)| {
+                let from = (i / k as usize) as BucketId;
+                let to = (i % k as usize) as BucketId;
+                ((from, to), &self.entries[slot as usize])
+            })
+    }
+
+    /// The present pairs in ascending `(from, to)` order.
+    pub fn keys(&self) -> impl Iterator<Item = (BucketId, BucketId)> + '_ {
+        self.iter().map(|(pair, _)| pair)
+    }
+}
+
+impl<T: Clone + PartialEq> PartialEq for PairTable<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().eq(other.iter())
+    }
+}
+
+impl<T: Clone + Eq> Eq for PairTable<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_table_has_no_entries() {
+        let t: PairTable<u64> = PairTable::new(0, 0);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.get(0, 0), None);
+        assert_eq!(t.iter().count(), 0);
+    }
+
+    #[test]
+    fn entry_inserts_and_get_reads_back() {
+        let mut t = PairTable::new(4, 0u64);
+        *t.entry(1, 3) += 5;
+        *t.entry(1, 3) += 2;
+        t.insert(3, 0, 9);
+        assert_eq!(t.get(1, 3), Some(&7));
+        assert_eq!(t.get(3, 0), Some(&9));
+        assert_eq!(t.get(0, 1), None);
+        assert_eq!(t.get(3, 1), None);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn out_of_range_lookups_are_absent_not_panics() {
+        let t = PairTable::new(2, 0u32);
+        assert_eq!(t.get(5, 0), None);
+        assert_eq!(t.get(0, 5), None);
+        assert_eq!(t.get(u32::MAX, u32::MAX), None);
+    }
+
+    #[test]
+    fn growth_preserves_entries_and_pairs() {
+        let mut t = PairTable::new(0, 0u64);
+        t.insert(0, 1, 10);
+        t.insert(2, 0, 20);
+        t.insert(9, 9, 90); // forces growth well past the doubled capacity
+        assert!(t.num_buckets() >= 10);
+        assert_eq!(t.get(0, 1), Some(&10));
+        assert_eq!(t.get(2, 0), Some(&20));
+        assert_eq!(t.get(9, 9), Some(&90));
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn iteration_is_in_ascending_pair_order() {
+        let mut t = PairTable::new(0, 0u32);
+        for &(f, to) in &[(5u32, 2u32), (0, 3), (2, 1), (0, 1), (5, 0)] {
+            t.insert(f, to, f * 100 + to);
+        }
+        let keys: Vec<_> = t.keys().collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+        assert_eq!(keys, vec![(0, 1), (0, 3), (2, 1), (5, 0), (5, 2)]);
+    }
+
+    #[test]
+    fn equality_is_logical_not_representational() {
+        let mut a = PairTable::new(16, 0u64);
+        a.insert(1, 2, 7);
+        let mut b = PairTable::new(0, 0u64);
+        b.insert(1, 2, 7);
+        assert_ne!(a.num_buckets(), b.num_buckets());
+        assert_eq!(a, b);
+        b.insert(0, 0, 1);
+        assert_ne!(a, b);
+
+        // Different insertion orders must still compare equal (entries are indirect).
+        let mut c = PairTable::new(4, 0u64);
+        c.insert(2, 3, 30);
+        c.insert(0, 1, 10);
+        let mut d = PairTable::new(4, 0u64);
+        d.insert(0, 1, 10);
+        d.insert(2, 3, 30);
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn payloads_are_stored_once_per_present_pair_not_per_slot() {
+        // The memory contract behind the indirect layout: a large-payload table over a big
+        // bucket range must hold exactly `len()` payloads, however large k is.
+        let mut t = PairTable::new(0, [0u64; 49]);
+        t.insert(2000, 7, [1; 49]);
+        t.insert(7, 2000, [2; 49]);
+        assert!(t.num_buckets() >= 2001);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(2000, 7), Some(&[1; 49]));
+        assert_eq!(t.get(7, 2000), Some(&[2; 49]));
+    }
+}

@@ -1,13 +1,41 @@
 //! The local-refinement iteration of Algorithm 1: propose, coordinate, and apply vertex moves.
+//!
+//! # The dirty-vertex active set and its exactness argument
+//!
+//! A vertex's best-move proposal is a pure function of three inputs: (1) its own bucket, (2)
+//! the neighbor data of its adjacent queries, and (3) — under the `All` constraint — the
+//! globally least-loaded bucket. [`ActiveSet`] caches every vertex's standing proposal and
+//! tracks which of those inputs changed when moves were applied:
+//!
+//! * a moved vertex dirties **itself** (input 1) and every query it belongs to; every vertex
+//!   adjacent to a dirtied query is dirtied (input 2) — this is the `O(moved · deg²)`
+//!   frontier;
+//! * input 3 is global, so it gets a conservative **escape hatch**: whenever the least-loaded
+//!   bucket differs from the one the cache was computed against, *every* vertex is dirtied and
+//!   the next sweep is a full rescan. This is the only global input to the gain kernel; any
+//!   future global input must adopt the same conservative invalidation to keep the argument
+//!   valid. (Under the `Siblings` constraint the kernel never reads the least-loaded bucket,
+//!   so the hatch is skipped.)
+//!
+//! Clean vertices therefore have bit-identical inputs to the previous sweep, and the kernel is
+//! deterministic, so serving their cached proposal is **exactly** what recomputing them would
+//! produce: the assembled proposal list (ascending vertex order, same gain filter) equals a
+//! full rescan bit-for-bit, for every worker count and with the dirty set on or off. The
+//! conformance suite (`tests/parallel_conformance.rs`) locks this in against the legacy
+//! full-rescan pipeline.
+//!
+//! Late iterations in the Figure 7 convergence regime move a vanishing fraction of vertices,
+//! so the per-iteration cost drops from `O(|V| · deg · fanout)` to the dirty frontier's
+//! `O(moved · deg²)` plus an `O(|V|)` bitmap-and-assemble scan.
 
 use crate::config::{BalanceMode, SwapStrategy};
-use crate::gains::{compute_proposals, MoveProposal, TargetConstraint};
+use crate::gains::{compute_proposals_for, GainKernel, MoveProposal, TargetConstraint};
 use crate::histogram::GainHistogramSet;
 use crate::neighbor_data::NeighborData;
 use crate::objective::Objective;
 use crate::swap::{MoveProbabilities, SwapMatrix};
 use serde::{Deserialize, Serialize};
-use shp_hypergraph::{BipartiteGraph, BucketId, Partition};
+use shp_hypergraph::{BipartiteGraph, BucketId, DataId, Partition, QueryId};
 use std::collections::HashMap;
 
 /// Statistics of one refinement iteration, used for convergence decisions and for reproducing
@@ -33,6 +61,79 @@ pub struct IterationStats {
 /// incremental-update path to penalize moves away from a previous partition (Section 5).
 pub type GainAdjuster = Box<dyn Fn(&MoveProposal) -> f64 + Send + Sync>;
 
+/// Cross-iteration refinement state: each vertex's standing (unadjusted, unfiltered) proposal
+/// plus the dirty bookkeeping that decides which proposals must be recomputed. See the module
+/// docs for the exactness argument.
+///
+/// An `ActiveSet` is valid for **exactly one** (refiner, partition, neighbor-data) evolution:
+/// the cached proposals embody the refiner's objective, constraint, and kernel, and the dirty
+/// flags assume every partition/neighbor-data mutation since the last call went through
+/// [`Refiner::run_iteration_with`] with this same state. Reusing it with a differently
+/// configured refiner, or after mutating the partition behind its back, silently serves stale
+/// proposals — create a fresh state via [`Refiner::new_active_set`] instead (a graph-size
+/// mismatch is caught by a debug assertion).
+#[derive(Debug)]
+pub struct ActiveSet {
+    /// The standing best proposal of every vertex (`None` when the vertex has no admissible
+    /// target), exactly as a gain sweep with non-positive proposals included would produce it.
+    cached: Vec<Option<MoveProposal>>,
+    /// Vertices whose cached proposal is stale.
+    vertex_dirty: Vec<bool>,
+    /// Scratch flags for the query frontier of one apply phase (always reset after use).
+    query_dirty: Vec<bool>,
+    /// Scratch list of the queries flagged in `query_dirty`.
+    dirty_queries: Vec<QueryId>,
+    /// The least-loaded bucket the cache was computed against (`None` until the first sweep).
+    cached_least_loaded: Option<BucketId>,
+}
+
+impl ActiveSet {
+    /// Creates the state for `graph` with every vertex dirty (the first iteration is a full
+    /// rescan).
+    pub fn new(graph: &BipartiteGraph) -> Self {
+        ActiveSet {
+            cached: vec![None; graph.num_data()],
+            vertex_dirty: vec![true; graph.num_data()],
+            query_dirty: vec![false; graph.num_queries()],
+            dirty_queries: Vec::new(),
+            cached_least_loaded: None,
+        }
+    }
+
+    /// Number of currently dirty vertices (diagnostics / tests).
+    pub fn num_dirty(&self) -> usize {
+        self.vertex_dirty.iter().filter(|&&d| d).count()
+    }
+
+    /// Marks every vertex dirty (the conservative escape hatch).
+    fn mark_all_dirty(&mut self) {
+        self.vertex_dirty.iter_mut().for_each(|d| *d = true);
+    }
+
+    /// Marks the refinement frontier of the applied moves dirty: each moved vertex itself
+    /// (its `from` bucket changed) and every vertex sharing a query with it (their neighbor
+    /// data changed).
+    fn mark_moves_dirty(&mut self, graph: &BipartiteGraph, moves: &[MoveProposal]) {
+        for p in moves {
+            self.vertex_dirty[p.vertex as usize] = true;
+            for &q in graph.data_neighbors(p.vertex) {
+                if !self.query_dirty[q as usize] {
+                    self.query_dirty[q as usize] = true;
+                    self.dirty_queries.push(q);
+                }
+            }
+        }
+        for i in 0..self.dirty_queries.len() {
+            let q = self.dirty_queries[i];
+            for &v in graph.query_neighbors(q) {
+                self.vertex_dirty[v as usize] = true;
+            }
+            self.query_dirty[q as usize] = false;
+        }
+        self.dirty_queries.clear();
+    }
+}
+
 /// Runs refinement iterations over one partition with a fixed constraint and objective.
 pub struct Refiner<'a> {
     graph: &'a BipartiteGraph,
@@ -45,6 +146,8 @@ pub struct Refiner<'a> {
     seed: u64,
     workers: usize,
     gain_adjuster: Option<GainAdjuster>,
+    use_dirty_set: bool,
+    kernel: GainKernel,
 }
 
 impl<'a> Refiner<'a> {
@@ -71,6 +174,8 @@ impl<'a> Refiner<'a> {
             seed,
             workers: 1,
             gain_adjuster: None,
+            use_dirty_set: true,
+            kernel: GainKernel::default(),
         }
     }
 
@@ -93,29 +198,104 @@ impl<'a> Refiner<'a> {
         self
     }
 
+    /// Enables or disables the dirty-vertex active set (enabled by default). With the set
+    /// disabled every iteration performs a full gain rescan; results are bit-identical either
+    /// way (the conformance suite asserts it) — the toggle exists for that comparison and for
+    /// perf analysis.
+    pub fn with_dirty_set(mut self, enabled: bool) -> Self {
+        self.use_dirty_set = enabled;
+        self
+    }
+
+    /// Selects the gain-kernel implementation (default [`GainKernel::Scratch`]). The legacy
+    /// hash-map kernel exists only as the bit-identity oracle for tests and bench smoke runs.
+    pub fn with_kernel(mut self, kernel: GainKernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Creates the cross-iteration [`ActiveSet`] for this refiner's graph, with every vertex
+    /// initially dirty.
+    pub fn new_active_set(&self) -> ActiveSet {
+        ActiveSet::new(self.graph)
+    }
+
     /// Runs one iteration of Algorithm 1, mutating the partition and neighbor data in place.
+    ///
+    /// Stateless convenience wrapper: it builds a fresh [`ActiveSet`] (full rescan) each call.
+    /// Loops should create the state once and call [`Refiner::run_iteration_with`] so late
+    /// iterations only recompute the dirty frontier — [`Refiner::run`] does exactly that.
     pub fn run_iteration(
         &self,
         partition: &mut Partition,
         nd: &mut NeighborData,
         iteration: usize,
     ) -> IterationStats {
+        let mut active = self.new_active_set();
+        self.run_iteration_with(&mut active, partition, nd, iteration)
+    }
+
+    /// Runs one iteration of Algorithm 1 with cross-iteration dirty-vertex state: only
+    /// vertices whose gain inputs changed since the previous call are recomputed (see the
+    /// module docs), while the assembled proposal list stays bit-identical to a full rescan.
+    pub fn run_iteration_with(
+        &self,
+        active: &mut ActiveSet,
+        partition: &mut Partition,
+        nd: &mut NeighborData,
+        iteration: usize,
+    ) -> IterationStats {
+        debug_assert_eq!(
+            active.cached.len(),
+            self.graph.num_data(),
+            "ActiveSet built for a different graph (see ActiveSet docs)"
+        );
+        debug_assert_eq!(active.query_dirty.len(), self.graph.num_queries());
         let include_nonpositive = self.swap_strategy == SwapStrategy::Histogram;
-        let mut proposals = compute_proposals(
+
+        // Refresh the cache. The least-loaded bucket is a global input of the `All` kernel:
+        // if it moved since the cache was filled, conservatively dirty everything.
+        let least_loaded = partition.least_loaded_bucket();
+        let least_loaded_is_input = matches!(self.constraint, TargetConstraint::All { .. });
+        if !self.use_dirty_set
+            || (least_loaded_is_input && active.cached_least_loaded != Some(least_loaded))
+        {
+            active.mark_all_dirty();
+        }
+        let dirty: Vec<DataId> = active
+            .vertex_dirty
+            .iter()
+            .enumerate()
+            .filter(|&(_, &d)| d)
+            .map(|(v, _)| v as DataId)
+            .collect();
+        let recomputed = compute_proposals_for(
             &self.objective,
             self.graph,
             partition,
             nd,
             &self.constraint,
-            include_nonpositive || self.gain_adjuster.is_some(),
+            least_loaded,
+            &dirty,
             self.workers,
+            self.kernel,
         );
-        if let Some(adjuster) = &self.gain_adjuster {
-            for p in proposals.iter_mut() {
-                p.gain = adjuster(p);
+        for (&v, proposal) in dirty.iter().zip(recomputed) {
+            active.cached[v as usize] = proposal;
+            active.vertex_dirty[v as usize] = false;
+        }
+        active.cached_least_loaded = Some(least_loaded);
+
+        // Assemble the iteration's proposal list from the (now fresh) standing proposals,
+        // applying the same adjust-then-filter steps a full rescan would.
+        let mut proposals: Vec<MoveProposal> = Vec::new();
+        for cached in &active.cached {
+            let Some(mut p) = *cached else { continue };
+            if let Some(adjuster) = &self.gain_adjuster {
+                p.gain = adjuster(&p);
             }
-            if !include_nonpositive {
-                proposals.retain(|p| p.gain > 0.0);
+            if include_nonpositive || p.gain > 0.0 {
+                proposals.push(p);
             }
         }
 
@@ -161,7 +341,7 @@ impl<'a> Refiner<'a> {
             selected.extend(extra);
         }
 
-        // Apply the moves.
+        // Apply the moves, then mark the affected gain inputs dirty for the next iteration.
         let mut applied_gain = 0.0;
         let mut moved = 0usize;
         for p in &selected {
@@ -171,6 +351,7 @@ impl<'a> Refiner<'a> {
             applied_gain += p.gain;
             moved += 1;
         }
+        active.mark_moves_dirty(self.graph, &selected);
 
         let num_data = self.graph.num_data().max(1);
         IterationStats {
@@ -192,9 +373,10 @@ impl<'a> Refiner<'a> {
         max_iterations: usize,
         convergence_threshold: f64,
     ) -> Vec<IterationStats> {
+        let mut active = self.new_active_set();
         let mut history = Vec::with_capacity(max_iterations);
         for iteration in 0..max_iterations {
-            let stats = self.run_iteration(partition, nd, iteration);
+            let stats = self.run_iteration_with(&mut active, partition, nd, iteration);
             let converged = stats.moved_fraction < convergence_threshold;
             history.push(stats);
             if converged {
@@ -557,6 +739,135 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn dirty_set_and_scratch_kernel_match_legacy_full_rescan_bit_for_bit() {
+        // The complete oracle: the optimized pipeline (scratch kernel + dirty-vertex active
+        // set) must reproduce the pre-optimization pipeline (hash-map kernel + full rescan
+        // every iteration) exactly — same partitions, same stats including float bit patterns.
+        let graph = community_graph(5, 7);
+        for strategy in [SwapStrategy::Matrix, SwapStrategy::Histogram] {
+            for constraint in [
+                TargetConstraint::all(4),
+                TargetConstraint::sibling_groups(&[vec![0, 1], vec![2, 3]]),
+            ] {
+                let mut rng = Pcg64::seed_from_u64(21);
+                let initial = Partition::new_random(&graph, 4, &mut rng).unwrap();
+
+                let run = |dirty: bool, kernel: crate::gains::GainKernel| {
+                    let mut partition = initial.clone();
+                    let mut nd = NeighborData::build(&graph, &partition);
+                    let refiner = Refiner::new(
+                        &graph,
+                        Objective::PFanout { p: 0.5 },
+                        constraint.clone(),
+                        strategy,
+                        BalanceMode::Expectation,
+                        false,
+                        0.05,
+                        21,
+                    )
+                    .with_dirty_set(dirty)
+                    .with_kernel(kernel);
+                    let history = refiner.run(&mut partition, &mut nd, 12, 0.0);
+                    (partition, history)
+                };
+
+                let (p_new, h_new) = run(true, crate::gains::GainKernel::Scratch);
+                let (p_old, h_old) = run(false, crate::gains::GainKernel::LegacyHashMap);
+                assert_eq!(
+                    p_new, p_old,
+                    "{strategy:?}/{constraint:?}: partitions diverged"
+                );
+                assert_eq!(h_new.len(), h_old.len());
+                for (a, b) in h_new.iter().zip(h_old.iter()) {
+                    assert_eq!(a.candidates, b.candidates);
+                    assert_eq!(a.moved, b.moved);
+                    assert_eq!(
+                        a.applied_gain.to_bits(),
+                        b.applied_gain.to_bits(),
+                        "{strategy:?}/{constraint:?} iteration {}",
+                        a.iteration
+                    );
+                    assert_eq!(a.fanout_after.to_bits(), b.fanout_after.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dirty_set_shrinks_as_refinement_converges() {
+        let graph = community_graph(4, 8);
+        let mut rng = Pcg64::seed_from_u64(3);
+        let mut partition = Partition::new_random(&graph, 4, &mut rng).unwrap();
+        let mut nd = NeighborData::build(&graph, &partition);
+        let refiner = Refiner::new(
+            &graph,
+            Objective::PFanout { p: 0.5 },
+            TargetConstraint::all(4),
+            SwapStrategy::Histogram,
+            BalanceMode::Expectation,
+            false,
+            0.05,
+            3,
+        );
+        let mut active = refiner.new_active_set();
+        let n = graph.num_data();
+        assert_eq!(active.num_dirty(), n, "everything starts dirty");
+        let mut last_dirty = n;
+        for it in 0..25 {
+            let stats = refiner.run_iteration_with(&mut active, &mut partition, &mut nd, it);
+            last_dirty = active.num_dirty();
+            if stats.moved == 0 {
+                break;
+            }
+        }
+        // Once no moves are applied, nothing is dirty: the next sweep is (near) free.
+        assert_eq!(
+            last_dirty, 0,
+            "a move-free iteration must leave the active set empty"
+        );
+        // And the cached proposals still match a full rescan exactly.
+        let stateless = {
+            let mut p2 = partition.clone();
+            let mut nd2 = nd.clone();
+            refiner.run_iteration(&mut p2, &mut nd2, 99)
+        };
+        let stateful = refiner.run_iteration_with(&mut active, &mut partition, &mut nd, 99);
+        assert_eq!(stateless.candidates, stateful.candidates);
+        assert_eq!(stateless.moved, stateful.moved);
+    }
+
+    #[test]
+    fn gain_adjuster_composes_with_the_dirty_set() {
+        // The adjuster is applied at list-assembly time, so cached proposals must still yield
+        // the same adjusted/filtered list as a full rescan.
+        let graph = community_graph(3, 6);
+        let mut rng = Pcg64::seed_from_u64(8);
+        let initial = Partition::new_random(&graph, 3, &mut rng).unwrap();
+        let run = |dirty: bool| {
+            let mut partition = initial.clone();
+            let mut nd = NeighborData::build(&graph, &partition);
+            let refiner = Refiner::new(
+                &graph,
+                Objective::PFanout { p: 0.5 },
+                TargetConstraint::all(3),
+                SwapStrategy::Matrix,
+                BalanceMode::Expectation,
+                false,
+                0.05,
+                8,
+            )
+            .with_dirty_set(dirty)
+            .with_gain_adjuster(Box::new(|p| p.gain - 0.125));
+            let history = refiner.run(&mut partition, &mut nd, 10, 0.0);
+            (partition, history)
+        };
+        let (p_dirty, h_dirty) = run(true);
+        let (p_full, h_full) = run(false);
+        assert_eq!(p_dirty, p_full);
+        assert_eq!(h_dirty, h_full);
     }
 
     #[test]

@@ -9,25 +9,40 @@
 
 use crate::gains::MoveProposal;
 use crate::histogram::{bin_index, GainHistogramSet, NUM_BINS};
+use crate::pair_table::PairTable;
 use shp_hypergraph::BucketId;
-use std::collections::HashMap;
 
 /// The swap matrix `S`: `S[(i, j)]` is the number of data vertices currently in bucket `i`
-/// whose best target is bucket `j`. Stored sparsely because only bucket pairs with at least one
-/// candidate matter (at most `k²`, usually far fewer).
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// whose best target is bucket `j`. Stored in a dense [`PairTable`] indexed by `i * k + j`
+/// (O(1) hash-free counting; at most `k²` slots, small in the dense-k regime the paper
+/// targets).
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SwapMatrix {
-    counts: HashMap<(BucketId, BucketId), u64>,
+    counts: PairTable<u64>,
+}
+
+impl Default for SwapMatrix {
+    fn default() -> Self {
+        SwapMatrix {
+            counts: PairTable::new(0, 0),
+        }
+    }
 }
 
 impl SwapMatrix {
     /// Builds the swap matrix from a set of proposals, counting only strictly improving moves
     /// (matching the `if gain > 0` condition of Algorithm 1).
     pub fn from_proposals(proposals: &[MoveProposal]) -> Self {
-        let mut counts = HashMap::new();
+        let k = proposals
+            .iter()
+            .filter(|p| p.gain > 0.0)
+            .map(|p| p.from.max(p.to) + 1)
+            .max()
+            .unwrap_or(0);
+        let mut counts = PairTable::new(k, 0u64);
         for p in proposals {
             if p.gain > 0.0 {
-                *counts.entry((p.from, p.to)).or_insert(0) += 1;
+                *counts.entry(p.from, p.to) += 1;
             }
         }
         SwapMatrix { counts }
@@ -35,7 +50,7 @@ impl SwapMatrix {
 
     /// Number of candidates wanting to move from `i` to `j`.
     pub fn count(&self, i: BucketId, j: BucketId) -> u64 {
-        self.counts.get(&(i, j)).copied().unwrap_or(0)
+        self.counts.get(i, j).copied().unwrap_or(0)
     }
 
     /// Number of non-zero entries.
@@ -45,20 +60,20 @@ impl SwapMatrix {
 
     /// Total number of counted candidates.
     pub fn total_candidates(&self) -> u64 {
-        self.counts.values().sum()
+        self.counts.iter().map(|(_, &c)| c).sum()
     }
 
     /// Computes the basic move probabilities `min(S_ij, S_ji) / S_ij` for every ordered pair
     /// with candidates.
     pub fn move_probabilities(&self) -> MoveProbabilities {
-        let mut probs = HashMap::new();
-        for (&(i, j), &s_ij) in &self.counts {
+        let mut probs = PairTable::new(self.counts.num_buckets(), 0.0f64);
+        for ((i, j), &s_ij) in self.counts.iter() {
             if s_ij == 0 {
                 continue;
             }
             let s_ji = self.count(j, i);
             let p = s_ij.min(s_ji) as f64 / s_ij as f64;
-            probs.insert((i, j), p);
+            probs.insert(i, j, p);
         }
         MoveProbabilities::Matrix(probs)
     }
@@ -69,10 +84,11 @@ impl SwapMatrix {
 #[derive(Debug, Clone, PartialEq)]
 pub enum MoveProbabilities {
     /// `probability[(i, j)]` applies to every candidate moving from `i` to `j`.
-    Matrix(HashMap<(BucketId, BucketId), f64>),
+    Matrix(PairTable<f64>),
     /// `probability[(i, j)][bin]` applies to candidates moving from `i` to `j` whose gain falls
-    /// in `bin` (see [`crate::histogram::bin_index`]).
-    Histogram(HashMap<(BucketId, BucketId), [f64; NUM_BINS]>),
+    /// in `bin` (see [`crate::histogram::bin_index`]). Boxed: the per-bin table's fill
+    /// template alone is larger than the whole matrix variant.
+    Histogram(Box<PairTable<[f64; NUM_BINS]>>),
 }
 
 impl MoveProbabilities {
@@ -82,7 +98,7 @@ impl MoveProbabilities {
             MoveProbabilities::Matrix(probs) => {
                 if proposal.gain > 0.0 {
                     probs
-                        .get(&(proposal.from, proposal.to))
+                        .get(proposal.from, proposal.to)
                         .copied()
                         .unwrap_or(0.0)
                 } else {
@@ -90,7 +106,7 @@ impl MoveProbabilities {
                 }
             }
             MoveProbabilities::Histogram(probs) => probs
-                .get(&(proposal.from, proposal.to))
+                .get(proposal.from, proposal.to)
                 .map(|bins| bins[bin_index(proposal.gain)])
                 .unwrap_or(0.0),
         }
@@ -99,12 +115,12 @@ impl MoveProbabilities {
     /// Builds histogram-based probabilities from a histogram set (Section 3.4): bins of the two
     /// directions of every bucket pair are matched from the highest gain downwards.
     pub fn from_histograms(set: &GainHistogramSet) -> Self {
-        MoveProbabilities::Histogram(set.match_bins())
+        MoveProbabilities::Histogram(Box::new(set.match_bins()))
     }
 
     /// An empty probability table (nothing is allowed to move).
     pub fn none() -> Self {
-        MoveProbabilities::Matrix(HashMap::new())
+        MoveProbabilities::Matrix(PairTable::new(0, 0.0))
     }
 }
 

@@ -38,6 +38,14 @@ pub struct Partition {
     bucket_weights: Vec<u64>,
     /// Per-vertex weights (uniform 1 when `None`), copied from the graph at construction.
     vertex_weights: Option<Vec<u32>>,
+    /// Sum of all bucket weights; invariant under [`Partition::assign`], cached so
+    /// [`Partition::total_weight`] is O(1).
+    total_weight: u64,
+    /// Lowest-indexed bucket of minimum weight, maintained incrementally by
+    /// [`Partition::assign`] (O(1) except when the least-loaded bucket itself gains weight,
+    /// which triggers an O(k) rescan). Always equals what a fresh
+    /// `(0..k).min_by_key(bucket_weight)` scan would return.
+    least_loaded: BucketId,
 }
 
 impl Partition {
@@ -57,9 +65,12 @@ impl Partition {
         };
         let mut bucket_weights = vec![0u64; k as usize];
         bucket_weights[0] = graph.total_data_weight();
+        let least_loaded = first_min_bucket(&bucket_weights);
         Ok(Partition {
             assignment: vec![0; n],
             num_buckets: k,
+            total_weight: bucket_weights.iter().sum(),
+            least_loaded,
             bucket_weights,
             vertex_weights,
         })
@@ -115,9 +126,12 @@ impl Partition {
             let w = vertex_weights.as_ref().map_or(1, |ws| ws[v]) as u64;
             bucket_weights[b as usize] += w;
         }
+        let least_loaded = first_min_bucket(&bucket_weights);
         Ok(Partition {
             assignment,
             num_buckets: k,
+            total_weight: bucket_weights.iter().sum(),
+            least_loaded,
             bucket_weights,
             vertex_weights,
         })
@@ -161,9 +175,20 @@ impl Partition {
         &self.bucket_weights
     }
 
-    /// Total weight across all buckets.
+    /// Total weight across all buckets. O(1): the total is invariant under moves and cached at
+    /// construction.
+    #[inline]
     pub fn total_weight(&self) -> u64 {
-        self.bucket_weights.iter().sum()
+        self.total_weight
+    }
+
+    /// The lowest-indexed bucket of minimum weight, maintained incrementally (O(1) accessor).
+    ///
+    /// Equals `(0..k).min_by_key(|&b| bucket_weight(b))` at all times; the refinement loop
+    /// reads it once per gain sweep instead of rescanning all `k` buckets.
+    #[inline]
+    pub fn least_loaded_bucket(&self) -> BucketId {
+        self.least_loaded
     }
 
     /// Read-only view of the full assignment vector.
@@ -186,6 +211,19 @@ impl Partition {
             self.bucket_weights[old as usize] -= w;
             self.bucket_weights[b as usize] += w;
             self.assignment[v as usize] = b;
+            if b == self.least_loaded {
+                // The least-loaded bucket gained weight; the minimum may now sit anywhere.
+                self.least_loaded = first_min_bucket(&self.bucket_weights);
+            } else if (self.bucket_weights[old as usize], old)
+                < (
+                    self.bucket_weights[self.least_loaded as usize],
+                    self.least_loaded,
+                )
+            {
+                // Only the shrinking bucket can beat (or tie at a lower index) the incumbent:
+                // every other weight is unchanged, so the lexicographic check suffices.
+                self.least_loaded = old;
+            }
         }
         old
     }
@@ -253,9 +291,12 @@ impl Partition {
             bucket_weights[nb as usize] += self.vertex_weight(v as DataId);
             assignment.push(nb);
         }
+        let least_loaded = first_min_bucket(&bucket_weights);
         Partition {
             assignment,
             num_buckets: new_k,
+            total_weight: bucket_weights.iter().sum(),
+            least_loaded,
             bucket_weights,
             vertex_weights: self.vertex_weights.clone(),
         }
@@ -273,6 +314,18 @@ impl Partition {
             .filter(|(a, b)| a != b)
             .count()
     }
+}
+
+/// The lowest-indexed bucket attaining the minimum weight (what
+/// `(0..k).min_by_key(|&b| weights[b])` returns).
+fn first_min_bucket(weights: &[u64]) -> BucketId {
+    let mut best = 0usize;
+    for (b, &w) in weights.iter().enumerate().skip(1) {
+        if w < weights[best] {
+            best = b;
+        }
+    }
+    best as BucketId
 }
 
 #[cfg(test)]
@@ -398,6 +451,57 @@ mod tests {
         let p2 = Partition::from_assignment(&g, 2, vec![0, 1, 1, 0]).unwrap();
         assert_eq!(p1.hamming_distance(&p2), 2);
         assert_eq!(p1.hamming_distance(&p1), 0);
+    }
+
+    #[test]
+    fn least_loaded_matches_full_scan_under_random_moves() {
+        let g = chain_graph(200);
+        let mut rng = Pcg64::seed_from_u64(17);
+        let mut p = Partition::new_random(&g, 7, &mut rng).unwrap();
+        let scan = |p: &Partition| {
+            (0..p.num_buckets())
+                .min_by_key(|&b| p.bucket_weight(b))
+                .unwrap()
+        };
+        assert_eq!(p.least_loaded_bucket(), scan(&p));
+        // Random move sequence, including moves into and out of the least-loaded bucket.
+        for step in 0..2_000u64 {
+            let v = (step.wrapping_mul(48271) % 200) as DataId;
+            let b = ((step.wrapping_mul(16807) >> 3) % 7) as BucketId;
+            p.assign(v, b);
+            assert_eq!(p.least_loaded_bucket(), scan(&p), "step {step}");
+        }
+        assert_eq!(p.total_weight(), 200);
+    }
+
+    #[test]
+    fn least_loaded_breaks_ties_by_lowest_index() {
+        let g = chain_graph(6);
+        // Weights 2/2/2: the scan convention picks bucket 0.
+        let p = Partition::from_assignment(&g, 3, vec![0, 0, 1, 1, 2, 2]).unwrap();
+        assert_eq!(p.least_loaded_bucket(), 0);
+        // Weights 3/1/2: unique minimum.
+        let p = Partition::from_assignment(&g, 3, vec![0, 0, 0, 1, 2, 2]).unwrap();
+        assert_eq!(p.least_loaded_bucket(), 1);
+        // A decrement that ties a higher-indexed bucket with the incumbent keeps the incumbent.
+        let mut p = Partition::from_assignment(&g, 3, vec![0, 0, 1, 2, 2, 2]).unwrap();
+        assert_eq!(p.least_loaded_bucket(), 1);
+        p.assign(5, 0); // weights 3/1/2 -> 3/1/2? no: 2/1/3 -> after move 3/1/2
+        assert_eq!(p.least_loaded_bucket(), 1);
+    }
+
+    #[test]
+    fn total_weight_is_cached_and_invariant_under_moves() {
+        let mut b = GraphBuilder::new();
+        b.add_query([0u32, 1, 2]);
+        b.set_data_weights(vec![10, 1, 1]);
+        let g = b.build().unwrap();
+        let mut p = Partition::from_assignment(&g, 2, vec![0, 1, 1]).unwrap();
+        assert_eq!(p.total_weight(), 12);
+        p.assign(0, 1);
+        p.assign(1, 0);
+        assert_eq!(p.total_weight(), 12);
+        assert_eq!(p.bucket_weights().iter().sum::<u64>(), 12);
     }
 
     #[test]

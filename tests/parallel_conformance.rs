@@ -18,8 +18,12 @@
 use proptest::prelude::*;
 use shp::baselines::full_registry;
 use shp::core::api::{NoopObserver, PartitionOutcome, PartitionSpec, TraceObserver};
+use shp::core::gains::{self, GainKernel, TargetConstraint};
+use shp::core::{
+    partition_direct, BalanceMode, NeighborData, Objective, Refiner, ShpConfig, SwapStrategy,
+};
 use shp::datagen::{planted_partition, power_law_bipartite, PlantedConfig, PowerLawConfig};
-use shp::hypergraph::BipartiteGraph;
+use shp::hypergraph::{BipartiteGraph, Partition};
 
 /// Worker counts every comparison runs at: the fixed `{1, 2, 4, 8}` ladder plus the value of
 /// `SHP_TEST_WORKERS` when set (deduplicated), so the CI matrix can force extra counts.
@@ -137,6 +141,170 @@ fn iteration_traces_are_identical_across_worker_counts() {
                 ),
             }
         }
+    }
+}
+
+/// Scratch-vs-legacy gain-kernel oracle: on both fixed-seed graphs, under both constraint
+/// shapes, the dense-scratch kernel must emit a **bit-identical** `MoveProposal` list
+/// (vertices, buckets, and gain float bits) to the retained hash-map kernel, for every worker
+/// count and with non-positive proposals both included and excluded.
+#[test]
+fn scratch_kernel_proposals_are_bit_identical_to_legacy() {
+    for (graph_name, graph, k) in [
+        ("planted", planted_graph(), 4u32),
+        ("power-law", power_law_graph(), 8u32),
+    ] {
+        let mut rng = rand::SeedableRng::seed_from_u64(0x5047);
+        let partition = Partition::new_random(&graph, k, &mut rng as &mut rand_pcg::Pcg64).unwrap();
+        let nd = NeighborData::build(&graph, &partition);
+        let objective = Objective::PFanout { p: 0.5 };
+        let sibling_groups: Vec<Vec<u32>> = (0..k / 2).map(|g| vec![2 * g, 2 * g + 1]).collect();
+        for constraint in [
+            TargetConstraint::all(k),
+            TargetConstraint::sibling_groups(&sibling_groups),
+        ] {
+            for include_nonpositive in [false, true] {
+                let mut baseline: Option<Vec<(u32, u32, u32, u64)>> = None;
+                for &workers in &worker_counts() {
+                    for kernel in [GainKernel::Scratch, GainKernel::LegacyHashMap] {
+                        let proposals = gains::compute_proposals_with_kernel(
+                            &objective,
+                            &graph,
+                            &partition,
+                            &nd,
+                            &constraint,
+                            include_nonpositive,
+                            workers,
+                            kernel,
+                        );
+                        let fp: Vec<(u32, u32, u32, u64)> = proposals
+                            .iter()
+                            .map(|p| (p.vertex, p.from, p.to, p.gain.to_bits()))
+                            .collect();
+                        match &baseline {
+                            None => baseline = Some(fp),
+                            Some(expected) => assert_eq!(
+                                &fp, expected,
+                                "{graph_name}: {kernel:?} diverged at workers={workers}, \
+                                 include_nonpositive={include_nonpositive}"
+                            ),
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Dirty-set-vs-full-rescan oracle over complete refinement runs: for both graphs, both swap
+/// strategies, and every worker count, the optimized pipeline (scratch kernel + dirty-vertex
+/// active set) must reproduce the legacy pipeline (hash-map kernel + full rescan) exactly —
+/// partitions equal, per-iteration stats equal including float bits.
+#[test]
+fn dirty_set_refinement_is_bit_identical_to_legacy_full_rescan() {
+    for (graph_name, graph, k) in [
+        ("planted", planted_graph(), 4u32),
+        ("power-law", power_law_graph(), 8u32),
+    ] {
+        for strategy in [SwapStrategy::Matrix, SwapStrategy::Histogram] {
+            let mut rng = rand::SeedableRng::seed_from_u64(77);
+            let initial =
+                Partition::new_random(&graph, k, &mut rng as &mut rand_pcg::Pcg64).unwrap();
+            type RunFingerprint = (Partition, Vec<(usize, usize, u64, u64)>);
+            let mut baseline: Option<RunFingerprint> = None;
+            for &workers in &worker_counts() {
+                for (dirty, kernel) in [
+                    (true, GainKernel::Scratch),
+                    (false, GainKernel::Scratch),
+                    (false, GainKernel::LegacyHashMap),
+                ] {
+                    let mut partition = initial.clone();
+                    let mut nd = NeighborData::build(&graph, &partition);
+                    let refiner = Refiner::new(
+                        &graph,
+                        Objective::PFanout { p: 0.5 },
+                        TargetConstraint::all(k),
+                        strategy,
+                        BalanceMode::Expectation,
+                        false,
+                        0.05,
+                        77,
+                    )
+                    .with_workers(workers)
+                    .with_dirty_set(dirty)
+                    .with_kernel(kernel);
+                    let history = refiner.run(&mut partition, &mut nd, 6, 0.0);
+                    let stats: Vec<(usize, usize, u64, u64)> = history
+                        .iter()
+                        .map(|s| {
+                            (
+                                s.candidates,
+                                s.moved,
+                                s.applied_gain.to_bits(),
+                                s.fanout_after.to_bits(),
+                            )
+                        })
+                        .collect();
+                    match &baseline {
+                        None => baseline = Some((partition, stats)),
+                        Some((p, st)) => {
+                            assert_eq!(
+                                &partition, p,
+                                "{graph_name}/{strategy:?}: partition diverged \
+                                 (workers={workers}, dirty={dirty}, kernel={kernel:?})"
+                            );
+                            assert_eq!(
+                                &stats, st,
+                                "{graph_name}/{strategy:?}: stats diverged \
+                                 (workers={workers}, dirty={dirty}, kernel={kernel:?})"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Registry-level oracle for the shared refinement engine: the public `shpk` entry point
+/// (scratch kernel + dirty set, as shipped) must produce exactly the partition that the
+/// legacy pipeline produces when run step-by-step from the same seeded initial partition.
+#[test]
+fn shpk_outcome_equals_manually_run_legacy_pipeline() {
+    let graph = planted_graph();
+    let config = ShpConfig::direct(4)
+        .with_seed(0x5047)
+        .with_max_iterations(5);
+    let new_path = partition_direct(&graph, &config).expect("valid config");
+
+    // Reconstruct partition_direct by hand with the legacy kernel and full rescans.
+    let mut rng = rand::SeedableRng::seed_from_u64(0x5047);
+    let mut partition = Partition::new_random(&graph, 4, &mut rng as &mut rand_pcg::Pcg64).unwrap();
+    let mut nd = NeighborData::build(&graph, &partition);
+    let refiner = Refiner::new(
+        &graph,
+        Objective::PFanout { p: 0.5 },
+        TargetConstraint::all(4),
+        config.swap_strategy,
+        config.balance_mode,
+        config.allow_imbalanced_moves,
+        config.epsilon,
+        config.seed,
+    )
+    .with_dirty_set(false)
+    .with_kernel(GainKernel::LegacyHashMap);
+    let history = refiner.run(
+        &mut partition,
+        &mut nd,
+        config.max_iterations,
+        config.convergence_threshold,
+    );
+
+    assert_eq!(new_path.partition, partition);
+    assert_eq!(new_path.report.history.len(), history.len());
+    for (a, b) in new_path.report.history.iter().zip(history.iter()) {
+        assert_eq!(a.moved, b.moved);
+        assert_eq!(a.applied_gain.to_bits(), b.applied_gain.to_bits());
     }
 }
 

@@ -70,12 +70,15 @@ proptest! {
         }
     }
 
-    /// Neighbor data updated incrementally always matches a fresh rebuild.
+    /// Neighbor data updated incrementally always matches a fresh rebuild. The bucket range
+    /// deliberately straddles `apply_move`'s small-fanout threshold (4), so random move
+    /// sequences exercise both the linear-scan fast path and the combined binary-search pass,
+    /// including the remove-plus-insert rotation in both directions.
     #[test]
     fn neighbor_data_incremental_updates_are_consistent(
         edges in arb_hypergraph(30, 25),
-        k in 2u32..5,
-        moves in prop::collection::vec((0u32..25, 0u32..5), 1..20),
+        k in 2u32..12,
+        moves in prop::collection::vec((0u32..25, 0u32..12), 1..60),
         seed in 0u64..1000,
     ) {
         let graph = GraphBuilder::from_hyperedges(edges).unwrap();

@@ -5,6 +5,11 @@
 //! wall-clock measurement: each benchmark runs `sample_size` timed samples (after one warmup)
 //! and prints min / mean / max to stdout. There is no statistical analysis, HTML report, or
 //! baseline comparison — just enough to compare alternatives on the same machine in one run.
+//!
+//! Like the real criterion, passing `--quick` on the bench command line (e.g.
+//! `cargo bench -- --quick`) switches to smoke mode: sample sizes are clamped to 2, so CI can
+//! exercise every benchmark's code path — including correctness assertions baked into bench
+//! binaries — in seconds rather than minutes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -15,25 +20,49 @@ use std::time::{Duration, Instant};
 /// Re-export of [`std::hint::black_box`], criterion's optimization barrier.
 pub use std::hint::black_box;
 
+/// Number of timed samples per benchmark in `--quick` smoke mode.
+const QUICK_SAMPLES: usize = 2;
+
+/// Whether the bench binary was invoked in smoke mode: `--quick` on the command line (the
+/// flag real criterion uses) or `CRITERION_QUICK=1` in the environment (for harnesses that
+/// cannot forward CLI arguments).
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+        || std::env::var("CRITERION_QUICK").is_ok_and(|v| v == "1")
+}
+
 /// Top-level benchmark driver, one per `criterion_group!`.
 #[derive(Debug)]
 pub struct Criterion {
     sample_size: usize,
+    quick: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
         // The real criterion defaults to 100 samples; the shim keeps runs short.
-        Criterion { sample_size: 20 }
+        Criterion {
+            sample_size: 20,
+            quick: quick_mode(),
+        }
     }
 }
 
 impl Criterion {
-    /// Sets the default number of timed samples per benchmark.
+    /// Sets the default number of timed samples per benchmark. In `--quick` mode the effective
+    /// size is clamped to the smoke-mode sample count regardless of this setting.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         assert!(n > 0, "sample size must be positive");
         self.sample_size = n;
         self
+    }
+
+    fn effective_samples(&self, configured: usize) -> usize {
+        if self.quick {
+            configured.min(QUICK_SAMPLES)
+        } else {
+            configured
+        }
     }
 
     /// Opens a named group of related benchmarks.
@@ -41,13 +70,14 @@ impl Criterion {
         BenchmarkGroup {
             name: name.into(),
             sample_size: self.sample_size,
+            quick: self.quick,
             _parent: self,
         }
     }
 
     /// Runs a single stand-alone benchmark.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
-        run_benchmark(name, self.sample_size, f);
+        run_benchmark(name, self.effective_samples(self.sample_size), f);
         self
     }
 }
@@ -57,15 +87,25 @@ impl Criterion {
 pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
+    quick: bool,
     _parent: &'a mut Criterion,
 }
 
 impl BenchmarkGroup<'_> {
-    /// Sets the number of timed samples for benchmarks in this group.
+    /// Sets the number of timed samples for benchmarks in this group (clamped in `--quick`
+    /// mode).
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         assert!(n > 0, "sample size must be positive");
         self.sample_size = n;
         self
+    }
+
+    fn effective_samples(&self) -> usize {
+        if self.quick {
+            self.sample_size.min(QUICK_SAMPLES)
+        } else {
+            self.sample_size
+        }
     }
 
     /// Sets the target measurement time. Accepted for API compatibility; the shim sizes work
@@ -86,15 +126,21 @@ impl BenchmarkGroup<'_> {
         input: &I,
         mut f: F,
     ) -> &mut Self {
-        run_benchmark(&format!("{}/{}", self.name, id.0), self.sample_size, |b| {
-            f(b, input)
-        });
+        run_benchmark(
+            &format!("{}/{}", self.name, id.0),
+            self.effective_samples(),
+            |b| f(b, input),
+        );
         self
     }
 
     /// Benchmarks `f` under a plain name within the group.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
-        run_benchmark(&format!("{}/{}", self.name, id), self.sample_size, f);
+        run_benchmark(
+            &format!("{}/{}", self.name, id),
+            self.effective_samples(),
+            f,
+        );
         self
     }
 
@@ -269,6 +315,25 @@ mod tests {
             )
         });
         assert_eq!(setups, 3);
+    }
+
+    #[test]
+    fn quick_mode_clamps_sample_sizes() {
+        let mut c = Criterion {
+            sample_size: 20,
+            quick: true,
+        };
+        assert_eq!(c.effective_samples(30), QUICK_SAMPLES);
+        assert_eq!(c.effective_samples(1), 1);
+        let mut runs = 0u32;
+        {
+            let mut group = c.benchmark_group("quick");
+            group.sample_size(50);
+            group.bench_function("clamped", |b| b.iter(|| runs += 1));
+            group.finish();
+        }
+        // 1 warmup + QUICK_SAMPLES samples.
+        assert_eq!(runs, 1 + QUICK_SAMPLES as u32);
     }
 
     #[test]

@@ -227,6 +227,45 @@ pub mod pool {
         }))
     }
 
+    /// Like [`map_index`], but hands `f` a **worker-local scratch**: each chunk calls
+    /// `make_scratch` exactly once and reuses the value for all of its indices, so per-item
+    /// state (buffers, dense tables) is allocated once per worker instead of once per item.
+    ///
+    /// The determinism contract is unchanged — `f` must leave the scratch in an
+    /// item-independent state between calls (reset what it touched), in which case the result
+    /// equals `map_index(len, workers, |i| f(&mut make_scratch(), i))` for every worker count.
+    /// The scratch never crosses threads, so `S` does not need to be `Send`.
+    pub fn map_index_with<S, T, MS, F>(len: usize, workers: usize, make_scratch: MS, f: F) -> Vec<T>
+    where
+        T: Send,
+        MS: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) -> T + Sync,
+    {
+        concat(run_chunks(len, workers, |range| {
+            let mut scratch = make_scratch();
+            range.map(|i| f(&mut scratch, i)).collect::<Vec<T>>()
+        }))
+    }
+
+    /// Filter-map counterpart of [`map_index_with`]: one scratch per chunk, result equal to
+    /// `(0..len).filter_map(|i| f(&mut scratch, i)).collect()` for every worker count.
+    pub fn filter_map_index_with<S, T, MS, F>(
+        len: usize,
+        workers: usize,
+        make_scratch: MS,
+        f: F,
+    ) -> Vec<T>
+    where
+        T: Send,
+        MS: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) -> Option<T> + Sync,
+    {
+        concat(run_chunks(len, workers, |range| {
+            let mut scratch = make_scratch();
+            range.filter_map(|i| f(&mut scratch, i)).collect::<Vec<T>>()
+        }))
+    }
+
     /// Ordered parallel map over a slice; `f` receives the global index and the item.
     pub fn map_slice<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
     where
@@ -376,6 +415,57 @@ mod tests {
                 expected
             );
         }
+    }
+
+    #[test]
+    fn scratch_variants_match_their_plain_counterparts_for_every_worker_count() {
+        let baseline_map: Vec<u64> = (0..5_000u64).map(|i| i * 7 + 1).collect();
+        let baseline_filter: Vec<usize> = (0..5_000).filter(|i| i % 11 == 0).collect();
+        for workers in [1usize, 2, 4, 8] {
+            let mapped = pool::map_index_with(
+                5_000,
+                workers,
+                || vec![0u64; 4],
+                |scratch, i| {
+                    // Use and reset the scratch so reuse across items is exercised.
+                    scratch[i % 4] = i as u64 * 7 + 1;
+                    let out = scratch[i % 4];
+                    scratch[i % 4] = 0;
+                    out
+                },
+            );
+            assert_eq!(mapped, baseline_map, "workers={workers}");
+            let filtered = pool::filter_map_index_with(
+                5_000,
+                workers,
+                || 0usize,
+                |count, i| {
+                    *count += 1;
+                    (i % 11 == 0).then_some(i)
+                },
+            );
+            assert_eq!(filtered, baseline_filter, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn scratch_is_created_once_per_chunk() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let creations = AtomicUsize::new(0);
+        let _ = pool::map_index_with(
+            10_000,
+            4,
+            || {
+                creations.fetch_add(1, Ordering::SeqCst);
+                0u8
+            },
+            |_, i| i,
+        );
+        let made = creations.load(Ordering::SeqCst);
+        assert!(
+            (1..=4).contains(&made),
+            "scratch must be per-chunk, not per-item: {made} creations"
+        );
     }
 
     #[test]
