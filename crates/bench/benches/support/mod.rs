@@ -122,6 +122,18 @@ impl Measurement {
             ("alloc_bytes_per_op", self.bytes_per_op),
         ]
     }
+
+    /// The throughput row recorded in `BENCH_ingest.json` for an ingestion variant covering
+    /// `bytes` of input (or output) and `edges` bipartite edges per operation.
+    pub fn throughput_metrics(&self, bytes: usize, edges: usize) -> Vec<(&'static str, f64)> {
+        vec![
+            ("mb_per_s", bytes as f64 / 1e6 / self.secs_per_op),
+            ("edges_per_s", edges as f64 / self.secs_per_op),
+            ("ms_per_op", self.secs_per_op * 1e3),
+            ("allocs_per_op", self.allocs_per_op),
+            ("alloc_bytes_per_op", self.bytes_per_op),
+        ]
+    }
 }
 
 /// Measures `op` (with per-round `setup` outside the timed window) over `rounds` rounds.

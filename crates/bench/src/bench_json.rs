@@ -12,8 +12,12 @@
 
 use std::path::{Path, PathBuf};
 
-/// The trajectory file name, created at the repository root.
+/// The refinement-trajectory file name, created at the repository root.
 pub const BENCH_JSON_NAME: &str = "BENCH_refinement.json";
+
+/// The ingestion-trajectory file name (written by the `graph_ingest` bench), created at the
+/// repository root.
+pub const BENCH_INGEST_JSON_NAME: &str = "BENCH_ingest.json";
 
 /// The repository root, resolved relative to this crate's manifest (`crates/bench/../..`).
 pub fn repo_root() -> PathBuf {

@@ -5,19 +5,27 @@
 //! * `generate <dataset> <scale> <output.hgr>` — synthesize a Table-1 dataset stand-in and
 //!   write it in hMetis format.
 //! * `algorithms` — list every partitioning algorithm registered in the workspace registry.
-//! * `partition <input.hgr> <k> <output.part> [--mode <algorithm>] [--p <p>] [--epsilon <eps>]
-//!   [--seed <seed>] [--iterations <n>] [--workers <n>] [--json]` — partition a hypergraph
-//!   file with **any registered algorithm** (SHP or baseline) and write the bucket of every
-//!   vertex; `--json` emits the full `PartitionOutcome`. `--workers` sets the number of real
-//!   threads driving the refinement hot paths — the output is bit-identical for every worker
-//!   count (see the determinism contract in `shp-core`), only the wall-clock time changes.
-//! * `evaluate <input.hgr> <partition.part> <k> [--json]` — report fanout, p-fanout,
-//!   hyperedge cut, and imbalance of an existing partition.
+//! * `convert <input> <output> [--from <fmt>] [--to <fmt>] [--workers <n>]` — convert a
+//!   graph between the edge-list, hMetis, and `.shpb` compact binary formats, with format
+//!   autodetection by extension and contents (`shp convert --help` spells out the rules).
+//! * `partition <input> <k> <output.part> [--mode <algorithm>] [--p <p>] [--epsilon <eps>]
+//!   [--seed <seed>] [--iterations <n>] [--workers <n>] [--json]` — partition a graph file
+//!   (any supported format, autodetected — a `.shpb` input skips parsing entirely) with
+//!   **any registered algorithm** (SHP or baseline) and write the bucket of every vertex;
+//!   `--json` emits the full `PartitionOutcome`. `--workers` sets the number of real threads
+//!   driving both the text parse and the refinement hot paths — the output is bit-identical
+//!   for every worker count (see the determinism contract in `shp-core`), only the
+//!   wall-clock time changes.
+//! * `evaluate <input> <partition.part> <k> [--json]` — report fanout, p-fanout, hyperedge
+//!   cut, and imbalance of an existing partition (any graph format).
 //! * `replay [options]` — drive a synthetic open-loop multiget workload through the
 //!   `shp-serving` engine under a random and an SHP partition and compare mean fanout,
-//!   latency percentiles, and shard load skew.
-//! * `serve [options]` — start serving on a random partition, compute an SHP repartition in
-//!   the background through the unified registry, and warm-start it *live* mid-run.
+//!   latency percentiles, and shard load skew. `--graph <file>` serves a graph loaded from
+//!   disk instead of a generated dataset.
+//! * `serve [options]` — start serving, compute an SHP repartition in the background through
+//!   the unified registry, and warm-start it *live* mid-run. `--graph <file>` (ideally a
+//!   `.shpb` snapshot) plus `--partition <file>` warm-start serving from on-disk artifacts:
+//!   the engine opens on the saved placement instead of a random one.
 //!
 //! Every failure path is a typed [`ShpError`]; `?` composes from file parsing through
 //! partitioning to the serving engine without a single stringly-typed error.
@@ -29,6 +37,7 @@ use shp_baselines::{full_registry, RandomPartitioner};
 use shp_core::api::{AlgorithmRegistry, NoopObserver, PartitionOutcome, PartitionSpec};
 use shp_core::{ObjectiveKind, ShpError, ShpResult};
 use shp_datagen::Dataset;
+use shp_hypergraph::io::GraphFormat;
 use shp_hypergraph::{
     average_fanout, average_p_fanout, hyperedge_cut, io, BipartiteGraph, GraphStats,
 };
@@ -41,6 +50,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("generate") => cmd_generate(&args[1..]),
         Some("algorithms") => cmd_algorithms(&args[1..]),
+        Some("convert") => cmd_convert(&args[1..]),
         Some("partition") => cmd_partition(&args[1..]),
         Some("evaluate") => cmd_evaluate(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
@@ -62,16 +72,44 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   shp generate <dataset> <scale> <output.hgr>
   shp algorithms
-  shp partition <input.hgr> <k> <output.part> [--mode <algorithm>] [--p <p>] [--epsilon <eps>]
+  shp convert <input> <output> [--from <format>] [--to <format>] [--workers <n>]
+  shp partition <input> <k> <output.part> [--mode <algorithm>] [--p <p>] [--epsilon <eps>]
                 [--seed <seed>] [--iterations <n>] [--workers <n>] [--json]
-  shp evaluate <input.hgr> <partition.part> <k> [--json]
-  shp replay [--dataset <name>] [--scale <s>] [--shards <k>] [--rate <r>] [--duration <d>]
-             [--clients <n>] [--cache <capacity>] [--seed <seed>] [--workers <n>]
-  shp serve  [--dataset <name>] [--scale <s>] [--shards <k>] [--rate <r>] [--duration <d>]
-             [--clients <n>] [--cache <capacity>] [--seed <seed>] [--workers <n>]
+  shp evaluate <input> <partition.part> <k> [--json]
+  shp replay [--dataset <name> | --graph <file>] [--scale <s>] [--shards <k>] [--rate <r>]
+             [--duration <d>] [--clients <n>] [--cache <capacity>] [--seed <seed>]
+             [--workers <n>]
+  shp serve  [--dataset <name> | --graph <file>] [--partition <file>] [--scale <s>]
+             [--shards <k>] [--rate <r>] [--duration <d>] [--clients <n>]
+             [--cache <capacity>] [--seed <seed>] [--workers <n>]
 
-`shp algorithms` lists the names accepted by --mode.
+`shp algorithms` lists the names accepted by --mode. Graph inputs may be edge-list, hMetis,
+or .shpb binary files (autodetected; see `shp convert --help`).
 datasets: email-Enron soc-Epinions web-Stanford web-BerkStan soc-Pokec soc-LJ FB-10M FB-50M FB-2B FB-5B FB-10B";
+
+const CONVERT_HELP: &str =
+    "usage: shp convert <input> <output> [--from <format>] [--to <format>] [--workers <n>]
+
+Converts a graph between the three supported formats, losslessly:
+  edgelist  plain text, one `query_id<TAB>data_id` pair per line, `#` comments
+  hmetis    hMetis hypergraph text format (header `|Q| |D|`, one hyperedge per line)
+  shpb      compact binary container (checksummed header + raw CSR sections);
+            loads an order of magnitude faster than text — ideal for warm starts
+
+Format autodetection, in order of precedence:
+  1. an explicit --from / --to flag always wins;
+  2. the file extension:  .shpb -> shpb;  .hgr .hmetis .graph -> hmetis;
+     .txt .tsv .edges .edgelist .el -> edgelist;
+  3. (inputs only) the contents: the `SHPB` magic -> shpb; a first non-blank
+     byte of `#` -> edgelist; anything else -> hmetis.
+The output format must be resolvable from the extension or --to.
+
+--workers <n> parses text inputs with n threads (the result is bit-identical
+for every worker count).
+
+Caveat: an edge list stores only the edges, so queries with no pins and
+trailing isolated data vertices are not representable in it; hmetis and shpb
+round-trip every graph exactly (shpb including data weights).";
 
 fn usage_error(message: impl Into<String>) -> ShpError {
     ShpError::InvalidArgument(format!("{}\n{USAGE}", message.into()))
@@ -108,6 +146,82 @@ fn cmd_algorithms(args: &[String]) -> ShpResult<()> {
     for name in registry.names() {
         println!("  {name}");
     }
+    Ok(())
+}
+
+fn cmd_convert(args: &[String]) -> ShpResult<()> {
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{CONVERT_HELP}");
+        return Ok(());
+    }
+    if args.len() < 2 {
+        return Err(usage_error("convert needs an input and an output path"));
+    }
+    let input = &args[0];
+    let output = &args[1];
+    let mut from: Option<GraphFormat> = None;
+    let mut to: Option<GraphFormat> = None;
+    let mut workers = 4usize;
+    let mut i = 2;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| ShpError::InvalidArgument(format!("{flag} needs a value")))?;
+        match flag {
+            "--from" | "--to" => {
+                let format = GraphFormat::from_name(value).ok_or_else(|| {
+                    ShpError::InvalidArgument(format!(
+                        "unknown format {value:?} (expected edgelist, hmetis, or shpb)"
+                    ))
+                })?;
+                if flag == "--from" {
+                    from = Some(format);
+                } else {
+                    to = Some(format);
+                }
+            }
+            "--workers" => {
+                workers = value
+                    .parse()
+                    .map_err(|_| ShpError::InvalidArgument("--workers needs a number".into()))?
+            }
+            other => {
+                return Err(ShpError::InvalidArgument(format!(
+                    "unknown option {other:?}"
+                )))
+            }
+        }
+        i += 2;
+    }
+
+    // Input: explicit flag > extension > content sniffing.
+    let bytes = std::fs::read(input).map_err(shp_hypergraph::GraphError::from)?;
+    let input_format = from.unwrap_or_else(|| GraphFormat::detect(input, &bytes));
+    let graph = match input_format {
+        GraphFormat::EdgeList => io::parse_edge_list_bytes(&bytes, workers),
+        GraphFormat::Hmetis => io::parse_hmetis_bytes(&bytes, workers),
+        GraphFormat::Shpb => io::parse_shpb_bytes(&bytes),
+    }?;
+
+    // Output: explicit flag > extension (contents cannot be sniffed for a file that does not
+    // exist yet).
+    let output_format = to
+        .or_else(|| GraphFormat::from_extension(output))
+        .ok_or_else(|| {
+            ShpError::InvalidArgument(format!(
+                "cannot infer the output format of {output:?}: use a known extension or --to"
+            ))
+        })?;
+    io::write_graph_file(&graph, output, output_format)?;
+    println!(
+        "converted {input} ({}) -> {output} ({}): {} queries, {} data vertices, {} pins",
+        input_format.name(),
+        output_format.name(),
+        graph.num_queries(),
+        graph.num_data(),
+        graph.num_edges()
+    );
     Ok(())
 }
 
@@ -192,7 +306,7 @@ fn cmd_partition(args: &[String]) -> ShpResult<()> {
         spec = spec.with_max_iterations(iters);
     }
 
-    let graph = io::read_hmetis_file(input)?;
+    let graph = io::read_graph_file_with(input, workers)?;
     let registry = full_registry();
     let outcome = registry.run(&mode, &graph, &spec, &mut NoopObserver)?;
     io::write_partition_file(&outcome.partition, output)?;
@@ -230,7 +344,7 @@ fn cmd_evaluate(args: &[String]) -> ShpResult<()> {
     let k: u32 = k
         .parse()
         .map_err(|_| ShpError::InvalidArgument(format!("invalid k {k:?}")))?;
-    let graph = io::read_hmetis_file(input)?;
+    let graph = io::read_graph_file(input)?;
     let partition = io::read_partition_file(&graph, k, partition_path)?;
     let fanout = average_fanout(&graph, &partition);
     let p_fanout = average_p_fanout(&graph, &partition, 0.5);
@@ -253,6 +367,12 @@ fn cmd_evaluate(args: &[String]) -> ShpResult<()> {
 /// Shared options of the serving subcommands.
 struct ServeOptions {
     dataset: Dataset,
+    /// Serve a graph loaded from this file (any supported format) instead of a generated
+    /// dataset; a `.shpb` snapshot makes the warm start skip parsing entirely.
+    graph: Option<String>,
+    /// Warm-start serving from this partition file instead of a random placement (serve
+    /// subcommand only).
+    partition: Option<String>,
     scale: f64,
     shards: u32,
     rate: f64,
@@ -267,6 +387,8 @@ impl ServeOptions {
     fn parse(args: &[String]) -> ShpResult<Self> {
         let mut options = ServeOptions {
             dataset: Dataset::EmailEnron,
+            graph: None,
+            partition: None,
             scale: 0.05,
             shards: 16,
             rate: 200.0,
@@ -284,6 +406,8 @@ impl ServeOptions {
             if !matches!(
                 args[i].as_str(),
                 "--dataset"
+                    | "--graph"
+                    | "--partition"
                     | "--scale"
                     | "--shards"
                     | "--rate"
@@ -303,6 +427,8 @@ impl ServeOptions {
                     options.dataset = Dataset::from_name(value)
                         .ok_or_else(|| invalid(format!("unknown dataset {value:?}")))?;
                 }
+                "--graph" => options.graph = Some(value.clone()),
+                "--partition" => options.partition = Some(value.clone()),
                 "--scale" => {
                     options.scale = value
                         .parse()
@@ -382,10 +508,41 @@ impl ServeOptions {
         }
     }
 
-    fn load_graph(&self) -> BipartiteGraph {
-        self.dataset
-            .generate(self.scale, self.seed)
-            .filter_small_queries(2)
+    /// The serving graph plus the optional on-disk placement: from `--graph` (and
+    /// `--partition`) through the serving bootstrap, or a generated dataset otherwise.
+    fn load_warm_start(&self) -> ShpResult<(BipartiteGraph, Option<shp_hypergraph::Partition>)> {
+        match &self.graph {
+            Some(path) => {
+                let warm = shp_serving::load_warm_start(
+                    path,
+                    self.partition.as_ref(),
+                    self.shards,
+                    self.workers,
+                )?;
+                Ok((warm.graph, warm.partition))
+            }
+            None => {
+                if self.partition.is_some() {
+                    return Err(ShpError::InvalidArgument(
+                        "--partition requires --graph (a generated dataset has no saved \
+                         placement)"
+                            .into(),
+                    ));
+                }
+                let graph = self
+                    .dataset
+                    .generate(self.scale, self.seed)
+                    .filter_small_queries(2);
+                Ok((graph, None))
+            }
+        }
+    }
+
+    fn graph_label(&self) -> String {
+        match &self.graph {
+            Some(path) => path.clone(),
+            None => self.dataset.spec().name.to_string(),
+        }
     }
 
     fn spec(&self) -> PartitionSpec {
@@ -405,10 +562,15 @@ impl ServeOptions {
 
 fn cmd_replay(args: &[String]) -> ShpResult<()> {
     let options = ServeOptions::parse(args)?;
-    let graph = options.load_graph();
+    if options.partition.is_some() {
+        return Err(ShpError::InvalidArgument(
+            "--partition is only meaningful for `shp serve`".into(),
+        ));
+    }
+    let (graph, _) = options.load_warm_start()?;
     println!(
         "workload: {} ({} queries, {} keys), {} shards, rate {}/t for {}t, {} clients",
-        options.dataset.spec().name,
+        options.graph_label(),
         graph.num_queries(),
         graph.num_data(),
         options.shards,
@@ -458,17 +620,32 @@ fn cmd_replay(args: &[String]) -> ShpResult<()> {
 
 fn cmd_serve(args: &[String]) -> ShpResult<()> {
     let options = ServeOptions::parse(args)?;
-    let graph = options.load_graph();
+    let (graph, loaded_partition) = options.load_warm_start()?;
     let events = open_loop_schedule(graph.num_queries(), &options.workload());
-    println!(
-        "serving {} multigets over {} keys on {} shards; starting from a random partition",
-        events.len(),
-        graph.num_data(),
-        options.shards
-    );
-
-    let random = RandomPartitioner::new(options.seed).partition_into(&graph, options.shards, 0.05);
-    let engine = ServingEngine::new(&random, options.engine_config())?;
+    let start = match loaded_partition {
+        Some(partition) => {
+            println!(
+                "serving {} multigets over {} keys on {} shards; warm start from the \
+                 placement in {}",
+                events.len(),
+                graph.num_data(),
+                options.shards,
+                options.partition.as_deref().unwrap_or("?"),
+            );
+            partition
+        }
+        None => {
+            println!(
+                "serving {} multigets over {} keys on {} shards; starting from a random \
+                 partition",
+                events.len(),
+                graph.num_data(),
+                options.shards
+            );
+            RandomPartitioner::new(options.seed).partition_into(&graph, options.shards, 0.05)
+        }
+    };
+    let engine = ServingEngine::new(&start, options.engine_config())?;
 
     // Plan the repartition off the serving path, then warm-start it live once at least half of
     // the schedule has been served: the swapper thread races the concurrent clients, and every

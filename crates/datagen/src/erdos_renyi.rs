@@ -23,16 +23,19 @@ pub fn erdos_renyi_bipartite(
     );
     let mut rng = Pcg64::seed_from_u64(seed);
     let mut builder = GraphBuilder::with_capacity(num_queries, num_data);
+    builder.reserve_pins(num_queries * query_degree.min(num_data));
+    // Reusable pin buffer feeding the builder's flat arena (no per-query `Vec`).
+    let mut pins: Vec<u32> = Vec::with_capacity(query_degree.min(num_data));
     for _ in 0..num_queries {
         let degree = query_degree.min(num_data);
-        let mut pins = Vec::with_capacity(degree);
+        pins.clear();
         while pins.len() < degree {
             let v = rng.gen_range(0..num_data) as u32;
             if !pins.contains(&v) {
                 pins.push(v);
             }
         }
-        builder.add_query(pins);
+        builder.add_query_slice(&pins);
     }
     builder.ensure_data_count(num_data);
     builder

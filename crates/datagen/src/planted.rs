@@ -56,6 +56,9 @@ pub fn planted_partition(config: &PlantedConfig) -> (BipartiteGraph, Vec<u32>) {
     if n == 0 {
         return (builder.build().expect("empty graph"), truth);
     }
+    // Reusable pin buffer: queries stream into the builder's flat arena without a per-query
+    // `Vec` allocation.
+    let mut pins: Vec<u32> = Vec::with_capacity(config.query_degree.max(1));
     for _ in 0..config.num_queries {
         let primary = rng.gen_range(0..k) as usize;
         let noisy = rng.gen_bool(config.noise.clamp(0.0, 1.0)) && k > 1;
@@ -69,7 +72,7 @@ pub fn planted_partition(config: &PlantedConfig) -> (BipartiteGraph, Vec<u32>) {
             None
         };
         let degree = config.query_degree.max(1).min(n);
-        let mut pins = Vec::with_capacity(degree);
+        pins.clear();
         while pins.len() < degree {
             let block = match secondary {
                 Some(s) if pins.len() % 2 == 1 => s,
@@ -81,7 +84,7 @@ pub fn planted_partition(config: &PlantedConfig) -> (BipartiteGraph, Vec<u32>) {
                 pins.push(v);
             }
         }
-        builder.add_query(pins);
+        builder.add_query_slice(&pins);
     }
     builder.ensure_data_count(n);
     (builder.build().expect("generated ids are in range"), truth)

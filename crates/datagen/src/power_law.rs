@@ -62,6 +62,9 @@ pub fn power_law_bipartite(config: &PowerLawConfig) -> BipartiteGraph {
         return builder.build().expect("empty graph");
     }
     let n = config.num_data;
+    // One reusable pin buffer for the whole generation loop: pins stream into the builder's
+    // flat arena through `add_query_slice`, so no per-query `Vec` is ever allocated.
+    let mut pins: Vec<u32> = Vec::with_capacity(config.max_degree.max(1));
     for _ in 0..config.num_queries {
         let raw = bounded_pareto(
             &mut rng,
@@ -72,7 +75,7 @@ pub fn power_law_bipartite(config: &PowerLawConfig) -> BipartiteGraph {
         let degree = (raw.round() as usize)
             .clamp(config.min_degree.max(1), config.max_degree.max(1))
             .min(n);
-        let mut pins = Vec::with_capacity(degree);
+        pins.clear();
         let mut attempts = 0;
         while pins.len() < degree && attempts < degree * 20 {
             attempts += 1;
@@ -89,7 +92,7 @@ pub fn power_law_bipartite(config: &PowerLawConfig) -> BipartiteGraph {
                 pins.push(v);
             }
         }
-        builder.add_query(pins);
+        builder.add_query_slice(&pins);
     }
     builder.ensure_data_count(n);
     builder

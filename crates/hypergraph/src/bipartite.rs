@@ -12,6 +12,16 @@ pub type QueryId = u32;
 /// Identifier of a data vertex (a hypergraph vertex). Dense, `0..num_data`.
 pub type DataId = u32;
 
+/// Borrowed raw CSR components: `(query_offsets, query_adjacency, data_offsets,
+/// data_adjacency, data_weights)`.
+pub(crate) type RawCsr<'a> = (
+    &'a [u64],
+    &'a [DataId],
+    &'a [u64],
+    &'a [QueryId],
+    Option<&'a [u32]>,
+);
+
 /// An immutable bipartite graph in CSR form with adjacency stored in both directions.
 ///
 /// The graph is equivalent to a hypergraph whose vertices are the data vertices and whose
@@ -83,6 +93,19 @@ impl BipartiteGraph {
             data_adjacency,
             data_weights,
         }
+    }
+
+    /// Borrows the raw CSR components `(query_offsets, query_adjacency, data_offsets,
+    /// data_adjacency, data_weights)` — the exact arrays the `.shpb` binary container
+    /// serializes.
+    pub(crate) fn raw_csr(&self) -> RawCsr<'_> {
+        (
+            &self.query_offsets,
+            &self.query_adjacency,
+            &self.data_offsets,
+            &self.data_adjacency,
+            self.data_weights.as_deref(),
+        )
     }
 
     /// Number of query vertices (hyperedges), `|Q|`.
@@ -246,15 +269,17 @@ impl BipartiteGraph {
 
         let mut builder =
             crate::builder::GraphBuilder::with_capacity(self.num_queries() / 2, original.len());
+        let mut pins: Vec<DataId> = Vec::new();
         for q in self.queries() {
-            let pins: Vec<DataId> = self
-                .query_neighbors(q)
-                .iter()
-                .filter(|&&v| new_id[v as usize] != u32::MAX)
-                .map(|&v| new_id[v as usize])
-                .collect();
+            pins.clear();
+            pins.extend(
+                self.query_neighbors(q)
+                    .iter()
+                    .filter(|&&v| new_id[v as usize] != u32::MAX)
+                    .map(|&v| new_id[v as usize]),
+            );
             if pins.len() >= min_query_degree {
-                builder.add_query(pins);
+                builder.add_query_slice(&pins);
             }
         }
         if let Some(weights) = &self.data_weights {
@@ -277,7 +302,7 @@ impl BipartiteGraph {
         for q in self.queries() {
             let pins = self.query_neighbors(q);
             if pins.len() >= min_degree {
-                builder.add_query(pins.iter().copied());
+                builder.add_query_slice(pins);
             }
         }
         builder.ensure_data_count(self.num_data());

@@ -47,6 +47,20 @@ pub enum GraphError {
         /// Human-readable description of the problem.
         message: String,
     },
+    /// A binary `.shpb` container was malformed: bad magic, header checksum mismatch,
+    /// truncated or oversized sections, or CSR arrays that do not describe a graph.
+    Binary {
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// A binary `.shpb` container was written by a newer format version than this reader
+    /// understands.
+    UnsupportedVersion {
+        /// Version found in the container header.
+        found: u32,
+        /// Highest version this build can read.
+        supported: u32,
+    },
     /// An underlying IO failure.
     Io(std::io::Error),
     /// The graph is empty where a non-empty graph is required.
@@ -83,6 +97,13 @@ impl fmt::Display for GraphError {
             GraphError::Parse { line, message } => {
                 write!(f, "parse error on line {line}: {message}")
             }
+            GraphError::Binary { message } => {
+                write!(f, "invalid shpb container: {message}")
+            }
+            GraphError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported shpb version {found} (this build reads versions up to {supported})"
+            ),
             GraphError::Io(err) => write!(f, "io error: {err}"),
             GraphError::EmptyGraph => write!(f, "operation requires a non-empty graph"),
         }
@@ -150,6 +171,19 @@ mod tests {
                     message: "bad token".into(),
                 },
                 "line 3",
+            ),
+            (
+                GraphError::Binary {
+                    message: "checksum mismatch".into(),
+                },
+                "checksum mismatch",
+            ),
+            (
+                GraphError::UnsupportedVersion {
+                    found: 9,
+                    supported: 1,
+                },
+                "version 9",
             ),
             (GraphError::EmptyGraph, "non-empty"),
         ];

@@ -1,0 +1,353 @@
+//! Zero-copy byte scanning for the text readers.
+//!
+//! The readers load a file into one byte buffer and scan `\n`-delimited records **in place**:
+//! no per-line `String`, no UTF-8 validation, and a hand-rolled decimal parser instead of
+//! `str::parse`. For parallel parsing the buffer is split at line boundaries into chunks
+//! ([`line_aligned_chunks`]); each chunk is scanned independently with chunk-relative line
+//! numbers, and the caller merges results **in chunk order**, so both the parsed graph and
+//! the line numbers of [`crate::GraphError::Parse`] are identical for every worker count.
+//!
+//! Line numbering matches `BufRead::lines` exactly: records are the `\n`-separated segments
+//! of the buffer, a trailing newline does not open a phantom final record, and a `\r` left by
+//! CRLF input is stripped with the surrounding ASCII whitespace.
+//!
+//! The decimal parser accepts plain digit runs only. `str::parse::<u32>` — which the legacy
+//! oracle readers still use — additionally accepts a leading `+`; the strictness is
+//! intentional (none of the supported formats emit signed ids).
+
+use std::ops::Range;
+
+/// One scan failure, with a **1-based line number relative to the scanned slice**.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct ScanError {
+    /// 1-based line within the scanned slice.
+    pub line: usize,
+    /// Human-readable message, matching the legacy readers' wording.
+    pub message: String,
+}
+
+/// Iterator over the `\n`-delimited records of a byte slice with 1-based line numbers.
+pub(crate) struct Records<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Records<'a> {
+    pub(crate) fn new(bytes: &'a [u8]) -> Self {
+        Records {
+            bytes,
+            pos: 0,
+            line: 0,
+        }
+    }
+
+    /// Byte position just past the most recently returned record's newline.
+    pub(crate) fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Number of records returned so far (equals the total line count once exhausted).
+    pub(crate) fn lines(&self) -> usize {
+        self.line
+    }
+}
+
+impl<'a> Iterator for Records<'a> {
+    type Item = (usize, &'a [u8]);
+
+    fn next(&mut self) -> Option<(usize, &'a [u8])> {
+        if self.pos >= self.bytes.len() {
+            return None;
+        }
+        self.line += 1;
+        let rest = &self.bytes[self.pos..];
+        match rest.iter().position(|&b| b == b'\n') {
+            Some(i) => {
+                self.pos += i + 1;
+                Some((self.line, &rest[..i]))
+            }
+            None => {
+                self.pos = self.bytes.len();
+                Some((self.line, rest))
+            }
+        }
+    }
+}
+
+/// Iterator over ASCII-whitespace-separated tokens of a record.
+pub(crate) struct Tokens<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Tokens<'a> {
+    pub(crate) fn new(bytes: &'a [u8]) -> Self {
+        Tokens { bytes, pos: 0 }
+    }
+}
+
+impl<'a> Iterator for Tokens<'a> {
+    type Item = &'a [u8];
+
+    fn next(&mut self) -> Option<&'a [u8]> {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+        if self.pos >= self.bytes.len() {
+            return None;
+        }
+        let start = self.pos;
+        while self.pos < self.bytes.len() && !self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+        Some(&self.bytes[start..self.pos])
+    }
+}
+
+/// Parses a plain run of ASCII digits as `u32`, rejecting empty input, non-digits, and
+/// overflow.
+#[inline]
+pub(crate) fn parse_u32_digits(token: &[u8]) -> Option<u32> {
+    if token.is_empty() {
+        return None;
+    }
+    let mut value: u64 = 0;
+    for &b in token {
+        let digit = b.wrapping_sub(b'0');
+        if digit > 9 {
+            return None;
+        }
+        value = value * 10 + u64::from(digit);
+        if value > u64::from(u32::MAX) {
+            return None;
+        }
+    }
+    Some(value as u32)
+}
+
+/// Renders a byte token the way the legacy readers rendered the `&str` token in error
+/// messages (`{token:?}`); identical output for valid UTF-8.
+pub(crate) fn token_display(token: &[u8]) -> String {
+    format!("{:?}", String::from_utf8_lossy(token))
+}
+
+/// Splits `bytes` into at most `workers` contiguous ranges whose boundaries sit just **after
+/// a newline**, so no record spans two chunks and per-chunk line counts sum to the total.
+pub(crate) fn line_aligned_chunks(bytes: &[u8], workers: usize) -> Vec<Range<usize>> {
+    let approx = rayon::pool::chunk_ranges(bytes.len(), workers.max(1));
+    if approx.len() <= 1 {
+        return approx;
+    }
+    let mut cuts: Vec<usize> = Vec::with_capacity(approx.len() + 1);
+    cuts.push(0);
+    for range in approx.iter().take(approx.len() - 1) {
+        let target = range.end.max(*cuts.last().expect("cuts is non-empty"));
+        let cut = match bytes[target..].iter().position(|&b| b == b'\n') {
+            Some(i) => target + i + 1,
+            None => bytes.len(),
+        };
+        cuts.push(cut);
+    }
+    cuts.push(bytes.len());
+    cuts.dedup();
+    cuts.windows(2).map(|w| w[0]..w[1]).collect()
+}
+
+/// Scans edge-list records (`query data` per line, `#` comments), calling `emit` per edge.
+/// Returns the number of lines scanned, or the first error with a chunk-relative line.
+pub(crate) fn scan_edge_records<F: FnMut(u32, u32)>(
+    bytes: &[u8],
+    mut emit: F,
+) -> std::result::Result<usize, ScanError> {
+    let mut records = Records::new(bytes);
+    for (line, raw) in records.by_ref() {
+        let record = raw.trim_ascii();
+        if record.is_empty() || record[0] == b'#' {
+            continue;
+        }
+        let mut tokens = Tokens::new(record);
+        let q = expect_u32(tokens.next(), line, "query id")?;
+        let v = expect_u32(tokens.next(), line, "data id")?;
+        if tokens.next().is_some() {
+            return Err(ScanError {
+                line,
+                message: "expected exactly two columns".into(),
+            });
+        }
+        emit(q, v);
+    }
+    Ok(records.lines())
+}
+
+fn expect_u32(
+    token: Option<&[u8]>,
+    line: usize,
+    what: &str,
+) -> std::result::Result<u32, ScanError> {
+    let token = token.ok_or_else(|| ScanError {
+        line,
+        message: format!("missing {what}"),
+    })?;
+    parse_u32_digits(token).ok_or_else(|| ScanError {
+        line,
+        message: format!("invalid {what}: {}", token_display(token)),
+    })
+}
+
+/// The outcome of scanning one chunk of hMetis hyperedge records: a flat pin arena plus
+/// per-record lengths, with partial results retained up to the first error (the merge phase
+/// decides whether an error past the declared hyperedge count even matters).
+pub(crate) struct HedgeChunk {
+    /// Lines scanned before stopping (all of them on success, up to the error otherwise).
+    pub lines: usize,
+    /// Pins per record, in record order.
+    pub lens: Vec<u32>,
+    /// Concatenated 0-based pins of all complete records.
+    pub pins: Vec<u32>,
+    /// First scan failure, if any (chunk-relative line).
+    pub error: Option<ScanError>,
+}
+
+/// Scans hMetis hyperedge records (one line of 1-based vertex ids per hyperedge, `%`
+/// comments), validating every id against `num_vertices`.
+pub(crate) fn scan_hmetis_records(bytes: &[u8], num_vertices: usize) -> HedgeChunk {
+    let mut chunk = HedgeChunk {
+        lines: 0,
+        lens: Vec::new(),
+        pins: Vec::new(),
+        error: None,
+    };
+    let mut records = Records::new(bytes);
+    for (line, raw) in records.by_ref() {
+        chunk.lines = line;
+        let record = raw.trim_ascii();
+        if record.is_empty() || record[0] == b'%' {
+            continue;
+        }
+        let record_start = chunk.pins.len();
+        for token in Tokens::new(record) {
+            let Some(one_based) = parse_u32_digits(token) else {
+                chunk.pins.truncate(record_start);
+                chunk.error = Some(ScanError {
+                    line,
+                    message: format!("invalid vertex id {}", token_display(token)),
+                });
+                return chunk;
+            };
+            if one_based == 0 || one_based as usize > num_vertices {
+                chunk.pins.truncate(record_start);
+                chunk.error = Some(ScanError {
+                    line,
+                    message: format!("vertex id {one_based} outside 1..={num_vertices}"),
+                });
+                return chunk;
+            }
+            chunk.pins.push(one_based - 1);
+        }
+        chunk.lens.push((chunk.pins.len() - record_start) as u32);
+    }
+    chunk.lines = records.lines();
+    chunk
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_number_lines_like_bufread_lines() {
+        let collect = |input: &str| -> Vec<(usize, String)> {
+            Records::new(input.as_bytes())
+                .map(|(l, r)| (l, String::from_utf8_lossy(r).into_owned()))
+                .collect()
+        };
+        assert_eq!(
+            collect("a\nb\n"),
+            vec![(1, "a".into()), (2, "b".into())],
+            "trailing newline must not open a phantom record"
+        );
+        assert_eq!(
+            collect("a\n\nb"),
+            vec![(1, "a".into()), (2, String::new()), (3, "b".into())]
+        );
+        assert_eq!(collect(""), Vec::<(usize, String)>::new());
+    }
+
+    #[test]
+    fn tokens_split_on_any_ascii_whitespace() {
+        let tokens: Vec<&[u8]> = Tokens::new(b"  12\t 7 \r").collect();
+        assert_eq!(tokens, vec![b"12".as_slice(), b"7".as_slice()]);
+    }
+
+    #[test]
+    fn digit_parser_matches_str_parse_on_digit_runs() {
+        for case in ["0", "7", "4294967295", "001"] {
+            assert_eq!(
+                parse_u32_digits(case.as_bytes()),
+                case.parse::<u32>().ok(),
+                "{case}"
+            );
+        }
+        for bad in ["", "4294967296", "12a", "-1", "+5", " 5"] {
+            assert_eq!(parse_u32_digits(bad.as_bytes()), None, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn line_aligned_chunks_cover_exactly_and_cut_after_newlines() {
+        let text: String = (0..997).map(|i| format!("{i} {}\n", i * 3)).collect();
+        let bytes = text.as_bytes();
+        for workers in [1usize, 2, 3, 4, 8, 64] {
+            let chunks = line_aligned_chunks(bytes, workers);
+            let mut expected_start = 0;
+            for range in &chunks {
+                assert_eq!(range.start, expected_start, "workers={workers}");
+                assert!(range.start == 0 || bytes[range.start - 1] == b'\n');
+                expected_start = range.end;
+            }
+            assert_eq!(expected_start, bytes.len(), "workers={workers}");
+            let total_lines: usize = chunks
+                .iter()
+                .map(|r| {
+                    let mut records = Records::new(&bytes[r.clone()]);
+                    while records.next().is_some() {}
+                    records.lines()
+                })
+                .sum();
+            assert_eq!(total_lines, 997, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn line_aligned_chunks_survive_one_giant_line() {
+        let mut text = String::from("# ");
+        text.push_str(&"x".repeat(10_000));
+        text.push('\n');
+        text.push_str("1 2\n");
+        let chunks = line_aligned_chunks(text.as_bytes(), 8);
+        assert!(!chunks.is_empty());
+        assert_eq!(chunks.last().unwrap().end, text.len());
+    }
+
+    #[test]
+    fn edge_scan_reports_chunk_relative_lines() {
+        let mut edges = Vec::new();
+        let err = scan_edge_records(b"1 2\nbad token\n", |q, v| edges.push((q, v)))
+            .expect_err("second line is malformed");
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("invalid query id"), "{}", err.message);
+        assert_eq!(edges, vec![(1, 2)]);
+    }
+
+    #[test]
+    fn hmetis_scan_retains_partial_records_before_an_error() {
+        let chunk = scan_hmetis_records(b"1 2\n% c\n3 9\n1\n", 5);
+        let error = chunk.error.expect("vertex 9 is out of range");
+        assert_eq!(error.line, 3);
+        assert!(error.message.contains("outside 1..=5"), "{}", error.message);
+        // The complete first record survives; the partially scanned third does not.
+        assert_eq!(chunk.lens, vec![2]);
+        assert_eq!(chunk.pins, vec![0, 1]);
+    }
+}

@@ -1,0 +1,456 @@
+//! `.shpb` — the compact binary graph container.
+//!
+//! A little-endian sectioned format holding exactly the in-memory CSR representation of a
+//! [`BipartiteGraph`], so loading one is a size check plus a handful of bulk array decodes —
+//! no tokenizing, no dedup, no counting sort. Warm starts (`shp replay`/`serve`/`partition`
+//! on a `.shpb` input) skip parsing entirely.
+//!
+//! # Layout (version 1)
+//!
+//! | offset | size | field |
+//! |-------:|-----:|-------|
+//! | 0      | 4    | magic `b"SHPB"` |
+//! | 4      | 4    | `u32` format version (currently 1) |
+//! | 8      | 8    | `u64` number of query vertices `Q` |
+//! | 16     | 8    | `u64` number of data vertices `D` |
+//! | 24     | 8    | `u64` number of pins (bipartite edges) `P` |
+//! | 32     | 4    | `u32` flags (bit 0: data weights present) |
+//! | 36     | 4    | `u32` reserved (zero) |
+//! | 40     | 8    | `u64` FNV-1a checksum of bytes 0..40 |
+//! | 48     | 8·(Q+1) | query CSR offsets (`u64`) |
+//! |        | 4·P  | query adjacency (`u32` data ids) |
+//! |        | 8·(D+1) | data CSR offsets (`u64`) |
+//! |        | 4·P  | data adjacency (`u32` query ids) |
+//! |        | 4·D  | data weights (`u32`), only when flag bit 0 is set |
+//!
+//! Every failure mode is a typed error: corrupt or truncated containers produce
+//! [`GraphError::Binary`], a newer format version produces [`GraphError::UnsupportedVersion`].
+//! The reader validates the structural CSR contract before constructing the graph: offsets
+//! monotonic and consistent with `P`, adjacency ids in range, the two directions
+//! degree-consistent, and every data vertex's query list in ascending query order (the order
+//! the builder's counting sort always emits). The one property deliberately *not* checked is
+//! the ordering of pins **within** a query: graphs built with
+//! [`crate::GraphBuilder::without_dedup`] legitimately carry unsorted or duplicate pins, and
+//! the container round-trips them verbatim.
+
+use crate::bipartite::BipartiteGraph;
+use crate::error::{GraphError, Result};
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// Magic bytes opening every `.shpb` container.
+pub(crate) const MAGIC: [u8; 4] = *b"SHPB";
+
+/// Current (highest readable) format version.
+pub const SHPB_VERSION: u32 = 1;
+
+const HEADER_LEN: usize = 48;
+const FLAG_WEIGHTS: u32 = 1;
+const STAGING_FLUSH: usize = 64 << 10;
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn corrupt(message: impl Into<String>) -> GraphError {
+    GraphError::Binary {
+        message: message.into(),
+    }
+}
+
+/// Writes a graph as a `.shpb` container.
+pub fn write_shpb<W: Write>(graph: &BipartiteGraph, mut writer: W) -> Result<()> {
+    let (query_offsets, query_adjacency, data_offsets, data_adjacency, weights) = graph.raw_csr();
+
+    let mut header = Vec::with_capacity(HEADER_LEN);
+    header.extend_from_slice(&MAGIC);
+    header.extend_from_slice(&SHPB_VERSION.to_le_bytes());
+    header.extend_from_slice(&(graph.num_queries() as u64).to_le_bytes());
+    header.extend_from_slice(&(graph.num_data() as u64).to_le_bytes());
+    header.extend_from_slice(&(graph.num_edges() as u64).to_le_bytes());
+    let flags = if weights.is_some() { FLAG_WEIGHTS } else { 0 };
+    header.extend_from_slice(&flags.to_le_bytes());
+    header.extend_from_slice(&0u32.to_le_bytes());
+    header.extend_from_slice(&fnv1a64(&header).to_le_bytes());
+    writer.write_all(&header)?;
+
+    let mut staging: Vec<u8> = Vec::with_capacity(STAGING_FLUSH + 16);
+    write_section(&mut writer, &mut staging, query_offsets, u64::to_le_bytes)?;
+    write_section(&mut writer, &mut staging, query_adjacency, u32::to_le_bytes)?;
+    write_section(&mut writer, &mut staging, data_offsets, u64::to_le_bytes)?;
+    write_section(&mut writer, &mut staging, data_adjacency, u32::to_le_bytes)?;
+    if let Some(w) = weights {
+        write_section(&mut writer, &mut staging, w, u32::to_le_bytes)?;
+    }
+    if !staging.is_empty() {
+        writer.write_all(&staging)?;
+    }
+    writer.flush()?;
+    Ok(())
+}
+
+/// Appends one array section to the staging buffer element-wise, flushing every 64 KiB.
+fn write_section<W: Write, T: Copy, const N: usize>(
+    writer: &mut W,
+    staging: &mut Vec<u8>,
+    values: &[T],
+    encode: impl Fn(T) -> [u8; N],
+) -> std::io::Result<()> {
+    for &v in values {
+        staging.extend_from_slice(&encode(v));
+        if staging.len() >= STAGING_FLUSH {
+            writer.write_all(staging)?;
+            staging.clear();
+        }
+    }
+    Ok(())
+}
+
+/// Writes a `.shpb` container to a file path.
+pub fn write_shpb_file<P: AsRef<Path>>(graph: &BipartiteGraph, path: P) -> Result<()> {
+    write_shpb(graph, std::io::BufWriter::new(std::fs::File::create(path)?))
+}
+
+/// Reads a graph from a `.shpb` container.
+pub fn read_shpb<R: Read>(mut reader: R) -> Result<BipartiteGraph> {
+    let mut bytes = Vec::new();
+    reader.read_to_end(&mut bytes)?;
+    parse_shpb_bytes(&bytes)
+}
+
+/// Reads a `.shpb` container from a file path.
+pub fn read_shpb_file<P: AsRef<Path>>(path: P) -> Result<BipartiteGraph> {
+    parse_shpb_bytes(&std::fs::read(path)?)
+}
+
+/// Decodes and fully validates a `.shpb` container held in memory.
+pub fn parse_shpb_bytes(bytes: &[u8]) -> Result<BipartiteGraph> {
+    if bytes.len() < HEADER_LEN {
+        return Err(corrupt(format!(
+            "truncated header: {} bytes, need {HEADER_LEN}",
+            bytes.len()
+        )));
+    }
+    if bytes[..4] != MAGIC {
+        return Err(corrupt(format!(
+            "bad magic {:?} (expected {:?})",
+            &bytes[..4],
+            MAGIC
+        )));
+    }
+    let version = read_u32(bytes, 4);
+    if version > SHPB_VERSION {
+        return Err(GraphError::UnsupportedVersion {
+            found: version,
+            supported: SHPB_VERSION,
+        });
+    }
+    if version == 0 {
+        return Err(corrupt("invalid format version 0"));
+    }
+    let stored_checksum = read_u64(bytes, 40);
+    let computed = fnv1a64(&bytes[..40]);
+    if stored_checksum != computed {
+        return Err(corrupt(format!(
+            "header checksum mismatch: stored {stored_checksum:#018x}, computed {computed:#018x}"
+        )));
+    }
+    let num_queries = read_u64(bytes, 8);
+    let num_data = read_u64(bytes, 16);
+    let num_pins = read_u64(bytes, 24);
+    let flags = read_u32(bytes, 32);
+    if flags & !FLAG_WEIGHTS != 0 {
+        return Err(corrupt(format!("unknown flag bits {flags:#010x}")));
+    }
+    let has_weights = flags & FLAG_WEIGHTS != 0;
+
+    // Validate the declared body size before allocating anything: a corrupt count must fail
+    // with a typed error, not an enormous allocation.
+    let expected_body: u128 = (num_queries as u128 + 1) * 8
+        + num_pins as u128 * 4
+        + (num_data as u128 + 1) * 8
+        + num_pins as u128 * 4
+        + if has_weights { num_data as u128 * 4 } else { 0 };
+    let actual_body = (bytes.len() - HEADER_LEN) as u128;
+    if actual_body < expected_body {
+        return Err(corrupt(format!(
+            "truncated body: {actual_body} bytes, header declares {expected_body}"
+        )));
+    }
+    if actual_body > expected_body {
+        return Err(corrupt(format!(
+            "trailing garbage: {actual_body} body bytes, header declares {expected_body}"
+        )));
+    }
+    let num_queries = num_queries as usize;
+    let num_data = num_data as usize;
+    let num_pins = num_pins as usize;
+
+    let mut pos = HEADER_LEN;
+    let query_offsets = take_u64s(bytes, &mut pos, num_queries + 1);
+    let query_adjacency = take_u32s(bytes, &mut pos, num_pins);
+    let data_offsets = take_u64s(bytes, &mut pos, num_data + 1);
+    let data_adjacency = take_u32s(bytes, &mut pos, num_pins);
+    let data_weights = has_weights.then(|| take_u32s(bytes, &mut pos, num_data));
+    debug_assert_eq!(pos, bytes.len());
+
+    validate_offsets(&query_offsets, num_pins, "query")?;
+    validate_offsets(&data_offsets, num_pins, "data")?;
+    validate_adjacency(&query_adjacency, num_data, "query adjacency", "data")?;
+    validate_adjacency(&data_adjacency, num_queries, "data adjacency", "query")?;
+
+    // Cross-check the two directions: the data-side degrees implied by the query adjacency
+    // must equal the data offsets (and symmetrically), so the container cannot smuggle in two
+    // inconsistent edge sets.
+    let mut data_degree = vec![0u64; num_data];
+    for &v in &query_adjacency {
+        data_degree[v as usize] += 1;
+    }
+    for v in 0..num_data {
+        if data_offsets[v + 1] - data_offsets[v] != data_degree[v] {
+            return Err(corrupt(format!(
+                "data vertex {v} has degree {} in the query adjacency but {} in the data offsets",
+                data_degree[v],
+                data_offsets[v + 1] - data_offsets[v]
+            )));
+        }
+    }
+    // Every data vertex's query list is emitted by the builder's counting sort in ascending
+    // query order — enforce that too (fused with the degree count below, one pass), so
+    // out-of-order corruption that happens to preserve degrees is still rejected.
+    let mut query_degree = vec![0u64; num_queries];
+    for v in 0..num_data {
+        let row = &data_adjacency[data_offsets[v] as usize..data_offsets[v + 1] as usize];
+        let mut previous = 0u32;
+        for &q in row {
+            if q < previous {
+                return Err(corrupt(format!(
+                    "data vertex {v}'s query list is not in ascending query order"
+                )));
+            }
+            previous = q;
+            query_degree[q as usize] += 1;
+        }
+    }
+    for q in 0..num_queries {
+        if query_offsets[q + 1] - query_offsets[q] != query_degree[q] {
+            return Err(corrupt(format!(
+                "query {q} has degree {} in the data adjacency but {} in the query offsets",
+                query_degree[q],
+                query_offsets[q + 1] - query_offsets[q]
+            )));
+        }
+    }
+
+    Ok(BipartiteGraph::from_csr(
+        query_offsets,
+        query_adjacency,
+        data_offsets,
+        data_adjacency,
+        data_weights,
+    ))
+}
+
+fn read_u32(bytes: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(bytes[at..at + 4].try_into().expect("bounds checked"))
+}
+
+fn read_u64(bytes: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(bytes[at..at + 8].try_into().expect("bounds checked"))
+}
+
+fn take_u64s(bytes: &[u8], pos: &mut usize, count: usize) -> Vec<u64> {
+    let slice = &bytes[*pos..*pos + count * 8];
+    *pos += count * 8;
+    slice
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("chunk is 8 bytes")))
+        .collect()
+}
+
+fn take_u32s(bytes: &[u8], pos: &mut usize, count: usize) -> Vec<u32> {
+    let slice = &bytes[*pos..*pos + count * 4];
+    *pos += count * 4;
+    slice
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().expect("chunk is 4 bytes")))
+        .collect()
+}
+
+fn validate_offsets(offsets: &[u64], num_pins: usize, side: &str) -> Result<()> {
+    if offsets.first() != Some(&0) {
+        return Err(corrupt(format!("{side} offsets do not start at 0")));
+    }
+    if offsets.windows(2).any(|w| w[1] < w[0]) {
+        return Err(corrupt(format!("{side} offsets are not monotonic")));
+    }
+    let last = *offsets.last().expect("offsets are non-empty");
+    if last != num_pins as u64 {
+        return Err(corrupt(format!(
+            "{side} offsets end at {last} but the header declares {num_pins} pins"
+        )));
+    }
+    Ok(())
+}
+
+fn validate_adjacency(adjacency: &[u32], bound: usize, what: &str, target: &str) -> Result<()> {
+    for &id in adjacency {
+        if id as usize >= bound {
+            return Err(corrupt(format!(
+                "{what} references {target} vertex {id} out of range (count {bound})"
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn figure1() -> BipartiteGraph {
+        let mut b = GraphBuilder::new();
+        b.add_query([0u32, 1, 5]);
+        b.add_query([0u32, 1, 2, 3]);
+        b.add_query([3u32, 4, 5]);
+        b.build().unwrap()
+    }
+
+    fn encode(graph: &BipartiteGraph) -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_shpb(graph, &mut buf).unwrap();
+        buf
+    }
+
+    #[test]
+    fn roundtrip_preserves_graph_and_weights() {
+        let plain = figure1();
+        assert_eq!(parse_shpb_bytes(&encode(&plain)).unwrap(), plain);
+
+        let weighted = figure1().with_data_weights(vec![1, 2, 3, 4, 5, 6]).unwrap();
+        let decoded = parse_shpb_bytes(&encode(&weighted)).unwrap();
+        assert_eq!(decoded, weighted);
+        assert!(decoded.has_weights());
+        assert_eq!(decoded.data_weight(5), 6);
+    }
+
+    #[test]
+    fn roundtrip_of_the_empty_graph() {
+        let empty = GraphBuilder::new().build().unwrap();
+        assert_eq!(parse_shpb_bytes(&encode(&empty)).unwrap(), empty);
+    }
+
+    #[test]
+    fn writing_is_deterministic() {
+        assert_eq!(encode(&figure1()), encode(&figure1()));
+    }
+
+    #[test]
+    fn every_truncation_is_rejected_without_panicking() {
+        let full = encode(&figure1());
+        for len in 0..full.len() {
+            let err =
+                parse_shpb_bytes(&full[..len]).expect_err("every proper prefix must be rejected");
+            assert!(
+                matches!(err, GraphError::Binary { .. }),
+                "prefix of {len} bytes produced {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = encode(&figure1());
+        bytes.push(0);
+        assert!(matches!(
+            parse_shpb_bytes(&bytes),
+            Err(GraphError::Binary { .. })
+        ));
+    }
+
+    #[test]
+    fn header_corruption_fails_the_checksum() {
+        let clean = encode(&figure1());
+        // Flip one bit in every header byte that participates in the checksum (skipping the
+        // magic and version, which have their own errors).
+        for at in 8..40 {
+            let mut bytes = clean.clone();
+            bytes[at] ^= 0x01;
+            let err = parse_shpb_bytes(&bytes).expect_err("corrupt header must be rejected");
+            assert!(
+                err.to_string().contains("checksum"),
+                "byte {at}: expected a checksum failure, got {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_future_version_are_typed() {
+        let clean = encode(&figure1());
+
+        let mut wrong_magic = clean.clone();
+        wrong_magic[0] = b'X';
+        assert!(matches!(
+            parse_shpb_bytes(&wrong_magic),
+            Err(GraphError::Binary { .. })
+        ));
+
+        let mut future = clean.clone();
+        future[4..8].copy_from_slice(&(SHPB_VERSION + 1).to_le_bytes());
+        // Keep the header checksum valid so the version check is what fires.
+        let checksum = fnv1a64(&future[..40]);
+        future[40..48].copy_from_slice(&checksum.to_le_bytes());
+        assert!(matches!(
+            parse_shpb_bytes(&future),
+            Err(GraphError::UnsupportedVersion { found, supported })
+                if found == SHPB_VERSION + 1 && supported == SHPB_VERSION
+        ));
+    }
+
+    #[test]
+    fn body_corruption_is_caught_by_csr_validation() {
+        let clean = encode(&figure1());
+        // Corrupt a query adjacency entry to an out-of-range data id.
+        let adjacency_start = HEADER_LEN + (3 + 1) * 8;
+        let mut bytes = clean.clone();
+        bytes[adjacency_start..adjacency_start + 4].copy_from_slice(&999u32.to_le_bytes());
+        let err = parse_shpb_bytes(&bytes).expect_err("out-of-range id must be rejected");
+        assert!(err.to_string().contains("out of range"), "{err}");
+
+        // Rewrite one pin to an in-range but wrong data id (query 0's pins [0, 1, 5] become
+        // [0, 1, 0]): every id stays in range, but the per-vertex degrees no longer match the
+        // data offsets.
+        let mut rewritten = clean.clone();
+        let third_pin = adjacency_start + 8;
+        rewritten[third_pin..third_pin + 4].copy_from_slice(&0u32.to_le_bytes());
+        let err = parse_shpb_bytes(&rewritten).expect_err("degree mismatch must be rejected");
+        assert!(err.to_string().contains("degree"), "{err}");
+
+        // Swap the two queries inside data vertex 0's list ([0, 1] -> [1, 0]): every degree
+        // is preserved, so only the ascending-order check can catch it.
+        let data_adjacency_start = HEADER_LEN + (3 + 1) * 8 + 10 * 4 + (6 + 1) * 8;
+        let mut disordered = clean.clone();
+        for i in 0..4 {
+            disordered.swap(data_adjacency_start + i, data_adjacency_start + 4 + i);
+        }
+        let err = parse_shpb_bytes(&disordered).expect_err("row disorder must be rejected");
+        assert!(err.to_string().contains("ascending"), "{err}");
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("shp-shpb-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("graph.shpb");
+        let g = figure1().with_data_weights(vec![2; 6]).unwrap();
+        write_shpb_file(&g, &path).unwrap();
+        assert_eq!(read_shpb_file(&path).unwrap(), g);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -18,8 +18,9 @@
 //! * [`metrics`] — fanout, probabilistic fanout, hyperedge cut, sum of external degrees,
 //!   weighted edge cut of the clique-net graph, and imbalance.
 //! * [`clique`] — construction of the clique-net (weighted unipartite) graph of Lemma 2.
-//! * [`io`] — plain-text readers/writers (bipartite edge list, hMetis hypergraph format,
-//!   partition files).
+//! * [`io`] — readers/writers for the bipartite edge list, hMetis, and `.shpb` compact
+//!   binary graph formats plus partition files, with zero-copy parallel text parsing and
+//!   format autodetection.
 //! * [`stats`] — dataset statistics as reported in Table 1 of the paper.
 
 #![forbid(unsafe_code)]
@@ -36,7 +37,7 @@ pub mod partition;
 pub mod stats;
 
 pub use bipartite::{BipartiteGraph, DataId, QueryId};
-pub use builder::GraphBuilder;
+pub use builder::{BuildKernel, GraphBuilder};
 pub use clique::CliqueNetGraph;
 pub use error::{GraphError, Result};
 pub use hypergraph::Hypergraph;

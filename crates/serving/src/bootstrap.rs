@@ -1,0 +1,105 @@
+//! Warm-starting a serving tier from on-disk artifacts.
+//!
+//! A production restart should not re-derive its world: the graph can be loaded from the
+//! `.shpb` compact binary container (skipping text parsing entirely — see
+//! [`shp_hypergraph::io::shpb`]) and the placement from a previously computed partition
+//! file, so [`crate::ServingEngine::new`] starts serving on the last known-good placement
+//! immediately while any repartition runs off the serving path and lands through
+//! [`crate::ServingEngine::install_partition`].
+//!
+//! Loading is an IO concern, so failures are [`GraphError`]s (typed parse/binary errors with
+//! line numbers or section diagnostics), which the CLI composes into `ShpError` via `?`.
+
+use shp_hypergraph::io;
+use shp_hypergraph::{BipartiteGraph, GraphError, Partition};
+use std::path::Path;
+
+/// Everything needed to warm-start a [`crate::ServingEngine`] from disk.
+#[derive(Debug)]
+pub struct WarmStart {
+    /// The serving graph (key universe + multiget shapes).
+    pub graph: BipartiteGraph,
+    /// The placement to start serving under, when a partition file was supplied.
+    pub partition: Option<Partition>,
+}
+
+/// Loads a warm start: a graph in any supported format (autodetected; `.shpb` skips parsing
+/// entirely) and optionally a partition file validated against that graph and `k`.
+///
+/// Text formats are parsed with up to `workers` threads; the loaded graph is bit-identical
+/// for every worker count.
+pub fn load_warm_start<P: AsRef<Path>, Q: AsRef<Path>>(
+    graph_path: P,
+    partition_path: Option<Q>,
+    k: u32,
+    workers: usize,
+) -> Result<WarmStart, GraphError> {
+    let graph = io::read_graph_file_with(graph_path, workers)?;
+    let partition = match partition_path {
+        Some(path) => Some(io::read_partition_file(&graph, k, path)?),
+        None => None,
+    };
+    Ok(WarmStart { graph, partition })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EngineConfig, ServingEngine};
+    use shp_hypergraph::GraphBuilder;
+
+    fn two_communities() -> BipartiteGraph {
+        let mut b = GraphBuilder::new();
+        b.add_query([0u32, 1, 2]);
+        b.add_query([3u32, 4, 5]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn warm_start_from_shpb_graph_and_partition_file_serves_immediately() {
+        let dir = std::env::temp_dir().join(format!("shp-bootstrap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let graph_path = dir.join("g.shpb");
+        let part_path = dir.join("g.part");
+
+        let graph = two_communities();
+        io::write_shpb_file(&graph, &graph_path).unwrap();
+        let aligned = Partition::from_assignment(&graph, 2, vec![0, 0, 0, 1, 1, 1]).unwrap();
+        io::write_partition_file(&aligned, &part_path).unwrap();
+
+        let warm = load_warm_start(&graph_path, Some(&part_path), 2, 4).unwrap();
+        assert_eq!(warm.graph, graph);
+        let partition = warm.partition.expect("partition file was supplied");
+        assert_eq!(partition, aligned);
+
+        // The loaded placement drives a live engine: community-aligned ⇒ fanout 1.
+        let engine = ServingEngine::new(&partition, EngineConfig::default()).unwrap();
+        let result = engine.multiget(warm.graph.query_neighbors(0)).unwrap();
+        assert_eq!(result.fanout, 1);
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn warm_start_without_partition_loads_only_the_graph() {
+        let dir = std::env::temp_dir().join(format!("shp-bootstrap-np-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let graph_path = dir.join("g.hgr");
+        io::write_hmetis_file(&two_communities(), &graph_path).unwrap();
+        let warm = load_warm_start(&graph_path, None::<&Path>, 2, 1).unwrap();
+        assert!(warm.partition.is_none());
+        assert_eq!(warm.graph.num_data(), 6);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn warm_start_surfaces_typed_graph_errors() {
+        let dir = std::env::temp_dir().join(format!("shp-bootstrap-err-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let graph_path = dir.join("g.shpb");
+        std::fs::write(&graph_path, b"SHPB but truncated").unwrap();
+        let err = load_warm_start(&graph_path, None::<&Path>, 2, 1).unwrap_err();
+        assert!(matches!(err, GraphError::Binary { .. }), "{err:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

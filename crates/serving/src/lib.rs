@@ -55,6 +55,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bootstrap;
 pub mod cache;
 pub mod engine;
 pub mod error;
@@ -64,6 +65,7 @@ pub mod router;
 pub mod store;
 pub mod workload;
 
+pub use bootstrap::{load_warm_start, WarmStart};
 pub use cache::{CacheStats, HotKeyCache};
 pub use engine::{EngineConfig, Generation, MultigetResult, ServingEngine};
 pub use error::{Result, ServingError};

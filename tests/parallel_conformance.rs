@@ -349,6 +349,147 @@ fn map_vec_propagates_panics_and_recovers() {
     assert_eq!(ok, vec![0, 2, 4, 6, 8, 10, 12, 14]);
 }
 
+// ---------------------------------------------------------------------------------------------
+// Ingestion: the zero-copy parallel parsers and the flat-arena CSR build
+// ---------------------------------------------------------------------------------------------
+
+/// Renders the conformance graphs in both text formats for the parse comparisons.
+fn ingest_fixtures() -> Vec<(&'static str, Vec<u8>, Vec<u8>)> {
+    [
+        ("planted", planted_graph()),
+        ("power_law", power_law_graph()),
+    ]
+    .into_iter()
+    .map(|(name, graph)| {
+        let mut edge_list = Vec::new();
+        shp::hypergraph::io::write_edge_list(&graph, &mut edge_list).unwrap();
+        let mut hmetis = Vec::new();
+        shp::hypergraph::io::write_hmetis(&graph, &mut hmetis).unwrap();
+        (name, edge_list, hmetis)
+    })
+    .collect()
+}
+
+/// The zero-copy chunked parsers must produce **byte-identical graphs** to the retained
+/// legacy readers (per-line `String`s + the `BuildKernel::Legacy` per-query-`Vec` CSR build)
+/// for every worker count, on both text formats.
+#[test]
+fn parallel_parsing_is_bit_identical_to_the_legacy_readers() {
+    use shp::hypergraph::io;
+    for (name, edge_list, hmetis) in ingest_fixtures() {
+        let edge_oracle = io::read_edge_list_legacy(&edge_list[..]).unwrap();
+        let hmetis_oracle = io::read_hmetis_legacy(&hmetis[..]).unwrap();
+        for workers in worker_counts() {
+            assert_eq!(
+                io::parse_edge_list_bytes(&edge_list, workers).unwrap(),
+                edge_oracle,
+                "{name}: edge-list parse diverged at workers={workers}"
+            );
+            assert_eq!(
+                io::parse_hmetis_bytes(&hmetis, workers).unwrap(),
+                hmetis_oracle,
+                "{name}: hmetis parse diverged at workers={workers}"
+            );
+        }
+    }
+}
+
+/// On malformed input, every worker count must report the **same `GraphError::Parse` line
+/// number and message** as the sequential legacy reader — chunked parsing merges results in
+/// chunk order precisely so errors stay deterministic.
+#[test]
+fn parallel_parse_errors_carry_identical_line_numbers() {
+    use shp::hypergraph::io;
+    use shp::hypergraph::GraphError;
+
+    let parse_failure = |result: Result<shp::hypergraph::BipartiteGraph, GraphError>,
+                         context: &str|
+     -> (usize, String) {
+        match result {
+            Err(GraphError::Parse { line, message }) => (line, message),
+            other => panic!("{context}: expected a parse error, got {other:?}"),
+        }
+    };
+
+    for (name, mut edge_list, mut hmetis) in ingest_fixtures() {
+        // Corrupt a line roughly 70% in, so at higher worker counts the bad line sits in the
+        // middle of a later chunk, after blank and comment lines have skewed naive counting.
+        let corrupt = |bytes: &mut Vec<u8>, payload: &[u8]| {
+            let newlines: Vec<usize> = bytes
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &b)| (b == b'\n').then_some(i))
+                .collect();
+            let at = newlines[newlines.len() * 7 / 10];
+            bytes.splice(
+                at..at,
+                b"\n# note\n\n"
+                    .iter()
+                    .copied()
+                    .chain(payload.iter().copied()),
+            );
+        };
+        corrupt(&mut edge_list, b"12 oops extra");
+        corrupt(&mut hmetis, b"7 0 3");
+
+        let edge_expected = parse_failure(
+            io::read_edge_list_legacy(&edge_list[..]),
+            &format!("{name}: legacy edge list"),
+        );
+        let hmetis_expected = parse_failure(
+            io::read_hmetis_legacy(&hmetis[..]),
+            &format!("{name}: legacy hmetis"),
+        );
+        for workers in worker_counts() {
+            assert_eq!(
+                parse_failure(
+                    io::parse_edge_list_bytes(&edge_list, workers),
+                    &format!("{name}: edge list workers={workers}"),
+                ),
+                edge_expected,
+                "{name}: edge-list error diverged at workers={workers}"
+            );
+            assert_eq!(
+                parse_failure(
+                    io::parse_hmetis_bytes(&hmetis, workers),
+                    &format!("{name}: hmetis workers={workers}"),
+                ),
+                hmetis_expected,
+                "{name}: hmetis error diverged at workers={workers}"
+            );
+        }
+    }
+}
+
+/// The flat-arena builder's parallel CSR assembly (counting-sort + partitioned transpose)
+/// must be bit-identical across worker counts and to the legacy per-query-`Vec` kernel.
+#[test]
+fn flat_builder_csr_is_bit_identical_across_workers_and_kernels() {
+    use shp::hypergraph::{BuildKernel, GraphBuilder};
+    let source = power_law_graph();
+    let oracle = {
+        let mut b = GraphBuilder::new().with_kernel(BuildKernel::Legacy);
+        for q in source.queries() {
+            b.add_query_slice(source.query_neighbors(q));
+        }
+        b.ensure_data_count(source.num_data());
+        b.build().unwrap()
+    };
+    assert_eq!(oracle, source);
+    for workers in worker_counts() {
+        let mut b = GraphBuilder::new().with_workers(workers);
+        for q in source.queries() {
+            b.add_query_slice(source.query_neighbors(q));
+        }
+        b.ensure_data_count(source.num_data());
+        assert_eq!(
+            b.build().unwrap(),
+            oracle,
+            "flat build diverged at workers={workers}"
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 

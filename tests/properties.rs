@@ -4,7 +4,7 @@
 use proptest::prelude::*;
 use shp::core::{partition_direct, partition_recursive, NeighborData, Objective, ShpConfig};
 use shp::hypergraph::{
-    average_fanout, average_p_fanout, metrics, weighted_edge_cut, GraphBuilder, Partition,
+    average_fanout, average_p_fanout, io, metrics, weighted_edge_cut, GraphBuilder, Partition,
 };
 
 /// Strategy: an arbitrary small hypergraph as a list of hyperedges over up to `max_data`
@@ -202,5 +202,68 @@ proptest! {
         prop_assert!((histogram.mean() - average_fanout(&graph, &partition)).abs() < 1e-9);
         prop_assert_eq!(histogram.total(), graph.num_queries() as u64);
         prop_assert_eq!(histogram.max() as u32, metrics::max_fanout(&graph, &partition));
+    }
+
+    /// The hMetis and `.shpb` formats round-trip arbitrary hypergraphs exactly — including
+    /// isolated data vertices, and for `.shpb` the data weights; serialization is
+    /// deterministic, and parsing is identical across worker counts and build kernels.
+    #[test]
+    fn hmetis_and_shpb_roundtrips_preserve_the_graph(
+        edges in arb_hypergraph(40, 30),
+        weight_seed in 0u32..1000,
+    ) {
+        let graph = GraphBuilder::from_hyperedges(edges).unwrap();
+
+        let mut hmetis = Vec::new();
+        io::write_hmetis(&graph, &mut hmetis).unwrap();
+        prop_assert_eq!(&io::read_hmetis(&hmetis[..]).unwrap(), &graph);
+        prop_assert_eq!(&io::read_hmetis_legacy(&hmetis[..]).unwrap(), &graph);
+        for workers in [2usize, 4, 8] {
+            prop_assert_eq!(&io::parse_hmetis_bytes(&hmetis, workers).unwrap(), &graph);
+        }
+        let mut hmetis_again = Vec::new();
+        io::write_hmetis(&io::read_hmetis(&hmetis[..]).unwrap(), &mut hmetis_again).unwrap();
+        prop_assert_eq!(&hmetis, &hmetis_again, "hmetis writing must be deterministic");
+
+        // `.shpb` additionally carries data weights.
+        let weights: Vec<u32> =
+            (0..graph.num_data() as u32).map(|v| (v * 7 + weight_seed) % 100 + 1).collect();
+        let weighted = graph.clone().with_data_weights(weights).unwrap();
+        for g in [&graph, &weighted] {
+            let mut binary = Vec::new();
+            io::write_shpb(g, &mut binary).unwrap();
+            let decoded = io::parse_shpb_bytes(&binary).unwrap();
+            prop_assert_eq!(&decoded, g);
+            prop_assert_eq!(decoded.has_weights(), g.has_weights());
+            let mut binary_again = Vec::new();
+            io::write_shpb(&decoded, &mut binary_again).unwrap();
+            prop_assert_eq!(&binary, &binary_again, "shpb writing must be deterministic");
+        }
+    }
+
+    /// The edge-list format stores only the edges, so its round-trip target is the
+    /// edge-normalized graph (no empty queries, no trailing isolated data vertices): parsing
+    /// a written edge list equals rebuilding from the edge pairs, for every worker count and
+    /// both build kernels, and a second write is byte-identical.
+    #[test]
+    fn edge_list_roundtrip_is_stable_and_kernel_independent(
+        edges in arb_hypergraph(40, 30),
+    ) {
+        let graph = GraphBuilder::from_hyperedges(edges).unwrap();
+        let pairs: Vec<(u32, u32)> = graph.edges().collect();
+        let normalized = GraphBuilder::from_edge_list(&pairs).unwrap();
+
+        let mut text = Vec::new();
+        io::write_edge_list(&graph, &mut text).unwrap();
+        let parsed = io::read_edge_list(&text[..]).unwrap();
+        prop_assert_eq!(&parsed, &normalized);
+        prop_assert_eq!(&io::read_edge_list_legacy(&text[..]).unwrap(), &normalized);
+        for workers in [2usize, 4, 8] {
+            prop_assert_eq!(&io::parse_edge_list_bytes(&text, workers).unwrap(), &normalized);
+        }
+
+        let mut text_again = Vec::new();
+        io::write_edge_list(&parsed, &mut text_again).unwrap();
+        prop_assert_eq!(&text, &text_again, "edge-list writing must be deterministic");
     }
 }

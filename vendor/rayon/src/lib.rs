@@ -321,6 +321,57 @@ pub mod pool {
         }))
     }
 
+    /// Runs `f` over **disjoint consecutive mutable parts** of `data`, one scoped thread per
+    /// part: part `i` is the slice holding the next `part_sizes[i]` items, and `f` receives
+    /// `(i, &mut part)`. The split is produced with `split_at_mut`, so the parts provably
+    /// alias nothing — this is the safe primitive behind the parallel CSR scatter in
+    /// `shp-hypergraph`'s graph builder, where each worker owns the output rows of its data
+    /// range.
+    ///
+    /// Determinism contract: `f` mutates only its own part (plus any `Sync` shared reads), so
+    /// the final contents of `data` are a pure function of the inputs and `f`, independent of
+    /// scheduling. Zero-sized parts are passed through as empty slices. With at most one
+    /// non-empty part (or one part total) `f` runs sequentially on the caller.
+    ///
+    /// # Panics
+    /// Panics if `part_sizes` does not sum to exactly `data.len()`. A panicking task follows
+    /// the same protocol as every other scheduler here: all threads are joined, then the
+    /// panic of the earliest part (in part order) is resumed on the caller.
+    pub fn for_each_part_mut<T, F>(data: &mut [T], part_sizes: &[usize], f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        let total: usize = part_sizes.iter().sum();
+        assert_eq!(
+            total,
+            data.len(),
+            "part sizes must cover the slice exactly (sum {total}, len {})",
+            data.len()
+        );
+        let mut parts: Vec<(usize, &mut [T])> = Vec::with_capacity(part_sizes.len());
+        let mut rest = data;
+        for (i, &size) in part_sizes.iter().enumerate() {
+            let (head, tail) = rest.split_at_mut(size);
+            parts.push((i, head));
+            rest = tail;
+        }
+        if part_sizes.iter().filter(|&&size| size > 0).count() <= 1 {
+            for (i, part) in parts {
+                f(i, part);
+            }
+            return;
+        }
+        let f = &f;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = parts
+                .into_iter()
+                .map(|(i, part)| scope.spawn(move || f(i, part)))
+                .collect();
+            join_in_chunk_order(handles);
+        });
+    }
+
     fn concat<T>(chunks: Vec<Vec<T>>) -> Vec<T> {
         let total = chunks.iter().map(Vec::len).sum();
         let mut out = Vec::with_capacity(total);
@@ -499,6 +550,75 @@ mod tests {
             let ok = pool::map_index(10_000, 4, |i| i);
             assert_eq!(ok.len(), 10_000);
         }
+    }
+
+    #[test]
+    fn for_each_part_mut_writes_every_part_exactly_once() {
+        let mut data = vec![0u32; 1_000];
+        let sizes = [0usize, 137, 0, 400, 463];
+        pool::for_each_part_mut(&mut data, &sizes, |i, part| {
+            for slot in part.iter_mut() {
+                *slot = i as u32 + 1;
+            }
+        });
+        let expected: Vec<u32> = std::iter::empty()
+            .chain(std::iter::repeat_n(2u32, 137))
+            .chain(std::iter::repeat_n(4u32, 400))
+            .chain(std::iter::repeat_n(5u32, 463))
+            .collect();
+        assert_eq!(data, expected);
+    }
+
+    #[test]
+    fn for_each_part_mut_single_part_runs_on_the_caller() {
+        let caller = std::thread::current().id();
+        let mut data = vec![0u64; 16];
+        pool::for_each_part_mut(&mut data, &[16], |_, part| {
+            assert_eq!(std::thread::current().id(), caller);
+            part[0] = 7;
+        });
+        assert_eq!(data[0], 7);
+
+        // Same when only one part is non-empty: no thread spawns, every part still visited.
+        let visited = std::sync::atomic::AtomicUsize::new(0);
+        pool::for_each_part_mut(&mut data, &[0, 0, 16], |i, part| {
+            assert_eq!(std::thread::current().id(), caller);
+            assert_eq!(part.len(), if i == 2 { 16 } else { 0 });
+            visited.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        });
+        assert_eq!(visited.load(std::sync::atomic::Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover the slice exactly")]
+    fn for_each_part_mut_rejects_uncovering_sizes() {
+        let mut data = vec![0u8; 10];
+        pool::for_each_part_mut(&mut data, &[3, 3], |_, _| {});
+    }
+
+    #[test]
+    fn for_each_part_mut_propagates_earliest_panic_without_deadlock() {
+        let mut data = vec![0u8; 300];
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool::for_each_part_mut(&mut data, &[100, 100, 100], |i, _| {
+                if i >= 1 {
+                    panic!("part {i} failed");
+                }
+            });
+        }));
+        let payload = caught.expect_err("must panic");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(message.contains("part 1"), "{message:?}");
+        // The scheduler is stateless: the next call must work.
+        pool::for_each_part_mut(&mut data, &[150, 150], |_, part| {
+            for slot in part.iter_mut() {
+                *slot = 1;
+            }
+        });
+        assert!(data.iter().all(|&b| b == 1));
     }
 
     #[test]
