@@ -19,6 +19,10 @@ pub const BENCH_JSON_NAME: &str = "BENCH_refinement.json";
 /// repository root.
 pub const BENCH_INGEST_JSON_NAME: &str = "BENCH_ingest.json";
 
+/// The telemetry-trajectory file name (written by the `telemetry_overhead` bench), created at
+/// the repository root.
+pub const BENCH_TELEMETRY_JSON_NAME: &str = "BENCH_telemetry.json";
+
 /// The repository root, resolved relative to this crate's manifest (`crates/bench/../..`).
 pub fn repo_root() -> PathBuf {
     let raw = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");

@@ -26,6 +26,14 @@
 //!   the unified registry, and warm-start it *live* mid-run. `--graph <file>` (ideally a
 //!   `.shpb` snapshot) plus `--partition <file>` warm-start serving from on-disk artifacts:
 //!   the engine opens on the saved placement instead of a random one.
+//! * `metrics <snapshot.json> [--prometheus]` — pretty-print a telemetry snapshot written by
+//!   `--metrics`, or re-emit it in Prometheus text exposition format.
+//!
+//! `partition`, `replay`, and `serve` accept `--metrics <file>`: the run's telemetry —
+//! counters, phase spans, latency/fanout histograms, and hot keys from `shp-telemetry` — is
+//! exported as a JSON snapshot (or Prometheus text when the path ends in `.prom`). `replay`
+//! and `serve` rewrite the file roughly once a second while the workload runs, so a live run
+//! can be scraped mid-flight; the final write supersedes every periodic one.
 //!
 //! Every failure path is a typed [`ShpError`]; `?` composes from file parsing through
 //! partitioning to the serving engine without a single stringly-typed error.
@@ -42,8 +50,10 @@ use shp_hypergraph::{
     average_fanout, average_p_fanout, hyperedge_cut, io, BipartiteGraph, GraphStats,
 };
 use shp_serving::{open_loop_schedule, EngineConfig, ServingEngine, WorkloadConfig};
+use shp_telemetry::Snapshot;
 use std::process::ExitCode;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -55,6 +65,7 @@ fn main() -> ExitCode {
         Some("evaluate") => cmd_evaluate(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("metrics") => cmd_metrics(&args[1..]),
         _ => {
             eprintln!("{USAGE}");
             return ExitCode::from(2);
@@ -74,17 +85,20 @@ const USAGE: &str = "usage:
   shp algorithms
   shp convert <input> <output> [--from <format>] [--to <format>] [--workers <n>]
   shp partition <input> <k> <output.part> [--mode <algorithm>] [--p <p>] [--epsilon <eps>]
-                [--seed <seed>] [--iterations <n>] [--workers <n>] [--json]
+                [--seed <seed>] [--iterations <n>] [--workers <n>] [--metrics <file>] [--json]
   shp evaluate <input> <partition.part> <k> [--json]
   shp replay [--dataset <name> | --graph <file>] [--scale <s>] [--shards <k>] [--rate <r>]
              [--duration <d>] [--clients <n>] [--cache <capacity>] [--seed <seed>]
-             [--workers <n>]
+             [--workers <n>] [--metrics <file>]
   shp serve  [--dataset <name> | --graph <file>] [--partition <file>] [--scale <s>]
              [--shards <k>] [--rate <r>] [--duration <d>] [--clients <n>]
-             [--cache <capacity>] [--seed <seed>] [--workers <n>]
+             [--cache <capacity>] [--seed <seed>] [--workers <n>] [--metrics <file>]
+  shp metrics <snapshot.json> [--prometheus]
 
 `shp algorithms` lists the names accepted by --mode. Graph inputs may be edge-list, hMetis,
 or .shpb binary files (autodetected; see `shp convert --help`).
+--metrics exports the run's telemetry snapshot: JSON by default, Prometheus text exposition
+format when the path ends in .prom; `shp metrics <file>` pretty-prints a JSON snapshot.
 datasets: email-Enron soc-Epinions web-Stanford web-BerkStan soc-Pokec soc-LJ FB-10M FB-50M FB-2B FB-5B FB-10B";
 
 const CONVERT_HELP: &str =
@@ -113,6 +127,124 @@ round-trip every graph exactly (shpb including data weights).";
 
 fn usage_error(message: impl Into<String>) -> ShpError {
     ShpError::InvalidArgument(format!("{}\n{USAGE}", message.into()))
+}
+
+/// Writes a telemetry snapshot to `path`: Prometheus text exposition format when the path
+/// ends in `.prom`, pretty-printed JSON otherwise.
+fn write_metrics_file(path: &str, snapshot: &Snapshot) -> ShpResult<()> {
+    let body = if path.ends_with(".prom") {
+        snapshot.to_prometheus()
+    } else {
+        snapshot.to_json()
+    };
+    std::fs::write(path, body)
+        .map_err(|error| ShpError::Runtime(format!("cannot write metrics file {path:?}: {error}")))
+}
+
+/// The snapshotter polls the stop flag every tick and rewrites the `--metrics` file every
+/// [`TICKS_PER_SNAPSHOT`] ticks (~1 s), so a finished run never waits a full period to exit.
+const METRICS_TICK: Duration = Duration::from_millis(25);
+const TICKS_PER_SNAPSHOT: u32 = 40;
+
+/// Runs `body` while a background thread rewrites `path` with a fresh snapshot roughly once a
+/// second (no thread, no writes when `path` is `None`). Mid-run write failures are tolerated —
+/// the caller's final write after the run is the one that reports errors.
+fn with_periodic_snapshots<T>(
+    path: Option<&str>,
+    snapshot_now: &(dyn Fn() -> Snapshot + Sync),
+    body: impl FnOnce() -> ShpResult<T>,
+) -> ShpResult<T> {
+    let Some(path) = path else { return body() };
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let writer = scope.spawn(|| {
+            let mut ticks = 0u32;
+            while !stop.load(Ordering::Relaxed) {
+                std::thread::sleep(METRICS_TICK);
+                ticks += 1;
+                if ticks >= TICKS_PER_SNAPSHOT {
+                    ticks = 0;
+                    let _ = write_metrics_file(path, &snapshot_now());
+                }
+            }
+        });
+        let result = body();
+        stop.store(true, Ordering::Relaxed);
+        writer.join().expect("metrics snapshot thread panicked");
+        result
+    })
+}
+
+fn cmd_metrics(args: &[String]) -> ShpResult<()> {
+    let (path, prometheus) = match args {
+        [path] => (path, false),
+        [path, flag] if flag == "--prometheus" => (path, true),
+        _ => return Err(usage_error("metrics needs a snapshot file")),
+    };
+    let text = std::fs::read_to_string(path)
+        .map_err(|error| ShpError::InvalidArgument(format!("cannot read {path:?}: {error}")))?;
+    let snapshot = Snapshot::from_json(&text)
+        .map_err(|error| ShpError::InvalidArgument(format!("{path}: {error}")))?;
+    if prometheus {
+        print!("{}", snapshot.to_prometheus());
+        return Ok(());
+    }
+    println!("telemetry snapshot {path} (schema v{})", snapshot.version);
+    if !snapshot.counters.is_empty() {
+        println!("\ncounters:");
+        for (name, value) in &snapshot.counters {
+            println!("  {name:<44} {value:>12}");
+        }
+    }
+    if !snapshot.gauges.is_empty() {
+        println!("\ngauges:");
+        for (name, value) in &snapshot.gauges {
+            println!("  {name:<44} {value:>12.4}");
+        }
+    }
+    if !snapshot.histograms.is_empty() {
+        println!(
+            "\nhistograms:{:36}{:>9} {:>11} {:>11} {:>11} {:>11}",
+            "", "count", "mean", "p50", "p99", "max"
+        );
+        for (name, h) in &snapshot.histograms {
+            println!(
+                "  {name:<44} {:>9} {:>11.4} {:>11.4} {:>11.4} {:>11.4}",
+                h.count,
+                h.mean(),
+                h.quantile(0.50),
+                h.quantile(0.99),
+                h.max
+            );
+        }
+    }
+    if !snapshot.spans.is_empty() {
+        println!(
+            "\nspans:{:41}{:>9} {:>13} {:>13}",
+            "", "count", "total ms", "max ms"
+        );
+        for (name, s) in &snapshot.spans {
+            println!(
+                "  {name:<44} {:>9} {:>13.3} {:>13.3}",
+                s.count,
+                s.total_ns as f64 / 1e6,
+                s.max_ns as f64 / 1e6
+            );
+        }
+    }
+    if !snapshot.top_keys.is_empty() {
+        println!("\nhot keys:");
+        for (name, keys) in &snapshot.top_keys {
+            let rendered: Vec<String> = keys
+                .entries
+                .iter()
+                .take(8)
+                .map(|(key, count)| format!("{key}x{count}"))
+                .collect();
+            println!("  {name:<44} {}", rendered.join("  "));
+        }
+    }
+    Ok(())
 }
 
 fn cmd_generate(args: &[String]) -> ShpResult<()> {
@@ -241,6 +373,7 @@ fn cmd_partition(args: &[String]) -> ShpResult<()> {
     let mut iterations: Option<usize> = None;
     let mut workers = 4usize;
     let mut json = false;
+    let mut metrics: Option<String> = None;
     let mut i = 3;
     while i < args.len() {
         let flag = args[i].as_str();
@@ -281,6 +414,7 @@ fn cmd_partition(args: &[String]) -> ShpResult<()> {
                     .parse()
                     .map_err(|_| ShpError::InvalidArgument("--workers needs a number".into()))?
             }
+            "--metrics" => metrics = Some(value()?.clone()),
             other => {
                 return Err(ShpError::InvalidArgument(format!(
                     "unknown option {other:?}"
@@ -310,6 +444,12 @@ fn cmd_partition(args: &[String]) -> ShpResult<()> {
     let registry = full_registry();
     let outcome = registry.run(&mode, &graph, &spec, &mut NoopObserver)?;
     io::write_partition_file(&outcome.partition, output)?;
+    if let Some(path) = metrics.as_deref() {
+        // The partition phases record into the process-global registry; one snapshot after
+        // the run captures parse, CSR build, levels, refinement, and balance repair.
+        write_metrics_file(path, &shp_telemetry::global().snapshot())?;
+        eprintln!("wrote telemetry snapshot to {path}");
+    }
     if json {
         // Keep stdout machine-readable: exactly one JSON object, nothing else.
         println!("{}", outcome.to_json());
@@ -381,6 +521,9 @@ struct ServeOptions {
     cache: usize,
     seed: u64,
     workers: usize,
+    /// Export the run's telemetry snapshot to this file (rewritten roughly once a second
+    /// while the workload runs): JSON, or Prometheus text if the path ends in `.prom`.
+    metrics: Option<String>,
 }
 
 impl ServeOptions {
@@ -397,6 +540,7 @@ impl ServeOptions {
             cache: 0,
             seed: 0x5047,
             workers: 4,
+            metrics: None,
         };
         let invalid = |message: String| ShpError::InvalidArgument(message);
         let mut i = 0;
@@ -416,6 +560,7 @@ impl ServeOptions {
                     | "--cache"
                     | "--seed"
                     | "--workers"
+                    | "--metrics"
             ) {
                 return Err(invalid(format!("unknown option {:?}", args[i])));
             }
@@ -484,6 +629,7 @@ impl ServeOptions {
                         return Err(invalid("at least 1 worker is required".into()));
                     }
                 }
+                "--metrics" => options.metrics = Some(value.clone()),
                 _ => unreachable!("flag names are checked above"),
             }
             i += 2;
@@ -588,11 +734,31 @@ fn cmd_replay(args: &[String]) -> ShpResult<()> {
     let shp = options.shp_outcome(&registry, &graph)?;
 
     let mut rows: Vec<(&str, shp_serving::ServingReport)> = Vec::new();
-    for (name, outcome) in [("Random", &random), ("SHP-2", &shp)] {
+    // Telemetry from engines that already finished their workload, keyed by prefix; each
+    // periodic snapshot folds the live engine and the process-global registry on top.
+    let mut served = Snapshot::new();
+    for (name, prefix, outcome) in [
+        ("Random", "serving/random", &random),
+        ("SHP-2", "serving/shp2", &shp),
+    ] {
         let engine = ServingEngine::new(&outcome.partition, options.engine_config())?;
-        let report = engine.run_workload(&graph, &events, options.clients)?;
+        let snapshot_now = || {
+            let mut live = served.clone();
+            live.merge(&engine.telemetry_snapshot(prefix));
+            live.merge(&shp_telemetry::global().snapshot());
+            live
+        };
+        let report = with_periodic_snapshots(options.metrics.as_deref(), &snapshot_now, || {
+            Ok(engine.run_workload(&graph, &events, options.clients)?)
+        })?;
+        served.merge(&engine.telemetry_snapshot(prefix));
         println!("=== {name} ===\n{report}\n");
         rows.push((name, report));
+    }
+    if let Some(path) = options.metrics.as_deref() {
+        served.merge(&shp_telemetry::global().snapshot());
+        write_metrics_file(path, &served)?;
+        println!("wrote telemetry snapshot to {path}");
     }
 
     let (random_report, shp_report) = (&rows[0].1, &rows[1].1);
@@ -656,37 +822,49 @@ fn cmd_serve(args: &[String]) -> ShpResult<()> {
     let progress = AtomicUsize::new(0);
     let swap_at = events.len() / 2;
     let chunk = events.len().div_ceil(options.clients.max(1)).max(1);
-    let outcome: ShpResult<()> = std::thread::scope(|scope| {
-        let engine_ref = &engine;
-        let graph_ref = &graph;
-        let progress_ref = &progress;
-        let shp_ref = &shp;
-        let swapper = scope.spawn(move || -> ShpResult<u64> {
-            while progress_ref.load(Ordering::Relaxed) < swap_at {
-                std::thread::yield_now();
-            }
-            Ok(engine_ref.warm_start(shp_ref)?)
-        });
-        let clients: Vec<_> = events
-            .chunks(chunk)
-            .map(|slice| {
-                scope.spawn(move || -> ShpResult<()> {
-                    for event in slice {
-                        engine_ref.multiget(graph_ref.query_neighbors(event.query))?;
-                        progress_ref.fetch_add(1, Ordering::Relaxed);
+    let snapshot_now = || {
+        let mut live = engine.telemetry_snapshot("serving");
+        live.merge(&shp_telemetry::global().snapshot());
+        live
+    };
+    let outcome: ShpResult<()> =
+        with_periodic_snapshots(options.metrics.as_deref(), &snapshot_now, || {
+            std::thread::scope(|scope| {
+                let engine_ref = &engine;
+                let graph_ref = &graph;
+                let progress_ref = &progress;
+                let shp_ref = &shp;
+                let swapper = scope.spawn(move || -> ShpResult<u64> {
+                    while progress_ref.load(Ordering::Relaxed) < swap_at {
+                        std::thread::yield_now();
                     }
-                    Ok(())
-                })
+                    Ok(engine_ref.warm_start(shp_ref)?)
+                });
+                let clients: Vec<_> = events
+                    .chunks(chunk)
+                    .map(|slice| {
+                        scope.spawn(move || -> ShpResult<()> {
+                            for event in slice {
+                                engine_ref.multiget(graph_ref.query_neighbors(event.query))?;
+                                progress_ref.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Ok(())
+                        })
+                    })
+                    .collect();
+                for client in clients {
+                    client.join().expect("client thread panicked")?;
+                }
+                let epoch = swapper.join().expect("swapper thread panicked")?;
+                println!("installed SHP-2 partition live at epoch {epoch}");
+                Ok(())
             })
-            .collect();
-        for client in clients {
-            client.join().expect("client thread panicked")?;
-        }
-        let epoch = swapper.join().expect("swapper thread panicked")?;
-        println!("installed SHP-2 partition live at epoch {epoch}");
-        Ok(())
-    });
+        });
     outcome?;
+    if let Some(path) = options.metrics.as_deref() {
+        write_metrics_file(path, &snapshot_now())?;
+        println!("wrote telemetry snapshot to {path}");
+    }
 
     let report = engine.report();
     println!("\n{report}");

@@ -52,9 +52,9 @@ pub use crate::config::ObjectiveKind;
 
 /// One refinement-iteration event reported to a [`ProgressObserver`].
 ///
-/// This is the least common denominator of the in-process [`IterationStats`]
-/// (crate::refinement::IterationStats) and the distributed per-iteration statistics, so a
-/// single observer type can trace every algorithm.
+/// This is the least common denominator of the in-process
+/// [`IterationStats`](crate::refinement::IterationStats) and the distributed per-iteration
+/// statistics, so a single observer type can trace every algorithm.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct IterationEvent {
     /// Iteration index (0-based) in execution order across recursion levels.
@@ -107,6 +107,63 @@ impl ProgressObserver for TraceObserver {
 
     fn on_iteration(&mut self, event: &IterationEvent) {
         self.iterations.push(*event);
+    }
+}
+
+/// An observer bridge that mirrors every progress event into the process-wide telemetry
+/// registry ([`shp_telemetry::global`]) while forwarding it, unchanged, to the wrapped
+/// observer — so a [`TraceObserver`] (or any other observer) keeps working exactly as before
+/// while counters/gauges accumulate alongside.
+///
+/// Records, when telemetry is enabled: `partition/observer/iterations` and
+/// `partition/observer/moves` counters, a `partition/observer/fanout` gauge (the latest
+/// iteration's fanout), and a `partition/observer/levels` counter. Never alters events and
+/// never feeds anything back into the algorithm, so wrapping cannot change an outcome.
+/// [`ProgressObserver::wants_iterations`] forwards the inner observer's answer unchanged —
+/// telemetry alone never forces adapters into computing per-iteration metrics.
+pub struct TelemetryObserver<'a> {
+    inner: &'a mut dyn ProgressObserver,
+}
+
+impl std::fmt::Debug for TelemetryObserver<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TelemetryObserver").finish_non_exhaustive()
+    }
+}
+
+impl<'a> TelemetryObserver<'a> {
+    /// Wraps `inner`, mirroring its events into the global telemetry registry.
+    pub fn new(inner: &'a mut dyn ProgressObserver) -> Self {
+        TelemetryObserver { inner }
+    }
+}
+
+impl ProgressObserver for TelemetryObserver<'_> {
+    fn on_level(&mut self, level: usize, buckets_after: u32) {
+        if shp_telemetry::enabled() {
+            shp_telemetry::global()
+                .counter("partition/observer/levels")
+                .inc();
+        }
+        self.inner.on_level(level, buckets_after);
+    }
+
+    fn on_iteration(&mut self, event: &IterationEvent) {
+        if shp_telemetry::enabled() {
+            let registry = shp_telemetry::global();
+            registry.counter("partition/observer/iterations").inc();
+            registry
+                .counter("partition/observer/moves")
+                .add(event.moved as u64);
+            registry
+                .gauge("partition/observer/fanout")
+                .set(event.fanout);
+        }
+        self.inner.on_iteration(event);
+    }
+
+    fn wants_iterations(&self) -> bool {
+        self.inner.wants_iterations()
     }
 }
 
@@ -387,7 +444,21 @@ pub fn assemble_outcome(
     moves: u64,
     elapsed: Duration,
 ) -> PartitionOutcome {
-    enforce_balance(&mut partition, spec.epsilon);
+    let repaired = {
+        let _span = shp_telemetry::Span::enter("partition/balance_repair");
+        enforce_balance(&mut partition, spec.epsilon)
+    };
+    if shp_telemetry::enabled() {
+        let registry = shp_telemetry::global();
+        registry.counter("partition/runs").inc();
+        registry
+            .counter("partition/iterations_total")
+            .add(iterations as u64);
+        registry.counter("partition/moves_total").add(moves);
+        registry
+            .counter("partition/balance_repair_moves")
+            .add(repaired as u64);
+    }
     PartitionOutcome::from_partition(algorithm, graph, partition, iterations, moves, elapsed)
 }
 
@@ -701,6 +772,27 @@ mod tests {
             }
         }
         b.build().unwrap()
+    }
+
+    #[test]
+    fn telemetry_observer_forwards_events_unchanged() {
+        let graph = community_graph(4, 8);
+        let spec = PartitionSpec::new(4).with_seed(7).with_max_iterations(8);
+        let registry = AlgorithmRegistry::core();
+
+        let mut bare = TraceObserver::default();
+        let plain = registry.run("shp2", &graph, &spec, &mut bare).unwrap();
+
+        let mut wrapped_inner = TraceObserver::default();
+        let mut wrapped = TelemetryObserver::new(&mut wrapped_inner);
+        assert!(wrapped.wants_iterations());
+        let bridged = registry.run("shp2", &graph, &spec, &mut wrapped).unwrap();
+
+        // The bridge is invisible to both the observer and the algorithm.
+        assert_eq!(wrapped_inner.iterations, bare.iterations);
+        assert_eq!(wrapped_inner.levels, bare.levels);
+        assert_eq!(bridged.partition.assignment(), plain.partition.assignment());
+        assert_eq!(bridged.fanout.to_bits(), plain.fanout.to_bits());
     }
 
     #[test]

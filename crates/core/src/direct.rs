@@ -23,6 +23,7 @@ use std::time::Instant;
 /// is invalid.
 pub fn partition_direct(graph: &BipartiteGraph, config: &ShpConfig) -> ShpResult<PartitionResult> {
     config.validate()?;
+    let _span = shp_telemetry::Span::enter("partition/direct");
     let start = Instant::now();
     let mut rng = Pcg64::seed_from_u64(config.seed);
     let mut partition = Partition::new_random(graph, config.num_buckets, &mut rng)?;

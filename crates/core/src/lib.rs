@@ -72,7 +72,7 @@ pub mod swap;
 pub use api::{
     AlgorithmRegistry, BoxedPartitioner, DistributedShp, IncrementalShp, IterationEvent,
     NoopObserver, PartitionOutcome, PartitionSpec, Partitioner, ProgressObserver, Shp2, ShpK,
-    TraceObserver,
+    TelemetryObserver, TraceObserver,
 };
 pub use config::{BalanceMode, ObjectiveKind, PartitionMode, ShpConfig, SwapStrategy};
 pub use direct::partition_direct;

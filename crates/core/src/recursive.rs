@@ -45,6 +45,7 @@ pub fn partition_recursive(
     };
     let k = config.num_buckets;
     let start = Instant::now();
+    let run_span = shp_telemetry::Span::enter("partition/recursive");
 
     // All vertices start in a single bucket responsible for k final buckets.
     let mut partition = Partition::new_uniform(graph, 1)?;
@@ -56,6 +57,7 @@ pub fn partition_recursive(
     let mut level = 0usize;
 
     while groups.iter().any(|g| g.targets > 1) {
+        let _level_span = run_span.child("level");
         let level_start = Instant::now();
 
         // Decide the children of every current bucket.

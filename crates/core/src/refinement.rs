@@ -373,9 +373,11 @@ impl<'a> Refiner<'a> {
         max_iterations: usize,
         convergence_threshold: f64,
     ) -> Vec<IterationStats> {
+        let span = shp_telemetry::Span::enter("partition/refinement");
         let mut active = self.new_active_set();
         let mut history = Vec::with_capacity(max_iterations);
         for iteration in 0..max_iterations {
+            let _iteration_span = span.child("iteration");
             let stats = self.run_iteration_with(&mut active, partition, nd, iteration);
             let converged = stats.moved_fraction < convergence_threshold;
             history.push(stats);

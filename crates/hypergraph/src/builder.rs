@@ -303,6 +303,7 @@ impl GraphBuilder {
     /// Returns [`GraphError::PartitionLengthMismatch`] if explicit weights were supplied whose
     /// length differs from the final number of data vertices.
     pub fn build(self) -> Result<BipartiteGraph> {
+        let _span = shp_telemetry::Span::enter("ingest/csr_build");
         if let Some(w) = &self.data_weights {
             if w.len() != self.num_data {
                 return Err(GraphError::PartitionLengthMismatch {

@@ -117,8 +117,20 @@ pub fn read_graph_file<P: AsRef<Path>>(path: P) -> Result<BipartiteGraph> {
 
 /// Like [`read_graph_file`], parsing text formats with up to `workers` threads.
 pub fn read_graph_file_with<P: AsRef<Path>>(path: P, workers: usize) -> Result<BipartiteGraph> {
+    let span = shp_telemetry::Span::enter("ingest/read_graph");
     let bytes = std::fs::read(&path)?;
-    match GraphFormat::detect(&path, &bytes) {
+    if shp_telemetry::enabled() {
+        shp_telemetry::global()
+            .counter("ingest/bytes_read")
+            .add(bytes.len() as u64);
+    }
+    let (format, child) = match GraphFormat::detect(&path, &bytes) {
+        GraphFormat::EdgeList => (GraphFormat::EdgeList, "parse_edge_list"),
+        GraphFormat::Hmetis => (GraphFormat::Hmetis, "parse_hmetis"),
+        GraphFormat::Shpb => (GraphFormat::Shpb, "parse_shpb"),
+    };
+    let _parse_span = span.child(child);
+    match format {
         GraphFormat::EdgeList => parse_edge_list_bytes(&bytes, workers),
         GraphFormat::Hmetis => parse_hmetis_bytes(&bytes, workers),
         GraphFormat::Shpb => parse_shpb_bytes(&bytes),
@@ -131,11 +143,20 @@ pub fn write_graph_file<P: AsRef<Path>>(
     path: P,
     format: GraphFormat,
 ) -> Result<()> {
+    let _span = shp_telemetry::Span::enter("ingest/write_graph");
     match format {
-        GraphFormat::EdgeList => write_edge_list_file(graph, path),
-        GraphFormat::Hmetis => write_hmetis_file(graph, path),
-        GraphFormat::Shpb => write_shpb_file(graph, path),
+        GraphFormat::EdgeList => write_edge_list_file(graph, &path),
+        GraphFormat::Hmetis => write_hmetis_file(graph, &path),
+        GraphFormat::Shpb => write_shpb_file(graph, &path),
+    }?;
+    if shp_telemetry::enabled() {
+        if let Ok(meta) = std::fs::metadata(&path) {
+            shp_telemetry::global()
+                .counter("ingest/bytes_written")
+                .add(meta.len());
+        }
     }
+    Ok(())
 }
 
 // ---------------------------------------------------------------------------------------------

@@ -17,7 +17,14 @@ use crate::store::ShardSet;
 use crate::workload::WorkloadEvent;
 use shp_hypergraph::{BipartiteGraph, DataId, Partition};
 use shp_sharding_sim::LatencyModel;
+use shp_telemetry::{HistogramSnapshot, Snapshot, Span, Timer, TopKSketch};
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Slots in the per-engine hot-key access sketch (bounds its memory at 32 KiB).
+const HOT_KEY_SLOTS: usize = 4096;
+
+/// How many of the hottest keys [`ServingEngine::telemetry_snapshot`] exports.
+const HOT_KEYS_EXPORTED: usize = 32;
 
 /// Configuration of a [`ServingEngine`].
 #[derive(Debug, Clone, PartialEq)]
@@ -78,6 +85,13 @@ pub struct ServingEngine {
     num_keys: usize,
     next_epoch: AtomicU64,
     install_lock: std::sync::Mutex<()>,
+    /// Bounded per-key access-frequency sketch — the observation feed of the paper's
+    /// serve→observe→repartition loop. Only written when telemetry is enabled.
+    tracer: TopKSketch,
+    /// Pre-resolved span timers for the per-multiget hot path (`serving/route`,
+    /// `serving/shard_service`): resolved once here, recorded lock-free per query.
+    route_timer: Timer,
+    service_timer: Timer,
 }
 
 impl ServingEngine {
@@ -98,6 +112,9 @@ impl ServingEngine {
             num_keys,
             next_epoch: AtomicU64::new(1),
             install_lock: std::sync::Mutex::new(()),
+            tracer: TopKSketch::new(HOT_KEY_SLOTS),
+            route_timer: shp_telemetry::global().timer("serving/route"),
+            service_timer: shp_telemetry::global().timer("serving/shard_service"),
         })
     }
 
@@ -144,6 +161,14 @@ impl ServingEngine {
         distinct.sort_unstable();
         distinct.dedup();
 
+        // Access tracing feeds the hot-key sketch; never read back on the serving path, so
+        // results are identical with telemetry on or off.
+        if shp_telemetry::enabled() {
+            for &key in &distinct {
+                self.tracer.record(key);
+            }
+        }
+
         // Split into cache hits and misses.
         let mut values: Vec<(DataId, u64)> = Vec::with_capacity(distinct.len());
         let mut misses: Vec<DataId> = Vec::with_capacity(distinct.len());
@@ -168,7 +193,10 @@ impl ServingEngine {
         // Route the misses and execute one batch per contacted shard. The cache-hit floor
         // only applies when the cache actually answered something; a cache-less multiget's
         // latency is purely what the shards charge.
-        let plan = self.router.route(&generation.snapshot, &misses)?;
+        let plan = {
+            let _route = self.route_timer.start();
+            self.router.route(&generation.snapshot, &misses)?
+        };
         let fanout = plan.fanout();
         let mut latency = if cache_hits > 0 {
             self.config.cache_hit_latency * self.config.latency_model.mean_t
@@ -176,6 +204,7 @@ impl ServingEngine {
             0.0
         };
         if !plan.batches.is_empty() {
+            let _service = self.service_timer.start();
             let fetched = if scatter {
                 generation.shards.execute_scatter_gather(&plan)?
             } else {
@@ -228,6 +257,7 @@ impl ServingEngine {
         // and the engine would serve an older placement than the last returned epoch.
         // Readers are unaffected — they never take this lock.
         let _install = self.install_lock.lock().expect("install lock poisoned");
+        let _span = Span::enter("serving/epoch_swap");
         let epoch = self.next_epoch.fetch_add(1, Ordering::Relaxed);
         let snapshot = PartitionSnapshot::from_partition(partition, epoch)?;
         let shards = ShardSet::build(
@@ -299,6 +329,102 @@ impl ServingEngine {
     /// Clears the per-query metrics (cache contents and hit counters are preserved).
     pub fn reset_metrics(&self) {
         self.metrics.reset();
+    }
+
+    /// The `k` most frequently accessed keys with their approximate hit counts (count
+    /// descending, ties by ascending key), from the bounded access sketch. Empty when
+    /// telemetry was disabled for the whole run.
+    pub fn hot_keys(&self, k: usize) -> Vec<(DataId, u64)> {
+        self.tracer.top(k)
+    }
+
+    /// Exports the engine's serving metrics as a telemetry [`Snapshot`] with every metric
+    /// name under `prefix` (e.g. `serving/shp2`): query/cache counters, per-shard request
+    /// counters, the latency histogram, an exact integer-bucketed fanout histogram, skew and
+    /// epoch gauges, and the hot-key list.
+    ///
+    /// Phase spans (`serving/route`, `serving/shard_service`, `serving/epoch_swap`) live in
+    /// the process-wide [`shp_telemetry::global`] registry — shared by all engines — and are
+    /// merged in by the callers that want them.
+    pub fn telemetry_snapshot(&self, prefix: &str) -> Snapshot {
+        let report = self.report();
+        let mut snap = Snapshot::new();
+        snap.counters
+            .insert(format!("{prefix}/queries"), report.queries);
+        snap.counters
+            .insert(format!("{prefix}/cache/hits"), report.cache.hits);
+        snap.counters
+            .insert(format!("{prefix}/cache/misses"), report.cache.misses);
+        snap.counters
+            .insert(format!("{prefix}/epoch_swaps"), self.swap_count());
+        for (shard, &count) in report.shard_requests.iter().enumerate() {
+            snap.counters
+                .insert(format!("{prefix}/shard_requests/{shard:04}"), count);
+        }
+        snap.gauges
+            .insert(format!("{prefix}/shard_skew"), report.shard_skew);
+        snap.gauges
+            .insert(format!("{prefix}/epoch"), self.current_epoch() as f64);
+        snap.gauges
+            .insert(format!("{prefix}/mean_fanout"), report.mean_fanout);
+        snap.histograms.insert(
+            format!("{prefix}/latency"),
+            snapshot_of_histogram(self.metrics.latency_histogram()),
+        );
+        snap.histograms.insert(
+            format!("{prefix}/fanout"),
+            fanout_histogram_snapshot(&report.fanout_histogram),
+        );
+        let hot = self.hot_keys(HOT_KEYS_EXPORTED);
+        if !hot.is_empty() {
+            snap.top_keys.insert(
+                format!("{prefix}/hot_keys"),
+                shp_telemetry::TopKeysSnapshot { entries: hot },
+            );
+        }
+        snap
+    }
+}
+
+fn snapshot_of_histogram(h: &shp_telemetry::Histogram) -> HistogramSnapshot {
+    HistogramSnapshot {
+        count: h.count(),
+        sum: h.sum(),
+        min: h.min(),
+        max: h.max(),
+        buckets: h.cumulative_buckets(),
+    }
+}
+
+/// Renders the exact per-fanout counts as a classic cumulative histogram: the bucket with
+/// upper edge `f` counts the multigets that touched at most `f` shards (exact integers, no
+/// quantization).
+fn fanout_histogram_snapshot(counts: &[u64]) -> HistogramSnapshot {
+    let count: u64 = counts.iter().sum();
+    let sum: f64 = counts
+        .iter()
+        .enumerate()
+        .map(|(f, &c)| f as f64 * c as f64)
+        .sum();
+    let min = counts.iter().position(|&c| c > 0).unwrap_or(0) as f64;
+    let max = counts.len().saturating_sub(1) as f64;
+    let mut buckets = Vec::new();
+    let mut cumulative = 0u64;
+    for (f, &c) in counts.iter().enumerate() {
+        if c > 0 {
+            cumulative += c;
+            buckets.push((f as f64, cumulative));
+        }
+    }
+    if count > 0 {
+        buckets.push((f64::INFINITY, count));
+    }
+    HistogramSnapshot {
+        count,
+        sum,
+        min,
+        max,
+        buckets,
     }
 }
 
@@ -504,6 +630,38 @@ mod tests {
         assert_eq!(result.fanout, 0);
         assert_eq!(result.latency, 0.0);
         assert!(result.values.is_empty());
+    }
+
+    #[test]
+    fn hot_key_tracing_and_telemetry_snapshot_reflect_traffic() {
+        let graph = community_graph(4, 8);
+        let engine =
+            ServingEngine::new(&aligned_partition(&graph, 4, 8), EngineConfig::default()).unwrap();
+        // Key 3 is requested in every multiget; the rest once each.
+        for q in 0..8u32 {
+            engine.multiget(&[3, 8 + q]).unwrap();
+        }
+        let hot = engine.hot_keys(1);
+        assert_eq!(hot[0].0, 3, "hot keys: {hot:?}");
+        assert_eq!(hot[0].1, 8);
+
+        let snap = engine.telemetry_snapshot("serving/test");
+        assert_eq!(snap.counters["serving/test/queries"], 8);
+        assert_eq!(snap.histograms["serving/test/latency"].count, 8);
+        let fanout = &snap.histograms["serving/test/fanout"];
+        assert_eq!(fanout.count, 8);
+        assert_eq!(fanout.buckets.last().unwrap(), &(f64::INFINITY, 8));
+        assert_eq!(snap.top_keys["serving/test/hot_keys"].entries[0], (3, 8));
+        assert_eq!(
+            snap.counters
+                .keys()
+                .filter(|k| k.contains("shard_requests"))
+                .count(),
+            4
+        );
+        // The snapshot is valid JSON that round-trips.
+        let parsed = shp_telemetry::Snapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(parsed, snap);
     }
 
     #[test]

@@ -28,7 +28,12 @@
 //!   old generation, so there is no serving gap and no torn multiget.
 //! * [`HotKeyCache`] absorbs the hot-key skew of social workloads with hit/miss accounting.
 //! * [`ServingMetrics`] aggregates per-query fanout histograms, p50/p99/p999 latency, and
-//!   shard load skew into a [`ServingReport`].
+//!   shard load skew into a [`ServingReport`] — on a **lock-free, allocation-free,
+//!   bounded-memory** record path (sharded atomics and a log-linear latency histogram from
+//!   `shp-telemetry`; percentiles quantized to ≤1.56%, everything else exact). The engine
+//!   additionally traces per-key access frequencies into a bounded top-K sketch
+//!   ([`ServingEngine::hot_keys`]) and exports everything as a mergeable telemetry snapshot
+//!   ([`ServingEngine::telemetry_snapshot`]).
 //! * [`ServingEngine`] composes all of the above behind a `multiget` call and an
 //!   [`install_partition`](ServingEngine::install_partition) live-swap entry point;
 //!   [`workload`] generates skewed open-loop arrival schedules to drive it.
@@ -69,7 +74,7 @@ pub use bootstrap::{load_warm_start, WarmStart};
 pub use cache::{CacheStats, HotKeyCache};
 pub use engine::{EngineConfig, Generation, MultigetResult, ServingEngine};
 pub use error::{Result, ServingError};
-pub use metrics::{ServingMetrics, ServingReport};
+pub use metrics::{LegacyServingMetrics, ServingMetrics, ServingReport};
 pub use partition_map::{EpochSwap, PartitionMap, PartitionSnapshot};
 pub use router::{RoutePlan, ShardBatch, ShardRouter};
 pub use store::{value_of, BatchResults, Shard, ShardSet};

@@ -4,13 +4,195 @@
 //! (how many shards each multiget touched), latency percentiles up to p999 (the tail that
 //! fanout inflates, Figure 4), and per-shard load (whose skew bounds the capacity headroom a
 //! partition leaves on the table).
+//!
+//! ## Record path
+//!
+//! [`ServingMetrics::record`] is **lock-free and allocation-free**: every observation lands in
+//! pre-allocated sharded atomics ([`shp_telemetry::IndexedCounter`] for the fanout and
+//! per-shard counts, [`shp_telemetry::Histogram`] for latency). Memory is bounded by
+//! construction — a replay of any length holds the same few hundred KiB — where the previous
+//! implementation pushed every latency into an unbounded `Vec<f64>` under a `Mutex` that
+//! serialized all client threads.
+//!
+//! ## Quantization contract
+//!
+//! Latency percentiles come out of a log-linear histogram with 64 sub-buckets per octave:
+//! each reported percentile is the **lower edge** of the bucket holding the exact rank, so
+//! `reported ≤ exact ≤ reported · (1 + 2⁻⁶)` — at most ≈1.56% below the sorted-vector value
+//! the old implementation returned (values below `2⁻¹⁶` report 0, values at or above `2¹⁶`
+//! clamp). The mean is accumulated in fixed point and is independent of thread interleaving.
+//! Everything else in the report — query counts, the fanout histogram, per-shard request
+//! counts, skew, epochs — is exact. [`LegacyServingMetrics`] keeps the old sorted-vector
+//! implementation as the oracle the conformance tests and the `telemetry_overhead` bench
+//! compare against.
 
 use crate::cache::CacheStats;
+use shp_telemetry::{Histogram, IndexedCounter};
 use std::fmt;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Mutex;
 
+/// Fanout slots tracked exactly; a larger fanout clamps into the overflow slot. Sized past
+/// any shard count the serving simulations use.
+const MAX_FANOUT_SLOTS: usize = 1025;
+
+/// Shard slots tracked exactly; higher shard ids clamp into the overflow slot.
+const MAX_SHARD_SLOTS: usize = 1024;
+
+/// Thread-safe accumulator of per-query observations (see the module docs: the record path
+/// is lock-free, memory is bounded, latency percentiles are quantized to ≤1.56%).
+#[derive(Debug)]
+pub struct ServingMetrics {
+    fanout: IndexedCounter,
+    latency: Histogram,
+    shard_requests: IndexedCounter,
+    /// Highest shard-count bound observed (`num_shards` or a touched `shard + 1`), so the
+    /// report can show idle shards without storing a resizable vector.
+    max_shards: AtomicU32,
+    min_epoch: AtomicU64,
+    max_epoch: AtomicU64,
+}
+
+impl Default for ServingMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServingMetrics {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        ServingMetrics {
+            fanout: IndexedCounter::new(MAX_FANOUT_SLOTS),
+            latency: Histogram::new(),
+            shard_requests: IndexedCounter::new(MAX_SHARD_SLOTS),
+            max_shards: AtomicU32::new(0),
+            min_epoch: AtomicU64::new(u64::MAX),
+            max_epoch: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one served multiget: its fanout, the shards it contacted (out of the
+    /// generation's `num_shards` total — the full shard count matters so that load
+    /// concentrated on low-numbered shards still registers as skew), its simulated latency,
+    /// and the placement epoch it was served under.
+    ///
+    /// Lock-free: a bounded number of relaxed atomic operations, no allocation.
+    pub fn record(
+        &self,
+        fanout: u32,
+        num_shards: u32,
+        shards: impl IntoIterator<Item = u32>,
+        latency: f64,
+        epoch: u64,
+    ) {
+        self.fanout.inc(fanout as usize);
+        self.latency.record(latency);
+        self.max_shards.fetch_max(num_shards, Ordering::Relaxed);
+        for shard in shards {
+            self.shard_requests.inc(shard as usize);
+            self.max_shards.fetch_max(shard + 1, Ordering::Relaxed);
+        }
+        self.min_epoch.fetch_min(epoch, Ordering::Relaxed);
+        self.max_epoch.fetch_max(epoch, Ordering::Relaxed);
+    }
+
+    /// Clears all recorded observations.
+    pub fn reset(&self) {
+        self.fanout.reset();
+        self.latency.reset();
+        self.shard_requests.reset();
+        self.max_shards.store(0, Ordering::Relaxed);
+        self.min_epoch.store(u64::MAX, Ordering::Relaxed);
+        self.max_epoch.store(0, Ordering::Relaxed);
+    }
+
+    /// Bytes of metric storage held — constant for the lifetime of the accumulator, however
+    /// many observations are recorded.
+    pub fn memory_bytes(&self) -> usize {
+        self.fanout.memory_bytes()
+            + self.latency.memory_bytes()
+            + self.shard_requests.memory_bytes()
+            + 3 * std::mem::size_of::<u64>()
+    }
+
+    /// The latency histogram, for export into a telemetry snapshot.
+    pub fn latency_histogram(&self) -> &Histogram {
+        &self.latency
+    }
+
+    /// The merged fanout histogram truncated past the largest observed fanout
+    /// (`histogram[f]` = multigets that touched exactly `f` shards).
+    pub fn fanout_histogram(&self) -> Vec<u64> {
+        let mut counts = self.fanout.values(MAX_FANOUT_SLOTS);
+        let len = counts.iter().rposition(|&c| c > 0).map_or(0, |f| f + 1);
+        counts.truncate(len);
+        counts
+    }
+
+    /// The per-shard request counts over every shard of the widest generation observed.
+    pub fn shard_request_counts(&self) -> Vec<u64> {
+        self.shard_requests
+            .values(self.max_shards.load(Ordering::Relaxed) as usize)
+    }
+
+    /// Aggregates the recorded observations into a report, attaching the given cache stats.
+    pub fn report(&self, cache: CacheStats) -> ServingReport {
+        let fanout_histogram = self.fanout_histogram();
+        let queries: u64 = fanout_histogram.iter().sum();
+        let mean_fanout = if queries == 0 {
+            0.0
+        } else {
+            fanout_histogram
+                .iter()
+                .enumerate()
+                .map(|(f, &c)| f as f64 * c as f64)
+                .sum::<f64>()
+                / queries as f64
+        };
+        let max_fanout = fanout_histogram.len().saturating_sub(1) as u32;
+
+        let percentiles = self.latency.quantiles(&[0.50, 0.90, 0.99, 0.999]);
+
+        let shard_requests = self.shard_request_counts();
+        let busiest = shard_requests.iter().copied().max().unwrap_or(0);
+        let total_requests: u64 = shard_requests.iter().sum();
+        let shard_skew = if total_requests == 0 || shard_requests.is_empty() {
+            0.0
+        } else {
+            busiest as f64 / (total_requests as f64 / shard_requests.len() as f64)
+        };
+
+        let (min_epoch, max_epoch) = if queries == 0 {
+            (0, 0)
+        } else {
+            (
+                self.min_epoch.load(Ordering::Relaxed),
+                self.max_epoch.load(Ordering::Relaxed),
+            )
+        };
+
+        ServingReport {
+            queries,
+            mean_fanout,
+            max_fanout,
+            fanout_histogram,
+            mean_latency: self.latency.mean(),
+            p50: percentiles[0],
+            p90: percentiles[1],
+            p99: percentiles[2],
+            p999: percentiles[3],
+            shard_requests,
+            shard_skew,
+            cache,
+            min_epoch,
+            max_epoch,
+        }
+    }
+}
+
 #[derive(Debug, Default)]
-struct MetricsInner {
+struct LegacyInner {
     fanout_counts: Vec<u64>,
     latencies: Vec<f64>,
     shard_requests: Vec<u64>,
@@ -18,22 +200,26 @@ struct MetricsInner {
     max_epoch: Option<u64>,
 }
 
-/// Thread-safe accumulator of per-query observations.
+/// The pre-telemetry implementation: every observation appended to unbounded vectors under a
+/// `Mutex`, percentiles computed from the fully sorted latency list.
+///
+/// Kept (off the serving hot path) as the **exact oracle** for [`ServingMetrics`]: the
+/// conformance tests and the `telemetry_overhead` bench feed both implementations the same
+/// observations and check that exact fields match and percentiles agree to within the
+/// documented ≤1.56% bucket quantization.
 #[derive(Debug, Default)]
-pub struct ServingMetrics {
-    inner: Mutex<MetricsInner>,
+pub struct LegacyServingMetrics {
+    inner: Mutex<LegacyInner>,
 }
 
-impl ServingMetrics {
+impl LegacyServingMetrics {
     /// Creates an empty accumulator.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Records one served multiget: its fanout, the shards it contacted (out of the
-    /// generation's `num_shards` total — the full shard count matters so that load
-    /// concentrated on low-numbered shards still registers as skew), its simulated latency,
-    /// and the placement epoch it was served under.
+    /// Records one served multiget (same contract as [`ServingMetrics::record`], but takes a
+    /// `Mutex` and grows vectors).
     pub fn record(
         &self,
         fanout: u32,
@@ -63,12 +249,7 @@ impl ServingMetrics {
         inner.max_epoch = Some(inner.max_epoch.map_or(epoch, |e| e.max(epoch)));
     }
 
-    /// Clears all recorded observations.
-    pub fn reset(&self) {
-        *self.inner.lock().expect("metrics poisoned") = MetricsInner::default();
-    }
-
-    /// Aggregates the recorded observations into a report, attaching the given cache stats.
+    /// Aggregates into a report with exact sorted-vector percentiles.
     pub fn report(&self, cache: CacheStats) -> ServingReport {
         let inner = self.inner.lock().expect("metrics poisoned");
         let queries: u64 = inner.fanout_counts.iter().sum();
@@ -240,6 +421,7 @@ mod tests {
         assert_eq!(r.mean_fanout, 0.0);
         assert_eq!(r.p999, 0.0);
         assert_eq!(r.shard_skew, 0.0);
+        assert_eq!((r.min_epoch, r.max_epoch), (0, 0));
     }
 
     #[test]
@@ -270,5 +452,77 @@ mod tests {
         let r = m.report(CacheStats::default());
         assert!(r.p50 <= r.p90 && r.p90 <= r.p99 && r.p99 <= r.p999);
         assert!(r.p999 >= 990.0);
+    }
+
+    #[test]
+    fn memory_stays_constant_over_a_long_replay() {
+        // Satellite of the telemetry PR: the old implementation grew a Vec<f64> per query
+        // without bound; the accumulator must now hold identical memory after a million
+        // observations as when empty.
+        let m = ServingMetrics::new();
+        let empty_bytes = m.memory_bytes();
+        for i in 0..1_000_000u64 {
+            m.record(
+                (i % 16) as u32 + 1,
+                16,
+                [(i % 16) as u32],
+                0.5 + (i % 1000) as f64 * 0.01,
+                i / 100_000,
+            );
+        }
+        assert_eq!(m.memory_bytes(), empty_bytes);
+        let r = m.report(CacheStats::default());
+        assert_eq!(r.queries, 1_000_000);
+        assert_eq!(r.shard_requests.iter().sum::<u64>(), 1_000_000);
+        assert_eq!((r.min_epoch, r.max_epoch), (0, 9));
+    }
+
+    /// Feeds the same observation stream into the lock-free implementation and the legacy
+    /// sorted-vector oracle and checks the documented conformance contract.
+    #[test]
+    fn report_conforms_to_the_legacy_oracle_within_quantization() {
+        let new = ServingMetrics::new();
+        let old = LegacyServingMetrics::new();
+        // A deterministic skewed latency stream over 8 shards.
+        let mut state = 0x2545_F491_4F6C_DD1Du64;
+        for i in 0..20_000u64 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let fanout = 1 + (state % 8) as u32;
+            let shards: Vec<u32> = (0..fanout).map(|s| (s + (i % 8) as u32) % 8).collect();
+            let latency = 0.2 + (state % 10_000) as f64 / 500.0;
+            let epoch = i / 5_000;
+            new.record(fanout, 8, shards.iter().copied(), latency, epoch);
+            old.record(fanout, 8, shards.iter().copied(), latency, epoch);
+        }
+        let n = new.report(CacheStats::default());
+        let o = old.report(CacheStats::default());
+
+        // Exact fields are bit-identical.
+        assert_eq!(n.queries, o.queries);
+        assert_eq!(n.fanout_histogram, o.fanout_histogram);
+        assert_eq!(n.max_fanout, o.max_fanout);
+        assert_eq!(n.mean_fanout, o.mean_fanout);
+        assert_eq!(n.shard_requests, o.shard_requests);
+        assert_eq!(n.shard_skew, o.shard_skew);
+        assert_eq!((n.min_epoch, n.max_epoch), (o.min_epoch, o.max_epoch));
+
+        // Latency aggregates obey the quantization contract: each percentile is the lower
+        // bucket edge of the oracle's exact value.
+        let bound = shp_telemetry::histogram::QUANTIZATION_ERROR;
+        for (quantized, exact) in [
+            (n.p50, o.p50),
+            (n.p90, o.p90),
+            (n.p99, o.p99),
+            (n.p999, o.p999),
+        ] {
+            assert!(
+                quantized <= exact && exact <= quantized * (1.0 + bound) + 1e-12,
+                "quantized {quantized} vs exact {exact}"
+            );
+        }
+        // The fixed-point mean resolves to 2^-14 per observation.
+        assert!((n.mean_latency - o.mean_latency).abs() < 1e-3);
     }
 }

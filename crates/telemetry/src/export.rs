@@ -1,0 +1,708 @@
+//! Snapshot exporters: Prometheus text exposition ([`to_prometheus`]) and a self-describing
+//! JSON document ([`to_json`] / [`from_json`]).
+//!
+//! Both are hand-rolled — the workspace carries no serialization dependency — and both are
+//! deterministic: a [`Snapshot`] renders to byte-identical output however it was produced,
+//! because snapshots hold ordered maps and `f64` values render through Rust's shortest
+//! round-tripping formatter.
+//!
+//! ## Prometheus mapping
+//!
+//! * counters → `<name>_total` with `# HELP`/`# TYPE` headers;
+//! * gauges → `<name>`;
+//! * histograms → classic `<name>_bucket{le="..."}` cumulative series (sparse: only occupied
+//!   edges, always ending in `le="+Inf"`), plus `<name>_sum` and `<name>_count`;
+//! * spans → `shp_span_seconds_total` / `shp_span_count_total` / `shp_span_seconds_max`
+//!   labelled `{span="<path>"}`;
+//! * top keys → `shp_hot_key_hits{sketch="<name>",key="<id>"}`.
+//!
+//! Metric names are sanitized to `[a-zA-Z0-9_:]` and label values are escaped per the
+//! exposition-format rules (`\\`, `\"`, `\n`).
+//!
+//! ## JSON mapping
+//!
+//! One top-level object with `version`, `counters`, `gauges`, `histograms`, `spans`, and
+//! `top_keys` members. Bucket edges may be `f64::INFINITY`, which JSON cannot carry as a
+//! number, so edges serialize as the string `"inf"` in that case. [`from_json`] accepts
+//! exactly what [`to_json`] produces (field order is not significant; unknown fields are
+//! rejected so schema drift is caught loudly).
+
+use crate::registry::{HistogramSnapshot, Snapshot, SpanSnapshot, TopKeysSnapshot};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition
+// ---------------------------------------------------------------------------
+
+/// Replaces every character outside `[a-zA-Z0-9_:]` with `_` (and prefixes `_` if the name
+/// would start with a digit), yielding a valid Prometheus metric name.
+fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, ch) in name.chars().enumerate() {
+        let ok = ch.is_ascii_alphanumeric() || ch == '_' || ch == ':';
+        if i == 0 && ch.is_ascii_digit() {
+            out.push('_');
+        }
+        out.push(if ok { ch } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escapes a label value per the exposition format: backslash, double quote, newline.
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for ch in value.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+/// Renders an `f64` for the exposition format (`+Inf` for infinity).
+fn format_value(value: f64) -> String {
+    if value == f64::INFINITY {
+        "+Inf".to_string()
+    } else if value == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{value}")
+    }
+}
+
+/// Renders `snapshot` in the Prometheus text exposition format (see the module docs).
+pub fn to_prometheus(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.counters {
+        let base = sanitize_name(name);
+        let full = if base.ends_with("_total") {
+            base
+        } else {
+            format!("{base}_total")
+        };
+        let _ = writeln!(out, "# HELP {full} Counter {name}");
+        let _ = writeln!(out, "# TYPE {full} counter");
+        let _ = writeln!(out, "{full} {value}");
+    }
+    for (name, value) in &snapshot.gauges {
+        let full = sanitize_name(name);
+        let _ = writeln!(out, "# HELP {full} Gauge {name}");
+        let _ = writeln!(out, "# TYPE {full} gauge");
+        let _ = writeln!(out, "{full} {}", format_value(*value));
+    }
+    for (name, h) in &snapshot.histograms {
+        let full = sanitize_name(name);
+        let _ = writeln!(out, "# HELP {full} Histogram {name}");
+        let _ = writeln!(out, "# TYPE {full} histogram");
+        for &(edge, cumulative) in &h.buckets {
+            let _ = writeln!(
+                out,
+                "{full}_bucket{{le=\"{}\"}} {cumulative}",
+                format_value(edge)
+            );
+        }
+        if h.buckets.is_empty() {
+            let _ = writeln!(out, "{full}_bucket{{le=\"+Inf\"}} 0");
+        }
+        let _ = writeln!(out, "{full}_sum {}", format_value(h.sum));
+        let _ = writeln!(out, "{full}_count {}", h.count);
+    }
+    if !snapshot.spans.is_empty() {
+        let _ = writeln!(
+            out,
+            "# HELP shp_span_count_total Completed spans per phase path"
+        );
+        let _ = writeln!(out, "# TYPE shp_span_count_total counter");
+        for (path, s) in &snapshot.spans {
+            let _ = writeln!(
+                out,
+                "shp_span_count_total{{span=\"{}\"}} {}",
+                escape_label(path),
+                s.count
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP shp_span_seconds_total Wall seconds per phase path"
+        );
+        let _ = writeln!(out, "# TYPE shp_span_seconds_total counter");
+        for (path, s) in &snapshot.spans {
+            let _ = writeln!(
+                out,
+                "shp_span_seconds_total{{span=\"{}\"}} {}",
+                escape_label(path),
+                format_value(s.total_ns as f64 / 1e9)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP shp_span_seconds_max Longest single span per phase path"
+        );
+        let _ = writeln!(out, "# TYPE shp_span_seconds_max gauge");
+        for (path, s) in &snapshot.spans {
+            let _ = writeln!(
+                out,
+                "shp_span_seconds_max{{span=\"{}\"}} {}",
+                escape_label(path),
+                format_value(s.max_ns as f64 / 1e9)
+            );
+        }
+    }
+    if !snapshot.top_keys.is_empty() {
+        let _ = writeln!(
+            out,
+            "# HELP shp_hot_key_hits Approximate hits for the hottest keys"
+        );
+        let _ = writeln!(out, "# TYPE shp_hot_key_hits gauge");
+        for (name, keys) in &snapshot.top_keys {
+            for &(key, count) in &keys.entries {
+                let _ = writeln!(
+                    out,
+                    "shp_hot_key_hits{{sketch=\"{}\",key=\"{key}\"}} {count}",
+                    escape_label(name)
+                );
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// JSON rendering
+// ---------------------------------------------------------------------------
+
+fn json_escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() + 2);
+    for ch in text.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders an `f64` as a JSON value: the string `"inf"` for infinity, else a number via
+/// Rust's shortest round-tripping formatter.
+fn json_number(value: f64) -> String {
+    if value == f64::INFINITY {
+        "\"inf\"".to_string()
+    } else {
+        format!("{value}")
+    }
+}
+
+fn render_map<T>(
+    out: &mut String,
+    indent: &str,
+    map: &BTreeMap<String, T>,
+    mut render: impl FnMut(&mut String, &T),
+) {
+    if map.is_empty() {
+        out.push_str("{}");
+        return;
+    }
+    out.push_str("{\n");
+    for (i, (name, value)) in map.iter().enumerate() {
+        let _ = write!(out, "{indent}  \"{}\": ", json_escape(name));
+        render(out, value);
+        out.push_str(if i + 1 < map.len() { ",\n" } else { "\n" });
+    }
+    let _ = write!(out, "{indent}}}");
+}
+
+/// Renders `snapshot` as a pretty-printed JSON document (see the module docs for the schema).
+pub fn to_json(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"version\": {},", snapshot.version);
+
+    out.push_str("  \"counters\": ");
+    render_map(&mut out, "  ", &snapshot.counters, |out, v| {
+        let _ = write!(out, "{v}");
+    });
+    out.push_str(",\n  \"gauges\": ");
+    render_map(&mut out, "  ", &snapshot.gauges, |out, v| {
+        out.push_str(&json_number(*v));
+    });
+    out.push_str(",\n  \"histograms\": ");
+    render_map(&mut out, "  ", &snapshot.histograms, |out, h| {
+        let _ = write!(
+            out,
+            "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"buckets\": [",
+            h.count,
+            json_number(h.sum),
+            json_number(h.min),
+            json_number(h.max)
+        );
+        for (i, &(edge, cumulative)) in h.buckets.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "[{}, {cumulative}]", json_number(edge));
+        }
+        out.push_str("]}");
+    });
+    out.push_str(",\n  \"spans\": ");
+    render_map(&mut out, "  ", &snapshot.spans, |out, s| {
+        let _ = write!(
+            out,
+            "{{\"count\": {}, \"total_ns\": {}, \"max_ns\": {}}}",
+            s.count, s.total_ns, s.max_ns
+        );
+    });
+    out.push_str(",\n  \"top_keys\": ");
+    render_map(&mut out, "  ", &snapshot.top_keys, |out, keys| {
+        out.push('[');
+        for (i, &(key, count)) in keys.entries.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "[{key}, {count}]");
+        }
+        out.push(']');
+    });
+    out.push_str("\n}\n");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// JSON parsing
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value; numbers keep their raw text so integers round-trip exactly.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Object(Vec<(String, Json)>),
+    Array(Vec<Json>),
+    String(String),
+    Number(String),
+    Bool(bool),
+    Null,
+}
+
+impl Json {
+    fn as_u64(&self) -> Result<u64, String> {
+        match self {
+            Json::Number(raw) => raw
+                .parse::<u64>()
+                .map_err(|_| format!("expected unsigned integer, got {raw:?}")),
+            other => Err(format!("expected number, got {other:?}")),
+        }
+    }
+
+    /// An `f64`, accepting the `"inf"` string sentinel used for bucket edges.
+    fn as_f64(&self) -> Result<f64, String> {
+        match self {
+            Json::Number(raw) => raw
+                .parse::<f64>()
+                .map_err(|_| format!("expected number, got {raw:?}")),
+            Json::String(s) if s == "inf" => Ok(f64::INFINITY),
+            other => Err(format!("expected number, got {other:?}")),
+        }
+    }
+
+    fn as_object(&self) -> Result<&[(String, Json)], String> {
+        match self {
+            Json::Object(members) => Ok(members),
+            other => Err(format!("expected object, got {other:?}")),
+        }
+    }
+
+    fn as_array(&self) -> Result<&[Json], String> {
+        match self {
+            Json::Array(items) => Ok(items),
+            other => Err(format!("expected array, got {other:?}")),
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn error(&self, message: &str) -> String {
+        format!("JSON parse error at byte {}: {message}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected {:?}", byte as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::String(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected {word:?}")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("invalid utf-8 in number"))?;
+        if raw.is_empty() || raw.parse::<f64>().is_err() {
+            return Err(self.error(&format!("malformed number {raw:?}")));
+        }
+        Ok(Json::Number(raw.to_string()))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err(self.error("unterminated string"));
+            };
+            match b {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return Err(self.error("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.error("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.error("malformed \\u escape"))?;
+                            self.pos += 4;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.error("invalid \\u code point"))?,
+                            );
+                        }
+                        _ => return Err(self.error("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Consume one UTF-8 code point.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.error("invalid utf-8 in string"))?;
+                    let ch = rest.chars().next().unwrap();
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(members));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            members.push((key, self.value()?));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(members));
+                }
+                _ => return Err(self.error("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.error("expected ',' or ']'")),
+            }
+        }
+    }
+}
+
+fn parse_document(text: &str) -> Result<Json, String> {
+    let mut parser = Parser::new(text);
+    let value = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.error("trailing content after document"));
+    }
+    Ok(value)
+}
+
+fn histogram_from_json(value: &Json) -> Result<HistogramSnapshot, String> {
+    let mut snap = HistogramSnapshot {
+        count: 0,
+        sum: 0.0,
+        min: 0.0,
+        max: 0.0,
+        buckets: Vec::new(),
+    };
+    for (key, member) in value.as_object()? {
+        match key.as_str() {
+            "count" => snap.count = member.as_u64()?,
+            "sum" => snap.sum = member.as_f64()?,
+            "min" => snap.min = member.as_f64()?,
+            "max" => snap.max = member.as_f64()?,
+            "buckets" => {
+                for pair in member.as_array()? {
+                    let pair = pair.as_array()?;
+                    if pair.len() != 2 {
+                        return Err("histogram bucket must be [edge, cumulative]".to_string());
+                    }
+                    snap.buckets.push((pair[0].as_f64()?, pair[1].as_u64()?));
+                }
+            }
+            other => return Err(format!("unknown histogram field {other:?}")),
+        }
+    }
+    Ok(snap)
+}
+
+fn span_from_json(value: &Json) -> Result<SpanSnapshot, String> {
+    let mut snap = SpanSnapshot {
+        count: 0,
+        total_ns: 0,
+        max_ns: 0,
+    };
+    for (key, member) in value.as_object()? {
+        match key.as_str() {
+            "count" => snap.count = member.as_u64()?,
+            "total_ns" => snap.total_ns = member.as_u64()?,
+            "max_ns" => snap.max_ns = member.as_u64()?,
+            other => return Err(format!("unknown span field {other:?}")),
+        }
+    }
+    Ok(snap)
+}
+
+fn top_keys_from_json(value: &Json) -> Result<TopKeysSnapshot, String> {
+    let mut snap = TopKeysSnapshot::default();
+    for pair in value.as_array()? {
+        let pair = pair.as_array()?;
+        if pair.len() != 2 {
+            return Err("top-key entry must be [key, count]".to_string());
+        }
+        let key =
+            u32::try_from(pair[0].as_u64()?).map_err(|_| "top-key id exceeds u32".to_string())?;
+        snap.entries.push((key, pair[1].as_u64()?));
+    }
+    Ok(snap)
+}
+
+fn string_map<T>(
+    value: &Json,
+    mut convert: impl FnMut(&Json) -> Result<T, String>,
+) -> Result<BTreeMap<String, T>, String> {
+    let mut out = BTreeMap::new();
+    for (key, member) in value.as_object()? {
+        out.insert(key.clone(), convert(member)?);
+    }
+    Ok(out)
+}
+
+/// Parses a snapshot previously rendered by [`to_json`]. Unknown fields are an error.
+pub fn from_json(text: &str) -> Result<Snapshot, String> {
+    let document = parse_document(text)?;
+    let mut snapshot = Snapshot::new();
+    for (key, member) in document.as_object()? {
+        match key.as_str() {
+            "version" => snapshot.version = member.as_u64()?,
+            "counters" => snapshot.counters = string_map(member, Json::as_u64)?,
+            "gauges" => snapshot.gauges = string_map(member, Json::as_f64)?,
+            "histograms" => snapshot.histograms = string_map(member, histogram_from_json)?,
+            "spans" => snapshot.spans = string_map(member, span_from_json)?,
+            "top_keys" => snapshot.top_keys = string_map(member, top_keys_from_json)?,
+            other => return Err(format!("unknown snapshot field {other:?}")),
+        }
+    }
+    Ok(snapshot)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        let registry = crate::Registry::new();
+        registry.counter("serving/queries").add(42);
+        registry.counter("ingest/bytes").add(1_000_000);
+        registry.gauge("serving/shard_skew").set(1.25);
+        let h = registry.histogram("serving/latency_ms");
+        for v in [0.5, 1.0, 1.0, 8.0, 64.0] {
+            h.record(v);
+        }
+        registry
+            .span_stats("partition/refinement")
+            .record_ns(2_000_000);
+        registry
+            .span_stats("partition/refinement/iteration")
+            .record_ns(900_000);
+        let sketch = registry.sketch("serving/hot_keys", 64);
+        for _ in 0..9 {
+            sketch.record(7);
+        }
+        sketch.record(3);
+        registry.snapshot()
+    }
+
+    #[test]
+    fn json_round_trips_exactly() {
+        let snapshot = sample();
+        let rendered = to_json(&snapshot);
+        let parsed = from_json(&rendered).expect("parse back");
+        assert_eq!(parsed, snapshot);
+        // And rendering the parsed copy is byte-identical.
+        assert_eq!(to_json(&parsed), rendered);
+    }
+
+    #[test]
+    fn json_rejects_unknown_fields_and_garbage() {
+        assert!(from_json("{\"bogus\": 1}").is_err());
+        assert!(from_json("not json").is_err());
+        assert!(from_json("{\"version\": 1} trailing").is_err());
+        assert!(from_json("{\"counters\": {\"x\": -1}}").is_err());
+    }
+
+    #[test]
+    fn json_carries_infinite_bucket_edges() {
+        let snapshot = sample();
+        let rendered = to_json(&snapshot);
+        assert!(rendered.contains("\"inf\""));
+        let parsed = from_json(&rendered).unwrap();
+        let buckets = &parsed.histograms["serving/latency_ms"].buckets;
+        assert_eq!(buckets.last().unwrap().0, f64::INFINITY);
+    }
+
+    #[test]
+    fn json_escapes_awkward_names() {
+        let mut snapshot = Snapshot::new();
+        snapshot
+            .counters
+            .insert("weird \"name\"\\with\nstuff".to_string(), 5);
+        let parsed = from_json(&to_json(&snapshot)).unwrap();
+        assert_eq!(parsed.counters["weird \"name\"\\with\nstuff"], 5);
+    }
+
+    #[test]
+    fn prometheus_exposition_is_well_formed() {
+        let text = to_prometheus(&sample());
+        assert!(text.contains("# TYPE serving_queries_total counter"));
+        assert!(text.contains("serving_queries_total 42"));
+        assert!(text.contains("# TYPE serving_shard_skew gauge"));
+        assert!(text.contains("serving_shard_skew 1.25"));
+        assert!(text.contains("# TYPE serving_latency_ms histogram"));
+        assert!(text.contains("serving_latency_ms_count 5"));
+        assert!(text.contains("le=\"+Inf\"} 5"));
+        assert!(text.contains("shp_span_count_total{span=\"partition/refinement\"} 1"));
+        assert!(text.contains("shp_hot_key_hits{sketch=\"serving/hot_keys\",key=\"7\"} 9"));
+    }
+
+    #[test]
+    fn sanitize_and_escape_rules() {
+        assert_eq!(sanitize_name("serving/latency-ms"), "serving_latency_ms");
+        assert_eq!(sanitize_name("9lives"), "_9lives");
+        assert_eq!(sanitize_name(""), "_");
+        assert_eq!(escape_label("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+    }
+
+    #[test]
+    fn empty_snapshot_renders_and_parses() {
+        let empty = Snapshot::new();
+        let parsed = from_json(&to_json(&empty)).unwrap();
+        assert_eq!(parsed, empty);
+        assert_eq!(to_prometheus(&empty), "");
+    }
+}

@@ -1,0 +1,250 @@
+//! Sharded atomic scalars: [`Counter`], [`Gauge`], and the fixed-capacity [`IndexedCounter`].
+//!
+//! A counter's increments land on one of [`crate::COUNTER_SHARDS`]
+//! cache-line-padded slots chosen by the calling thread's stable shard index; the shards are
+//! summed only at scrape time, so recording threads never contend on a shared line. All record
+//! paths are plain relaxed atomics — no locks, no allocation, no growth.
+
+use crate::{shard_index, Pad, COUNTER_SHARDS, HISTOGRAM_SHARDS};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing sum, sharded per worker thread.
+#[derive(Debug)]
+pub struct Counter {
+    shards: Box<[Pad<AtomicU64>]>,
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Counter {
+            shards: (0..COUNTER_SHARDS).map(|_| Pad::default()).collect(),
+        }
+    }
+
+    /// Adds one. Lock-free: one relaxed `fetch_add` on the calling thread's shard.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`. Lock-free: one relaxed `fetch_add` on the calling thread's shard.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.shards[shard_index(COUNTER_SHARDS)]
+            .0
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The merged value (sums every shard; scrape-time only).
+    pub fn value(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Zeroes every shard.
+    pub fn reset(&self) {
+        for s in self.shards.iter() {
+            s.0.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A last-write-wins scalar (bit pattern of an `f64`). Not sharded: `set` replaces the value.
+#[derive(Debug)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Gauge {
+    /// Creates a gauge reading `0.0`.
+    pub fn new() -> Self {
+        Gauge {
+            bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// Stores `value`. Lock-free: one relaxed store.
+    #[inline]
+    pub fn set(&self, value: f64) {
+        self.bits.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn value(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    /// Resets the gauge to `0.0`.
+    pub fn reset(&self) {
+        self.bits.store(0f64.to_bits(), Ordering::Relaxed);
+    }
+}
+
+/// A fixed-capacity array of counters indexed by a small integer (a fanout histogram, per-shard
+/// request counts), sharded over [`crate::HISTOGRAM_SHARDS`] per-worker
+/// copies.
+///
+/// Memory is bounded by construction: `capacity` slots are allocated up front and indices
+/// `>= capacity` clamp into the final slot (an explicit overflow bucket), so a counter vector
+/// can absorb unbounded traffic in constant space.
+#[derive(Debug)]
+pub struct IndexedCounter {
+    capacity: usize,
+    shards: Box<[Box<[AtomicU64]>]>,
+}
+
+impl IndexedCounter {
+    /// Creates `capacity` zeroed slots (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        IndexedCounter {
+            capacity,
+            shards: (0..HISTOGRAM_SHARDS)
+                .map(|_| (0..capacity).map(|_| AtomicU64::new(0)).collect())
+                .collect(),
+        }
+    }
+
+    /// Number of slots (the clamp bound).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Adds one to slot `index` (clamped to the final overflow slot). Lock-free.
+    #[inline]
+    pub fn inc(&self, index: usize) {
+        self.add(index, 1);
+    }
+
+    /// Adds `n` to slot `index` (clamped to the final overflow slot). Lock-free.
+    #[inline]
+    pub fn add(&self, index: usize, n: u64) {
+        let slot = index.min(self.capacity - 1);
+        self.shards[shard_index(HISTOGRAM_SHARDS)][slot].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The merged per-slot values, truncated to the first `len` slots (scrape-time only).
+    pub fn values(&self, len: usize) -> Vec<u64> {
+        let len = len.min(self.capacity);
+        let mut out = vec![0u64; len];
+        for shard in self.shards.iter() {
+            for (slot, total) in shard.iter().take(len).zip(out.iter_mut()) {
+                *total += slot.load(Ordering::Relaxed);
+            }
+        }
+        out
+    }
+
+    /// The merged sum across every slot.
+    pub fn total(&self) -> u64 {
+        self.shards
+            .iter()
+            .flat_map(|shard| shard.iter())
+            .map(|slot| slot.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Zeroes every slot of every shard.
+    pub fn reset(&self) {
+        for shard in self.shards.iter() {
+            for slot in shard.iter() {
+                slot.store(0, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Bytes of counter storage held (constant for the lifetime of the value).
+    pub fn memory_bytes(&self) -> usize {
+        self.shards.len() * self.capacity * std::mem::size_of::<AtomicU64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_merges_across_threads() {
+        let c = Counter::new();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.value(), 8_000);
+        c.reset();
+        assert_eq!(c.value(), 0);
+    }
+
+    #[test]
+    fn gauge_is_last_write_wins() {
+        let g = Gauge::new();
+        assert_eq!(g.value(), 0.0);
+        g.set(2.5);
+        assert_eq!(g.value(), 2.5);
+        g.set(-1.0);
+        assert_eq!(g.value(), -1.0);
+        g.reset();
+        assert_eq!(g.value(), 0.0);
+    }
+
+    #[test]
+    fn indexed_counter_clamps_to_overflow_slot() {
+        let c = IndexedCounter::new(4);
+        c.inc(0);
+        c.add(2, 5);
+        c.inc(3);
+        c.inc(99); // clamps into slot 3
+        assert_eq!(c.values(4), vec![1, 0, 5, 2]);
+        assert_eq!(c.values(2), vec![1, 0]);
+        assert_eq!(c.total(), 8);
+        assert_eq!(c.capacity(), 4);
+    }
+
+    #[test]
+    fn indexed_counter_memory_is_constant() {
+        let c = IndexedCounter::new(64);
+        let before = c.memory_bytes();
+        for i in 0..100_000usize {
+            c.inc(i % 200);
+        }
+        assert_eq!(c.memory_bytes(), before);
+        assert_eq!(c.total(), 100_000);
+    }
+
+    #[test]
+    fn concurrent_indexed_increments_are_exact() {
+        let c = IndexedCounter::new(8);
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let c = &c;
+                scope.spawn(move || {
+                    for i in 0..10_000usize {
+                        c.inc((i + t) % 8);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.total(), 40_000);
+        assert_eq!(c.values(8).iter().sum::<u64>(), 40_000);
+    }
+}

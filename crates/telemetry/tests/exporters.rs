@@ -1,0 +1,302 @@
+//! Exporter conformance: a hand-rolled Prometheus exposition-format line checker and JSON
+//! snapshot round-trip, run against a representative registry and a golden fixture.
+
+use shp_telemetry::{Registry, Snapshot};
+use std::collections::BTreeMap;
+
+/// Builds a registry exercising every metric kind with serving-shaped names.
+fn representative_snapshot() -> Snapshot {
+    let registry = Registry::new();
+    registry.counter("serving/queries").add(1000);
+    registry.counter("serving/cache/hits").add(750);
+    registry.counter("ingest/bytes_read").add(123_456_789);
+    registry.gauge("serving/shard_skew").set(1.375);
+    registry.gauge("serving/epoch").set(3.0);
+    let latency = registry.histogram("serving/latency_ms");
+    for i in 0..1000u32 {
+        latency.record(0.05 + f64::from(i % 97) * 0.03);
+    }
+    let fanout = registry.histogram("serving/fanout");
+    for i in 0..1000u32 {
+        fanout.record(f64::from(1 + i % 7));
+    }
+    registry
+        .span_stats("partition/refinement")
+        .record_ns(5_000_000);
+    registry
+        .span_stats("partition/refinement/iteration")
+        .record_ns(1_200_000);
+    registry.span_stats("serving/route").record_ns(800);
+    let sketch = registry.sketch("serving/hot_keys", 256);
+    for i in 0..500u32 {
+        sketch.record(i % 19);
+    }
+    registry.snapshot()
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus line checker
+// ---------------------------------------------------------------------------
+
+/// One parsed exposition sample: `(metric name, label pairs, value)`.
+type Sample = (String, Vec<(String, String)>, f64);
+
+/// Splits a sample line `name{labels} value` into its parts, validating syntax.
+fn parse_sample(line: &str) -> Sample {
+    let (name_and_labels, value) = line
+        .rsplit_once(' ')
+        .unwrap_or_else(|| panic!("sample line has no value: {line:?}"));
+    let value: f64 = match value {
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        other => other
+            .parse()
+            .unwrap_or_else(|_| panic!("unparsable sample value in {line:?}")),
+    };
+    let (name, labels) = match name_and_labels.split_once('{') {
+        None => (name_and_labels.to_string(), Vec::new()),
+        Some((name, rest)) => {
+            let body = rest
+                .strip_suffix('}')
+                .unwrap_or_else(|| panic!("unterminated label set: {line:?}"));
+            let mut labels = Vec::new();
+            let mut remaining = body;
+            while !remaining.is_empty() {
+                let (key, rest) = remaining
+                    .split_once("=\"")
+                    .unwrap_or_else(|| panic!("malformed label in {line:?}"));
+                // Find the closing unescaped quote.
+                let mut end = None;
+                let bytes = rest.as_bytes();
+                let mut i = 0;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'\\' => i += 2,
+                        b'"' => {
+                            end = Some(i);
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                let end = end.unwrap_or_else(|| panic!("unterminated label value: {line:?}"));
+                let raw = &rest[..end];
+                let unescaped = raw
+                    .replace("\\n", "\n")
+                    .replace("\\\"", "\"")
+                    .replace("\\\\", "\\");
+                labels.push((key.to_string(), unescaped));
+                remaining = &rest[end + 1..];
+                remaining = remaining.strip_prefix(',').unwrap_or(remaining);
+            }
+            (name.to_string(), labels)
+        }
+    };
+    assert!(
+        !name.is_empty()
+            && !name.starts_with(|c: char| c.is_ascii_digit())
+            && name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+        "invalid metric name {name:?} in {line:?}"
+    );
+    (name, labels, value)
+}
+
+/// Validates a full exposition document and returns `(type by family, samples)`.
+fn check_exposition(text: &str) -> (BTreeMap<String, String>, Vec<Sample>) {
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    let mut helps: BTreeMap<String, String> = BTreeMap::new();
+    let mut samples = Vec::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (family, kind) = rest.split_once(' ').expect("TYPE line needs a kind");
+            assert!(
+                matches!(
+                    kind,
+                    "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                ),
+                "unknown TYPE {kind:?}"
+            );
+            assert!(
+                types.insert(family.to_string(), kind.to_string()).is_none(),
+                "duplicate TYPE for {family}"
+            );
+        } else if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (family, help) = rest.split_once(' ').expect("HELP line needs text");
+            assert!(!help.is_empty());
+            helps.insert(family.to_string(), help.to_string());
+        } else if line.starts_with('#') {
+            panic!("unknown comment line {line:?}");
+        } else {
+            samples.push(parse_sample(line));
+        }
+    }
+    // Every TYPE has a HELP and every sample belongs to a declared family.
+    for family in types.keys() {
+        assert!(helps.contains_key(family), "{family} has TYPE but no HELP");
+    }
+    for (name, _, _) in &samples {
+        let family_known = types.contains_key(name)
+            || [("_bucket", ""), ("_sum", ""), ("_count", "")]
+                .iter()
+                .any(|(suffix, _)| {
+                    name.strip_suffix(suffix).is_some_and(|family| {
+                        types.get(family).map(String::as_str) == Some("histogram")
+                    })
+                });
+        assert!(family_known, "sample {name} has no TYPE declaration");
+    }
+    (types, samples)
+}
+
+#[test]
+fn prometheus_document_passes_the_line_checker() {
+    let text = representative_snapshot().to_prometheus();
+    let (types, samples) = check_exposition(&text);
+
+    assert_eq!(types["serving_queries_total"], "counter");
+    assert_eq!(types["serving_shard_skew"], "gauge");
+    assert_eq!(types["serving_latency_ms"], "histogram");
+    assert_eq!(types["shp_span_seconds_total"], "counter");
+    assert_eq!(types["shp_hot_key_hits"], "gauge");
+
+    let value_of = |name: &str| {
+        samples
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .unwrap_or_else(|| panic!("missing sample {name}"))
+            .2
+    };
+    assert_eq!(value_of("serving_queries_total"), 1000.0);
+    assert_eq!(value_of("serving_cache_hits_total"), 750.0);
+    assert_eq!(value_of("serving_shard_skew"), 1.375);
+    assert_eq!(value_of("serving_latency_ms_count"), 1000.0);
+}
+
+#[test]
+fn histogram_buckets_are_cumulative_monotone_and_end_at_inf() {
+    let text = representative_snapshot().to_prometheus();
+    let (_, samples) = check_exposition(&text);
+    for family in ["serving_latency_ms", "serving_fanout"] {
+        let bucket_name = format!("{family}_bucket");
+        let buckets: Vec<(f64, f64)> = samples
+            .iter()
+            .filter(|(n, _, _)| n == &bucket_name)
+            .map(|(_, labels, value)| {
+                assert_eq!(labels.len(), 1, "{bucket_name} must carry exactly le=");
+                assert_eq!(labels[0].0, "le");
+                let le = match labels[0].1.as_str() {
+                    "+Inf" => f64::INFINITY,
+                    other => other.parse().expect("numeric le"),
+                };
+                (le, *value)
+            })
+            .collect();
+        assert!(!buckets.is_empty());
+        for window in buckets.windows(2) {
+            assert!(window[0].0 < window[1].0, "{family}: le edges must ascend");
+            assert!(
+                window[0].1 <= window[1].1,
+                "{family}: cumulative counts must be monotone"
+            );
+        }
+        let last = buckets.last().unwrap();
+        assert_eq!(last.0, f64::INFINITY, "{family}: final bucket must be +Inf");
+        let count = samples
+            .iter()
+            .find(|(n, _, _)| n == &format!("{family}_count"))
+            .unwrap()
+            .2;
+        assert_eq!(last.1, count, "{family}: +Inf bucket must equal _count");
+    }
+}
+
+#[test]
+fn label_escaping_survives_the_checker() {
+    let registry = Registry::new();
+    registry
+        .span_stats("odd\"path\\with\nnewline")
+        .record_ns(10);
+    let text = registry.snapshot().to_prometheus();
+    let (_, samples) = check_exposition(&text);
+    let (_, labels, _) = samples
+        .iter()
+        .find(|(n, _, _)| n == "shp_span_count_total")
+        .expect("span sample present");
+    assert_eq!(labels[0].1, "odd\"path\\with\nnewline");
+}
+
+#[test]
+fn json_snapshot_round_trips_through_a_file() {
+    let snapshot = representative_snapshot();
+    let dir = std::env::temp_dir().join(format!("shp_telemetry_export_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("snapshot.json");
+    std::fs::write(&path, snapshot.to_json()).unwrap();
+    let read_back = std::fs::read_to_string(&path).unwrap();
+    let parsed = Snapshot::from_json(&read_back).expect("parse snapshot file");
+    assert_eq!(parsed, snapshot);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn golden_prometheus_fixture_is_stable() {
+    // A small, fully pinned registry: the exact rendered bytes are part of the exporter's
+    // contract (deterministic ordering, number formatting, label syntax).
+    let registry = Registry::new();
+    registry.counter("demo/requests").add(7);
+    registry.gauge("demo/ratio").set(0.5);
+    let h = registry.histogram("demo/size");
+    h.record(1.0);
+    h.record(2.0);
+    registry.span_stats("demo/phase").record_ns(1_500_000_000);
+    let text = registry.snapshot().to_prometheus();
+    let expected = "\
+# HELP demo_requests_total Counter demo/requests
+# TYPE demo_requests_total counter
+demo_requests_total 7
+# HELP demo_ratio Gauge demo/ratio
+# TYPE demo_ratio gauge
+demo_ratio 0.5
+# HELP demo_size Histogram demo/size
+# TYPE demo_size histogram
+demo_size_bucket{le=\"1.015625\"} 1
+demo_size_bucket{le=\"2.03125\"} 2
+demo_size_bucket{le=\"+Inf\"} 2
+demo_size_sum 3
+demo_size_count 2
+# HELP shp_span_count_total Completed spans per phase path
+# TYPE shp_span_count_total counter
+shp_span_count_total{span=\"demo/phase\"} 1
+# HELP shp_span_seconds_total Wall seconds per phase path
+# TYPE shp_span_seconds_total counter
+shp_span_seconds_total{span=\"demo/phase\"} 1.5
+# HELP shp_span_seconds_max Longest single span per phase path
+# TYPE shp_span_seconds_max gauge
+shp_span_seconds_max{span=\"demo/phase\"} 1.5
+";
+    assert_eq!(text, expected);
+}
+
+#[test]
+fn merged_snapshots_export_consistently() {
+    // Two registries (as the CLI's replay produces for its two engines) merge into one
+    // snapshot whose exposition still passes the checker.
+    let a = Registry::new();
+    a.counter("serving/random/queries").add(10);
+    a.histogram("serving/random/latency_ms").record(1.0);
+    let b = Registry::new();
+    b.counter("serving/shp2/queries").add(10);
+    b.histogram("serving/shp2/latency_ms").record(0.5);
+    let mut merged = a.snapshot();
+    merged.merge(&b.snapshot());
+    let (types, _) = check_exposition(&merged.to_prometheus());
+    assert!(types.contains_key("serving_random_queries_total"));
+    assert!(types.contains_key("serving_shp2_queries_total"));
+    let round_trip = Snapshot::from_json(&merged.to_json()).unwrap();
+    assert_eq!(round_trip, merged);
+}

@@ -25,6 +25,9 @@
 //! * [`sharding_sim`] — the fanout-vs-latency storage sharding simulator.
 //! * [`serving`] — the online partition-aware multiget serving engine with live repartition
 //!   swap, warm-startable from any registry outcome.
+//! * [`telemetry`] — zero-dependency lock-free observability: sharded counters, log-linear
+//!   histograms, hierarchical phase spans, a top-K access sketch, and Prometheus/JSON
+//!   exporters; instrumented throughout the crates above.
 //!
 //! # Quickstart
 //!
@@ -56,4 +59,5 @@ pub use shp_datagen as datagen;
 pub use shp_hypergraph as hypergraph;
 pub use shp_serving as serving;
 pub use shp_sharding_sim as sharding_sim;
+pub use shp_telemetry as telemetry;
 pub use shp_vertex_centric as vertex_centric;

@@ -67,7 +67,12 @@ fn power_law_graph() -> BipartiteGraph {
 /// The exact-equality fingerprint of an outcome. Floats are compared by bit pattern — "close
 /// enough" would hide reduction-order differences, which are precisely the bug class this
 /// suite exists to catch.
-fn fingerprint(outcome: &PartitionOutcome) -> (Vec<u32>, u64, u64, u64, usize, u64) {
+type Fingerprint = (Vec<u32>, u64, u64, u64, usize, u64);
+
+/// A [`Fingerprint`] plus the observer's trace event stream — everything a run exposes.
+type TracedFingerprint = (Fingerprint, Vec<(usize, usize, u64)>);
+
+fn fingerprint(outcome: &PartitionOutcome) -> Fingerprint {
     (
         outcome.partition.assignment().to_vec(),
         outcome.fanout.to_bits(),
@@ -306,6 +311,50 @@ fn shpk_outcome_equals_manually_run_legacy_pipeline() {
         assert_eq!(a.moved, b.moved);
         assert_eq!(a.applied_gain.to_bits(), b.applied_gain.to_bits());
     }
+}
+
+/// Telemetry must be write-only: with instrumentation enabled or disabled, every registry
+/// algorithm must produce a bit-identical outcome **and** iteration trace for every worker
+/// count. Spans, counters, and histograms observe the phases; nothing they do may feed back
+/// into a partitioning decision.
+///
+/// The enabled flag is process-global, so this test toggles it while sibling tests run — which
+/// is itself part of the contract: flipping telemetry mid-flight must be invisible to every
+/// algorithm in this binary.
+#[test]
+fn telemetry_toggle_never_changes_any_algorithm_outcome() {
+    let registry = full_registry();
+    let graph = planted_graph();
+    for name in registry.names() {
+        let mut baseline: Option<TracedFingerprint> = None;
+        for &workers in &worker_counts() {
+            for enabled in [true, false] {
+                shp::telemetry::set_enabled(enabled);
+                let spec = PartitionSpec::new(4)
+                    .with_seed(0x5047)
+                    .with_max_iterations(4)
+                    .with_workers(workers);
+                let mut trace = TraceObserver::default();
+                let outcome = registry
+                    .run(&name, &graph, &spec, &mut trace)
+                    .expect("registered algorithm on a valid spec");
+                let events: Vec<(usize, usize, u64)> = trace
+                    .iterations
+                    .iter()
+                    .map(|e| (e.iteration, e.moved, e.fanout.to_bits()))
+                    .collect();
+                let fp = (fingerprint(&outcome), events);
+                match &baseline {
+                    None => baseline = Some(fp),
+                    Some(expected) => assert_eq!(
+                        &fp, expected,
+                        "{name}: outcome diverged at workers={workers}, telemetry={enabled}"
+                    ),
+                }
+            }
+        }
+    }
+    shp::telemetry::set_enabled(true);
 }
 
 /// A panicking task must propagate to the caller without deadlocking, and the pool must stay

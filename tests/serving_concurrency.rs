@@ -191,3 +191,94 @@ fn multigets_survive_live_swaps_without_drops_or_torn_routing() {
     // The readers raced at least one installed generation.
     assert!(report.max_epoch >= 1);
 }
+
+/// The rebuilt lock-free metrics record path: multigets hammered from many threads while the
+/// swapper installs generation after generation must be accounted **exactly**. The sharded
+/// counters, the latency histogram, and the exact per-fanout histogram may lose no update —
+/// under the old `Mutex<Vec>` implementation this test merely serialized; under the lock-free
+/// one it proves the relaxed-atomic shards still add up to the last query.
+#[test]
+fn metrics_accounting_stays_exact_while_records_race_live_swaps() {
+    let graph = community_graph();
+    let engine = ServingEngine::new(&aligned(&graph), EngineConfig::default()).unwrap();
+    engine.reset_metrics();
+
+    const QUERIES_PER_READER: u64 = 400;
+    const SWAPS: u64 = 100;
+    let readers = reader_threads().max(2);
+
+    std::thread::scope(|scope| {
+        let engine_ref = &engine;
+        let graph_ref = &graph;
+        let clients: Vec<_> = (0..readers)
+            .map(|reader| {
+                scope.spawn(move || {
+                    for i in 0..QUERIES_PER_READER {
+                        let group = ((reader as u64 + i) % GROUPS as u64) as u32;
+                        let base = group * SIZE;
+                        let keys: Vec<u32> = (base..base + SIZE).collect();
+                        engine_ref.multiget(&keys).unwrap();
+                    }
+                })
+            })
+            .collect();
+        let swapper = scope.spawn(move || {
+            for i in 0..SWAPS {
+                let next = if i % 2 == 0 {
+                    scattered(graph_ref)
+                } else {
+                    aligned(graph_ref)
+                };
+                engine_ref.install_partition(&next).unwrap();
+                std::thread::yield_now();
+            }
+        });
+        for client in clients {
+            client.join().expect("client thread panicked");
+        }
+        swapper.join().expect("swapper thread panicked");
+    });
+
+    let total = readers as u64 * QUERIES_PER_READER;
+    let report = engine.report();
+    assert_eq!(
+        report.queries, total,
+        "a dropped record() would show up here"
+    );
+
+    // Exact fanout accounting: every multiget recorded exactly one fanout, and each one is a
+    // pure generation's (1 aligned, GROUPS scattered).
+    let observed: u64 = report.fanout_histogram.iter().sum();
+    assert_eq!(observed, total);
+    for (fanout, &count) in report.fanout_histogram.iter().enumerate() {
+        assert!(
+            count == 0 || fanout == 1 || fanout == GROUPS as usize,
+            "impossible fanout {fanout} recorded {count} times"
+        );
+    }
+
+    // The exported telemetry snapshot agrees with the report to the last update: per-shard
+    // request counters sum to the total shard touches, and the exact fanout histogram carries
+    // the same mass.
+    let snapshot = engine.telemetry_snapshot("t");
+    assert_eq!(snapshot.counters["t/queries"], total);
+    let shard_total: u64 = snapshot
+        .counters
+        .iter()
+        .filter(|(name, _)| name.starts_with("t/shard_requests/"))
+        .map(|(_, &count)| count)
+        .sum();
+    let fanout_mass: u64 = report
+        .fanout_histogram
+        .iter()
+        .enumerate()
+        .map(|(fanout, &count)| fanout as u64 * count)
+        .sum();
+    assert_eq!(shard_total, fanout_mass);
+    let exported = &snapshot.histograms["t/fanout"];
+    assert_eq!(exported.count, total);
+    assert_eq!(exported.sum, fanout_mass as f64);
+    // The latency histogram counted every multiget too (out-of-range values land in the
+    // underflow bucket, so nothing escapes the count).
+    assert_eq!(snapshot.histograms["t/latency"].count, total);
+}
