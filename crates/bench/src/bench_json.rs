@@ -23,6 +23,10 @@ pub const BENCH_INGEST_JSON_NAME: &str = "BENCH_ingest.json";
 /// the repository root.
 pub const BENCH_TELEMETRY_JSON_NAME: &str = "BENCH_telemetry.json";
 
+/// The online-repartitioning trajectory file name (written by the `controller_drift` bench),
+/// created at the repository root.
+pub const BENCH_CONTROLLER_JSON_NAME: &str = "BENCH_controller.json";
+
 /// The repository root, resolved relative to this crate's manifest (`crates/bench/../..`).
 pub fn repo_root() -> PathBuf {
     let raw = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");

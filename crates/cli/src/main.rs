@@ -26,6 +26,14 @@
 //!   the unified registry, and warm-start it *live* mid-run. `--graph <file>` (ideally a
 //!   `.shpb` snapshot) plus `--partition <file>` warm-start serving from on-disk artifacts:
 //!   the engine opens on the saved placement instead of a random one.
+//!   `--repartition-every <n>` switches to closed-loop *online* repartitioning: a bounded
+//!   trace collector rides the multiget hot path, and a controller thread re-partitions the
+//!   live engine from the observed co-access graph every n served multigets, moving at most
+//!   `--migration-budget <m>` keys per epoch (delta install, no full-map clone).
+//! * `controller [options]` — run the hours-compressed drift scenario from `shp-controller`:
+//!   key popularity rotates phase over phase, a never-repartition baseline decays, and the
+//!   budgeted controller recovers fanout. Prints per-phase fanout/latency and the migration
+//!   volume; `--json` emits the report machine-readably.
 //! * `metrics <snapshot.json> [--prometheus]` — pretty-print a telemetry snapshot written by
 //!   `--metrics`, or re-emit it in Prometheus text exposition format.
 //!
@@ -42,6 +50,10 @@
 //! partitions can be compared against other tools directly.
 
 use shp_baselines::{full_registry, RandomPartitioner};
+use shp_controller::{
+    run_drift_scenario, AccessTraceCollector, ControllerConfig, DriftConfig, DriftReport,
+    RepartitionController,
+};
 use shp_core::api::{AlgorithmRegistry, NoopObserver, PartitionOutcome, PartitionSpec};
 use shp_core::{ObjectiveKind, ShpError, ShpResult};
 use shp_datagen::Dataset;
@@ -49,10 +61,11 @@ use shp_hypergraph::io::GraphFormat;
 use shp_hypergraph::{
     average_fanout, average_p_fanout, hyperedge_cut, io, BipartiteGraph, GraphStats,
 };
-use shp_serving::{open_loop_schedule, EngineConfig, ServingEngine, WorkloadConfig};
+use shp_serving::{open_loop_schedule, EngineConfig, ServingEngine, WorkloadConfig, WorkloadEvent};
 use shp_telemetry::Snapshot;
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 fn main() -> ExitCode {
@@ -65,6 +78,7 @@ fn main() -> ExitCode {
         Some("evaluate") => cmd_evaluate(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("controller") => cmd_controller(&args[1..]),
         Some("metrics") => cmd_metrics(&args[1..]),
         _ => {
             eprintln!("{USAGE}");
@@ -93,12 +107,18 @@ const USAGE: &str = "usage:
   shp serve  [--dataset <name> | --graph <file>] [--partition <file>] [--scale <s>]
              [--shards <k>] [--rate <r>] [--duration <d>] [--clients <n>]
              [--cache <capacity>] [--seed <seed>] [--workers <n>] [--metrics <file>]
+             [--repartition-every <n>] [--migration-budget <m>]
+  shp controller [--quick] [--phases <n>] [--every <n>] [--budget <m>] [--seed <seed>]
+             [--json]
   shp metrics <snapshot.json> [--prometheus]
 
 `shp algorithms` lists the names accepted by --mode. Graph inputs may be edge-list, hMetis,
 or .shpb binary files (autodetected; see `shp convert --help`).
 --metrics exports the run's telemetry snapshot: JSON by default, Prometheus text exposition
 format when the path ends in .prom; `shp metrics <file>` pretty-prints a JSON snapshot.
+--repartition-every closes the serve->observe->repartition loop online: one controller epoch
+per n served multigets, each moving at most --migration-budget keys (default 256).
+`shp controller` runs the drift scenario against a never-repartition baseline.
 datasets: email-Enron soc-Epinions web-Stanford web-BerkStan soc-Pokec soc-LJ FB-10M FB-50M FB-2B FB-5B FB-10B";
 
 const CONVERT_HELP: &str =
@@ -524,6 +544,11 @@ struct ServeOptions {
     /// Export the run's telemetry snapshot to this file (rewritten roughly once a second
     /// while the workload runs): JSON, or Prometheus text if the path ends in `.prom`.
     metrics: Option<String>,
+    /// Online repartitioning cadence: one controller epoch every this many served multigets.
+    /// 0 (the default) keeps the classic one-shot background SHP-2 warm start.
+    repartition_every: usize,
+    /// Per-epoch migration budget for online repartitioning (keys moved per delta install).
+    migration_budget: usize,
 }
 
 impl ServeOptions {
@@ -541,6 +566,8 @@ impl ServeOptions {
             seed: 0x5047,
             workers: 4,
             metrics: None,
+            repartition_every: 0,
+            migration_budget: 256,
         };
         let invalid = |message: String| ShpError::InvalidArgument(message);
         let mut i = 0;
@@ -561,6 +588,8 @@ impl ServeOptions {
                     | "--seed"
                     | "--workers"
                     | "--metrics"
+                    | "--repartition-every"
+                    | "--migration-budget"
             ) {
                 return Err(invalid(format!("unknown option {:?}", args[i])));
             }
@@ -630,6 +659,19 @@ impl ServeOptions {
                     }
                 }
                 "--metrics" => options.metrics = Some(value.clone()),
+                "--repartition-every" => {
+                    options.repartition_every = value
+                        .parse()
+                        .map_err(|_| invalid(format!("invalid repartition cadence {value:?}")))?;
+                }
+                "--migration-budget" => {
+                    options.migration_budget = value
+                        .parse()
+                        .map_err(|_| invalid(format!("invalid migration budget {value:?}")))?;
+                    if options.migration_budget == 0 {
+                        return Err(invalid("the migration budget must be at least 1".into()));
+                    }
+                }
                 _ => unreachable!("flag names are checked above"),
             }
             i += 2;
@@ -711,6 +753,11 @@ fn cmd_replay(args: &[String]) -> ShpResult<()> {
     if options.partition.is_some() {
         return Err(ShpError::InvalidArgument(
             "--partition is only meaningful for `shp serve`".into(),
+        ));
+    }
+    if options.repartition_every != 0 {
+        return Err(ShpError::InvalidArgument(
+            "--repartition-every is only meaningful for `shp serve`".into(),
         ));
     }
     let (graph, _) = options.load_warm_start()?;
@@ -811,6 +858,9 @@ fn cmd_serve(args: &[String]) -> ShpResult<()> {
             RandomPartitioner::new(options.seed).partition_into(&graph, options.shards, 0.05)
         }
     };
+    if options.repartition_every > 0 {
+        return serve_online(&options, &graph, &events, &start);
+    }
     let engine = ServingEngine::new(&start, options.engine_config())?;
 
     // Plan the repartition off the serving path, then warm-start it live once at least half of
@@ -886,5 +936,304 @@ fn cmd_serve(args: &[String]) -> ShpResult<()> {
         "\nno serving gap: all {} multigets answered across epochs {}..={}",
         report.queries, report.min_epoch, report.max_epoch
     );
+    Ok(())
+}
+
+/// `shp serve --repartition-every <n>`: the closed observe→repartition loop, live.
+///
+/// A bounded [`AccessTraceCollector`] rides the multiget hot path as the engine's access
+/// observer; a controller thread runs one [`RepartitionController`] epoch every `n` served
+/// multigets, installing a budgeted delta placement while the client threads keep serving.
+fn serve_online(
+    options: &ServeOptions,
+    graph: &BipartiteGraph,
+    events: &[WorkloadEvent],
+    start: &shp_hypergraph::Partition,
+) -> ShpResult<()> {
+    let collector = Arc::new(AccessTraceCollector::new(
+        options.repartition_every.clamp(64, 4096),
+        options.seed,
+    ));
+    let engine =
+        ServingEngine::new(start, options.engine_config())?.with_access_observer(collector.clone());
+    let controller = RepartitionController::new(
+        collector,
+        ControllerConfig {
+            migration_budget: options.migration_budget,
+            seed: options.seed,
+            ..ControllerConfig::default()
+        },
+    );
+    println!(
+        "online repartitioning: one controller epoch every {} multigets, migration budget {} \
+         keys/epoch",
+        options.repartition_every, options.migration_budget
+    );
+
+    let progress = AtomicUsize::new(0);
+    let done = AtomicBool::new(false);
+    let chunk = events.len().div_ceil(options.clients.max(1)).max(1);
+    let snapshot_now = || {
+        let mut live = engine.telemetry_snapshot("serving");
+        live.merge(&shp_telemetry::global().snapshot());
+        live
+    };
+    let (epochs_run, cumulative_moved) =
+        with_periodic_snapshots(options.metrics.as_deref(), &snapshot_now, || {
+            std::thread::scope(|scope| {
+                let engine_ref = &engine;
+                let graph_ref = &graph;
+                let progress_ref = &progress;
+                let done_ref = &done;
+                let every = options.repartition_every;
+                let mut controller = controller;
+                let driver = scope.spawn(move || -> ShpResult<(usize, usize)> {
+                    let mut boundary = every;
+                    loop {
+                        while progress_ref.load(Ordering::Relaxed) < boundary {
+                            if done_ref.load(Ordering::Relaxed) {
+                                return Ok((
+                                    controller.epochs_run(),
+                                    controller.cumulative_moved(),
+                                ));
+                            }
+                            std::thread::yield_now();
+                        }
+                        if let Some(outcome) = controller.run_epoch(engine_ref)? {
+                            println!(
+                                "epoch {}: moved {} keys (observed fanout {:.3} -> {:.3} over \
+                                 {} multigets)",
+                                outcome.epoch,
+                                outcome.moved_keys,
+                                outcome.fanout_before,
+                                outcome.fanout_after,
+                                outcome.observed_queries
+                            );
+                        }
+                        boundary += every;
+                    }
+                });
+                let clients: Vec<_> = events
+                    .chunks(chunk)
+                    .map(|slice| {
+                        scope.spawn(move || -> ShpResult<()> {
+                            for event in slice {
+                                engine_ref.multiget(graph_ref.query_neighbors(event.query))?;
+                                progress_ref.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Ok(())
+                        })
+                    })
+                    .collect();
+                for client in clients {
+                    client.join().expect("client thread panicked")?;
+                }
+                done.store(true, Ordering::Relaxed);
+                driver.join().expect("controller thread panicked")
+            })
+        })?;
+    if let Some(path) = options.metrics.as_deref() {
+        write_metrics_file(path, &snapshot_now())?;
+        println!("wrote telemetry snapshot to {path}");
+    }
+
+    let report = engine.report();
+    println!("\n{report}");
+    if report.queries != events.len() as u64 {
+        return Err(ShpError::Runtime(format!(
+            "serving gap: only {} of {} multigets were served",
+            report.queries,
+            events.len()
+        )));
+    }
+    if epochs_run == 0 {
+        return Err(ShpError::Runtime(format!(
+            "no controller epoch fired: the schedule served {} multigets but the cadence is \
+             {}; lower --repartition-every or raise --rate/--duration",
+            events.len(),
+            options.repartition_every
+        )));
+    }
+    println!(
+        "\nonline loop closed: {} controller epoch(s), {} key(s) moved in total (budget {} \
+         keys/epoch), final epoch {}",
+        epochs_run,
+        cumulative_moved,
+        options.migration_budget,
+        engine.current_epoch()
+    );
+    Ok(())
+}
+
+/// Renders one scenario run as a JSON object (phase rows plus the headline totals).
+fn drift_report_json(report: &DriftReport) -> String {
+    let phases: Vec<String> = report
+        .phases
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"phase\":{},\"mean_fanout\":{:.6},\"p99\":{:.6},\"p999\":{:.6},\
+                 \"epochs\":{},\"moved\":{}}}",
+                p.phase,
+                p.mean_fanout,
+                p.p99,
+                p.p999,
+                p.epochs.len(),
+                p.epochs.iter().map(|e| e.moved_keys).sum::<usize>()
+            )
+        })
+        .collect();
+    format!(
+        "{{\"phases\":[{}],\"cumulative_moved\":{},\"migration_budget\":{},\
+         \"max_epoch_moved\":{}}}",
+        phases.join(","),
+        report.cumulative_moved,
+        report.migration_budget,
+        report.max_epoch_moved
+    )
+}
+
+fn cmd_controller(args: &[String]) -> ShpResult<()> {
+    let mut quick = false;
+    let mut json = false;
+    let mut phases: Option<usize> = None;
+    let mut every: Option<usize> = None;
+    let mut budget: Option<usize> = None;
+    let mut seed: Option<u64> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        if flag == "--quick" || flag == "--json" {
+            if flag == "--quick" {
+                quick = true;
+            } else {
+                json = true;
+            }
+            i += 1;
+            continue;
+        }
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| ShpError::InvalidArgument(format!("{flag} needs a value")))?;
+        let parsed = |what: &str| {
+            value
+                .parse::<usize>()
+                .map_err(|_| ShpError::InvalidArgument(format!("invalid {what} {value:?}")))
+        };
+        match flag {
+            "--phases" => phases = Some(parsed("phase count")?),
+            "--every" => every = Some(parsed("epoch cadence")?),
+            "--budget" => budget = Some(parsed("migration budget")?),
+            "--seed" => {
+                seed =
+                    Some(value.parse().map_err(|_| {
+                        ShpError::InvalidArgument(format!("invalid seed {value:?}"))
+                    })?)
+            }
+            other => return Err(usage_error(format!("unknown option {other:?}"))),
+        }
+        i += 2;
+    }
+
+    let mut config = DriftConfig::default();
+    if quick {
+        config = config.quick();
+    }
+    if let Some(phases) = phases {
+        config.phases = phases;
+    }
+    if let Some(every) = every {
+        config.repartition_every = every;
+    }
+    if let Some(budget) = budget {
+        config.migration_budget = budget;
+    }
+    if let Some(seed) = seed {
+        config.seed = seed;
+    }
+    if config.phases == 0 || config.repartition_every == 0 || config.migration_budget == 0 {
+        return Err(ShpError::InvalidArgument(
+            "--phases, --every, and --budget must all be at least 1".into(),
+        ));
+    }
+
+    if !json {
+        println!(
+            "drift scenario: {} communities x {} keys on {} shards, {} phases x {} multigets, \
+             structure shifts {} keys/phase",
+            config.communities,
+            config.community_size,
+            config.shards,
+            config.phases,
+            config.queries_per_phase,
+            config.shift_per_phase
+        );
+        println!(
+            "controller: one epoch every {} multigets, migration budget {} keys/epoch\n",
+            config.repartition_every, config.migration_budget
+        );
+    }
+    let with = run_drift_scenario(&config)?;
+    let baseline = run_drift_scenario(&DriftConfig {
+        repartition_every: 0,
+        ..config.clone()
+    })?;
+
+    if json {
+        println!(
+            "{{\"controller\":{},\"baseline\":{}}}",
+            drift_report_json(&with),
+            drift_report_json(&baseline)
+        );
+    } else {
+        println!(
+            "{:>5}  {:>17} {:>8} {:>8}  {:>15} {:>8}  {:>6} {:>6}",
+            "phase",
+            "controller fanout",
+            "p99",
+            "p999",
+            "baseline fanout",
+            "p99",
+            "epochs",
+            "moved"
+        );
+        for (c, b) in with.phases.iter().zip(&baseline.phases) {
+            println!(
+                "{:>5}  {:>17.4} {:>8.3} {:>8.3}  {:>15.4} {:>8.3}  {:>6} {:>6}",
+                c.phase,
+                c.mean_fanout,
+                c.p99,
+                c.p999,
+                b.mean_fanout,
+                b.p99,
+                c.epochs.len(),
+                c.epochs.iter().map(|e| e.moved_keys).sum::<usize>()
+            );
+        }
+        println!(
+            "\nfinal phase: controller fanout {:.4} vs baseline {:.4} ({:.1}% lower); \
+             migration {} keys total, largest epoch {} (budget {})",
+            with.final_phase_fanout(),
+            baseline.final_phase_fanout(),
+            100.0 * (1.0 - with.final_phase_fanout() / baseline.final_phase_fanout()),
+            with.cumulative_moved,
+            with.max_epoch_moved,
+            with.migration_budget
+        );
+    }
+
+    if with.max_epoch_moved > config.migration_budget {
+        return Err(ShpError::Runtime(format!(
+            "migration budget violated: an epoch moved {} keys (budget {})",
+            with.max_epoch_moved, config.migration_budget
+        )));
+    }
+    if with.final_phase_fanout() >= baseline.final_phase_fanout() {
+        return Err(ShpError::Runtime(format!(
+            "the controller failed to beat the never-repartition baseline: {:.4} vs {:.4}",
+            with.final_phase_fanout(),
+            baseline.final_phase_fanout()
+        )));
+    }
     Ok(())
 }

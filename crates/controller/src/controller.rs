@@ -1,0 +1,278 @@
+//! [`RepartitionController`]: the decision half of the serve→observe→repartition loop.
+//!
+//! Each controller **epoch** performs the paper's production cycle (Section 5) end to end:
+//!
+//! 1. drain the [`AccessTraceCollector`](crate::AccessTraceCollector)'s reservoir into the
+//!    observed co-access graph;
+//! 2. run [`partition_incremental`] seeded from the *live* placement, with the migration
+//!    budget enforced deterministically by `IncrementalConfig::max_moves`;
+//! 3. diff the result against the live snapshot into a [`PartitionDelta`] (moved keys only)
+//!    and install it through [`ServingEngine::install_delta`] — one atomic pointer swap, no
+//!    full-map clone, readers in flight undisturbed;
+//! 4. reset the collector so the next epoch observes fresh traffic.
+//!
+//! The controller holds no reference to the engine; callers pass it per epoch, so one
+//! controller can drive an engine from any thread (the CLI runs it from a background thread
+//! next to the serving clients).
+
+use crate::trace::AccessTraceCollector;
+use shp_core::{partition_incremental, IncrementalConfig, ShpConfig, ShpResult};
+use shp_hypergraph::Partition;
+use shp_serving::{PartitionDelta, ServingEngine};
+use std::sync::Arc;
+
+/// Tuning knobs of a [`RepartitionController`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControllerConfig {
+    /// Hard cap on keys moved per epoch (the migration budget of the stability constraint).
+    pub migration_budget: usize,
+    /// Allowed shard imbalance `ε` for the incremental runs. Needs headroom above the
+    /// serving tier's initial balance, since budgeted gain moves are capacity-checked.
+    pub epsilon: f64,
+    /// Iteration cap for each incremental refinement.
+    pub max_iterations: usize,
+    /// Gain penalty for moving a key away from its live shard (on top of the hard budget).
+    pub movement_penalty: f64,
+    /// Seed for the refinement's randomized decisions.
+    pub seed: u64,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        ControllerConfig {
+            migration_budget: 256,
+            epsilon: 0.1,
+            max_iterations: 10,
+            movement_penalty: 0.0,
+            seed: 0xC0_11EC,
+        }
+    }
+}
+
+/// What one controller epoch did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochOutcome {
+    /// Epoch id the delta was installed as.
+    pub epoch: u64,
+    /// Keys the installed delta moved (`≤ migration_budget` always).
+    pub moved_keys: usize,
+    /// Multigets the observed graph was built from.
+    pub observed_queries: usize,
+    /// Average fanout of the observed graph under the *previous* placement.
+    pub fanout_before: f64,
+    /// Average fanout of the observed graph under the *installed* placement.
+    pub fanout_after: f64,
+}
+
+/// Periodically re-partitions a live [`ServingEngine`] from observed traffic under a hard
+/// per-epoch migration budget (see the module docs).
+#[derive(Debug)]
+pub struct RepartitionController {
+    collector: Arc<AccessTraceCollector>,
+    config: ControllerConfig,
+    /// Cumulative moved keys over every epoch (the migration volume the paper's stability
+    /// constraint bounds).
+    cumulative_moved: usize,
+    epochs_run: usize,
+}
+
+impl RepartitionController {
+    /// Creates a controller draining `collector`. Attach the same collector to the engine
+    /// via [`ServingEngine::with_access_observer`].
+    pub fn new(collector: Arc<AccessTraceCollector>, config: ControllerConfig) -> Self {
+        RepartitionController {
+            collector,
+            config,
+            cumulative_moved: 0,
+            epochs_run: 0,
+        }
+    }
+
+    /// The shared trace collector (e.g. to hand to an engine as its observer).
+    pub fn collector(&self) -> Arc<AccessTraceCollector> {
+        Arc::clone(&self.collector)
+    }
+
+    /// Total keys moved across all epochs so far.
+    pub fn cumulative_moved(&self) -> usize {
+        self.cumulative_moved
+    }
+
+    /// Number of epochs that installed (or decided against) a delta.
+    pub fn epochs_run(&self) -> usize {
+        self.epochs_run
+    }
+
+    /// Runs one epoch against `engine`: observe → repartition → install delta → reset trace.
+    ///
+    /// Returns `Ok(None)` when the reservoir held no usable co-access samples (nothing to
+    /// decide on — the collector keeps accumulating). An epoch whose refinement moves nothing
+    /// still installs the (empty) delta so the epoch id advances and the trace window resets.
+    ///
+    /// # Errors
+    /// Propagates [`shp_core::ShpError::InfeasibleBudget`] when the budget cannot even cover
+    /// balance repair, and any graph/serving failure. On error the trace is *not* reset, so
+    /// no observation is lost.
+    pub fn run_epoch(&mut self, engine: &ServingEngine) -> ShpResult<Option<EpochOutcome>> {
+        let Some(graph) = self.collector.observed_graph(engine.num_keys())? else {
+            return Ok(None);
+        };
+        let snapshot = engine.current_snapshot();
+        let live = Partition::from_assignment(&graph, snapshot.num_shards(), snapshot.assignment())
+            .map_err(shp_core::ShpError::from)?;
+        let fanout_before = shp_hypergraph::average_fanout(&graph, &live);
+
+        let mut shp = ShpConfig::direct(snapshot.num_shards())
+            .with_seed(self.config.seed ^ snapshot.epoch())
+            .with_max_iterations(self.config.max_iterations);
+        shp.epsilon = self.config.epsilon;
+        let incremental = IncrementalConfig {
+            movement_penalty: self.config.movement_penalty,
+            max_moved_fraction: 1.0,
+            max_moves: Some(self.config.migration_budget),
+        };
+        let result = partition_incremental(&graph, &shp, &incremental, &live)?;
+        let fanout_after = shp_hypergraph::average_fanout(&graph, &result.partition);
+
+        let delta = PartitionDelta::between(&snapshot, &result.partition)
+            .map_err(shp_core::ShpError::from)?;
+        debug_assert!(delta.len() <= self.config.migration_budget);
+        let moved_keys = delta.len();
+        let epoch = engine
+            .install_delta(&delta)
+            .map_err(shp_core::ShpError::from)?;
+        self.collector.reset();
+        self.cumulative_moved += moved_keys;
+        self.epochs_run += 1;
+        Ok(Some(EpochOutcome {
+            epoch,
+            moved_keys,
+            observed_queries: graph.num_queries(),
+            fanout_before,
+            fanout_after,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shp_hypergraph::GraphBuilder;
+    use shp_serving::{EngineConfig, ServingEngine};
+
+    /// `groups` communities of `size` keys; each community's first three members sit on the
+    /// *previous* community's shard, so every community query spans two shards (fanout 2)
+    /// and the controller has 3·`groups` genuinely profitable moves to find. (A perfectly
+    /// scattered placement would be a symmetric local optimum the refiner cannot leave.)
+    fn strayed_engine(groups: u32, size: u32) -> ServingEngine {
+        let mut b = GraphBuilder::new();
+        for g in 0..groups {
+            let members: Vec<u32> = (0..size).map(|i| g * size + i).collect();
+            b.add_query(members);
+        }
+        let graph = b.build().unwrap();
+        let partition = Partition::from_assignment(
+            &graph,
+            groups,
+            (0..groups * size)
+                .map(|v| {
+                    let home = v / size;
+                    if v % size < 3 {
+                        (home + groups - 1) % groups
+                    } else {
+                        home
+                    }
+                })
+                .collect(),
+        )
+        .unwrap();
+        ServingEngine::new(&partition, EngineConfig::default()).unwrap()
+    }
+
+    fn drive(engine: &ServingEngine, groups: u32, size: u32, rounds: usize) {
+        for _ in 0..rounds {
+            for g in 0..groups {
+                let members: Vec<u32> = (0..size).map(|i| g * size + i).collect();
+                engine.multiget(&members).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn epoch_observes_traffic_and_improves_fanout_within_budget() {
+        let collector = Arc::new(AccessTraceCollector::new(256, 1));
+        let engine = strayed_engine(4, 8).with_access_observer(collector.clone());
+        drive(&engine, 4, 8, 8);
+
+        let mut controller = RepartitionController::new(
+            collector,
+            ControllerConfig {
+                migration_budget: 32,
+                epsilon: 0.5,
+                ..Default::default()
+            },
+        );
+        let outcome = controller
+            .run_epoch(&engine)
+            .unwrap()
+            .expect("traffic was observed");
+        assert_eq!(outcome.epoch, 1);
+        assert!(outcome.moved_keys <= 32);
+        assert!(outcome.moved_keys > 0);
+        assert!(
+            outcome.fanout_after < outcome.fanout_before,
+            "fanout {} -> {}",
+            outcome.fanout_before,
+            outcome.fanout_after
+        );
+        assert_eq!(engine.current_epoch(), 1);
+        assert_eq!(controller.cumulative_moved(), outcome.moved_keys);
+
+        // The trace was reset: an immediate second epoch has nothing to observe.
+        assert!(controller.run_epoch(&engine).unwrap().is_none());
+
+        // Serving results are unchanged by the repartition.
+        let result = engine.multiget(&[0, 8, 16, 24]).unwrap();
+        assert_eq!(result.values.len(), 4);
+    }
+
+    #[test]
+    fn budget_is_respected_across_consecutive_epochs() {
+        let collector = Arc::new(AccessTraceCollector::new(256, 2));
+        let engine = strayed_engine(4, 8).with_access_observer(collector.clone());
+        let mut controller = RepartitionController::new(
+            collector,
+            ControllerConfig {
+                migration_budget: 6,
+                epsilon: 0.5,
+                ..Default::default()
+            },
+        );
+        // The tiny budget forces the recovery to span several epochs; each stays in budget.
+        let mut last_fanout = f64::INFINITY;
+        for round in 0..4 {
+            drive(&engine, 4, 8, 8);
+            let outcome = controller.run_epoch(&engine).unwrap().expect("traffic");
+            assert!(
+                outcome.moved_keys <= 6,
+                "epoch {round} moved {}",
+                outcome.moved_keys
+            );
+            assert!(outcome.fanout_after <= outcome.fanout_before);
+            last_fanout = outcome.fanout_after;
+        }
+        assert!(last_fanout < 1.5, "no recovery: fanout {last_fanout}");
+        assert_eq!(controller.epochs_run(), 4);
+        assert!(controller.cumulative_moved() <= 24);
+    }
+
+    #[test]
+    fn empty_trace_is_a_no_op() {
+        let collector = Arc::new(AccessTraceCollector::new(64, 3));
+        let engine = strayed_engine(2, 4);
+        let mut controller = RepartitionController::new(collector, ControllerConfig::default());
+        assert!(controller.run_epoch(&engine).unwrap().is_none());
+        assert_eq!(engine.current_epoch(), 0);
+        assert_eq!(controller.epochs_run(), 0);
+    }
+}

@@ -1,0 +1,331 @@
+//! The hours-compressed drift scenario: key popularity drifts across phases while a live
+//! engine serves, and the controller chases it under a hard migration budget.
+//!
+//! ## The workload
+//!
+//! `communities` contiguous blocks of `community_size` keys are co-accessed: every multiget
+//! samples `keys_per_query` distinct members of one community. Each **phase** rotates the
+//! whole community structure by `shift_per_phase` keys — the synthetic analogue of interest
+//! drift in a social workload: keys that used to be fetched together stop being fetched
+//! together, and a placement that was fanout-optimal yesterday straddles shard boundaries
+//! today. A never-repartition baseline decays phase over phase; a controller-driven run
+//! observes the new co-access structure and pulls fanout back down, moving at most
+//! `migration_budget` keys per epoch.
+//!
+//! The scenario is deterministic for a given config (single serving thread, seeded RNG,
+//! deterministic reservoir), which lets CI assert the headline numbers instead of just
+//! running them.
+
+use crate::controller::{ControllerConfig, EpochOutcome, RepartitionController};
+use crate::trace::AccessTraceCollector;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_pcg::Pcg64;
+use shp_core::{ShpError, ShpResult};
+use shp_hypergraph::{GraphBuilder, Partition};
+use shp_serving::{EngineConfig, ServingEngine};
+use std::sync::Arc;
+
+/// Configuration of a [`run_drift_scenario`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftConfig {
+    /// Number of co-access communities. Must be a multiple of `shards`.
+    pub communities: u32,
+    /// Keys per community (`communities * community_size` keys total).
+    pub community_size: u32,
+    /// Serving shards.
+    pub shards: u32,
+    /// Popularity phases (phase 0 matches the initial placement; later phases drift).
+    pub phases: usize,
+    /// Multigets served per phase.
+    pub queries_per_phase: usize,
+    /// Distinct keys per multiget.
+    pub keys_per_query: usize,
+    /// Keys the community structure rotates by at each phase boundary.
+    pub shift_per_phase: u32,
+    /// Controller cadence: one epoch every this many queries (0 disables the controller —
+    /// the never-repartition baseline).
+    pub repartition_every: usize,
+    /// Hard cap on keys moved per controller epoch.
+    pub migration_budget: usize,
+    /// Reservoir slots of the trace collector.
+    pub sample_slots: usize,
+    /// Seed for the workload RNG, engine, and controller.
+    pub seed: u64,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        DriftConfig {
+            communities: 8,
+            community_size: 64,
+            shards: 4,
+            phases: 3,
+            queries_per_phase: 1_200,
+            keys_per_query: 6,
+            shift_per_phase: 24,
+            repartition_every: 300,
+            migration_budget: 96,
+            sample_slots: 512,
+            seed: 0xD21F7,
+        }
+    }
+}
+
+impl DriftConfig {
+    /// Total keys the scenario serves.
+    pub fn num_keys(&self) -> usize {
+        (self.communities * self.community_size) as usize
+    }
+
+    /// A smaller, faster variant for CI smoke runs (same structure, ~4× less work).
+    pub fn quick(mut self) -> Self {
+        self.community_size = 32;
+        self.queries_per_phase = 600;
+        self.sample_slots = 256;
+        self.migration_budget = 64;
+        self.repartition_every = 150;
+        self.shift_per_phase = 12;
+        self
+    }
+}
+
+/// Per-phase serving numbers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseStats {
+    /// Phase index (0-based).
+    pub phase: usize,
+    /// Mean fanout over the phase's multigets.
+    pub mean_fanout: f64,
+    /// p99 latency (units of the latency model's `t`).
+    pub p99: f64,
+    /// p999 latency.
+    pub p999: f64,
+    /// Controller epochs that ran during this phase.
+    pub epochs: Vec<EpochOutcome>,
+}
+
+/// The full scenario result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftReport {
+    /// One entry per phase, in order.
+    pub phases: Vec<PhaseStats>,
+    /// Keys moved across all epochs (the cumulative migration volume).
+    pub cumulative_moved: usize,
+    /// The configured per-epoch budget, echoed for assertions.
+    pub migration_budget: usize,
+    /// Largest single-epoch move count observed (`≤ migration_budget` must hold).
+    pub max_epoch_moved: usize,
+}
+
+impl DriftReport {
+    /// Mean fanout of the final phase — the headline recovery metric.
+    pub fn final_phase_fanout(&self) -> f64 {
+        self.phases.last().map_or(0.0, |p| p.mean_fanout)
+    }
+}
+
+/// Community of `key` during `phase`: the block structure rotated by `phase * shift` keys.
+#[cfg(test)]
+fn community_of(config: &DriftConfig, key: u32, phase: usize) -> u32 {
+    let num_keys = config.num_keys() as u32;
+    let rotated = (key + num_keys - (phase as u32 * config.shift_per_phase) % num_keys) % num_keys;
+    rotated / config.community_size
+}
+
+/// `index`-th member of `community` during `phase` (inverse of `community_of`).
+fn member_of(config: &DriftConfig, community: u32, index: u32, phase: usize) -> u32 {
+    let num_keys = config.num_keys() as u32;
+    (community * config.community_size + index + phase as u32 * config.shift_per_phase) % num_keys
+}
+
+/// Runs the drift scenario; with `repartition_every == 0` this is the never-repartition
+/// baseline, otherwise the controller closes the loop at that cadence.
+///
+/// # Errors
+/// Propagates configuration, serving, and partitioning failures.
+pub fn run_drift_scenario(config: &DriftConfig) -> ShpResult<DriftReport> {
+    if config.communities == 0 || !config.communities.is_multiple_of(config.shards) {
+        return Err(ShpError::InvalidConfig(format!(
+            "communities ({}) must be a positive multiple of shards ({})",
+            config.communities, config.shards
+        )));
+    }
+    if config.keys_per_query as u32 > config.community_size {
+        return Err(ShpError::InvalidConfig(format!(
+            "keys_per_query ({}) exceeds community_size ({})",
+            config.keys_per_query, config.community_size
+        )));
+    }
+    let num_keys = config.num_keys();
+
+    // Initial placement: aligned with phase 0 — whole communities per shard.
+    let mut builder = GraphBuilder::new();
+    for c in 0..config.communities {
+        builder.add_query((0..config.community_size).map(|i| c * config.community_size + i));
+    }
+    let bootstrap_graph = builder.build()?;
+    let per_shard = config.communities / config.shards;
+    let initial = Partition::from_assignment(
+        &bootstrap_graph,
+        config.shards,
+        (0..num_keys as u32)
+            .map(|key| (key / config.community_size) / per_shard)
+            .collect(),
+    )?;
+
+    let collector = Arc::new(AccessTraceCollector::new(config.sample_slots, config.seed));
+    let engine_config = EngineConfig {
+        seed: config.seed,
+        ..EngineConfig::default()
+    };
+    let engine = if config.repartition_every > 0 {
+        ServingEngine::new(&initial, engine_config)
+            .map_err(ShpError::from)?
+            .with_access_observer(collector.clone())
+    } else {
+        ServingEngine::new(&initial, engine_config).map_err(ShpError::from)?
+    };
+    let mut controller = RepartitionController::new(
+        collector,
+        ControllerConfig {
+            migration_budget: config.migration_budget,
+            seed: config.seed,
+            ..ControllerConfig::default()
+        },
+    );
+
+    let mut rng = Pcg64::seed_from_u64(config.seed ^ 0xD21F);
+    let mut keys = vec![0u32; config.keys_per_query];
+    let mut phases = Vec::with_capacity(config.phases);
+    let mut cumulative_moved = 0usize;
+    let mut max_epoch_moved = 0usize;
+
+    for phase in 0..config.phases {
+        engine.reset_metrics();
+        let mut epochs = Vec::new();
+        for query in 0..config.queries_per_phase {
+            // One multiget: `keys_per_query` distinct members of one community, under this
+            // phase's rotated structure.
+            let community = rng.gen_range(0..config.communities);
+            let stride = config.community_size / config.keys_per_query as u32;
+            let offset = rng.gen_range(0..config.community_size);
+            for (slot, key) in keys.iter_mut().enumerate() {
+                let index = (offset + slot as u32 * stride) % config.community_size;
+                *key = member_of(config, community, index, phase);
+            }
+            engine.multiget(&keys).map_err(ShpError::from)?;
+
+            if config.repartition_every > 0 && (query + 1) % config.repartition_every == 0 {
+                if let Some(outcome) = controller.run_epoch(&engine)? {
+                    cumulative_moved += outcome.moved_keys;
+                    max_epoch_moved = max_epoch_moved.max(outcome.moved_keys);
+                    epochs.push(outcome);
+                }
+            }
+        }
+        let report = engine.report();
+        phases.push(PhaseStats {
+            phase,
+            mean_fanout: report.mean_fanout,
+            p99: report.p99,
+            p999: report.p999,
+            epochs,
+        });
+    }
+
+    Ok(DriftReport {
+        phases,
+        cumulative_moved,
+        migration_budget: config.migration_budget,
+        max_epoch_moved,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> DriftConfig {
+        DriftConfig {
+            communities: 4,
+            community_size: 16,
+            shards: 4,
+            phases: 2,
+            queries_per_phase: 240,
+            keys_per_query: 4,
+            shift_per_phase: 6,
+            repartition_every: 60,
+            migration_budget: 24,
+            sample_slots: 128,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn community_rotation_round_trips() {
+        let config = tiny();
+        for phase in 0..3 {
+            for key in 0..config.num_keys() as u32 {
+                let c = community_of(&config, key, phase);
+                assert!(c < config.communities);
+            }
+            for c in 0..config.communities {
+                for i in 0..config.community_size {
+                    let key = member_of(&config, c, i, phase);
+                    assert_eq!(community_of(&config, key, phase), c);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn controller_beats_the_never_repartition_baseline() {
+        let config = tiny();
+        let with = run_drift_scenario(&config).unwrap();
+        let without = run_drift_scenario(&DriftConfig {
+            repartition_every: 0,
+            ..config.clone()
+        })
+        .unwrap();
+
+        // Phase 0 is aligned for both; after drift the baseline decays and the controller
+        // recovers.
+        assert!(
+            with.final_phase_fanout() < without.final_phase_fanout(),
+            "controller {} vs baseline {}",
+            with.final_phase_fanout(),
+            without.final_phase_fanout()
+        );
+        assert!(without.cumulative_moved == 0);
+        assert!(with.cumulative_moved > 0);
+        assert!(
+            with.max_epoch_moved <= config.migration_budget,
+            "max epoch moved {} over budget {}",
+            with.max_epoch_moved,
+            config.migration_budget
+        );
+    }
+
+    #[test]
+    fn scenario_is_deterministic() {
+        let a = run_drift_scenario(&tiny()).unwrap();
+        let b = run_drift_scenario(&tiny()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(run_drift_scenario(&DriftConfig {
+            communities: 3,
+            shards: 4,
+            ..tiny()
+        })
+        .is_err());
+        assert!(run_drift_scenario(&DriftConfig {
+            keys_per_query: 99,
+            ..tiny()
+        })
+        .is_err());
+    }
+}

@@ -1,0 +1,70 @@
+//! # shp-controller
+//!
+//! The closed serve→observe→repartition loop of the Social Hash Partitioner deployment story
+//! (Kabiljo et al., VLDB 2017, Section 5). The paper's production system is not a one-shot
+//! partitioner: it periodically re-partitions a live multiget serving tier against the
+//! **observed** co-access graph, under an explicit stability constraint — move only a bounded
+//! number of keys per epoch, because every move costs migration traffic.
+//!
+//! This crate connects the pieces the rest of the workspace already provides:
+//!
+//! * [`AccessTraceCollector`] — a bounded, atomics-only, zero-allocation reservoir of
+//!   multiget key-sets, plugged into the serving hot path as a
+//!   [`shp_serving::AccessObserver`]; drained into the observed co-access graph through the
+//!   flat-arena `GraphBuilder`.
+//! * [`RepartitionController`] — per epoch: drain the trace, run
+//!   [`shp_core::partition_incremental`] seeded from the *live* placement with a hard
+//!   `max_moves` migration budget, diff into a [`shp_serving::PartitionDelta`] (moved keys
+//!   only), and install it with one atomic swap via `ServingEngine::install_delta`.
+//! * [`drift`] — the hours-compressed drift scenario: popularity shifts phase over phase, a
+//!   never-repartition baseline decays, the controller recovers fanout while every epoch
+//!   stays within budget. This is the workload behind `BENCH_controller.json` and the
+//!   `shp controller` CLI subcommand.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use shp_controller::{AccessTraceCollector, ControllerConfig, RepartitionController};
+//! use shp_serving::{EngineConfig, ServingEngine};
+//! use shp_hypergraph::{GraphBuilder, Partition};
+//! use std::sync::Arc;
+//!
+//! // Two co-access pairs, initially split across shards (fanout 2).
+//! let mut b = GraphBuilder::new();
+//! b.add_query([0u32, 1]);
+//! b.add_query([2u32, 3]);
+//! let graph = b.build().unwrap();
+//! let partition = Partition::from_assignment(&graph, 2, vec![0, 1, 0, 1]).unwrap();
+//!
+//! let collector = Arc::new(AccessTraceCollector::new(128, 7));
+//! let engine = ServingEngine::new(&partition, EngineConfig::default())
+//!     .unwrap()
+//!     .with_access_observer(collector.clone());
+//! let mut controller = RepartitionController::new(collector, ControllerConfig {
+//!     migration_budget: 2,
+//!     epsilon: 1.0,
+//!     ..ControllerConfig::default()
+//! });
+//!
+//! // Serve: the collector observes which keys travel together...
+//! for _ in 0..8 {
+//!     engine.multiget(&[0, 1]).unwrap();
+//!     engine.multiget(&[2, 3]).unwrap();
+//! }
+//! // ...and one controller epoch repartitions the live engine within budget.
+//! let outcome = controller.run_epoch(&engine).unwrap().unwrap();
+//! assert!(outcome.moved_keys <= 2);
+//! assert!(outcome.fanout_after <= outcome.fanout_before);
+//! assert_eq!(engine.current_epoch(), outcome.epoch);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod controller;
+pub mod drift;
+pub mod trace;
+
+pub use controller::{ControllerConfig, EpochOutcome, RepartitionController};
+pub use drift::{run_drift_scenario, DriftConfig, DriftReport, PhaseStats};
+pub use trace::{AccessTraceCollector, TraceStats, MAX_SAMPLE_KEYS};

@@ -32,6 +32,14 @@ pub enum ShpError {
         /// Human-readable description of the mismatch.
         message: String,
     },
+    /// An incremental run's migration budget is smaller than the number of moves balance
+    /// repair alone requires, so no budget-respecting partition exists.
+    InfeasibleBudget {
+        /// Moves the balance repair of the previous partition needs at minimum.
+        required: usize,
+        /// The configured `max_moves` budget.
+        budget: usize,
+    },
     /// A command-line or driver argument could not be parsed.
     InvalidArgument(String),
     /// A failure in a subsystem driven through the unified API (serving, workload replay, …).
@@ -58,6 +66,11 @@ impl fmt::Display for ShpError {
             ShpError::PartitionMismatch { message } => {
                 write!(f, "partition mismatch: {message}")
             }
+            ShpError::InfeasibleBudget { required, budget } => write!(
+                f,
+                "migration budget {budget} is infeasible: balance repair alone requires \
+                 {required} moves"
+            ),
             ShpError::InvalidArgument(message) => write!(f, "{message}"),
             ShpError::Runtime(message) => write!(f, "{message}"),
         }
@@ -108,6 +121,13 @@ mod tests {
                     message: "previous covers 5 vertices".into(),
                 },
                 "partition mismatch",
+            ),
+            (
+                ShpError::InfeasibleBudget {
+                    required: 12,
+                    budget: 5,
+                },
+                "requires 12 moves",
             ),
             (
                 ShpError::InvalidArgument("--p needs a number".into()),

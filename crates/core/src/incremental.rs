@@ -26,6 +26,17 @@ pub struct IncrementalConfig {
     /// Hard cap on the fraction of data vertices allowed to change buckets relative to the
     /// previous partition; refinement stops once the cap is hit. `1.0` disables the cap.
     pub max_moved_fraction: f64,
+    /// Hard migration budget: the returned partition differs from the previous one on at most
+    /// this many vertices. `None` disables the budget.
+    ///
+    /// Enforcement is deterministic and documented: the unbudgeted refinement runs first; when
+    /// its result moves no more than `max_moves` vertices it is returned **bit-identically**.
+    /// Otherwise the budget is spent on (1) the balance-repair moves the previous partition
+    /// needs under `epsilon` (mandatory — a budget smaller than that repair count is rejected
+    /// with [`ShpError::InfeasibleBudget`]), then (2) the refinement's moves ranked by their
+    /// standalone gain on the previous partition, highest first, ties broken by ascending
+    /// vertex id, each applied only if the destination bucket stays within its allowed weight.
+    pub max_moves: Option<usize>,
 }
 
 impl Default for IncrementalConfig {
@@ -33,6 +44,7 @@ impl Default for IncrementalConfig {
         IncrementalConfig {
             movement_penalty: 0.1,
             max_moved_fraction: 1.0,
+            max_moves: None,
         }
     }
 }
@@ -122,6 +134,29 @@ pub fn partition_incremental(
         }
     }
 
+    // Enforce the hard migration budget (see [`IncrementalConfig::max_moves`]): the balance
+    // repair of the previous partition is mandatory spend, so a budget below it is infeasible
+    // no matter what refinement produced. A balanced result already inside the budget is
+    // returned unchanged (bit-identical to the unbudgeted run); otherwise the budget is spent
+    // deterministically, repair first, then highest-gain moves.
+    if let Some(budget) = incremental.max_moves {
+        let repair = balance_repair_moves(previous, config.epsilon);
+        if repair.len() > budget {
+            return Err(ShpError::InfeasibleBudget {
+                required: repair.len(),
+                budget,
+            });
+        }
+        // Selection kicks in when the refinement overspent the budget, or when the previous
+        // partition needed repair and refinement did not deliver it (the repair moves are the
+        // budget's mandatory spend). A balanced in-budget result passes through untouched.
+        let needs_selection = partition.hamming_distance(previous) > budget
+            || (!repair.is_empty() && !partition.is_balanced(config.epsilon));
+        if needs_selection {
+            partition = select_budgeted_moves(graph, config, previous, &partition, &repair, budget);
+        }
+    }
+
     let elapsed = start.elapsed();
     let report = RunReport {
         final_fanout: average_fanout(graph, &partition),
@@ -132,6 +167,101 @@ pub fn partition_incremental(
         elapsed,
     };
     Ok(PartitionResult { partition, report })
+}
+
+/// The deterministic moves a greedy balance repair of `partition` performs under `epsilon`:
+/// for every overloaded bucket (ascending id), its heaviest members (ties by ascending id) are
+/// moved to the least-loaded bucket able to accept them (ties by ascending id) until the
+/// bucket fits. Returns the empty list for an already-balanced partition.
+fn balance_repair_moves(partition: &Partition, epsilon: f64) -> Vec<(u32, u32)> {
+    let cap = partition.max_allowed_weight(epsilon);
+    let k = partition.num_buckets();
+    let mut weights = partition.bucket_weights().to_vec();
+    let mut moves = Vec::new();
+    for bucket in 0..k {
+        if weights[bucket as usize] <= cap {
+            continue;
+        }
+        let mut members = partition.bucket_members(bucket);
+        members.sort_unstable_by(|&x, &y| {
+            partition
+                .vertex_weight(y)
+                .cmp(&partition.vertex_weight(x))
+                .then(x.cmp(&y))
+        });
+        for vertex in members {
+            if weights[bucket as usize] <= cap {
+                break;
+            }
+            let weight = partition.vertex_weight(vertex);
+            let target = (0..k)
+                .filter(|&t| t != bucket && weights[t as usize] + weight <= cap)
+                .min_by(|&x, &y| {
+                    weights[x as usize]
+                        .cmp(&weights[y as usize])
+                        .then(x.cmp(&y))
+                });
+            let Some(target) = target else { continue };
+            weights[bucket as usize] -= weight;
+            weights[target as usize] += weight;
+            moves.push((vertex, target));
+        }
+    }
+    moves
+}
+
+/// Spends a migration budget the unbudgeted result `full` exceeded: the pre-validated
+/// balance-repair moves of `previous` first (mandatory), then `full`'s moves ranked by
+/// standalone gain on `previous` (descending, ties by ascending vertex id), each applied only
+/// while the destination stays within its allowed weight. Fully deterministic for a given
+/// input.
+fn select_budgeted_moves(
+    graph: &BipartiteGraph,
+    config: &ShpConfig,
+    previous: &Partition,
+    full: &Partition,
+    repair: &[(u32, u32)],
+    budget: usize,
+) -> Partition {
+    let mut result = previous.clone();
+    let mut repaired = vec![false; graph.num_data()];
+    for &(vertex, to) in repair {
+        result.assign(vertex, to);
+        repaired[vertex as usize] = true;
+    }
+    let mut remaining = budget - repair.len();
+
+    // Rank the refinement's moves by what each would gain on its own against the previous
+    // partition — the highest-value migrations ship first when the budget cannot fit them all.
+    let objective = Objective::from_kind(config.objective);
+    let nd = NeighborData::build_with_workers(graph, previous, config.workers);
+    let mut candidates: Vec<(f64, u32, u32)> = (0..graph.num_data() as u32)
+        .filter(|&v| !repaired[v as usize] && full.bucket_of(v) != previous.bucket_of(v))
+        .map(|v| {
+            let from = previous.bucket_of(v);
+            let to = full.bucket_of(v);
+            let gain: f64 = graph
+                .data_neighbors(v)
+                .iter()
+                .map(|&q| objective.per_query_gain(nd.count(q, from), nd.count(q, to)))
+                .sum();
+            (gain, v, to)
+        })
+        .collect();
+    candidates.sort_unstable_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+
+    let cap = result.max_allowed_weight(config.epsilon);
+    for (_, vertex, to) in candidates {
+        if remaining == 0 {
+            break;
+        }
+        if result.bucket_weight(to) + result.vertex_weight(vertex) > cap {
+            continue;
+        }
+        result.assign(vertex, to);
+        remaining -= 1;
+    }
+    result
 }
 
 #[cfg(test)]
@@ -186,6 +316,7 @@ mod tests {
         let tight = IncrementalConfig {
             movement_penalty: 0.0,
             max_moved_fraction: 0.1,
+            max_moves: None,
         };
         let result = partition_incremental(&graph, &config, &tight, &random).unwrap();
         let moved = result.partition.hamming_distance(&random);
@@ -214,6 +345,114 @@ mod tests {
     }
 
     #[test]
+    fn budgeted_runs_never_move_more_than_the_budget() {
+        let graph = community_graph(4, 8);
+        // Widen epsilon so budget selection has headroom to apply single moves (at the
+        // default 5% every bucket is already at its capacity of 8).
+        let mut config = ShpConfig::direct(4).with_seed(11).with_max_iterations(20);
+        config.epsilon = 0.5;
+        // Aligned placement with 12 strays rotated one bucket over (3 per community, so the
+        // perturbation stays balanced): the unbudgeted run moves all 12 strays home.
+        let perturbed = Partition::from_assignment(
+            &graph,
+            4,
+            (0..32u32)
+                .map(|v| if v % 8 < 3 { (v / 8 + 1) % 4 } else { v / 8 })
+                .collect(),
+        )
+        .unwrap();
+        let budgeted = IncrementalConfig {
+            movement_penalty: 0.0,
+            max_moved_fraction: 1.0,
+            max_moves: Some(5),
+        };
+        let result = partition_incremental(&graph, &config, &budgeted, &perturbed).unwrap();
+        let moved = result.partition.hamming_distance(&perturbed);
+        assert!(moved <= 5, "moved {moved} > budget 5");
+        assert!(moved > 0, "budget selection applied no move at all");
+        // Deterministic: the identical run reproduces the identical partition.
+        let again = partition_incremental(&graph, &config, &budgeted, &perturbed).unwrap();
+        assert_eq!(again.partition.assignment(), result.partition.assignment());
+    }
+
+    #[test]
+    fn slack_budget_reproduces_the_unbudgeted_result_bit_identically() {
+        let graph = community_graph(4, 8);
+        let mut config = ShpConfig::direct(4).with_seed(3).with_max_iterations(20);
+        config.epsilon = 0.5;
+        // A balanced previous partition with 12 strays, so the unbudgeted run makes real
+        // moves (a vacuous zero-move run would make this test prove nothing).
+        let previous = Partition::from_assignment(
+            &graph,
+            4,
+            (0..32u32)
+                .map(|v| if v % 8 < 3 { (v / 8 + 1) % 4 } else { v / 8 })
+                .collect(),
+        )
+        .unwrap();
+        let free = IncrementalConfig {
+            movement_penalty: 0.0,
+            max_moved_fraction: 1.0,
+            max_moves: None,
+        };
+        let unbudgeted = partition_incremental(&graph, &config, &free, &previous).unwrap();
+        assert!(
+            unbudgeted.partition.hamming_distance(&previous) > 0,
+            "the unbudgeted run must move something for this test to be meaningful"
+        );
+        let slack = IncrementalConfig {
+            max_moves: Some(graph.num_data()),
+            ..free
+        };
+        let budgeted = partition_incremental(&graph, &config, &slack, &previous).unwrap();
+        assert_eq!(
+            budgeted.partition.assignment(),
+            unbudgeted.partition.assignment(),
+            "a slack budget must not change the result"
+        );
+    }
+
+    #[test]
+    fn infeasible_budget_is_rejected_with_the_typed_error() {
+        let graph = community_graph(4, 8);
+        let config = ShpConfig::direct(4).with_max_iterations(5);
+        // Everything piled on bucket 0: repair must shed 24 of 32 vertices (cap = 8 at 5%).
+        let piled = Partition::from_assignment(&graph, 4, vec![0; 32]).unwrap();
+        let tight = IncrementalConfig {
+            movement_penalty: 0.0,
+            max_moved_fraction: 1.0,
+            max_moves: Some(10),
+        };
+        let err = partition_incremental(&graph, &config, &tight, &piled).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ShpError::InfeasibleBudget {
+                    required: 24,
+                    budget: 10
+                }
+            ),
+            "unexpected error {err:?}"
+        );
+    }
+
+    #[test]
+    fn budget_selection_repairs_balance_before_spending_on_gains() {
+        let graph = community_graph(4, 8);
+        let config = ShpConfig::direct(4).with_max_iterations(5);
+        let piled = Partition::from_assignment(&graph, 4, vec![0; 32]).unwrap();
+        // Exactly the repair requirement: the whole budget goes to balance repair.
+        let exact = IncrementalConfig {
+            movement_penalty: 0.0,
+            max_moved_fraction: 1.0,
+            max_moves: Some(24),
+        };
+        let result = partition_incremental(&graph, &config, &exact, &piled).unwrap();
+        assert!(result.partition.is_balanced(config.epsilon));
+        assert!(result.partition.hamming_distance(&piled) <= 24);
+    }
+
+    #[test]
     fn invalid_incremental_options_are_rejected() {
         let graph = community_graph(2, 4);
         let config = ShpConfig::direct(2);
@@ -222,11 +461,13 @@ mod tests {
         let bad_fraction = IncrementalConfig {
             movement_penalty: 0.1,
             max_moved_fraction: 2.0,
+            max_moves: None,
         };
         assert!(partition_incremental(&graph, &config, &bad_fraction, &previous).is_err());
         let bad_penalty = IncrementalConfig {
             movement_penalty: -1.0,
             max_moved_fraction: 0.5,
+            max_moves: None,
         };
         assert!(partition_incremental(&graph, &config, &bad_penalty, &previous).is_err());
     }

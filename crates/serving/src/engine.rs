@@ -11,7 +11,7 @@
 use crate::cache::HotKeyCache;
 use crate::error::{Result, ServingError};
 use crate::metrics::{ServingMetrics, ServingReport};
-use crate::partition_map::{EpochSwap, PartitionSnapshot};
+use crate::partition_map::{EpochSwap, PartitionDelta, PartitionSnapshot};
 use crate::router::ShardRouter;
 use crate::store::ShardSet;
 use crate::workload::WorkloadEvent;
@@ -19,12 +19,25 @@ use shp_hypergraph::{BipartiteGraph, DataId, Partition};
 use shp_sharding_sim::LatencyModel;
 use shp_telemetry::{HistogramSnapshot, Snapshot, Span, Timer, TopKSketch};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Slots in the per-engine hot-key access sketch (bounds its memory at 32 KiB).
 const HOT_KEY_SLOTS: usize = 4096;
 
 /// How many of the hottest keys [`ServingEngine::telemetry_snapshot`] exports.
 const HOT_KEYS_EXPORTED: usize = 32;
+
+/// A sink for the deduplicated key-set of every served multiget — the observation tap of the
+/// serve→observe→repartition loop.
+///
+/// Implementations are called on the serving hot path with the query's *distinct, sorted*
+/// keys, so they must be lock-free (or very close), bounded in memory, and must not allocate
+/// per call — exactly the contract `shp-controller`'s `AccessTraceCollector` satisfies. The
+/// observer sees every query regardless of whether global telemetry is enabled.
+pub trait AccessObserver: Send + Sync + std::fmt::Debug {
+    /// Records one multiget's distinct key-set.
+    fn observe(&self, keys: &[DataId]);
+}
 
 /// Configuration of a [`ServingEngine`].
 #[derive(Debug, Clone, PartialEq)]
@@ -92,6 +105,9 @@ pub struct ServingEngine {
     /// `serving/shard_service`): resolved once here, recorded lock-free per query.
     route_timer: Timer,
     service_timer: Timer,
+    /// Optional access-trace sink, fed every multiget's distinct key-set (set at build time
+    /// via [`ServingEngine::with_access_observer`], before the engine is shared).
+    observer: Option<Arc<dyn AccessObserver>>,
 }
 
 impl ServingEngine {
@@ -115,7 +131,15 @@ impl ServingEngine {
             tracer: TopKSketch::new(HOT_KEY_SLOTS),
             route_timer: shp_telemetry::global().timer("serving/route"),
             service_timer: shp_telemetry::global().timer("serving/shard_service"),
+            observer: None,
         })
+    }
+
+    /// Attaches an [`AccessObserver`] that is fed every multiget's distinct key-set. Builder
+    /// style: call before the engine is shared across threads.
+    pub fn with_access_observer(mut self, observer: Arc<dyn AccessObserver>) -> Self {
+        self.observer = Some(observer);
+        self
     }
 
     /// Number of keys in the engine's key universe.
@@ -167,6 +191,12 @@ impl ServingEngine {
             for &key in &distinct {
                 self.tracer.record(key);
             }
+        }
+
+        // The attached observer (repartition controller's trace collector) sees every query's
+        // distinct key-set; its contract forbids allocation and blocking.
+        if let Some(observer) = &self.observer {
+            observer.observe(&distinct);
         }
 
         // Split into cache hits and misses.
@@ -267,6 +297,45 @@ impl ServingEngine {
         );
         self.generation.swap(Generation { snapshot, shards });
         Ok(epoch)
+    }
+
+    /// Installs a delta placement under live traffic: only the moved keys' pages and shards
+    /// are rebuilt, everything else is shared (`Arc`) with the live generation — the
+    /// bounded-churn install path a repartition controller uses every epoch.
+    ///
+    /// The produced generation is bit-identical to what
+    /// [`install_partition`](ServingEngine::install_partition) would build for the same
+    /// placement at the same epoch (same shard contents, RNG streams, and counters), which the
+    /// conformance tests assert; the full-map path stays as the oracle. Returns the installed
+    /// epoch.
+    ///
+    /// # Errors
+    /// Returns [`ServingError::StaleDelta`] when the delta's base epoch is not the live epoch
+    /// (another install won the race — recompute against the new generation), and propagates
+    /// out-of-range keys or shards.
+    pub fn install_delta(&self, delta: &PartitionDelta) -> Result<u64> {
+        let _install = self.install_lock.lock().expect("install lock poisoned");
+        let _span = Span::enter("serving/epoch_swap");
+        let current = self.generation.load();
+        if delta.base_epoch() != current.snapshot.epoch() {
+            return Err(ServingError::StaleDelta {
+                delta_epoch: delta.base_epoch(),
+                live_epoch: current.snapshot.epoch(),
+            });
+        }
+        let epoch = self.next_epoch.fetch_add(1, Ordering::Relaxed);
+        let snapshot = current.snapshot.apply_delta(delta, epoch)?;
+        let shards =
+            current
+                .shards
+                .apply_delta(&current.snapshot, delta, epoch, self.config.seed)?;
+        self.generation.swap(Generation { snapshot, shards });
+        Ok(epoch)
+    }
+
+    /// The live placement snapshot (an `Arc`-shared view; cheap to call).
+    pub fn current_snapshot(&self) -> PartitionSnapshot {
+        self.generation.load().snapshot.clone()
     }
 
     /// Installs the partition of a finished unified-API run ([`shp_core::api::PartitionOutcome`])
@@ -662,6 +731,75 @@ mod tests {
         // The snapshot is valid JSON that round-trips.
         let parsed = shp_telemetry::Snapshot::from_json(&snap.to_json()).unwrap();
         assert_eq!(parsed, snap);
+    }
+
+    #[test]
+    fn install_delta_swaps_epoch_and_matches_full_install() {
+        let graph = community_graph(3, 4);
+        let scattered = scattered_partition(&graph, 3, 4);
+        let aligned = aligned_partition(&graph, 3, 4);
+        let engine = ServingEngine::new(&scattered, EngineConfig::default()).unwrap();
+        let before = engine.multiget(&[0, 1, 2, 3]).unwrap();
+
+        let delta =
+            crate::partition_map::PartitionDelta::between(&engine.current_snapshot(), &aligned)
+                .unwrap();
+        let epoch = engine.install_delta(&delta).unwrap();
+        assert_eq!(epoch, 1);
+        assert_eq!(engine.current_epoch(), 1);
+        let after = engine.multiget(&[0, 1, 2, 3]).unwrap();
+        assert_eq!(after.values, before.values);
+        assert_eq!(after.fanout, 1);
+
+        // Oracle: a second engine taking the full-map path lands on the identical generation.
+        let oracle = ServingEngine::new(&scattered, EngineConfig::default()).unwrap();
+        oracle.install_partition(&aligned).unwrap();
+        assert_eq!(engine.current_snapshot(), oracle.current_snapshot());
+        let via_delta = engine.multiget(&[0, 5, 9]).unwrap();
+        let via_full = oracle.multiget(&[0, 5, 9]).unwrap();
+        assert_eq!(via_delta.values, via_full.values);
+        assert_eq!(via_delta.latency, via_full.latency);
+    }
+
+    #[test]
+    fn stale_deltas_are_rejected() {
+        let graph = community_graph(3, 4);
+        let engine =
+            ServingEngine::new(&scattered_partition(&graph, 3, 4), EngineConfig::default())
+                .unwrap();
+        let aligned = aligned_partition(&graph, 3, 4);
+        let delta =
+            crate::partition_map::PartitionDelta::between(&engine.current_snapshot(), &aligned)
+                .unwrap();
+        // Another install lands first; the delta's base epoch 0 is no longer live.
+        engine.install_partition(&aligned).unwrap();
+        assert_eq!(
+            engine.install_delta(&delta),
+            Err(ServingError::StaleDelta {
+                delta_epoch: 0,
+                live_epoch: 1
+            })
+        );
+    }
+
+    #[test]
+    fn access_observer_sees_every_distinct_key_set() {
+        #[derive(Debug, Default)]
+        struct Recorder(std::sync::Mutex<Vec<Vec<u32>>>);
+        impl AccessObserver for Recorder {
+            fn observe(&self, keys: &[DataId]) {
+                self.0.lock().unwrap().push(keys.to_vec());
+            }
+        }
+        let graph = community_graph(2, 4);
+        let recorder = Arc::new(Recorder::default());
+        let engine = ServingEngine::new(&aligned_partition(&graph, 2, 4), EngineConfig::default())
+            .unwrap()
+            .with_access_observer(recorder.clone());
+        engine.multiget(&[3, 1, 3, 5]).unwrap();
+        engine.multiget(&[7]).unwrap();
+        let seen = recorder.0.lock().unwrap();
+        assert_eq!(*seen, vec![vec![1, 3, 5], vec![7]]);
     }
 
     #[test]

@@ -24,6 +24,22 @@ pub enum ServingError {
     },
     /// A partition with zero buckets was offered.
     EmptyPartition,
+    /// A delta referenced a shard outside the live placement's shard set.
+    ShardOutOfRange {
+        /// Offending shard id.
+        shard: u32,
+        /// Number of shards of the live placement.
+        num_shards: u32,
+    },
+    /// A [`PartitionDelta`](crate::partition_map::PartitionDelta) was computed against an
+    /// epoch that is no longer live; applying it would silently undo the moves of every
+    /// generation installed in between.
+    StaleDelta {
+        /// Epoch the delta was computed against.
+        delta_epoch: u64,
+        /// Epoch currently being served.
+        live_epoch: u64,
+    },
     /// A shard was asked for a key it does not hold (placement corruption; should be
     /// impossible while the snapshot and the shard contents swap atomically together).
     MissingKey {
@@ -45,6 +61,16 @@ impl fmt::Display for ServingError {
                 "partition covers {got} keys but the engine serves {expected}"
             ),
             ServingError::EmptyPartition => write!(f, "partition has no buckets"),
+            ServingError::ShardOutOfRange { shard, num_shards } => {
+                write!(f, "shard {shard} out of range (placement has {num_shards})")
+            }
+            ServingError::StaleDelta {
+                delta_epoch,
+                live_epoch,
+            } => write!(
+                f,
+                "delta computed against epoch {delta_epoch} but epoch {live_epoch} is live"
+            ),
             ServingError::MissingKey { key, shard } => {
                 write!(f, "shard {shard} is missing key {key} (torn placement)")
             }
@@ -94,6 +120,20 @@ mod tests {
                 "covers 3",
             ),
             (ServingError::EmptyPartition, "no buckets"),
+            (
+                ServingError::ShardOutOfRange {
+                    shard: 7,
+                    num_shards: 4,
+                },
+                "shard 7",
+            ),
+            (
+                ServingError::StaleDelta {
+                    delta_epoch: 2,
+                    live_epoch: 5,
+                },
+                "epoch 2",
+            ),
             (
                 ServingError::MissingKey { key: 2, shard: 1 },
                 "missing key 2",

@@ -72,10 +72,10 @@ pub mod workload;
 
 pub use bootstrap::{load_warm_start, WarmStart};
 pub use cache::{CacheStats, HotKeyCache};
-pub use engine::{EngineConfig, Generation, MultigetResult, ServingEngine};
+pub use engine::{AccessObserver, EngineConfig, Generation, MultigetResult, ServingEngine};
 pub use error::{Result, ServingError};
 pub use metrics::{LegacyServingMetrics, ServingMetrics, ServingReport};
-pub use partition_map::{EpochSwap, PartitionMap, PartitionSnapshot};
+pub use partition_map::{EpochSwap, PartitionDelta, PartitionMap, PartitionSnapshot};
 pub use router::{RoutePlan, ShardBatch, ShardRouter};
 pub use store::{value_of, BatchResults, Shard, ShardSet};
 pub use workload::{open_loop_schedule, WorkloadConfig, WorkloadEvent};

@@ -7,7 +7,7 @@
 //! **maximum** over its parallel per-shard requests — the tail-at-scale dependency of Figure 4.
 
 use crate::error::{Result, ServingError};
-use crate::partition_map::PartitionSnapshot;
+use crate::partition_map::{PartitionDelta, PartitionSnapshot};
 use crate::router::RoutePlan;
 use rand::SeedableRng;
 use rand_pcg::Pcg64;
@@ -15,7 +15,7 @@ use shp_hypergraph::DataId;
 use shp_sharding_sim::LatencyModel;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// The synthetic record stored for `key`: a SplitMix64 hash, so that reads can be verified
 /// end-to-end (a wrong or missing value indicates a torn swap or routing bug).
@@ -27,10 +27,13 @@ pub fn value_of(key: DataId) -> u64 {
 }
 
 /// One in-memory KV shard.
+///
+/// Records sit behind an `Arc` so that [`ShardSet::apply_delta`] can hand an untouched
+/// shard's contents to the next generation without copying a single record.
 #[derive(Debug)]
 pub struct Shard {
-    /// Immutable records held by this shard.
-    data: HashMap<DataId, u64>,
+    /// Immutable records held by this shard (shared with other generations when unchanged).
+    data: Arc<HashMap<DataId, u64>>,
     /// Latency RNG, one stream per shard.
     rng: Mutex<Pcg64>,
     /// Number of batch requests served.
@@ -41,8 +44,15 @@ pub struct Shard {
 
 impl Shard {
     fn new(keys: &[DataId], seed: u64) -> Self {
+        Shard::with_data(
+            Arc::new(keys.iter().map(|&k| (k, value_of(k))).collect()),
+            seed,
+        )
+    }
+
+    fn with_data(data: Arc<HashMap<DataId, u64>>, seed: u64) -> Self {
         Shard {
-            data: keys.iter().map(|&k| (k, value_of(k))).collect(),
+            data,
             rng: Mutex::new(Pcg64::seed_from_u64(seed)),
             requests: AtomicU64::new(0),
             keys_served: AtomicU64::new(0),
@@ -130,6 +140,65 @@ impl ShardSet {
             })
             .collect();
         ShardSet { shards, model }
+    }
+
+    /// Builds the next generation's shard set from this one by applying `delta`: only shards
+    /// that a moved key leaves or enters get their record map cloned and edited; every other
+    /// shard shares its records with this generation via `Arc`. Per-shard RNG streams and
+    /// request counters are freshly initialized exactly as [`ShardSet::build`] would for
+    /// `new_epoch`, so a delta-derived generation behaves bit-identically to a full rebuild of
+    /// the same placement at the same epoch.
+    ///
+    /// # Errors
+    /// Propagates [`ServingError::KeyOutOfRange`] / [`ServingError::ShardOutOfRange`] for
+    /// moves outside `base`'s placement. `base` must be the snapshot this set was built from.
+    pub fn apply_delta(
+        &self,
+        base: &PartitionSnapshot,
+        delta: &PartitionDelta,
+        new_epoch: u64,
+        seed: u64,
+    ) -> Result<ShardSet> {
+        let num_shards = self.shards.len();
+        let mut removed: Vec<Vec<DataId>> = vec![Vec::new(); num_shards];
+        let mut added: Vec<Vec<DataId>> = vec![Vec::new(); num_shards];
+        for &(key, to) in delta.moves() {
+            let from = base.shard_of(key)?;
+            if to as usize >= num_shards {
+                return Err(ServingError::ShardOutOfRange {
+                    shard: to,
+                    num_shards: num_shards as u32,
+                });
+            }
+            if from == to {
+                continue;
+            }
+            removed[from as usize].push(key);
+            added[to as usize].push(key);
+        }
+        let shards = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(shard_id, shard)| {
+                let shard_seed = seed ^ (new_epoch << 20) ^ shard_id as u64;
+                if removed[shard_id].is_empty() && added[shard_id].is_empty() {
+                    return Shard::with_data(Arc::clone(&shard.data), shard_seed);
+                }
+                let mut data = (*shard.data).clone();
+                for &key in &removed[shard_id] {
+                    data.remove(&key);
+                }
+                for &key in &added[shard_id] {
+                    data.insert(key, value_of(key));
+                }
+                Shard::with_data(Arc::new(data), shard_seed)
+            })
+            .collect();
+        Ok(ShardSet {
+            shards,
+            model: self.model.clone(),
+        })
     }
 
     /// Number of shards.
@@ -301,5 +370,52 @@ mod tests {
     fn values_are_deterministic_hashes() {
         assert_eq!(value_of(7), value_of(7));
         assert_ne!(value_of(7), value_of(8));
+    }
+
+    #[test]
+    fn apply_delta_moves_records_and_shares_untouched_shards() {
+        let snap = snapshot(3, vec![0, 0, 1, 1, 2, 2]);
+        let set = ShardSet::build(&snap, LatencyModel::default(), 9);
+        let delta = PartitionDelta::new(0, vec![(0, 1)]);
+        let next = set.apply_delta(&snap, &delta, 1, 9).unwrap();
+        assert_eq!(next.shard_sizes(), vec![1, 3, 2]);
+        assert_eq!(next.shards[1].get(0), Some(value_of(0)));
+        assert_eq!(next.shards[0].get(0), None);
+        // Shard 2 was untouched by the move: its record map is shared, not copied.
+        assert!(Arc::ptr_eq(&set.shards[2].data, &next.shards[2].data));
+        assert!(!Arc::ptr_eq(&set.shards[0].data, &next.shards[0].data));
+        assert_eq!(next.shard_requests(), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn delta_generation_behaves_bit_identically_to_a_full_rebuild() {
+        let base = snapshot(2, vec![0, 0, 1, 1]);
+        let set = ShardSet::build(&base, LatencyModel::default(), 7);
+        let delta = PartitionDelta::new(0, vec![(1, 1), (2, 0)]);
+        let next_snap = base.apply_delta(&delta, 3).unwrap();
+        let via_delta = set.apply_delta(&base, &delta, 3, 7).unwrap();
+        let via_full = ShardSet::build(&next_snap, LatencyModel::default(), 7);
+        assert_eq!(via_delta.shard_sizes(), via_full.shard_sizes());
+        // Same epoch + seed → same per-shard RNG streams → identical sampled latencies.
+        let plan = ShardRouter::new().route(&next_snap, &[0, 1, 2, 3]).unwrap();
+        let a = via_delta.execute(&plan).unwrap();
+        let b = via_full.execute(&plan).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn apply_delta_rejects_out_of_range_moves() {
+        let snap = snapshot(2, vec![0, 1]);
+        let set = ShardSet::build(&snap, LatencyModel::default(), 1);
+        let err = set
+            .apply_delta(&snap, &PartitionDelta::new(0, vec![(0, 5)]), 1, 1)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ServingError::ShardOutOfRange {
+                shard: 5,
+                num_shards: 2
+            }
+        );
     }
 }

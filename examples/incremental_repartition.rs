@@ -45,6 +45,7 @@ fn main() {
         &IncrementalConfig {
             movement_penalty: 0.2,
             max_moved_fraction: 0.2,
+            max_moves: None,
         },
         &baseline.partition,
     )

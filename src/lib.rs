@@ -25,6 +25,9 @@
 //! * [`sharding_sim`] — the fanout-vs-latency storage sharding simulator.
 //! * [`serving`] — the online partition-aware multiget serving engine with live repartition
 //!   swap, warm-startable from any registry outcome.
+//! * [`controller`] — the closed serve→observe→repartition loop: bounded access-trace
+//!   collection on the serving hot path, a budgeted online repartition controller installing
+//!   delta placements, and the hours-compressed drift scenario.
 //! * [`telemetry`] — zero-dependency lock-free observability: sharded counters, log-linear
 //!   histograms, hierarchical phase spans, a top-K access sketch, and Prometheus/JSON
 //!   exporters; instrumented throughout the crates above.
@@ -54,6 +57,7 @@
 #![forbid(unsafe_code)]
 
 pub use shp_baselines as baselines;
+pub use shp_controller as controller;
 pub use shp_core as core;
 pub use shp_datagen as datagen;
 pub use shp_hypergraph as hypergraph;

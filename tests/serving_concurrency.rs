@@ -5,7 +5,9 @@
 //! produces an impossible fanout or a wrong value and fails loudly.
 
 use shp::hypergraph::{GraphBuilder, Partition};
-use shp::serving::{value_of, EngineConfig, EpochSwap, PartitionSnapshot, ServingEngine};
+use shp::serving::{
+    value_of, EngineConfig, EpochSwap, PartitionDelta, PartitionSnapshot, ServingEngine,
+};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 const GROUPS: u32 = 8;
@@ -82,7 +84,7 @@ fn epoch_swap_readers_never_observe_a_torn_or_regressing_generation() {
                     // Purity: the whole assignment equals A's or B's, never a blend.
                     let assignment = snapshot.assignment();
                     assert!(
-                        assignment == &assignment_a[..] || assignment == &assignment_b[..],
+                        assignment[..] == assignment_a[..] || assignment[..] == assignment_b[..],
                         "torn generation at epoch {}",
                         snapshot.epoch()
                     );
@@ -281,4 +283,117 @@ fn metrics_accounting_stays_exact_while_records_race_live_swaps() {
     // The latency histogram counted every multiget too (out-of-range values land in the
     // underflow bucket, so nothing escapes the count).
     assert_eq!(snapshot.histograms["t/latency"].count, total);
+}
+
+/// Delta-map installs raced against concurrent multigets: the controller's `install_delta`
+/// path (COW snapshot, moved keys only — no full-map clone) must give readers the same
+/// guarantees as a full install. Every multiget resolves a pure generation (fanout 1 or
+/// GROUPS, correct values), and the epoch a reader observes never goes backwards.
+#[test]
+fn delta_installs_race_concurrent_readers_without_torn_reads() {
+    let graph = community_graph();
+    let engine = ServingEngine::new(&aligned(&graph), EngineConfig::default()).unwrap();
+    engine.reset_metrics();
+
+    const QUERIES_PER_READER: u64 = 300;
+    const DELTAS: u64 = 120;
+    let readers = reader_threads();
+
+    std::thread::scope(|scope| {
+        let engine_ref = &engine;
+        let graph_ref = &graph;
+        let clients: Vec<_> = (0..readers)
+            .map(|reader| {
+                scope.spawn(move || {
+                    let mut last_epoch = 0u64;
+                    for i in 0..QUERIES_PER_READER {
+                        let group = ((reader as u64 + i) % GROUPS as u64) as u32;
+                        let base = group * SIZE;
+                        let keys: Vec<u32> = (base..base + SIZE).collect();
+                        let result = engine_ref.multiget(&keys).unwrap();
+                        assert_eq!(result.values.len(), SIZE as usize);
+                        for (offset, &(key, value)) in result.values.iter().enumerate() {
+                            assert_eq!(key, base + offset as u32);
+                            assert_eq!(value, value_of(key), "wrong record for key {key}");
+                        }
+                        assert!(
+                            result.fanout == 1 || result.fanout == GROUPS,
+                            "torn routing: community served with fanout {} at epoch {}",
+                            result.fanout,
+                            result.epoch
+                        );
+                        assert!(
+                            result.epoch >= last_epoch,
+                            "epoch regressed: {} after {last_epoch}",
+                            result.epoch
+                        );
+                        last_epoch = result.epoch;
+                    }
+                })
+            })
+            .collect();
+
+        // The single writer flips the live placement via *deltas* computed against whatever
+        // snapshot is current — exactly what the repartition controller does per epoch.
+        let swapper = scope.spawn(move || {
+            for i in 0..DELTAS {
+                let target = if i % 2 == 0 {
+                    scattered(graph_ref)
+                } else {
+                    aligned(graph_ref)
+                };
+                let base = engine_ref.current_snapshot();
+                let delta = PartitionDelta::between(&base, &target).unwrap();
+                // Alternating full-disagreement placements: all but SIZE keys move each time.
+                assert_eq!(delta.len(), ((GROUPS - 1) * SIZE) as usize);
+                engine_ref.install_delta(&delta).unwrap();
+                std::thread::yield_now();
+            }
+        });
+
+        for client in clients {
+            client.join().expect("client thread panicked");
+        }
+        swapper.join().expect("swapper thread panicked");
+    });
+
+    assert_eq!(engine.current_epoch(), DELTAS);
+    let report = engine.report();
+    assert_eq!(report.queries, readers as u64 * QUERIES_PER_READER);
+    assert!(report.max_epoch >= 1);
+}
+
+/// A sequence of delta installs must leave the engine in a state **bit-identical** to the
+/// same sequence done through full-map installs: same snapshot pages, same epochs, same
+/// multiget values *and latencies* (the per-shard RNG reseeds identically on both paths).
+#[test]
+fn delta_install_sequence_is_bit_identical_to_full_installs() {
+    let graph = community_graph();
+    let full = ServingEngine::new(&aligned(&graph), EngineConfig::default()).unwrap();
+    let delta = ServingEngine::new(&aligned(&graph), EngineConfig::default()).unwrap();
+
+    for step in 0..6u64 {
+        let target = if step % 2 == 0 {
+            scattered(&graph)
+        } else {
+            aligned(&graph)
+        };
+        full.install_partition(&target).unwrap();
+        let diff = PartitionDelta::between(&delta.current_snapshot(), &target).unwrap();
+        delta.install_delta(&diff).unwrap();
+
+        assert_eq!(full.current_epoch(), delta.current_epoch());
+        assert_eq!(full.current_snapshot(), delta.current_snapshot());
+        // Identical multigets resolve to identical results on both engines — values, fanout,
+        // epoch, and the (seeded) simulated latency.
+        for group in 0..GROUPS {
+            let keys: Vec<u32> = (group * SIZE..(group + 1) * SIZE).collect();
+            let a = full.multiget(&keys).unwrap();
+            let b = delta.multiget(&keys).unwrap();
+            assert_eq!(a.values, b.values);
+            assert_eq!(a.fanout, b.fanout);
+            assert_eq!(a.epoch, b.epoch);
+            assert_eq!(a.latency.to_bits(), b.latency.to_bits());
+        }
+    }
 }
