@@ -27,6 +27,10 @@ pub const BENCH_TELEMETRY_JSON_NAME: &str = "BENCH_telemetry.json";
 /// created at the repository root.
 pub const BENCH_CONTROLLER_JSON_NAME: &str = "BENCH_controller.json";
 
+/// The out-of-core trajectory file name (written by the `outofcore` bench: streaming `.shpb`
+/// generation and mmap-vs-owned open latency/residency), created at the repository root.
+pub const BENCH_OUTOFCORE_JSON_NAME: &str = "BENCH_outofcore.json";
+
 /// The repository root, resolved relative to this crate's manifest (`crates/bench/../..`).
 pub fn repo_root() -> PathBuf {
     let raw = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");

@@ -3,7 +3,8 @@
 //! Subcommands:
 //!
 //! * `generate <dataset> <scale> <output.hgr>` — synthesize a Table-1 dataset stand-in and
-//!   write it in hMetis format.
+//!   write it in hMetis format. With `--stream` (power-law datasets, `.shpb` output) the
+//!   graph is streamed to the container in bounded memory without ever being materialized.
 //! * `algorithms` — list every partitioning algorithm registered in the workspace registry.
 //! * `convert <input> <output> [--from <fmt>] [--to <fmt>] [--workers <n>]` — convert a
 //!   graph between the edge-list, hMetis, and `.shpb` compact binary formats, with format
@@ -96,24 +97,29 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   shp generate <dataset> <scale> <output.hgr>
+  shp generate <dataset> <scale> <output.shpb> --stream
   shp algorithms
   shp convert <input> <output> [--from <format>] [--to <format>] [--workers <n>]
   shp partition <input> <k> <output.part> [--mode <algorithm>] [--p <p>] [--epsilon <eps>]
-                [--seed <seed>] [--iterations <n>] [--workers <n>] [--metrics <file>] [--json]
+                [--seed <seed>] [--iterations <n>] [--workers <n>] [--metrics <file>]
+                [--json] [--mmap]
   shp evaluate <input> <partition.part> <k> [--json]
   shp replay [--dataset <name> | --graph <file>] [--scale <s>] [--shards <k>] [--rate <r>]
              [--duration <d>] [--clients <n>] [--cache <capacity>] [--seed <seed>]
-             [--workers <n>] [--metrics <file>]
+             [--workers <n>] [--metrics <file>] [--mmap]
   shp serve  [--dataset <name> | --graph <file>] [--partition <file>] [--scale <s>]
              [--shards <k>] [--rate <r>] [--duration <d>] [--clients <n>]
              [--cache <capacity>] [--seed <seed>] [--workers <n>] [--metrics <file>]
-             [--repartition-every <n>] [--migration-budget <m>]
+             [--repartition-every <n>] [--migration-budget <m>] [--mmap]
   shp controller [--quick] [--phases <n>] [--every <n>] [--budget <m>] [--seed <seed>]
              [--json]
   shp metrics <snapshot.json> [--prometheus]
 
 `shp algorithms` lists the names accepted by --mode. Graph inputs may be edge-list, hMetis,
 or .shpb binary files (autodetected; see `shp convert --help`).
+`shp generate --stream` writes a power-law dataset straight to a .shpb container in bounded
+memory (byte-identical to materializing, but the graph never exists in RAM); --mmap serves
+partition/replay/serve from a memory-mapped .shpb instead of loading it onto the heap.
 --metrics exports the run's telemetry snapshot: JSON by default, Prometheus text exposition
 format when the path ends in .prom; `shp metrics <file>` pretty-prints a JSON snapshot.
 --repartition-every closes the serve->observe->repartition loop online: one controller epoch
@@ -268,8 +274,14 @@ fn cmd_metrics(args: &[String]) -> ShpResult<()> {
 }
 
 fn cmd_generate(args: &[String]) -> ShpResult<()> {
-    let [name, scale, output] = args else {
-        return Err(usage_error("generate needs 3 arguments"));
+    let (name, scale, output, stream) = match args {
+        [name, scale, output] => (name, scale, output, false),
+        [name, scale, output, flag] if flag == "--stream" => (name, scale, output, true),
+        _ => {
+            return Err(usage_error(
+                "generate needs 3 arguments (plus optional --stream)",
+            ))
+        }
     };
     let dataset = Dataset::from_name(name)
         .ok_or_else(|| ShpError::InvalidArgument(format!("unknown dataset {name:?}")))?;
@@ -278,6 +290,36 @@ fn cmd_generate(args: &[String]) -> ShpResult<()> {
         .map_err(|_| ShpError::InvalidArgument(format!("invalid scale {scale:?}")))?;
     if !(scale > 0.0 && scale <= 1.0) {
         return Err(ShpError::InvalidArgument("scale must lie in (0, 1]".into()));
+    }
+    if stream {
+        // Bounded-memory path: the graph goes straight from the generator to the container,
+        // byte-identical to materializing it, but it never exists in RAM.
+        if GraphFormat::from_extension(output) != Some(GraphFormat::Shpb) {
+            return Err(ShpError::InvalidArgument(
+                "--stream writes a .shpb container: give the output a .shpb extension".into(),
+            ));
+        }
+        let config = dataset.power_law_config(scale, 0x5047).ok_or_else(|| {
+            ShpError::InvalidArgument(format!(
+                "dataset {:?} uses the social generator, which needs the whole graph in \
+                 memory; --stream supports only the power-law datasets \
+                 (email-Enron, web-Stanford, web-BerkStan)",
+                dataset.spec().name
+            ))
+        })?;
+        let mut stream = shp_datagen::PowerLawStream::new(config);
+        let stats = io::stream_shpb_file(&mut stream, std::path::Path::new(output))?;
+        println!(
+            "{:<16} |Q| {:>12} |D| {:>12} |E| {:>14}  (streamed, {} source passes, {} bytes)",
+            dataset.spec().name,
+            stats.num_queries,
+            stats.num_data,
+            stats.num_pins,
+            stats.source_passes,
+            stats.bytes_written
+        );
+        println!("wrote {output}");
+        return Ok(());
     }
     let graph = dataset.generate(scale, 0x5047);
     io::write_hmetis_file(&graph, output)?;
@@ -393,12 +435,18 @@ fn cmd_partition(args: &[String]) -> ShpResult<()> {
     let mut iterations: Option<usize> = None;
     let mut workers = 4usize;
     let mut json = false;
+    let mut mmap = false;
     let mut metrics: Option<String> = None;
     let mut i = 3;
     while i < args.len() {
         let flag = args[i].as_str();
         if flag == "--json" {
             json = true;
+            i += 1;
+            continue;
+        }
+        if flag == "--mmap" {
+            mmap = true;
             i += 1;
             continue;
         }
@@ -460,7 +508,13 @@ fn cmd_partition(args: &[String]) -> ShpResult<()> {
         spec = spec.with_max_iterations(iters);
     }
 
-    let graph = io::read_graph_file_with(input, workers)?;
+    let graph = if mmap {
+        // Zero-copy open: adjacency stays on disk behind borrowed views; the kernel pages in
+        // only what the partitioner touches.
+        io::map_shpb_file(input)?
+    } else {
+        io::read_graph_file_with(input, workers)?
+    };
     let registry = full_registry();
     let outcome = registry.run(&mode, &graph, &spec, &mut NoopObserver)?;
     io::write_partition_file(&outcome.partition, output)?;
@@ -549,6 +603,10 @@ struct ServeOptions {
     repartition_every: usize,
     /// Per-epoch migration budget for online repartitioning (keys moved per delta install).
     migration_budget: usize,
+    /// Memory-map the `--graph` file (must be a `.shpb` container) instead of loading it
+    /// onto the heap: the warm start validates the header and offsets plus one checksum
+    /// pass, then serves adjacency straight from the page cache.
+    mmap: bool,
 }
 
 impl ServeOptions {
@@ -568,10 +626,16 @@ impl ServeOptions {
             metrics: None,
             repartition_every: 0,
             migration_budget: 256,
+            mmap: false,
         };
         let invalid = |message: String| ShpError::InvalidArgument(message);
         let mut i = 0;
         while i < args.len() {
+            if args[i] == "--mmap" {
+                options.mmap = true;
+                i += 1;
+                continue;
+            }
             // Recognize the flag before demanding a value, so an unknown trailing flag is
             // reported as unknown rather than as missing its (nonexistent) value.
             if !matches!(
@@ -701,15 +765,23 @@ impl ServeOptions {
     fn load_warm_start(&self) -> ShpResult<(BipartiteGraph, Option<shp_hypergraph::Partition>)> {
         match &self.graph {
             Some(path) => {
-                let warm = shp_serving::load_warm_start(
+                let warm = shp_serving::load_warm_start_with(
                     path,
                     self.partition.as_ref(),
                     self.shards,
                     self.workers,
+                    self.mmap,
                 )?;
                 Ok((warm.graph, warm.partition))
             }
             None => {
+                if self.mmap {
+                    return Err(ShpError::InvalidArgument(
+                        "--mmap requires --graph <file.shpb> (a generated dataset has no \
+                         on-disk container to map)"
+                            .into(),
+                    ));
+                }
                 if self.partition.is_some() {
                     return Err(ShpError::InvalidArgument(
                         "--partition requires --graph (a generated dataset has no saved \

@@ -30,6 +30,6 @@ pub mod social;
 
 pub use erdos_renyi::erdos_renyi_bipartite;
 pub use planted::{planted_partition, PlantedConfig};
-pub use power_law::{power_law_bipartite, PowerLawConfig};
-pub use registry::{Dataset, DatasetSpec};
+pub use power_law::{power_law_bipartite, PowerLawConfig, PowerLawStream};
+pub use registry::{Dataset, DatasetSpec, GeneratorFamily};
 pub use social::{social_graph, SocialGraphConfig};

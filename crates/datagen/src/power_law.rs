@@ -9,6 +9,7 @@ use rand::Rng;
 use rand::SeedableRng;
 use rand_pcg::Pcg64;
 use serde::{Deserialize, Serialize};
+use shp_hypergraph::io::QueryStream;
 use shp_hypergraph::{BipartiteGraph, GraphBuilder};
 
 /// Parameters of the power-law bipartite generator.
@@ -54,47 +55,92 @@ fn bounded_pareto<R: Rng>(rng: &mut R, min: f64, max: f64, alpha: f64) -> f64 {
     (-(u * (l - h) - l)).powf(-1.0 / alpha)
 }
 
-/// Generates a power-law bipartite graph.
-pub fn power_law_bipartite(config: &PowerLawConfig) -> BipartiteGraph {
-    let mut rng = Pcg64::seed_from_u64(config.seed);
-    let mut builder = GraphBuilder::with_capacity(config.num_queries, config.num_data);
-    if config.num_data == 0 {
-        return builder.build().expect("empty graph");
-    }
-    let n = config.num_data;
-    // One reusable pin buffer for the whole generation loop: pins stream into the builder's
-    // flat arena through `add_query_slice`, so no per-query `Vec` is ever allocated.
-    let mut pins: Vec<u32> = Vec::with_capacity(config.max_degree.max(1));
-    for _ in 0..config.num_queries {
-        let raw = bounded_pareto(
-            &mut rng,
-            config.min_degree.max(1) as f64,
-            config.max_degree.max(config.min_degree.max(1)) as f64,
-            config.exponent,
-        );
-        let degree = (raw.round() as usize)
-            .clamp(config.min_degree.max(1), config.max_degree.max(1))
-            .min(n);
-        pins.clear();
-        let mut attempts = 0;
-        while pins.len() < degree && attempts < degree * 20 {
-            attempts += 1;
-            let v = if rng.gen_bool(config.preferential.clamp(0.0, 1.0)) {
-                // Size-biased choice: squaring a uniform skews towards low ids, which act as
-                // "hub" data vertices.
-                let u: f64 = rng.gen_range(0.0..1.0);
-                ((u * u) * n as f64) as usize
-            } else {
-                rng.gen_range(0..n)
-            }
-            .min(n - 1) as u32;
-            if !pins.contains(&v) {
-                pins.push(v);
-            }
+/// A re-iterable [`QueryStream`] over the power-law generator.
+///
+/// Each [`QueryStream::for_each_query`] pass re-seeds the PCG from `config.seed` and re-rolls
+/// the identical query sequence, so the bounded-memory `.shpb` streaming writer
+/// ([`shp_hypergraph::io::stream_shpb_file`]) can emit the graph to disk without ever
+/// materializing it — the multiple passes the writer needs are pure CPU. The stream and
+/// [`power_law_bipartite`] share one generation loop, which is what makes the streamed
+/// container byte-identical to writing the materialized graph.
+#[derive(Debug, Clone)]
+pub struct PowerLawStream {
+    config: PowerLawConfig,
+    // One reusable pin buffer for the whole generation loop: pins stream to the consumer
+    // straight from it, so no per-query `Vec` is ever allocated.
+    pins: Vec<u32>,
+}
+
+impl PowerLawStream {
+    /// Wraps a generator config as a re-iterable query stream.
+    pub fn new(config: PowerLawConfig) -> Self {
+        let cap = config.max_degree.max(1);
+        PowerLawStream {
+            config,
+            pins: Vec::with_capacity(cap),
         }
-        builder.add_query_slice(&pins);
     }
-    builder.ensure_data_count(n);
+
+    /// The wrapped generator parameters.
+    pub fn config(&self) -> &PowerLawConfig {
+        &self.config
+    }
+}
+
+impl QueryStream for PowerLawStream {
+    fn for_each_query(&mut self, emit: &mut dyn FnMut(&[u32])) {
+        let config = &self.config;
+        if config.num_data == 0 {
+            // No data vertices: no queries either (an all-empty hyperedge list is useless),
+            // matching the materialized generator's early return.
+            return;
+        }
+        let mut rng = Pcg64::seed_from_u64(config.seed);
+        let n = config.num_data;
+        let pins = &mut self.pins;
+        for _ in 0..config.num_queries {
+            let raw = bounded_pareto(
+                &mut rng,
+                config.min_degree.max(1) as f64,
+                config.max_degree.max(config.min_degree.max(1)) as f64,
+                config.exponent,
+            );
+            let degree = (raw.round() as usize)
+                .clamp(config.min_degree.max(1), config.max_degree.max(1))
+                .min(n);
+            pins.clear();
+            let mut attempts = 0;
+            while pins.len() < degree && attempts < degree * 20 {
+                attempts += 1;
+                let v = if rng.gen_bool(config.preferential.clamp(0.0, 1.0)) {
+                    // Size-biased choice: squaring a uniform skews towards low ids, which act
+                    // as "hub" data vertices.
+                    let u: f64 = rng.gen_range(0.0..1.0);
+                    ((u * u) * n as f64) as usize
+                } else {
+                    rng.gen_range(0..n)
+                }
+                .min(n - 1) as u32;
+                if !pins.contains(&v) {
+                    pins.push(v);
+                }
+            }
+            emit(pins);
+        }
+    }
+
+    fn min_data_count(&self) -> usize {
+        self.config.num_data
+    }
+}
+
+/// Generates a power-law bipartite graph (by materializing [`PowerLawStream`]).
+pub fn power_law_bipartite(config: &PowerLawConfig) -> BipartiteGraph {
+    let mut builder = GraphBuilder::with_capacity(config.num_queries, config.num_data);
+    let mut stream = PowerLawStream::new(config.clone());
+    stream.for_each_query(&mut |pins| {
+        builder.add_query_slice(pins);
+    });
     builder
         .build()
         .expect("generated ids are in range by construction")
@@ -148,6 +194,39 @@ mod tests {
         assert_eq!(power_law_bipartite(&config), power_law_bipartite(&config));
         let other = PowerLawConfig { seed: 99, ..config };
         assert_ne!(power_law_bipartite(&config), power_law_bipartite(&other));
+    }
+
+    #[test]
+    fn stream_writes_the_identical_container_without_materializing() {
+        let config = PowerLawConfig {
+            num_queries: 400,
+            num_data: 300,
+            ..Default::default()
+        };
+        let path =
+            std::env::temp_dir().join(format!("shp-datagen-stream-{}.shpb", std::process::id()));
+        shp_hypergraph::io::stream_shpb_file(&mut PowerLawStream::new(config.clone()), &path)
+            .unwrap();
+        let streamed = std::fs::read(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let mut materialized = Vec::new();
+        shp_hypergraph::io::write_shpb(&power_law_bipartite(&config), &mut materialized).unwrap();
+        assert_eq!(streamed, materialized);
+    }
+
+    #[test]
+    fn empty_data_side_streams_the_empty_graph() {
+        let config = PowerLawConfig {
+            num_queries: 10,
+            num_data: 0,
+            ..Default::default()
+        };
+        let g = power_law_bipartite(&config);
+        assert_eq!(g.num_queries(), 0);
+        assert_eq!(g.num_data(), 0);
+        let mut count = 0usize;
+        PowerLawStream::new(config).for_each_query(&mut |_| count += 1);
+        assert_eq!(count, 0);
     }
 
     #[test]

@@ -199,6 +199,39 @@ impl Dataset {
             .find(|d| d.spec().name.to_ascii_lowercase() == lower)
     }
 
+    /// The exact [`PowerLawConfig`] that [`Dataset::generate`] uses for this dataset at the
+    /// given `(scale, seed)`, or `None` for [`GeneratorFamily::Social`] datasets.
+    ///
+    /// This is the hook for streaming generation: wrapping the returned config in
+    /// [`crate::power_law::PowerLawStream`] and handing it to
+    /// [`shp_hypergraph::io::stream_shpb_file`] writes a container byte-identical to
+    /// materializing with [`Dataset::generate`] and calling `write_shpb` — without ever
+    /// holding the graph in memory. The social family is inherently non-streamable (its
+    /// community shuffle needs the whole graph), so it returns `None`.
+    ///
+    /// # Panics
+    /// Panics if `scale` is not in `(0, 1]`.
+    pub fn power_law_config(&self, scale: f64, seed: u64) -> Option<PowerLawConfig> {
+        assert!(
+            scale > 0.0 && scale <= 1.0,
+            "scale must lie in (0, 1], got {scale}"
+        );
+        let spec = self.spec();
+        if spec.family != GeneratorFamily::PowerLaw {
+            return None;
+        }
+        let (num_queries, num_data, avg_degree) = scaled_sizes(&spec, scale);
+        Some(PowerLawConfig {
+            num_queries,
+            num_data,
+            min_degree: 2,
+            max_degree: ((avg_degree * 20.0) as usize).clamp(8, 2_000),
+            exponent: 2.1,
+            preferential: 0.6,
+            seed: seed ^ hash_name(spec.name),
+        })
+    }
+
     /// Generates a synthetic stand-in at the given `scale ∈ (0, 1]` of the published size.
     /// The result is deterministic for a `(dataset, scale, seed)` triple.
     ///
@@ -210,20 +243,13 @@ impl Dataset {
             "scale must lie in (0, 1], got {scale}"
         );
         let spec = self.spec();
-        // Keep at least a small floor so extreme scales remain meaningful graphs.
-        let num_queries = ((spec.paper_queries as f64 * scale) as usize).max(200);
-        let num_data = ((spec.paper_data as f64 * scale) as usize).max(200);
-        let avg_degree = (spec.paper_edges as f64 / spec.paper_queries as f64).max(2.0);
+        let (num_queries, num_data, avg_degree) = scaled_sizes(&spec, scale);
         match spec.family {
-            GeneratorFamily::PowerLaw => power_law_bipartite(&PowerLawConfig {
-                num_queries,
-                num_data,
-                min_degree: 2,
-                max_degree: ((avg_degree * 20.0) as usize).clamp(8, 2_000),
-                exponent: 2.1,
-                preferential: 0.6,
-                seed: seed ^ hash_name(spec.name),
-            }),
+            GeneratorFamily::PowerLaw => power_law_bipartite(
+                &self
+                    .power_law_config(scale, seed)
+                    .expect("family checked above"),
+            ),
             GeneratorFamily::Social => {
                 // For social graphs every user is both query and data; use the data count and
                 // halve the degree because friend-list symmetrization doubles it.
@@ -238,6 +264,15 @@ impl Dataset {
             }
         }
     }
+}
+
+/// The scaled `(num_queries, num_data, avg_degree)` of a spec, shared by every generator
+/// family. Keeps at least a small floor so extreme scales remain meaningful graphs.
+fn scaled_sizes(spec: &DatasetSpec, scale: f64) -> (usize, usize, f64) {
+    let num_queries = ((spec.paper_queries as f64 * scale) as usize).max(200);
+    let num_data = ((spec.paper_data as f64 * scale) as usize).max(200);
+    let avg_degree = (spec.paper_edges as f64 / spec.paper_queries as f64).max(2.0);
+    (num_queries, num_data, avg_degree)
 }
 
 /// Stable hash of a dataset name, mixed into the seed so different datasets generated with the
@@ -288,6 +323,26 @@ mod tests {
     #[should_panic(expected = "scale must lie in (0, 1]")]
     fn invalid_scale_panics() {
         let _ = Dataset::SocPokec.generate(0.0, 1);
+    }
+
+    #[test]
+    fn power_law_config_matches_generate_and_streams_identically() {
+        // Social family is not streamable.
+        assert!(Dataset::SocPokec.power_law_config(0.05, 1).is_none());
+
+        // PowerLaw family: streaming the config writes the byte-identical container to
+        // materializing via `generate`.
+        let config = Dataset::EmailEnron.power_law_config(0.02, 7).unwrap();
+        let path =
+            std::env::temp_dir().join(format!("shp-registry-stream-{}.shpb", std::process::id()));
+        let mut stream = crate::power_law::PowerLawStream::new(config);
+        shp_hypergraph::io::stream_shpb_file(&mut stream, &path).unwrap();
+        let streamed = std::fs::read(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let mut materialized = Vec::new();
+        shp_hypergraph::io::write_shpb(&Dataset::EmailEnron.generate(0.02, 7), &mut materialized)
+            .unwrap();
+        assert_eq!(streamed, materialized);
     }
 
     #[test]

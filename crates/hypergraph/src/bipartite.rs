@@ -5,6 +5,7 @@
 //! construction; use [`crate::GraphBuilder`] to assemble one incrementally.
 
 use crate::error::{GraphError, Result};
+use crate::storage::Section;
 
 /// Identifier of a query vertex (equivalently, a hyperedge). Dense, `0..num_queries`.
 pub type QueryId = u32;
@@ -47,18 +48,22 @@ pub(crate) type RawCsr<'a> = (
 /// assert_eq!(graph.query_neighbors(1), &[0, 1, 2, 3]);
 /// assert_eq!(graph.data_neighbors(0), &[0, 1]);
 /// ```
+/// Every section is a [`Section`]: either heap-owned (builders, text readers, the copying
+/// binary reader) or a zero-copy borrowed view of a memory-mapped `.shpb` file
+/// ([`crate::io::map_shpb_file`]). Equality compares contents, so an owned graph and a mapped
+/// view of its serialization are equal.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BipartiteGraph {
     /// CSR offsets for query → data adjacency; length `num_queries + 1`.
-    query_offsets: Vec<u64>,
+    query_offsets: Section<u64>,
     /// Concatenated data-vertex neighbor lists of all queries.
-    query_adjacency: Vec<DataId>,
+    query_adjacency: Section<DataId>,
     /// CSR offsets for data → query adjacency; length `num_data + 1`.
-    data_offsets: Vec<u64>,
+    data_offsets: Section<u64>,
     /// Concatenated query-vertex neighbor lists of all data vertices.
-    data_adjacency: Vec<QueryId>,
+    data_adjacency: Section<QueryId>,
     /// Optional per-data-vertex weights (uniform weight 1 when `None`).
-    data_weights: Option<Vec<u32>>,
+    data_weights: Option<Section<u32>>,
 }
 
 impl BipartiteGraph {
@@ -87,6 +92,25 @@ impl BipartiteGraph {
             debug_assert_eq!(w.len() + 1, data_offsets.len());
         }
         BipartiteGraph {
+            query_offsets: Section::from(query_offsets),
+            query_adjacency: Section::from(query_adjacency),
+            data_offsets: Section::from(data_offsets),
+            data_adjacency: Section::from(data_adjacency),
+            data_weights: data_weights.map(Section::from),
+        }
+    }
+
+    /// Assembles a graph directly from backing [`Section`]s — the constructor behind the
+    /// zero-copy mapped path. The caller (the `.shpb` reader) must have validated the CSR
+    /// structural contract; accessors trust offsets to be monotone and in-bounds.
+    pub(crate) fn from_sections(
+        query_offsets: Section<u64>,
+        query_adjacency: Section<DataId>,
+        data_offsets: Section<u64>,
+        data_adjacency: Section<QueryId>,
+        data_weights: Option<Section<u32>>,
+    ) -> Self {
+        BipartiteGraph {
             query_offsets,
             query_adjacency,
             data_offsets,
@@ -100,10 +124,10 @@ impl BipartiteGraph {
     /// serializes.
     pub(crate) fn raw_csr(&self) -> RawCsr<'_> {
         (
-            &self.query_offsets,
-            &self.query_adjacency,
-            &self.data_offsets,
-            &self.data_adjacency,
+            self.query_offsets.as_slice(),
+            self.query_adjacency.as_slice(),
+            self.data_offsets.as_slice(),
+            self.data_adjacency.as_slice(),
             self.data_weights.as_deref(),
         )
     }
@@ -243,7 +267,7 @@ impl BipartiteGraph {
                 expected: self.num_data(),
             });
         }
-        self.data_weights = Some(weights);
+        self.data_weights = Some(Section::from(weights));
         Ok(self)
     }
 
@@ -307,18 +331,40 @@ impl BipartiteGraph {
         }
         builder.ensure_data_count(self.num_data());
         if let Some(w) = &self.data_weights {
-            builder.set_data_weights(w.clone());
+            builder.set_data_weights(w.to_vec());
         }
         builder.build().expect("filtering preserves id validity")
     }
 
-    /// Approximate heap footprint of the graph in bytes. Useful for the scalability analyses.
+    /// Heap bytes owned by this graph. Useful for the scalability analyses.
+    ///
+    /// Borrowed (memory-mapped) sections own no heap and report 0 here — their file-backed
+    /// footprint is [`BipartiteGraph::mapped_bytes`]. For a fully owned graph this is the
+    /// complete CSR footprint, as before.
     pub fn memory_bytes(&self) -> usize {
-        self.query_offsets.len() * 8
-            + self.data_offsets.len() * 8
-            + self.query_adjacency.len() * 4
-            + self.data_adjacency.len() * 4
-            + self.data_weights.as_ref().map_or(0, |w| w.len() * 4)
+        self.query_offsets.owned_bytes()
+            + self.data_offsets.owned_bytes()
+            + self.query_adjacency.owned_bytes()
+            + self.data_adjacency.owned_bytes()
+            + self.data_weights.as_ref().map_or(0, Section::owned_bytes)
+    }
+
+    /// File-backed bytes viewed through memory-mapped sections (0 for a fully owned graph).
+    pub fn mapped_bytes(&self) -> usize {
+        self.query_offsets.mapped_bytes()
+            + self.data_offsets.mapped_bytes()
+            + self.query_adjacency.mapped_bytes()
+            + self.data_adjacency.mapped_bytes()
+            + self.data_weights.as_ref().map_or(0, Section::mapped_bytes)
+    }
+
+    /// Whether any section borrows from a memory-mapped `.shpb` file.
+    pub fn is_mapped(&self) -> bool {
+        self.query_offsets.is_mapped()
+            || self.data_offsets.is_mapped()
+            || self.query_adjacency.is_mapped()
+            || self.data_adjacency.is_mapped()
+            || self.data_weights.as_ref().is_some_and(|w| w.is_mapped())
     }
 }
 

@@ -31,10 +31,13 @@
 
 mod scan;
 pub mod shpb;
+pub mod stream;
 
 pub use shpb::{
-    parse_shpb_bytes, read_shpb, read_shpb_file, write_shpb, write_shpb_file, SHPB_VERSION,
+    map_shpb_file, parse_shpb_bytes, read_shpb, read_shpb_file, write_shpb, write_shpb_file,
+    SHPB_VERSION,
 };
+pub use stream::{stream_shpb_file, stream_shpb_file_with, QueryStream, StreamStats};
 
 use crate::bipartite::BipartiteGraph;
 use crate::builder::{BuildKernel, GraphBuilder};

@@ -1,0 +1,457 @@
+//! Streaming generation of `.shpb` containers in bounded memory.
+//!
+//! [`stream_shpb_file`] writes a container straight from a [`QueryStream`] — a deterministic,
+//! re-iterable source of hyperedges — without ever materializing the graph. Peak memory is
+//! `O(D + chunk)` (one `u64` per data vertex for the degree/offset table plus one bounded
+//! transpose window), independent of the pin count `P`, so a 100M-pin graph streams to disk
+//! in tens of megabytes of RAM. The price is re-iterating the source: once to size the query
+//! side, once to emit the query adjacency, and once per transpose window for the data side
+//! (`⌈P / chunk⌉` more passes). For generators that is pure CPU re-rolled from a seed.
+//!
+//! The output is **byte-identical** to [`super::write_shpb`] applied to the materialized
+//! graph of the same stream: pins are canonicalized exactly like
+//! [`crate::GraphBuilder`] (per-query `sort_unstable` + dedup), the data side is emitted in
+//! the same ascending-query counting-sort order, and the same header/trailer checksums are
+//! computed streamingly. The section bytes are written in file order behind a placeholder
+//! header; the real checksummed header is patched in at the end (its fields — `Q`, `D`, `P` —
+//! are only known after the first pass).
+
+use super::shpb::{corrupt, encode_header, BodyHasher, HEADER_LEN, SHPB_VERSION, STAGING_FLUSH};
+use crate::bipartite::{DataId, QueryId};
+use crate::error::{GraphError, Result};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// A deterministic, re-iterable source of hyperedges for the streaming writer.
+///
+/// Implementations must produce the **identical** query sequence (same queries, same pins,
+/// same order) on every [`QueryStream::for_each_query`] call — the writer iterates the source
+/// several times and cross-checks the passes, failing with a typed [`GraphError::Binary`] if
+/// the stream drifts. Pins may be unsorted and contain duplicates; the writer canonicalizes
+/// them exactly like [`crate::GraphBuilder`] does.
+pub trait QueryStream {
+    /// Iterates the stream from the beginning, invoking `emit` once per query with that
+    /// query's raw pins.
+    fn for_each_query(&mut self, emit: &mut dyn FnMut(&[DataId]));
+
+    /// Lower bound on the number of data vertices, for sources whose id space is larger than
+    /// the pins they happen to emit (isolated vertices). The analogue of
+    /// [`crate::GraphBuilder::ensure_data_count`].
+    fn min_data_count(&self) -> usize {
+        0
+    }
+}
+
+/// Every `Vec` of pin-`Vec`s is trivially a deterministic stream (used by tests and as the
+/// adapter for in-memory sources).
+impl QueryStream for Vec<Vec<DataId>> {
+    fn for_each_query(&mut self, emit: &mut dyn FnMut(&[DataId])) {
+        for pins in self.iter() {
+            emit(pins);
+        }
+    }
+}
+
+/// What [`stream_shpb_file`] wrote, and what it cost in source passes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Number of query vertices written.
+    pub num_queries: u64,
+    /// Number of data vertices written.
+    pub num_data: u64,
+    /// Number of pins written (after per-query dedup).
+    pub num_pins: u64,
+    /// Full passes over the query stream (2 fixed + one per transpose window).
+    pub source_passes: u32,
+    /// Total container bytes (header + sections + trailer).
+    pub bytes_written: u64,
+}
+
+/// Default transpose-window size in pins: 4M pins = a 16 MiB `u32` window buffer.
+const DEFAULT_CHUNK_PINS: usize = 4 << 20;
+
+/// Streams a query source to a `.shpb` file in bounded memory (see the module docs).
+pub fn stream_shpb_file<S: QueryStream + ?Sized>(
+    source: &mut S,
+    path: &Path,
+) -> Result<StreamStats> {
+    stream_shpb_file_with(source, path, DEFAULT_CHUNK_PINS)
+}
+
+/// Like [`stream_shpb_file`] with an explicit transpose-window size in pins (clamped to at
+/// least 1). Smaller windows mean less memory and more passes over the source; the output
+/// bytes are identical for every window size.
+pub fn stream_shpb_file_with<S: QueryStream + ?Sized>(
+    source: &mut S,
+    path: &Path,
+    chunk_pins: usize,
+) -> Result<StreamStats> {
+    let _span = shp_telemetry::Span::enter("ingest/stream_shpb");
+    let chunk_pins = (chunk_pins.max(1)) as u64;
+    let file = std::fs::File::create(path)?;
+    let mut sink = Sink::new(std::io::BufWriter::with_capacity(256 << 10, file));
+    // Placeholder header: the dimensions are unknown until the first pass has run. Patched
+    // (with the real FNV-1a header checksum) after the sections and trailer are on disk.
+    sink.writer.write_all(&[0u8; HEADER_LEN])?;
+
+    // Pass 1: canonicalize every query, write the query-offsets section as a running sum,
+    // and build the data-side degree histogram.
+    let mut scratch: Vec<DataId> = Vec::new();
+    let mut degree: Vec<u64> = Vec::new();
+    let mut num_queries: u64 = 0;
+    let mut running: u64 = 0;
+    sink.put_u64(0);
+    source.for_each_query(&mut |pins| {
+        canonicalize(pins, &mut scratch);
+        num_queries += 1;
+        running += scratch.len() as u64;
+        for &v in &scratch {
+            if v as usize >= degree.len() {
+                degree.resize(v as usize + 1, 0);
+            }
+            degree[v as usize] += 1;
+        }
+        sink.put_u64(running);
+    });
+    let num_pins = running;
+    let num_data = degree.len().max(source.min_data_count());
+    degree.resize(num_data, 0);
+
+    // Pass 2: the query adjacency, cross-checked against pass 1.
+    let mut queries_again: u64 = 0;
+    let mut pins_again: u64 = 0;
+    source.for_each_query(&mut |pins| {
+        canonicalize(pins, &mut scratch);
+        queries_again += 1;
+        pins_again += scratch.len() as u64;
+        for &v in &scratch {
+            sink.put_u32(v);
+        }
+    });
+    if queries_again != num_queries || pins_again != num_pins {
+        return Err(corrupt(format!(
+            "query stream is not deterministic: pass 1 saw {num_queries} queries/{num_pins} \
+             pins, pass 2 saw {queries_again}/{pins_again}"
+        )));
+    }
+
+    // Data offsets: prefix-sum the histogram, converting it in place into the per-vertex
+    // start table the transpose windows index (`starts[v]..starts[v+1]`).
+    let mut starts = degree;
+    let mut acc = 0u64;
+    sink.put_u64(0);
+    for slot in starts.iter_mut() {
+        let d = *slot;
+        *slot = acc;
+        acc += d;
+        sink.put_u64(acc);
+    }
+    starts.push(acc);
+    debug_assert_eq!(acc, num_pins);
+
+    // Transpose passes: one re-iteration per window of at most `chunk_pins` pins, scattering
+    // query ids into a bounded buffer. Queries arrive in ascending id order, so each data
+    // vertex's query list comes out in exactly the builder's counting-sort order.
+    let mut source_passes = 2u32;
+    let mut buffer: Vec<QueryId> = Vec::new();
+    let mut cursor: Vec<u64> = Vec::new();
+    let mut lo = 0usize;
+    while lo < num_data {
+        let window_base = starts[lo];
+        let mut hi = lo + 1;
+        while hi < num_data && starts[hi + 1] - window_base <= chunk_pins {
+            hi += 1;
+        }
+        let window_pins = (starts[hi] - window_base) as usize;
+        buffer.clear();
+        buffer.resize(window_pins, 0);
+        cursor.clear();
+        cursor.extend(starts[lo..hi].iter().map(|&s| s - window_base));
+        let mut q: u64 = 0;
+        let mut drifted = false;
+        source.for_each_query(&mut |pins| {
+            canonicalize(pins, &mut scratch);
+            for &v in &scratch {
+                let v = v as usize;
+                if v >= lo && v < hi {
+                    let pos = cursor[v - lo];
+                    // A position at or past the vertex's own end means the stream emitted
+                    // more pins for `v` than pass 1 counted: flag it instead of scattering
+                    // out of place (the typed error below reports it).
+                    if pos < starts[v + 1] - window_base {
+                        buffer[pos as usize] = q as QueryId;
+                        cursor[v - lo] = pos + 1;
+                    } else {
+                        drifted = true;
+                    }
+                }
+            }
+            q += 1;
+        });
+        let cursors_final = cursor
+            .iter()
+            .enumerate()
+            .all(|(local, &c)| c == starts[lo + local + 1] - window_base);
+        if drifted || q != num_queries || !cursors_final {
+            return Err(corrupt(
+                "query stream is not deterministic: a transpose pass disagrees with the \
+                 degree histogram of pass 1",
+            ));
+        }
+        for &qid in &buffer {
+            sink.put_u32(qid);
+        }
+        source_passes += 1;
+        lo = hi;
+    }
+
+    // Flush the sections, append the body trailer (not itself hashed), then patch the real
+    // header over the placeholder.
+    sink.flush_sections()?;
+    let digest = sink.hasher.clone().finish();
+    sink.writer.write_all(&digest.to_le_bytes())?;
+    sink.writer.flush()?;
+    let mut file = sink
+        .writer
+        .into_inner()
+        .map_err(|e| GraphError::Io(e.into_error()))?;
+    file.seek(SeekFrom::Start(0))?;
+    file.write_all(&encode_header(
+        num_queries,
+        num_data as u64,
+        num_pins,
+        false,
+        SHPB_VERSION,
+    ))?;
+    file.flush()?;
+
+    let bytes_written = HEADER_LEN as u64
+        + (num_queries + 1) * 8
+        + num_pins * 4
+        + (num_data as u64 + 1) * 8
+        + num_pins * 4
+        + 8;
+    Ok(StreamStats {
+        num_queries,
+        num_data: num_data as u64,
+        num_pins,
+        source_passes,
+        bytes_written,
+    })
+}
+
+/// Replicates [`crate::GraphBuilder`]'s per-query pin canonicalization exactly: copy, sort,
+/// dedup. Byte-identity of the streamed container with the materialized one hinges on this
+/// being the same transform.
+#[inline]
+fn canonicalize(pins: &[DataId], scratch: &mut Vec<DataId>) {
+    scratch.clear();
+    scratch.extend_from_slice(pins);
+    scratch.sort_unstable();
+    scratch.dedup();
+}
+
+/// Buffers section bytes, feeding the body hasher and the writer in 64 KiB slabs (the same
+/// staging discipline as [`super::write_shpb`]). IO errors are latched and surfaced at the
+/// next fallible call so the `emit` closures stay infallible.
+struct Sink<W: Write> {
+    writer: W,
+    hasher: BodyHasher,
+    staging: Vec<u8>,
+    error: Option<std::io::Error>,
+}
+
+impl<W: Write> Sink<W> {
+    fn new(writer: W) -> Self {
+        Sink {
+            writer,
+            hasher: BodyHasher::new(),
+            staging: Vec::with_capacity(STAGING_FLUSH + 16),
+            error: None,
+        }
+    }
+
+    #[inline]
+    fn put(&mut self, bytes: &[u8]) {
+        if self.error.is_some() {
+            return;
+        }
+        self.staging.extend_from_slice(bytes);
+        if self.staging.len() >= STAGING_FLUSH {
+            self.hasher.update(&self.staging);
+            if let Err(e) = self.writer.write_all(&self.staging) {
+                self.error = Some(e);
+            }
+            self.staging.clear();
+        }
+    }
+
+    #[inline]
+    fn put_u64(&mut self, v: u64) {
+        self.put(&v.to_le_bytes());
+    }
+
+    #[inline]
+    fn put_u32(&mut self, v: u32) {
+        self.put(&v.to_le_bytes());
+    }
+
+    /// Drains the staging buffer and surfaces any latched IO error.
+    fn flush_sections(&mut self) -> Result<()> {
+        if let Some(e) = self.error.take() {
+            return Err(GraphError::Io(e));
+        }
+        if !self.staging.is_empty() {
+            self.hasher.update(&self.staging);
+            self.writer.write_all(&self.staging)?;
+            self.staging.clear();
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::shpb::{map_shpb_file, parse_shpb_bytes, write_shpb};
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn scratch_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("shp-stream-test-{}-{tag}.shpb", std::process::id()))
+    }
+
+    /// The materialized oracle: the same queries through the builder, then `write_shpb`.
+    fn materialized_bytes(queries: &[Vec<DataId>], min_data: usize) -> Vec<u8> {
+        let mut b = GraphBuilder::new();
+        for pins in queries {
+            b.add_query_slice(pins);
+        }
+        b.ensure_data_count(min_data);
+        let graph = b.build().unwrap();
+        let mut bytes = Vec::new();
+        write_shpb(&graph, &mut bytes).unwrap();
+        bytes
+    }
+
+    /// Messy fixture: unsorted pins, duplicates, an empty query, a degree-1 tail vertex.
+    fn fixture() -> Vec<Vec<DataId>> {
+        vec![
+            vec![5, 0, 5, 1],
+            vec![],
+            vec![2, 2, 2],
+            vec![7, 3, 0],
+            vec![1, 0],
+        ]
+    }
+
+    #[test]
+    fn streamed_output_is_byte_identical_to_materialized_write() {
+        let path = scratch_path("ident");
+        let mut stream = fixture();
+        let stats = stream_shpb_file(&mut stream, &path).unwrap();
+        let streamed = std::fs::read(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(streamed, materialized_bytes(&fixture(), 0));
+        assert_eq!(stats.num_queries, 5);
+        assert_eq!(stats.num_data, 8);
+        assert_eq!(stats.num_pins, 9); // after per-query dedup
+        assert_eq!(stats.bytes_written, streamed.len() as u64);
+    }
+
+    #[test]
+    fn every_window_size_produces_identical_bytes() {
+        let oracle = materialized_bytes(&fixture(), 0);
+        for chunk_pins in [1usize, 2, 3, 7, 1 << 20] {
+            let path = scratch_path(&format!("chunk{chunk_pins}"));
+            let stats = stream_shpb_file_with(&mut fixture(), &path, chunk_pins).unwrap();
+            let streamed = std::fs::read(&path).unwrap();
+            std::fs::remove_file(&path).ok();
+            assert_eq!(streamed, oracle, "chunk_pins={chunk_pins}");
+            if chunk_pins == 1 {
+                // Window of one pin: at least one transpose pass per non-isolated vertex.
+                assert!(stats.source_passes > 2, "{:?}", stats);
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_container_reads_and_maps_back_to_the_same_graph() {
+        let path = scratch_path("read");
+        stream_shpb_file(&mut fixture(), &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let parsed = parse_shpb_bytes(&bytes).unwrap();
+        let mapped = map_shpb_file(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let mut b = GraphBuilder::new();
+        for pins in fixture() {
+            b.add_query_slice(&pins);
+        }
+        let oracle = b.build().unwrap();
+        assert_eq!(parsed, oracle);
+        assert_eq!(mapped, oracle);
+    }
+
+    #[test]
+    fn min_data_count_adds_isolated_vertices() {
+        struct Padded(Vec<Vec<DataId>>);
+        impl QueryStream for Padded {
+            fn for_each_query(&mut self, emit: &mut dyn FnMut(&[DataId])) {
+                self.0.for_each_query(emit);
+            }
+            fn min_data_count(&self) -> usize {
+                12
+            }
+        }
+        let path = scratch_path("padded");
+        let stats = stream_shpb_file(&mut Padded(fixture()), &path).unwrap();
+        let streamed = std::fs::read(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(stats.num_data, 12);
+        assert_eq!(streamed, materialized_bytes(&fixture(), 12));
+    }
+
+    #[test]
+    fn empty_stream_writes_the_empty_container() {
+        let path = scratch_path("empty");
+        let stats = stream_shpb_file(&mut Vec::<Vec<DataId>>::new(), &path).unwrap();
+        let streamed = std::fs::read(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(stats.num_queries, 0);
+        assert_eq!(stats.num_data, 0);
+        assert_eq!(streamed, materialized_bytes(&[], 0));
+    }
+
+    #[test]
+    fn non_deterministic_streams_fail_with_typed_errors_not_panics() {
+        /// Emits one more query every time it is iterated.
+        struct Growing(u32);
+        impl QueryStream for Growing {
+            fn for_each_query(&mut self, emit: &mut dyn FnMut(&[DataId])) {
+                self.0 += 1;
+                for q in 0..self.0 {
+                    emit(&[q, q + 1]);
+                }
+            }
+        }
+        let path = scratch_path("grow");
+        let err = stream_shpb_file(&mut Growing(0), &path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(err, GraphError::Binary { .. }), "{err:?}");
+        assert!(err.to_string().contains("not deterministic"), "{err}");
+
+        /// Same query count, but the pins move between passes.
+        struct Shifting(u32);
+        impl QueryStream for Shifting {
+            fn for_each_query(&mut self, emit: &mut dyn FnMut(&[DataId])) {
+                self.0 += 1;
+                for q in 0..4u32 {
+                    emit(&[(q + self.0) % 5, (q + self.0 + 1) % 5]);
+                }
+            }
+        }
+        let path = scratch_path("shift");
+        let err = stream_shpb_file(&mut Shifting(0), &path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(err, GraphError::Binary { .. }), "{err:?}");
+    }
+}

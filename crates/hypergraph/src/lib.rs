@@ -23,7 +23,7 @@
 //!   format autodetection.
 //! * [`stats`] — dataset statistics as reported in Table 1 of the paper.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bipartite;
@@ -35,6 +35,10 @@ pub mod io;
 pub mod metrics;
 pub mod partition;
 pub mod stats;
+// The storage module is the single place `unsafe` is permitted: the mmap syscalls and the
+// borrowed-slice reinterpretation, with the safety argument documented there.
+#[allow(unsafe_code)]
+pub(crate) mod storage;
 
 pub use bipartite::{BipartiteGraph, DataId, QueryId};
 pub use builder::{BuildKernel, GraphBuilder};

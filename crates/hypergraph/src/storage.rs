@@ -1,0 +1,405 @@
+//! Owned-vs-borrowed backing storage for the CSR sections of a
+//! [`BipartiteGraph`](crate::BipartiteGraph).
+//!
+//! A [`Section<T>`] is either a heap-owned `Vec<T>` (the classic path: builders, text
+//! readers, the copying `.shpb` reader) or a typed window into a shared read-only
+//! [`MmapRegion`] (the zero-copy `.shpb` path). Both variants dereference to `&[T]`, so the
+//! graph's accessors are storage-agnostic.
+//!
+//! # Safety
+//!
+//! This is the only module in the crate allowed to use `unsafe` (the crate root carries
+//! `#![deny(unsafe_code)]`; this module is opted out via `#[allow]` on its declaration).
+//! The two unsafe surfaces are:
+//!
+//! * the `mmap(2)`/`munmap(2)` syscalls behind [`MmapRegion`], and
+//! * `slice::from_raw_parts` in [`Section::as_slice`].
+//!
+//! The soundness argument for the slice reinterpretation:
+//!
+//! * **Bounds** — [`Section::from_region`] slices `region.bytes()[byte_offset..][..byte_len]`
+//!   up front, so an out-of-bounds window panics at construction instead of producing a
+//!   dangling view.
+//! * **Alignment & endianness** — the borrowed variant is only constructed when the window's
+//!   base pointer is aligned for `T` *and* the target is little-endian (the `.shpb` on-disk
+//!   byte order). Otherwise the constructor decodes into an owned `Vec<T>` — the documented
+//!   fallback copy.
+//! * **Validity** — `T` is `u32`/`u64` ([`LeScalar`] is only implemented for those), for
+//!   which every bit pattern is a valid value.
+//! * **Lifetime** — the borrowed variant holds an `Arc<MmapRegion>`, so the mapping outlives
+//!   every view; `MmapRegion` unmaps only on drop of the last `Arc`.
+//! * **Immutability** — the region is mapped `PROT_READ` + `MAP_PRIVATE`: writes through the
+//!   mapping are impossible and writes to the underlying file by other processes are not
+//!   reflected (private copy-on-write semantics). The heap fallback is a private `Vec<u8>`.
+
+use std::path::Path;
+use std::sync::Arc;
+
+#[cfg(unix)]
+mod sys {
+    //! Minimal raw bindings for the two syscalls we need. `std` already links the platform
+    //! libc, so the symbols resolve without adding a dependency.
+    use std::ffi::{c_int, c_void};
+
+    pub(super) const PROT_READ: c_int = 1;
+    pub(super) const MAP_PRIVATE: c_int = 0x02;
+
+    extern "C" {
+        pub(super) fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub(super) fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+}
+
+/// A read-only, immutable byte region backing borrowed graph sections: a `PROT_READ`
+/// `MAP_PRIVATE` file mapping on Unix, or a plain heap copy of the file where mapping is
+/// unavailable (non-Unix targets, or an `mmap` failure at open time).
+pub(crate) struct MmapRegion {
+    /// Base of the live mapping; null when `bytes` come from the heap fallback.
+    ptr: *const u8,
+    /// Mapped length in bytes (only meaningful when `ptr` is non-null).
+    len: usize,
+    /// Heap fallback storage; empty when the region is a real mapping.
+    backing: Vec<u8>,
+}
+
+// SAFETY: the region is read-only and never mutated after construction — the mapping is
+// PROT_READ|MAP_PRIVATE and the fallback Vec is never written again — so shared references
+// from any thread are fine and the owner can move between threads.
+unsafe impl Send for MmapRegion {}
+unsafe impl Sync for MmapRegion {}
+
+impl MmapRegion {
+    /// Maps `path` read-only. Falls back to reading the file into a heap buffer when memory
+    /// mapping is unavailable; [`MmapRegion::is_mapped`] reports which one happened.
+    pub(crate) fn map_file(path: &Path) -> std::io::Result<MmapRegion> {
+        #[cfg(unix)]
+        {
+            use std::os::unix::io::AsRawFd;
+            let file = std::fs::File::open(path)?;
+            let len = file.metadata()?.len();
+            // Zero-length mmap is EINVAL on Linux; an empty region is representable as the
+            // (empty) heap fallback.
+            if len > 0 && len <= usize::MAX as u64 {
+                let len = len as usize;
+                // SAFETY: requesting a fresh PROT_READ|MAP_PRIVATE mapping of a file we hold
+                // open; the kernel picks the address. Failure is reported as MAP_FAILED and
+                // handled below.
+                let ptr = unsafe {
+                    sys::mmap(
+                        std::ptr::null_mut(),
+                        len,
+                        sys::PROT_READ,
+                        sys::MAP_PRIVATE,
+                        file.as_raw_fd(),
+                        0,
+                    )
+                };
+                let map_failed = usize::MAX as *mut std::ffi::c_void;
+                if ptr != map_failed && !ptr.is_null() {
+                    return Ok(MmapRegion {
+                        ptr: ptr as *const u8,
+                        len,
+                        backing: Vec::new(),
+                    });
+                }
+            }
+        }
+        let backing = std::fs::read(path)?;
+        Ok(MmapRegion {
+            ptr: std::ptr::null(),
+            len: 0,
+            backing,
+        })
+    }
+
+    /// The full region contents.
+    #[inline]
+    pub(crate) fn bytes(&self) -> &[u8] {
+        if self.ptr.is_null() {
+            &self.backing
+        } else {
+            // SAFETY: `ptr` is the base of a live PROT_READ mapping of exactly `len` bytes,
+            // valid until `self` is dropped.
+            unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+        }
+    }
+
+    /// Whether this region is a real memory mapping (false: heap fallback).
+    pub(crate) fn is_mapped(&self) -> bool {
+        !self.ptr.is_null()
+    }
+}
+
+impl Drop for MmapRegion {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if !self.ptr.is_null() {
+            // SAFETY: unmapping exactly the region returned by mmap in map_file; no views
+            // outlive self (they hold an Arc keeping self alive).
+            unsafe {
+                sys::munmap(self.ptr as *mut std::ffi::c_void, self.len);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for MmapRegion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MmapRegion")
+            .field("len", &self.bytes().len())
+            .field("mapped", &self.is_mapped())
+            .finish()
+    }
+}
+
+/// A fixed-width little-endian scalar that a [`Section`] can view or decode. Implemented for
+/// exactly the `.shpb` section element types (`u32`, `u64`) — both admit every bit pattern,
+/// which [`Section::as_slice`]'s safety relies on.
+pub(crate) trait LeScalar: Copy + PartialEq + std::fmt::Debug {
+    /// Decodes one value from its little-endian byte representation.
+    fn from_le(bytes: &[u8]) -> Self;
+}
+
+impl LeScalar for u32 {
+    #[inline]
+    fn from_le(bytes: &[u8]) -> Self {
+        u32::from_le_bytes(bytes.try_into().expect("chunk of exactly 4 bytes"))
+    }
+}
+
+impl LeScalar for u64 {
+    #[inline]
+    fn from_le(bytes: &[u8]) -> Self {
+        u64::from_le_bytes(bytes.try_into().expect("chunk of exactly 8 bytes"))
+    }
+}
+
+/// One CSR section: either heap-owned or a typed borrowed window into an [`MmapRegion`].
+pub(crate) enum Section<T: LeScalar> {
+    /// Heap-owned storage (builders, text readers, the copying binary reader, and the
+    /// alignment/endianness fallback of [`Section::from_region`]).
+    Owned(Vec<T>),
+    /// Zero-copy view of `len` elements starting `byte_offset` bytes into the shared region.
+    Mapped {
+        /// Shared ownership of the mapping keeps the view alive.
+        region: Arc<MmapRegion>,
+        /// Byte offset of the first element; aligned for `T` (checked at construction).
+        byte_offset: usize,
+        /// Number of `T` elements in the view.
+        len: usize,
+    },
+}
+
+impl<T: LeScalar> Section<T> {
+    /// Creates a section over `len` elements at `byte_offset` in `region`.
+    ///
+    /// Returns the zero-copy `Mapped` variant when the window is aligned for `T` on a
+    /// little-endian target; otherwise decodes the bytes into an `Owned` copy (the documented
+    /// fallback — e.g. the `u64` data-offsets section of a `.shpb` file with an odd number of
+    /// pins is only 4-byte-aligned).
+    ///
+    /// # Panics
+    /// Panics if the window is out of bounds; callers must have validated the container
+    /// layout against the region length first.
+    pub(crate) fn from_region(region: &Arc<MmapRegion>, byte_offset: usize, len: usize) -> Self {
+        let byte_len = len * std::mem::size_of::<T>();
+        let window = &region.bytes()[byte_offset..byte_offset + byte_len];
+        let aligned = (window.as_ptr() as usize).is_multiple_of(std::mem::align_of::<T>());
+        if cfg!(target_endian = "little") && aligned {
+            Section::Mapped {
+                region: Arc::clone(region),
+                byte_offset,
+                len,
+            }
+        } else {
+            Section::Owned(
+                window
+                    .chunks_exact(std::mem::size_of::<T>())
+                    .map(T::from_le)
+                    .collect(),
+            )
+        }
+    }
+
+    /// The section contents as a slice, regardless of backing.
+    #[inline]
+    pub(crate) fn as_slice(&self) -> &[T] {
+        match self {
+            Section::Owned(v) => v,
+            Section::Mapped {
+                region,
+                byte_offset,
+                len,
+            } => {
+                // SAFETY: see the module-level safety argument — bounds and alignment were
+                // checked in from_region, T admits all bit patterns, the Arc keeps the
+                // read-only region alive and immutable for the lifetime of the borrow.
+                unsafe {
+                    std::slice::from_raw_parts(
+                        region.bytes().as_ptr().add(*byte_offset) as *const T,
+                        *len,
+                    )
+                }
+            }
+        }
+    }
+
+    /// Heap bytes owned by this section (0 for a borrowed view).
+    pub(crate) fn owned_bytes(&self) -> usize {
+        match self {
+            Section::Owned(v) => v.len() * std::mem::size_of::<T>(),
+            Section::Mapped { .. } => 0,
+        }
+    }
+
+    /// File-backed bytes viewed by this section (0 for owned storage).
+    pub(crate) fn mapped_bytes(&self) -> usize {
+        match self {
+            Section::Owned(_) => 0,
+            Section::Mapped { len, .. } => len * std::mem::size_of::<T>(),
+        }
+    }
+
+    /// Whether this section borrows from a mapped region.
+    pub(crate) fn is_mapped(&self) -> bool {
+        matches!(self, Section::Mapped { .. })
+    }
+}
+
+impl<T: LeScalar> From<Vec<T>> for Section<T> {
+    fn from(v: Vec<T>) -> Self {
+        Section::Owned(v)
+    }
+}
+
+impl<T: LeScalar> std::ops::Deref for Section<T> {
+    type Target = [T];
+
+    #[inline]
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: LeScalar> Clone for Section<T> {
+    fn clone(&self) -> Self {
+        match self {
+            Section::Owned(v) => Section::Owned(v.clone()),
+            Section::Mapped {
+                region,
+                byte_offset,
+                len,
+            } => Section::Mapped {
+                region: Arc::clone(region),
+                byte_offset: *byte_offset,
+                len: *len,
+            },
+        }
+    }
+}
+
+/// Sections compare by contents, so an owned graph and a mapped view of its serialization
+/// are equal.
+impl<T: LeScalar> PartialEq for Section<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: LeScalar> Eq for Section<T> {}
+
+impl<T: LeScalar> std::fmt::Debug for Section<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_mapped() {
+            f.write_str("Mapped")?;
+        }
+        std::fmt::Debug::fmt(self.as_slice(), f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn region_from_bytes(bytes: &[u8]) -> Arc<MmapRegion> {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!(
+            "shp_storage_test_{}_{}",
+            std::process::id(),
+            bytes.len()
+        ));
+        let mut f = std::fs::File::create(&path).unwrap();
+        f.write_all(bytes).unwrap();
+        drop(f);
+        let region = Arc::new(MmapRegion::map_file(&path).unwrap());
+        std::fs::remove_file(&path).ok();
+        region
+    }
+
+    #[test]
+    fn aligned_u32_window_is_borrowed_and_decodes() {
+        let mut bytes = Vec::new();
+        for v in [7u32, 11, 13, 17] {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        let region = region_from_bytes(&bytes);
+        let s = Section::<u32>::from_region(&region, 0, 4);
+        assert_eq!(s.as_slice(), &[7, 11, 13, 17]);
+        if region.is_mapped() {
+            assert!(s.is_mapped(), "page-aligned window must borrow");
+            assert_eq!(s.owned_bytes(), 0);
+            assert_eq!(s.mapped_bytes(), 16);
+        }
+    }
+
+    #[test]
+    fn misaligned_u64_window_falls_back_to_owned_copy() {
+        // 4 bytes of padding puts a u64 window at alignment 4, forcing the decode copy.
+        let mut bytes = vec![0u8; 4];
+        for v in [1u64, u64::MAX, 42] {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        let region = region_from_bytes(&bytes);
+        let s = Section::<u64>::from_region(&region, 4, 3);
+        assert_eq!(s.as_slice(), &[1, u64::MAX, 42]);
+        if region.is_mapped() {
+            assert!(!s.is_mapped(), "misaligned window must be copied");
+            assert_eq!(s.mapped_bytes(), 0);
+            assert_eq!(s.owned_bytes(), 24);
+        }
+    }
+
+    #[test]
+    fn sections_compare_by_contents_across_backings() {
+        let bytes: Vec<u8> = [3u32, 1, 4].iter().flat_map(|v| v.to_le_bytes()).collect();
+        let region = region_from_bytes(&bytes);
+        let mapped = Section::<u32>::from_region(&region, 0, 3);
+        let owned = Section::Owned(vec![3u32, 1, 4]);
+        assert_eq!(mapped, owned);
+        assert_eq!(mapped.clone(), owned.clone());
+    }
+
+    #[test]
+    fn view_survives_source_arc_drop() {
+        let bytes: Vec<u8> = (0..64u32).flat_map(|v| v.to_le_bytes()).collect();
+        let region = region_from_bytes(&bytes);
+        let s = Section::<u32>::from_region(&region, 0, 64);
+        drop(region); // the section's own Arc must keep the mapping alive
+        assert_eq!(s.as_slice()[63], 63);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_window_panics_at_construction() {
+        let region = region_from_bytes(&[0u8; 8]);
+        let _ = Section::<u64>::from_region(&region, 0, 2);
+    }
+}

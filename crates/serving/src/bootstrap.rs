@@ -34,7 +34,30 @@ pub fn load_warm_start<P: AsRef<Path>, Q: AsRef<Path>>(
     k: u32,
     workers: usize,
 ) -> Result<WarmStart, GraphError> {
-    let graph = io::read_graph_file_with(graph_path, workers)?;
+    load_warm_start_with(graph_path, partition_path, k, workers, false)
+}
+
+/// Like [`load_warm_start`], optionally memory-mapping the graph instead of reading it.
+///
+/// With `mmap = true` the graph file must be a `.shpb` container and is opened through
+/// [`io::map_shpb_file`]: validation touches only the header and offset tables plus one
+/// sequential checksum pass, and the adjacency sections stay on disk behind borrowed views —
+/// the kernel pages them in on demand. A restarting serving tier thus reaches "answering
+/// multigets" without first copying a multi-gigabyte graph through the heap; pages the
+/// traffic never touches are never resident. The partition file is read and validated the
+/// same way in both modes.
+pub fn load_warm_start_with<P: AsRef<Path>, Q: AsRef<Path>>(
+    graph_path: P,
+    partition_path: Option<Q>,
+    k: u32,
+    workers: usize,
+    mmap: bool,
+) -> Result<WarmStart, GraphError> {
+    let graph = if mmap {
+        io::map_shpb_file(graph_path)?
+    } else {
+        io::read_graph_file_with(graph_path, workers)?
+    };
     let partition = match partition_path {
         Some(path) => Some(io::read_partition_file(&graph, k, path)?),
         None => None,
@@ -89,6 +112,41 @@ mod tests {
         let warm = load_warm_start(&graph_path, None::<&Path>, 2, 1).unwrap();
         assert!(warm.partition.is_none());
         assert_eq!(warm.graph.num_data(), 6);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mapped_warm_start_serves_the_same_answers_without_owning_the_graph() {
+        let dir = std::env::temp_dir().join(format!("shp-bootstrap-mmap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let graph_path = dir.join("g.shpb");
+        let part_path = dir.join("g.part");
+
+        let graph = two_communities();
+        io::write_shpb_file(&graph, &graph_path).unwrap();
+        let aligned = Partition::from_assignment(&graph, 2, vec![0, 0, 0, 1, 1, 1]).unwrap();
+        io::write_partition_file(&aligned, &part_path).unwrap();
+
+        let warm = load_warm_start_with(&graph_path, Some(&part_path), 2, 1, true).unwrap();
+        assert_eq!(warm.graph, graph);
+        assert!(warm.graph.is_mapped());
+        assert_eq!(
+            warm.graph.memory_bytes(),
+            0,
+            "mapped graph owns no CSR heap"
+        );
+
+        let partition = warm.partition.expect("partition file was supplied");
+        let engine = ServingEngine::new(&partition, EngineConfig::default()).unwrap();
+        let result = engine.multiget(warm.graph.query_neighbors(0)).unwrap();
+        assert_eq!(result.fanout, 1);
+
+        // mmap mode requires a binary container: a text graph is a typed error, not a panic.
+        let text_path = dir.join("g.hgr");
+        io::write_hmetis_file(&graph, &text_path).unwrap();
+        let err = load_warm_start_with(&text_path, None::<&Path>, 2, 1, true).unwrap_err();
+        assert!(matches!(err, GraphError::Binary { .. }), "{err:?}");
+
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -70,7 +70,7 @@ pub mod router;
 pub mod store;
 pub mod workload;
 
-pub use bootstrap::{load_warm_start, WarmStart};
+pub use bootstrap::{load_warm_start, load_warm_start_with, WarmStart};
 pub use cache::{CacheStats, HotKeyCache};
 pub use engine::{AccessObserver, EngineConfig, Generation, MultigetResult, ServingEngine};
 pub use error::{Result, ServingError};

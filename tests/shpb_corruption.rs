@@ -1,0 +1,233 @@
+//! Adversarial `.shpb` corruption suite: no byte pattern may panic a reader.
+//!
+//! The `.shpb` container is the boundary where untrusted disk bytes become borrowed CSR
+//! views, so both readers — the copying `parse_shpb_bytes` and the zero-copy
+//! `map_shpb_file` — must turn **every** corruption into a typed `GraphError`, never a
+//! panic, an out-of-bounds index, or an attacker-sized allocation. This suite drives both
+//! paths with proptest-generated corruptions of a valid container:
+//!
+//! * truncations at every prefix length (headers, section bodies, the trailer);
+//! * single-byte and single-bit flips anywhere in the file — **including section bodies**,
+//!   which structural validation alone would miss for payload (adjacency id) bytes and which
+//!   the version-2 body-checksum trailer exists to catch;
+//! * oversized header length fields with a *recomputed valid header checksum*, so the size
+//!   sanity checks (not the checksum) are what must reject multi-gigabyte claims.
+
+use proptest::prelude::*;
+use shp::hypergraph::io::{map_shpb_file, parse_shpb_bytes, write_shpb};
+use shp::hypergraph::{BipartiteGraph, GraphBuilder, GraphError};
+
+/// A fixture container exercising every section, weights included.
+fn fixture_bytes() -> Vec<u8> {
+    let mut b = GraphBuilder::new();
+    let mut next = 1u32;
+    for q in 0..24u32 {
+        let mut pins = vec![q % 17, (q * 7 + 3) % 17];
+        if q % 3 == 0 {
+            pins.push(next % 17);
+            next = next.wrapping_mul(31).wrapping_add(7);
+        }
+        b.add_query_slice(&pins);
+    }
+    let graph = b
+        .build()
+        .unwrap()
+        .with_data_weights((1..=17).collect())
+        .unwrap();
+    let mut bytes = Vec::new();
+    write_shpb(&graph, &mut bytes).unwrap();
+    bytes
+}
+
+/// Feeds `bytes` to both readers; both must fail with a typed error (the value is the error's
+/// display string of the copying reader, for the callers that assert on categories).
+///
+/// The mmap path goes through a real temp file, exactly like production opens.
+fn both_readers_reject(bytes: &[u8], tag: &str) -> String {
+    let copied = parse_shpb_bytes(bytes);
+    let path = std::env::temp_dir().join(format!(
+        "shp-corrupt-{}-{tag}-{}.shpb",
+        std::process::id(),
+        bytes.len()
+    ));
+    std::fs::write(&path, bytes).unwrap();
+    let mapped = map_shpb_file(&path);
+    std::fs::remove_file(&path).ok();
+
+    let copied_err = match copied {
+        Ok(_) => panic!("{tag}: the copying reader accepted corrupt bytes"),
+        Err(e) => e,
+    };
+    match mapped {
+        Ok(_) => panic!("{tag}: the mmap reader accepted corrupt bytes"),
+        Err(e) => {
+            // Both paths classify corruption as a binary-container error — or, when the
+            // flip lands in the version field, as the dedicated version error. (IO errors
+            // cannot occur here: the file exists and the bytes are readable.)
+            assert!(
+                matches!(
+                    copied_err,
+                    GraphError::Binary { .. } | GraphError::UnsupportedVersion { .. }
+                ),
+                "{tag}: copying reader returned a non-binary error: {copied_err:?}"
+            );
+            assert!(
+                matches!(
+                    e,
+                    GraphError::Binary { .. } | GraphError::UnsupportedVersion { .. }
+                ),
+                "{tag}: mmap reader returned a non-binary error: {e:?}"
+            );
+        }
+    }
+    copied_err.to_string()
+}
+
+/// Writes a `u64` into a header field and re-stamps a *valid* FNV-1a checksum, so the file
+/// passes the checksum gate and the dimension sanity checks are what must reject it.
+fn forge_header_field(bytes: &[u8], field_offset: usize, value: u64) -> Vec<u8> {
+    let mut forged = bytes.to_vec();
+    forged[field_offset..field_offset + 8].copy_from_slice(&value.to_le_bytes());
+    let checksum = forged[..40].iter().fold(0xcbf2_9ce4_8422_2325u64, |h, &b| {
+        (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3)
+    });
+    forged[40..48].copy_from_slice(&checksum.to_le_bytes());
+    forged
+}
+
+#[test]
+fn the_fixture_itself_roundtrips_through_both_readers() {
+    let bytes = fixture_bytes();
+    let copied = parse_shpb_bytes(&bytes).unwrap();
+    let path = std::env::temp_dir().join(format!("shp-corrupt-ok-{}.shpb", std::process::id()));
+    std::fs::write(&path, &bytes).unwrap();
+    let mapped = map_shpb_file(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(copied, mapped);
+    assert!(copied.has_weights());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every strict prefix of a valid container is rejected by both readers.
+    #[test]
+    fn truncations_are_typed_errors(cut_seed in 0usize..10_000) {
+        let bytes = fixture_bytes();
+        let cut = cut_seed % bytes.len();
+        both_readers_reject(&bytes[..cut], "trunc");
+    }
+
+    /// Any single corrupted byte anywhere in the file — header, offsets, adjacency bodies,
+    /// weights, trailer — is caught by both readers. Payload bytes that structural checks
+    /// cannot see (e.g. one adjacency id swapped for another valid one) are exactly what the
+    /// body-checksum trailer covers.
+    #[test]
+    fn single_byte_flips_are_typed_errors(pos_seed in 0usize..100_000, xor_seed in 0u8..255) {
+        let bytes = fixture_bytes();
+        let xor = xor_seed.wrapping_add(1); // 1..=255: never the identity mask
+        let pos = pos_seed % bytes.len();
+        let mut corrupt = bytes.clone();
+        corrupt[pos] ^= xor;
+        both_readers_reject(&corrupt, "byteflip");
+    }
+
+    /// Single-bit flips restricted to the section bodies (past the header, before the
+    /// trailer): the hardest corruption class, invisible to header validation.
+    #[test]
+    fn single_bit_flips_in_section_bodies_are_typed_errors(
+        pos_seed in 0usize..100_000,
+        bit in 0u8..8,
+    ) {
+        let bytes = fixture_bytes();
+        let body = 48..bytes.len() - 8;
+        let pos = body.start + pos_seed % (body.end - body.start);
+        let mut corrupt = bytes.clone();
+        corrupt[pos] ^= 1 << bit;
+        both_readers_reject(&corrupt, "bitflip");
+    }
+
+    /// Oversized length fields behind a *valid* checksum must be rejected by size/offset
+    /// sanity checks — quickly, and without attacker-controlled allocations. (The readers
+    /// slice before they copy, so a `u64::MAX` pin count can at most produce an error.)
+    #[test]
+    fn oversized_header_counts_with_valid_checksums_are_typed_errors(
+        field in 0usize..3,
+        value_pick in 0usize..5,
+    ) {
+        let bytes = fixture_bytes();
+        let value = [
+            u64::MAX,
+            u64::MAX / 2,
+            1u64 << 40,
+            (u32::MAX as u64) + 1,
+            1_000_000_000,
+        ][value_pick];
+        let offset = [8usize, 16, 24][field]; // num_queries, num_data, num_pins
+        let forged = forge_header_field(&bytes, offset, value);
+        let message = both_readers_reject(&forged, "oversized");
+        // The rejection must come from structural validation, not an OOM or the checksum
+        // (which we deliberately made valid).
+        prop_assert!(
+            !message.contains("header checksum"),
+            "expected a structural rejection, got: {message}"
+        );
+    }
+
+    /// Flipping *two* independent bytes (a crude model of torn writes) is still caught.
+    #[test]
+    fn double_byte_flips_are_typed_errors(
+        a_seed in 0usize..100_000,
+        b_seed in 0usize..100_000,
+        xor_a in 0u8..255,
+        xor_b in 0u8..255,
+    ) {
+        let bytes = fixture_bytes();
+        let a = a_seed % bytes.len();
+        let b = b_seed % bytes.len();
+        let mut corrupt = bytes.clone();
+        corrupt[a] ^= xor_a.wrapping_add(1);
+        corrupt[b] ^= xor_b.wrapping_add(1);
+        // Skip the degenerate case where the two flips cancelled (same position, same mask).
+        if corrupt != bytes {
+            both_readers_reject(&corrupt, "torn");
+        }
+    }
+}
+
+/// Non-proptest spot checks for the corruption classes with exact expected diagnostics.
+#[test]
+fn corruption_diagnostics_name_the_failing_layer() {
+    let bytes = fixture_bytes();
+
+    // Garbage magic.
+    let mut magic = bytes.clone();
+    magic[0] = b'X';
+    assert!(both_readers_reject(&magic, "magic").contains("magic"));
+
+    // An adjacency id flip: the copying reader catches it structurally (the flip breaks
+    // either the ascending order or the cross-consistency with the transposed side), the
+    // mmap reader by checksum. Both must reject it.
+    let parsed: BipartiteGraph = parse_shpb_bytes(&bytes).unwrap();
+    let (q, d, p) = (parsed.num_queries(), parsed.num_data(), parsed.num_edges());
+    let mut payload = bytes.clone();
+    let adjacency_start = 48 + (q + 1) * 8;
+    payload[adjacency_start] ^= 0x01;
+    both_readers_reject(&payload, "payload");
+
+    // A weights byte flip: structurally invisible — no offsets, no ordering, every value
+    // legal — so *only* the version-2 body checksum can catch it, on both readers.
+    let mut weights = bytes.clone();
+    let weights_start = 48 + (q + 1) * 8 + p * 4 + (d + 1) * 8 + p * 4;
+    weights[weights_start] ^= 0x01;
+    assert!(
+        both_readers_reject(&weights, "weights").contains("checksum"),
+        "a weights flip must be caught by the body checksum"
+    );
+
+    // Trailer corruption.
+    let mut trailer = bytes.clone();
+    let last = trailer.len() - 1;
+    trailer[last] ^= 0xFF;
+    assert!(both_readers_reject(&trailer, "trailer").contains("body checksum"));
+}

@@ -1,0 +1,246 @@
+//! Storage-representation conformance suite: where a graph's bytes live must never change
+//! results.
+//!
+//! `BipartiteGraph`'s CSR sections are served either from owned heap vectors or from borrowed
+//! views into a memory-mapped `.shpb` container. This suite locks in the contract that the
+//! two representations are observationally identical:
+//!
+//! * every registry algorithm produces a **bit-identical** `PartitionOutcome` (assignment,
+//!   fanout/p-fanout/imbalance bits, iteration and move counts) and iteration trace whether
+//!   the graph was parsed from hMetis text, read (copied) from a `.shpb` container, or
+//!   memory-mapped from the same container — on fixed-seed planted-partition and power-law
+//!   graphs, for multiple worker counts;
+//! * graph transformations (`induced_subgraph`, `filter_small_queries`) over a borrowed
+//!   graph return fully **owned** graphs equal to their owned-input counterparts, and stay
+//!   valid after the mapped source graph is dropped (no dangling borrows);
+//! * `memory_bytes()` reports only owned heap (0 for a mapped graph), with the file-backed
+//!   footprint reported separately via `mapped_bytes()`.
+//!
+//! Same discipline as `tests/parallel_conformance.rs`, which does this for worker counts.
+
+use shp::baselines::full_registry;
+use shp::core::api::{NoopObserver, PartitionOutcome, PartitionSpec, TraceObserver};
+use shp::datagen::{planted_partition, power_law_bipartite, PlantedConfig, PowerLawConfig};
+use shp::hypergraph::{io, BipartiteGraph};
+
+/// Worker counts the comparisons run at: a small fixed ladder plus `SHP_TEST_WORKERS` when
+/// set, so the CI matrix can force extra counts.
+fn worker_counts() -> Vec<usize> {
+    let mut counts = vec![1usize, 4];
+    if let Some(extra) = std::env::var("SHP_TEST_WORKERS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&w| w >= 1)
+    {
+        if !counts.contains(&extra) {
+            counts.push(extra);
+        }
+    }
+    counts
+}
+
+fn planted_graph() -> BipartiteGraph {
+    planted_partition(&PlantedConfig {
+        num_blocks: 4,
+        block_size: 96,
+        num_queries: 1_024,
+        query_degree: 5,
+        noise: 0.08,
+        seed: 0x5047,
+    })
+    .0
+}
+
+fn power_law_graph() -> BipartiteGraph {
+    power_law_bipartite(&PowerLawConfig {
+        num_queries: 900,
+        num_data: 700,
+        min_degree: 2,
+        max_degree: 40,
+        seed: 0x5047,
+        ..Default::default()
+    })
+}
+
+/// The three storage representations of one graph, produced through the full IO stack:
+/// hMetis text → owned, `.shpb` copying reader → owned, `.shpb` mmap open → borrowed.
+fn load_three_ways(graph: &BipartiteGraph, tag: &str) -> Vec<(&'static str, BipartiteGraph)> {
+    let dir = std::env::temp_dir().join(format!("shp-storage-conf-{}-{tag}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let text_path = dir.join("g.hgr");
+    let bin_path = dir.join("g.shpb");
+    io::write_hmetis_file(graph, &text_path).unwrap();
+    io::write_shpb_file(graph, &bin_path).unwrap();
+
+    let from_text = io::read_hmetis_file(&text_path).unwrap();
+    let from_shpb = io::read_shpb_file(&bin_path).unwrap();
+    let mapped = io::map_shpb_file(&bin_path).unwrap();
+    assert!(!from_text.is_mapped());
+    assert!(!from_shpb.is_mapped());
+    assert!(mapped.is_mapped());
+    // The mapping holds the file open; removal is fine on unix (the pages stay valid), and
+    // doing it here keeps the temp dir clean whatever order the tests run in.
+    std::fs::remove_dir_all(&dir).ok();
+    vec![
+        ("owned-from-text", from_text),
+        ("owned-from-shpb", from_shpb),
+        ("mmap-borrowed", mapped),
+    ]
+}
+
+/// The exact-equality fingerprint of an outcome. Floats are compared by bit pattern — "close
+/// enough" would hide storage-dependent traversal differences, which are precisely the bug
+/// class this suite exists to catch.
+type Fingerprint = (Vec<u32>, u64, u64, u64, usize, u64);
+
+fn fingerprint(outcome: &PartitionOutcome) -> Fingerprint {
+    (
+        outcome.partition.assignment().to_vec(),
+        outcome.fanout.to_bits(),
+        outcome.p_fanout.to_bits(),
+        outcome.imbalance.to_bits(),
+        outcome.iterations,
+        outcome.moves,
+    )
+}
+
+/// Every registry algorithm must produce bit-identical outcomes across the three load paths,
+/// on both fixed-seed graphs, for every worker count.
+#[test]
+fn all_registry_algorithms_are_bit_identical_across_storage_representations() {
+    let registry = full_registry();
+    let counts = worker_counts();
+    for (graph_name, graph, k) in [
+        ("planted", planted_graph(), 4u32),
+        ("power-law", power_law_graph(), 8u32),
+    ] {
+        let loaded = load_three_ways(&graph, graph_name);
+        // The representations already compare equal as graphs (PartialEq reads through the
+        // borrowed views) — the algorithm runs below then catch any divergence in what the
+        // accessors actually serve.
+        for (load_name, g) in &loaded {
+            assert_eq!(
+                g, &graph,
+                "{graph_name}: {load_name} load changed the graph"
+            );
+        }
+        for name in registry.names() {
+            for &workers in &counts {
+                let spec = PartitionSpec::new(k)
+                    .with_seed(0x5047)
+                    .with_max_iterations(4)
+                    .with_workers(workers);
+                let mut baseline: Option<Fingerprint> = None;
+                for (load_name, g) in &loaded {
+                    let outcome = registry
+                        .run(&name, g, &spec, &mut NoopObserver)
+                        .expect("registered algorithm on a valid spec");
+                    let fp = fingerprint(&outcome);
+                    match &baseline {
+                        None => baseline = Some(fp),
+                        Some(expected) => assert_eq!(
+                            &fp, expected,
+                            "{name} on {graph_name}: outcome diverged on the {load_name} \
+                             representation at workers={workers}"
+                        ),
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The per-iteration trace (the observable refinement history) must also be independent of
+/// the storage representation, not just the final partition.
+#[test]
+fn iteration_traces_are_identical_across_storage_representations() {
+    let graph = planted_graph();
+    let loaded = load_three_ways(&graph, "traces");
+    let registry = full_registry();
+    for name in ["shpk", "shp2", "distributed"] {
+        let mut baseline: Option<Vec<(usize, usize, u64)>> = None;
+        for (load_name, g) in &loaded {
+            let spec = PartitionSpec::new(4)
+                .with_seed(7)
+                .with_max_iterations(5)
+                .with_workers(2);
+            let mut trace = TraceObserver::default();
+            registry
+                .run(name, g, &spec, &mut trace)
+                .expect("valid spec");
+            let events: Vec<(usize, usize, u64)> = trace
+                .iterations
+                .iter()
+                .map(|e| (e.iteration, e.moved, e.fanout.to_bits()))
+                .collect();
+            match &baseline {
+                None => baseline = Some(events),
+                Some(expected) => assert_eq!(
+                    &events, expected,
+                    "{name}: iteration trace diverged on the {load_name} representation"
+                ),
+            }
+        }
+    }
+}
+
+/// A mapped graph owns no CSR heap (`memory_bytes() == 0`); its footprint is the mapped file
+/// sections. An owned graph is the exact opposite.
+#[test]
+fn memory_accounting_distinguishes_owned_from_borrowed_storage() {
+    let graph = power_law_graph();
+    let dir = std::env::temp_dir().join(format!("shp-storage-mem-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let bin_path = dir.join("g.shpb");
+    io::write_shpb_file(&graph, &bin_path).unwrap();
+    let mapped = io::map_shpb_file(&bin_path).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+
+    assert!(graph.memory_bytes() > 0);
+    assert_eq!(graph.mapped_bytes(), 0);
+    assert_eq!(
+        mapped.memory_bytes(),
+        0,
+        "a mapped graph must report no owned CSR heap"
+    );
+    // The mapped sections cover exactly the owned graph's CSR payload: same element counts,
+    // same element widths.
+    assert_eq!(mapped.mapped_bytes(), graph.memory_bytes());
+}
+
+/// `induced_subgraph` and `filter_small_queries` over a borrowed graph must return owned
+/// graphs — equal to their owned-input counterparts and alive after the mapped source (and
+/// with it the underlying mapping) is dropped.
+#[test]
+fn transformations_of_a_borrowed_graph_return_owned_graphs_that_outlive_the_mapping() {
+    let graph = power_law_graph();
+    let dir = std::env::temp_dir().join(format!("shp-storage-sub-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let bin_path = dir.join("g.shpb");
+    io::write_shpb_file(&graph, &bin_path).unwrap();
+    let mapped = io::map_shpb_file(&bin_path).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+
+    let subset: Vec<u32> = (0..graph.num_data() as u32).step_by(3).collect();
+    let (owned_sub, owned_ids) = graph.induced_subgraph(&subset, 2);
+    let (mapped_sub, mapped_ids) = mapped.induced_subgraph(&subset, 2);
+    let owned_filtered = graph.filter_small_queries(3);
+    let mapped_filtered = mapped.filter_small_queries(3);
+
+    // Same results from both representations, and the derived graphs own their storage.
+    assert_eq!(owned_ids, mapped_ids);
+    assert_eq!(owned_sub, mapped_sub);
+    assert_eq!(owned_filtered, mapped_filtered);
+    assert!(!mapped_sub.is_mapped());
+    assert!(!mapped_filtered.is_mapped());
+    assert!(mapped_sub.memory_bytes() > 0);
+
+    // Drop the mapped source: the derived graphs must stay fully usable (they hold no
+    // references into the mapping).
+    drop(mapped);
+    assert_eq!(mapped_sub, owned_sub);
+    let total_pins: usize = (0..mapped_filtered.num_queries() as u32)
+        .map(|q| mapped_filtered.query_neighbors(q).len())
+        .sum();
+    assert_eq!(total_pins, mapped_filtered.num_edges());
+}

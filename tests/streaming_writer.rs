@@ -1,0 +1,112 @@
+//! Round-trip property suite for the streaming `.shpb` writer.
+//!
+//! `stream_shpb_file` promises **byte identity**: for any deterministic query stream, the
+//! container it writes in bounded memory is exactly the file `write_shpb` produces from the
+//! materialized graph of the same stream — same canonicalization, same section bytes, same
+//! checksums. This suite drives that promise with proptest-generated hyperedge lists and
+//! power-law generator configs, across transpose-window sizes down to a single pin (the
+//! worst case for the multi-pass transpose). The companion memory gate lives in
+//! `tests/streaming_memory.rs`, a separate binary so its peak-allocation measurement is not
+//! polluted by concurrent tests.
+
+use proptest::prelude::*;
+use shp::datagen::{power_law_bipartite, PowerLawConfig, PowerLawStream};
+use shp::hypergraph::io::{parse_shpb_bytes, stream_shpb_file_with, write_shpb};
+use shp::hypergraph::GraphBuilder;
+
+/// Strategy: an arbitrary small hypergraph as a list of hyperedges (possibly unsorted,
+/// possibly with duplicate pins, possibly empty) over up to `max_data` vertices.
+fn arb_hyperedges(max_queries: usize, max_data: u32) -> impl Strategy<Value = Vec<Vec<u32>>> {
+    prop::collection::vec(
+        prop::collection::vec(0..max_data, 0..9usize),
+        0..max_queries,
+    )
+}
+
+/// Streams `queries` to a temp file with the given window size and returns the bytes.
+fn stream_bytes(queries: &[Vec<u32>], chunk_pins: usize, tag: &str) -> Vec<u8> {
+    let path = std::env::temp_dir().join(format!(
+        "shp-streamrt-{}-{tag}-{chunk_pins}.shpb",
+        std::process::id()
+    ));
+    let mut source: Vec<Vec<u32>> = queries.to_vec();
+    stream_shpb_file_with(&mut source, &path, chunk_pins).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    bytes
+}
+
+/// `write_shpb` of the materialized graph — the byte-identity oracle.
+fn materialized_bytes(queries: &[Vec<u32>]) -> Vec<u8> {
+    let mut b = GraphBuilder::new();
+    for pins in queries {
+        b.add_query_slice(pins);
+    }
+    let graph = b.build().unwrap();
+    let mut bytes = Vec::new();
+    write_shpb(&graph, &mut bytes).unwrap();
+    bytes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// For arbitrary hyperedge lists and window sizes, the streamed container is
+    /// byte-identical to the materialized one, and reads back to the same graph.
+    #[test]
+    fn streamed_bytes_equal_materialized_bytes(
+        queries in arb_hyperedges(30, 40),
+        chunk_pick in 0usize..4,
+    ) {
+        let chunk_pins = [1usize, 3, 16, 1 << 20][chunk_pick];
+        let streamed = stream_bytes(&queries, chunk_pins, "arb");
+        let oracle = materialized_bytes(&queries);
+        prop_assert_eq!(&streamed, &oracle, "chunk_pins={}", chunk_pins);
+
+        // And the container parses back to the builder's graph.
+        let mut b = GraphBuilder::new();
+        for pins in &queries {
+            b.add_query_slice(pins);
+        }
+        prop_assert_eq!(parse_shpb_bytes(&streamed).unwrap(), b.build().unwrap());
+    }
+
+    /// The same identity holds for the power-law generator stream — the production source of
+    /// datagen-streamed containers — across seeds and shapes.
+    #[test]
+    fn power_law_streams_equal_their_materialized_graphs(
+        num_queries in 1usize..120,
+        num_data in 1usize..90,
+        min_degree in 1usize..4,
+        extra_degree in 0usize..8,
+        seed in 0u64..1_000,
+        chunk_pick in 0usize..3,
+    ) {
+        let config = PowerLawConfig {
+            num_queries,
+            num_data,
+            min_degree,
+            max_degree: min_degree + extra_degree,
+            seed,
+            ..Default::default()
+        };
+        let chunk_pins = [1usize, 7, 1 << 20][chunk_pick];
+        let path = std::env::temp_dir().join(format!(
+            "shp-streamrt-pl-{}-{chunk_pins}.shpb",
+            std::process::id()
+        ));
+        let mut stream = PowerLawStream::new(config.clone());
+        let stats = stream_shpb_file_with(&mut stream, &path, chunk_pins).unwrap();
+        let streamed = std::fs::read(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        let graph = power_law_bipartite(&config);
+        let mut oracle = Vec::new();
+        write_shpb(&graph, &mut oracle).unwrap();
+        prop_assert_eq!(&streamed, &oracle, "chunk_pins={}", chunk_pins);
+        prop_assert_eq!(stats.num_queries as usize, graph.num_queries());
+        prop_assert_eq!(stats.num_data as usize, graph.num_data());
+        prop_assert_eq!(stats.num_pins as usize, graph.num_edges());
+        prop_assert_eq!(stats.bytes_written as usize, streamed.len());
+    }
+}
