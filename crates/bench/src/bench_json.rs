@@ -31,6 +31,11 @@ pub const BENCH_CONTROLLER_JSON_NAME: &str = "BENCH_controller.json";
 /// generation and mmap-vs-owned open latency/residency), created at the repository root.
 pub const BENCH_OUTOFCORE_JSON_NAME: &str = "BENCH_outofcore.json";
 
+/// The fault-tolerance trajectory file name (written by the `drill` bench: availability,
+/// retries, and recovery churn through the kill → degrade → recover failure drill), created
+/// at the repository root.
+pub const BENCH_DRILL_JSON_NAME: &str = "BENCH_drill.json";
+
 /// The repository root, resolved relative to this crate's manifest (`crates/bench/../..`).
 pub fn repo_root() -> PathBuf {
     let raw = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");

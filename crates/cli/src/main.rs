@@ -35,6 +35,12 @@
 //!   key popularity rotates phase over phase, a never-repartition baseline decays, and the
 //!   budgeted controller recovers fanout. Prints per-phase fanout/latency and the migration
 //!   volume; `--json` emits the report machine-readably.
+//! * `drill [options]` — run the kill → degrade → recover failure drill from
+//!   `shp-controller`: a replicated engine serves through a scripted shard crash and a slow
+//!   replica (failover + hedging keep availability ≥ 99%), an unreplicated leg degrades to
+//!   precise typed partial results, and the controller drains the dead shard within the
+//!   migration budget. Exits nonzero if any drill gate fails; `--json` emits the report
+//!   machine-readably.
 //! * `metrics <snapshot.json> [--prometheus]` — pretty-print a telemetry snapshot written by
 //!   `--metrics`, or re-emit it in Prometheus text exposition format.
 //!
@@ -52,8 +58,8 @@
 
 use shp_baselines::{full_registry, RandomPartitioner};
 use shp_controller::{
-    run_drift_scenario, AccessTraceCollector, ControllerConfig, DriftConfig, DriftReport,
-    RepartitionController,
+    run_drift_scenario, run_drill_scenario_with_telemetry, AccessTraceCollector, ControllerConfig,
+    DriftConfig, DriftReport, DrillConfig, DrillReport, RepartitionController,
 };
 use shp_core::api::{AlgorithmRegistry, NoopObserver, PartitionOutcome, PartitionSpec};
 use shp_core::{ObjectiveKind, ShpError, ShpResult};
@@ -80,6 +86,7 @@ fn main() -> ExitCode {
         Some("replay") => cmd_replay(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("controller") => cmd_controller(&args[1..]),
+        Some("drill") => cmd_drill(&args[1..]),
         Some("metrics") => cmd_metrics(&args[1..]),
         _ => {
             eprintln!("{USAGE}");
@@ -113,6 +120,8 @@ const USAGE: &str = "usage:
              [--repartition-every <n>] [--migration-budget <m>] [--mmap]
   shp controller [--quick] [--phases <n>] [--every <n>] [--budget <m>] [--seed <seed>]
              [--json]
+  shp drill  [--quick] [--budget <m>] [--replication <r>] [--seed <seed>] [--json]
+             [--metrics <file>]
   shp metrics <snapshot.json> [--prometheus]
 
 `shp algorithms` lists the names accepted by --mode. Graph inputs may be edge-list, hMetis,
@@ -125,6 +134,9 @@ format when the path ends in .prom; `shp metrics <file>` pretty-prints a JSON sn
 --repartition-every closes the serve->observe->repartition loop online: one controller epoch
 per n served multigets, each moving at most --migration-budget keys (default 256).
 `shp controller` runs the drift scenario against a never-repartition baseline.
+`shp drill` runs the kill -> degrade -> recover failure drill: a replicated engine serves
+through a scripted shard crash (failover keeps availability >= 99%), an unreplicated leg
+degrades to typed partial results, and the controller drains the dead shard within budget.
 datasets: email-Enron soc-Epinions web-Stanford web-BerkStan soc-Pokec soc-LJ FB-10M FB-50M FB-2B FB-5B FB-10B";
 
 const CONVERT_HELP: &str =
@@ -1050,7 +1062,7 @@ fn serve_online(
         live.merge(&shp_telemetry::global().snapshot());
         live
     };
-    let (epochs_run, cumulative_moved) =
+    let (epochs_run, cumulative_moved, epochs_skipped) =
         with_periodic_snapshots(options.metrics.as_deref(), &snapshot_now, || {
             std::thread::scope(|scope| {
                 let engine_ref = &engine;
@@ -1059,20 +1071,24 @@ fn serve_online(
                 let done_ref = &done;
                 let every = options.repartition_every;
                 let mut controller = controller;
-                let driver = scope.spawn(move || -> ShpResult<(usize, usize)> {
+                let driver = scope.spawn(move || -> (usize, usize, usize) {
                     let mut boundary = every;
                     loop {
                         while progress_ref.load(Ordering::Relaxed) < boundary {
                             if done_ref.load(Ordering::Relaxed) {
-                                return Ok((
+                                return (
                                     controller.epochs_run(),
                                     controller.cumulative_moved(),
-                                ));
+                                    controller.epochs_skipped(),
+                                );
                             }
                             std::thread::yield_now();
                         }
-                        if let Some(outcome) = controller.run_epoch(engine_ref)? {
-                            println!(
+                        // A failed epoch (infeasible budget, torn trace, ...) must not tear
+                        // down serving: skip it, report why, and keep the loop alive.
+                        let skipped_before = controller.epochs_skipped();
+                        match controller.run_epoch_or_skip(engine_ref) {
+                            Some(outcome) => println!(
                                 "epoch {}: moved {} keys (observed fanout {:.3} -> {:.3} over \
                                  {} multigets)",
                                 outcome.epoch,
@@ -1080,7 +1096,12 @@ fn serve_online(
                                 outcome.fanout_before,
                                 outcome.fanout_after,
                                 outcome.observed_queries
-                            );
+                            ),
+                            None if controller.epochs_skipped() > skipped_before => eprintln!(
+                                "repartition epoch skipped (serving continues): {}",
+                                controller.last_skip_reason().unwrap_or("unknown failure")
+                            ),
+                            None => {}
                         }
                         boundary += every;
                     }
@@ -1101,7 +1122,7 @@ fn serve_online(
                     client.join().expect("client thread panicked")?;
                 }
                 done.store(true, Ordering::Relaxed);
-                driver.join().expect("controller thread panicked")
+                Ok(driver.join().expect("controller thread panicked"))
             })
         })?;
     if let Some(path) = options.metrics.as_deref() {
@@ -1120,16 +1141,18 @@ fn serve_online(
     }
     if epochs_run == 0 {
         return Err(ShpError::Runtime(format!(
-            "no controller epoch fired: the schedule served {} multigets but the cadence is \
-             {}; lower --repartition-every or raise --rate/--duration",
+            "no controller epoch succeeded: the schedule served {} multigets at cadence {} \
+             ({} epoch(s) skipped); lower --repartition-every or raise --rate/--duration",
             events.len(),
-            options.repartition_every
+            options.repartition_every,
+            epochs_skipped
         )));
     }
     println!(
-        "\nonline loop closed: {} controller epoch(s), {} key(s) moved in total (budget {} \
-         keys/epoch), final epoch {}",
+        "\nonline loop closed: {} controller epoch(s) ({} skipped), {} key(s) moved in total \
+         (budget {} keys/epoch), final epoch {}",
         epochs_run,
+        epochs_skipped,
         cumulative_moved,
         options.migration_budget,
         engine.current_epoch()
@@ -1308,4 +1331,210 @@ fn cmd_controller(args: &[String]) -> ShpResult<()> {
         )));
     }
     Ok(())
+}
+
+/// Renders one drill run as a JSON object (phase rows plus the headline totals).
+fn drill_report_json(report: &DrillReport) -> String {
+    let phases: Vec<String> = report
+        .phases
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"phase\":\"{}\",\"mean_fanout\":{:.6},\"p99\":{:.6},\
+                 \"availability\":{:.6},\"degraded_queries\":{},\"retries\":{},\
+                 \"hedges_won\":{}}}",
+                p.name,
+                p.mean_fanout,
+                p.p99,
+                p.availability,
+                p.degraded_queries,
+                p.retries,
+                p.hedges_won
+            )
+        })
+        .collect();
+    format!(
+        "{{\"phases\":[{}],\"wrong_values\":{},\"degraded_leg_availability\":{:.6},\
+         \"degraded_leg_degraded\":{},\"missing_mismatches\":{},\"recovery_epochs\":{},\
+         \"recovery_moved\":{},\"max_epoch_moved\":{},\"recovery_remaining\":{},\
+         \"migration_budget\":{}}}",
+        phases.join(","),
+        report.wrong_values,
+        report.degraded_leg_availability,
+        report.degraded_leg_degraded,
+        report.missing_mismatches,
+        report.recovery_epochs,
+        report.recovery_moved,
+        report.max_epoch_moved,
+        report.recovery_remaining,
+        report.migration_budget
+    )
+}
+
+/// Every acceptance gate of the failure drill; the CLI (and CI through it) exits nonzero
+/// when any fails.
+fn check_drill_gates(report: &DrillReport) -> ShpResult<()> {
+    if report.wrong_values > 0 {
+        return Err(ShpError::Runtime(format!(
+            "correctness violated: {} value(s) served wrong under faults",
+            report.wrong_values
+        )));
+    }
+    if report.missing_mismatches > 0 {
+        return Err(ShpError::Runtime(format!(
+            "partial results imprecise: {} quer(ies) misreported their missing keys",
+            report.missing_mismatches
+        )));
+    }
+    if report.incident_availability() < 0.99 {
+        return Err(ShpError::Runtime(format!(
+            "availability {:.4} under the incident (gate: >= 0.99 with replication)",
+            report.incident_availability()
+        )));
+    }
+    if report.max_epoch_moved > report.migration_budget {
+        return Err(ShpError::Runtime(format!(
+            "migration budget violated: a recovery epoch moved {} keys (budget {})",
+            report.max_epoch_moved, report.migration_budget
+        )));
+    }
+    if report.recovery_remaining > 0 {
+        return Err(ShpError::Runtime(format!(
+            "dead shard not drained: {} key(s) still assigned after recovery",
+            report.recovery_remaining
+        )));
+    }
+    if report.post_fanout() > 1.05 * report.baseline_fanout() {
+        return Err(ShpError::Runtime(format!(
+            "post-recovery fanout {:.4} not within 5% of the baseline {:.4}",
+            report.post_fanout(),
+            report.baseline_fanout()
+        )));
+    }
+    Ok(())
+}
+
+fn cmd_drill(args: &[String]) -> ShpResult<()> {
+    let mut quick = false;
+    let mut json = false;
+    let mut budget: Option<usize> = None;
+    let mut replication: Option<u32> = None;
+    let mut seed: Option<u64> = None;
+    let mut metrics: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        if flag == "--quick" || flag == "--json" {
+            if flag == "--quick" {
+                quick = true;
+            } else {
+                json = true;
+            }
+            i += 1;
+            continue;
+        }
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| ShpError::InvalidArgument(format!("{flag} needs a value")))?;
+        match flag {
+            "--budget" => {
+                budget = Some(value.parse().map_err(|_| {
+                    ShpError::InvalidArgument(format!("invalid migration budget {value:?}"))
+                })?)
+            }
+            "--replication" => {
+                replication = Some(value.parse().map_err(|_| {
+                    ShpError::InvalidArgument(format!("invalid replication factor {value:?}"))
+                })?)
+            }
+            "--seed" => {
+                seed =
+                    Some(value.parse().map_err(|_| {
+                        ShpError::InvalidArgument(format!("invalid seed {value:?}"))
+                    })?)
+            }
+            "--metrics" => metrics = Some(value.clone()),
+            other => return Err(usage_error(format!("unknown option {other:?}"))),
+        }
+        i += 2;
+    }
+
+    let mut config = DrillConfig::default();
+    if quick {
+        config = config.quick();
+    }
+    if let Some(budget) = budget {
+        config.migration_budget = budget;
+    }
+    if let Some(replication) = replication {
+        config.replication = replication;
+    }
+    if let Some(seed) = seed {
+        config.seed = seed;
+    }
+
+    if !json {
+        println!(
+            "failure drill: {} communities x {} keys on {} shards (replication {}), 4 phases \
+             x {} multigets",
+            config.communities,
+            config.community_size,
+            config.shards,
+            config.replication,
+            config.queries_per_phase
+        );
+        println!(
+            "incident script: shard {} crashes, shard {} serves {}x slow; recovery budget {} \
+             keys/epoch\n",
+            config.dead_shard, config.slow_shard, config.slow_factor, config.migration_budget
+        );
+    }
+    let (report, mut snapshot) = run_drill_scenario_with_telemetry(&config)?;
+    if let Some(path) = metrics.as_deref() {
+        snapshot.merge(&shp_telemetry::global().snapshot());
+        write_metrics_file(path, &snapshot)?;
+    }
+
+    if json {
+        println!("{}", drill_report_json(&report));
+    } else {
+        println!(
+            "{:>9}  {:>7} {:>8}  {:>12} {:>8} {:>7} {:>6}",
+            "phase", "fanout", "p99", "availability", "degraded", "retries", "hedged"
+        );
+        for p in &report.phases {
+            println!(
+                "{:>9}  {:>7.4} {:>8.3}  {:>12.4} {:>8} {:>7} {:>6}",
+                p.name,
+                p.mean_fanout,
+                p.p99,
+                p.availability,
+                p.degraded_queries,
+                p.retries,
+                p.hedges_won
+            );
+        }
+        println!(
+            "\ndegraded leg (no replicas): availability {:.4}, {} degraded quer(ies), every \
+             partial result precise ({} mismatches)",
+            report.degraded_leg_availability,
+            report.degraded_leg_degraded,
+            report.missing_mismatches
+        );
+        println!(
+            "recovery: drained {} key(s) in {} epoch(s), largest epoch {} (budget {}), {} \
+             remaining; {} wrong value(s) served",
+            report.recovery_moved,
+            report.recovery_epochs,
+            report.max_epoch_moved,
+            report.migration_budget,
+            report.recovery_remaining,
+            report.wrong_values
+        );
+    }
+    if let Some(path) = metrics.as_deref() {
+        println!("wrote telemetry snapshot to {path}");
+    }
+
+    check_drill_gates(&report)
 }

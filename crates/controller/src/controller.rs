@@ -64,6 +64,17 @@ pub struct EpochOutcome {
     pub fanout_after: f64,
 }
 
+/// What one [`RepartitionController::recover_dead_shard`] epoch did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryOutcome {
+    /// Epoch id the recovery delta was installed as (unchanged when nothing had to move).
+    pub epoch: u64,
+    /// Keys drained off the dead shard this epoch (`≤ migration_budget` always).
+    pub moved_keys: usize,
+    /// Keys still assigned to the dead shard after this epoch; call again until 0.
+    pub remaining_keys: usize,
+}
+
 /// Periodically re-partitions a live [`ServingEngine`] from observed traffic under a hard
 /// per-epoch migration budget (see the module docs).
 #[derive(Debug)]
@@ -74,6 +85,11 @@ pub struct RepartitionController {
     /// constraint bounds).
     cumulative_moved: usize,
     epochs_run: usize,
+    /// Epochs that failed (e.g. [`shp_core::ShpError::InfeasibleBudget`]) and were skipped by
+    /// [`RepartitionController::run_epoch_or_skip`] instead of aborting the serve loop.
+    epochs_skipped: usize,
+    /// Why the most recent skipped epoch failed.
+    last_skip_reason: Option<String>,
 }
 
 impl RepartitionController {
@@ -85,6 +101,8 @@ impl RepartitionController {
             config,
             cumulative_moved: 0,
             epochs_run: 0,
+            epochs_skipped: 0,
+            last_skip_reason: None,
         }
     }
 
@@ -101,6 +119,16 @@ impl RepartitionController {
     /// Number of epochs that installed (or decided against) a delta.
     pub fn epochs_run(&self) -> usize {
         self.epochs_run
+    }
+
+    /// Number of epochs [`RepartitionController::run_epoch_or_skip`] skipped on error.
+    pub fn epochs_skipped(&self) -> usize {
+        self.epochs_skipped
+    }
+
+    /// Why the most recent skipped epoch failed (`None` until a skip happens).
+    pub fn last_skip_reason(&self) -> Option<&str> {
+        self.last_skip_reason.as_deref()
     }
 
     /// Runs one epoch against `engine`: observe → repartition → install delta → reset trace.
@@ -151,6 +179,108 @@ impl RepartitionController {
             fanout_before,
             fanout_after,
         }))
+    }
+
+    /// [`RepartitionController::run_epoch`] for long-lived serve loops: an epoch that fails —
+    /// typically [`shp_core::ShpError::InfeasibleBudget`] when live imbalance outgrew the
+    /// migration budget — is recorded as skipped (see
+    /// [`epochs_skipped`](RepartitionController::epochs_skipped) /
+    /// [`last_skip_reason`](RepartitionController::last_skip_reason)) and serving continues;
+    /// the process never aborts. The trace is kept on a skip, so the next attempt decides on
+    /// the accumulated observations.
+    pub fn run_epoch_or_skip(&mut self, engine: &ServingEngine) -> Option<EpochOutcome> {
+        match self.run_epoch(engine) {
+            Ok(outcome) => outcome,
+            Err(err) => {
+                self.epochs_skipped += 1;
+                self.last_skip_reason = Some(err.to_string());
+                None
+            }
+        }
+    }
+
+    /// Drains up to `migration_budget` keys off `dead` onto the live shards, least-loaded
+    /// first, and installs the move as one delta epoch — the paper's failure-reactive
+    /// assignment change, bounded by the same stability constraint as regular epochs.
+    ///
+    /// Keys move in maximal runs of consecutive ids (consecutive keys are overwhelmingly
+    /// co-accessed in the synthetic workloads), keeping each drained community on one target
+    /// shard so the post-recovery fanout lands near its pre-incident value. Call repeatedly
+    /// until [`RecoveryOutcome::remaining_keys`] is 0; an already-empty dead shard is a no-op
+    /// that installs nothing.
+    ///
+    /// # Errors
+    /// Returns [`shp_core::ShpError::InvalidArgument`] when `dead` is outside the live
+    /// placement or the placement has no other shard to drain onto, and propagates install
+    /// failures.
+    pub fn recover_dead_shard(
+        &mut self,
+        engine: &ServingEngine,
+        dead: u32,
+    ) -> ShpResult<RecoveryOutcome> {
+        let snapshot = engine.current_snapshot();
+        let n = snapshot.num_shards();
+        if dead >= n {
+            return Err(shp_core::ShpError::InvalidArgument(format!(
+                "cannot recover shard {dead}: placement has {n} shards"
+            )));
+        }
+        if n < 2 {
+            return Err(shp_core::ShpError::InvalidArgument(
+                "cannot recover a dead shard: no live shard to drain onto".to_string(),
+            ));
+        }
+        let assignment = snapshot.assignment();
+        let mut loads = vec![0usize; n as usize];
+        for &shard in &assignment {
+            loads[shard as usize] += 1;
+        }
+        let dead_keys: Vec<u32> = assignment
+            .iter()
+            .enumerate()
+            .filter(|&(_, &shard)| shard == dead)
+            .map(|(key, _)| key as u32)
+            .collect();
+        if dead_keys.is_empty() {
+            return Ok(RecoveryOutcome {
+                epoch: snapshot.epoch(),
+                moved_keys: 0,
+                remaining_keys: 0,
+            });
+        }
+        let budget = self.config.migration_budget;
+        let mut moves: Vec<(u32, u32)> = Vec::new();
+        let mut start = 0usize;
+        while start < dead_keys.len() && moves.len() < budget {
+            let mut end = start + 1;
+            while end < dead_keys.len() && dead_keys[end] == dead_keys[end - 1] + 1 {
+                end += 1;
+            }
+            let take = (end - start).min(budget - moves.len());
+            let target = (0..n)
+                .filter(|&shard| shard != dead)
+                .min_by_key(|&shard| (loads[shard as usize], shard))
+                .expect("placement has a live shard");
+            for &key in &dead_keys[start..start + take] {
+                moves.push((key, target));
+            }
+            loads[target as usize] += take;
+            loads[dead as usize] -= take;
+            start = end;
+        }
+        let moved_keys = moves.len();
+        let remaining_keys = dead_keys.len() - moved_keys;
+        let delta = PartitionDelta::new(snapshot.epoch(), moves);
+        let epoch = engine
+            .install_delta(&delta)
+            .map_err(shp_core::ShpError::from)?;
+        self.cumulative_moved += moved_keys;
+        self.epochs_run += 1;
+        Ok(RecoveryOutcome {
+            epoch,
+            moved_keys,
+            remaining_keys,
+        })
     }
 }
 
@@ -274,5 +404,125 @@ mod tests {
         assert!(controller.run_epoch(&engine).unwrap().is_none());
         assert_eq!(engine.current_epoch(), 0);
         assert_eq!(controller.epochs_run(), 0);
+    }
+
+    /// A placement so lopsided that balance repair alone needs more moves than the budget
+    /// allows: all 16 keys on shard 0 of a 2-shard placement with a tight epsilon.
+    fn lopsided_engine() -> ServingEngine {
+        let mut b = GraphBuilder::new();
+        for k in 0..16u32 {
+            b.add_query([k, (k + 1) % 16]);
+        }
+        let graph = b.build().unwrap();
+        let partition = Partition::from_assignment(&graph, 2, vec![0; 16]).unwrap();
+        ServingEngine::new(&partition, EngineConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn infeasible_budget_epoch_is_skipped_and_serving_continues() {
+        let collector = Arc::new(AccessTraceCollector::new(256, 4));
+        let engine = lopsided_engine().with_access_observer(collector.clone());
+        for k in 0..16u32 {
+            engine.multiget(&[k, (k + 1) % 16]).unwrap();
+        }
+        // Balance repair needs ~7 moves to bring shard 0 under 16/2 · (1 + ε); budget 1
+        // cannot cover it, so the plain epoch errors with InfeasibleBudget.
+        let mut controller = RepartitionController::new(
+            collector,
+            ControllerConfig {
+                migration_budget: 1,
+                epsilon: 0.01,
+                ..Default::default()
+            },
+        );
+        assert!(matches!(
+            controller.run_epoch(&engine),
+            Err(shp_core::ShpError::InfeasibleBudget { .. })
+        ));
+        // The serve-loop entry point skips instead of propagating: the epoch is recorded,
+        // the reason is kept, and the engine still serves on the unchanged placement.
+        let outcome = controller.run_epoch_or_skip(&engine);
+        assert!(outcome.is_none());
+        assert_eq!(controller.epochs_skipped(), 1);
+        assert!(
+            controller
+                .last_skip_reason()
+                .expect("skip reason recorded")
+                .contains("budget"),
+            "reason: {:?}",
+            controller.last_skip_reason()
+        );
+        assert_eq!(engine.current_epoch(), 0);
+        assert_eq!(engine.multiget(&[0, 1, 2]).unwrap().values.len(), 3);
+        // The trace survived both failures: a controller with a feasible budget recovers
+        // from the very same observations.
+        let mut feasible = RepartitionController::new(
+            controller.collector(),
+            ControllerConfig {
+                migration_budget: 16,
+                epsilon: 0.1,
+                ..Default::default()
+            },
+        );
+        let outcome = feasible
+            .run_epoch_or_skip(&engine)
+            .expect("feasible epoch installs");
+        assert!(outcome.moved_keys > 0);
+        assert_eq!(engine.current_epoch(), 1);
+        assert_eq!(feasible.epochs_skipped(), 0);
+    }
+
+    #[test]
+    fn recover_dead_shard_drains_within_budget_and_preserves_locality() {
+        // 4 aligned communities of 8 keys on 4 shards; shard 1 (keys 8..16) dies.
+        let mut b = GraphBuilder::new();
+        for g in 0..4u32 {
+            let members: Vec<u32> = (0..8).map(|i| g * 8 + i).collect();
+            b.add_query(members);
+        }
+        let graph = b.build().unwrap();
+        let partition =
+            Partition::from_assignment(&graph, 4, (0..32u32).map(|v| v / 8).collect()).unwrap();
+        let engine = ServingEngine::new(&partition, EngineConfig::default()).unwrap();
+        let collector = Arc::new(AccessTraceCollector::new(64, 5));
+        let mut controller = RepartitionController::new(
+            collector,
+            ControllerConfig {
+                migration_budget: 5,
+                ..Default::default()
+            },
+        );
+        // Budget 5 < 8 dead keys: the drain takes two epochs, each within budget.
+        let first = controller.recover_dead_shard(&engine, 1).unwrap();
+        assert_eq!(first.moved_keys, 5);
+        assert_eq!(first.remaining_keys, 3);
+        assert_eq!(first.epoch, 1);
+        let second = controller.recover_dead_shard(&engine, 1).unwrap();
+        assert_eq!(second.moved_keys, 3);
+        assert_eq!(second.remaining_keys, 0);
+        // Shard 1 is empty; every key still resolves and the community stays whole enough
+        // that its query spans at most the two shards the split run landed on.
+        let snapshot = engine.current_snapshot();
+        assert!(snapshot.keys_by_shard()[1].is_empty());
+        let result = engine.multiget(&[8, 9, 10, 11, 12, 13, 14, 15]).unwrap();
+        assert_eq!(result.values.len(), 8);
+        assert!(result.fanout <= 2);
+        // A third call is a no-op that does not advance the epoch.
+        let third = controller.recover_dead_shard(&engine, 1).unwrap();
+        assert_eq!(third.moved_keys, 0);
+        assert_eq!(third.remaining_keys, 0);
+        assert_eq!(engine.current_epoch(), 2);
+        assert_eq!(controller.cumulative_moved(), 8);
+    }
+
+    #[test]
+    fn recover_dead_shard_rejects_invalid_targets() {
+        let engine = strayed_engine(2, 4);
+        let collector = Arc::new(AccessTraceCollector::new(64, 6));
+        let mut controller = RepartitionController::new(collector, ControllerConfig::default());
+        assert!(matches!(
+            controller.recover_dead_shard(&engine, 9),
+            Err(shp_core::ShpError::InvalidArgument(_))
+        ));
     }
 }

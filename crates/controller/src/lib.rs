@@ -20,6 +20,12 @@
 //!   never-repartition baseline decays, the controller recovers fanout while every epoch
 //!   stays within budget. This is the workload behind `BENCH_controller.json` and the
 //!   `shp controller` CLI subcommand.
+//! * [`drill`] — the kill → degrade → recover failure drill: a replicated engine serves
+//!   through a scripted shard crash (availability holds via failover routing), an
+//!   unreplicated leg degrades to precise typed partial results, and
+//!   [`RepartitionController::recover_dead_shard`] drains the dead shard within the
+//!   migration budget. This is the workload behind `BENCH_drill.json` and the
+//!   `shp drill` CLI subcommand.
 //!
 //! ## Quickstart
 //!
@@ -63,8 +69,12 @@
 
 pub mod controller;
 pub mod drift;
+pub mod drill;
 pub mod trace;
 
-pub use controller::{ControllerConfig, EpochOutcome, RepartitionController};
+pub use controller::{ControllerConfig, EpochOutcome, RecoveryOutcome, RepartitionController};
 pub use drift::{run_drift_scenario, DriftConfig, DriftReport, PhaseStats};
+pub use drill::{
+    run_drill_scenario, run_drill_scenario_with_telemetry, DrillConfig, DrillPhase, DrillReport,
+};
 pub use trace::{AccessTraceCollector, TraceStats, MAX_SAMPLE_KEYS};

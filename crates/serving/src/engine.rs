@@ -15,6 +15,7 @@ use crate::partition_map::{EpochSwap, PartitionDelta, PartitionSnapshot};
 use crate::router::ShardRouter;
 use crate::store::ShardSet;
 use crate::workload::WorkloadEvent;
+use shp_faults::FaultInjector;
 use shp_hypergraph::{BipartiteGraph, DataId, Partition};
 use shp_sharding_sim::LatencyModel;
 use shp_telemetry::{HistogramSnapshot, Snapshot, Span, Timer, TopKSketch};
@@ -50,6 +51,10 @@ pub struct EngineConfig {
     pub cache_hit_latency: f64,
     /// Seed for the per-shard latency RNG streams.
     pub seed: u64,
+    /// Replica-group size: every shard additionally stores the records of the `replication-1`
+    /// primaries chained before it, giving each batch that many failover candidates. 1 (the
+    /// default) disables replication and is bit-identical to the pre-replication engine.
+    pub replication: u32,
 }
 
 impl Default for EngineConfig {
@@ -59,6 +64,7 @@ impl Default for EngineConfig {
             cache_capacity: 0,
             cache_hit_latency: 0.05,
             seed: 0x5047,
+            replication: 1,
         }
     }
 }
@@ -85,6 +91,36 @@ pub struct MultigetResult {
     pub epoch: u64,
     /// Number of keys answered from the hot-key cache.
     pub cache_hits: usize,
+    /// Requested keys that were unreachable on every replica of their failover chain,
+    /// ascending. Always empty without an attached fault injector: a degraded multiget is a
+    /// typed partial result, never a panic or a silently wrong value.
+    pub missing_keys: Vec<DataId>,
+    /// Failover retries the query performed.
+    pub retries: u64,
+    /// Hedged duplicate requests that beat the attempt they shadowed.
+    pub hedges_won: u64,
+}
+
+impl MultigetResult {
+    /// Whether the multiget came back partial (some keys unreachable on every replica).
+    pub fn is_degraded(&self) -> bool {
+        !self.missing_keys.is_empty()
+    }
+
+    /// Converts a degraded result into [`ServingError::DegradedService`], passing a complete
+    /// result through — for callers that treat partial service as an error.
+    ///
+    /// # Errors
+    /// Returns [`ServingError::DegradedService`] when any requested key was unreachable.
+    pub fn require_complete(self) -> Result<Self> {
+        if self.missing_keys.is_empty() {
+            Ok(self)
+        } else {
+            Err(ServingError::DegradedService {
+                missing: self.missing_keys.len(),
+            })
+        }
+    }
 }
 
 /// A partition-aware multiget serving engine with live repartition swap.
@@ -108,6 +144,10 @@ pub struct ServingEngine {
     /// Optional access-trace sink, fed every multiget's distinct key-set (set at build time
     /// via [`ServingEngine::with_access_observer`], before the engine is shared).
     observer: Option<Arc<dyn AccessObserver>>,
+    /// Optional deterministic fault injector driving the failover execution paths (set at
+    /// build time via [`ServingEngine::with_fault_injector`]). `None` — the default — takes
+    /// the plain execution paths untouched.
+    faults: Option<Arc<FaultInjector>>,
 }
 
 impl ServingEngine {
@@ -117,7 +157,12 @@ impl ServingEngine {
     /// Returns [`ServingError::EmptyPartition`] for a partition with no buckets.
     pub fn new(partition: &Partition, config: EngineConfig) -> Result<Self> {
         let snapshot = PartitionSnapshot::from_partition(partition, 0)?;
-        let shards = ShardSet::build(&snapshot, config.latency_model.clone(), config.seed);
+        let shards = ShardSet::build_replicated(
+            &snapshot,
+            config.latency_model.clone(),
+            config.seed,
+            config.replication,
+        );
         let num_keys = snapshot.num_keys();
         Ok(ServingEngine {
             generation: EpochSwap::new(Generation { snapshot, shards }),
@@ -132,6 +177,7 @@ impl ServingEngine {
             route_timer: shp_telemetry::global().timer("serving/route"),
             service_timer: shp_telemetry::global().timer("serving/shard_service"),
             observer: None,
+            faults: None,
         })
     }
 
@@ -140,6 +186,20 @@ impl ServingEngine {
     pub fn with_access_observer(mut self, observer: Arc<dyn AccessObserver>) -> Self {
         self.observer = Some(observer);
         self
+    }
+
+    /// Attaches a deterministic [`FaultInjector`]: every multiget advances its query clock
+    /// one tick and serves through the failover paths. With an empty
+    /// [`FaultPlan`](shp_faults::FaultPlan) results are bit-identical to an engine without an
+    /// injector. Builder style: call before the engine is shared across threads.
+    pub fn with_fault_injector(mut self, injector: Arc<FaultInjector>) -> Self {
+        self.faults = Some(injector);
+        self
+    }
+
+    /// The attached fault injector, if any.
+    pub fn fault_injector(&self) -> Option<&Arc<FaultInjector>> {
+        self.faults.as_ref()
     }
 
     /// Number of keys in the engine's key universe.
@@ -233,12 +293,18 @@ impl ServingEngine {
         } else {
             0.0
         };
+        let mut missing_keys: Vec<DataId> = Vec::new();
+        let mut retries = 0u64;
+        let mut hedges_won = 0u64;
         if !plan.batches.is_empty() {
             let _service = self.service_timer.start();
+            let faults = self.faults.as_deref();
             let fetched = if scatter {
-                generation.shards.execute_scatter_gather(&plan)?
+                generation
+                    .shards
+                    .execute_scatter_gather_with_faults(&plan, faults)?
             } else {
-                generation.shards.execute(&plan)?
+                generation.shards.execute_with_faults(&plan, faults)?
             };
             latency = latency.max(fetched.latency);
             if self.config.cache_capacity > 0 {
@@ -247,6 +313,9 @@ impl ServingEngine {
                 }
             }
             values.extend(fetched.values);
+            missing_keys = fetched.missing;
+            retries = fetched.retries;
+            hedges_won = fetched.hedges_won;
         }
         values.sort_unstable_by_key(|&(key, _)| key);
 
@@ -257,12 +326,19 @@ impl ServingEngine {
             latency,
             epoch,
         );
+        if !missing_keys.is_empty() || retries > 0 || hedges_won > 0 {
+            self.metrics
+                .record_faults(missing_keys.len() as u64, retries, hedges_won);
+        }
         Ok(MultigetResult {
             values,
             fanout,
             latency,
             epoch,
             cache_hits,
+            missing_keys,
+            retries,
+            hedges_won,
         })
     }
 
@@ -290,10 +366,11 @@ impl ServingEngine {
         let _span = Span::enter("serving/epoch_swap");
         let epoch = self.next_epoch.fetch_add(1, Ordering::Relaxed);
         let snapshot = PartitionSnapshot::from_partition(partition, epoch)?;
-        let shards = ShardSet::build(
+        let shards = ShardSet::build_replicated(
             &snapshot,
             self.config.latency_model.clone(),
             self.config.seed,
+            self.config.replication,
         );
         self.generation.swap(Generation { snapshot, shards });
         Ok(epoch)
@@ -426,9 +503,29 @@ impl ServingEngine {
             .insert(format!("{prefix}/cache/misses"), report.cache.misses);
         snap.counters
             .insert(format!("{prefix}/epoch_swaps"), self.swap_count());
+        snap.counters.insert(
+            format!("{prefix}/degraded_queries"),
+            report.degraded_queries,
+        );
+        snap.counters
+            .insert(format!("{prefix}/fault_retries"), report.retries);
+        snap.counters
+            .insert(format!("{prefix}/hedges_won"), report.hedges_won);
         for (shard, &count) in report.shard_requests.iter().enumerate() {
             snap.counters
                 .insert(format!("{prefix}/shard_requests/{shard:04}"), count);
+        }
+        snap.gauges
+            .insert(format!("{prefix}/availability"), report.availability);
+        // Per-shard up/down gauges at the injector's current query clock: 1.0 = serving,
+        // 0.0 = scripted down. Only meaningful (and only exported) with an injector attached.
+        if let Some(inj) = &self.faults {
+            let tick = inj.current_tick();
+            for shard in 0..self.num_shards() {
+                let up = if inj.is_down(shard, tick) { 0.0 } else { 1.0 };
+                snap.gauges
+                    .insert(format!("{prefix}/shard_up/{shard:04}"), up);
+            }
         }
         snap.gauges
             .insert(format!("{prefix}/shard_skew"), report.shard_skew);
@@ -800,6 +897,104 @@ mod tests {
         engine.multiget(&[7]).unwrap();
         let seen = recorder.0.lock().unwrap();
         assert_eq!(*seen, vec![vec![1, 3, 5], vec![7]]);
+    }
+
+    #[test]
+    fn degraded_multiget_is_typed_and_tracked_in_metrics() {
+        use shp_faults::{FaultInjector, FaultPlan};
+        let graph = community_graph(3, 4);
+        let config = EngineConfig {
+            replication: 2,
+            ..Default::default()
+        };
+        // Keys 0..4 live on shard 0 (primary) with replicas on shard 1; crashing both makes
+        // exactly those keys unreachable while the rest of the universe still serves.
+        let inj = Arc::new(FaultInjector::new(
+            FaultPlan::new().crash(0, 0).crash(1, 0),
+            7,
+        ));
+        let engine = ServingEngine::new(&aligned_partition(&graph, 3, 4), config)
+            .unwrap()
+            .with_fault_injector(inj);
+        let result = engine.multiget(&[0, 1, 8, 9]).unwrap();
+        assert!(result.is_degraded());
+        assert_eq!(result.missing_keys, vec![0, 1]);
+        assert_eq!(
+            result.values,
+            vec![(8, value_of(8)), (9, value_of(9))],
+            "reachable keys still come back correct"
+        );
+        assert_eq!(
+            result.require_complete(),
+            Err(ServingError::DegradedService { missing: 2 })
+        );
+        // A fully reachable multiget passes require_complete untouched.
+        let ok = engine
+            .multiget(&[8, 9])
+            .unwrap()
+            .require_complete()
+            .unwrap();
+        assert_eq!(ok.values.len(), 2);
+
+        let report = engine.report();
+        assert_eq!(report.degraded_queries, 1);
+        assert_eq!(report.missing_keys, 2);
+        assert!((report.availability - 0.5).abs() < 1e-12);
+
+        let snap = engine.telemetry_snapshot("serving/faulty");
+        assert_eq!(snap.counters["serving/faulty/degraded_queries"], 1);
+        assert_eq!(snap.gauges["serving/faulty/availability"], 0.5);
+        assert_eq!(snap.gauges["serving/faulty/shard_up/0000"], 0.0);
+        assert_eq!(snap.gauges["serving/faulty/shard_up/0002"], 1.0);
+    }
+
+    #[test]
+    fn engine_with_empty_fault_plan_matches_the_plain_engine_bitwise() {
+        use shp_faults::{FaultInjector, FaultPlan};
+        let graph = community_graph(3, 4);
+        let config = EngineConfig {
+            replication: 2,
+            ..Default::default()
+        };
+        let plain = ServingEngine::new(&aligned_partition(&graph, 3, 4), config.clone()).unwrap();
+        let faulty = ServingEngine::new(&aligned_partition(&graph, 3, 4), config)
+            .unwrap()
+            .with_fault_injector(Arc::new(FaultInjector::new(FaultPlan::new(), 3)));
+        for q in graph.queries() {
+            let a = plain.multiget(graph.query_neighbors(q)).unwrap();
+            let b = faulty.multiget(graph.query_neighbors(q)).unwrap();
+            assert_eq!(a, b);
+        }
+        assert_eq!(plain.report(), faulty.report());
+    }
+
+    #[test]
+    fn replicated_engine_fails_over_and_keeps_serving_correct_values() {
+        use shp_faults::{FaultInjector, FaultPlan};
+        let graph = community_graph(4, 8);
+        let config = EngineConfig {
+            replication: 2,
+            ..Default::default()
+        };
+        let engine = ServingEngine::new(&aligned_partition(&graph, 4, 8), config)
+            .unwrap()
+            .with_fault_injector(Arc::new(FaultInjector::new(
+                FaultPlan::new().crash(1, 0),
+                9,
+            )));
+        // Every community query still completes: shard 1's keys fail over to shard 2.
+        for q in graph.queries() {
+            let keys = graph.query_neighbors(q);
+            let result = engine.multiget(keys).unwrap();
+            assert!(result.missing_keys.is_empty(), "query {q} degraded");
+            assert_eq!(result.values.len(), keys.len());
+            for &(k, v) in &result.values {
+                assert_eq!(v, value_of(k));
+            }
+        }
+        let report = engine.report();
+        assert_eq!(report.availability, 1.0);
+        assert_eq!(report.retries, 8, "one retry per shard-1 community query");
     }
 
     #[test]

@@ -48,6 +48,15 @@ pub enum ServingError {
         /// Shard that was expected to hold it.
         shard: u32,
     },
+    /// A multiget came back partial: some keys were unreachable on every replica of their
+    /// failover chain. Raised by
+    /// [`MultigetResult::require_complete`](crate::MultigetResult::require_complete) for
+    /// callers that treat degraded service as an error instead of inspecting the typed
+    /// partial result.
+    DegradedService {
+        /// Number of requested keys that were unreachable on every replica.
+        missing: usize,
+    },
 }
 
 impl fmt::Display for ServingError {
@@ -74,6 +83,10 @@ impl fmt::Display for ServingError {
             ServingError::MissingKey { key, shard } => {
                 write!(f, "shard {shard} is missing key {key} (torn placement)")
             }
+            ServingError::DegradedService { missing } => write!(
+                f,
+                "degraded service: {missing} requested key(s) unreachable on every replica"
+            ),
         }
     }
 }
@@ -137,6 +150,10 @@ mod tests {
             (
                 ServingError::MissingKey { key: 2, shard: 1 },
                 "missing key 2",
+            ),
+            (
+                ServingError::DegradedService { missing: 3 },
+                "degraded service: 3",
             ),
         ];
         for (err, needle) in cases {

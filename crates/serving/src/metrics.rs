@@ -51,6 +51,14 @@ pub struct ServingMetrics {
     max_shards: AtomicU32,
     min_epoch: AtomicU64,
     max_epoch: AtomicU64,
+    /// Multigets that came back partial (at least one key unreachable on every replica).
+    degraded: AtomicU64,
+    /// Total unreachable keys across all degraded multigets.
+    missing_keys: AtomicU64,
+    /// Failover retries performed by the fault-aware execution paths.
+    retries: AtomicU64,
+    /// Hedged duplicate requests that beat the attempt they shadowed.
+    hedges_won: AtomicU64,
 }
 
 impl Default for ServingMetrics {
@@ -69,6 +77,10 @@ impl ServingMetrics {
             max_shards: AtomicU32::new(0),
             min_epoch: AtomicU64::new(u64::MAX),
             max_epoch: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
+            missing_keys: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            hedges_won: AtomicU64::new(0),
         }
     }
 
@@ -97,6 +109,25 @@ impl ServingMetrics {
         self.max_epoch.fetch_max(epoch, Ordering::Relaxed);
     }
 
+    /// Records the fault-tolerance outcome of one served multiget: how many requested keys
+    /// were unreachable on every replica (a non-zero count marks the query degraded), how
+    /// many failover retries it performed, and how many hedged duplicates won.
+    ///
+    /// Lock-free, like [`ServingMetrics::record`]; on the no-fault path the engine skips the
+    /// call entirely.
+    pub fn record_faults(&self, missing_keys: u64, retries: u64, hedges_won: u64) {
+        if missing_keys > 0 {
+            self.degraded.fetch_add(1, Ordering::Relaxed);
+            self.missing_keys.fetch_add(missing_keys, Ordering::Relaxed);
+        }
+        if retries > 0 {
+            self.retries.fetch_add(retries, Ordering::Relaxed);
+        }
+        if hedges_won > 0 {
+            self.hedges_won.fetch_add(hedges_won, Ordering::Relaxed);
+        }
+    }
+
     /// Clears all recorded observations.
     pub fn reset(&self) {
         self.fanout.reset();
@@ -105,6 +136,10 @@ impl ServingMetrics {
         self.max_shards.store(0, Ordering::Relaxed);
         self.min_epoch.store(u64::MAX, Ordering::Relaxed);
         self.max_epoch.store(0, Ordering::Relaxed);
+        self.degraded.store(0, Ordering::Relaxed);
+        self.missing_keys.store(0, Ordering::Relaxed);
+        self.retries.store(0, Ordering::Relaxed);
+        self.hedges_won.store(0, Ordering::Relaxed);
     }
 
     /// Bytes of metric storage held — constant for the lifetime of the accumulator, however
@@ -113,7 +148,7 @@ impl ServingMetrics {
         self.fanout.memory_bytes()
             + self.latency.memory_bytes()
             + self.shard_requests.memory_bytes()
-            + 3 * std::mem::size_of::<u64>()
+            + 7 * std::mem::size_of::<u64>()
     }
 
     /// The latency histogram, for export into a telemetry snapshot.
@@ -172,6 +207,7 @@ impl ServingMetrics {
             )
         };
 
+        let degraded_queries = self.degraded.load(Ordering::Relaxed);
         ServingReport {
             queries,
             mean_fanout,
@@ -187,7 +223,23 @@ impl ServingMetrics {
             cache,
             min_epoch,
             max_epoch,
+            degraded_queries,
+            missing_keys: self.missing_keys.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            hedges_won: self.hedges_won.load(Ordering::Relaxed),
+            availability: availability(queries, degraded_queries),
         }
+    }
+}
+
+/// Fraction of served multigets that came back complete: `1 - degraded / queries`, and 1.0
+/// before any query is served. Shared by both metric implementations so the conformance
+/// oracle stays bit-identical.
+fn availability(queries: u64, degraded: u64) -> f64 {
+    if queries == 0 {
+        1.0
+    } else {
+        1.0 - degraded as f64 / queries as f64
     }
 }
 
@@ -309,6 +361,12 @@ impl LegacyServingMetrics {
             cache,
             min_epoch: inner.min_epoch.unwrap_or(0),
             max_epoch: inner.max_epoch.unwrap_or(0),
+            // The legacy oracle predates fault injection and never observes faults.
+            degraded_queries: 0,
+            missing_keys: 0,
+            retries: 0,
+            hedges_won: 0,
+            availability: availability(queries, 0),
         }
     }
 }
@@ -344,6 +402,17 @@ pub struct ServingReport {
     pub min_epoch: u64,
     /// Largest placement epoch observed by a served query.
     pub max_epoch: u64,
+    /// Multigets that came back partial (at least one requested key unreachable).
+    pub degraded_queries: u64,
+    /// Total unreachable keys across all degraded multigets.
+    pub missing_keys: u64,
+    /// Failover retries performed across all multigets.
+    pub retries: u64,
+    /// Hedged duplicate requests that beat the attempt they shadowed.
+    pub hedges_won: u64,
+    /// Fraction of multigets served complete: `1 - degraded_queries / queries` (1.0 when no
+    /// query has been served).
+    pub availability: f64,
 }
 
 impl fmt::Display for ServingReport {
@@ -365,6 +434,17 @@ impl fmt::Display for ServingReport {
             self.shard_skew,
             self.shard_requests.len()
         )?;
+        if self.degraded_queries > 0 || self.retries > 0 || self.hedges_won > 0 {
+            writeln!(
+                f,
+                "availability   {:.4} ({} degraded / {} missing keys, {} retries, {} hedges won)",
+                self.availability,
+                self.degraded_queries,
+                self.missing_keys,
+                self.retries,
+                self.hedges_won
+            )?;
+        }
         if self.cache.hits + self.cache.misses > 0 {
             writeln!(
                 f,
@@ -428,8 +508,33 @@ mod tests {
     fn reset_clears_observations() {
         let m = ServingMetrics::new();
         m.record(3, 3, [0, 1, 2], 2.0, 0);
+        m.record_faults(2, 1, 1);
         m.reset();
-        assert_eq!(m.report(CacheStats::default()).queries, 0);
+        let r = m.report(CacheStats::default());
+        assert_eq!(r.queries, 0);
+        assert_eq!(r.degraded_queries, 0);
+        assert_eq!(r.retries, 0);
+        assert_eq!(r.availability, 1.0);
+    }
+
+    #[test]
+    fn fault_accounting_drives_availability() {
+        let m = ServingMetrics::new();
+        for _ in 0..10 {
+            m.record(1, 2, [0], 1.0, 0);
+        }
+        // 2 of 10 queries degraded; retries and hedges accumulate independently.
+        m.record_faults(3, 1, 0);
+        m.record_faults(1, 2, 1);
+        m.record_faults(0, 4, 0); // retries without degradation
+        let r = m.report(CacheStats::default());
+        assert_eq!(r.degraded_queries, 2);
+        assert_eq!(r.missing_keys, 4);
+        assert_eq!(r.retries, 7);
+        assert_eq!(r.hedges_won, 1);
+        assert!((r.availability - 0.8).abs() < 1e-12);
+        let text = r.to_string();
+        assert!(text.contains("availability   0.8000"), "{text}");
     }
 
     #[test]
@@ -507,6 +612,10 @@ mod tests {
         assert_eq!(n.shard_requests, o.shard_requests);
         assert_eq!(n.shard_skew, o.shard_skew);
         assert_eq!((n.min_epoch, n.max_epoch), (o.min_epoch, o.max_epoch));
+        // With no faults recorded the fault fields agree bit-for-bit, availability included.
+        assert_eq!(n.degraded_queries, o.degraded_queries);
+        assert_eq!(n.availability, o.availability);
+        assert_eq!(n.availability, 1.0);
 
         // Latency aggregates obey the quantization contract: each percentile is the lower
         // bucket edge of the oracle's exact value.

@@ -19,6 +19,18 @@ pub struct ShardBatch {
     pub keys: Vec<DataId>,
 }
 
+impl ShardBatch {
+    /// The shards that can serve this batch, in failover order: the primary first, then each
+    /// chained replica `(shard + k) % num_shards`. Mirrors
+    /// [`PartitionSnapshot::replica_group`] so routing and storage agree on replica placement.
+    pub fn failover_candidates(&self, num_shards: u32, replication: u32) -> Vec<u32> {
+        let n = num_shards.max(1);
+        (0..replication.clamp(1, n))
+            .map(|k| (self.shard + k) % n)
+            .collect()
+    }
+}
+
 /// A routed multiget: one batch per shard that must be contacted.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RoutePlan {
@@ -159,6 +171,20 @@ mod tests {
                 num_keys: 2
             }
         );
+    }
+
+    #[test]
+    fn failover_candidates_start_at_the_primary_and_chain() {
+        let batch = ShardBatch {
+            shard: 2,
+            keys: vec![0],
+        };
+        assert_eq!(batch.failover_candidates(4, 1), vec![2]);
+        assert_eq!(batch.failover_candidates(4, 2), vec![2, 3]);
+        assert_eq!(batch.failover_candidates(4, 3), vec![2, 3, 0]);
+        // Clamped to the shard count: no shard is listed twice.
+        assert_eq!(batch.failover_candidates(3, 8), vec![2, 0, 1]);
+        assert_eq!(batch.failover_candidates(4, 0), vec![2]);
     }
 
     #[test]

@@ -5,12 +5,25 @@
 //! lookups are lock-free; only the per-shard latency RNG sits behind a mutex. Per-request
 //! service time comes from `shp-sharding-sim`'s [`LatencyModel`], and a query's latency is the
 //! **maximum** over its parallel per-shard requests — the tail-at-scale dependency of Figure 4.
+//!
+//! ## Replication and failover
+//!
+//! With [`ShardSet::build_replicated`] every shard additionally stores the records of the
+//! `R - 1` primaries chained before it (`shard s` replicates primaries `(s - r) mod n` for
+//! `r < R`), mirroring [`PartitionSnapshot::replica_group`]. The fault-aware execution paths
+//! ([`ShardSet::execute_with_faults`]) walk a batch's failover chain under a
+//! [`FaultInjector`]: a down or dropped candidate costs a deterministic timeout, each retry
+//! adds a backoff penalty, a slow-but-alive candidate may be hedged with a duplicate request
+//! to the next replica (first success wins), and a batch whose entire chain is down degrades
+//! into typed `missing` keys instead of an error. When no injector is supplied — or its plan
+//! is empty — these paths are bit-identical to [`ShardSet::execute`].
 
 use crate::error::{Result, ServingError};
 use crate::partition_map::{PartitionDelta, PartitionSnapshot};
-use crate::router::RoutePlan;
+use crate::router::{RoutePlan, ShardBatch};
 use rand::SeedableRng;
 use rand_pcg::Pcg64;
+use shp_faults::FaultInjector;
 use shp_hypergraph::DataId;
 use shp_sharding_sim::LatencyModel;
 use std::collections::HashMap;
@@ -118,6 +131,25 @@ pub struct BatchResults {
     pub values: Vec<(DataId, u64)>,
     /// Simulated query latency: the maximum over the parallel per-shard requests.
     pub latency: f64,
+    /// Keys whose entire failover chain was unreachable, ascending. Empty on the no-fault
+    /// paths: a non-empty list is a typed partial result, never a silent drop.
+    pub missing: Vec<DataId>,
+    /// Failover retries performed across all batches of this multiget.
+    pub retries: u64,
+    /// Hedged duplicate requests that finished before the primary attempt they shadowed.
+    pub hedges_won: u64,
+}
+
+/// Outcome of walking one batch through its failover chain.
+struct BatchServe {
+    /// Accumulated latency: timeouts + backoff + the winning attempt (0 when nothing served).
+    latency: f64,
+    /// Failover retries performed for this batch.
+    retries: u64,
+    /// Whether the hedged duplicate beat the attempt it shadowed.
+    hedges_won: u64,
+    /// Whether any candidate served the batch; `false` degrades the keys to `missing`.
+    served: bool,
 }
 
 /// A set of shards holding one generation's records.
@@ -125,21 +157,49 @@ pub struct BatchResults {
 pub struct ShardSet {
     shards: Vec<Shard>,
     model: LatencyModel,
+    replication: u32,
 }
 
 impl ShardSet {
     /// Builds the shard set for a placement snapshot. Every key of the snapshot is stored on
-    /// exactly the shard the snapshot assigns it to.
+    /// exactly the shard the snapshot assigns it to (replication factor 1).
     pub fn build(snapshot: &PartitionSnapshot, model: LatencyModel, seed: u64) -> Self {
-        let shards = snapshot
-            .keys_by_shard()
-            .iter()
-            .enumerate()
-            .map(|(shard_id, keys)| {
-                Shard::new(keys, seed ^ (snapshot.epoch() << 20) ^ shard_id as u64)
+        Self::build_replicated(snapshot, model, seed, 1)
+    }
+
+    /// Builds the shard set with `replication`-way chained replica groups: shard `s` stores
+    /// its own primaries plus the records of primaries `(s - r) mod n` for `r < replication`
+    /// (clamped to `1..=n`), matching [`PartitionSnapshot::replica_group`]. With
+    /// `replication == 1` this is exactly [`ShardSet::build`] — including identical per-shard
+    /// RNG streams — so the no-replication path is unchanged bit-for-bit.
+    pub fn build_replicated(
+        snapshot: &PartitionSnapshot,
+        model: LatencyModel,
+        seed: u64,
+        replication: u32,
+    ) -> Self {
+        let n = snapshot.num_shards().max(1);
+        let replication = replication.clamp(1, n);
+        let by_primary = snapshot.keys_by_shard();
+        let shards = (0..by_primary.len())
+            .map(|shard_id| {
+                let shard_seed = seed ^ (snapshot.epoch() << 20) ^ shard_id as u64;
+                if replication == 1 {
+                    return Shard::new(&by_primary[shard_id], shard_seed);
+                }
+                let mut keys = Vec::new();
+                for r in 0..replication {
+                    let primary = (shard_id as u32 + n - r) % n;
+                    keys.extend_from_slice(&by_primary[primary as usize]);
+                }
+                Shard::new(&keys, shard_seed)
             })
             .collect();
-        ShardSet { shards, model }
+        ShardSet {
+            shards,
+            model,
+            replication,
+        }
     }
 
     /// Builds the next generation's shard set from this one by applying `delta`: only shards
@@ -160,21 +220,35 @@ impl ShardSet {
         seed: u64,
     ) -> Result<ShardSet> {
         let num_shards = self.shards.len();
+        let n = num_shards as u32;
         let mut removed: Vec<Vec<DataId>> = vec![Vec::new(); num_shards];
         let mut added: Vec<Vec<DataId>> = vec![Vec::new(); num_shards];
         for &(key, to) in delta.moves() {
             let from = base.shard_of(key)?;
-            if to as usize >= num_shards {
+            if to >= n {
                 return Err(ServingError::ShardOutOfRange {
                     shard: to,
-                    num_shards: num_shards as u32,
+                    num_shards: n,
                 });
             }
             if from == to {
                 continue;
             }
-            removed[from as usize].push(key);
-            added[to as usize].push(key);
+            // A moved key leaves every shard of its old replica chain that is not also on the
+            // new chain, and enters every shard of the new chain it was not already on. With
+            // replication 1 this degenerates to the plain from/to move.
+            let old_chain: Vec<u32> = (0..self.replication).map(|r| (from + r) % n).collect();
+            let new_chain: Vec<u32> = (0..self.replication).map(|r| (to + r) % n).collect();
+            for &shard in &old_chain {
+                if !new_chain.contains(&shard) {
+                    removed[shard as usize].push(key);
+                }
+            }
+            for &shard in &new_chain {
+                if !old_chain.contains(&shard) {
+                    added[shard as usize].push(key);
+                }
+            }
         }
         let shards = self
             .shards
@@ -198,12 +272,18 @@ impl ShardSet {
         Ok(ShardSet {
             shards,
             model: self.model.clone(),
+            replication: self.replication,
         })
     }
 
     /// Number of shards.
     pub fn num_shards(&self) -> u32 {
         self.shards.len() as u32
+    }
+
+    /// Replica-group size this set was built with (1 when unreplicated).
+    pub fn replication(&self) -> u32 {
+        self.replication
     }
 
     /// Number of records stored on each shard.
@@ -248,7 +328,13 @@ impl ShardSet {
             let t = shard.serve(batch.shard, &batch.keys, &self.model, &mut values)?;
             latency = latency.max(t);
         }
-        Ok(BatchResults { values, latency })
+        Ok(BatchResults {
+            values,
+            latency,
+            missing: Vec::new(),
+            retries: 0,
+            hedges_won: 0,
+        })
     }
 
     /// Executes a routed multiget with one scoped thread per contacted shard — the literal
@@ -283,7 +369,192 @@ impl ShardSet {
             values.append(&mut out);
             latency = latency.max(t);
         }
-        Ok(BatchResults { values, latency })
+        Ok(BatchResults {
+            values,
+            latency,
+            missing: Vec::new(),
+            retries: 0,
+            hedges_won: 0,
+        })
+    }
+
+    /// Walks one batch through its failover chain under `inj` at query-clock `tick`.
+    ///
+    /// Candidate `k` is `(batch.shard + k) % n`. A down or dropped candidate costs
+    /// `timeout_factor × mean_t`; each retry adds `k × backoff_factor × mean_t` of budgeted
+    /// backoff. The first live candidate serves the batch into `values`; if the injector marks
+    /// it slow, a hedged duplicate is sent to the next live candidate in the chain and the
+    /// faster of the two wins. An exhausted chain returns `served: false` (the caller degrades
+    /// the keys), never an error.
+    ///
+    /// With no active faults the primary serves directly and the arithmetic reduces to
+    /// `0.0 + t × 1.0`, which is bit-identical to the no-fault path.
+    fn serve_batch_failover(
+        &self,
+        batch: &ShardBatch,
+        inj: &FaultInjector,
+        tick: u64,
+        values: &mut Vec<(DataId, u64)>,
+    ) -> Result<BatchServe> {
+        let candidates = batch.failover_candidates(self.num_shards(), self.replication);
+        let policy = inj.policy();
+        let mean = self.model.mean_t;
+        let mut cost = 0.0f64;
+        let mut retries = 0u64;
+        for (attempt, &shard_id) in candidates.iter().enumerate() {
+            if attempt > 0 {
+                retries += 1;
+                cost += policy.backoff_factor * mean * attempt as f64;
+            }
+            if inj.is_down(shard_id, tick) || inj.drops(shard_id, tick, attempt as u64) {
+                cost += policy.timeout_factor * mean;
+                continue;
+            }
+            let shard = &self.shards[shard_id as usize];
+            let factor = inj.slow_factor(shard_id, tick);
+            let t = shard.serve(shard_id, &batch.keys, &self.model, values)? * factor;
+            let mut best = t;
+            let mut hedges_won = 0u64;
+            if factor > 1.0 {
+                let hedge_attempt = attempt + 1;
+                if hedge_attempt < candidates.len() {
+                    let hedge_shard = candidates[hedge_attempt];
+                    if !inj.is_down(hedge_shard, tick)
+                        && !inj.drops(hedge_shard, tick, hedge_attempt as u64)
+                    {
+                        // The duplicate fetches the same records; only its latency matters.
+                        let mut scratch = Vec::with_capacity(batch.keys.len());
+                        let hedge_t = self.shards[hedge_shard as usize].serve(
+                            hedge_shard,
+                            &batch.keys,
+                            &self.model,
+                            &mut scratch,
+                        )? * inj.slow_factor(hedge_shard, tick);
+                        let hedge_total = policy.hedge_delay_factor * mean + hedge_t;
+                        if hedge_total < best {
+                            best = hedge_total;
+                            hedges_won = 1;
+                        }
+                    }
+                }
+            }
+            return Ok(BatchServe {
+                latency: cost + best,
+                retries,
+                hedges_won,
+                served: true,
+            });
+        }
+        Ok(BatchServe {
+            latency: cost,
+            retries,
+            hedges_won: 0,
+            served: false,
+        })
+    }
+
+    /// [`ShardSet::execute`] with optional fault injection: with `faults: None` it delegates
+    /// verbatim; with an injector it advances the query clock one tick and serves every batch
+    /// through [`ShardSet::serve_batch_failover`], degrading unreachable batches into
+    /// `missing` keys. An empty [`shp_faults::FaultPlan`] produces bit-identical results to
+    /// the no-fault path (the retained conformance oracle).
+    ///
+    /// # Errors
+    /// Same contract as [`ShardSet::execute`]: stale plans (a key the contacted shard does not
+    /// hold, or a shard outside this generation) fail loudly — injected faults never do.
+    pub fn execute_with_faults(
+        &self,
+        plan: &RoutePlan,
+        faults: Option<&FaultInjector>,
+    ) -> Result<BatchResults> {
+        let Some(inj) = faults else {
+            return self.execute(plan);
+        };
+        let tick = inj.begin_query();
+        let mut values = Vec::with_capacity(plan.num_keys());
+        let mut missing: Vec<DataId> = Vec::new();
+        let mut latency = 0.0f64;
+        let mut retries = 0u64;
+        let mut hedges_won = 0u64;
+        for batch in &plan.batches {
+            if batch.shard as usize >= self.shards.len() {
+                return Err(ServingError::MissingKey {
+                    key: batch.keys[0],
+                    shard: batch.shard,
+                });
+            }
+            let outcome = self.serve_batch_failover(batch, inj, tick, &mut values)?;
+            retries += outcome.retries;
+            hedges_won += outcome.hedges_won;
+            latency = latency.max(outcome.latency);
+            if !outcome.served {
+                missing.extend_from_slice(&batch.keys);
+            }
+        }
+        missing.sort_unstable();
+        Ok(BatchResults {
+            values,
+            latency,
+            missing,
+            retries,
+            hedges_won,
+        })
+    }
+
+    /// [`ShardSet::execute_scatter_gather`] with optional fault injection; see
+    /// [`ShardSet::execute_with_faults`] for the failover semantics. Failover attempts from
+    /// concurrent batches may interleave on replica RNG streams, so latency determinism under
+    /// active faults is only guaranteed for the sequential path; coverage and values are
+    /// deterministic on both.
+    ///
+    /// # Errors
+    /// Same contract as [`ShardSet::execute_with_faults`].
+    pub fn execute_scatter_gather_with_faults(
+        &self,
+        plan: &RoutePlan,
+        faults: Option<&FaultInjector>,
+    ) -> Result<BatchResults> {
+        let Some(inj) = faults else {
+            return self.execute_scatter_gather(plan);
+        };
+        let tick = inj.begin_query();
+        type FaultOutcome = Result<(Vec<(DataId, u64)>, BatchServe)>;
+        let batches: Vec<&ShardBatch> = plan.batches.iter().collect();
+        let fanout = batches.len();
+        let results: Vec<FaultOutcome> = rayon::pool::map_vec(batches, fanout, |_, batch| {
+            if batch.shard as usize >= self.shards.len() {
+                return Err(ServingError::MissingKey {
+                    key: batch.keys[0],
+                    shard: batch.shard,
+                });
+            }
+            let mut out = Vec::with_capacity(batch.keys.len());
+            let outcome = self.serve_batch_failover(batch, inj, tick, &mut out)?;
+            Ok((out, outcome))
+        });
+        let mut values = Vec::with_capacity(plan.num_keys());
+        let mut missing: Vec<DataId> = Vec::new();
+        let mut latency = 0.0f64;
+        let mut retries = 0u64;
+        let mut hedges_won = 0u64;
+        for (batch, result) in plan.batches.iter().zip(results) {
+            let (mut out, outcome) = result?;
+            values.append(&mut out);
+            retries += outcome.retries;
+            hedges_won += outcome.hedges_won;
+            latency = latency.max(outcome.latency);
+            if !outcome.served {
+                missing.extend_from_slice(&batch.keys);
+            }
+        }
+        missing.sort_unstable();
+        Ok(BatchResults {
+            values,
+            latency,
+            missing,
+            retries,
+            hedges_won,
+        })
     }
 }
 
@@ -401,6 +672,148 @@ mod tests {
         let a = via_delta.execute(&plan).unwrap();
         let b = via_full.execute(&plan).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn replicated_build_chains_each_primary_onto_the_next_shards() {
+        let snap = snapshot(3, vec![0, 0, 1, 2]);
+        let set = ShardSet::build_replicated(&snap, LatencyModel::default(), 1, 2);
+        assert_eq!(set.replication(), 2);
+        // Shard s holds its own primaries plus those of shard (s - 1) mod 3.
+        assert_eq!(set.shard_sizes(), vec![3, 3, 2]);
+        assert_eq!(set.shards[0].get(3), Some(value_of(3))); // replica of primary 2
+        assert_eq!(set.shards[1].get(0), Some(value_of(0))); // replica of primary 0
+        assert_eq!(set.shards[2].get(2), Some(value_of(2))); // replica of primary 1
+        assert_eq!(set.shards[0].get(2), None); // shard 0 does not replicate shard 1
+    }
+
+    #[test]
+    fn replication_one_build_matches_the_plain_build_bitwise() {
+        let snap = snapshot(3, vec![0, 1, 2, 1, 0]);
+        let plain = ShardSet::build(&snap, LatencyModel::default(), 11);
+        let replicated = ShardSet::build_replicated(&snap, LatencyModel::default(), 11, 1);
+        let plan = ShardRouter::new().route(&snap, &[0, 1, 2, 3, 4]).unwrap();
+        assert_eq!(
+            plain.execute(&plan).unwrap(),
+            replicated.execute(&plan).unwrap()
+        );
+    }
+
+    #[test]
+    fn replicated_apply_delta_updates_every_chain_member() {
+        let snap = snapshot(3, vec![0, 0, 1, 2]);
+        let set = ShardSet::build_replicated(&snap, LatencyModel::default(), 1, 2);
+        // Move key 0 from primary 0 to primary 2: chains {0,1} -> {2,0}, so shard 1 loses it,
+        // shard 2 gains it, and shard 0 keeps it (primary before, replica after).
+        let delta = PartitionDelta::new(0, vec![(0, 2)]);
+        let next = set.apply_delta(&snap, &delta, 1, 1).unwrap();
+        assert_eq!(next.shards[0].get(0), Some(value_of(0)));
+        assert_eq!(next.shards[1].get(0), None);
+        assert_eq!(next.shards[2].get(0), Some(value_of(0)));
+        // The delta-derived set matches a full replicated rebuild of the new placement.
+        let moved = snapshot(3, vec![2, 0, 1, 2]);
+        let rebuilt = ShardSet::build_replicated(&moved, LatencyModel::default(), 1, 2);
+        assert_eq!(next.shard_sizes(), rebuilt.shard_sizes());
+    }
+
+    #[test]
+    fn empty_fault_plan_is_bit_identical_to_the_no_fault_path() {
+        use shp_faults::FaultPlan;
+        let snap = snapshot(4, (0..32).map(|v| v % 4).collect());
+        let build = || ShardSet::build_replicated(&snap, LatencyModel::default(), 6, 2);
+        let plain = build();
+        let faulty = build();
+        let inj = FaultInjector::new(FaultPlan::new(), 99);
+        let keys: Vec<u32> = (0..32).collect();
+        let plan = ShardRouter::new().route(&snap, &keys).unwrap();
+        for _ in 0..5 {
+            let a = plain.execute(&plan).unwrap();
+            let b = faulty.execute_with_faults(&plan, Some(&inj)).unwrap();
+            assert_eq!(a, b);
+        }
+        assert_eq!(plain.shard_requests(), faulty.shard_requests());
+    }
+
+    #[test]
+    fn failover_serves_from_the_replica_when_the_primary_is_down() {
+        use shp_faults::{FaultInjector, FaultPlan};
+        let snap = snapshot(3, vec![0, 1, 2]);
+        let set = ShardSet::build_replicated(&snap, LatencyModel::default(), 6, 2);
+        let inj = FaultInjector::new(FaultPlan::new().crash(0, 0), 5);
+        let plan = ShardRouter::new().route(&snap, &[0, 1, 2]).unwrap();
+        let results = set.execute_with_faults(&plan, Some(&inj)).unwrap();
+        // Key 0's primary (shard 0) is down; its replica on shard 1 serves it.
+        assert!(results.missing.is_empty());
+        assert_eq!(results.retries, 1);
+        let mut keys: Vec<u32> = results.values.iter().map(|&(k, _)| k).collect();
+        keys.sort_unstable();
+        assert_eq!(keys, vec![0, 1, 2]);
+        for &(k, v) in &results.values {
+            assert_eq!(v, value_of(k));
+        }
+        // The failed attempt + backoff makes the failover batch strictly slower than mean.
+        assert!(results.latency > set.latency_model().mean_t);
+    }
+
+    #[test]
+    fn exhausted_failover_chain_degrades_to_typed_missing_keys() {
+        use shp_faults::{FaultInjector, FaultPlan};
+        let snap = snapshot(3, vec![0, 1, 2]);
+        let set = ShardSet::build_replicated(&snap, LatencyModel::default(), 6, 2);
+        // Both shards of key 0's chain (0 and 1) are down: key 0 and key 1 are unreachable
+        // (key 1's chain is {1, 2}; shard 2 is up, so key 1 survives via its replica).
+        let inj = FaultInjector::new(FaultPlan::new().crash(0, 0).crash(1, 0), 5);
+        let plan = ShardRouter::new().route(&snap, &[0, 1, 2]).unwrap();
+        let results = set.execute_with_faults(&plan, Some(&inj)).unwrap();
+        assert_eq!(results.missing, vec![0]);
+        let mut keys: Vec<u32> = results.values.iter().map(|&(k, _)| k).collect();
+        keys.sort_unstable();
+        assert_eq!(keys, vec![1, 2]);
+    }
+
+    #[test]
+    fn hedged_duplicate_wins_only_when_faster() {
+        use shp_faults::{FaultInjector, FaultPlan, RetryPolicy};
+        let snap = snapshot(2, vec![0, 1]);
+        // A huge slow factor guarantees the hedge (replica at normal speed) wins.
+        let model = LatencyModel {
+            body_cv: 0.0,
+            outlier_probability: 0.0,
+            ..LatencyModel::default()
+        };
+        let set = ShardSet::build_replicated(&snap, model, 6, 2);
+        let inj = FaultInjector::new(FaultPlan::new().slow(0, 0, u64::MAX, 1000.0), 5)
+            .with_policy(RetryPolicy::default());
+        let plan = ShardRouter::new().route(&snap, &[0]).unwrap();
+        let results = set.execute_with_faults(&plan, Some(&inj)).unwrap();
+        assert_eq!(results.hedges_won, 1);
+        assert!(results.missing.is_empty());
+        assert_eq!(results.values, vec![(0, value_of(0))]);
+        // Winner latency = hedge delay + replica time, far below the 1000x slow primary.
+        assert!(results.latency < 100.0);
+    }
+
+    #[test]
+    fn scatter_gather_with_faults_matches_sequential_coverage() {
+        use shp_faults::{FaultInjector, FaultPlan};
+        let snap = snapshot(4, (0..64).map(|v| v % 4).collect());
+        let set = ShardSet::build_replicated(&snap, LatencyModel::default(), 3, 2);
+        let seq_inj = FaultInjector::new(FaultPlan::new().crash(1, 0), 7);
+        let par_inj = FaultInjector::new(FaultPlan::new().crash(1, 0), 7);
+        let keys: Vec<u32> = (0..64).collect();
+        let plan = ShardRouter::new().route(&snap, &keys).unwrap();
+        let seq = set.execute_with_faults(&plan, Some(&seq_inj)).unwrap();
+        let par = set
+            .execute_scatter_gather_with_faults(&plan, Some(&par_inj))
+            .unwrap();
+        assert_eq!(seq.missing, par.missing);
+        assert_eq!(seq.retries, par.retries);
+        let sort = |r: &BatchResults| {
+            let mut v = r.values.clone();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(sort(&seq), sort(&par));
     }
 
     #[test]

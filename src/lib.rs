@@ -31,6 +31,9 @@
 //! * [`telemetry`] — zero-dependency lock-free observability: sharded counters, log-linear
 //!   histograms, hierarchical phase spans, a top-K access sketch, and Prometheus/JSON
 //!   exporters; instrumented throughout the crates above.
+//! * [`faults`] — deterministic, replayable fault injection for the serving tier: scripted
+//!   shard crashes, slow-shard multipliers, per-request drops, and the retry/hedging policy
+//!   driving replica failover.
 //!
 //! # Quickstart
 //!
@@ -60,6 +63,7 @@ pub use shp_baselines as baselines;
 pub use shp_controller as controller;
 pub use shp_core as core;
 pub use shp_datagen as datagen;
+pub use shp_faults as faults;
 pub use shp_hypergraph as hypergraph;
 pub use shp_serving as serving;
 pub use shp_sharding_sim as sharding_sim;

@@ -1,0 +1,149 @@
+//! Property-based tests for the fault-injection and failover layer: an attached injector
+//! with an **empty** plan must be invisible down to the latency bits, a fixed seed must make
+//! failover (retries, hedges, and typed partial results) fully deterministic, and killing an
+//! entire replica chain must degrade to exactly the keys that chain held — never a wrong
+//! value, never a dropped live key.
+
+use proptest::prelude::*;
+use shp::faults::{FaultInjector, FaultPlan};
+use shp::hypergraph::{GraphBuilder, Partition};
+use shp::serving::{value_of, EngineConfig, ServingEngine};
+use std::sync::Arc;
+
+/// An engine over `shards * keys_per_shard` keys placed round-robin (`key % shards`), with
+/// an optional fault injector.
+fn build_engine(
+    shards: u32,
+    keys_per_shard: u32,
+    replication: u32,
+    faults: Option<(FaultPlan, u64)>,
+) -> (ServingEngine, u32) {
+    let n = shards * keys_per_shard;
+    let graph = GraphBuilder::from_hyperedges(vec![(0..n).collect::<Vec<u32>>()]).unwrap();
+    let partition =
+        Partition::from_assignment(&graph, shards, (0..n).map(|k| k % shards).collect()).unwrap();
+    let engine = ServingEngine::new(
+        &partition,
+        EngineConfig {
+            seed: 0x5047,
+            replication,
+            ..EngineConfig::default()
+        },
+    )
+    .unwrap();
+    let engine = match faults {
+        Some((plan, seed)) => engine.with_fault_injector(Arc::new(FaultInjector::new(plan, seed))),
+        None => engine,
+    };
+    (engine, n)
+}
+
+/// Strategy: raw multiget key-sets; keys are reduced modulo the key universe inside each test.
+fn arb_queries() -> impl Strategy<Value = Vec<Vec<u32>>> {
+    prop::collection::vec(prop::collection::vec(0u32..1_000, 1..10), 1..20)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// An attached injector with an empty plan is a no-op down to the latency bits, for any
+    /// replication factor: the fault path must cost nothing — not one extra RNG draw, not one
+    /// reordered sample — when nothing is scripted.
+    #[test]
+    fn empty_fault_plan_is_byte_identical_for_any_replication(
+        shards in 2u32..6,
+        keys_per_shard in 4u32..16,
+        replication in 1u32..4,
+        queries in arb_queries(),
+        seed in 0u64..1_000,
+    ) {
+        let (plain, n) = build_engine(shards, keys_per_shard, replication, None);
+        let (faulty, _) =
+            build_engine(shards, keys_per_shard, replication, Some((FaultPlan::new(), seed)));
+        for query in &queries {
+            let keys: Vec<u32> = query.iter().map(|&k| k % n).collect();
+            let a = plain.multiget(&keys).unwrap();
+            let b = faulty.multiget(&keys).unwrap();
+            prop_assert_eq!(&a, &b);
+            prop_assert_eq!(a.latency.to_bits(), b.latency.to_bits());
+            prop_assert!(b.missing_keys.is_empty());
+            prop_assert_eq!((b.retries, b.hedges_won), (0, 0));
+        }
+        prop_assert_eq!(plain.report(), faulty.report());
+    }
+
+    /// Failover under a scripted crash, slowdown, and request drops is deterministic for a
+    /// fixed seed: two engines built alike replay the identical sequence of values, retries,
+    /// winning hedges, latencies, and typed missing keys.
+    #[test]
+    fn failover_with_replicas_is_deterministic_for_a_fixed_seed(
+        shards in 2u32..6,
+        keys_per_shard in 4u32..16,
+        dead in 0u32..6,
+        slow in 0u32..6,
+        slow_factor in 1.5f64..8.0,
+        drop_p in 0.0f64..0.9,
+        queries in arb_queries(),
+        seed in 0u64..1_000,
+    ) {
+        let plan = FaultPlan::new()
+            .crash(dead % shards, 0)
+            .slow(slow % shards, 0, u64::MAX, slow_factor)
+            .drop_requests((slow + 1) % shards, drop_p);
+        let (a, n) = build_engine(shards, keys_per_shard, 2, Some((plan.clone(), seed)));
+        let (b, _) = build_engine(shards, keys_per_shard, 2, Some((plan, seed)));
+        for query in &queries {
+            let keys: Vec<u32> = query.iter().map(|&k| k % n).collect();
+            let ra = a.multiget(&keys).unwrap();
+            let rb = b.multiget(&keys).unwrap();
+            prop_assert_eq!(ra.latency.to_bits(), rb.latency.to_bits());
+            prop_assert_eq!(ra, rb);
+        }
+        prop_assert_eq!(a.report(), b.report());
+    }
+
+    /// Killing one full replica chain degrades to **exactly** the keys whose primary heads
+    /// that chain: those keys come back typed-missing, every other key is served with the
+    /// correct value, and the two sets partition the distinct request.
+    #[test]
+    fn killing_a_full_chain_loses_exactly_that_chain_and_nothing_else(
+        shards in 2u32..6,
+        keys_per_shard in 4u32..16,
+        primary in 0u32..6,
+        replication in 1u32..4,
+        queries in arb_queries(),
+        seed in 0u64..1_000,
+    ) {
+        let primary = primary % shards;
+        // Strictly fewer replicas than shards: with `replication == shards` the killed set
+        // would be *every* shard and the property degenerates to "everything missing".
+        let replication = replication.min(shards - 1);
+        // Kill the `replication` consecutive shards holding `primary`'s records; only that
+        // chain is fully covered, so only `primary`'s keys become unreachable.
+        let mut plan = FaultPlan::new();
+        for j in 0..replication {
+            plan = plan.crash((primary + j) % shards, 0);
+        }
+        let (engine, n) = build_engine(shards, keys_per_shard, replication, Some((plan, seed)));
+        for query in &queries {
+            let keys: Vec<u32> = query.iter().map(|&k| k % n).collect();
+            let result = engine.multiget(&keys).unwrap();
+
+            let mut distinct = keys.clone();
+            distinct.sort_unstable();
+            distinct.dedup();
+            let expected_missing: Vec<u32> = distinct
+                .iter()
+                .copied()
+                .filter(|&k| k % shards == primary)
+                .collect();
+            prop_assert_eq!(&result.missing_keys, &expected_missing);
+            prop_assert_eq!(result.values.len() + expected_missing.len(), distinct.len());
+            for &(key, value) in &result.values {
+                prop_assert!(key % shards != primary);
+                prop_assert_eq!(value, value_of(key));
+            }
+            prop_assert_eq!(result.is_degraded(), !expected_missing.is_empty());
+        }
+    }
+}

@@ -4,11 +4,14 @@
 //! a multiget resolving some keys against the old generation and some against the new —
 //! produces an impossible fanout or a wrong value and fails loudly.
 
+use shp::faults::{FaultInjector, FaultPlan};
 use shp::hypergraph::{GraphBuilder, Partition};
 use shp::serving::{
     value_of, EngineConfig, EpochSwap, PartitionDelta, PartitionSnapshot, ServingEngine,
+    ServingError,
 };
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
 const GROUPS: u32 = 8;
 const SIZE: u32 = 32;
@@ -361,6 +364,212 @@ fn delta_installs_race_concurrent_readers_without_torn_reads() {
     let report = engine.report();
     assert_eq!(report.queries, readers as u64 * QUERIES_PER_READER);
     assert!(report.max_epoch >= 1);
+}
+
+/// Communities 1..GROUPS rotated one shard to the right among the *live* shards; community 0
+/// stays on shard 0. Disagrees with [`aligned`] on every key outside community 0 while never
+/// placing anything on shard 0, so a scripted crash of shard 0 keeps one exact, static set of
+/// unreachable keys across every delta install.
+fn live_rotated(graph: &shp::hypergraph::BipartiteGraph) -> Partition {
+    Partition::from_assignment(
+        graph,
+        GROUPS,
+        (0..GROUPS * SIZE)
+            .map(|v| {
+                let g = v / SIZE;
+                if g == 0 {
+                    0
+                } else {
+                    (g % (GROUPS - 1)) + 1
+                }
+            })
+            .collect(),
+    )
+    .unwrap()
+}
+
+/// Partial-failure invariant under concurrency: with shard 0 scripted dead and no replicas,
+/// every multiget must degrade **precisely** — `missing_keys` is exactly the requested keys
+/// of the dead community, every other key is served with the correct value, and the two sets
+/// stay disjoint and exhaustive — while a writer races delta installs that shuffle all live
+/// communities between shards. A torn fault path would either drop a live key into
+/// `missing_keys` or invent a value for a dead one.
+#[test]
+fn degraded_multigets_stay_precise_while_deltas_race_live_installs() {
+    let graph = community_graph();
+    let injector = Arc::new(FaultInjector::new(FaultPlan::new().crash(0, 0), 0x0DD));
+    let engine = ServingEngine::new(&aligned(&graph), EngineConfig::default())
+        .unwrap()
+        .with_fault_injector(injector);
+    engine.reset_metrics();
+
+    const QUERIES_PER_READER: u64 = 300;
+    const DELTAS: u64 = 120;
+    let readers = reader_threads();
+
+    std::thread::scope(|scope| {
+        let engine_ref = &engine;
+        let graph_ref = &graph;
+        let clients: Vec<_> = (0..readers)
+            .map(|reader| {
+                scope.spawn(move || {
+                    let mut last_epoch = 0u64;
+                    for i in 0..QUERIES_PER_READER {
+                        // One live community, plus (on even queries) half of the dead one.
+                        let group = 1 + ((reader as u64 + i) % (GROUPS as u64 - 1)) as u32;
+                        let base = group * SIZE;
+                        let mut keys: Vec<u32> = (base..base + SIZE).collect();
+                        let include_dead = i % 2 == 0;
+                        if include_dead {
+                            keys.extend(0..SIZE / 2);
+                        }
+                        let result = engine_ref.multiget(&keys).unwrap();
+
+                        // Missing is exactly the requested ∩ dead-community set — never a
+                        // live key, never a dead key served.
+                        let expected_missing: Vec<u32> = if include_dead {
+                            (0..SIZE / 2).collect()
+                        } else {
+                            Vec::new()
+                        };
+                        assert_eq!(result.missing_keys, expected_missing);
+                        assert_eq!(result.values.len(), SIZE as usize);
+                        for (offset, &(key, value)) in result.values.iter().enumerate() {
+                            assert_eq!(key, base + offset as u32);
+                            assert_eq!(value, value_of(key), "wrong record for key {key}");
+                        }
+                        assert_eq!(result.is_degraded(), include_dead);
+                        assert!(
+                            result.epoch >= last_epoch,
+                            "epoch regressed: {} after {last_epoch}",
+                            result.epoch
+                        );
+                        last_epoch = result.epoch;
+
+                        // The typed escalation matches the partial result.
+                        if include_dead {
+                            let err = result.require_complete().unwrap_err();
+                            assert!(matches!(
+                                err,
+                                ServingError::DegradedService { missing }
+                                    if missing == (SIZE / 2) as usize
+                            ));
+                        } else {
+                            result.require_complete().unwrap();
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        // The writer shuffles every *live* community between shards via deltas; the dead
+        // community never moves, so the expected missing set above is exact at every epoch.
+        let swapper = scope.spawn(move || {
+            for i in 0..DELTAS {
+                let target = if i % 2 == 0 {
+                    live_rotated(graph_ref)
+                } else {
+                    aligned(graph_ref)
+                };
+                let base = engine_ref.current_snapshot();
+                let delta = PartitionDelta::between(&base, &target).unwrap();
+                assert_eq!(delta.len(), ((GROUPS - 1) * SIZE) as usize);
+                engine_ref.install_delta(&delta).unwrap();
+                std::thread::yield_now();
+            }
+        });
+
+        for client in clients {
+            client.join().expect("client thread panicked");
+        }
+        swapper.join().expect("swapper thread panicked");
+    });
+
+    // Degradation accounting is exact: every even-indexed query of every reader was degraded.
+    let total = readers as u64 * QUERIES_PER_READER;
+    let degraded = readers as u64 * QUERIES_PER_READER / 2;
+    let report = engine.report();
+    assert_eq!(report.queries, total);
+    assert_eq!(report.degraded_queries, degraded);
+    assert_eq!(report.missing_keys, degraded * (SIZE / 2) as u64);
+    assert!((report.availability - 0.5).abs() < 1e-12);
+}
+
+/// The same scripted crash with 2-way replication: failover routing must keep every racing
+/// multiget **complete** and correct — the dead primary's keys are served from its replica
+/// while the writer races delta installs over the live communities.
+#[test]
+fn replicated_failover_keeps_results_complete_while_deltas_race() {
+    let graph = community_graph();
+    let injector = Arc::new(FaultInjector::new(FaultPlan::new().crash(0, 0), 0x0DD));
+    let engine = ServingEngine::new(
+        &aligned(&graph),
+        EngineConfig {
+            replication: 2,
+            ..EngineConfig::default()
+        },
+    )
+    .unwrap()
+    .with_fault_injector(injector);
+    engine.reset_metrics();
+
+    const QUERIES_PER_READER: u64 = 300;
+    const DELTAS: u64 = 120;
+    let readers = reader_threads();
+
+    std::thread::scope(|scope| {
+        let engine_ref = &engine;
+        let graph_ref = &graph;
+        let clients: Vec<_> = (0..readers)
+            .map(|reader| {
+                scope.spawn(move || {
+                    for i in 0..QUERIES_PER_READER {
+                        let group = 1 + ((reader as u64 + i) % (GROUPS as u64 - 1)) as u32;
+                        let base = group * SIZE;
+                        let mut keys: Vec<u32> = (base..base + SIZE).collect();
+                        keys.extend(0..SIZE / 2); // dead primary — must fail over
+                        let result = engine_ref
+                            .multiget(&keys)
+                            .unwrap()
+                            .require_complete()
+                            .unwrap();
+                        assert_eq!(result.values.len(), (SIZE + SIZE / 2) as usize);
+                        for &(key, value) in &result.values {
+                            assert_eq!(value, value_of(key), "wrong record for key {key}");
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        let swapper = scope.spawn(move || {
+            for i in 0..DELTAS {
+                let target = if i % 2 == 0 {
+                    live_rotated(graph_ref)
+                } else {
+                    aligned(graph_ref)
+                };
+                let base = engine_ref.current_snapshot();
+                let delta = PartitionDelta::between(&base, &target).unwrap();
+                engine_ref.install_delta(&delta).unwrap();
+                std::thread::yield_now();
+            }
+        });
+
+        for client in clients {
+            client.join().expect("client thread panicked");
+        }
+        swapper.join().expect("swapper thread panicked");
+    });
+
+    let report = engine.report();
+    assert_eq!(report.queries, readers as u64 * QUERIES_PER_READER);
+    assert_eq!(report.degraded_queries, 0, "failover must mask the crash");
+    assert_eq!(report.availability, 1.0);
+    assert!(
+        report.retries > 0,
+        "the dead primary must have cost retries"
+    );
 }
 
 /// A sequence of delta installs must leave the engine in a state **bit-identical** to the
